@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: does the energy-supply model matter for characterization?
+ * The paper observes (Section V-B) that the Clank parameters barely move
+ * across very different voltage traces because per-period energy E is
+ * nearly constant. We push that further: replace the harvested
+ * transducer+capacitor supply with an ideal fixed-budget bucket of the
+ * same per-period energy and compare the characterized tau_B, tau_D and
+ * alpha_B. If the model's "active period = fixed E" abstraction is
+ * sound, they should barely move.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "arch/cpu.hh"
+#include "energy/supply.hh"
+#include "energy/trace.hh"
+#include "energy/transducer.hh"
+#include "runtime/clank.hh"
+#include "sim/simulator.hh"
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+
+namespace {
+
+struct Characterization
+{
+    double tauB, tauD, alphaB, periodEnergy;
+};
+
+Characterization
+runWith(const std::string &workload, bool harvested)
+{
+    const auto layout = workloads::nonvolatileLayout();
+    const auto w = workloads::makeWorkload(workload, layout);
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.costs = arch::CostModel::cortexM0();
+    cfg.maxActivePeriods = 30000;
+
+    runtime::Clank policy({});
+    sim::SimStats stats;
+    if (harvested) {
+        auto traces = energy::makePaperTraces(0xAB1, 30'000'000);
+        energy::Transducer tx(0.6, 3000.0, 16.0e6);
+        energy::Capacitor cap(0.68e-6, 3.6, 3.0, 2.2);
+        energy::HarvestingSupply supply(std::move(traces[2]), tx, cap);
+        sim::Simulator s(w.program, policy, supply, cfg);
+        stats = s.run();
+    } else {
+        // Ideal bucket with the capacitor's V_on→V_off budget.
+        energy::Capacitor cap(0.68e-6, 3.6, 3.0, 2.2);
+        energy::ConstantSupply supply(cap.usableBudget());
+        sim::Simulator s(w.program, policy, supply, cfg);
+        stats = s.run();
+    }
+    return {stats.tauB.count() ? stats.tauB.mean() : 0.0,
+            stats.tauD.count() ? stats.tauD.mean() : 0.0,
+            stats.alphaB.count() ? stats.alphaB.mean() : 0.0,
+            stats.periodEnergy.count() ? stats.periodEnergy.mean()
+                                       : 0.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: supply model",
+                  "harvested capacitor vs ideal fixed-budget bucket");
+
+    Table table({"benchmark", "supply", "tau_B", "tau_D", "alpha_B",
+                 "E/period", "tau_B delta"});
+    CsvWriter csv(bench::csvPath("abl_supply_model.csv"),
+                  {"benchmark", "supply", "tau_b", "tau_d", "alpha_b",
+                   "period_energy"});
+
+    double worst_delta = 0.0;
+    for (const auto &benchmark :
+         {"crc", "qsort", "fft", "lzfx", "dijkstra", "sha"}) {
+        const auto harvested = runWith(benchmark, true);
+        const auto bucket = runWith(benchmark, false);
+        const double delta =
+            harvested.tauB > 0.0
+                ? std::abs(harvested.tauB - bucket.tauB) /
+                      harvested.tauB
+                : 0.0;
+        worst_delta = std::max(worst_delta, delta);
+        table.row({benchmark, "harvested", Table::num(harvested.tauB, 1),
+                   Table::num(harvested.tauD, 1),
+                   Table::num(harvested.alphaB, 3),
+                   Table::num(harvested.periodEnergy, 0), ""});
+        table.row({benchmark, "bucket", Table::num(bucket.tauB, 1),
+                   Table::num(bucket.tauD, 1),
+                   Table::num(bucket.alphaB, 3),
+                   Table::num(bucket.periodEnergy, 0),
+                   Table::pct(delta)});
+        csv.row({benchmark, "harvested", Table::num(harvested.tauB, 3),
+                 Table::num(harvested.tauD, 3),
+                 Table::num(harvested.alphaB, 4),
+                 Table::num(harvested.periodEnergy, 1)});
+        csv.row({benchmark, "bucket", Table::num(bucket.tauB, 3),
+                 Table::num(bucket.tauD, 3),
+                 Table::num(bucket.alphaB, 4),
+                 Table::num(bucket.periodEnergy, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWorst tau_B delta across the suite: "
+              << Table::pct(worst_delta)
+              << "\nExpected: small — backup triggers are driven by the "
+                 "program's access pattern, not\nby how the energy "
+                 "arrives, which is why the EH model can treat the "
+                 "active period as a\nfixed budget (Sections III, "
+                 "V-B).\nCSV: "
+              << bench::csvPath("abl_supply_model.csv") << "\n";
+    return worst_delta < 0.25 ? 0 : 1;
+}

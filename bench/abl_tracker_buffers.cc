@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: Clank tracking-buffer capacity. The original Clank paper
+ * explored buffer designs to minimize forced backups; our default
+ * configuration uses the 8-entry read-first/write-first pair the EH
+ * paper cites. This bench sweeps the capacity and shows how overflow-
+ * forced backups convert into genuine idempotency violations (and
+ * eventually watchdog backups), lengthening tau_B toward what
+ * range-compressed hardware achieves.
+ */
+
+#include <iostream>
+
+#include "arch/cpu.hh"
+#include "energy/supply.hh"
+#include "runtime/clank.hh"
+#include "sim/simulator.hh"
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+
+namespace {
+
+struct BufferRun
+{
+    double tauB;
+    std::uint64_t violations, overflows, watchdogs;
+    bool finished;
+};
+
+BufferRun
+runWithBuffers(const std::string &workload, std::size_t entries)
+{
+    const auto layout = workloads::nonvolatileLayout();
+    const auto w = workloads::makeWorkload(workload, layout);
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.costs = arch::CostModel::cortexM0();
+    cfg.maxActivePeriods = 30000;
+
+    runtime::ClankConfig cc;
+    cc.readBufferEntries = entries;
+    cc.writeBufferEntries = entries;
+    runtime::Clank policy(cc);
+    energy::ConstantSupply supply(147.0 * 50000.0);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    const auto &ts = policy.tracker().stats();
+    return {stats.tauB.count() ? stats.tauB.mean() : 0.0, ts.violations,
+            ts.overflows, ts.watchdogFirings, stats.finished};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: Clank tracking-buffer capacity",
+                  "backup-trigger mix vs buffer entries");
+
+    Table table({"benchmark", "entries", "tau_B", "violations",
+                 "overflows", "watchdogs"});
+    CsvWriter csv(bench::csvPath("abl_tracker_buffers.csv"),
+                  {"benchmark", "entries", "tau_b", "violations",
+                   "overflows", "watchdogs"});
+
+    bool monotone = true;
+    for (const auto &benchmark : {"dijkstra", "sha", "stringsearch",
+                                  "patricia"}) {
+        double last_tau = 0.0;
+        for (std::size_t entries : {4u, 8u, 16u, 64u, 256u}) {
+            const auto r = runWithBuffers(benchmark, entries);
+            monotone &= r.tauB >= last_tau * 0.95; // allow small noise
+            last_tau = r.tauB;
+            table.row({benchmark, std::to_string(entries),
+                       Table::num(r.tauB, 1),
+                       std::to_string(r.violations),
+                       std::to_string(r.overflows),
+                       std::to_string(r.watchdogs)});
+            csv.rowNumeric({0.0, static_cast<double>(entries), r.tauB,
+                            static_cast<double>(r.violations),
+                            static_cast<double>(r.overflows),
+                            static_cast<double>(r.watchdogs)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\ntau_B non-decreasing with buffer capacity: "
+              << (monotone ? "YES" : "NO — UNEXPECTED")
+              << "\nTakeaway: small buffers overflow before true "
+                 "violations occur, forcing early\nbackups; capacity "
+                 "buys longer idempotent regions until the program's "
+                 "real WAR\ndistance (or the watchdog) becomes the "
+                 "limit. This is why our absolute tau_B in\nFig 8 sits "
+                 "below the paper's range-compressed hardware.\nCSV: "
+              << bench::csvPath("abl_tracker_buffers.csv") << "\n";
+    return monotone ? 0 : 1;
+}

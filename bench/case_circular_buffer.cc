@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Section VI-B case study: circular buffers for idempotency (Equation
+ * 15). A kernel repeatedly reads A[(head+i) % N] and writes
+ * A[(head+n+i) % N]; growing the ring (N) relative to the logical array
+ * (n) postpones the write-after-read violations that force Clank
+ * backups, at one violation every N - n + 1 stores.
+ *
+ * This harness (1) verifies the measured violation-driven tau_B against
+ * the formula, and (2) sweeps N to show forward progress peaking near
+ * the ring size Equation 15 derives from the model's tau_B,opt.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "core/idempotency.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "energy/supply.hh"
+#include "runtime/clank.hh"
+#include "sim/simulator.hh"
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+using arch::Reg;
+
+namespace {
+
+constexpr std::uint32_t kArrayLen = 64;   // n (logical entries)
+constexpr std::uint32_t kIterations = 20000;
+
+/** Build the ring kernel for a power-of-two ring of @p ring_slots. */
+arch::Program
+ringKernel(std::uint32_t ring_slots, const workloads::WorkloadLayout &l)
+{
+    arch::Assembler a("ring" + std::to_string(ring_slots));
+    const auto ring_base = static_cast<std::int32_t>(l.dataBase);
+    const std::int32_t mask = static_cast<std::int32_t>(ring_slots - 1);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, ring_base);
+    a.label("loop")
+        .movi(Reg::R6, kIterations)
+        .bgeu(Reg::R1, Reg::R6, "done")
+        // x = A[i & (N-1)]
+        .andi(Reg::R3, Reg::R1, mask)
+        .lsli(Reg::R3, Reg::R3, 2)
+        .add(Reg::R3, Reg::R2, Reg::R3)
+        .ldw(Reg::R4, Reg::R3, 0)
+        // f(x)
+        .muli(Reg::R4, Reg::R4, 3)
+        .addi(Reg::R4, Reg::R4, 1)
+        // A[(i + n) & (N-1)] = f(x)
+        .addi(Reg::R5, Reg::R1, kArrayLen)
+        .andi(Reg::R5, Reg::R5, mask)
+        .lsli(Reg::R5, Reg::R5, 2)
+        .add(Reg::R5, Reg::R2, Reg::R5)
+        .stw(Reg::R4, Reg::R5, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("loop");
+    a.label("done")
+        .movi(Reg::R6, static_cast<std::int32_t>(l.resultBase))
+        .stw(Reg::R4, Reg::R6, 0)
+        .halt();
+    return a.assemble();
+}
+
+struct RingRun
+{
+    double tauB;
+    double progress;
+    double tauStore;
+    double epsEffective; ///< measured energy per cycle incl. NVM traffic
+    bool finished;
+};
+
+RingRun
+runRing(std::uint32_t ring_slots)
+{
+    const auto layout = workloads::nonvolatileLayout();
+    const auto prog = ringKernel(ring_slots, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.costs = arch::CostModel::cortexM0();
+    // Over-long idempotent regions stop committing entirely; a period
+    // cap keeps those configurations measurable (progress ~ 0) without
+    // spinning forever.
+    cfg.maxActivePeriods = 300;
+
+    // Profile tau_store on an uninterrupted run.
+    const auto golden = sim::runGolden(prog, cfg, {});
+    const double tau_store =
+        static_cast<double>(golden.cycles) / kIterations;
+
+    runtime::ClankConfig cc;
+    cc.watchdogCycles = 1u << 30; // isolate violation-driven backups
+    // Generous tracking buffers stand in for Clank's range-compressed
+    // detection hardware: the sequential ring walk would overflow the
+    // 8-entry configuration every 8 accesses and mask the violations
+    // this case study is about.
+    cc.readBufferEntries = 8192;
+    cc.writeBufferEntries = 8192;
+    runtime::Clank policy(cc);
+    energy::ConstantSupply supply(147.0 * 50000.0);
+    sim::Simulator s(prog, policy, supply, cfg);
+    const auto stats = s.run();
+
+    RingRun out;
+    out.tauB = stats.tauB.count() ? stats.tauB.mean() : 0.0;
+    out.progress = stats.measuredProgress();
+    out.tauStore = tau_store;
+    out.epsEffective =
+        golden.energy / static_cast<double>(golden.cycles);
+    out.finished = stats.finished;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section VI-B case study",
+                  "circular-buffer sizing for Clank idempotency");
+
+    Table table({"ring N", "predicted tau_B", "measured tau_B",
+                 "match", "measured progress"});
+    CsvWriter csv(bench::csvPath("case_circular_buffer.csv"),
+                  {"ring", "tau_b_pred", "tau_b_meas", "progress"});
+
+    double best_progress = 0.0;
+    std::uint32_t best_ring = 0;
+    double tau_store = 0.0, eps_eff = 147.0;
+    bool spacing_ok = true;
+    for (std::uint32_t ring : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+        const auto r = runRing(ring);
+        tau_store = r.tauStore;
+        eps_eff = r.epsEffective;
+        const double predicted = core::violationCycleInterval(
+            ring, kArrayLen, r.tauStore);
+        const bool match =
+            r.tauB > 0.0 &&
+            std::abs(r.tauB - predicted) / predicted < 0.25;
+        spacing_ok &= match || ring == kArrayLen; // N==n: every store
+        if (r.progress > best_progress) {
+            best_progress = r.progress;
+            best_ring = ring;
+        }
+        table.row({std::to_string(ring), Table::num(predicted, 0),
+                   Table::num(r.tauB, 0), match ? "yes" : "~",
+                   Table::pct(r.progress)});
+        csv.rowNumeric({static_cast<double>(ring), predicted, r.tauB,
+                        r.progress});
+    }
+    table.print(std::cout);
+
+    // Model-side sizing: Clank on the Cortex-M0+ platform, alpha_B = 0
+    // (data already nonvolatile), A_B = 80 bytes, with the kernel's
+    // *measured* energy per cycle (NVM traffic roughly doubles the base
+    // core rate).
+    core::Params params = core::cortexM0Params();
+    params.energyBudget = 147.0 * 50000.0;
+    params.execEnergy = eps_eff;
+    params.appStateRate = 0.0;
+    params.archStateBackup = 80.0;
+    params.restoreCost = 0.0;
+    params.archStateRestore = 0.0;
+    const double tau_opt = core::optimalBackupPeriod(params);
+    const double n_opt = core::optimalCircularBufferSize(
+        kArrayLen, tau_store, tau_opt);
+    const auto n_pow2 =
+        core::recommendedBufferSlots(params, kArrayLen, tau_store);
+    std::cout << "\nModel tau_B,opt = " << Table::num(tau_opt, 0)
+              << " cycles; Equation 15 ring size N_opt = "
+              << Table::num(n_opt, 0) << " (next pow2: " << n_pow2
+              << ")\nBest measured progress at N = " << best_ring << " ("
+              << Table::pct(best_progress) << ")\n"
+              << "Expected: measured tau_B tracks (N - n + 1) * "
+                 "tau_store, and progress peaks at the\nring size "
+                 "nearest N_opt — the programmer can tune idempotent "
+                 "region length to the\narchitecture (Section VI-B).\n"
+              << "CSV: " << bench::csvPath("case_circular_buffer.csv")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Section VI-A, end to end: the matrix transpose of Listing 1 actually
+ * *executed* on the simulated mixed-volatility platform — a volatile
+ * write-back cache in front of nonvolatile memory, with every backup
+ * flushing the dirty blocks at block granularity. Both loop orders run
+ * under a periodic-backup policy on FRAM (symmetric) and STT-RAM (~10x
+ * writes); forward progress per ordering is measured, not derived.
+ *
+ * Expected: near-parity on FRAM; store-major clearly ahead on STT-RAM —
+ * the unconventional loop-ordering rule the analytic case study
+ * (Equations 13–14) predicts.
+ */
+
+#include <iostream>
+
+#include "arch/assembler.hh"
+#include "arch/cpu.hh"
+#include "energy/supply.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+using arch::Reg;
+
+namespace {
+
+constexpr std::uint32_t kDim = 24; // 24x24 word matrix
+constexpr std::uint32_t kPasses = 10;
+
+/**
+ * Transpose B = A^T, kPasses times. store_major iterates the write
+ * array contiguously (B[i][j] = A[j][i]); load-major the read array.
+ */
+arch::Program
+transposeKernel(bool store_major, const workloads::WorkloadLayout &l)
+{
+    const auto a_base = static_cast<std::int32_t>(l.dataBase);
+    const auto b_base =
+        static_cast<std::int32_t>(l.dataBase + kDim * kDim * 4);
+
+    arch::Assembler a(store_major ? "transpose-sm" : "transpose-lm");
+    // Input matrix contents: a simple deterministic fill written by the
+    // program itself (write-first: safe to re-execute).
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R12, 0); // pass counter
+    // init A[i] = i * 2654435761
+    a.movi(Reg::R1, 0)
+        .movi(Reg::R2, kDim * kDim)
+        .movi(Reg::R3, static_cast<std::int32_t>(2654435761u));
+    a.label("init")
+        .bgeu(Reg::R1, Reg::R2, "initd")
+        .mul(Reg::R4, Reg::R1, Reg::R3)
+        .lsli(Reg::R5, Reg::R1, 2)
+        .movi(Reg::R6, a_base)
+        .add(Reg::R5, Reg::R6, Reg::R5)
+        .stw(Reg::R4, Reg::R5, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("init");
+    a.label("initd")
+        .checkpoint();
+    a.label("pass")
+        .movi(Reg::R2, kPasses)
+        .bgeu(Reg::R12, Reg::R2, "done")
+        .movi(Reg::R1, 0); // i
+    a.label("iloop")
+        .movi(Reg::R2, kDim)
+        .bgeu(Reg::R1, Reg::R2, "passend")
+        .movi(Reg::R4, 0); // j
+    a.label("jloop")
+        .movi(Reg::R2, kDim)
+        .bgeu(Reg::R4, Reg::R2, "inext")
+        // store-major: read A[j*D+i], write B[i*D+j];
+        // load-major:  read A[i*D+j], write B[j*D+i].
+        .muli(Reg::R5, store_major ? Reg::R4 : Reg::R1, kDim)
+        .add(Reg::R5, Reg::R5,
+             store_major ? Reg::R1 : Reg::R4)
+        .lsli(Reg::R5, Reg::R5, 2)
+        .movi(Reg::R6, a_base)
+        .add(Reg::R5, Reg::R6, Reg::R5)
+        .ldw(Reg::R7, Reg::R5, 0)
+        .muli(Reg::R5, store_major ? Reg::R1 : Reg::R4, kDim)
+        .add(Reg::R5, Reg::R5,
+             store_major ? Reg::R4 : Reg::R1)
+        .lsli(Reg::R5, Reg::R5, 2)
+        .movi(Reg::R6, b_base)
+        .add(Reg::R5, Reg::R6, Reg::R5)
+        .stw(Reg::R7, Reg::R5, 0)
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("jloop");
+    a.label("inext")
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("iloop");
+    a.label("passend")
+        .checkpoint()
+        .addi(Reg::R12, Reg::R12, 1)
+        .b("pass");
+    a.label("done")
+        // checksum a few B entries as the result
+        .movi(Reg::R2, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R3, kDim * kDim);
+    a.label("cs")
+        .bgeu(Reg::R1, Reg::R3, "csd")
+        .lsli(Reg::R5, Reg::R1, 2)
+        .movi(Reg::R6, b_base)
+        .add(Reg::R5, Reg::R6, Reg::R5)
+        .ldw(Reg::R5, Reg::R5, 0)
+        .add(Reg::R2, Reg::R2, Reg::R5)
+        .addi(Reg::R1, Reg::R1, 64)
+        .b("cs");
+    a.label("csd")
+        .movi(Reg::R6, static_cast<std::int32_t>(l.resultBase))
+        .stw(Reg::R2, Reg::R6, 0)
+        .halt();
+    return a.assemble();
+}
+
+struct E2eResult
+{
+    double progress;
+    double tauB;
+    bool finished;
+};
+
+E2eResult
+run(bool store_major, mem::NvmTech tech)
+{
+    const auto layout = workloads::nonvolatileLayout();
+    const auto prog = transposeKernel(store_major, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.nvmTech = tech;
+    cfg.costs = arch::CostModel::cortexM0();
+    cfg.enableNvmCache = true;
+    cfg.cacheGeometry = {1024, 4, 16};
+    cfg.maxActivePeriods = 20000;
+
+    runtime::WatchdogConfig wc;
+    wc.periodCycles = 3000;
+    wc.sramUsedBytes = cfg.sramUsedBytes;
+    runtime::Watchdog policy(wc);
+
+    energy::ConstantSupply supply(147.0 * 60000.0);
+    sim::Simulator s(prog, policy, supply, cfg);
+    const auto stats = s.run();
+    return {stats.measuredProgress(),
+            stats.tauB.count() ? stats.tauB.mean() : 0.0,
+            stats.finished};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section VI-A, end to end",
+                  "transpose loop order on the cached mixed-volatility "
+                  "platform");
+
+    Table table({"NVM", "ordering", "measured progress", "finished"});
+    CsvWriter csv(bench::csvPath("case_store_major_e2e.csv"),
+                  {"tech", "ordering", "progress"});
+
+    double fram_sm = 0, fram_lm = 0, stt_sm = 0, stt_lm = 0;
+    for (auto tech : {mem::NvmTech::Fram, mem::NvmTech::SttRam}) {
+        for (bool store_major : {true, false}) {
+            const auto r = run(store_major, tech);
+            const char *order = store_major ? "store-major"
+                                            : "load-major";
+            table.row({nvmTechName(tech), order, Table::pct(r.progress),
+                       r.finished ? "yes" : "NO"});
+            csv.row({nvmTechName(tech), order,
+                     Table::num(r.progress, 6)});
+            if (tech == mem::NvmTech::Fram)
+                (store_major ? fram_sm : fram_lm) = r.progress;
+            else
+                (store_major ? stt_sm : stt_lm) = r.progress;
+        }
+    }
+    table.print(std::cout);
+
+    const double fram_gain = fram_sm / fram_lm;
+    const double stt_gain = stt_sm / stt_lm;
+    std::cout << "\nStore-major speedup: FRAM "
+              << Table::num(fram_gain, 3) << "x, STT-RAM "
+              << Table::num(stt_gain, 3) << "x\n"
+              << "Expected (Equations 13-14): near parity on symmetric "
+                 "FRAM; a clear store-major win\non STT-RAM's ~10x "
+                 "writes — measured on real executed code, not just the "
+                 "closed form.\nCSV: "
+              << bench::csvPath("case_store_major_e2e.csv") << "\n";
+    return stt_gain > fram_gain ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 9: average dead cycles (tau_D) with standard-error bars for the
+ * MiBench-like suite under Clank on the three RF traces.
+ *
+ * Paper expectations: tau_D tracks tau_B (it cannot exceed it — a power
+ * failure can only kill work since the last backup), so benchmarks with
+ * tiny backup intervals also show tiny dead-cycle counts, and results
+ * barely move across traces.
+ */
+
+#include <iostream>
+
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "mean tau_D per benchmark across three RF traces "
+                  "(Clank)");
+
+    Table table({"benchmark", "trace", "tau_D mean", "SEM",
+                 "tau_B mean", "tau_D <= tau_B+slack"});
+    CsvWriter csv(bench::csvPath("fig09_clank_tau_d.csv"),
+                  {"benchmark", "trace", "tau_d_mean", "tau_d_sem",
+                   "tau_b_mean", "bounded"});
+
+    bool all_bounded = true;
+    for (const auto &benchmark : workloads::mibenchNames()) {
+        for (int trace = 0; trace < 3; ++trace) {
+            const auto r = bench::runClank(benchmark, trace);
+            // Dead execution cannot exceed the spacing of commit points
+            // by more than one instruction + one failed backup.
+            const bool bounded =
+                r.tauDMean <= std::max(r.tauBMean, 1.0) * 1.25 + 8200.0;
+            all_bounded &= bounded;
+            table.row({benchmark, r.trace, Table::num(r.tauDMean, 1),
+                       Table::num(r.tauDSem, 2),
+                       Table::num(r.tauBMean, 1),
+                       bounded ? "yes" : "NO"});
+            csv.row({benchmark, r.trace, Table::num(r.tauDMean, 3),
+                     Table::num(r.tauDSem, 4),
+                     Table::num(r.tauBMean, 3), bounded ? "1" : "0"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: tau_D scales with tau_B (small backup "
+                 "intervals leave little to lose)\nand is stable across "
+                 "traces (near-constant per-period energy, Section "
+                 "V-B).\nCSV: " << bench::csvPath("fig09_clank_tau_d.csv")
+              << "\n";
+    return all_bounded ? 0 : 1;
+}

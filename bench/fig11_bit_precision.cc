@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 11: the benefit of reduced bit-precision backups
+ * (|dp/dalpha_B|) as a function of tau_B, for susan running on a
+ * Clank-configured platform, with one curve per ratio of compulsory
+ * architectural energy (Omega_B A_B) to proportional energy
+ * (Omega_B alpha_B + eps). The marked optima are Equation 16's
+ * tau_B,bit.
+ *
+ * Paper expectations: larger ratios (big register files / small
+ * footprints) peak later and higher; the top curve yields up to ~4.5%
+ * progress per bit removed at its optimum. We calibrate alpha_B for
+ * susan from the Clank simulation, then vary it to control the ratio.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace eh;
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "bit-precision benefit |dp/dalpha_B| vs tau_B for "
+                  "susan on Clank");
+
+    // Calibrate susan's application-state rate on the Clank substrate.
+    const auto cal = bench::runClank("susan", 0);
+    const double alpha_susan = std::max(cal.alphaBMean, 1e-3);
+    std::cout << "Calibrated susan on Clank: alpha_B = "
+              << Table::num(alpha_susan, 3)
+              << " bytes/cycle, mean tau_B = "
+              << Table::num(cal.tauBMean, 1) << " cycles\n\n";
+
+    core::Params base = core::cortexM0Params();
+    base.appStateRate = alpha_susan;
+    base.restoreCost = 0.0;     // figure assumption: Omega_R = 0
+    base.archStateRestore = 0.0;
+    base.chargeEnergy = 0.0;
+
+    // One curve per architectural/proportional cost ratio. susan's
+    // calibrated alpha_B is small, so the ratio is steered through the
+    // architectural state per backup (the paper's "large register file"
+    // framing): from a tiny dirty-register set to a 4x register file.
+    const std::vector<double> arch_bytes{320.0, 160.0, 80.0, 20.0, 4.0};
+    const auto taus = core::logspace(10.0, 100000.0, 22);
+
+    std::vector<std::string> header{"tau_B"};
+    for (double ab : arch_bytes) {
+        core::Params p = base;
+        p.archStateBackup = ab;
+        const double ratio = p.backupCost * p.archStateBackup /
+                             (p.backupCost * p.appStateRate +
+                              p.execEnergy);
+        header.push_back("|dp/da| r=" + Table::num(ratio, 0));
+    }
+    Table table(header);
+    CsvWriter csv(bench::csvPath("fig11_bit_precision.csv"), header);
+
+    for (double tau : taus) {
+        std::vector<std::string> row{Table::num(tau, 0)};
+        std::vector<double> csv_row{tau};
+        for (double ab : arch_bytes) {
+            core::Params p = base;
+            p.archStateBackup = ab;
+            p.backupPeriod = tau;
+            const double mag =
+                std::abs(core::progressPerAppStateRate(p));
+            row.push_back(Table::num(mag, 5));
+            csv_row.push_back(mag);
+        }
+        table.row(row);
+        csv.rowNumeric(csv_row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nOptima (Equation 16) and gain from one bit removed "
+                 "from 32-bit words (computed at\nsusan's calibrated "
+                 "alpha_B, and at the paper's suite-average 0.16 "
+                 "B/cycle):\n";
+    Table opt({"A_B", "ratio", "tau_B,bit", "|dp/da| at opt",
+               "gain/bit (susan)", "gain/bit (alpha=0.16)"});
+    for (double ab : arch_bytes) {
+        core::Params p = base;
+        p.archStateBackup = ab;
+        const double tau_bit = core::bitPrecisionOptimalPeriod(p);
+        p.backupPeriod = std::max(tau_bit, 1.0);
+        const double mag = std::abs(core::progressPerAppStateRate(p));
+        const auto gain = core::reducedPrecisionGain(p, 32, 1);
+        core::Params q = p;
+        q.appStateRate = 0.16;
+        q.backupPeriod = std::max(
+            core::bitPrecisionOptimalPeriod(q), 1.0);
+        const auto gain_paper = core::reducedPrecisionGain(q, 32, 1);
+        const double ratio = p.backupCost * p.archStateBackup /
+                             (p.backupCost * p.appStateRate +
+                              p.execEnergy);
+        opt.row({Table::num(ab, 0), Table::num(ratio, 1),
+                 Table::num(tau_bit, 0), Table::num(mag, 5),
+                 Table::pct(gain.gain, 3),
+                 Table::pct(gain_paper.gain, 3)});
+    }
+    opt.print(std::cout);
+    std::cout << "\nExpected: smaller ratios peak at smaller tau_B,bit "
+                 "(frequent backups make the\nproportional state "
+                 "dominant); the largest-ratio curve shows the biggest "
+                 "per-bit gain\n(paper: up to 4.5% for 1 bit at "
+                 "tau_B,bit = 315 on its top curve).\nCSV: "
+              << bench::csvPath("fig11_bit_precision.csv") << "\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: the paper's
+ * pitch is *early, rapid* design-space exploration, so evaluating the
+ * model must be orders of magnitude faster than simulating. These
+ * numbers quantify that gap on this machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "energy/supply.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+
+static void
+BM_ModelProgress(benchmark::State &state)
+{
+    const core::Model m(core::illustrativeParams());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.progress());
+}
+BENCHMARK(BM_ModelProgress);
+
+static void
+BM_ModelBreakdown(benchmark::State &state)
+{
+    const core::Model m(core::illustrativeParams());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.breakdown());
+}
+BENCHMARK(BM_ModelBreakdown);
+
+static void
+BM_ClosedFormOptimum(benchmark::State &state)
+{
+    const auto p = core::illustrativeParams();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::optimalBackupPeriod(p));
+}
+BENCHMARK(BM_ClosedFormOptimum);
+
+static void
+BM_NumericOptimum(benchmark::State &state)
+{
+    const auto p = core::illustrativeParams();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::numericOptimalBackupPeriod(
+            p, core::DeadCycleMode::Average));
+    }
+}
+BENCHMARK(BM_NumericOptimum);
+
+static void
+BM_Sensitivity(benchmark::State &state)
+{
+    auto p = core::illustrativeParams();
+    p.backupPeriod = 30.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::progressPerAppStateRate(p));
+}
+BENCHMARK(BM_Sensitivity);
+
+static void
+BM_DesignSpaceSweep1k(benchmark::State &state)
+{
+    const auto p = core::illustrativeParams();
+    const auto taus = core::logspace(1.0, 10000.0, 1000);
+    for (auto _ : state) {
+        const auto r = core::sweep1D(taus, [&](double tau) {
+            return core::Model(p).withBackupPeriod(tau).progress();
+        });
+        benchmark::DoNotOptimize(r.bestX);
+    }
+}
+BENCHMARK(BM_DesignSpaceSweep1k);
+
+static void
+BM_SimulatedCrcRun(benchmark::State &state)
+{
+    // The comparison point: one full intermittent simulation of crc.
+    const auto w =
+        workloads::makeWorkload("crc", workloads::volatileLayout());
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.sramUsedBytes = w.sramUsedBytes;
+        runtime::Watchdog policy(
+            {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+        energy::ConstantSupply supply(4.0e6);
+        sim::Simulator s(w.program, policy, supply, cfg);
+        benchmark::DoNotOptimize(s.run().measuredProgress());
+    }
+}
+BENCHMARK(BM_SimulatedCrcRun)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

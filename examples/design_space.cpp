@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Architect's view: a two-dimensional design-space exploration over the
+ * backup mechanism (cost per byte) and the backup period, rendered as an
+ * ASCII heatmap, plus the Section IV-A3 guidance on whether to spend
+ * engineering effort on the backup path or the restore path.
+ *
+ * Build & run:  ./build/examples/design_space
+ */
+
+#include <iostream>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "core/sweep.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace eh;
+
+    core::Params base = core::illustrativeParams();
+    base.restoreCost = 0.5;
+    base.archStateRestore = 2.0;
+
+    const auto taus = core::logspace(1.0, 500.0, 32);
+    const auto omegas = core::linspace(0.0, 4.0, 17);
+
+    const auto grid = core::sweep2D(
+        omegas, taus, [&](double omega, double tau) {
+            core::Params p = base;
+            p.backupCost = omega;
+            p.backupPeriod = tau;
+            return core::Model(p).progress();
+        });
+
+    std::cout << "Forward progress heatmap (rows: backup cost Omega_B, "
+                 "cols: tau_B from "
+              << Table::num(taus.front(), 0) << " to "
+              << Table::num(taus.back(), 0) << " cycles, log scale)\n"
+              << "shade: ' .:-=+*#%@' for p in [0, 1]\n\n";
+
+    const char shades[] = " .:-=+*#%@";
+    for (std::size_t oi = 0; oi < omegas.size(); ++oi) {
+        std::cout << "Omega_B=" << Table::num(omegas[oi], 2) << " |";
+        for (std::size_t ti = 0; ti < taus.size(); ++ti) {
+            const double p = grid.at(oi, ti).value;
+            const int shade = std::min(
+                9, static_cast<int>(p * 10.0));
+            std::cout << shades[shade < 0 ? 0 : shade];
+        }
+        std::cout << "|\n";
+    }
+
+    std::cout << "\nBest configuration: Omega_B = "
+              << Table::num(grid.bestX, 2) << ", tau_B = "
+              << Table::num(grid.bestY, 1) << " -> p = "
+              << Table::pct(grid.bestValue) << "\n";
+
+    // Where should the optimization effort go at a given tau_B?
+    const double tau_be = core::breakEvenBackupPeriodFixedPoint(base);
+    std::cout << "\nBackup-vs-restore break-even (Equation 11): tau_B = "
+              << Table::num(tau_be, 1) << " cycles\n";
+    for (double tau : {tau_be / 4.0, tau_be, tau_be * 4.0}) {
+        core::Params p = base;
+        p.backupPeriod = tau;
+        const double db = core::progressPerBackupEnergy(p);
+        const double dr = core::progressPerRestoreEnergy(p);
+        std::cout << "  tau_B = " << Table::num(tau, 1)
+                  << ": dp/de_B = " << Table::num(db, 5)
+                  << ", dp/de_R = " << Table::num(dr, 5) << " -> invest "
+                  << (db < dr ? "in the BACKUP path"
+                              : "in the RESTORE path")
+                  << "\n";
+    }
+    return 0;
+}

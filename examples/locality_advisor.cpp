@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Programmer's advisor for the Section VI-A case study: given a loop
+ * nest's read/write footprints and the platform's nonvolatile memory
+ * technology, should it be written load-major or store-major? On
+ * intermittent architectures dirty cache blocks are flushed at every
+ * backup, so store locality can dominate — the opposite of conventional
+ * wisdom.
+ *
+ * Build & run:  ./build/examples/locality_advisor
+ */
+
+#include <iostream>
+
+#include "core/locality.hh"
+#include "mem/nvm.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace eh;
+
+    std::cout << "Scenario: the matrix transpose of the paper's Listing "
+                 "1 — equal read and write\nfootprints, 16-byte cache "
+                 "blocks, word accesses.\n\n";
+
+    Table table({"NVM technology", "write/read cost", "overhead ratio",
+                 "recommendation"});
+    for (auto tech : {mem::NvmTech::Fram, mem::NvmTech::ReRam,
+                      mem::NvmTech::SttRam, mem::NvmTech::Flash}) {
+        const auto costs = mem::defaultCosts(tech);
+        core::LocalityParams lp;
+        lp.blockBytes = 16.0;
+        lp.loadBytes = 4.0;
+        lp.storeBytes = 4.0;
+        lp.loadRate = 0.1;      // alpha_load
+        lp.appStateRate = 0.1;  // alpha_B: equal footprints
+        lp.loadBandwidth = costs.readBandwidth;
+        lp.backupBandwidth = costs.writeBandwidth;
+        lp.progressCycles = 10000.0;
+        lp.backupPeriod = 1000.0;
+        lp.backupCount = 10.0;
+
+        const double ratio = core::loadMajorOverStoreMajorRatio(lp);
+        const bool store_major = core::storeMajorWins(lp);
+        table.row({nvmTechName(tech),
+                   Table::num(costs.writeEnergyPerByte /
+                                  costs.readEnergyPerByte,
+                              1) + "x",
+                   Table::num(ratio, 2),
+                   store_major ? "STORE-major loop order"
+                               : "load-major (conventional)"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading the table: ratio > 1 means the conventional "
+                 "load-major order costs more\ncycles than store-major. "
+                 "With symmetric FRAM the transpose is a wash (ratio "
+                 "1.0);\nwith STT-RAM's ~10x writes, store-major wins "
+                 "decisively (Section VI-A).\n\nWrite-heavy loops "
+                 "(write footprint > read footprint) prefer store-major "
+                 "on every\ntechnology:\n";
+
+    Table heavy({"alpha_B / alpha_load", "FRAM verdict",
+                 "STT-RAM verdict"});
+    for (double write_read : {0.5, 1.0, 2.0, 4.0}) {
+        std::string verdicts[2];
+        int i = 0;
+        for (auto tech : {mem::NvmTech::Fram, mem::NvmTech::SttRam}) {
+            const auto costs = mem::defaultCosts(tech);
+            core::LocalityParams lp;
+            lp.loadRate = 0.1;
+            lp.appStateRate = 0.1 * write_read;
+            lp.loadBandwidth = costs.readBandwidth;
+            lp.backupBandwidth = costs.writeBandwidth;
+            verdicts[i++] = core::storeMajorWins(lp) ? "store-major"
+                                                     : "load-major";
+        }
+        heavy.row({Table::num(write_read, 1), verdicts[0], verdicts[1]});
+    }
+    heavy.print(std::cout);
+    return 0;
+}

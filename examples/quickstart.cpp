@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: describe an intermittent architecture with Table I
+ * parameters, estimate its forward progress, inspect the energy
+ * breakdown, and find the optimal backup period.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace eh;
+
+    // 1. Describe the architecture (units are abstract; only ratios
+    //    matter — see core::msp430Params() for a device-calibrated set).
+    core::Params params;
+    params.energyBudget = 100.0;   // E: energy per active period
+    params.execEnergy = 1.0;       // eps: energy per executed cycle
+    params.backupPeriod = 10.0;    // tau_B: cycles between backups
+    params.backupCost = 1.0;       // Omega_B: joules per byte backed up
+    params.archStateBackup = 1.0;  // A_B: bytes per backup (PC, regs)
+    params.appStateRate = 0.1;     // alpha_B: dirty bytes per cycle
+
+    // 2. Ask the model how much of the energy becomes useful work.
+    core::Model model(params);
+    std::cout << "Forward progress p = "
+              << Table::pct(model.progress()) << " of the energy "
+              << "budget\n\nWhere the energy goes per active period:\n";
+
+    const auto b = model.breakdown();
+    Table table({"component", "energy", "share"});
+    table.row({"forward progress (e_P)", Table::num(b.progressEnergy, 2),
+               Table::pct(b.progressEnergy / params.energyBudget)});
+    table.row({"backups (n_B * e_B)", Table::num(b.backupEnergy, 2),
+               Table::pct(b.backupEnergy / params.energyBudget)});
+    table.row({"dead execution (e_D)", Table::num(b.deadEnergy, 2),
+               Table::pct(b.deadEnergy / params.energyBudget)});
+    table.row({"restore (e_R)", Table::num(b.restoreEnergy, 2),
+               Table::pct(b.restoreEnergy / params.energyBudget)});
+    table.print(std::cout);
+
+    // 3. How often should this system back up?
+    const double tau_opt = core::optimalBackupPeriod(params);
+    const double p_opt =
+        model.withBackupPeriod(tau_opt).progress();
+    std::cout << "\nOptimal backup period (Equation 9): "
+              << Table::num(tau_opt, 1) << " cycles -> p = "
+              << Table::pct(p_opt) << "\n";
+
+    // 4. Designing for tail latency? Use the worst-case optimum.
+    std::cout << "Worst-case optimum (Equation 10):   "
+              << Table::num(core::worstCaseOptimalBackupPeriod(params),
+                            1)
+              << " cycles (always back up more often for tail "
+                 "latency)\n";
+    return 0;
+}

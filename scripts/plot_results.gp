@@ -1,0 +1,80 @@
+# Gnuplot script regenerating the paper-style figures from the CSVs that
+# the bench binaries write into ./results. Run the benches first, then:
+#
+#   gnuplot -e "outdir='results'" scripts/plot_results.gp
+#
+# PNG files land next to the CSVs.
+
+if (!exists("outdir")) outdir = "results"
+set datafile separator ","
+set terminal pngcairo size 900,600 font "sans,11"
+set key outside right
+set grid
+
+# --- Figure 2: progress vs tau_B per backup cost --------------------------
+set output outdir . "/fig02_multibackup_sweep.png"
+set title "Figure 2: progress vs tau_B (multi-backup)"
+set logscale x
+set xlabel "tau_B (cycles)"
+set ylabel "forward progress p"
+plot for [col=2:7] outdir . "/fig02_multibackup_sweep.csv" \
+     using 1:col with linespoints title columnheader(col)
+
+# --- Figure 3: zero architectural state -----------------------------------
+set output outdir . "/fig03_zero_arch_state.png"
+set title "Figure 3: progress vs tau_B, A_B = 0 (no sweet spot)"
+plot for [col=2:7] outdir . "/fig03_zero_arch_state.csv" \
+     using 1:col with linespoints title columnheader(col)
+
+# --- Figure 4: dead-cycle bounds -------------------------------------------
+set output outdir . "/fig04_dead_cycle_bounds.png"
+set title "Figure 4: best/average/worst-case dead cycles"
+plot outdir . "/fig04_dead_cycle_bounds.csv" using 1:2 \
+         with lines lw 2 title "best (tau_D = 0)", \
+     '' using 1:3 with lines lw 2 title "average (tau_D = tau_B/2)", \
+     '' using 1:4 with lines lw 2 title "worst (tau_D = tau_B)"
+
+# --- Figure 5: hardware-validation sweep -----------------------------------
+set output outdir . "/fig05_hw_validation_sweep.png"
+set title "Figure 5: measured progress inside the EH bounds"
+set xlabel "tau_B (ms, hardware-equivalent)"
+plot outdir . "/fig05_hw_validation_sweep.csv" \
+         using 2:6 with lines lt 0 title "model lower bound", \
+     '' using 2:7 with lines lt 0 lw 2 title "model upper bound", \
+     '' using 2:3 with points pt 7 title "measured"
+
+# --- Figure 11: bit-precision benefit --------------------------------------
+set output outdir . "/fig11_bit_precision.png"
+set title "Figure 11: |dp/dalpha_B| vs tau_B (susan on Clank)"
+set xlabel "tau_B (cycles)"
+set ylabel "|dp/dalpha_B|"
+plot for [col=2:6] outdir . "/fig11_bit_precision.csv" \
+     using 1:col with lines lw 2 title columnheader(col)
+
+# --- Circular-buffer case study --------------------------------------------
+set output outdir . "/case_circular_buffer.png"
+set title "Section VI-B: ring size vs tau_B and progress"
+set xlabel "ring slots N"
+set ylabel "measured tau_B (cycles)"
+set y2label "forward progress"
+set y2tics
+set y2range [0:1]
+plot outdir . "/case_circular_buffer.csv" \
+         using 1:3 with linespoints title "measured tau_B", \
+     '' using 1:2 with lines lt 0 title "(N-n+1) tau_store", \
+     '' using 1:4 axes x1y2 with linespoints lw 2 \
+         title "progress (right axis)"
+
+unset y2tics
+unset y2label
+unset logscale x
+
+# --- Break-even table --------------------------------------------------------
+set output outdir . "/tab_breakeven.png"
+set title "Equation 11: dp/de_B vs dp/de_R over tau_B"
+set logscale x
+set xlabel "tau_B (cycles)"
+set ylabel "marginal progress per joule"
+plot outdir . "/tab_breakeven.csv" \
+         using 1:2 with lines lw 2 title "dp/de_B", \
+     '' using 1:3 with lines lw 2 title "dp/de_R"

@@ -1,0 +1,162 @@
+#include "arch/assembler.hh"
+
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace eh::arch {
+
+Assembler::Assembler(std::string program_name)
+    : progName(std::move(program_name))
+{
+}
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    if (labels.count(name))
+        fatalf("Assembler(", progName, "): duplicate label '", name, "'");
+    labels.emplace(name, instrs.size());
+    return *this;
+}
+
+Assembler &
+Assembler::emit(Opcode op, std::uint8_t rd, std::uint8_t ra,
+                std::uint8_t rb, std::int32_t imm)
+{
+    EH_ASSERT(rd < NumRegs && ra < NumRegs && rb < NumRegs,
+              "register index out of range");
+    instrs.push_back(Instruction{op, rd, ra, rb, imm});
+    return *this;
+}
+
+Assembler &
+Assembler::emitBranch(Opcode op, std::uint8_t ra, std::uint8_t rb,
+                      const std::string &target)
+{
+    fixups.emplace_back(instrs.size(), target);
+    return emit(op, 0, ra, rb, 0);
+}
+
+Assembler &Assembler::add(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Add, rd, ra, rb); }
+Assembler &Assembler::sub(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Sub, rd, ra, rb); }
+Assembler &Assembler::mul(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Mul, rd, ra, rb); }
+Assembler &Assembler::divu(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Divu, rd, ra, rb); }
+Assembler &Assembler::remu(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Remu, rd, ra, rb); }
+Assembler &Assembler::and_(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::And, rd, ra, rb); }
+Assembler &Assembler::orr(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Orr, rd, ra, rb); }
+Assembler &Assembler::eor(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Eor, rd, ra, rb); }
+Assembler &Assembler::lsl(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Lsl, rd, ra, rb); }
+Assembler &Assembler::lsr(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Lsr, rd, ra, rb); }
+Assembler &Assembler::asr(Reg rd, Reg ra, Reg rb)
+{ return emit(Opcode::Asr, rd, ra, rb); }
+
+Assembler &Assembler::addi(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::AddI, rd, ra, 0, imm); }
+Assembler &Assembler::subi(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::SubI, rd, ra, 0, imm); }
+Assembler &Assembler::muli(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::MulI, rd, ra, 0, imm); }
+Assembler &Assembler::andi(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::AndI, rd, ra, 0, imm); }
+Assembler &Assembler::orri(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::OrrI, rd, ra, 0, imm); }
+Assembler &Assembler::eori(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::EorI, rd, ra, 0, imm); }
+Assembler &Assembler::lsli(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::LslI, rd, ra, 0, imm); }
+Assembler &Assembler::lsri(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::LsrI, rd, ra, 0, imm); }
+Assembler &Assembler::asri(Reg rd, Reg ra, std::int32_t imm)
+{ return emit(Opcode::AsrI, rd, ra, 0, imm); }
+
+Assembler &Assembler::mov(Reg rd, Reg ra)
+{ return emit(Opcode::Mov, rd, ra); }
+Assembler &Assembler::movi(Reg rd, std::int32_t imm)
+{ return emit(Opcode::MovI, rd, 0, 0, imm); }
+
+Assembler &Assembler::ldb(Reg rd, Reg ra, std::int32_t offset)
+{ return emit(Opcode::Ldb, rd, ra, 0, offset); }
+Assembler &Assembler::ldh(Reg rd, Reg ra, std::int32_t offset)
+{ return emit(Opcode::Ldh, rd, ra, 0, offset); }
+Assembler &Assembler::ldw(Reg rd, Reg ra, std::int32_t offset)
+{ return emit(Opcode::Ldw, rd, ra, 0, offset); }
+Assembler &Assembler::stb(Reg rb, Reg ra, std::int32_t offset)
+{ return emit(Opcode::Stb, 0, ra, rb, offset); }
+Assembler &Assembler::sth(Reg rb, Reg ra, std::int32_t offset)
+{ return emit(Opcode::Sth, 0, ra, rb, offset); }
+Assembler &Assembler::stw(Reg rb, Reg ra, std::int32_t offset)
+{ return emit(Opcode::Stw, 0, ra, rb, offset); }
+
+Assembler &Assembler::b(const std::string &target)
+{ return emitBranch(Opcode::B, 0, 0, target); }
+Assembler &Assembler::beq(Reg ra, Reg rb, const std::string &target)
+{ return emitBranch(Opcode::Beq, ra, rb, target); }
+Assembler &Assembler::bne(Reg ra, Reg rb, const std::string &target)
+{ return emitBranch(Opcode::Bne, ra, rb, target); }
+Assembler &Assembler::blt(Reg ra, Reg rb, const std::string &target)
+{ return emitBranch(Opcode::Blt, ra, rb, target); }
+Assembler &Assembler::bge(Reg ra, Reg rb, const std::string &target)
+{ return emitBranch(Opcode::Bge, ra, rb, target); }
+Assembler &Assembler::bltu(Reg ra, Reg rb, const std::string &target)
+{ return emitBranch(Opcode::Bltu, ra, rb, target); }
+Assembler &Assembler::bgeu(Reg ra, Reg rb, const std::string &target)
+{ return emitBranch(Opcode::Bgeu, ra, rb, target); }
+Assembler &Assembler::call(const std::string &target)
+{ return emitBranch(Opcode::Call, 0, 0, target); }
+Assembler &Assembler::ret()
+{ return emit(Opcode::Ret); }
+
+Assembler &Assembler::checkpoint()
+{ return emit(Opcode::Checkpoint); }
+Assembler &Assembler::sense(Reg rd, Reg ra)
+{ return emit(Opcode::Sense, rd, ra); }
+Assembler &Assembler::halt()
+{ return emit(Opcode::Halt); }
+Assembler &Assembler::nop()
+{ return emit(Opcode::Nop); }
+
+Assembler &
+Assembler::initBytes(std::uint64_t addr, std::vector<std::uint8_t> bytes)
+{
+    inits.push_back({addr, std::move(bytes)});
+    return *this;
+}
+
+Assembler &
+Assembler::initWords(std::uint64_t addr,
+                     const std::vector<std::uint32_t> &words)
+{
+    std::vector<std::uint8_t> bytes(words.size() * 4);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    return initBytes(addr, std::move(bytes));
+}
+
+Program
+Assembler::assemble() const
+{
+    Program prog;
+    prog.name = progName;
+    prog.code = instrs;
+    prog.memInits = inits;
+    for (const auto &[index, target] : fixups) {
+        auto it = labels.find(target);
+        if (it == labels.end())
+            fatalf("Assembler(", progName, "): undefined label '", target,
+                   "'");
+        prog.code[index].imm = static_cast<std::int32_t>(it->second);
+    }
+    return prog;
+}
+
+} // namespace eh::arch

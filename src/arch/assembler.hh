@@ -1,0 +1,129 @@
+/**
+ * @file
+ * In-process assembler DSL for building Programs. Workloads are written
+ * against this builder: each emit method appends one instruction, labels
+ * name instruction positions, and branch/call targets given as labels are
+ * resolved at assemble() time. Initial memory images (arrays, tables,
+ * stacks) are declared with data helpers.
+ */
+
+#ifndef EH_ARCH_ASSEMBLER_HH
+#define EH_ARCH_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/isa.hh"
+
+namespace eh::arch {
+
+/**
+ * Builder for Program values. Methods return *this so instruction
+ * sequences chain. Forward references to labels are permitted; all labels
+ * must be defined by assemble() time.
+ */
+class Assembler
+{
+  public:
+    /** @param program_name Name recorded on the produced Program. */
+    explicit Assembler(std::string program_name);
+
+    // --- Labels ---------------------------------------------------------
+
+    /** Define @p name at the current instruction position. */
+    Assembler &label(const std::string &name);
+
+    // --- ALU ------------------------------------------------------------
+
+    Assembler &add(Reg rd, Reg ra, Reg rb);
+    Assembler &sub(Reg rd, Reg ra, Reg rb);
+    Assembler &mul(Reg rd, Reg ra, Reg rb);
+    Assembler &divu(Reg rd, Reg ra, Reg rb);
+    Assembler &remu(Reg rd, Reg ra, Reg rb);
+    Assembler &and_(Reg rd, Reg ra, Reg rb);
+    Assembler &orr(Reg rd, Reg ra, Reg rb);
+    Assembler &eor(Reg rd, Reg ra, Reg rb);
+    Assembler &lsl(Reg rd, Reg ra, Reg rb);
+    Assembler &lsr(Reg rd, Reg ra, Reg rb);
+    Assembler &asr(Reg rd, Reg ra, Reg rb);
+
+    Assembler &addi(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &subi(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &muli(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &andi(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &orri(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &eori(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &lsli(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &lsri(Reg rd, Reg ra, std::int32_t imm);
+    Assembler &asri(Reg rd, Reg ra, std::int32_t imm);
+
+    Assembler &mov(Reg rd, Reg ra);
+    Assembler &movi(Reg rd, std::int32_t imm);
+
+    // --- Memory ----------------------------------------------------------
+
+    Assembler &ldb(Reg rd, Reg ra, std::int32_t offset = 0);
+    Assembler &ldh(Reg rd, Reg ra, std::int32_t offset = 0);
+    Assembler &ldw(Reg rd, Reg ra, std::int32_t offset = 0);
+    Assembler &stb(Reg rb, Reg ra, std::int32_t offset = 0);
+    Assembler &sth(Reg rb, Reg ra, std::int32_t offset = 0);
+    Assembler &stw(Reg rb, Reg ra, std::int32_t offset = 0);
+
+    // --- Control flow ----------------------------------------------------
+
+    Assembler &b(const std::string &target);
+    Assembler &beq(Reg ra, Reg rb, const std::string &target);
+    Assembler &bne(Reg ra, Reg rb, const std::string &target);
+    Assembler &blt(Reg ra, Reg rb, const std::string &target);
+    Assembler &bge(Reg ra, Reg rb, const std::string &target);
+    Assembler &bltu(Reg ra, Reg rb, const std::string &target);
+    Assembler &bgeu(Reg ra, Reg rb, const std::string &target);
+    Assembler &call(const std::string &target);
+    Assembler &ret();
+
+    // --- Intermittence & misc ---------------------------------------------
+
+    Assembler &checkpoint();
+    Assembler &sense(Reg rd, Reg ra);
+    Assembler &halt();
+    Assembler &nop();
+
+    // --- Data images -------------------------------------------------------
+
+    /** Declare raw initial bytes at an absolute address. */
+    Assembler &initBytes(std::uint64_t addr,
+                         std::vector<std::uint8_t> bytes);
+
+    /** Declare initial little-endian 32-bit words at an address. */
+    Assembler &initWords(std::uint64_t addr,
+                         const std::vector<std::uint32_t> &words);
+
+    // --- Finalize ------------------------------------------------------------
+
+    /** Current instruction index (for computed targets in tests). */
+    std::size_t here() const { return instrs.size(); }
+
+    /**
+     * Resolve labels and produce the Program.
+     * @throws FatalError on undefined or duplicate labels.
+     */
+    Program assemble() const;
+
+  private:
+    Assembler &emit(Opcode op, std::uint8_t rd = 0, std::uint8_t ra = 0,
+                    std::uint8_t rb = 0, std::int32_t imm = 0);
+    Assembler &emitBranch(Opcode op, std::uint8_t ra, std::uint8_t rb,
+                          const std::string &target);
+
+    std::string progName;
+    std::vector<Instruction> instrs;
+    std::vector<std::pair<std::size_t, std::string>> fixups;
+    std::unordered_map<std::string, std::size_t> labels;
+    std::vector<Program::MemInit> inits;
+};
+
+} // namespace eh::arch
+
+#endif // EH_ARCH_ASSEMBLER_HH

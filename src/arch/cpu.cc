@@ -1,0 +1,333 @@
+#include "arch/cpu.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace eh::arch {
+
+CostModel
+CostModel::msp430()
+{
+    CostModel c;
+    c.execEnergyPerCycle = 65.625; // 1.05 mW / 16 MHz in pJ
+    c.memEnergyPerCycle = 75.0;    // 1.20 mW / 16 MHz in pJ
+    c.senseEnergyPerCycle = 90.0;
+    return c;
+}
+
+CostModel
+CostModel::cortexM0()
+{
+    CostModel c;
+    c.execEnergyPerCycle = 147.0; // ~49 uA/MHz at 3.0 V
+    c.memEnergyPerCycle = 168.0;
+    c.senseEnergyPerCycle = 190.0;
+    c.mulCycles = 1; // M0+ single-cycle multiplier option
+    c.divCycles = 17; // software divide
+    return c;
+}
+
+Cpu::Cpu(const Program &program, mem::AddressSpace &memory,
+         const CostModel &costs)
+    : prog(program), mem(memory), cost(costs)
+{
+    if (prog.code.empty())
+        fatalf("Cpu: program '", prog.name, "' has no instructions");
+}
+
+void
+Cpu::applyMemInits()
+{
+    for (const auto &init : prog.memInits)
+        mem.write(init.addr, init.bytes.data(), init.bytes.size());
+}
+
+void
+Cpu::reset()
+{
+    regs.fill(0);
+    pcValue = 0;
+    isHalted = false;
+    poisoned = false;
+}
+
+void
+Cpu::setPc(std::uint64_t pc)
+{
+    pcValue = pc;
+}
+
+std::uint32_t
+Cpu::reg(unsigned index) const
+{
+    EH_ASSERT(index < NumRegs, "register index out of range");
+    return regs[index];
+}
+
+void
+Cpu::setReg(unsigned index, std::uint32_t value)
+{
+    EH_ASSERT(index < NumRegs, "register index out of range");
+    regs[index] = value;
+}
+
+namespace {
+
+std::uint32_t
+accessBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldb:
+      case Opcode::Stb:
+        return 1;
+      case Opcode::Ldh:
+      case Opcode::Sth:
+        return 2;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+MemPeek
+Cpu::peek() const
+{
+    MemPeek p;
+    if (isHalted || pcValue >= prog.code.size())
+        return p;
+    const Instruction &in = prog.code[pcValue];
+    p.op = in.op;
+    const InstrClass cls = classify(in.op);
+    if (cls != InstrClass::Load && cls != InstrClass::Store)
+        return p;
+    p.isMem = true;
+    p.isStore = (cls == InstrClass::Store);
+    p.addr = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(regs[in.ra]) + in.imm);
+    p.bytes = accessBytes(in.op);
+    p.nonvolatile = mem.isNonvolatile(p.addr);
+    return p;
+}
+
+double
+Cpu::classEnergy(InstrClass cls, std::uint64_t cycles) const
+{
+    double rate;
+    switch (cls) {
+      case InstrClass::Load:
+      case InstrClass::Store:
+        rate = cost.memEnergyPerCycle;
+        break;
+      case InstrClass::Sense:
+        rate = cost.senseEnergyPerCycle;
+        break;
+      default:
+        rate = cost.execEnergyPerCycle;
+        break;
+    }
+    return rate * static_cast<double>(cycles);
+}
+
+std::uint32_t
+Cpu::aluOp(const Instruction &in) const
+{
+    const std::uint32_t a = regs[in.ra];
+    const std::uint32_t b = regs[in.rb];
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+    switch (in.op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::Divu: return b == 0 ? UINT32_MAX : a / b;
+      case Opcode::Remu: return b == 0 ? a : a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Orr: return a | b;
+      case Opcode::Eor: return a ^ b;
+      case Opcode::Lsl: return b >= 32 ? 0 : a << b;
+      case Opcode::Lsr: return b >= 32 ? 0 : a >> b;
+      case Opcode::Asr: {
+        const auto sa = static_cast<std::int32_t>(a);
+        const std::uint32_t sh = b >= 31 ? 31 : b;
+        return static_cast<std::uint32_t>(sa >> sh);
+      }
+      case Opcode::AddI: return a + imm;
+      case Opcode::SubI: return a - imm;
+      case Opcode::MulI: return a * imm;
+      case Opcode::AndI: return a & imm;
+      case Opcode::OrrI: return a | imm;
+      case Opcode::EorI: return a ^ imm;
+      case Opcode::LslI: return imm >= 32 ? 0 : a << imm;
+      case Opcode::LsrI: return imm >= 32 ? 0 : a >> imm;
+      case Opcode::AsrI: {
+        const auto sa = static_cast<std::int32_t>(a);
+        const std::int32_t sh = in.imm >= 31 ? 31 : in.imm;
+        return static_cast<std::uint32_t>(sa >> sh);
+      }
+      case Opcode::Mov: return a;
+      case Opcode::MovI: return imm;
+      case Opcode::Nop: return regs[in.rd];
+      default:
+        panic("aluOp called on non-ALU opcode");
+    }
+}
+
+StepResult
+Cpu::step()
+{
+    if (isHalted)
+        panic("Cpu::step on a halted CPU");
+    if (poisoned)
+        panic("Cpu::step after power failure without a restore");
+    if (pcValue >= prog.code.size())
+        panicf("Cpu::step: pc ", pcValue, " out of range for program '",
+               prog.name, "' (", prog.code.size(), " instructions)");
+
+    const Instruction &in = prog.code[pcValue];
+    const InstrClass cls = classify(in.op);
+    StepResult r;
+    r.cls = cls;
+    ++executed;
+
+    std::uint64_t next_pc = pcValue + 1;
+    switch (cls) {
+      case InstrClass::Alu:
+        r.cycles = cost.aluCycles;
+        regs[in.rd] = aluOp(in);
+        break;
+      case InstrClass::Mul:
+        r.cycles = cost.mulCycles;
+        regs[in.rd] = aluOp(in);
+        break;
+      case InstrClass::Div:
+        r.cycles = cost.divCycles;
+        regs[in.rd] = aluOp(in);
+        break;
+      case InstrClass::Load: {
+        r.cycles = cost.memCycles;
+        r.isMem = true;
+        r.memAddr = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(regs[in.ra]) + in.imm);
+        r.memBytes = accessBytes(in.op);
+        std::uint32_t value = 0;
+        const auto access = mem.read(r.memAddr, &value, r.memBytes);
+        r.memNonvolatile = access.nonvolatile;
+        r.cycles += access.cycles;
+        regs[in.rd] = value;
+        r.energy = classEnergy(cls, r.cycles) + access.energy;
+        break;
+      }
+      case InstrClass::Store: {
+        r.cycles = cost.memCycles;
+        r.isMem = true;
+        r.memIsStore = true;
+        r.memAddr = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(regs[in.ra]) + in.imm);
+        r.memBytes = accessBytes(in.op);
+        const std::uint32_t value = regs[in.rb];
+        const auto access = mem.write(r.memAddr, &value, r.memBytes);
+        r.memNonvolatile = access.nonvolatile;
+        r.cycles += access.cycles;
+        r.energy = classEnergy(cls, r.cycles) + access.energy;
+        break;
+      }
+      case InstrClass::Branch: {
+        r.cycles = cost.branchCycles;
+        const std::uint32_t a = regs[in.ra];
+        const std::uint32_t b = regs[in.rb];
+        const auto sa = static_cast<std::int32_t>(a);
+        const auto sb = static_cast<std::int32_t>(b);
+        bool taken = false;
+        switch (in.op) {
+          case Opcode::B: taken = true; break;
+          case Opcode::Beq: taken = a == b; break;
+          case Opcode::Bne: taken = a != b; break;
+          case Opcode::Blt: taken = sa < sb; break;
+          case Opcode::Bge: taken = sa >= sb; break;
+          case Opcode::Bltu: taken = a < b; break;
+          case Opcode::Bgeu: taken = a >= b; break;
+          default: panic("bad branch opcode");
+        }
+        if (taken)
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        break;
+      }
+      case InstrClass::Call:
+        r.cycles = cost.callCycles;
+        if (in.op == Opcode::Call) {
+            regs[LR] = static_cast<std::uint32_t>(pcValue + 1);
+            next_pc = static_cast<std::uint64_t>(in.imm);
+        } else { // Ret
+            next_pc = regs[LR];
+        }
+        break;
+      case InstrClass::Sense:
+        r.cycles = cost.senseCycles;
+        regs[in.rd] = sensorValue(regs[in.ra]);
+        break;
+      case InstrClass::Checkpoint:
+        r.cycles = cost.checkpointCycles;
+        r.checkpointRequested = true;
+        break;
+      case InstrClass::Halt:
+        r.cycles = cost.haltCycles;
+        r.halted = true;
+        isHalted = true;
+        next_pc = pcValue; // stay put; the simulator stops stepping
+        break;
+    }
+
+    if (r.energy == 0.0)
+        r.energy = classEnergy(cls, r.cycles);
+    pcValue = next_pc;
+    return r;
+}
+
+void
+Cpu::saveArchState(std::uint8_t *out) const
+{
+    std::memcpy(out, regs.data(), NumRegs * 4);
+    const auto pc32 = static_cast<std::uint32_t>(pcValue);
+    std::memcpy(out + NumRegs * 4, &pc32, 4);
+}
+
+void
+Cpu::loadArchState(const std::uint8_t *in)
+{
+    std::memcpy(regs.data(), in, NumRegs * 4);
+    std::uint32_t pc32;
+    std::memcpy(&pc32, in + NumRegs * 4, 4);
+    pcValue = pc32;
+    poisoned = false;
+    isHalted = false;
+}
+
+void
+Cpu::powerFail()
+{
+    regs.fill(0xA5A5A5A5u);
+    pcValue = UINT64_MAX;
+    poisoned = true;
+    isHalted = false;
+}
+
+std::uint32_t
+Cpu::sensorValue(std::uint32_t index)
+{
+    // Slow triangular wave (period 256) plus hash noise, clamped to a
+    // 10-bit ADC range. Pure function of the index: replayable.
+    const std::uint32_t phase = index & 0xFF;
+    const std::uint32_t tri =
+        phase < 128 ? phase * 6 : (255 - phase) * 6; // 0..762
+    std::uint32_t h = index * 0x9E3779B9u;
+    h ^= h >> 16;
+    h *= 0x85EBCA6Bu;
+    h ^= h >> 13;
+    const std::uint32_t noise = h % 61; // 0..60
+    const std::uint32_t value = 130 + tri + noise;
+    return value > 1023 ? 1023 : value;
+}
+
+} // namespace eh::arch

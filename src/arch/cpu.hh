@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Interpreter core for the register machine. Executes one fully decoded
+ * instruction per step(), charging cycles and energy per instruction
+ * class (the paper's MSP430 measurements distinguish memory instructions
+ * at 1.2 mW from everything else at 1.05 mW). Architectural state — the
+ * register file and program counter — is volatile: a power failure
+ * poisons it, and it must be re-loaded from a checkpoint before stepping
+ * again, exactly the backup/restore discipline the EH model prices.
+ */
+
+#ifndef EH_ARCH_CPU_HH
+#define EH_ARCH_CPU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/isa.hh"
+#include "mem/address_space.hh"
+
+namespace eh::arch {
+
+/** Per-class cycle counts and per-cycle energies (model units, pJ). */
+struct CostModel
+{
+    double execEnergyPerCycle = 65.625; ///< non-memory instructions
+    double memEnergyPerCycle = 75.0;    ///< load/store instructions
+    double senseEnergyPerCycle = 90.0;  ///< active sensor peripheral
+
+    std::uint32_t aluCycles = 1;
+    std::uint32_t mulCycles = 3;
+    std::uint32_t divCycles = 12;
+    std::uint32_t memCycles = 2;
+    std::uint32_t branchCycles = 2;
+    std::uint32_t callCycles = 3;
+    std::uint32_t senseCycles = 8;
+    std::uint32_t checkpointCycles = 1;
+    std::uint32_t haltCycles = 1;
+
+    /** MSP430FR5994-class costs at 16 MHz (paper Section V-A). */
+    static CostModel msp430();
+
+    /** Cortex-M0+-class costs (Clank platform, Section V-B). */
+    static CostModel cortexM0();
+};
+
+/** What one executed instruction cost and touched. */
+struct StepResult
+{
+    InstrClass cls = InstrClass::Alu;
+    std::uint64_t cycles = 0;
+    double energy = 0.0;
+    bool isMem = false;
+    bool memIsStore = false;
+    bool memNonvolatile = false;
+    std::uint64_t memAddr = 0;
+    std::uint32_t memBytes = 0;
+    bool checkpointRequested = false; ///< a CHECKPOINT op executed
+    bool halted = false;              ///< a HALT op executed
+};
+
+/** Pre-execution view of the next instruction's memory behaviour. */
+struct MemPeek
+{
+    bool isMem = false;
+    bool isStore = false;
+    std::uint64_t addr = 0;
+    std::uint32_t bytes = 0;
+    bool nonvolatile = false;
+    Opcode op = Opcode::Nop;
+};
+
+/**
+ * The register machine. Owns the architectural state; memory is external
+ * (an AddressSpace reference) so backup policies and simulators can see
+ * every access.
+ */
+class Cpu
+{
+  public:
+    /** Serialized architectural state: 16 registers + PC, in bytes. */
+    static constexpr std::size_t archStateBytes = NumRegs * 4 + 4;
+
+    /**
+     * @param program Code to execute (held by reference; must outlive
+     *                the Cpu).
+     * @param memory  Backing memory map.
+     * @param costs   Cycle/energy cost model.
+     */
+    Cpu(const Program &program, mem::AddressSpace &memory,
+        const CostModel &costs);
+
+    /** Apply the program's initial memory images (done once, pre-run). */
+    void applyMemInits();
+
+    /** Reset architectural state to the program entry (pc 0, regs 0). */
+    void reset();
+
+    /** Current program counter (instruction index). */
+    std::uint64_t pc() const { return pcValue; }
+
+    /** Overwrite the program counter. */
+    void setPc(std::uint64_t pc);
+
+    /** Read register @p index. */
+    std::uint32_t reg(unsigned index) const;
+
+    /** Write register @p index. */
+    void setReg(unsigned index, std::uint32_t value);
+
+    /** True once a HALT instruction has executed. */
+    bool halted() const { return isHalted; }
+
+    /** Memory behaviour of the next instruction, without executing it. */
+    MemPeek peek() const;
+
+    /**
+     * Execute the instruction at pc.
+     * @throws PanicError if the CPU is halted or pc is out of range
+     *         (indicates a simulator bug, e.g. a missing restore).
+     */
+    StepResult step();
+
+    /** Lifetime executed-instruction count (includes re-execution). */
+    std::uint64_t instructionsExecuted() const { return executed; }
+
+    /** Serialize registers + pc into @p out (archStateBytes bytes). */
+    void saveArchState(std::uint8_t *out) const;
+
+    /** Load registers + pc from @p in (archStateBytes bytes). */
+    void loadArchState(const std::uint8_t *in);
+
+    /**
+     * Power failure: poison all volatile architectural state. The next
+     * step() without a loadArchState() panics by construction.
+     */
+    void powerFail();
+
+    /**
+     * Deterministic synthetic sensor: a pure function of the sample
+     * index, so re-execution after a restore observes identical values.
+     * Produces a plausible 10-bit ADC-style signal (slow wave + noise).
+     */
+    static std::uint32_t sensorValue(std::uint32_t index);
+
+    /** Program under execution. */
+    const Program &program() const { return prog; }
+
+    /** Cost model in force. */
+    const CostModel &costs() const { return cost; }
+
+  private:
+    double classEnergy(InstrClass cls, std::uint64_t cycles) const;
+    std::uint32_t aluOp(const Instruction &in) const;
+
+    const Program &prog;
+    mem::AddressSpace &mem;
+    CostModel cost;
+    std::array<std::uint32_t, NumRegs> regs{};
+    std::uint64_t pcValue = 0;
+    bool isHalted = false;
+    bool poisoned = false;
+    std::uint64_t executed = 0;
+};
+
+} // namespace eh::arch
+
+#endif // EH_ARCH_CPU_HH

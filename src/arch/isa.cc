@@ -1,0 +1,207 @@
+#include "arch/isa.hh"
+
+#include <sstream>
+
+#include "util/panic.hh"
+
+namespace eh::arch {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Divu: return "divu";
+      case Opcode::Remu: return "remu";
+      case Opcode::And: return "and";
+      case Opcode::Orr: return "orr";
+      case Opcode::Eor: return "eor";
+      case Opcode::Lsl: return "lsl";
+      case Opcode::Lsr: return "lsr";
+      case Opcode::Asr: return "asr";
+      case Opcode::AddI: return "addi";
+      case Opcode::SubI: return "subi";
+      case Opcode::MulI: return "muli";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrrI: return "orri";
+      case Opcode::EorI: return "eori";
+      case Opcode::LslI: return "lsli";
+      case Opcode::LsrI: return "lsri";
+      case Opcode::AsrI: return "asri";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovI: return "movi";
+      case Opcode::Ldb: return "ldb";
+      case Opcode::Ldh: return "ldh";
+      case Opcode::Ldw: return "ldw";
+      case Opcode::Stb: return "stb";
+      case Opcode::Sth: return "sth";
+      case Opcode::Stw: return "stw";
+      case Opcode::B: return "b";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Checkpoint: return "checkpoint";
+      case Opcode::Sense: return "sense";
+      case Opcode::Halt: return "halt";
+    }
+    panic("invalid opcode");
+}
+
+InstrClass
+classify(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Orr:
+      case Opcode::Eor:
+      case Opcode::Lsl:
+      case Opcode::Lsr:
+      case Opcode::Asr:
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrrI:
+      case Opcode::EorI:
+      case Opcode::LslI:
+      case Opcode::LsrI:
+      case Opcode::AsrI:
+      case Opcode::Mov:
+      case Opcode::MovI:
+        return InstrClass::Alu;
+      case Opcode::Mul:
+      case Opcode::MulI:
+        return InstrClass::Mul;
+      case Opcode::Divu:
+      case Opcode::Remu:
+        return InstrClass::Div;
+      case Opcode::Ldb:
+      case Opcode::Ldh:
+      case Opcode::Ldw:
+        return InstrClass::Load;
+      case Opcode::Stb:
+      case Opcode::Sth:
+      case Opcode::Stw:
+        return InstrClass::Store;
+      case Opcode::B:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return InstrClass::Branch;
+      case Opcode::Call:
+      case Opcode::Ret:
+        return InstrClass::Call;
+      case Opcode::Checkpoint:
+        return InstrClass::Checkpoint;
+      case Opcode::Sense:
+        return InstrClass::Sense;
+      case Opcode::Halt:
+        return InstrClass::Halt;
+    }
+    panic("invalid opcode");
+}
+
+std::string
+disassemble(const Instruction &in)
+{
+    std::ostringstream oss;
+    oss << opcodeName(in.op);
+    auto reg = [](std::uint8_t r) {
+        return "r" + std::to_string(static_cast<int>(r));
+    };
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Ret:
+      case Opcode::Checkpoint:
+      case Opcode::Halt:
+        break;
+      case Opcode::Mov:
+        oss << ' ' << reg(in.rd) << ", " << reg(in.ra);
+        break;
+      case Opcode::MovI:
+        oss << ' ' << reg(in.rd) << ", " << in.imm;
+        break;
+      case Opcode::Sense:
+        oss << ' ' << reg(in.rd) << ", " << reg(in.ra);
+        break;
+      case Opcode::Ldb:
+      case Opcode::Ldh:
+      case Opcode::Ldw:
+        oss << ' ' << reg(in.rd) << ", [" << reg(in.ra) << " + "
+            << in.imm << ']';
+        break;
+      case Opcode::Stb:
+      case Opcode::Sth:
+      case Opcode::Stw:
+        oss << ' ' << reg(in.rb) << ", [" << reg(in.ra) << " + "
+            << in.imm << ']';
+        break;
+      case Opcode::B:
+      case Opcode::Call:
+        oss << " -> " << in.imm;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        oss << ' ' << reg(in.ra) << ", " << reg(in.rb) << " -> "
+            << in.imm;
+        break;
+      default: // register-register and register-immediate ALU forms
+        switch (classify(in.op)) {
+          case InstrClass::Alu:
+          case InstrClass::Mul:
+          case InstrClass::Div:
+            // Immediate forms carry their operand in imm; the canonical
+            // reg-reg forms use rb. The AsrI/LslI/etc. mnemonics already
+            // distinguish them, so print whichever operand applies.
+            oss << ' ' << reg(in.rd) << ", " << reg(in.ra) << ", ";
+            if (in.op == Opcode::AddI || in.op == Opcode::SubI ||
+                in.op == Opcode::MulI || in.op == Opcode::AndI ||
+                in.op == Opcode::OrrI || in.op == Opcode::EorI ||
+                in.op == Opcode::LslI || in.op == Opcode::LsrI ||
+                in.op == Opcode::AsrI) {
+                oss << in.imm;
+            } else {
+                oss << reg(in.rb);
+            }
+            break;
+          default:
+            panic("unhandled opcode in disassembler");
+        }
+    }
+    return oss.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream oss;
+    oss << "; program '" << program.name << "', "
+        << program.code.size() << " instructions\n";
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        oss << i << ":\t" << disassemble(program.code[i]) << '\n';
+    }
+    for (const auto &init : program.memInits) {
+        oss << "; image: " << init.bytes.size() << " bytes at address "
+            << init.addr << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace eh::arch

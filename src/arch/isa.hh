@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Instruction set of the repository's small load/store register machine.
+ * The machine is deliberately Cortex-M0+/MSP430-flavoured: 16 x 32-bit
+ * registers, simple ALU ops, byte/half/word memory accesses, and two
+ * intermittent-computing primitives — CHECKPOINT (a program-induced backup
+ * point, as used by Mementos checkpoints and DINO/Chain task boundaries)
+ * and SENSE (a deterministic synthetic peripheral read).
+ *
+ * Instructions are stored decoded (one struct per instruction) and the
+ * program counter indexes the instruction array; there is no binary
+ * encoding because nothing in the paper depends on one.
+ */
+
+#ifndef EH_ARCH_ISA_HH
+#define EH_ARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eh::arch {
+
+/** Register names. r13 = stack pointer, r14 = link register by ABI. */
+enum Reg : std::uint8_t
+{
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12,
+    SP = 13,
+    LR = 14,
+    R15 = 15,
+    NumRegs = 16
+};
+
+/** Opcodes. Suffix I = immediate operand. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    // ALU register-register: rd = ra OP rb
+    Add, Sub, Mul, Divu, Remu, And, Orr, Eor, Lsl, Lsr, Asr,
+    // ALU register-immediate: rd = ra OP imm
+    AddI, SubI, MulI, AndI, OrrI, EorI, LslI, LsrI, AsrI,
+    // Moves
+    Mov,  ///< rd = ra
+    MovI, ///< rd = imm (full 32-bit immediate)
+    // Memory: rd/rb vs [ra + imm]
+    Ldb, Ldh, Ldw, ///< load 1/2/4 bytes (zero-extended) into rd
+    Stb, Sth, Stw, ///< store low 1/2/4 bytes of rb
+    // Control flow; target = instruction index (via imm)
+    B,                        ///< unconditional
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, ///< compare ra, rb
+    Call, ///< LR = pc + 1; pc = target
+    Ret,  ///< pc = LR
+    // Intermittent-computing primitives
+    Checkpoint, ///< program-induced backup point (Mementos / DINO)
+    Sense,      ///< rd = synthetic sensor sample indexed by ra
+    Halt
+};
+
+/** Printable opcode mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** Coarse instruction classes used for cost accounting. */
+enum class InstrClass
+{
+    Alu,
+    Mul,
+    Div,
+    Load,
+    Store,
+    Branch,
+    Call,
+    Sense,
+    Checkpoint,
+    Halt
+};
+
+/** Classify an opcode for cost purposes. */
+InstrClass classify(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t ra = 0;
+    std::uint8_t rb = 0;
+    std::int32_t imm = 0; ///< immediate operand or branch target index
+};
+
+/**
+ * A complete executable image: code plus initial memory contents applied
+ * once before the first active period (initialization is assumed to be
+ * programmed into the device, not paid for at runtime).
+ */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+
+    /** One initial-memory region. */
+    struct MemInit
+    {
+        std::uint64_t addr;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::vector<MemInit> memInits;
+
+    /** Number of instructions. */
+    std::size_t size() const { return code.size(); }
+};
+
+/** Render one instruction as assembly-like text ("add r3, r1, r2"). */
+std::string disassemble(const Instruction &instruction);
+
+/**
+ * Render a whole program as an indexed listing (one instruction per
+ * line, prefixed with its instruction index so branch targets can be
+ * followed), plus a summary of its initial memory images.
+ */
+std::string disassemble(const Program &program);
+
+} // namespace eh::arch
+
+#endif // EH_ARCH_ISA_HH

@@ -1,0 +1,132 @@
+#include "arch/tracker.hh"
+
+#include <algorithm>
+
+#include "util/panic.hh"
+
+namespace eh::arch {
+
+const char *
+backupTriggerName(BackupTrigger trigger)
+{
+    switch (trigger) {
+      case BackupTrigger::None:
+        return "none";
+      case BackupTrigger::Violation:
+        return "violation";
+      case BackupTrigger::BufferOverflow:
+        return "overflow";
+      case BackupTrigger::Watchdog:
+        return "watchdog";
+    }
+    panic("invalid backup trigger");
+}
+
+IdempotencyTracker::IdempotencyTracker(std::size_t read_entries,
+                                       std::size_t write_entries,
+                                       std::uint64_t watchdog_cycles)
+    : readCapacity(read_entries), writeCapacity(write_entries),
+      watchdog(watchdog_cycles)
+{
+    if (readCapacity == 0 || writeCapacity == 0)
+        fatalf("IdempotencyTracker: buffer capacities must be > 0");
+    if (watchdog == 0)
+        fatalf("IdempotencyTracker: watchdog period must be > 0");
+    readFirst.reserve(readCapacity);
+    writeFirst.reserve(writeCapacity);
+}
+
+std::uint64_t
+IdempotencyTracker::firstWord(std::uint64_t addr)
+{
+    return addr >> 2;
+}
+
+std::uint64_t
+IdempotencyTracker::lastWord(std::uint64_t addr, std::uint32_t bytes)
+{
+    return (addr + (bytes ? bytes - 1 : 0)) >> 2;
+}
+
+bool
+IdempotencyTracker::inBuffer(const std::vector<std::uint64_t> &buffer,
+                             std::uint64_t word) const
+{
+    return std::find(buffer.begin(), buffer.end(), word) != buffer.end();
+}
+
+BackupTrigger
+IdempotencyTracker::onLoad(std::uint64_t addr, std::uint32_t bytes)
+{
+    ++counters.loadsObserved;
+    for (std::uint64_t w = firstWord(addr); w <= lastWord(addr, bytes);
+         ++w) {
+        // Reading data this region already wrote first is harmless:
+        // re-execution will rewrite it before re-reading it.
+        if (inBuffer(writeFirst, w) || inBuffer(readFirst, w))
+            continue;
+        if (readFirst.size() >= readCapacity) {
+            ++counters.overflows;
+            return BackupTrigger::BufferOverflow;
+        }
+        readFirst.push_back(w);
+    }
+    return BackupTrigger::None;
+}
+
+BackupTrigger
+IdempotencyTracker::onStore(std::uint64_t addr, std::uint32_t bytes)
+{
+    ++counters.storesObserved;
+    const bool whole_words = (addr % 4 == 0) && (bytes % 4 == 0);
+    for (std::uint64_t w = firstWord(addr); w <= lastWord(addr, bytes);
+         ++w) {
+        if (inBuffer(readFirst, w)) {
+            // WAR hazard: this store would make the region non-idempotent.
+            ++counters.violations;
+            return BackupTrigger::Violation;
+        }
+        if (inBuffer(writeFirst, w))
+            continue;
+        // Sub-word stores are not recorded as write-first: the word's
+        // untouched bytes were not written, so a later read of them must
+        // still count as read-first (conservative-safe).
+        if (!whole_words)
+            continue;
+        if (writeFirst.size() >= writeCapacity) {
+            ++counters.overflows;
+            return BackupTrigger::BufferOverflow;
+        }
+        writeFirst.push_back(w);
+    }
+    return BackupTrigger::None;
+}
+
+BackupTrigger
+IdempotencyTracker::tick(std::uint64_t cycles)
+{
+    sinceBackup += cycles;
+    if (sinceBackup >= watchdog) {
+        ++counters.watchdogFirings;
+        return BackupTrigger::Watchdog;
+    }
+    return BackupTrigger::None;
+}
+
+void
+IdempotencyTracker::reset()
+{
+    readFirst.clear();
+    writeFirst.clear();
+    sinceBackup = 0;
+}
+
+void
+IdempotencyTracker::setWatchdogPeriod(std::uint64_t cycles)
+{
+    if (cycles == 0)
+        fatalf("IdempotencyTracker: watchdog period must be > 0");
+    watchdog = cycles;
+}
+
+} // namespace eh::arch

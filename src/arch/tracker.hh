@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Clank-style idempotency tracker (Section V-B). Clank detects when a
+ * store would break the idempotency of the code executed since the last
+ * checkpoint — i.e., a store to a nonvolatile location that has been read
+ * since that checkpoint (a WAR hazard) — and forces a backup *before* the
+ * store commits, so that re-execution from the checkpoint observes the
+ * same memory values.
+ *
+ * The tracker mirrors the paper's configuration: an 8-entry read-first
+ * buffer, an 8-entry write-first buffer, and an 8000-cycle watchdog timer
+ * that forces a backup when no violation occurs.
+ *
+ * Granularity: entries are 32-bit-word addresses. Sub-word stores do NOT
+ * populate the write-first buffer (a later read of the word's other bytes
+ * would otherwise be wrongly treated as reading-own-write); this is the
+ * conservative-safe direction — it can only cause extra backups, never a
+ * missed violation.
+ */
+
+#ifndef EH_ARCH_TRACKER_HH
+#define EH_ARCH_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eh::arch {
+
+/** Why the tracker demands a backup. */
+enum class BackupTrigger
+{
+    None,           ///< keep executing
+    Violation,      ///< idempotency (WAR) violation: back up pre-store
+    BufferOverflow, ///< tracking buffer full: cannot prove idempotency
+    Watchdog        ///< watchdog period elapsed without a violation
+};
+
+/** Printable trigger name. */
+const char *backupTriggerName(BackupTrigger trigger);
+
+/** Counters accumulated by the tracker. */
+struct TrackerStats
+{
+    std::uint64_t loadsObserved = 0;
+    std::uint64_t storesObserved = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t watchdogFirings = 0;
+};
+
+/**
+ * Detection logic. The simulator consults onLoad/onStore with each
+ * nonvolatile access *before* executing it, and advances the watchdog
+ * with tick(). A non-None result obliges the caller to perform a backup
+ * (and then reset()) before letting the access proceed.
+ */
+class IdempotencyTracker
+{
+  public:
+    /**
+     * @param read_entries     Read-first buffer capacity (> 0).
+     * @param write_entries    Write-first buffer capacity (> 0).
+     * @param watchdog_cycles  Cycles between forced backups (> 0).
+     */
+    IdempotencyTracker(std::size_t read_entries = 8,
+                       std::size_t write_entries = 8,
+                       std::uint64_t watchdog_cycles = 8000);
+
+    /**
+     * A load of @p bytes at @p addr (nonvolatile) is about to execute.
+     * @return BufferOverflow if the read-first buffer cannot track it.
+     */
+    BackupTrigger onLoad(std::uint64_t addr, std::uint32_t bytes);
+
+    /**
+     * A store of @p bytes at @p addr (nonvolatile) is about to execute.
+     * @return Violation if the target was read since the last backup;
+     *         BufferOverflow if the write-first buffer cannot track it.
+     */
+    BackupTrigger onStore(std::uint64_t addr, std::uint32_t bytes);
+
+    /**
+     * Advance the watchdog by @p cycles.
+     * @return Watchdog when the period has elapsed since the last reset.
+     */
+    BackupTrigger tick(std::uint64_t cycles);
+
+    /** A backup committed: clear both buffers and restart the watchdog. */
+    void reset();
+
+    /** Counters so far. */
+    const TrackerStats &stats() const { return counters; }
+
+    /** Cycles since the last reset (watchdog position). */
+    std::uint64_t cyclesSinceBackup() const { return sinceBackup; }
+
+    /** Watchdog period in force. */
+    std::uint64_t watchdogPeriod() const { return watchdog; }
+
+    /** Change the watchdog period (takes effect immediately). */
+    void setWatchdogPeriod(std::uint64_t cycles);
+
+  private:
+    static std::uint64_t firstWord(std::uint64_t addr);
+    static std::uint64_t lastWord(std::uint64_t addr,
+                                  std::uint32_t bytes);
+    bool inBuffer(const std::vector<std::uint64_t> &buffer,
+                  std::uint64_t word) const;
+
+    std::size_t readCapacity;
+    std::size_t writeCapacity;
+    std::uint64_t watchdog;
+    std::vector<std::uint64_t> readFirst;
+    std::vector<std::uint64_t> writeFirst;
+    std::uint64_t sinceBackup = 0;
+    TrackerStats counters;
+};
+
+} // namespace eh::arch
+
+#endif // EH_ARCH_TRACKER_HH

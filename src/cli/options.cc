@@ -1,0 +1,110 @@
+#include "cli/options.hh"
+
+#include <cstdlib>
+
+#include "util/panic.hh"
+
+namespace eh::cli {
+
+Options
+Options::parse(const std::vector<std::string> &args)
+{
+    Options o;
+    std::size_t i = 0;
+    if (!args.empty() && args[0].rfind("--", 0) != 0) {
+        o.command = args[0];
+        i = 1;
+    }
+    for (; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0)
+            fatalf("unexpected argument '", arg,
+                   "' (flags use --name value)");
+        if (i + 1 >= args.size())
+            fatalf("flag '", arg, "' is missing its value");
+        o.flags[arg.substr(2)] = args[i + 1];
+        ++i;
+    }
+    return o;
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    const auto it = flags.find(name);
+    if (it != flags.end())
+        consumed[name] = true;
+    return it != flags.end();
+}
+
+std::string
+Options::get(const std::string &name, const std::string &fallback) const
+{
+    const auto it = flags.find(name);
+    if (it == flags.end())
+        return fallback;
+    consumed[name] = true;
+    return it->second;
+}
+
+double
+Options::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = flags.find(name);
+    if (it == flags.end())
+        return fallback;
+    consumed[name] = true;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatalf("flag --", name, " expects a number, got '", it->second,
+               "'");
+    return value;
+}
+
+std::vector<std::string>
+Options::unusedFlags() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[name, value] : flags) {
+        (void)value;
+        if (!consumed.count(name))
+            unused.push_back(name);
+    }
+    return unused;
+}
+
+core::Params
+paramsFromOptions(const Options &options)
+{
+    const std::string preset = options.get("preset", "illustrative");
+    core::Params p;
+    if (preset == "illustrative")
+        p = core::illustrativeParams();
+    else if (preset == "msp430")
+        p = core::msp430Params(options.getDouble("period-s", 0.25));
+    else if (preset == "cortexm0")
+        p = core::cortexM0Params();
+    else if (preset == "nvp")
+        p = core::nvpParams();
+    else
+        fatalf("unknown preset '", preset,
+               "' (illustrative | msp430 | cortexm0 | nvp)");
+
+    p.energyBudget = options.getDouble("E", p.energyBudget);
+    p.execEnergy = options.getDouble("eps", p.execEnergy);
+    p.chargeEnergy = options.getDouble("epsC", p.chargeEnergy);
+    p.backupPeriod = options.getDouble("tauB", p.backupPeriod);
+    p.backupBandwidth = options.getDouble("sigmaB", p.backupBandwidth);
+    p.backupCost = options.getDouble("OmegaB", p.backupCost);
+    p.archStateBackup = options.getDouble("AB", p.archStateBackup);
+    p.appStateRate = options.getDouble("alphaB", p.appStateRate);
+    p.restoreBandwidth = options.getDouble("sigmaR", p.restoreBandwidth);
+    p.restoreCost = options.getDouble("OmegaR", p.restoreCost);
+    p.archStateRestore = options.getDouble("AR", p.archStateRestore);
+    p.appRestoreRate = options.getDouble("alphaR", p.appRestoreRate);
+    p.validate();
+    return p;
+}
+
+} // namespace eh::cli

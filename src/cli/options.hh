@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Command-line option parsing for the eh_explore tool. Flags use
+ * `--name value` syntax; model parameters follow Table I's notation
+ * (--E, --eps, --tauB, --OmegaB, ...) on top of a device preset.
+ * Parsing lives in the library so it is unit-testable.
+ */
+
+#ifndef EH_CLI_OPTIONS_HH
+#define EH_CLI_OPTIONS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/params.hh"
+
+namespace eh::cli {
+
+/** Parsed command line: one subcommand plus `--flag value` pairs. */
+class Options
+{
+  public:
+    /**
+     * Parse argv (excluding argv[0]).
+     * @throws FatalError on a flag without a value or an argument that
+     *         is neither the first positional (subcommand) nor a flag.
+     */
+    static Options parse(const std::vector<std::string> &args);
+
+    /** The leading positional argument; empty if none. */
+    const std::string &subcommand() const { return command; }
+
+    /** True when --name was supplied. */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p fallback. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /**
+     * Numeric value of --name, or @p fallback.
+     * @throws FatalError if the value does not parse as a double.
+     */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Flags that were supplied but never read (typo detection). */
+    std::vector<std::string> unusedFlags() const;
+
+  private:
+    std::string command;
+    std::map<std::string, std::string> flags;
+    mutable std::map<std::string, bool> consumed;
+};
+
+/**
+ * Build Table I parameters from options: start from --preset
+ * (illustrative | msp430 | cortexm0 | nvp; default illustrative), then
+ * apply any explicit overrides (--E, --eps, --epsC, --tauB, --sigmaB,
+ * --OmegaB, --AB, --alphaB, --sigmaR, --OmegaR, --AR, --alphaR).
+ * @throws FatalError on unknown presets or invalid final parameters.
+ */
+core::Params paramsFromOptions(const Options &options);
+
+} // namespace eh::cli
+
+#endif // EH_CLI_OPTIONS_HH

@@ -1,0 +1,64 @@
+#include "core/calibration.hh"
+
+#include <cmath>
+
+#include "core/model.hh"
+#include "util/panic.hh"
+
+namespace eh::core {
+
+Params
+observedToParams(const ObservedBehavior &obs)
+{
+    if (!(obs.energyPerPeriod > 0.0))
+        fatalf("observedToParams: energy per period must be > 0 for '",
+               obs.name, "'");
+    if (!(obs.execEnergy > 0.0))
+        fatalf("observedToParams: execution energy must be > 0 for '",
+               obs.name, "'");
+    if (!(obs.meanBackupPeriod > 0.0))
+        fatalf("observedToParams: mean backup period must be > 0 for '",
+               obs.name, "'");
+
+    Params p;
+    p.energyBudget = obs.energyPerPeriod;
+    p.execEnergy = obs.execEnergy;
+    p.chargeEnergy = obs.chargeEnergy;
+    p.backupPeriod = obs.meanBackupPeriod;
+    p.backupBandwidth = obs.backupBandwidth;
+    p.backupCost = obs.backupCost;
+    p.archStateBackup = obs.archStateBytes;
+    p.appStateRate = obs.meanAppStateRate;
+    p.restoreBandwidth = obs.restoreBandwidth;
+    p.restoreCost = obs.restoreCost;
+    p.archStateRestore = obs.restoreStateBytes > 0.0
+                             ? obs.restoreStateBytes
+                             : obs.archStateBytes;
+    p.appRestoreRate = 0.0;
+    p.validate();
+    return p;
+}
+
+CalibratedPrediction
+predictFromObservation(const ObservedBehavior &obs)
+{
+    CalibratedPrediction out;
+    out.params = observedToParams(obs);
+    Model model(out.params);
+    // Dead time cannot exceed the whole period; otherwise take the
+    // observation as-is (energy-equivalent dead cycles may exceed the
+    // mean backup spacing when aborted backups dominate).
+    const double tau_d =
+        std::min(obs.meanDeadCycles,
+                 obs.energyPerPeriod / obs.execEnergy);
+    out.predictedProgress = model.progressAt(tau_d);
+    out.measuredProgress = obs.measuredProgress;
+    out.relativeError =
+        obs.measuredProgress > 0.0
+            ? std::abs(out.predictedProgress - obs.measuredProgress) /
+                  obs.measuredProgress
+            : 0.0;
+    return out;
+}
+
+} // namespace eh::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bridge between substrate measurements and the analytical model
+ * (Section V). A simulator (or hardware harness) observes how a workload
+ * behaved — mean time between backups, mean dead cycles, mean application
+ * state per cycle, per-period energy — and calibration turns those
+ * observations into a Params instance plus a model prediction that can be
+ * compared against the measured forward progress (Figure 6).
+ */
+
+#ifndef EH_CORE_CALIBRATION_HH
+#define EH_CORE_CALIBRATION_HH
+
+#include <string>
+
+#include "core/params.hh"
+
+namespace eh::core {
+
+/**
+ * What a substrate actually measured for one workload/architecture pair.
+ * Produced by eh::sim::SimStats::observe(); consumed here so that the core
+ * library stays independent of the simulator.
+ */
+struct ObservedBehavior
+{
+    std::string name;            ///< workload or experiment label
+    /** Mean energy consumed per active period. When produced by a
+     * simulator this already includes any energy harvested *during* the
+     * period, so chargeEnergy should then stay 0 — setting both
+     * double-counts the charging. Use a nonzero chargeEnergy only when
+     * energyPerPeriod is the initial capacitor budget alone. */
+    double energyPerPeriod = 0;
+    double execEnergy = 0;       ///< epsilon used by the platform
+    double chargeEnergy = 0;     ///< epsilon_C during active periods
+    double meanBackupPeriod = 0; ///< observed mean tau_B (cycles)
+    double meanDeadCycles = 0;   ///< observed mean tau_D (cycles)
+    double meanAppStateRate = 0; ///< observed alpha_B (bytes/cycle)
+    double archStateBytes = 0;   ///< A_B charged per backup
+    /** Bytes charged per restore (A_R); 0 = same as archStateBytes.
+     * Policies that restore a volatile payload (Mementos, DINO,
+     * Hibernus) report arch + payload here. */
+    double restoreStateBytes = 0;
+    double backupCost = 0;       ///< Omega_B of the NVM used
+    double restoreCost = 0;      ///< Omega_R of the NVM used
+    double backupBandwidth = 1;  ///< sigma_B
+    double restoreBandwidth = 1; ///< sigma_R
+    double measuredProgress = 0; ///< measured p, for error reporting
+};
+
+/** A calibrated prediction next to the measurement it explains. */
+struct CalibratedPrediction
+{
+    Params params;            ///< model inputs derived from observation
+    double predictedProgress; ///< p from the model at the observed tau_D
+    double measuredProgress;  ///< p the substrate measured
+    double relativeError;     ///< |pred - meas| / meas (0 if meas == 0)
+};
+
+/** Build Table I parameters from an observation. */
+Params observedToParams(const ObservedBehavior &obs);
+
+/**
+ * Model prediction using the observed dead-cycle count rather than the
+ * tau_B/2 average — this is how Section V scores the model against
+ * hardware.
+ */
+CalibratedPrediction predictFromObservation(const ObservedBehavior &obs);
+
+} // namespace eh::core
+
+#endif // EH_CORE_CALIBRATION_HH

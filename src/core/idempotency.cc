@@ -1,0 +1,74 @@
+#include "core/idempotency.hh"
+
+#include <cmath>
+
+#include "core/optimum.hh"
+#include "util/panic.hh"
+
+namespace eh::core {
+
+double
+violationStoreInterval(double buffer_slots, double array_elems,
+                       double writeback_slots)
+{
+    if (!(array_elems > 0.0))
+        fatalf("violationStoreInterval: array must be non-empty, got ",
+               array_elems);
+    if (buffer_slots < array_elems)
+        fatalf("violationStoreInterval: buffer (", buffer_slots,
+               ") cannot be smaller than the array (", array_elems, ")");
+    if (writeback_slots < 0.0)
+        fatalf("violationStoreInterval: write-back depth must be >= 0");
+    // N - n + 1 stores between violations (Section VI-B), extended by the
+    // write-back buffer depth per footnote 4.
+    return buffer_slots - array_elems + 1.0 + writeback_slots;
+}
+
+double
+violationCycleInterval(double buffer_slots, double array_elems,
+                       double store_period, double writeback_slots)
+{
+    if (!(store_period > 0.0))
+        fatalf("violationCycleInterval: store period must be > 0, got ",
+               store_period);
+    return violationStoreInterval(buffer_slots, array_elems,
+                                  writeback_slots) *
+           store_period;
+}
+
+double
+optimalCircularBufferSize(double array_elems, double store_period,
+                          double optimal_period, double writeback_slots)
+{
+    if (!(array_elems > 0.0))
+        fatalf("optimalCircularBufferSize: array must be non-empty");
+    if (!(store_period > 0.0))
+        fatalf("optimalCircularBufferSize: store period must be > 0");
+    if (optimal_period < 0.0)
+        fatalf("optimalCircularBufferSize: optimal period must be >= 0");
+    if (writeback_slots < 0.0)
+        fatalf("optimalCircularBufferSize: write-back depth must be >= 0");
+    // Equation 15: (N - n + 1 + w) * tau_store = tau_B,opt.
+    const double n_opt =
+        optimal_period / store_period + array_elems - 1.0 -
+        writeback_slots;
+    // A buffer can never be smaller than the array it holds.
+    return std::max(n_opt, array_elems);
+}
+
+std::size_t
+recommendedBufferSlots(const Params &params, double array_elems,
+                       double store_period, double writeback_slots)
+{
+    const double tau_opt = optimalBackupPeriod(params);
+    const double exact = optimalCircularBufferSize(
+        array_elems, store_period, tau_opt, writeback_slots);
+    // Round up to a power of two so circular indexing is a cheap mask
+    // (footnote 3 of the paper).
+    std::size_t slots = 1;
+    while (static_cast<double>(slots) < exact)
+        slots <<= 1;
+    return slots;
+}
+
+} // namespace eh::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Circular-buffer idempotency tuning (Section VI-B, Equation 15).
+ *
+ * On Clank-style architectures, backups are triggered by idempotency
+ * violations (a store to a location read since the last backup). Storing
+ * program arrays in circular buffers postpones those violations: with a
+ * buffer of N slots holding an n-element array, a violation occurs only
+ * every N - n + 1 stores (plus the write-back buffer depth w). These
+ * routines size the buffer so the violation interval matches the model's
+ * optimal backup period.
+ */
+
+#ifndef EH_CORE_IDEMPOTENCY_HH
+#define EH_CORE_IDEMPOTENCY_HH
+
+#include <cstddef>
+
+#include "core/params.hh"
+
+namespace eh::core {
+
+/**
+ * Average number of stores to the array between idempotency violations for
+ * a circular buffer of @p buffer_slots holding an @p array_elems -element
+ * array, with a @p writeback_slots -deep write-back buffer (footnote 4).
+ * buffer_slots == array_elems is the conventional (unbuffered) case.
+ */
+double violationStoreInterval(double buffer_slots, double array_elems,
+                              double writeback_slots = 0.0);
+
+/**
+ * Cycles between idempotency violations given the average cycles between
+ * store instructions (tau_store, obtained by profiling).
+ */
+double violationCycleInterval(double buffer_slots, double array_elems,
+                              double store_period,
+                              double writeback_slots = 0.0);
+
+/**
+ * Equation 15 solved for N: the circular-buffer size whose violation
+ * interval equals tau_B,opt:
+ *
+ *     N_opt = tau_B,opt / tau_store + n - 1 - w
+ *
+ * The result is continuous; callers typically round up to a power of two
+ * so the modulo indexing stays cheap (footnote 3).
+ *
+ * @param array_elems     n — logical array length.
+ * @param store_period    tau_store — average cycles between stores (> 0).
+ * @param optimal_period  tau_B,opt from optimalBackupPeriod().
+ * @param writeback_slots w — Clank write-back buffer depth.
+ */
+double optimalCircularBufferSize(double array_elems, double store_period,
+                                 double optimal_period,
+                                 double writeback_slots = 0.0);
+
+/**
+ * Convenience: compute tau_B,opt from @p params (Equation 9) and size the
+ * buffer in one step, rounded up to the next power of two.
+ */
+std::size_t recommendedBufferSlots(const Params &params,
+                                   double array_elems, double store_period,
+                                   double writeback_slots = 0.0);
+
+} // namespace eh::core
+
+#endif // EH_CORE_IDEMPOTENCY_HH

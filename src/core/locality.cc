@@ -1,0 +1,89 @@
+#include "core/locality.hh"
+
+#include "util/panic.hh"
+
+namespace eh::core {
+
+void
+LocalityParams::validate() const
+{
+    if (!(blockBytes > 0.0))
+        fatalf("LocalityParams: block size must be > 0, got ", blockBytes);
+    if (!(loadBytes > 0.0) || loadBytes > blockBytes)
+        fatalf("LocalityParams: load width must be in (0, block], got ",
+               loadBytes);
+    if (!(storeBytes > 0.0) || storeBytes > blockBytes)
+        fatalf("LocalityParams: store width must be in (0, block], got ",
+               storeBytes);
+    if (loadRate < 0.0)
+        fatalf("LocalityParams: load rate must be >= 0, got ", loadRate);
+    if (!(loadBandwidth > 0.0))
+        fatalf("LocalityParams: load bandwidth must be > 0, got ",
+               loadBandwidth);
+    if (appStateRate < 0.0)
+        fatalf("LocalityParams: app state rate must be >= 0, got ",
+               appStateRate);
+    if (!(backupBandwidth > 0.0))
+        fatalf("LocalityParams: backup bandwidth must be > 0, got ",
+               backupBandwidth);
+    if (progressCycles < 0.0)
+        fatalf("LocalityParams: progress cycles must be >= 0, got ",
+               progressCycles);
+    if (!(backupPeriod > 0.0))
+        fatalf("LocalityParams: backup period must be > 0, got ",
+               backupPeriod);
+    if (backupCount < 0.0)
+        fatalf("LocalityParams: backup count must be >= 0, got ",
+               backupCount);
+}
+
+double
+loadMajorOverStoreMajorRatio(const LocalityParams &lp)
+{
+    lp.validate();
+    const double block_per_store = lp.blockBytes / lp.storeBytes;
+    const double block_per_load = lp.blockBytes / lp.loadBytes;
+    const double backup_bytes =
+        lp.backupCount * lp.appStateRate * lp.backupPeriod;
+
+    // Equation 13. Load-major: every load hits after the first in a block
+    // (footprint alpha_load * tau_P), but each store dirties a whole block
+    // so backup traffic inflates by beta_block / beta_store. Store-major is
+    // the mirror image.
+    const double load_major =
+        lp.loadRate * lp.progressCycles / lp.loadBandwidth +
+        block_per_store * backup_bytes / lp.backupBandwidth;
+    const double store_major =
+        block_per_load * lp.loadRate * lp.progressCycles /
+            lp.loadBandwidth +
+        backup_bytes / lp.backupBandwidth;
+    EH_ASSERT(store_major > 0.0,
+              "store-major overhead must be positive; check rates");
+    return load_major / store_major;
+}
+
+double
+dirtyToLoadFootprintRatio(const LocalityParams &lp)
+{
+    lp.validate();
+    const double store_blocks =
+        lp.appStateRate * (lp.blockBytes / lp.storeBytes - 1.0);
+    const double load_blocks =
+        lp.loadRate * (lp.blockBytes / lp.loadBytes - 1.0);
+    if (load_blocks <= 0.0) {
+        // No load-footprint inflation to recover: store-major can only win
+        // on backup traffic, which the caller should treat as +infinity.
+        return store_blocks > 0.0 ? 1e300 : 0.0;
+    }
+    return store_blocks / load_blocks;
+}
+
+bool
+storeMajorWins(const LocalityParams &lp)
+{
+    // Equation 14.
+    return dirtyToLoadFootprintRatio(lp) >
+           lp.backupBandwidth / lp.loadBandwidth;
+}
+
+} // namespace eh::core

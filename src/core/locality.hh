@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Store-major locality case study (Section VI-A, Equations 13–14).
+ *
+ * On intermittent architectures with volatile caches, dirty blocks must be
+ * flushed to nonvolatile memory on every backup, so store locality — not
+ * load locality — can dominate. These routines quantify when reordering a
+ * loop nest from load-major to store-major order pays off.
+ */
+
+#ifndef EH_CORE_LOCALITY_HH
+#define EH_CORE_LOCALITY_HH
+
+namespace eh::core {
+
+/** Inputs of the Section VI-A analysis. */
+struct LocalityParams
+{
+    /** beta_block — cache block size in bytes. Must be > 0. */
+    double blockBytes = 16.0;
+    /** beta_load — bytes read per load instruction. (0, blockBytes]. */
+    double loadBytes = 4.0;
+    /** beta_store — bytes written per store instruction. (0, blockBytes]. */
+    double storeBytes = 4.0;
+    /** alpha_load — average bytes loaded per cycle by the application. */
+    double loadRate = 0.1;
+    /** sigma_load — NVM read bandwidth in bytes/cycle. Must be > 0. */
+    double loadBandwidth = 1.0;
+    /** alpha_B — dirty application state per cycle (store-major case). */
+    double appStateRate = 0.1;
+    /** sigma_B — NVM backup bandwidth in bytes/cycle. Must be > 0. */
+    double backupBandwidth = 1.0;
+    /** tau_P — forward-progress cycles in the period considered. */
+    double progressCycles = 10000.0;
+    /** tau_B — cycles between backups. Must be > 0. */
+    double backupPeriod = 1000.0;
+    /** n_B — number of backups in the period considered. */
+    double backupCount = 10.0;
+
+    /** @throws FatalError on any domain violation. */
+    void validate() const;
+};
+
+/**
+ * Equation 13: ratio of memory-overhead cycles with load-major ordering to
+ * store-major ordering. Values above 1 mean store-major wins.
+ */
+double loadMajorOverStoreMajorRatio(const LocalityParams &lp);
+
+/**
+ * Left-hand side of Equation 14: the ratio of unique dirty blocks backed
+ * up to unique blocks loaded. Store-major ordering improves performance
+ * when this exceeds backupBandwidth / loadBandwidth.
+ */
+double dirtyToLoadFootprintRatio(const LocalityParams &lp);
+
+/**
+ * Equation 14 as a predicate: should the programmer transform the loop to
+ * store-major order?
+ */
+bool storeMajorWins(const LocalityParams &lp);
+
+} // namespace eh::core
+
+#endif // EH_CORE_LOCALITY_HH

@@ -1,0 +1,169 @@
+#include "core/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/panic.hh"
+
+namespace eh::core {
+
+Model::Model(const Params &params) : p_(params)
+{
+    p_.validate();
+}
+
+double
+Model::effectiveBackupCostPerByte() const
+{
+    return p_.backupCost - p_.chargeEnergy / p_.backupBandwidth;
+}
+
+double
+Model::effectiveRestoreCostPerByte() const
+{
+    return p_.restoreCost - p_.chargeEnergy / p_.restoreBandwidth;
+}
+
+double
+Model::backupEnergyPerBackup() const
+{
+    return backupEnergyPerBackup(p_.backupPeriod);
+}
+
+double
+Model::backupEnergyPerBackup(double tau_b) const
+{
+    EH_ASSERT(tau_b > 0.0, "backup period must be positive");
+    return effectiveBackupCostPerByte() *
+           (p_.archStateBackup + p_.appStateRate * tau_b);
+}
+
+double
+Model::deadEnergy(double tau_d) const
+{
+    EH_ASSERT(tau_d >= 0.0, "dead cycles cannot be negative");
+    return (p_.execEnergy - p_.chargeEnergy) * tau_d;
+}
+
+double
+Model::restoreEnergy(double tau_d) const
+{
+    EH_ASSERT(tau_d >= 0.0, "dead cycles cannot be negative");
+    return effectiveRestoreCostPerByte() *
+           (p_.archStateRestore + p_.appRestoreRate * tau_d);
+}
+
+double
+Model::progressCycles(double tau_d) const
+{
+    // Solve Equation 1 for tau_P with n_B = tau_P / tau_B:
+    //   E - e_D - e_R = (eps - epsC) tau_P + (tau_P / tau_B) e_B
+    const double available =
+        p_.energyBudget - deadEnergy(tau_d) - restoreEnergy(tau_d);
+    if (available <= 0.0)
+        return 0.0;
+    const double per_cycle = (p_.execEnergy - p_.chargeEnergy) +
+                             backupEnergyPerBackup() / p_.backupPeriod;
+    EH_ASSERT(per_cycle > 0.0,
+              "net per-cycle consumption must be positive for a finite "
+              "active period");
+    return available / per_cycle;
+}
+
+double
+Model::progressAt(double tau_d) const
+{
+    return p_.execEnergy * progressCycles(tau_d) / p_.energyBudget;
+}
+
+double
+Model::progress(DeadCycleMode mode) const
+{
+    switch (mode) {
+      case DeadCycleMode::Average:
+        return progressAt(p_.backupPeriod / 2.0);
+      case DeadCycleMode::BestCase:
+        return progressAt(0.0);
+      case DeadCycleMode::WorstCase:
+        return progressAt(p_.backupPeriod);
+    }
+    panic("unreachable dead-cycle mode");
+}
+
+double
+Model::singleBackupProgress() const
+{
+    // Equation 12: tau_B = tau_P and tau_D = 0. The single backup saves
+    // the fixed architectural state once plus application state accrued
+    // over the whole period.
+    const double eff_b = effectiveBackupCostPerByte();
+    const double e_r = restoreEnergy(0.0);
+    const double available =
+        p_.energyBudget - eff_b * p_.archStateBackup - e_r;
+    if (available <= 0.0)
+        return 0.0;
+    const double per_cycle = (p_.execEnergy - p_.chargeEnergy) +
+                             eff_b * p_.appStateRate;
+    EH_ASSERT(per_cycle > 0.0,
+              "net per-cycle consumption must be positive");
+    const double tau_p = available / per_cycle;
+    return p_.execEnergy * tau_p / p_.energyBudget;
+}
+
+EnergyBreakdown
+Model::breakdown(DeadCycleMode mode) const
+{
+    switch (mode) {
+      case DeadCycleMode::Average:
+        return breakdownAt(p_.backupPeriod / 2.0);
+      case DeadCycleMode::BestCase:
+        return breakdownAt(0.0);
+      case DeadCycleMode::WorstCase:
+        return breakdownAt(p_.backupPeriod);
+    }
+    panic("unreachable dead-cycle mode");
+}
+
+EnergyBreakdown
+Model::breakdownAt(double tau_d) const
+{
+    EnergyBreakdown b;
+    b.deadCycles = tau_d;
+    b.progressCycles = progressCycles(tau_d);
+    b.backupCount = b.progressCycles / p_.backupPeriod;
+    b.progressEnergy =
+        (p_.execEnergy - p_.chargeEnergy) * b.progressCycles;
+    b.backupEnergy = b.backupCount * backupEnergyPerBackup();
+    b.deadEnergy = deadEnergy(tau_d);
+    b.restoreEnergy = restoreEnergy(tau_d);
+    if (b.progressCycles == 0.0) {
+        // Infeasible period: the one-time costs exceed E, so the period
+        // spends what it actually has — the restore first, the rest on
+        // execution that is never saved. Clamp to the physical budget.
+        b.restoreEnergy = std::min(b.restoreEnergy, p_.energyBudget);
+        b.deadEnergy = std::min(b.deadEnergy,
+                                p_.energyBudget - b.restoreEnergy);
+    }
+    b.progress = p_.execEnergy * b.progressCycles / p_.energyBudget;
+    b.residual = p_.energyBudget - (b.progressEnergy + b.backupEnergy +
+                                    b.deadEnergy + b.restoreEnergy);
+    return b;
+}
+
+Model
+Model::withBackupPeriod(double tau_b) const
+{
+    Params q = p_;
+    q.backupPeriod = tau_b;
+    return Model(q);
+}
+
+Model
+Model::withAppStateRate(double alpha_b) const
+{
+    Params q = p_;
+    q.appStateRate = alpha_b;
+    return Model(q);
+}
+
+} // namespace eh::core

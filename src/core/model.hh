@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The EH model proper (Section III): forward-progress estimation for
+ * intermittent processor architectures from the energy balance
+ *
+ *     E = e_P + n_B * e_B + e_D + e_R                      (Equation 1)
+ *
+ * The implementation exposes both the paper's closed forms (Equations 8 and
+ * 12) and a general solver that accepts an arbitrary dead-cycle count
+ * tau_D, which yields the best-case / worst-case progress bounds of
+ * Section IV-A2 and the calibrated predictions of Section V.
+ */
+
+#ifndef EH_CORE_MODEL_HH
+#define EH_CORE_MODEL_HH
+
+#include "core/params.hh"
+
+namespace eh::core {
+
+/** How the model chooses the dead-cycle count tau_D (Equation 6). */
+enum class DeadCycleMode
+{
+    Average,  ///< tau_D = tau_B / 2 (Equation 6; used by Equation 8)
+    BestCase, ///< tau_D = 0 (a backup lands exactly at period end)
+    WorstCase ///< tau_D = tau_B (period ends just before the next backup)
+};
+
+/**
+ * Full per-active-period energy decomposition produced by the model.
+ * All energies are in the same units as Params::energyBudget.
+ */
+struct EnergyBreakdown
+{
+    double progressCycles; ///< tau_P — cycles of forward progress
+    double deadCycles;     ///< tau_D used for this evaluation
+    double backupCount;    ///< n_B = tau_P / tau_B (continuous)
+    double progressEnergy; ///< e_P (net of charging, Equation 2)
+    double backupEnergy;   ///< n_B * e_B total (Equation 4)
+    double deadEnergy;     ///< e_D (Equation 5)
+    double restoreEnergy;  ///< e_R (Equation 7)
+    double progress;       ///< p = epsilon * tau_P / E
+
+    /**
+     * Residual of Equation 1: E - (e_P + n_B e_B + e_D + e_R). Zero (to
+     * rounding) whenever progress is positive; may be positive when the
+     * period is infeasible (tau_P clamped at zero).
+     */
+    double residual;
+};
+
+/**
+ * Evaluates the EH model for a parameter set. The object is cheap to copy
+ * and stateless beyond its Params; all queries are const.
+ */
+class Model
+{
+  public:
+    /**
+     * @param params Validated on construction.
+     * @throws FatalError if params violate Table I domains.
+     */
+    explicit Model(const Params &params);
+
+    /** The parameters this model instance evaluates. */
+    const Params &params() const { return p_; }
+
+    // --- Component energies (Section III) -----------------------------
+
+    /**
+     * Effective backup cost per byte: Omega_B - epsilon_C / sigma_B.
+     * Charging during a backup's duration offsets part of its cost
+     * (Equation 4).
+     */
+    double effectiveBackupCostPerByte() const;
+
+    /** Effective restore cost per byte: Omega_R - epsilon_C / sigma_R. */
+    double effectiveRestoreCostPerByte() const;
+
+    /** e_B — energy of one backup at the configured tau_B (Equation 4). */
+    double backupEnergyPerBackup() const;
+
+    /** e_B for an explicit backup period (used by sweeps). */
+    double backupEnergyPerBackup(double tau_b) const;
+
+    /** e_D — dead energy for a given dead-cycle count (Equation 5). */
+    double deadEnergy(double tau_d) const;
+
+    /** e_R — restore energy for a given dead-cycle count (Equation 7). */
+    double restoreEnergy(double tau_d) const;
+
+    // --- Forward progress ----------------------------------------------
+
+    /**
+     * tau_P — cycles of forward progress for an explicit tau_D, obtained
+     * by solving Equation 1. Clamped at zero when the period's one-time
+     * costs already exceed E (all execution is dead).
+     */
+    double progressCycles(double tau_d) const;
+
+    /**
+     * p — fraction of E spent on forward progress for an explicit tau_D.
+     * Equals Equation 8 when tau_d = tau_B / 2. May exceed 1 when
+     * charging during the active period adds energy beyond E.
+     */
+    double progressAt(double tau_d) const;
+
+    /** p under a dead-cycle mode (Equation 6 / Section IV-A2 bounds). */
+    double progress(DeadCycleMode mode = DeadCycleMode::Average) const;
+
+    /**
+     * p for a single-backup architecture (Equation 12): exactly one
+     * backup of architectural state triggered just before power loss
+     * (tau_B = tau_P, tau_D = 0), as in Hibernus-style designs.
+     */
+    double singleBackupProgress() const;
+
+    /**
+     * Full energy decomposition for a dead-cycle mode; the breakdown's
+     * residual documents Equation 1's balance.
+     */
+    EnergyBreakdown breakdown(DeadCycleMode mode =
+                                  DeadCycleMode::Average) const;
+
+    /** Breakdown at an explicit tau_D. */
+    EnergyBreakdown breakdownAt(double tau_d) const;
+
+    /**
+     * Convenience: re-evaluate with a different backup period, leaving all
+     * other parameters unchanged.
+     */
+    Model withBackupPeriod(double tau_b) const;
+
+    /** Convenience: re-evaluate with a different application-state rate. */
+    Model withAppStateRate(double alpha_b) const;
+
+  private:
+    Params p_;
+};
+
+} // namespace eh::core
+
+#endif // EH_CORE_MODEL_HH

@@ -1,0 +1,84 @@
+#include "core/monitoring.hh"
+
+#include "core/model.hh"
+#include "util/panic.hh"
+
+namespace eh::core {
+
+void
+MonitorConfig::validate() const
+{
+    if (!(checkPeriod > 0.0))
+        fatalf("MonitorConfig: check period must be > 0, got ",
+               checkPeriod);
+    if (checkEnergy < 0.0)
+        fatalf("MonitorConfig: check energy must be >= 0, got ",
+               checkEnergy);
+}
+
+double
+singleBackupProgressWithMonitoring(const Params &params,
+                                   const MonitorConfig &monitor)
+{
+    params.validate();
+    monitor.validate();
+    // Monitoring adds checkEnergy / checkPeriod to every executed
+    // cycle's burn rate; the energy balance of Equation 12 becomes
+    //   E = (eps_net + m) tau_P + eff_B (A_B + alpha_B tau_P) + e_R
+    // with m the per-cycle monitoring rate.
+    const double monitor_rate = monitor.checkEnergy / monitor.checkPeriod;
+    Model model(params);
+    const double eff_b = model.effectiveBackupCostPerByte();
+    const double e_r = model.restoreEnergy(0.0);
+    const double available =
+        params.energyBudget - eff_b * params.archStateBackup - e_r;
+    if (available <= 0.0)
+        return 0.0;
+    const double per_cycle = (params.execEnergy - params.chargeEnergy) +
+                             monitor_rate +
+                             eff_b * params.appStateRate;
+    EH_ASSERT(per_cycle > 0.0, "net per-cycle consumption must be "
+                               "positive");
+    const double tau_p = available / per_cycle;
+    return params.execEnergy * tau_p / params.energyBudget;
+}
+
+double
+monitoringOverheadShare(const Params &params,
+                        const MonitorConfig &monitor)
+{
+    params.validate();
+    monitor.validate();
+    const double monitor_rate = monitor.checkEnergy / monitor.checkPeriod;
+    Model model(params);
+    const double eff_b = model.effectiveBackupCostPerByte();
+    const double e_r = model.restoreEnergy(0.0);
+    const double available =
+        params.energyBudget - eff_b * params.archStateBackup - e_r;
+    if (available <= 0.0)
+        return 0.0;
+    const double per_cycle = (params.execEnergy - params.chargeEnergy) +
+                             monitor_rate +
+                             eff_b * params.appStateRate;
+    const double tau_p = available / per_cycle;
+    return monitor_rate * tau_p / params.energyBudget;
+}
+
+double
+maxSafeMonitorPeriod(const Params &params, double reserve_fraction)
+{
+    params.validate();
+    if (!(reserve_fraction > 0.0) || reserve_fraction >= 1.0)
+        fatalf("maxSafeMonitorPeriod: reserve fraction must be in "
+               "(0, 1), got ",
+               reserve_fraction);
+    // One missed check period burns (eps - eps_C) * period of energy
+    // past the threshold; the period may be at most large enough that
+    // this overshoot still leaves the reserve intact. Budgeting half
+    // the reserve for overshoot:
+    const double overshoot_budget =
+        0.5 * reserve_fraction * params.energyBudget;
+    return overshoot_budget / (params.execEnergy - params.chargeEnergy);
+}
+
+} // namespace eh::core

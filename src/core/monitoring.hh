@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Single-backup monitoring overhead (Section IV-B). Hibernus-class
+ * systems watch the supply with an ADC to time their one backup; the
+ * paper notes this monitoring can cost up to 40% of the energy budget.
+ * Equation 12 omits that cost; these routines extend it so architects
+ * can trade monitoring frequency (risk of missing the dip) against its
+ * energy overhead.
+ */
+
+#ifndef EH_CORE_MONITORING_HH
+#define EH_CORE_MONITORING_HH
+
+#include "core/params.hh"
+
+namespace eh::core {
+
+/** Supply-monitoring (ADC) configuration of a single-backup system. */
+struct MonitorConfig
+{
+    /** Cycles between supply checks. Must be > 0. */
+    double checkPeriod = 64.0;
+    /** Energy per check (same units as Params energies). Must be >= 0. */
+    double checkEnergy = 0.0;
+
+    /** @throws FatalError on domain violations. */
+    void validate() const;
+};
+
+/**
+ * Equation 12 extended with monitoring: every checkPeriod cycles of
+ * execution also costs checkEnergy of ADC sampling, which inflates the
+ * effective per-cycle burn rate. Returns the forward-progress fraction.
+ */
+double singleBackupProgressWithMonitoring(const Params &params,
+                                          const MonitorConfig &monitor);
+
+/**
+ * Fraction of the energy budget consumed by monitoring alone under the
+ * same assumptions — the number the paper quotes "up to 40%" for.
+ */
+double monitoringOverheadShare(const Params &params,
+                               const MonitorConfig &monitor);
+
+/**
+ * The slowest (largest-period) monitoring rate that still leaves
+ * @p reserve_fraction of the budget when the dip is detected, assuming
+ * detection can lag the true threshold crossing by one full check
+ * period. Cheaper checks allow denser monitoring; the returned period
+ * balances the lag risk against the Section IV-B overhead.
+ *
+ * @param reserve_fraction Fraction of E that must remain for the backup
+ *                         itself (in (0, 1)).
+ */
+double maxSafeMonitorPeriod(const Params &params,
+                            double reserve_fraction);
+
+} // namespace eh::core
+
+#endif // EH_CORE_MONITORING_HH

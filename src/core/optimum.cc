@@ -1,0 +1,198 @@
+#include "core/optimum.hh"
+
+#include <cmath>
+
+#include "util/panic.hh"
+
+namespace eh::core {
+
+namespace {
+
+/**
+ * The two cost aggregates that appear throughout Section IV:
+ * k = Omega_B * A_B (compulsory energy per backup) and
+ * m = Omega_B * alpha_B + epsilon (energy proportional to work done since
+ * the last backup).
+ */
+struct CostRatio
+{
+    double k;
+    double m;
+};
+
+CostRatio
+costRatio(const Params &p)
+{
+    return {p.backupCost * p.archStateBackup,
+            p.backupCost * p.appStateRate + p.execEnergy};
+}
+
+/**
+ * Shared closed-form shape of Equations 9, 10 and 16:
+ *   scale * (k/m) * (sqrt(factor * (E/eps) * (m/k) + 1) - 1)
+ */
+double
+closedFormPeriod(const Params &p, double scale, double factor)
+{
+    p.validate();
+    const auto [k, m] = costRatio(p);
+    EH_ASSERT(m > 0.0, "proportional cost must be positive");
+    if (k <= 0.0) {
+        // No compulsory per-backup cost: progress is monotonically
+        // non-increasing in tau_B (Figure 3), so back up as often as
+        // possible.
+        return 0.0;
+    }
+    const double ratio = p.energyBudget / p.execEnergy * m / k;
+    return scale * (k / m) * (std::sqrt(factor * ratio + 1.0) - 1.0);
+}
+
+} // namespace
+
+double
+optimalBackupPeriod(const Params &params)
+{
+    return closedFormPeriod(params, 1.0, 2.0);
+}
+
+double
+worstCaseOptimalBackupPeriod(const Params &params)
+{
+    return closedFormPeriod(params, 1.0, 1.0);
+}
+
+double
+bitPrecisionOptimalPeriod(const Params &params)
+{
+    return closedFormPeriod(params, 1.5, 16.0 / 9.0);
+}
+
+double
+breakEvenBackupPeriod(double energy_budget, double backup_energy,
+                      double restore_energy, double exec_energy)
+{
+    EH_ASSERT(energy_budget > 0.0, "break-even requires E > 0");
+    EH_ASSERT(exec_energy > 0.0, "break-even requires epsilon > 0");
+    return 2.0 / 3.0 *
+           (energy_budget - backup_energy - restore_energy) / exec_energy;
+}
+
+double
+breakEvenBackupPeriodFixedPoint(const Params &params)
+{
+    params.validate();
+    Model model(params);
+    double tau = params.backupPeriod;
+    for (int iter = 0; iter < 200; ++iter) {
+        const double e_b = model.backupEnergyPerBackup(tau);
+        const double e_r = model.restoreEnergy(tau / 2.0);
+        const double next = breakEvenBackupPeriod(
+            params.energyBudget, e_b, e_r, params.execEnergy);
+        if (next <= 0.0)
+            return 0.0;
+        if (std::abs(next - tau) <= 1e-9 * std::max(1.0, tau))
+            return next;
+        tau = next;
+    }
+    return tau; // converged close enough for all practical parameters
+}
+
+double
+goldenSectionMaximize(const std::function<double(double)> &f, double lo,
+                      double hi, double tol)
+{
+    EH_ASSERT(lo < hi, "golden section needs lo < hi");
+    constexpr double inv_phi = 0.6180339887498949;
+    double a = lo, b = hi;
+    double x1 = b - inv_phi * (b - a);
+    double x2 = a + inv_phi * (b - a);
+    double f1 = f(x1), f2 = f(x2);
+    while (b - a > tol) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + inv_phi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - inv_phi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    return (a + b) / 2.0;
+}
+
+double
+numericOptimalBackupPeriod(const Params &params, DeadCycleMode mode,
+                           double lo, double hi)
+{
+    params.validate();
+    EH_ASSERT(lo > 0.0 && hi > lo, "invalid search bracket");
+    Model base(params);
+    auto objective = [&](double log_tau) {
+        return base.withBackupPeriod(std::exp(log_tau)).progress(mode);
+    };
+    const double log_opt = goldenSectionMaximize(
+        objective, std::log(lo), std::log(hi), 1e-12);
+    return std::exp(log_opt);
+}
+
+double
+numericDerivative(const std::function<double(double)> &f, double x,
+                  double h)
+{
+    EH_ASSERT(h > 0.0, "derivative step must be positive");
+    return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+namespace {
+
+/**
+ * Numerator N and denominator D of Equation 8 at the average dead-cycle
+ * count. Returns {N, D}; N <= 0 means the period makes no progress.
+ */
+std::pair<double, double>
+equation8Terms(const Params &p)
+{
+    Model model(p);
+    const double tau_d = p.backupPeriod / 2.0;
+    const double n = 1.0 -
+                     model.deadEnergy(tau_d) / p.energyBudget -
+                     model.restoreEnergy(tau_d) / p.energyBudget;
+    const double eps_net = p.execEnergy - p.chargeEnergy;
+    const double charge_factor = 1.0 - p.chargeEnergy / p.execEnergy;
+    const double d =
+        (1.0 + model.backupEnergyPerBackup() / (eps_net * p.backupPeriod)) *
+        charge_factor;
+    return {n, d};
+}
+
+} // namespace
+
+double
+progressPerBackupEnergy(const Params &params)
+{
+    params.validate();
+    const auto [n, d] = equation8Terms(params);
+    if (n <= 0.0)
+        return 0.0; // progress is pinned at zero; no marginal benefit
+    const double eps_net = params.execEnergy - params.chargeEnergy;
+    const double charge_factor =
+        1.0 - params.chargeEnergy / params.execEnergy;
+    return -n * charge_factor / (eps_net * params.backupPeriod * d * d);
+}
+
+double
+progressPerRestoreEnergy(const Params &params)
+{
+    params.validate();
+    const auto [n, d] = equation8Terms(params);
+    if (n <= 0.0)
+        return 0.0;
+    return -1.0 / (params.energyBudget * d);
+}
+
+} // namespace eh::core

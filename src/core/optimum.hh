@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Closed-form optima of the EH model (Section IV) and numeric optimizers
+ * that cross-check them on the general solver:
+ *
+ *  - Equation 9:  tau_B,opt      — optimal backup period, average tau_D
+ *  - Equation 10: tau_B,opt(wc)  — optimal backup period, worst-case tau_D
+ *  - Equation 11: tau_B,be       — backup/restore break-even period
+ *  - Equation 16: tau_B,bit      — period maximizing |dp/dalpha_B|
+ *
+ * The closed forms are exact under the paper's derivation assumptions
+ * (no charging, no restore overhead); the numeric routines handle the
+ * fully general parameterization.
+ */
+
+#ifndef EH_CORE_OPTIMUM_HH
+#define EH_CORE_OPTIMUM_HH
+
+#include <functional>
+
+#include "core/model.hh"
+#include "core/params.hh"
+
+namespace eh::core {
+
+/**
+ * Equation 9: the backup period that maximizes average-case forward
+ * progress.
+ *
+ * Derived assuming epsilon_C = 0 and Omega_R = 0; with those assumptions
+ * it matches the numeric argmax of Model::progress exactly (see the
+ * property tests). Returns 0 when A_B = 0: with no compulsory per-backup
+ * cost, progress is monotonically non-increasing in tau_B and backing up
+ * as often as possible is optimal (Figure 3).
+ */
+double optimalBackupPeriod(const Params &params);
+
+/**
+ * Equation 10: the backup period that maximizes worst-case
+ * (tau_D = tau_B) forward progress. Always strictly less than
+ * optimalBackupPeriod for A_B > 0 (Section IV-A2).
+ */
+double worstCaseOptimalBackupPeriod(const Params &params);
+
+/**
+ * Equation 11: the break-even backup period at which reducing backup cost
+ * and reducing restore cost yield equal marginal benefit
+ * (dp/de_B = dp/de_R):
+ *
+ *     tau_B,be = (2/3) (E - e_B - e_R) / epsilon
+ *
+ * @param energy_budget   E
+ * @param backup_energy   e_B (energy of one backup, treated as given)
+ * @param restore_energy  e_R
+ * @param exec_energy     epsilon
+ */
+double breakEvenBackupPeriod(double energy_budget, double backup_energy,
+                             double restore_energy, double exec_energy);
+
+/**
+ * Self-consistent break-even period: Equation 11 treats e_B as a constant,
+ * but e_B itself depends on tau_B (Equation 4). This iterates
+ * tau -> (2/3)(E - e_B(tau) - e_R)/epsilon to a fixed point.
+ */
+double breakEvenBackupPeriodFixedPoint(const Params &params);
+
+/**
+ * Equation 16: the backup period at which reducing application-state
+ * bit-precision gives the largest progress improvement per byte
+ * (maximum |dp/dalpha_B|). Derived under the Equation 9 assumptions.
+ * Returns 0 when A_B = 0.
+ */
+double bitPrecisionOptimalPeriod(const Params &params);
+
+/**
+ * Golden-section search for the maximum of a unimodal function on
+ * [lo, hi].
+ *
+ * @param f   Objective.
+ * @param lo  Lower bound of the search bracket (> 0 for period searches).
+ * @param hi  Upper bound.
+ * @param tol Absolute x tolerance at which to stop.
+ * @return Abscissa of the maximum.
+ */
+double goldenSectionMaximize(const std::function<double(double)> &f,
+                             double lo, double hi, double tol = 1e-9);
+
+/**
+ * Numeric argmax of forward progress over tau_B in [lo, hi] using the
+ * fully general model (any charging, restore and dead-cycle setting).
+ * Used to validate Equations 9/10 and to optimize configurations outside
+ * their assumptions.
+ */
+double numericOptimalBackupPeriod(const Params &params,
+                                  DeadCycleMode mode, double lo = 1e-3,
+                                  double hi = 1e9);
+
+/**
+ * Central-difference derivative of f at x with step h (Richardson-free;
+ * adequate for the smooth rational functions of this model).
+ */
+double numericDerivative(const std::function<double(double)> &f, double x,
+                         double h = 1e-6);
+
+/**
+ * dp/de_B: marginal progress per joule shaved off one backup, holding
+ * tau_B fixed (Section IV-A3). Negative: cheaper backups help.
+ */
+double progressPerBackupEnergy(const Params &params);
+
+/**
+ * dp/de_R: marginal progress per joule shaved off the restore
+ * (Section IV-A3). Negative: cheaper restores help.
+ */
+double progressPerRestoreEnergy(const Params &params);
+
+} // namespace eh::core
+
+#endif // EH_CORE_OPTIMUM_HH

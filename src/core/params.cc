@@ -1,0 +1,174 @@
+#include "core/params.hh"
+
+#include <sstream>
+
+#include "util/panic.hh"
+
+namespace eh::core {
+
+void
+Params::validate() const
+{
+    if (!(energyBudget > 0.0))
+        fatalf("Params: energy supply E must be > 0, got ", energyBudget);
+    if (!(execEnergy > 0.0))
+        fatalf("Params: execution energy must be > 0, got ", execEnergy);
+    if (chargeEnergy < 0.0)
+        fatalf("Params: charging energy must be >= 0, got ", chargeEnergy);
+    if (chargeEnergy >= execEnergy) {
+        fatalf("Params: charging energy (", chargeEnergy,
+               ") must be below execution energy (", execEnergy,
+               "); the model diverges otherwise (Section III)");
+    }
+    if (!(backupPeriod > 0.0))
+        fatalf("Params: backup period tau_B must be > 0, got ",
+               backupPeriod);
+    if (!(backupBandwidth > 0.0))
+        fatalf("Params: backup bandwidth sigma_B must be > 0, got ",
+               backupBandwidth);
+    if (backupCost < 0.0)
+        fatalf("Params: backup cost Omega_B must be >= 0, got ",
+               backupCost);
+    if (archStateBackup < 0.0)
+        fatalf("Params: architectural backup state A_B must be >= 0, got ",
+               archStateBackup);
+    if (appStateRate < 0.0)
+        fatalf("Params: application state rate alpha_B must be >= 0, got ",
+               appStateRate);
+    if (!(restoreBandwidth > 0.0))
+        fatalf("Params: restore bandwidth sigma_R must be > 0, got ",
+               restoreBandwidth);
+    if (restoreCost < 0.0)
+        fatalf("Params: restore cost Omega_R must be >= 0, got ",
+               restoreCost);
+    if (archStateRestore < 0.0)
+        fatalf("Params: architectural restore state A_R must be >= 0, got ",
+               archStateRestore);
+    if (appRestoreRate < 0.0)
+        fatalf("Params: restore rate alpha_R must be >= 0, got ",
+               appRestoreRate);
+}
+
+bool
+Params::valid() const
+{
+    try {
+        validate();
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::string
+Params::describe() const
+{
+    std::ostringstream oss;
+    oss << "E=" << energyBudget
+        << " eps=" << execEnergy
+        << " epsC=" << chargeEnergy
+        << " tauB=" << backupPeriod
+        << " sigmaB=" << backupBandwidth
+        << " OmegaB=" << backupCost
+        << " A_B=" << archStateBackup
+        << " alphaB=" << appStateRate
+        << " sigmaR=" << restoreBandwidth
+        << " OmegaR=" << restoreCost
+        << " A_R=" << archStateRestore
+        << " alphaR=" << appRestoreRate;
+    return oss.str();
+}
+
+Params
+illustrativeParams()
+{
+    Params p;
+    p.energyBudget = 100.0;
+    p.execEnergy = 1.0;
+    p.chargeEnergy = 0.0;
+    p.backupPeriod = 10.0;
+    p.backupBandwidth = 1.0;
+    p.backupCost = 1.0;
+    p.archStateBackup = 1.0;
+    p.appStateRate = 0.1;
+    p.restoreBandwidth = 1.0;
+    p.restoreCost = 0.0;
+    p.archStateRestore = 0.0;
+    p.appRestoreRate = 0.0;
+    return p;
+}
+
+Params
+msp430Params(double active_period_seconds)
+{
+    // 16 MHz clock. Baseline instruction power 1.05 mW and load/store
+    // power 1.2 mW are the paper's EnergyTrace measurements (Section V-A).
+    // Energies are expressed in picojoules.
+    constexpr double clock_hz = 16.0e6;
+    constexpr double exec_pj_per_cycle = 1.05e-3 / clock_hz * 1e12; // 65.6
+    constexpr double mem_pj_per_cycle = 1.2e-3 / clock_hz * 1e12;   // 75.0
+
+    Params p;
+    p.energyBudget = exec_pj_per_cycle * clock_hz * active_period_seconds;
+    p.execEnergy = exec_pj_per_cycle;
+    p.chargeEnergy = 0.0;
+    // FRAM copy loop: 2 cycles per 16-bit word at >= 16 MHz means one byte
+    // per cycle of backup bandwidth (Section III).
+    p.backupBandwidth = 1.0;
+    p.restoreBandwidth = 1.0;
+    // A backup spends load/store power for its whole duration, so the
+    // per-byte cost is one memory cycle's energy.
+    p.backupCost = mem_pj_per_cycle;
+    p.restoreCost = mem_pj_per_cycle;
+    // PC + SR + 12 general registers, 4 bytes each on FR59xx ~ 48 bytes.
+    p.archStateBackup = 48.0;
+    p.archStateRestore = 48.0;
+    p.appStateRate = 0.1; // paper's Section V-A setting
+    p.appRestoreRate = 0.0;
+    p.backupPeriod = 16000.0; // 1 ms default; swept by the experiments
+    return p;
+}
+
+Params
+cortexM0Params()
+{
+    // STM32L0-class Cortex-M0+: ~49 uA/MHz at 3.0 V -> ~147 pJ/cycle.
+    Params p;
+    p.execEnergy = 147.0;
+    p.chargeEnergy = 0.0;
+    p.energyBudget = p.execEnergy * 100000.0; // 100k-cycle active period
+    p.backupBandwidth = 1.0;
+    p.restoreBandwidth = 1.0;
+    p.backupCost = 300.0;  // FRAM-class write, ~2x execution per byte
+    p.restoreCost = 200.0; // reads cheaper than writes
+    p.archStateBackup = 80.0;  // 20 x 32-bit registers (Clank, Section V-B)
+    p.archStateRestore = 80.0;
+    p.appStateRate = 0.16; // MiBench average from Figure 10
+    p.appRestoreRate = 0.0;
+    p.backupPeriod = 8000.0; // Clank watchdog default
+    return p;
+}
+
+Params
+nvpParams()
+{
+    // Nonvolatile processor backing up every cycle: only the program
+    // counter is compulsory; dirty-register tracking makes architectural
+    // state nearly free (Section IV-A1).
+    Params p;
+    p.execEnergy = 147.0;
+    p.chargeEnergy = 0.0;
+    p.energyBudget = p.execEnergy * 100000.0;
+    p.backupPeriod = 1.0;
+    p.backupBandwidth = 4.0; // wide on-chip path to NV flip-flops
+    p.backupCost = 50.0;
+    p.archStateBackup = 4.0; // program counter only
+    p.archStateRestore = 4.0;
+    p.appStateRate = 0.16;
+    p.appRestoreRate = 0.0;
+    p.restoreBandwidth = 4.0;
+    p.restoreCost = 30.0;
+    return p;
+}
+
+} // namespace eh::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * EH model input parameters (Table I of the paper). A Params value fully
+ * describes one intermittent-architecture configuration: its per-active-
+ * period energy supply, execution and charging energy rates, and the cost
+ * structure of its backup and restore mechanisms.
+ */
+
+#ifndef EH_CORE_PARAMS_HH
+#define EH_CORE_PARAMS_HH
+
+#include <string>
+
+namespace eh::core {
+
+/**
+ * Input parameters of the EH model, mirroring Table I.
+ *
+ * Units are deliberately abstract (joules, cycles, bytes): the model only
+ * depends on ratios such as epsilon/E and Omega/epsilon, so any consistent
+ * unit system works. The presets below give concrete device-calibrated
+ * instances.
+ */
+struct Params
+{
+    // --- General parameters -------------------------------------------
+    /** E — energy supply per active period (joules). Must be > 0. */
+    double energyBudget = 100.0;
+    /** epsilon — execution energy per cycle (joules/cycle). Must be > 0. */
+    double execEnergy = 1.0;
+    /** epsilon_C — charging energy gained per cycle. Must be in
+     * [0, execEnergy): the model diverges as charging approaches the
+     * consumption rate (Section III). */
+    double chargeEnergy = 0.0;
+
+    // --- Backup parameters --------------------------------------------
+    /** tau_B — cycles between backups. Must be > 0. */
+    double backupPeriod = 100.0;
+    /** sigma_B — nonvolatile memory backup bandwidth (bytes/cycle).
+     * Must be > 0. */
+    double backupBandwidth = 1.0;
+    /** Omega_B — backup energy cost (joules/byte). Must be >= 0. */
+    double backupCost = 1.0;
+    /** A_B — architectural state saved per backup (bytes). >= 0. */
+    double archStateBackup = 1.0;
+    /** alpha_B — application state accrued per cycle (bytes/cycle) that
+     * each backup must additionally save. >= 0. */
+    double appStateRate = 0.1;
+
+    // --- Restore parameters -------------------------------------------
+    /** sigma_R — nonvolatile memory restore bandwidth (bytes/cycle).
+     * Must be > 0. */
+    double restoreBandwidth = 1.0;
+    /** Omega_R — restore energy cost (joules/byte). >= 0. */
+    double restoreCost = 0.0;
+    /** A_R — architectural state restored at each active-period start
+     * (bytes). >= 0. */
+    double archStateRestore = 0.0;
+    /** alpha_R — cleanup cost per dead cycle of the previous period
+     * (bytes/cycle). >= 0. */
+    double appRestoreRate = 0.0;
+
+    /**
+     * Check every Table I domain constraint.
+     * @throws FatalError naming the first violated constraint.
+     */
+    void validate() const;
+
+    /** True iff validate() would succeed. */
+    bool valid() const;
+
+    /** One-line human-readable rendering of all twelve parameters. */
+    std::string describe() const;
+};
+
+/**
+ * Illustrative configuration used for the paper's Figures 2–4:
+ * E = 100, epsilon = 1, A_B = 1, alpha_B = 0.1, Omega_B = 1,
+ * no charging, no restore cost.
+ */
+Params illustrativeParams();
+
+/**
+ * MSP430FR5994-class configuration at 16 MHz, calibrated from the paper's
+ * Section V-A measurements: 1.05 mW baseline execution (65.6 pJ/cycle),
+ * FRAM backups at 2 cycles per 16-bit word (sigma = 1 byte/cycle).
+ * Energies are expressed in picojoules so magnitudes stay near unity.
+ */
+Params msp430Params(double active_period_seconds = 0.25);
+
+/**
+ * ARM Cortex-M0+-class configuration used for the Clank experiments:
+ * ~147 pJ/cycle execution, 20 x 32-bit registers (80 B) of architectural
+ * state per backup and restore, 8000-cycle default watchdog period.
+ */
+Params cortexM0Params();
+
+/**
+ * Nonvolatile-processor configuration: backup every cycle (tau_B = 1) with
+ * near-zero architectural state (dirty-register tracking), as discussed for
+ * NVP designs in Sections II and IV-A1.
+ */
+Params nvpParams();
+
+} // namespace eh::core
+
+#endif // EH_CORE_PARAMS_HH

@@ -1,0 +1,132 @@
+#include "core/sensitivity.hh"
+
+#include <cmath>
+
+#include "util/panic.hh"
+
+namespace eh::core {
+
+namespace {
+
+/** Fraction of tau_B that is dead under each DeadCycleMode. */
+double
+deadFraction(DeadCycleMode mode)
+{
+    switch (mode) {
+      case DeadCycleMode::Average:
+        return 0.5;
+      case DeadCycleMode::BestCase:
+        return 0.0;
+      case DeadCycleMode::WorstCase:
+        return 1.0;
+    }
+    panic("unreachable dead-cycle mode");
+}
+
+/**
+ * The closed form is exact only when charging and restore overheads are
+ * absent, matching the paper's Section VI-C derivation setting.
+ */
+bool
+closedFormApplies(const Params &p)
+{
+    const bool no_charge = p.chargeEnergy == 0.0;
+    const bool no_restore =
+        p.restoreCost == 0.0 ||
+        (p.archStateRestore == 0.0 && p.appRestoreRate == 0.0);
+    return no_charge && no_restore;
+}
+
+/**
+ * Closed-form dp/dalpha_B with tau_D = c * tau_B:
+ *   p = (1 - c eps x / E) * eps x / (k + m x),
+ *   dp/dalpha_B = -Omega_B eps x^2 (1 - c eps x / E) / (k + m x)^2
+ * where x = tau_B, k = Omega_B A_B, m = Omega_B alpha_B + eps.
+ */
+double
+closedFormDpDalpha(const Params &p, double c)
+{
+    const double x = p.backupPeriod;
+    const double k = p.backupCost * p.archStateBackup;
+    const double m = p.backupCost * p.appStateRate + p.execEnergy;
+    const double live =
+        1.0 - c * p.execEnergy * x / p.energyBudget;
+    if (live <= 0.0)
+        return 0.0; // progress pinned at zero
+    const double denom = k + m * x;
+    return -p.backupCost * p.execEnergy * x * x * live / (denom * denom);
+}
+
+} // namespace
+
+double
+numericProgressPerAppStateRate(const Params &params, DeadCycleMode mode)
+{
+    params.validate();
+    const double h =
+        std::max(1e-9, 1e-6 * std::max(params.appStateRate, 1e-3));
+    Params hi = params, lo = params;
+    hi.appStateRate += h;
+    lo.appStateRate = std::max(0.0, lo.appStateRate - h);
+    const double span = hi.appStateRate - lo.appStateRate;
+    return (Model(hi).progress(mode) - Model(lo).progress(mode)) / span;
+}
+
+double
+numericProgressPerArchState(const Params &params, DeadCycleMode mode)
+{
+    params.validate();
+    const double h =
+        std::max(1e-9, 1e-6 * std::max(params.archStateBackup, 1e-3));
+    Params hi = params, lo = params;
+    hi.archStateBackup += h;
+    lo.archStateBackup = std::max(0.0, lo.archStateBackup - h);
+    const double span = hi.archStateBackup - lo.archStateBackup;
+    return (Model(hi).progress(mode) - Model(lo).progress(mode)) / span;
+}
+
+double
+progressPerAppStateRate(const Params &params, DeadCycleMode mode)
+{
+    params.validate();
+    if (closedFormApplies(params))
+        return closedFormDpDalpha(params, deadFraction(mode));
+    return numericProgressPerAppStateRate(params, mode);
+}
+
+double
+progressPerArchState(const Params &params, DeadCycleMode mode)
+{
+    params.validate();
+    if (closedFormApplies(params))
+        return closedFormDpDalpha(params, deadFraction(mode)) /
+               params.backupPeriod;
+    return numericProgressPerArchState(params, mode);
+}
+
+BitReductionResult
+reducedPrecisionGain(const Params &params, int word_bits, int bits_removed,
+                     DeadCycleMode mode)
+{
+    params.validate();
+    if (word_bits <= 0)
+        fatalf("reducedPrecisionGain: word_bits must be > 0, got ",
+               word_bits);
+    if (bits_removed < 0 || bits_removed > word_bits)
+        fatalf("reducedPrecisionGain: bits_removed must be in [0, ",
+               word_bits, "], got ", bits_removed);
+
+    BitReductionResult r;
+    r.oldAppStateRate = params.appStateRate;
+    r.newAppStateRate =
+        params.appStateRate *
+        (1.0 - static_cast<double>(bits_removed) /
+                   static_cast<double>(word_bits));
+    Model base(params);
+    r.oldProgress = base.progress(mode);
+    r.newProgress = base.withAppStateRate(r.newAppStateRate).progress(mode);
+    r.gain = r.newProgress - r.oldProgress;
+    return r;
+}
+
+} // namespace eh::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sensitivity analysis of forward progress to the model's state-size
+ * parameters (Section VI-C, reduced bit-precision backups):
+ *
+ *  - dp/dalpha_B: marginal progress per byte/cycle of application state
+ *  - dp/dA_B:     marginal progress per byte of architectural state
+ *
+ * The paper's key structural result — reducing application state always
+ * helps at least as much as reducing architectural state for
+ * tau_B >= 1 — follows from dp/dalpha_B = tau_B * dp/dA_B, which the
+ * property tests verify.
+ */
+
+#ifndef EH_CORE_SENSITIVITY_HH
+#define EH_CORE_SENSITIVITY_HH
+
+#include "core/model.hh"
+#include "core/params.hh"
+
+namespace eh::core {
+
+/**
+ * dp/dalpha_B — marginal forward progress per unit of application-state
+ * rate. Uses the closed form when the configuration matches the paper's
+ * derivation assumptions (no charging, no restore overhead) and falls back
+ * to a central finite difference on the general model otherwise.
+ * Negative whenever progress is positive: more state to save hurts.
+ */
+double progressPerAppStateRate(const Params &params,
+                               DeadCycleMode mode = DeadCycleMode::Average);
+
+/**
+ * dp/dA_B — marginal forward progress per byte of architectural state.
+ * Equal to progressPerAppStateRate / tau_B under the closed form.
+ */
+double progressPerArchState(const Params &params,
+                            DeadCycleMode mode = DeadCycleMode::Average);
+
+/**
+ * Always-numeric variant of progressPerAppStateRate (central difference on
+ * Model::progress); exercised by tests to validate the closed form.
+ */
+double numericProgressPerAppStateRate(
+    const Params &params, DeadCycleMode mode = DeadCycleMode::Average);
+
+/** Always-numeric variant of progressPerArchState. */
+double numericProgressPerArchState(
+    const Params &params, DeadCycleMode mode = DeadCycleMode::Average);
+
+/** Outcome of shaving bits off backed-up application data words. */
+struct BitReductionResult
+{
+    double oldAppStateRate; ///< alpha_B before reduction
+    double newAppStateRate; ///< alpha_B after reduction
+    double oldProgress;     ///< p with the original precision
+    double newProgress;     ///< p with the reduced precision
+    double gain;            ///< newProgress - oldProgress (>= 0)
+};
+
+/**
+ * Exact progress gain from storing application words with fewer bits
+ * (Section VI-C). Data that needed word_bits per word is backed up with
+ * bits_removed fewer bits, scaling alpha_B by (1 - bits_removed /
+ * word_bits). The caller is responsible for judging application error.
+ *
+ * @param word_bits    Original word width (> 0).
+ * @param bits_removed Bits dropped per word (in [0, word_bits]).
+ */
+BitReductionResult
+reducedPrecisionGain(const Params &params, int word_bits, int bits_removed,
+                     DeadCycleMode mode = DeadCycleMode::Average);
+
+} // namespace eh::core
+
+#endif // EH_CORE_SENSITIVITY_HH

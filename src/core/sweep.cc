@@ -1,0 +1,113 @@
+#include "core/sweep.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/panic.hh"
+
+namespace eh::core {
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    EH_ASSERT(n >= 1, "linspace needs at least one point");
+    if (n == 1)
+        return {lo};
+    std::vector<double> xs(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = lo + step * static_cast<double>(i);
+    xs.back() = hi; // exact endpoint despite rounding
+    return xs;
+}
+
+std::vector<double>
+logspace(double lo, double hi, std::size_t n)
+{
+    EH_ASSERT(lo > 0.0, "logspace needs lo > 0");
+    EH_ASSERT(hi > lo, "logspace needs hi > lo");
+    EH_ASSERT(n >= 1, "logspace needs at least one point");
+    if (n == 1)
+        return {lo};
+    std::vector<double> xs(n);
+    const double log_lo = std::log(lo);
+    const double step = (std::log(hi) - log_lo) /
+                        static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = std::exp(log_lo + step * static_cast<double>(i));
+    xs.back() = hi;
+    return xs;
+}
+
+std::vector<double>
+SweepResult::values() const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto &pt : points)
+        out.push_back(pt.value);
+    return out;
+}
+
+std::vector<double>
+SweepResult::xs() const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (const auto &pt : points)
+        out.push_back(pt.x);
+    return out;
+}
+
+SweepResult
+sweep1D(const std::vector<double> &xs,
+        const std::function<double(double)> &objective)
+{
+    EH_ASSERT(!xs.empty(), "sweep1D needs at least one abscissa");
+    SweepResult result;
+    result.points.reserve(xs.size());
+    result.bestValue = -std::numeric_limits<double>::infinity();
+    for (double x : xs) {
+        const double v = objective(x);
+        result.points.push_back({x, v});
+        if (v > result.bestValue) {
+            result.bestValue = v;
+            result.bestX = x;
+        }
+    }
+    return result;
+}
+
+const GridPoint &
+GridResult::at(std::size_t xi, std::size_t yi) const
+{
+    EH_ASSERT(xi < xs.size() && yi < ys.size(),
+              "grid index out of range");
+    return cells[xi * ys.size() + yi];
+}
+
+GridResult
+sweep2D(const std::vector<double> &xs, const std::vector<double> &ys,
+        const std::function<double(double, double)> &objective)
+{
+    EH_ASSERT(!xs.empty() && !ys.empty(), "sweep2D needs non-empty axes");
+    GridResult result;
+    result.xs = xs;
+    result.ys = ys;
+    result.cells.reserve(xs.size() * ys.size());
+    result.bestValue = -std::numeric_limits<double>::infinity();
+    for (double x : xs) {
+        for (double y : ys) {
+            const double v = objective(x, y);
+            result.cells.push_back({x, y, v});
+            if (v > result.bestValue) {
+                result.bestValue = v;
+                result.bestX = x;
+                result.bestY = y;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace eh::core

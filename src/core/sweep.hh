@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parameter-sweep utilities for design-space exploration: linear and
+ * logarithmic axes, one-dimensional sweeps and two-dimensional grids over
+ * arbitrary objective functions of the model.
+ */
+
+#ifndef EH_CORE_SWEEP_HH
+#define EH_CORE_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace eh::core {
+
+/** n evenly spaced values from lo to hi inclusive (n >= 2, or n == 1 → lo). */
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/**
+ * n multiplicatively spaced values from lo to hi inclusive; requires
+ * lo > 0 and hi > lo.
+ */
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/** One sample of a 1-D sweep. */
+struct SweepPoint
+{
+    double x;     ///< swept parameter value
+    double value; ///< objective at x
+};
+
+/** Result of a 1-D sweep plus its argmax. */
+struct SweepResult
+{
+    std::vector<SweepPoint> points;
+    double bestX = 0.0;
+    double bestValue = 0.0;
+
+    /** Values as a plain series (same order as points). */
+    std::vector<double> values() const;
+
+    /** Abscissas as a plain series. */
+    std::vector<double> xs() const;
+};
+
+/**
+ * Evaluate objective at each abscissa; records the argmax alongside the
+ * full series.
+ */
+SweepResult sweep1D(const std::vector<double> &xs,
+                    const std::function<double(double)> &objective);
+
+/** One cell of a 2-D grid sweep. */
+struct GridPoint
+{
+    double x;
+    double y;
+    double value;
+};
+
+/** Result of a 2-D sweep: row-major cells plus argmax. */
+struct GridResult
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<GridPoint> cells; ///< size xs.size() * ys.size(), x-major
+    double bestX = 0.0;
+    double bestY = 0.0;
+    double bestValue = 0.0;
+
+    /** Cell lookup by axis index. */
+    const GridPoint &at(std::size_t xi, std::size_t yi) const;
+};
+
+/** Evaluate objective over the full cartesian grid xs × ys. */
+GridResult sweep2D(const std::vector<double> &xs,
+                   const std::vector<double> &ys,
+                   const std::function<double(double, double)> &objective);
+
+} // namespace eh::core
+
+#endif // EH_CORE_SWEEP_HH

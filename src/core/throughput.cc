@@ -1,0 +1,120 @@
+#include "core/throughput.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "core/optimum.hh"
+#include "util/panic.hh"
+
+namespace eh::core {
+
+CompletionEstimate
+estimateCompletion(const Params &params, double work_cycles,
+                   double harvest_per_cycle)
+{
+    params.validate();
+    if (!(work_cycles > 0.0))
+        fatalf("estimateCompletion: work must be > 0 cycles, got ",
+               work_cycles);
+    if (!(harvest_per_cycle > 0.0))
+        fatalf("estimateCompletion: harvest rate must be > 0, got ",
+               harvest_per_cycle);
+
+    Model model(params);
+    const auto b = model.breakdown();
+
+    CompletionEstimate est;
+    est.progressPerPeriod = b.progressCycles;
+    if (est.progressPerPeriod <= 0.0) {
+        // Infeasible configuration: no forward progress, ever.
+        est.activePerPeriod = 0.0;
+        est.chargePerPeriod = 0.0;
+        est.periods = std::numeric_limits<double>::infinity();
+        est.totalCycles = est.periods;
+        est.throughput = 0.0;
+        est.activeDutyCycle = 0.0;
+        return est;
+    }
+
+    // Active time: progress + dead cycles + time spent moving backup and
+    // restore bytes through the NVM interface.
+    const double backup_cycles =
+        b.backupCount *
+        (params.archStateBackup +
+         params.appStateRate * params.backupPeriod) /
+        params.backupBandwidth;
+    const double restore_cycles =
+        (params.archStateRestore +
+         params.appRestoreRate * b.deadCycles) /
+        params.restoreBandwidth;
+    est.activePerPeriod = b.progressCycles + b.deadCycles +
+                          backup_cycles + restore_cycles;
+
+    // Charging: refill everything the period consumed. Net refill is E
+    // (the budget) — in-period harvesting is already inside the model's
+    // epsilon_C accounting.
+    est.chargePerPeriod = params.energyBudget / harvest_per_cycle;
+
+    est.periods = work_cycles / est.progressPerPeriod;
+    est.totalCycles =
+        est.periods * (est.activePerPeriod + est.chargePerPeriod);
+    est.throughput = work_cycles / est.totalCycles;
+    est.activeDutyCycle = est.activePerPeriod /
+                          (est.activePerPeriod + est.chargePerPeriod);
+    return est;
+}
+
+double
+completionOptimalBackupPeriod(const Params &params, double work_cycles,
+                              double harvest_per_cycle)
+{
+    params.validate();
+    auto objective = [&](double log_tau) {
+        Params p = params;
+        p.backupPeriod = std::exp(log_tau);
+        const auto est =
+            estimateCompletion(p, work_cycles, harvest_per_cycle);
+        return -est.totalCycles; // maximize the negation
+    };
+    const double log_opt = goldenSectionMaximize(
+        objective, std::log(1e-2), std::log(1e8), 1e-10);
+    return std::exp(log_opt);
+}
+
+double
+speculationHeadroom(const Params &params)
+{
+    Model model(params);
+    return model.progress(DeadCycleMode::BestCase) -
+           model.progress(DeadCycleMode::Average);
+}
+
+double
+speculationSweetSpot(const Params &params, double lo, double hi,
+                     double knee_fraction)
+{
+    params.validate();
+    EH_ASSERT(lo > 0.0 && hi > lo, "invalid search bracket");
+    EH_ASSERT(knee_fraction > 0.0 && knee_fraction < 1.0,
+              "knee fraction must be in (0, 1)");
+    auto headroom_at = [&](double tau) {
+        Params p = params;
+        p.backupPeriod = tau;
+        return speculationHeadroom(p);
+    };
+    const double saturated = headroom_at(hi);
+    const double target = knee_fraction * saturated;
+    // Headroom is monotone non-decreasing in tau_B, so bisect for the
+    // first period reaching the target.
+    double a = lo, b = hi;
+    for (int iter = 0; iter < 200 && (b - a) > 1e-9 * b; ++iter) {
+        const double mid = std::sqrt(a * b); // log-space midpoint
+        if (headroom_at(mid) >= target)
+            b = mid;
+        else
+            a = mid;
+    }
+    return b;
+}
+
+} // namespace eh::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Wall-clock extensions of the EH model. Equation 8 scores the *active*
+ * period in isolation; deployments also care about the charging phases
+ * between periods (Figure 1's charge/active alternation) — how long a
+ * fixed amount of work takes end to end, and what fraction of wall-clock
+ * time the device is doing useful work. These routines combine the
+ * model's per-period progress with a harvest-rate description of the
+ * charging phase.
+ */
+
+#ifndef EH_CORE_THROUGHPUT_HH
+#define EH_CORE_THROUGHPUT_HH
+
+#include "core/model.hh"
+#include "core/params.hh"
+
+namespace eh::core {
+
+/** Wall-clock estimate for completing a fixed amount of work. */
+struct CompletionEstimate
+{
+    double progressPerPeriod;  ///< useful cycles committed per period
+    double activePerPeriod;    ///< active cycles per period
+    double chargePerPeriod;    ///< charging cycles per period
+    double periods;            ///< periods needed (continuous)
+    double totalCycles;        ///< wall-clock cycles, charge + active
+    double throughput;         ///< useful cycles per wall-clock cycle
+    double activeDutyCycle;    ///< active / (active + charging) time
+};
+
+/**
+ * Estimate wall-clock completion of @p work_cycles of useful execution.
+ *
+ * @param params             Model parameters (average-case dead cycles).
+ * @param work_cycles        Useful cycles the application needs (> 0).
+ * @param harvest_per_cycle  Energy harvested per cycle while the device
+ *                           is off and recharging (> 0); the charging
+ *                           phase refills E at this rate.
+ */
+CompletionEstimate estimateCompletion(const Params &params,
+                                      double work_cycles,
+                                      double harvest_per_cycle);
+
+/**
+ * The backup period minimizing wall-clock completion time. With a fixed
+ * refill budget this coincides with the progress optimum of Equation 9:
+ * wasted active energy must be re-harvested, so maximizing p minimizes
+ * both periods and recharge time. Exposed separately (computed
+ * numerically on estimateCompletion) so the equivalence is checkable
+ * rather than assumed.
+ */
+double completionOptimalBackupPeriod(const Params &params,
+                                     double work_cycles,
+                                     double harvest_per_cycle);
+
+/**
+ * Section IV-A2, Spendthrift-style speculation: a perfect speculative
+ * scheduler invokes its last backup exactly at period end (tau_D = 0).
+ * The headroom — best-case minus average-case progress — bounds what any
+ * speculation mechanism can gain at this tau_B.
+ */
+double speculationHeadroom(const Params &params);
+
+/**
+ * The knee of the speculation-headroom curve: headroom grows with tau_B
+ * (longer periods risk more dead execution for a non-speculative system)
+ * and saturates once the average case is fully infeasible. Returns the
+ * smallest tau_B achieving @p knee_fraction of the saturated headroom —
+ * past this point, stretching the backup period buys a speculator
+ * nothing further.
+ */
+double speculationSweetSpot(const Params &params, double lo = 1.0,
+                            double hi = 1e7,
+                            double knee_fraction = 0.95);
+
+} // namespace eh::core
+
+#endif // EH_CORE_THROUGHPUT_HH

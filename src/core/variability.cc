@@ -1,0 +1,69 @@
+#include "core/variability.hh"
+
+#include <algorithm>
+
+#include "core/model.hh"
+#include "util/panic.hh"
+
+namespace eh::core {
+
+double
+progressQuantile(const Params &params, double confidence)
+{
+    params.validate();
+    if (confidence < 0.0 || confidence > 1.0)
+        fatalf("progressQuantile: confidence must be in [0, 1], got ",
+               confidence);
+    // p is non-increasing in tau_D, so the progress achieved in at
+    // least `confidence` of periods corresponds to
+    // tau_D = confidence * tau_B.
+    return Model(params).progressAt(confidence * params.backupPeriod);
+}
+
+double
+expectedProgressUniformDead(const Params &params)
+{
+    params.validate();
+    Model model(params);
+    // Composite Simpson over tau_D in [0, tau_B]. p is piecewise affine
+    // with a single clamp point, so a moderately fine grid is exact to
+    // rounding.
+    constexpr int intervals = 512; // even
+    const double h = params.backupPeriod / intervals;
+    double sum = model.progressAt(0.0) +
+                 model.progressAt(params.backupPeriod);
+    for (int i = 1; i < intervals; ++i) {
+        const double weight = (i % 2 == 1) ? 4.0 : 2.0;
+        sum += weight * model.progressAt(i * h);
+    }
+    return sum * h / 3.0 / params.backupPeriod;
+}
+
+double
+tailProgress(const Params &params, double confidence)
+{
+    return progressQuantile(params, confidence);
+}
+
+double
+infeasiblePeriodFraction(const Params &params)
+{
+    params.validate();
+    Model model(params);
+    if (model.progressAt(params.backupPeriod) > 0.0)
+        return 0.0; // worst case still feasible
+    if (model.progressAt(0.0) <= 0.0)
+        return 1.0; // even the best case makes no progress
+    // Bisect for the clamp point tau_D* where progress reaches zero.
+    double lo = 0.0, hi = params.backupPeriod;
+    for (int i = 0; i < 100; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (model.progressAt(mid) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 1.0 - lo / params.backupPeriod;
+}
+
+} // namespace eh::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dead-cycle variability analysis (Section IV-A2). The model's
+ * Equation 6 treats tau_D as uniform on [0, tau_B] and uses its mean;
+ * designers who care about tail latency need the whole distribution.
+ * Because progress is non-increasing and piecewise-affine in tau_D, the
+ * distribution of p follows directly from the uniform tau_D: quantiles
+ * map through progressAt, and the expectation is exact by integration.
+ *
+ * A subtlety this module makes visible: when part of the tau_D range is
+ * infeasible (progress clamped at zero), the expectation over the
+ * distribution no longer equals the paper's p(tau_B / 2) average-case
+ * shortcut — the shortcut is exact only while the whole range stays
+ * feasible.
+ */
+
+#ifndef EH_CORE_VARIABILITY_HH
+#define EH_CORE_VARIABILITY_HH
+
+#include "core/params.hh"
+
+namespace eh::core {
+
+/**
+ * The @p confidence -quantile of forward progress under tau_D ~
+ * U[0, tau_B]: the progress level achieved in at least that fraction of
+ * active periods. confidence = 0 gives the best case, 1 the worst case,
+ * 0.5 the median.
+ */
+double progressQuantile(const Params &params, double confidence);
+
+/**
+ * Exact expectation of progress over tau_D ~ U[0, tau_B] (composite
+ * Simpson integration; exact-by-affinity while the whole range is
+ * feasible). Equals Equation 8's average case whenever p(tau_B) > 0.
+ */
+double expectedProgressUniformDead(const Params &params);
+
+/**
+ * Tail progress for design-for-tail-latency: the progress guaranteed in
+ * @p confidence of periods (e.g. 0.95 -> 95th-percentile-worst). Alias
+ * of progressQuantile with the argument convention architects use.
+ */
+double tailProgress(const Params &params, double confidence);
+
+/**
+ * Fraction of active periods that make zero progress (the tau_D region
+ * where one-time costs already exceed E). Zero for feasible designs;
+ * grows as tau_B stretches past the supply.
+ */
+double infeasiblePeriodFraction(const Params &params);
+
+} // namespace eh::core
+
+#endif // EH_CORE_VARIABILITY_HH

@@ -1,0 +1,86 @@
+#include "energy/capacitor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/panic.hh"
+
+namespace eh::energy {
+
+Capacitor::Capacitor(double farads, double v_max, double v_on, double v_off,
+                     double unit_scale)
+    : capacitance(farads), vMax(v_max), vOn(v_on), vOff(v_off),
+      scale(unit_scale)
+{
+    if (!(capacitance > 0.0))
+        fatalf("Capacitor: capacitance must be > 0, got ", capacitance);
+    if (!(vMax > 0.0))
+        fatalf("Capacitor: V_max must be > 0, got ", vMax);
+    if (!(v_on > v_off))
+        fatalf("Capacitor: V_on (", v_on, ") must exceed V_off (", v_off,
+               ")");
+    if (v_on > v_max)
+        fatalf("Capacitor: V_on (", v_on, ") cannot exceed V_max (", v_max,
+               ")");
+    if (v_off < 0.0)
+        fatalf("Capacitor: V_off must be >= 0, got ", v_off);
+    if (!(scale > 0.0))
+        fatalf("Capacitor: unit scale must be > 0, got ", scale);
+}
+
+double
+Capacitor::energyAt(double volts) const
+{
+    return 0.5 * capacitance * volts * volts * scale;
+}
+
+void
+Capacitor::charge(double energy)
+{
+    EH_ASSERT(energy >= 0.0, "cannot charge with negative energy");
+    stored = std::min(stored + energy, capacityEnergy());
+}
+
+bool
+Capacitor::draw(double energy)
+{
+    EH_ASSERT(energy >= 0.0, "cannot draw negative energy");
+    if (stored < energy) {
+        stored = 0.0;
+        return false;
+    }
+    stored -= energy;
+    return true;
+}
+
+double
+Capacitor::voltage() const
+{
+    return std::sqrt(2.0 * stored / scale / capacitance);
+}
+
+bool
+Capacitor::canTurnOn() const
+{
+    return voltage() >= vOn;
+}
+
+bool
+Capacitor::alive() const
+{
+    return voltage() > vOff;
+}
+
+double
+Capacitor::usableBudget() const
+{
+    return energyAt(vOn) - energyAt(vOff);
+}
+
+double
+Capacitor::capacityEnergy() const
+{
+    return energyAt(vMax);
+}
+
+} // namespace eh::energy

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Energy-storage capacitor with E = 1/2 C V^2 dynamics and the power-on /
+ * power-off voltage thresholds that create the charging/active phase
+ * alternation of intermittent execution (Section II).
+ */
+
+#ifndef EH_ENERGY_CAPACITOR_HH
+#define EH_ENERGY_CAPACITOR_HH
+
+namespace eh::energy {
+
+/**
+ * A capacitor tracked in energy space. Charging adds energy up to the
+ * V_max ceiling; drawing removes it. The device may begin executing when
+ * voltage reaches onThreshold and must stop when it falls below
+ * offThreshold (brown-out).
+ */
+class Capacitor
+{
+  public:
+    /**
+     * @param farads       Capacitance (> 0).
+     * @param v_max        Maximum (clamp) voltage (> 0).
+     * @param v_on         Power-on threshold; in (v_off, v_max].
+     * @param v_off        Brown-out threshold; in [0, v_on).
+     * @param unit_scale   Joules→model-unit factor (1e12 for pJ).
+     */
+    Capacitor(double farads, double v_max, double v_on, double v_off,
+              double unit_scale = 1e12);
+
+    /** Add harvested energy (model units); clamps at the V_max ceiling. */
+    void charge(double energy);
+
+    /**
+     * Draw energy for execution.
+     * @return false if the stored energy is insufficient (the draw is
+     *         applied down to zero and the device browns out).
+     */
+    bool draw(double energy);
+
+    /** Stored energy in model units. */
+    double storedEnergy() const { return stored; }
+
+    /** Terminal voltage implied by the stored energy. */
+    double voltage() const;
+
+    /** True when voltage has reached the power-on threshold. */
+    bool canTurnOn() const;
+
+    /** True while voltage stays above the brown-out threshold. */
+    bool alive() const;
+
+    /** Energy between V_on and V_off: the usable budget E per period. */
+    double usableBudget() const;
+
+    /** Energy ceiling at V_max. */
+    double capacityEnergy() const;
+
+    /** Empty the capacitor (tests / experiment resets). */
+    void drain() { stored = 0.0; }
+
+  private:
+    double energyAt(double volts) const;
+
+    double capacitance;
+    double vMax;
+    double vOn;
+    double vOff;
+    double scale;
+    double stored = 0.0;
+};
+
+} // namespace eh::energy
+
+#endif // EH_ENERGY_CAPACITOR_HH

@@ -1,0 +1,126 @@
+#include "energy/meter.hh"
+
+#include <sstream>
+
+#include "util/panic.hh"
+
+namespace eh::energy {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Progress:
+        return "progress";
+      case Phase::Backup:
+        return "backup";
+      case Phase::Restore:
+        return "restore";
+      case Phase::Dead:
+        return "dead";
+      case Phase::Monitor:
+        return "monitor";
+      case Phase::NumPhases:
+        break;
+    }
+    panic("invalid phase");
+}
+
+void
+EnergyMeter::add(Phase phase, std::uint64_t cycles, double energy)
+{
+    EH_ASSERT(phase != Phase::NumPhases, "invalid phase");
+    EH_ASSERT(energy >= 0.0, "phase energy must be non-negative");
+    const auto idx = static_cast<std::size_t>(phase);
+    cycleTally[idx] += cycles;
+    energyTally[idx] += energy;
+}
+
+void
+EnergyMeter::addUncommitted(std::uint64_t cycles, double energy)
+{
+    EH_ASSERT(energy >= 0.0, "uncommitted energy must be non-negative");
+    pendingCycles += cycles;
+    pendingEnergy += energy;
+}
+
+void
+EnergyMeter::commit()
+{
+    add(Phase::Progress, pendingCycles, pendingEnergy);
+    pendingCycles = 0;
+    pendingEnergy = 0.0;
+}
+
+void
+EnergyMeter::discard()
+{
+    add(Phase::Dead, pendingCycles, pendingEnergy);
+    pendingCycles = 0;
+    pendingEnergy = 0.0;
+}
+
+std::uint64_t
+EnergyMeter::cycles(Phase phase) const
+{
+    EH_ASSERT(phase != Phase::NumPhases, "invalid phase");
+    return cycleTally[static_cast<std::size_t>(phase)];
+}
+
+double
+EnergyMeter::energy(Phase phase) const
+{
+    EH_ASSERT(phase != Phase::NumPhases, "invalid phase");
+    return energyTally[static_cast<std::size_t>(phase)];
+}
+
+std::uint64_t
+EnergyMeter::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (auto c : cycleTally)
+        total += c;
+    return total;
+}
+
+double
+EnergyMeter::totalEnergy() const
+{
+    double total = 0.0;
+    for (auto e : energyTally)
+        total += e;
+    return total;
+}
+
+double
+EnergyMeter::energyShare(Phase phase) const
+{
+    const double total = totalEnergy();
+    if (total <= 0.0)
+        return 0.0;
+    return energy(phase) / total;
+}
+
+void
+EnergyMeter::clear()
+{
+    cycleTally.fill(0);
+    energyTally.fill(0.0);
+    pendingCycles = 0;
+    pendingEnergy = 0.0;
+}
+
+std::string
+EnergyMeter::report() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < numPhases; ++i) {
+        const auto phase = static_cast<Phase>(i);
+        oss << phaseName(phase) << ": " << cycleTally[i] << " cycles, "
+            << energyTally[i] << " energy ("
+            << energyShare(phase) * 100.0 << "%)\n";
+    }
+    return oss.str();
+}
+
+} // namespace eh::energy

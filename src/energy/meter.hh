@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-phase cycle and energy accounting — the software analogue of the
+ * paper's EnergyTrace + GPIO-pulse measurement harness (Section V-A). The
+ * simulator classifies every active cycle as forward progress, backup,
+ * restore, dead execution, or supply monitoring, exactly the split the EH
+ * model reasons about.
+ */
+
+#ifndef EH_ENERGY_METER_HH
+#define EH_ENERGY_METER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace eh::energy {
+
+/** Execution phases distinguished by the EH model. */
+enum class Phase : unsigned
+{
+    Progress = 0, ///< useful, committed execution (e_P)
+    Backup,       ///< copying state to nonvolatile memory (e_B)
+    Restore,      ///< reloading state after a power loss (e_R)
+    Dead,         ///< execution lost to a power failure (e_D)
+    Monitor,      ///< ADC checks / voltage monitoring (single-backup cost)
+    NumPhases
+};
+
+/** Printable phase name. */
+const char *phaseName(Phase phase);
+
+/**
+ * Tallies cycles and energy per phase. The simulator first accumulates
+ * "uncommitted" progress; a backup commits it to Progress, a power failure
+ * reclassifies it as Dead — mirroring the semantics that make re-executed
+ * work wasteful (Section II).
+ */
+class EnergyMeter
+{
+  public:
+    /** Record committed cycles/energy directly into a phase. */
+    void add(Phase phase, std::uint64_t cycles, double energy);
+
+    /** Accumulate execution not yet saved by a backup. */
+    void addUncommitted(std::uint64_t cycles, double energy);
+
+    /** A backup succeeded: uncommitted work becomes forward progress. */
+    void commit();
+
+    /** Power failed: uncommitted work becomes dead execution. */
+    void discard();
+
+    /** Cycles recorded in a phase (committed only). */
+    std::uint64_t cycles(Phase phase) const;
+
+    /** Energy recorded in a phase (committed only). */
+    double energy(Phase phase) const;
+
+    /** Pending uncommitted cycles. */
+    std::uint64_t uncommittedCycles() const { return pendingCycles; }
+
+    /** Pending uncommitted energy. */
+    double uncommittedEnergy() const { return pendingEnergy; }
+
+    /** Total committed cycles across phases. */
+    std::uint64_t totalCycles() const;
+
+    /** Total committed energy across phases. */
+    double totalEnergy() const;
+
+    /** Fraction of total energy spent in a phase; 0 when nothing ran. */
+    double energyShare(Phase phase) const;
+
+    /** Reset all tallies. */
+    void clear();
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+
+  private:
+    static constexpr std::size_t numPhases =
+        static_cast<std::size_t>(Phase::NumPhases);
+
+    std::array<std::uint64_t, numPhases> cycleTally{};
+    std::array<double, numPhases> energyTally{};
+    std::uint64_t pendingCycles = 0;
+    double pendingEnergy = 0.0;
+};
+
+} // namespace eh::energy
+
+#endif // EH_ENERGY_METER_HH

@@ -1,0 +1,113 @@
+#include "energy/supply.hh"
+
+#include "util/panic.hh"
+
+namespace eh::energy {
+
+ConstantSupply::ConstantSupply(double period_energy)
+    : budget(period_energy)
+{
+    if (!(budget > 0.0))
+        fatalf("ConstantSupply: period energy must be > 0, got ", budget);
+}
+
+std::uint64_t
+ConstantSupply::chargeUntilReady(std::uint64_t max_cycles)
+{
+    (void)max_cycles; // instantaneous refill: the budget is externally set
+    stored = budget;
+    return 0;
+}
+
+bool
+ConstantSupply::consume(double demand, std::uint64_t cycles)
+{
+    (void)cycles; // no concurrent harvesting: cycle count is irrelevant
+    EH_ASSERT(demand >= 0.0, "demand must be non-negative");
+    if (stored < demand) {
+        stored = 0.0;
+        return false;
+    }
+    stored -= demand;
+    return true;
+}
+
+HarvestingSupply::HarvestingSupply(VoltageTrace trace,
+                                   Transducer transducer,
+                                   Capacitor capacitor)
+    : source(std::move(trace)), converter(transducer), store(capacitor)
+{
+}
+
+std::uint64_t
+HarvestingSupply::chargeUntilReady(std::uint64_t max_cycles)
+{
+    std::uint64_t spent = 0;
+    while (!store.canTurnOn()) {
+        if (spent >= max_cycles)
+            return chargeFailed;
+        store.charge(converter.energyPerCycle(source.voltageAt(cycle)));
+        ++cycle;
+        ++spent;
+    }
+    return spent;
+}
+
+bool
+HarvestingSupply::consume(double demand, std::uint64_t cycles)
+{
+    EH_ASSERT(demand >= 0.0, "demand must be non-negative");
+    EH_ASSERT(cycles > 0, "a step must span at least one cycle");
+    const double per_cycle = demand / static_cast<double>(cycles);
+    bool ok = true;
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+        const double harvested =
+            converter.energyPerCycle(source.voltageAt(cycle));
+        ++cycle;
+        store.charge(harvested);
+        harvestedActive += harvested;
+        ++activeCycles;
+        if (!store.draw(per_cycle) || !store.alive())
+            ok = false; // brown-out; finish advancing time, report failure
+    }
+    return ok;
+}
+
+double
+HarvestingSupply::storedEnergy() const
+{
+    return store.storedEnergy();
+}
+
+double
+HarvestingSupply::chargeRatePerCycle() const
+{
+    if (activeCycles == 0)
+        return 0.0;
+    return harvestedActive / static_cast<double>(activeCycles);
+}
+
+double
+HarvestingSupply::periodBudget() const
+{
+    return store.usableBudget();
+}
+
+void
+HarvestingSupply::hibernate()
+{
+    // Sleep current drains the capacitor below V_off well before the next
+    // wake-up; approximate by forfeiting the remaining charge.
+    store.drain();
+}
+
+void
+HarvestingSupply::reset()
+{
+    store.drain();
+    cycle = 0;
+    harvestedActive = 0.0;
+    activeCycles = 0;
+}
+
+} // namespace eh::energy

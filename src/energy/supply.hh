@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Energy supplies as seen by the intermittent simulator. A supply mediates
+ * the charging/active phase structure: the simulator asks it to charge
+ * until the device may power on, then draws energy cycle by cycle until
+ * the supply browns out.
+ */
+
+#ifndef EH_ENERGY_SUPPLY_HH
+#define EH_ENERGY_SUPPLY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "energy/capacitor.hh"
+#include "energy/trace.hh"
+#include "energy/transducer.hh"
+
+namespace eh::energy {
+
+/** Sentinel returned by chargeUntilReady when charging can never finish. */
+constexpr std::uint64_t chargeFailed = UINT64_MAX;
+
+/**
+ * Abstract per-cycle energy source for the simulator.
+ *
+ * Contract: the simulator alternates chargeUntilReady() (device off) with
+ * a run of consume() calls (device on) until consume() returns false —
+ * the power failure that ends the active period.
+ */
+class EnergySupply
+{
+  public:
+    virtual ~EnergySupply() = default;
+
+    /**
+     * Charge with the device off until it may power on.
+     * @param max_cycles Give up after this many charging cycles.
+     * @return Charging cycles spent, or chargeFailed if the threshold was
+     *         not reached within max_cycles.
+     */
+    virtual std::uint64_t chargeUntilReady(std::uint64_t max_cycles) = 0;
+
+    /**
+     * Consume energy for an active step spanning @p cycles cycles
+     * (harvesting concurrently where the supply supports it; the demand
+     * is drawn evenly across the cycles).
+     * @return false when the supply browned out during the step — the
+     *         step's work is lost.
+     */
+    virtual bool consume(double demand, std::uint64_t cycles = 1) = 0;
+
+    /** Energy currently stored (model units). */
+    virtual double storedEnergy() const = 0;
+
+    /**
+     * Average energy harvested per active cycle — the model's epsilon_C.
+     * Zero for supplies that do not charge while the device runs.
+     */
+    virtual double chargeRatePerCycle() const = 0;
+
+    /**
+     * Usable energy per active period (the model's E). For harvesting
+     * supplies this is the V_on→V_off capacitor budget.
+     */
+    virtual double periodBudget() const = 0;
+
+    /** Return to the initial (drained) state. */
+    virtual void reset() = 0;
+
+    /**
+     * The device hibernates for the rest of this active period (Hibernus
+     * after its single backup): remaining stored energy is forfeited.
+     * Supplies whose next period is externally replenished may ignore it.
+     */
+    virtual void hibernate() {}
+};
+
+/**
+ * Fixed-budget supply: every active period starts with exactly E and
+ * nothing is harvested while running. This reproduces the model's
+ * idealized setting and the paper's hardware experiments where the
+ * active-period length is imposed externally.
+ */
+class ConstantSupply : public EnergySupply
+{
+  public:
+    /** @param period_energy E per active period (> 0). */
+    explicit ConstantSupply(double period_energy);
+
+    std::uint64_t chargeUntilReady(std::uint64_t max_cycles) override;
+    bool consume(double demand, std::uint64_t cycles = 1) override;
+    double storedEnergy() const override { return stored; }
+    double chargeRatePerCycle() const override { return 0.0; }
+    double periodBudget() const override { return budget; }
+    void reset() override { stored = 0.0; }
+
+  private:
+    double budget;
+    double stored = 0.0;
+};
+
+/**
+ * Harvesting supply: a voltage trace drives a transducer charging a
+ * capacitor with V_on/V_off thresholds. Time (the trace position) advances
+ * during both charging and active cycles.
+ */
+class HarvestingSupply : public EnergySupply
+{
+  public:
+    HarvestingSupply(VoltageTrace trace, Transducer transducer,
+                     Capacitor capacitor);
+
+    std::uint64_t chargeUntilReady(std::uint64_t max_cycles) override;
+    bool consume(double demand, std::uint64_t cycles = 1) override;
+    double storedEnergy() const override;
+    double chargeRatePerCycle() const override;
+    double periodBudget() const override;
+    void reset() override;
+    void hibernate() override;
+
+    /** Absolute cycle position on the trace (test visibility). */
+    std::uint64_t now() const { return cycle; }
+
+    /** The trace driving this supply. */
+    const VoltageTrace &trace() const { return source; }
+
+  private:
+    VoltageTrace source;
+    Transducer converter;
+    Capacitor store;
+    std::uint64_t cycle = 0;
+    // Running average of harvested energy per active cycle (epsilon_C).
+    double harvestedActive = 0.0;
+    std::uint64_t activeCycles = 0;
+};
+
+} // namespace eh::energy
+
+#endif // EH_ENERGY_SUPPLY_HH

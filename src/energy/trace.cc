@@ -1,0 +1,228 @@
+#include "energy/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "util/panic.hh"
+
+namespace eh::energy {
+
+VoltageTrace::VoltageTrace(std::vector<double> samples,
+                           std::uint64_t cycles_per_sample,
+                           std::string name)
+    : data(std::move(samples)), pitch(cycles_per_sample),
+      label(std::move(name))
+{
+    if (data.empty())
+        fatalf("VoltageTrace '", label, "': needs at least one sample");
+    if (pitch == 0)
+        fatalf("VoltageTrace '", label, "': pitch must be positive");
+    for (double v : data) {
+        if (v < 0.0)
+            fatalf("VoltageTrace '", label,
+                   "': voltages must be non-negative, got ", v);
+    }
+}
+
+double
+VoltageTrace::voltageAt(std::uint64_t cycle) const
+{
+    const std::uint64_t len = lengthCycles();
+    const std::uint64_t t = cycle % len;
+    const std::uint64_t idx = t / pitch;
+    const double frac =
+        static_cast<double>(t % pitch) / static_cast<double>(pitch);
+    const double v0 = data[idx];
+    const double v1 = data[(idx + 1) % data.size()];
+    return v0 + (v1 - v0) * frac;
+}
+
+std::uint64_t
+VoltageTrace::lengthCycles() const
+{
+    return pitch * static_cast<std::uint64_t>(data.size());
+}
+
+double
+VoltageTrace::peakVoltage() const
+{
+    return *std::max_element(data.begin(), data.end());
+}
+
+double
+VoltageTrace::troughVoltage() const
+{
+    return *std::min_element(data.begin(), data.end());
+}
+
+double
+VoltageTrace::meanVoltage() const
+{
+    return std::accumulate(data.begin(), data.end(), 0.0) /
+           static_cast<double>(data.size());
+}
+
+namespace {
+
+std::size_t
+sampleCount(std::uint64_t length_cycles, std::uint64_t pitch)
+{
+    EH_ASSERT(length_cycles >= pitch,
+              "trace must span at least one sample pitch");
+    return static_cast<std::size_t>(length_cycles / pitch);
+}
+
+/** Multiplicative jitter in [1-amount, 1+amount]. */
+double
+jitter(Rng &rng, double amount)
+{
+    return 1.0 + rng.nextDouble(-amount, amount);
+}
+
+} // namespace
+
+VoltageTrace
+makeSpikyTrace(Rng rng, std::uint64_t length_cycles,
+               std::uint64_t cycles_per_sample)
+{
+    const std::size_t n = sampleCount(length_cycles, cycles_per_sample);
+    std::vector<double> v(n, 0.0);
+    // Two narrow Gaussian spikes centred at 1/4 and 3/4 of the trace,
+    // peaking just above 5 V; troughs sit near 0 V with tiny noise.
+    const double centres[2] = {0.25, 0.75};
+    const double width = std::max(1.0, static_cast<double>(n) * 0.02);
+    for (std::size_t i = 0; i < n; ++i) {
+        double volts = rng.nextDouble(0.0, 0.08); // near-zero trough
+        for (double c : centres) {
+            const double d =
+                (static_cast<double>(i) - c * static_cast<double>(n)) /
+                width;
+            volts += 5.4 * jitter(rng, 0.03) * std::exp(-d * d);
+        }
+        v[i] = volts;
+    }
+    return VoltageTrace(std::move(v), cycles_per_sample, "rf-spiky");
+}
+
+VoltageTrace
+makeRampTrace(Rng rng, std::uint64_t length_cycles,
+              std::uint64_t cycles_per_sample)
+{
+    const std::size_t n = sampleCount(length_cycles, cycles_per_sample);
+    std::vector<double> v(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(n - 1 ? n - 1 : 1);
+        v[i] = std::max(0.0, 2.5 * frac * jitter(rng, 0.02));
+    }
+    return VoltageTrace(std::move(v), cycles_per_sample, "rf-ramp");
+}
+
+VoltageTrace
+makeMultiPeakTrace(Rng rng, std::uint64_t length_cycles,
+                   std::uint64_t cycles_per_sample)
+{
+    const std::size_t n = sampleCount(length_cycles, cycles_per_sample);
+    std::vector<double> v(n, 0.0);
+    // Five peak/trough pairs: sinusoid between jittered extremes.
+    const double periods = 5.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double phase = 2.0 * M_PI * periods * static_cast<double>(i) /
+                             static_cast<double>(n);
+        const double peak = 4.5 + rng.nextDouble(-1.0, 1.0);   // 3.5–5.5
+        const double trough = 0.75 + rng.nextDouble(-0.75, 0.75); // 0–1.5
+        const double mid = (peak + trough) / 2.0;
+        const double amp = (peak - trough) / 2.0;
+        v[i] = std::max(0.0, mid + amp * std::sin(phase));
+    }
+    return VoltageTrace(std::move(v), cycles_per_sample, "rf-multipeak");
+}
+
+VoltageTrace
+makeConstantTrace(double volts, std::uint64_t length_cycles,
+                  std::uint64_t cycles_per_sample)
+{
+    if (volts < 0.0)
+        fatalf("makeConstantTrace: voltage must be non-negative");
+    const std::size_t n = sampleCount(length_cycles, cycles_per_sample);
+    return VoltageTrace(std::vector<double>(n, volts), cycles_per_sample,
+                        "constant");
+}
+
+void
+saveTraceCsv(const VoltageTrace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatalf("saveTraceCsv: cannot open '", path, "' for writing");
+    out.precision(17); // lossless double round-trip
+    out << "cycle,volts\n";
+    const auto &samples = trace.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        out << i * trace.cyclesPerSample() << ','
+            << samples[i] << '\n';
+    }
+    if (!out)
+        fatalf("saveTraceCsv: write to '", path, "' failed");
+}
+
+VoltageTrace
+loadTraceCsv(const std::string &path, const std::string &name)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatalf("loadTraceCsv: cannot open '", path, "'");
+    std::string line;
+    if (!std::getline(in, line) || line.rfind("cycle", 0) != 0)
+        fatalf("loadTraceCsv: '", path,
+               "' lacks the 'cycle,volts' header");
+
+    std::vector<std::uint64_t> cycles;
+    std::vector<double> volts;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::uint64_t cycle;
+        char comma;
+        double v;
+        if (!(row >> cycle >> comma >> v) || comma != ',')
+            fatalf("loadTraceCsv: malformed row ", line_no, " in '",
+                   path, "': ", line);
+        cycles.push_back(cycle);
+        volts.push_back(v);
+    }
+    if (volts.empty())
+        fatalf("loadTraceCsv: '", path, "' contains no samples");
+
+    std::uint64_t pitch = 1;
+    if (cycles.size() >= 2) {
+        pitch = cycles[1] - cycles[0];
+        if (pitch == 0)
+            fatalf("loadTraceCsv: zero sample pitch in '", path, "'");
+        for (std::size_t i = 1; i < cycles.size(); ++i) {
+            if (cycles[i] - cycles[i - 1] != pitch)
+                fatalf("loadTraceCsv: uneven sample spacing at row ",
+                       i + 2, " of '", path, "'");
+        }
+    }
+    return VoltageTrace(std::move(volts), pitch, name);
+}
+
+std::vector<VoltageTrace>
+makePaperTraces(std::uint64_t seed, std::uint64_t length_cycles)
+{
+    Rng root(seed);
+    std::vector<VoltageTrace> traces;
+    traces.push_back(makeSpikyTrace(root.fork(1), length_cycles));
+    traces.push_back(makeRampTrace(root.fork(2), length_cycles));
+    traces.push_back(makeMultiPeakTrace(root.fork(3), length_cycles));
+    return traces;
+}
+
+} // namespace eh::energy

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Harvested-source voltage traces. The paper characterizes Clank over
+ * recorded RF voltage traces [43]; since those recordings are not
+ * available, this module synthesizes traces with the three shapes the
+ * paper describes in Section V-B:
+ *
+ *  1. two short spikes above 5 V with troughs near 0 V;
+ *  2. a gradual ramp from ~0 V up to ~2.5 V;
+ *  3. multiple peaks (3.5–5.5 V) and troughs (0–1.5 V).
+ *
+ * Traces are sampled on a fixed cycle grid and linearly interpolated; they
+ * loop when read past the end, modeling a repetitive ambient source.
+ */
+
+#ifndef EH_ENERGY_TRACE_HH
+#define EH_ENERGY_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace eh::energy {
+
+/** A looping, linearly interpolated voltage-vs-cycle series. */
+class VoltageTrace
+{
+  public:
+    /**
+     * @param samples Voltage samples (volts); must be non-empty and
+     *                non-negative.
+     * @param cycles_per_sample Grid pitch in CPU cycles; must be > 0.
+     * @param name Label used in reports.
+     */
+    VoltageTrace(std::vector<double> samples,
+                 std::uint64_t cycles_per_sample, std::string name);
+
+    /** Interpolated voltage at an absolute cycle (loops past the end). */
+    double voltageAt(std::uint64_t cycle) const;
+
+    /** Trace length before looping, in cycles. */
+    std::uint64_t lengthCycles() const;
+
+    /** Label for reports. */
+    const std::string &name() const { return label; }
+
+    /** Largest sample in the trace. */
+    double peakVoltage() const;
+
+    /** Smallest sample in the trace. */
+    double troughVoltage() const;
+
+    /** Arithmetic mean of the samples. */
+    double meanVoltage() const;
+
+    /** Raw samples (for tests and CSV dumps). */
+    const std::vector<double> &samples() const { return data; }
+
+    /** Grid pitch in cycles. */
+    std::uint64_t cyclesPerSample() const { return pitch; }
+
+  private:
+    std::vector<double> data;
+    std::uint64_t pitch;
+    std::string label;
+};
+
+/**
+ * Trace shape 1: two short >5 V spikes separated by near-0 V troughs over
+ * the trace length. Small multiplicative jitter keeps repeated periods
+ * from being cycle-identical.
+ */
+VoltageTrace makeSpikyTrace(Rng rng, std::uint64_t length_cycles,
+                            std::uint64_t cycles_per_sample = 1000);
+
+/** Trace shape 2: gradual ramp from ~0 V to ~2.5 V. */
+VoltageTrace makeRampTrace(Rng rng, std::uint64_t length_cycles,
+                           std::uint64_t cycles_per_sample = 1000);
+
+/**
+ * Trace shape 3: multiple peaks between 3.5 and 5.5 V with troughs between
+ * 0 and 1.5 V.
+ */
+VoltageTrace makeMultiPeakTrace(Rng rng, std::uint64_t length_cycles,
+                                std::uint64_t cycles_per_sample = 1000);
+
+/** Constant-voltage trace (useful for tests and steady sources). */
+VoltageTrace makeConstantTrace(double volts, std::uint64_t length_cycles,
+                               std::uint64_t cycles_per_sample = 1000);
+
+/** All three paper trace shapes, in order, built from one seed. */
+std::vector<VoltageTrace> makePaperTraces(std::uint64_t seed,
+                                          std::uint64_t length_cycles);
+
+/**
+ * Write a trace as CSV (`cycle,volts` header, one sample per row) so it
+ * can be plotted or exchanged with trace-capture tooling.
+ * @throws FatalError if the file cannot be written.
+ */
+void saveTraceCsv(const VoltageTrace &trace, const std::string &path);
+
+/**
+ * Load a trace saved by saveTraceCsv (or recorded externally in the same
+ * format). Sample pitch is inferred from the first two cycle stamps;
+ * rows must be evenly spaced.
+ * @throws FatalError on malformed files.
+ */
+VoltageTrace loadTraceCsv(const std::string &path,
+                          const std::string &name = "loaded");
+
+} // namespace eh::energy
+
+#endif // EH_ENERGY_TRACE_HH

@@ -1,0 +1,32 @@
+#include "energy/transducer.hh"
+
+#include "util/panic.hh"
+
+namespace eh::energy {
+
+Transducer::Transducer(double efficiency, double source_resistance,
+                       double clock_hz, double unit_scale)
+    : eta(efficiency), resistance(source_resistance), clock(clock_hz),
+      scale(unit_scale)
+{
+    if (!(eta > 0.0) || eta > 1.0)
+        fatalf("Transducer: efficiency must be in (0, 1], got ", eta);
+    if (!(resistance > 0.0))
+        fatalf("Transducer: source resistance must be > 0, got ",
+               resistance);
+    if (!(clock > 0.0))
+        fatalf("Transducer: clock must be > 0, got ", clock);
+    if (!(scale > 0.0))
+        fatalf("Transducer: unit scale must be > 0, got ", scale);
+}
+
+double
+Transducer::energyPerCycle(double volts) const
+{
+    if (volts < 0.0)
+        fatalf("Transducer: voltage must be non-negative, got ", volts);
+    const double watts = eta * volts * volts / resistance;
+    return watts / clock * scale;
+}
+
+} // namespace eh::energy

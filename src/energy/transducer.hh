@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Transducer model: converts the ambient source voltage of a VoltageTrace
+ * into harvested energy per CPU cycle (the abstract device's front end in
+ * Figure 1 of the paper).
+ */
+
+#ifndef EH_ENERGY_TRANSDUCER_HH
+#define EH_ENERGY_TRANSDUCER_HH
+
+namespace eh::energy {
+
+/**
+ * Matched-load harvesting front end: delivered power is
+ * eta * V^2 / R_source, integrated over one CPU clock cycle and expressed
+ * in the library's energy unit (picojoules by default).
+ */
+class Transducer
+{
+  public:
+    /**
+     * @param efficiency        Conversion efficiency eta in (0, 1].
+     * @param source_resistance Source resistance in ohms (> 0).
+     * @param clock_hz          CPU clock used to convert power to
+     *                          energy-per-cycle (> 0).
+     * @param unit_scale        Joules→model-unit factor (1e12 for pJ).
+     */
+    Transducer(double efficiency, double source_resistance,
+               double clock_hz, double unit_scale = 1e12);
+
+    /** Harvested energy (model units) in one cycle at source voltage v. */
+    double energyPerCycle(double volts) const;
+
+    /** Conversion efficiency eta. */
+    double efficiency() const { return eta; }
+
+    /** CPU clock frequency used for the per-cycle conversion. */
+    double clockHz() const { return clock; }
+
+  private:
+    double eta;
+    double resistance;
+    double clock;
+    double scale;
+};
+
+} // namespace eh::energy
+
+#endif // EH_ENERGY_TRANSDUCER_HH

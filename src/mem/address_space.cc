@@ -1,0 +1,153 @@
+#include "mem/address_space.hh"
+
+#include <algorithm>
+
+#include "util/panic.hh"
+
+namespace eh::mem {
+
+AddressSpace::AddressSpace(std::size_t sram_bytes, std::size_t nvm_bytes,
+                           NvmTech tech)
+    : volatileBytes(sram_bytes), volatileMem(sram_bytes),
+      nonvolatileMem(nvm_bytes, tech)
+{
+}
+
+std::uint64_t
+AddressSpace::limit() const
+{
+    return volatileBytes + nonvolatileMem.size();
+}
+
+bool
+AddressSpace::isNonvolatile(std::uint64_t addr) const
+{
+    if (addr >= limit())
+        fatalf("AddressSpace: address ", addr, " beyond limit ", limit());
+    return addr >= volatileBytes;
+}
+
+MemAccessResult
+AddressSpace::cachedCost(std::uint64_t addr, std::size_t len,
+                         bool is_store)
+{
+    // Clamp the span to its block (sub-block accesses never straddle in
+    // practice; a straddling span is charged as one block access).
+    const std::size_t block = nvCache->geometry().blockBytes;
+    const std::uint64_t offset = addr % block;
+    const std::size_t span = std::min(len, block - offset);
+    const auto outcome = nvCache->accessEx(addr, span, is_store);
+    MemAccessResult cost{0, 0.0, true};
+    if (!outcome.hit) {
+        const auto fill = nonvolatileMem.readCost(block);
+        cost.cycles += fill.cycles;
+        cost.energy += fill.energy;
+    }
+    if (outcome.evictedDirty) {
+        const auto wb = nonvolatileMem.writeCost(block);
+        cost.cycles += wb.cycles;
+        cost.energy += wb.energy;
+    }
+    return cost;
+}
+
+MemAccessResult
+AddressSpace::read(std::uint64_t addr, void *out, std::size_t len)
+{
+    if (len == 0)
+        return {0, 0.0, false};
+    const bool nv_first = isNonvolatile(addr);
+    const bool nv_last = isNonvolatile(addr + len - 1);
+    if (nv_first != nv_last)
+        fatalf("AddressSpace: read at ", addr, " straddles the "
+               "volatile/nonvolatile boundary");
+    if (nv_first) {
+        if (nvCache) {
+            // Data is always current in the backing NVM array; only the
+            // cost model knows about the cache.
+            const MemAccessResult cost = cachedCost(addr, len, false);
+            nonvolatileMem.read(addr - volatileBytes, out, len);
+            return cost;
+        }
+        const auto cost =
+            nonvolatileMem.read(addr - volatileBytes, out, len);
+        return {cost.cycles, cost.energy, true};
+    }
+    volatileMem.read(addr, out, len);
+    return {0, 0.0, false};
+}
+
+MemAccessResult
+AddressSpace::write(std::uint64_t addr, const void *in, std::size_t len)
+{
+    if (len == 0)
+        return {0, 0.0, false};
+    const bool nv_first = isNonvolatile(addr);
+    const bool nv_last = isNonvolatile(addr + len - 1);
+    if (nv_first != nv_last)
+        fatalf("AddressSpace: write at ", addr, " straddles the "
+               "volatile/nonvolatile boundary");
+    if (nv_first) {
+        if (nvCache) {
+            MemAccessResult cost = cachedCost(addr, len, true);
+            nonvolatileMem.write(addr - volatileBytes, in, len);
+            return cost;
+        }
+        const auto cost =
+            nonvolatileMem.write(addr - volatileBytes, in, len);
+        return {cost.cycles, cost.energy, true};
+    }
+    volatileMem.write(addr, in, len);
+    return {0, 0.0, false};
+}
+
+void
+AddressSpace::attachNvmCache(const CacheGeometry &geometry)
+{
+    nvCache.emplace(geometry);
+}
+
+Cache &
+AddressSpace::nvmCache()
+{
+    EH_ASSERT(nvCache.has_value(), "no NVM cache attached");
+    return *nvCache;
+}
+
+FlushResult
+AddressSpace::drainCache()
+{
+    if (!nvCache)
+        return {0, 0, 0};
+    return nvCache->flushDirty();
+}
+
+std::uint32_t
+AddressSpace::load32(std::uint64_t addr, MemAccessResult *cost)
+{
+    std::uint32_t v;
+    const auto result = read(addr, &v, 4);
+    if (cost)
+        *cost = result;
+    return v;
+}
+
+void
+AddressSpace::store32(std::uint64_t addr, std::uint32_t value,
+                      MemAccessResult *cost)
+{
+    const auto result = write(addr, &value, 4);
+    if (cost)
+        *cost = result;
+}
+
+void
+AddressSpace::powerFail()
+{
+    volatileMem.powerFail();
+    nonvolatileMem.powerFail();
+    if (nvCache)
+        nvCache->invalidateAll(); // the cache is volatile
+}
+
+} // namespace eh::mem

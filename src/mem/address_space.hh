@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Flat address map combining volatile SRAM and nonvolatile memory, as on
+ * the MSP430FR and Cortex-M0+ platforms the paper evaluates. The CPU
+ * issues loads/stores against this map; the map dispatches by region and
+ * reports each access's energy/latency cost plus whether it touched
+ * nonvolatile state (which is what triggers idempotency tracking).
+ */
+
+#ifndef EH_MEM_ADDRESS_SPACE_HH
+#define EH_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/cache.hh"
+#include "mem/nvm.hh"
+#include "mem/sram.hh"
+
+namespace eh::mem {
+
+/** Result of one CPU memory access. */
+struct MemAccessResult
+{
+    std::uint64_t cycles;  ///< extra cycles beyond the base instruction
+    double energy;         ///< extra energy beyond the base instruction
+    bool nonvolatile;      ///< the access targeted NVM
+};
+
+/**
+ * Two-region memory map:
+ *   [0, sramBytes)                      — volatile SRAM
+ *   [nvmBase, nvmBase + nvmBytes)       — nonvolatile memory
+ * nvmBase defaults to sramBytes (contiguous regions).
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param sram_bytes SRAM capacity (> 0).
+     * @param nvm_bytes  NVM capacity (> 0).
+     * @param tech       NVM technology.
+     */
+    AddressSpace(std::size_t sram_bytes, std::size_t nvm_bytes,
+                 NvmTech tech = NvmTech::Fram);
+
+    /** First NVM address. */
+    std::uint64_t nvmBase() const { return volatileBytes; }
+
+    /** One-past-last valid address. */
+    std::uint64_t limit() const;
+
+    /** True when addr lies in the nonvolatile region. */
+    bool isNonvolatile(std::uint64_t addr) const;
+
+    /** Read @p len bytes; dispatches by region. */
+    MemAccessResult read(std::uint64_t addr, void *out, std::size_t len);
+
+    /** Write @p len bytes; dispatches by region. */
+    MemAccessResult write(std::uint64_t addr, const void *in,
+                          std::size_t len);
+
+    /** 32-bit load (must not straddle the region boundary). */
+    std::uint32_t load32(std::uint64_t addr, MemAccessResult *cost);
+
+    /** 32-bit store (must not straddle the region boundary). */
+    void store32(std::uint64_t addr, std::uint32_t value,
+                 MemAccessResult *cost);
+
+    /** Power failure: SRAM poisons, NVM persists, the cache is lost. */
+    void powerFail();
+
+    /**
+     * Interpose a volatile write-back cache on the nonvolatile region
+     * (the mixed-volatility platform of Section VI-A). Hits cost
+     * nothing extra; misses pay a block fill from NVM; dirty evictions
+     * additionally pay a block write-back. Data writes remain
+     * immediately visible in NVM (the cache models *cost*, not
+     * coherence), which keeps intermittent re-execution semantics
+     * unchanged. Call drainCache() at each backup to charge the dirty
+     * flush the backup must perform.
+     */
+    void attachNvmCache(const CacheGeometry &geometry);
+
+    /** True when a cache is interposed on the NVM region. */
+    bool hasNvmCache() const { return nvCache.has_value(); }
+
+    /** The interposed cache (must exist). */
+    Cache &nvmCache();
+
+    /**
+     * Flush all dirty blocks for a backup and return the flush summary
+     * (charge bytesBlock at NVM write cost). No-op result when no cache
+     * is attached.
+     */
+    FlushResult drainCache();
+
+    /** Underlying volatile memory (backup policies copy from it). */
+    Sram &sram() { return volatileMem; }
+
+    /** Underlying nonvolatile memory (backup policies copy into it). */
+    Nvm &nvm() { return nonvolatileMem; }
+
+    /** Const access to the nonvolatile memory. */
+    const Nvm &nvm() const { return nonvolatileMem; }
+
+  private:
+    /** Cost of a cached NVM access (fills and write-backs per block). */
+    MemAccessResult cachedCost(std::uint64_t addr, std::size_t len,
+                               bool is_store);
+
+    std::size_t volatileBytes;
+    Sram volatileMem;
+    Nvm nonvolatileMem;
+    std::optional<Cache> nvCache;
+};
+
+} // namespace eh::mem
+
+#endif // EH_MEM_ADDRESS_SPACE_HH

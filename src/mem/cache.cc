@@ -1,0 +1,165 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "util/panic.hh"
+
+namespace eh::mem {
+
+double
+CacheStats::loadMissRatio() const
+{
+    return loads ? static_cast<double>(loadMisses) /
+                       static_cast<double>(loads)
+                 : 0.0;
+}
+
+double
+CacheStats::storeMissRatio() const
+{
+    return stores ? static_cast<double>(storeMisses) /
+                        static_cast<double>(stores)
+                  : 0.0;
+}
+
+namespace {
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheGeometry &geometry) : geom(geometry)
+{
+    if (!isPow2(geom.totalBytes) || !isPow2(geom.associativity) ||
+        !isPow2(geom.blockBytes)) {
+        fatalf("Cache: size (", geom.totalBytes, "), associativity (",
+               geom.associativity, ") and block (", geom.blockBytes,
+               ") must all be powers of two");
+    }
+    if (geom.blockBytes > 64)
+        fatalf("Cache: block size ", geom.blockBytes,
+               " exceeds the 64-byte dirty-mask limit");
+    const std::size_t blocks = geom.totalBytes / geom.blockBytes;
+    if (blocks < geom.associativity)
+        fatalf("Cache: fewer blocks (", blocks, ") than ways (",
+               geom.associativity, ")");
+    sets = blocks / geom.associativity;
+    lines.assign(blocks, Line{});
+}
+
+std::size_t
+Cache::popcount64(std::uint64_t mask)
+{
+    return static_cast<std::size_t>(std::popcount(mask));
+}
+
+Cache::Line &
+Cache::findVictim(std::size_t set_index)
+{
+    Line *victim = nullptr;
+    for (std::size_t w = 0; w < geom.associativity; ++w) {
+        Line &line = lines[set_index * geom.associativity + w];
+        if (!line.valid)
+            return line;
+        if (!victim || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    return *victim;
+}
+
+bool
+Cache::access(std::uint64_t addr, std::size_t bytes, bool is_store)
+{
+    return accessEx(addr, bytes, is_store).hit;
+}
+
+Cache::AccessOutcome
+Cache::accessEx(std::uint64_t addr, std::size_t bytes, bool is_store)
+{
+    EH_ASSERT(bytes > 0, "access must touch at least one byte");
+    const std::uint64_t block = addr / geom.blockBytes;
+    const std::uint64_t offset = addr % geom.blockBytes;
+    EH_ASSERT(offset + bytes <= geom.blockBytes,
+              "access must not cross a cache-block boundary");
+    const std::size_t set_index =
+        static_cast<std::size_t>(block) & (sets - 1);
+    const std::uint64_t tag = block / sets;
+
+    ++clock;
+    if (is_store)
+        ++counters.stores;
+    else
+        ++counters.loads;
+
+    const std::uint64_t span_mask =
+        (bytes >= 64 ? ~0ull : ((1ull << bytes) - 1)) << offset;
+
+    // Hit path.
+    for (std::size_t w = 0; w < geom.associativity; ++w) {
+        Line &line = lines[set_index * geom.associativity + w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = clock;
+            if (is_store)
+                line.dirtyMask |= span_mask;
+            return {true, false};
+        }
+    }
+
+    // Miss: allocate (write-allocate policy), evicting LRU.
+    if (is_store)
+        ++counters.storeMisses;
+    else
+        ++counters.loadMisses;
+    Line &victim = findVictim(set_index);
+    const bool evicted_dirty = victim.valid && victim.dirtyMask != 0;
+    if (evicted_dirty)
+        ++counters.writebacks;
+    victim.valid = true;
+    victim.tag = tag;
+    victim.dirtyMask = is_store ? span_mask : 0;
+    victim.lruStamp = clock;
+    return {false, evicted_dirty};
+}
+
+FlushResult
+Cache::flushDirty()
+{
+    FlushResult result{0, 0, 0};
+    for (auto &line : lines) {
+        if (line.valid && line.dirtyMask != 0) {
+            ++result.blocks;
+            result.bytesBlock += geom.blockBytes;
+            result.bytesExact += popcount64(line.dirtyMask);
+            line.dirtyMask = 0; // clean after the backup copy
+        }
+    }
+    counters.backupFlushBlocks += result.blocks;
+    counters.backupFlushBytesBlock += result.bytesBlock;
+    counters.backupFlushBytesExact += result.bytesExact;
+    return result;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines) {
+        line.valid = false;
+        line.dirtyMask = 0;
+    }
+}
+
+std::uint64_t
+Cache::dirtyBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines)
+        if (line.valid && line.dirtyMask != 0)
+            ++n;
+    return n;
+}
+
+} // namespace eh::mem

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative write-back cache with block-granularity dirty tracking,
+ * modeling the volatile (or mixed-volatility) caches of Section VI-A. On a
+ * backup, every dirty block must be flushed to nonvolatile memory; the
+ * cache therefore also tracks the *byte*-granularity dirty footprint so
+ * the block-vs-byte inflation factor (beta_block / beta_store) the paper
+ * derives can be measured directly.
+ */
+
+#ifndef EH_MEM_CACHE_HH
+#define EH_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eh::mem {
+
+/** Cache shape. All three values must be powers of two. */
+struct CacheGeometry
+{
+    std::size_t totalBytes = 1024;
+    std::size_t associativity = 4;
+    std::size_t blockBytes = 16;
+};
+
+/** Counters accumulated by the cache. */
+struct CacheStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t writebacks = 0;          ///< dirty evictions
+    std::uint64_t backupFlushBlocks = 0;   ///< dirty blocks flushed at backups
+    std::uint64_t backupFlushBytesBlock = 0; ///< block-granularity bytes
+    std::uint64_t backupFlushBytesExact = 0; ///< actually-dirty bytes
+
+    /** Load miss ratio; 0 when no loads occurred. */
+    double loadMissRatio() const;
+
+    /** Store miss ratio; 0 when no stores occurred. */
+    double storeMissRatio() const;
+};
+
+/** What a backup flush of all dirty blocks amounts to. */
+struct FlushResult
+{
+    std::uint64_t blocks;       ///< dirty blocks written back
+    std::uint64_t bytesBlock;   ///< bytes at block granularity
+    std::uint64_t bytesExact;   ///< bytes at byte granularity
+};
+
+/**
+ * LRU set-associative write-back cache over an abstract backing store.
+ * The cache tracks tags and dirty bytes only (no data payload): the
+ * simulators use it for traffic and footprint accounting, with payload
+ * correctness handled by the memories themselves.
+ */
+class Cache
+{
+  public:
+    /** @throws FatalError unless the geometry is power-of-two sized. */
+    explicit Cache(const CacheGeometry &geometry);
+
+    /** Outcome of one access (cost drivers for the caller). */
+    struct AccessOutcome
+    {
+        bool hit;              ///< tag matched
+        bool evictedDirty;     ///< a dirty block was written back
+    };
+
+    /**
+     * Access one byte-span that fits inside a single block.
+     * @param addr     Address of the access.
+     * @param bytes    Span width (must not cross a block boundary).
+     * @param is_store Store accesses mark dirty bytes.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr, std::size_t bytes, bool is_store);
+
+    /** As access(), but also reports whether a dirty eviction occurred. */
+    AccessOutcome accessEx(std::uint64_t addr, std::size_t bytes,
+                           bool is_store);
+
+    /**
+     * Flush all dirty blocks (a backup). Clears dirty state, counts into
+     * the stats, and reports the written footprint at both granularities.
+     */
+    FlushResult flushDirty();
+
+    /** Drop all contents (power failure of a fully volatile cache). */
+    void invalidateAll();
+
+    /** Current number of dirty blocks. */
+    std::uint64_t dirtyBlocks() const;
+
+    /** Counters so far. */
+    const CacheStats &stats() const { return counters; }
+
+    /** Reset the counters (not the contents). */
+    void clearStats() { counters = CacheStats{}; }
+
+    /** Geometry in force. */
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Number of sets. */
+    std::size_t numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t dirtyMask = 0; ///< one bit per byte (block <= 64 B)
+        std::uint64_t lruStamp = 0;
+    };
+
+    Line &findVictim(std::size_t set_index);
+    static std::size_t popcount64(std::uint64_t mask);
+
+    CacheGeometry geom;
+    std::size_t sets;
+    std::vector<Line> lines; ///< sets * associativity, set-major
+    std::uint64_t clock = 0;
+    CacheStats counters;
+};
+
+} // namespace eh::mem
+
+#endif // EH_MEM_CACHE_HH

@@ -1,0 +1,125 @@
+#include "mem/nvm.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace eh::mem {
+
+const char *
+nvmTechName(NvmTech tech)
+{
+    switch (tech) {
+      case NvmTech::Fram:
+        return "FRAM";
+      case NvmTech::Flash:
+        return "Flash";
+      case NvmTech::SttRam:
+        return "STT-RAM";
+      case NvmTech::ReRam:
+        return "ReRAM";
+    }
+    panic("invalid NVM technology");
+}
+
+NvmCosts
+defaultCosts(NvmTech tech)
+{
+    // Energies in pJ/byte; bandwidths in bytes/cycle. Chosen to preserve
+    // the asymmetry ratios the paper's case studies depend on.
+    switch (tech) {
+      case NvmTech::Fram:
+        return {75.0, 75.0, 1.0, 1.0};
+      case NvmTech::Flash:
+        return {40.0, 2000.0, 2.0, 0.05};
+      case NvmTech::SttRam:
+        return {50.0, 500.0, 2.0, 0.2}; // writes ~10x reads (Section VI-A)
+      case NvmTech::ReRam:
+        return {60.0, 240.0, 1.5, 0.5};
+    }
+    panic("invalid NVM technology");
+}
+
+Nvm::Nvm(std::size_t bytes, NvmTech tech)
+    : data(bytes, 0), technology(tech), costTable(defaultCosts(tech))
+{
+    if (bytes == 0)
+        fatalf("Nvm: capacity must be > 0");
+}
+
+void
+Nvm::setCosts(const NvmCosts &costs)
+{
+    if (costs.readEnergyPerByte < 0.0 || costs.writeEnergyPerByte < 0.0)
+        fatalf("Nvm: access energies must be >= 0");
+    if (!(costs.readBandwidth > 0.0) || !(costs.writeBandwidth > 0.0))
+        fatalf("Nvm: bandwidths must be > 0");
+    costTable = costs;
+}
+
+void
+Nvm::checkRange(std::uint64_t addr, std::size_t len,
+                const char *what) const
+{
+    if (addr + len > data.size() || addr + len < addr) {
+        fatalf("Nvm: ", what, " of ", len, " bytes at ", addr,
+               " exceeds capacity ", data.size());
+    }
+}
+
+AccessCost
+Nvm::readCost(std::size_t len) const
+{
+    const auto bytes = static_cast<double>(len);
+    return {static_cast<std::uint64_t>(
+                std::ceil(bytes / costTable.readBandwidth)),
+            bytes * costTable.readEnergyPerByte};
+}
+
+AccessCost
+Nvm::writeCost(std::size_t len) const
+{
+    const auto bytes = static_cast<double>(len);
+    return {static_cast<std::uint64_t>(
+                std::ceil(bytes / costTable.writeBandwidth)),
+            bytes * costTable.writeEnergyPerByte};
+}
+
+AccessCost
+Nvm::read(std::uint64_t addr, void *out, std::size_t len) const
+{
+    checkRange(addr, len, "read");
+    std::memcpy(out, data.data() + addr, len);
+    readTotal += len;
+    return readCost(len);
+}
+
+AccessCost
+Nvm::write(std::uint64_t addr, const void *in, std::size_t len)
+{
+    checkRange(addr, len, "write");
+    std::memcpy(data.data() + addr, in, len);
+    writtenTotal += len;
+    return writeCost(len);
+}
+
+std::uint32_t
+Nvm::load32(std::uint64_t addr) const
+{
+    checkRange(addr, 4, "load32");
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + addr, 4);
+    readTotal += 4;
+    return v;
+}
+
+void
+Nvm::store32(std::uint64_t addr, std::uint32_t value)
+{
+    checkRange(addr, 4, "store32");
+    std::memcpy(data.data() + addr, &value, 4);
+    writtenTotal += 4;
+}
+
+} // namespace eh::mem

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Nonvolatile memory models. The paper's design space spans FRAM, Flash,
+ * STT-RAM and ReRAM backends whose asymmetric read/write costs set the EH
+ * model's Omega_R / Omega_B and sigma_R / sigma_B parameters. This module
+ * provides byte-addressable storage whose contents survive power failures
+ * plus a per-technology cost table.
+ */
+
+#ifndef EH_MEM_NVM_HH
+#define EH_MEM_NVM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eh::mem {
+
+/** Nonvolatile technologies discussed in the paper (Sections II, VI-A). */
+enum class NvmTech
+{
+    Fram,   ///< symmetric, fast (MSP430FR-class)
+    Flash,  ///< cheap reads, very expensive block-erase writes
+    SttRam, ///< writes ~10x read cost (Section VI-A)
+    ReRam   ///< moderate asymmetry
+};
+
+/** Printable technology name. */
+const char *nvmTechName(NvmTech tech);
+
+/** Access cost structure of a technology, in model units (pJ, cycles). */
+struct NvmCosts
+{
+    double readEnergyPerByte;   ///< Omega_R
+    double writeEnergyPerByte;  ///< Omega_B
+    double readBandwidth;       ///< sigma_R, bytes/cycle
+    double writeBandwidth;      ///< sigma_B, bytes/cycle
+};
+
+/**
+ * Default cost table. Values are representative magnitudes chosen so the
+ * *ratios* the paper leans on hold: FRAM symmetric, Flash writes ~50x
+ * reads, STT-RAM writes ~10x reads (Section VI-A cites 10x for STT-RAM).
+ */
+NvmCosts defaultCosts(NvmTech tech);
+
+/** Cycles/energy charged by one memory transaction. */
+struct AccessCost
+{
+    std::uint64_t cycles;
+    double energy;
+};
+
+/**
+ * Byte-addressable nonvolatile storage. Contents persist across
+ * powerFail(); reads and writes report their energy/latency cost so the
+ * caller can meter them.
+ */
+class Nvm
+{
+  public:
+    /**
+     * @param bytes Capacity (> 0).
+     * @param tech  Technology selecting the default cost table.
+     */
+    Nvm(std::size_t bytes, NvmTech tech);
+
+    /** Capacity in bytes. */
+    std::size_t size() const { return data.size(); }
+
+    /** Technology of this device. */
+    NvmTech tech() const { return technology; }
+
+    /** Cost table in force. */
+    const NvmCosts &costs() const { return costTable; }
+
+    /** Override the cost table (design-space exploration). */
+    void setCosts(const NvmCosts &costs);
+
+    /** Read @p len bytes at @p addr into @p out; returns the cost. */
+    AccessCost read(std::uint64_t addr, void *out, std::size_t len) const;
+
+    /** Write @p len bytes at @p addr from @p in; returns the cost. */
+    AccessCost write(std::uint64_t addr, const void *in, std::size_t len);
+
+    /** Cost of reading @p len bytes without performing the access. */
+    AccessCost readCost(std::size_t len) const;
+
+    /** Cost of writing @p len bytes without performing the access. */
+    AccessCost writeCost(std::size_t len) const;
+
+    /** 32-bit convenience load (little-endian). */
+    std::uint32_t load32(std::uint64_t addr) const;
+
+    /** 32-bit convenience store (little-endian). */
+    void store32(std::uint64_t addr, std::uint32_t value);
+
+    /** Power failure: nonvolatile contents are unaffected (by design). */
+    void powerFail() {}
+
+    /** Total bytes written over the device's lifetime (wear statistics). */
+    std::uint64_t bytesWritten() const { return writtenTotal; }
+
+    /** Total bytes read over the device's lifetime. */
+    std::uint64_t bytesRead() const { return readTotal; }
+
+  private:
+    void checkRange(std::uint64_t addr, std::size_t len,
+                    const char *what) const;
+
+    std::vector<std::uint8_t> data;
+    NvmTech technology;
+    NvmCosts costTable;
+    mutable std::uint64_t readTotal = 0;
+    std::uint64_t writtenTotal = 0;
+};
+
+} // namespace eh::mem
+
+#endif // EH_MEM_NVM_HH

@@ -1,0 +1,62 @@
+#include "mem/sram.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace eh::mem {
+
+Sram::Sram(std::size_t bytes) : data(bytes, 0)
+{
+    if (bytes == 0)
+        fatalf("Sram: capacity must be > 0");
+}
+
+void
+Sram::checkRange(std::uint64_t addr, std::size_t len) const
+{
+    if (addr + len > data.size() || addr + len < addr) {
+        fatalf("Sram: access of ", len, " bytes at ", addr,
+               " exceeds capacity ", data.size());
+    }
+}
+
+void
+Sram::read(std::uint64_t addr, void *out, std::size_t len) const
+{
+    checkRange(addr, len);
+    std::memcpy(out, data.data() + addr, len);
+}
+
+void
+Sram::write(std::uint64_t addr, const void *in, std::size_t len)
+{
+    checkRange(addr, len);
+    std::memcpy(data.data() + addr, in, len);
+}
+
+std::uint32_t
+Sram::load32(std::uint64_t addr) const
+{
+    checkRange(addr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + addr, 4);
+    return v;
+}
+
+void
+Sram::store32(std::uint64_t addr, std::uint32_t value)
+{
+    checkRange(addr, 4);
+    std::memcpy(data.data() + addr, &value, 4);
+}
+
+void
+Sram::powerFail()
+{
+    std::fill(data.begin(), data.end(), poisonByte);
+    ++failures;
+}
+
+} // namespace eh::mem

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Volatile on-chip memory. Contents are destroyed by power failures; the
+ * model's whole problem statement follows from this (Section II). Lost
+ * contents are poisoned rather than zeroed so that incorrect
+ * use-after-power-loss is caught by tests instead of silently reading
+ * zeros.
+ */
+
+#ifndef EH_MEM_SRAM_HH
+#define EH_MEM_SRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eh::mem {
+
+/** Byte-addressable volatile storage with power-failure semantics. */
+class Sram
+{
+  public:
+    /** Poison value written over all contents on power failure. */
+    static constexpr std::uint8_t poisonByte = 0xA5;
+
+    /** @param bytes Capacity (> 0). */
+    explicit Sram(std::size_t bytes);
+
+    /** Capacity in bytes. */
+    std::size_t size() const { return data.size(); }
+
+    /** Read @p len bytes at @p addr into @p out. */
+    void read(std::uint64_t addr, void *out, std::size_t len) const;
+
+    /** Write @p len bytes at @p addr from @p in. */
+    void write(std::uint64_t addr, const void *in, std::size_t len);
+
+    /** 32-bit convenience load (little-endian). */
+    std::uint32_t load32(std::uint64_t addr) const;
+
+    /** 32-bit convenience store (little-endian). */
+    void store32(std::uint64_t addr, std::uint32_t value);
+
+    /** Power failure: all contents are replaced with the poison byte. */
+    void powerFail();
+
+    /** Number of power failures this memory has suffered. */
+    std::uint64_t powerFailures() const { return failures; }
+
+  private:
+    void checkRange(std::uint64_t addr, std::size_t len) const;
+
+    std::vector<std::uint8_t> data;
+    std::uint64_t failures = 0;
+};
+
+} // namespace eh::mem
+
+#endif // EH_MEM_SRAM_HH

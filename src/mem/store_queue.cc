@@ -1,0 +1,21 @@
+#include "mem/store_queue.hh"
+
+namespace eh::mem {
+
+void
+StoreQueue::recordStore(std::uint64_t addr, std::size_t bytes)
+{
+    ++stores;
+    for (std::size_t i = 0; i < bytes; ++i)
+        dirty.insert(addr + i);
+}
+
+void
+StoreQueue::clear()
+{
+    lifetimeBytes += dirty.size();
+    dirty.clear();
+    stores = 0;
+}
+
+} // namespace eh::mem

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unbounded store queue tracking the unique bytes of application state
+ * modified since the last backup. This is the instrument behind the
+ * paper's alpha_B characterization (Section V-B, Figure 10): dividing the
+ * unique dirty footprint by the cycles since the last backup yields the
+ * application-state rate the EH model consumes.
+ */
+
+#ifndef EH_MEM_STORE_QUEUE_HH
+#define EH_MEM_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace eh::mem {
+
+/**
+ * Records the set of byte addresses written since the last clear(). The
+ * queue is unbounded, matching the hypothetical mixed-volatility processor
+ * the paper simulates; real designs would bound it and force a backup on
+ * overflow, which callers can model by checking uniqueBytes() themselves.
+ */
+class StoreQueue
+{
+  public:
+    /** Record a store of @p bytes at @p addr. */
+    void recordStore(std::uint64_t addr, std::size_t bytes);
+
+    /** Unique bytes dirtied since the last clear. */
+    std::size_t uniqueBytes() const { return dirty.size(); }
+
+    /** Total store instructions recorded since the last clear. */
+    std::uint64_t storeCount() const { return stores; }
+
+    /** Empty the queue (a backup committed the state). */
+    void clear();
+
+    /** Lifetime total of unique bytes across all backup intervals. */
+    std::uint64_t lifetimeUniqueBytes() const { return lifetimeBytes; }
+
+    /** True when no store has occurred since the last clear. */
+    bool empty() const { return dirty.empty(); }
+
+  private:
+    std::unordered_set<std::uint64_t> dirty;
+    std::uint64_t stores = 0;
+    std::uint64_t lifetimeBytes = 0;
+};
+
+} // namespace eh::mem
+
+#endif // EH_MEM_STORE_QUEUE_HH

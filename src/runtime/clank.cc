@@ -1,0 +1,85 @@
+#include "runtime/clank.hh"
+
+namespace eh::runtime {
+
+Clank::Clank(const ClankConfig &config)
+    : cfg(config),
+      detector(config.readBufferEntries, config.writeBufferEntries,
+               config.watchdogCycles)
+{
+}
+
+PolicyDecision
+Clank::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                  const SupplyView &supply)
+{
+    (void)cpu;
+    (void)supply;
+    PolicyDecision d;
+
+    // Watchdog: fires even when the code stays idempotent (e.g. long
+    // store-free stretches).
+    if (detector.cyclesSinceBackup() >= detector.watchdogPeriod()) {
+        d.action = PolicyAction::Backup;
+        d.reason = arch::BackupTrigger::Watchdog;
+        return d;
+    }
+
+    // Consult (and update) the tracking buffers for the upcoming
+    // nonvolatile access. A violation forces the backup to happen
+    // *before* the store executes.
+    if (peek.isMem && peek.nonvolatile) {
+        const arch::BackupTrigger trigger =
+            peek.isStore ? detector.onStore(peek.addr, peek.bytes)
+                         : detector.onLoad(peek.addr, peek.bytes);
+        if (trigger != arch::BackupTrigger::None) {
+            d.action = PolicyAction::Backup;
+            d.reason = trigger;
+        }
+    }
+    return d;
+}
+
+void
+Clank::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    // Advance the watchdog; firing is observed at the next beforeStep.
+    (void)detector.tick(result.cycles);
+}
+
+PolicyDecision
+Clank::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    return {}; // Clank needs no program cooperation
+}
+
+void
+Clank::onBackupCommitted(const SupplyView &supply)
+{
+    (void)supply;
+    detector.reset();
+}
+
+void
+Clank::onPowerFail()
+{
+    // The tracking buffers are volatile; after the restore the region
+    // starts fresh from the checkpoint anyway.
+    detector.reset();
+}
+
+void
+Clank::onRestore()
+{
+    detector.reset();
+}
+
+void
+Clank::setWatchdogPeriod(std::uint64_t cycles)
+{
+    detector.setWatchdogPeriod(cycles);
+}
+
+} // namespace eh::runtime

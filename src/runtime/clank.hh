@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Clank policy [22]: hardware idempotency tracking (Section V-B).
+ * Application data lives in nonvolatile memory; only the registers and PC
+ * are volatile. Backups are forced (1) before a store that would violate
+ * idempotency of the region executed since the last checkpoint, (2) when
+ * a tracking buffer overflows, or (3) when the watchdog period elapses.
+ * Because data is already nonvolatile, a backup saves only architectural
+ * state — the Cortex-M0+'s 20 32-bit registers in the paper's setup.
+ */
+
+#ifndef EH_RUNTIME_CLANK_HH
+#define EH_RUNTIME_CLANK_HH
+
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the Clank policy. */
+struct ClankConfig
+{
+    std::size_t readBufferEntries = 8;
+    std::size_t writeBufferEntries = 8;
+    std::uint64_t watchdogCycles = 8000;
+    /** Architectural bytes charged per backup (20 x 32-bit registers). */
+    std::uint64_t archBytes = 80;
+};
+
+/** Idempotency-violation-triggered policy. */
+class Clank : public BackupPolicy
+{
+  public:
+    explicit Clank(const ClankConfig &config);
+
+    std::string name() const override { return "clank"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override { return 0; }
+    std::uint64_t chargedArchBytes() const override
+    {
+        return cfg.archBytes;
+    }
+    bool savesVolatilePayload() const override { return false; }
+    void onBackupCommitted(const SupplyView &supply) override;
+    void onPowerFail() override;
+    void onRestore() override;
+
+    /** Detection hardware (tests and characterization reach in). */
+    const arch::IdempotencyTracker &tracker() const { return detector; }
+
+    /** Adjust the watchdog period (design-space sweeps). */
+    void setWatchdogPeriod(std::uint64_t cycles);
+
+  private:
+    ClankConfig cfg;
+    arch::IdempotencyTracker detector;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_CLANK_HH

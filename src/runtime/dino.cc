@@ -1,0 +1,63 @@
+#include "runtime/dino.hh"
+
+namespace eh::runtime {
+
+Dino::Dino(const DinoConfig &config) : cfg(config) {}
+
+PolicyDecision
+Dino::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                 const SupplyView &supply)
+{
+    (void)cpu;
+    (void)peek;
+    (void)supply;
+    return {}; // DINO commits only at task boundaries
+}
+
+void
+Dino::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    if (result.isMem && result.memIsStore && !result.memNonvolatile)
+        dirty.recordStore(result.memAddr, result.memBytes);
+}
+
+PolicyDecision
+Dino::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    PolicyDecision d;
+    d.action = PolicyAction::Backup; // unconditional task commit
+    return d;
+}
+
+std::uint64_t
+Dino::chargedAppBackupBytes() const
+{
+    if (cfg.chargeDirtyBytesOnly)
+        return dirty.uniqueBytes();
+    return cfg.sramUsedBytes;
+}
+
+void
+Dino::onBackupCommitted(const SupplyView &supply)
+{
+    (void)supply;
+    ++commits;
+    dirty.clear();
+}
+
+void
+Dino::onPowerFail()
+{
+    // The open task's dirty set is rolled back with the task itself.
+    dirty.clear();
+}
+
+void
+Dino::onRestore()
+{
+    dirty.clear();
+}
+
+} // namespace eh::runtime

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DINO/Chain-style task-boundary policy [34], [12]. The program is broken
+ * into atomic tasks; a CHECKPOINT instruction marks each task boundary
+ * and the runtime commits there unconditionally, saving the data the task
+ * modified. Versioning at task boundaries keeps nonvolatile state
+ * consistent; between boundaries a power failure rolls execution back to
+ * the last committed task.
+ */
+
+#ifndef EH_RUNTIME_DINO_HH
+#define EH_RUNTIME_DINO_HH
+
+#include "mem/store_queue.hh"
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the DINO policy. */
+struct DinoConfig
+{
+    /** Used SRAM bytes (payload physically copied for correctness). */
+    std::uint64_t sramUsedBytes = 512;
+    /**
+     * Charge backups for only the bytes dirtied since the last commit
+     * (DINO's versioning granularity) rather than the whole region.
+     */
+    bool chargeDirtyBytesOnly = true;
+};
+
+/** Task-boundary commit policy. */
+class Dino : public BackupPolicy
+{
+  public:
+    explicit Dino(const DinoConfig &config);
+
+    std::string name() const override { return "dino"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override;
+    bool savesVolatilePayload() const override { return true; }
+    void onBackupCommitted(const SupplyView &supply) override;
+    void onPowerFail() override;
+    void onRestore() override;
+
+    /** Task commits so far. */
+    std::uint64_t tasksCommitted() const { return commits; }
+
+  private:
+    DinoConfig cfg;
+    mem::StoreQueue dirty; ///< volatile-store footprint of the open task
+    std::uint64_t commits = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_DINO_HH

@@ -1,0 +1,81 @@
+#include "runtime/hibernus.hh"
+
+#include "util/panic.hh"
+
+namespace eh::runtime {
+
+Hibernus::Hibernus(const HibernusConfig &config) : cfg(config)
+{
+    if (cfg.backupThreshold <= 0.0 || cfg.backupThreshold >= 1.0)
+        fatalf("Hibernus: backup threshold must be in (0, 1), got ",
+               cfg.backupThreshold);
+    if (cfg.monitorPeriod == 0)
+        fatalf("Hibernus: monitor period must be > 0");
+}
+
+PolicyDecision
+Hibernus::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                     const SupplyView &supply)
+{
+    (void)cpu;
+    (void)peek;
+    PolicyDecision d;
+    if (backedUpThisPeriod)
+        return d; // already hibernating; simulator ends the period
+    if (cyclesSinceCheck < cfg.monitorPeriod)
+        return d;
+
+    // Time for an ADC supply check.
+    cyclesSinceCheck = 0;
+    ++checks;
+    d.monitorCycles = cfg.adcCycles;
+    d.monitorEnergy = cfg.adcEnergy;
+    if (supply.fraction() < cfg.backupThreshold) {
+        d.action = PolicyAction::BackupAndSleep;
+        d.reason = arch::BackupTrigger::None;
+    }
+    return d;
+}
+
+void
+Hibernus::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    cyclesSinceCheck += result.cycles;
+}
+
+PolicyDecision
+Hibernus::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    return {}; // Hibernus ignores program checkpoints entirely
+}
+
+std::uint64_t
+Hibernus::chargedAppBackupBytes() const
+{
+    return cfg.sramUsedBytes;
+}
+
+void
+Hibernus::onBackupCommitted(const SupplyView &supply)
+{
+    (void)supply;
+    backedUpThisPeriod = true;
+}
+
+void
+Hibernus::onPowerFail()
+{
+    cyclesSinceCheck = 0;
+    backedUpThisPeriod = false;
+}
+
+void
+Hibernus::onRestore()
+{
+    cyclesSinceCheck = 0;
+    backedUpThisPeriod = false;
+}
+
+} // namespace eh::runtime

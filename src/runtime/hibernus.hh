@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hibernus-style single-backup policy (Section II / IV-B). The device
+ * periodically samples its supply with an ADC; when the stored energy
+ * falls below a threshold — signaling an imminent power loss — it backs
+ * up all volatile state once and hibernates until the next active
+ * period. The ADC sampling itself costs energy: the paper notes up to
+ * 40% overhead for aggressive monitoring (Section IV-B).
+ */
+
+#ifndef EH_RUNTIME_HIBERNUS_HH
+#define EH_RUNTIME_HIBERNUS_HH
+
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the Hibernus policy. */
+struct HibernusConfig
+{
+    /** Back up when stored/budget falls below this fraction. */
+    double backupThreshold = 0.10;
+    /** Cycles between ADC supply checks. */
+    std::uint64_t monitorPeriod = 64;
+    /** Cycles one ADC check occupies. */
+    std::uint64_t adcCycles = 4;
+    /** Energy one ADC check consumes (model units). */
+    double adcEnergy = 400.0;
+    /** Used SRAM bytes that the single backup must save. */
+    std::uint64_t sramUsedBytes = 512;
+};
+
+/** Single-backup voltage-threshold policy. */
+class Hibernus : public BackupPolicy
+{
+  public:
+    explicit Hibernus(const HibernusConfig &config);
+
+    std::string name() const override { return "hibernus"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override;
+    bool savesVolatilePayload() const override { return true; }
+    void onBackupCommitted(const SupplyView &supply) override;
+    void onPowerFail() override;
+    void onRestore() override;
+
+    /** Number of ADC checks performed (overhead characterization). */
+    std::uint64_t adcChecks() const { return checks; }
+
+  private:
+    HibernusConfig cfg;
+    std::uint64_t cyclesSinceCheck = 0;
+    bool backedUpThisPeriod = false;
+    std::uint64_t checks = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_HIBERNUS_HH

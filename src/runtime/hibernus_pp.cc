@@ -1,0 +1,114 @@
+#include "runtime/hibernus_pp.hh"
+
+#include <algorithm>
+
+#include "util/panic.hh"
+
+namespace eh::runtime {
+
+HibernusPP::HibernusPP(const HibernusPPConfig &config)
+    : cfg(config), thresholdFraction(config.initialThreshold)
+{
+    if (cfg.initialThreshold <= 0.0 || cfg.initialThreshold >= 1.0)
+        fatalf("HibernusPP: initial threshold must be in (0, 1), got ",
+               cfg.initialThreshold);
+    if (cfg.safetyMargin < 1.0)
+        fatalf("HibernusPP: safety margin must be >= 1, got ",
+               cfg.safetyMargin);
+    if (cfg.minThreshold <= 0.0 ||
+        cfg.minThreshold >= cfg.initialThreshold)
+        fatalf("HibernusPP: minimum threshold must be in (0, initial), "
+               "got ",
+               cfg.minThreshold);
+    if (cfg.monitorPeriod == 0)
+        fatalf("HibernusPP: monitor period must be > 0");
+    if (cfg.adaptRate <= 0.0 || cfg.adaptRate > 1.0)
+        fatalf("HibernusPP: adapt rate must be in (0, 1], got ",
+               cfg.adaptRate);
+}
+
+PolicyDecision
+HibernusPP::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                       const SupplyView &supply)
+{
+    (void)cpu;
+    (void)peek;
+    PolicyDecision d;
+    if (backedUpThisPeriod)
+        return d;
+    if (cyclesSinceCheck < cfg.monitorPeriod)
+        return d;
+
+    cyclesSinceCheck = 0;
+    d.monitorCycles = cfg.adcCycles;
+    d.monitorEnergy = cfg.adcEnergy;
+    if (supply.fraction() < thresholdFraction) {
+        d.action = PolicyAction::BackupAndSleep;
+        backupInFlight = true;
+        storedAtTrigger = supply.stored;
+        lastBudget = supply.budget;
+    }
+    return d;
+}
+
+void
+HibernusPP::afterStep(const arch::Cpu &cpu,
+                      const arch::StepResult &result)
+{
+    (void)cpu;
+    cyclesSinceCheck += result.cycles;
+}
+
+PolicyDecision
+HibernusPP::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    return {};
+}
+
+std::uint64_t
+HibernusPP::chargedAppBackupBytes() const
+{
+    return cfg.sramUsedBytes;
+}
+
+void
+HibernusPP::onBackupCommitted(const SupplyView &supply)
+{
+    backedUpThisPeriod = true;
+    if (!backupInFlight || lastBudget <= 0.0)
+        return;
+    backupInFlight = false;
+
+    // Measured backup cost: energy at the trigger minus what is left.
+    const double measured_cost =
+        std::max(0.0, storedAtTrigger - supply.stored);
+    const double target = std::clamp(
+        cfg.safetyMargin * measured_cost / lastBudget,
+        cfg.minThreshold, 0.95);
+    thresholdFraction += cfg.adaptRate * (target - thresholdFraction);
+    ++adapted;
+}
+
+void
+HibernusPP::onPowerFail()
+{
+    cyclesSinceCheck = 0;
+    backedUpThisPeriod = false;
+    if (backupInFlight) {
+        // The backup itself browned out: the threshold was too low.
+        backupInFlight = false;
+        thresholdFraction = std::min(0.95, thresholdFraction * 2.0);
+        ++adapted;
+    }
+}
+
+void
+HibernusPP::onRestore()
+{
+    cyclesSinceCheck = 0;
+    backedUpThisPeriod = false;
+    backupInFlight = false;
+}
+
+} // namespace eh::runtime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hibernus++-style self-calibrating single-backup policy [5]. Plain
+ * Hibernus needs its backup threshold hand-tuned to the platform: too
+ * low and the backup browns out, too high and usable energy is wasted
+ * asleep. Hibernus++ measures how much energy its backup actually needs
+ * and adapts the threshold period by period, converging to the minimum
+ * safe margin without platform-specific configuration.
+ */
+
+#ifndef EH_RUNTIME_HIBERNUS_PP_HH
+#define EH_RUNTIME_HIBERNUS_PP_HH
+
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the adaptive single-backup policy. */
+struct HibernusPPConfig
+{
+    /** Initial (conservative) threshold fraction. */
+    double initialThreshold = 0.5;
+    /** Safety margin multiplier on the measured backup energy. */
+    double safetyMargin = 1.5;
+    /** Smallest threshold the adaptation may reach. */
+    double minThreshold = 0.02;
+    /** Cycles between ADC supply checks. */
+    std::uint64_t monitorPeriod = 64;
+    /** Cycles one ADC check occupies. */
+    std::uint64_t adcCycles = 4;
+    /** Energy one ADC check consumes. */
+    double adcEnergy = 400.0;
+    /** Used SRAM bytes the single backup must save. */
+    std::uint64_t sramUsedBytes = 512;
+    /** Exponential smoothing factor for the threshold update (0, 1]. */
+    double adaptRate = 0.5;
+};
+
+/**
+ * Adaptive single-backup policy. Observes the supply level before and
+ * after each committed backup, estimates the true backup cost, and
+ * steers the hibernation threshold to safetyMargin times that cost. A
+ * backup that browns out (power failure before commit) immediately
+ * doubles the threshold — the recovery path real Hibernus++ uses after a
+ * mis-calibration.
+ */
+class HibernusPP : public BackupPolicy
+{
+  public:
+    explicit HibernusPP(const HibernusPPConfig &config);
+
+    std::string name() const override { return "hibernus++"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override;
+    bool savesVolatilePayload() const override { return true; }
+    void onBackupCommitted(const SupplyView &supply) override;
+    void onPowerFail() override;
+    void onRestore() override;
+
+    /** Current adapted threshold fraction (tests/telemetry). */
+    double threshold() const { return thresholdFraction; }
+
+    /** Number of threshold adaptations performed. */
+    std::uint64_t adaptations() const { return adapted; }
+
+  private:
+    HibernusPPConfig cfg;
+    double thresholdFraction;
+    std::uint64_t cyclesSinceCheck = 0;
+    bool backedUpThisPeriod = false;
+    bool backupInFlight = false;
+    double storedAtTrigger = 0.0;
+    double lastBudget = 0.0;
+    std::uint64_t adapted = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_HIBERNUS_PP_HH

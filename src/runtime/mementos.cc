@@ -1,0 +1,51 @@
+#include "runtime/mementos.hh"
+
+#include "util/panic.hh"
+
+namespace eh::runtime {
+
+Mementos::Mementos(const MementosConfig &config) : cfg(config)
+{
+    if (cfg.backupThreshold <= 0.0 || cfg.backupThreshold > 1.0)
+        fatalf("Mementos: backup threshold must be in (0, 1], got ",
+               cfg.backupThreshold);
+}
+
+PolicyDecision
+Mementos::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                     const SupplyView &supply)
+{
+    (void)cpu;
+    (void)peek;
+    (void)supply;
+    return {}; // Mementos acts only at checkpoint instructions
+}
+
+void
+Mementos::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    (void)result;
+}
+
+PolicyDecision
+Mementos::onCheckpointOp(const SupplyView &supply)
+{
+    ++seen;
+    PolicyDecision d;
+    d.monitorCycles = cfg.checkCycles;
+    d.monitorEnergy = cfg.checkEnergy;
+    if (supply.fraction() < cfg.backupThreshold) {
+        ++taken;
+        d.action = PolicyAction::Backup;
+    }
+    return d;
+}
+
+std::uint64_t
+Mementos::chargedAppBackupBytes() const
+{
+    return cfg.sramUsedBytes;
+}
+
+} // namespace eh::runtime

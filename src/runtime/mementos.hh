@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Mementos-style multi-backup policy [43]. The compiler (here: the
+ * workload author) inserts CHECKPOINT instructions at loop-iteration and
+ * function boundaries. At each checkpoint the runtime samples the supply;
+ * if the stored energy is below a threshold, it copies the used volatile
+ * memory to nonvolatile storage. Between checkpoints nothing is saved, so
+ * work past the last successful checkpoint is lost on a power failure.
+ */
+
+#ifndef EH_RUNTIME_MEMENTOS_HH
+#define EH_RUNTIME_MEMENTOS_HH
+
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the Mementos policy. */
+struct MementosConfig
+{
+    /** Back up at a checkpoint when stored/budget is below this. */
+    double backupThreshold = 0.5;
+    /** Cycles the supply test at each checkpoint occupies. */
+    std::uint64_t checkCycles = 4;
+    /** Energy of the supply test at each checkpoint. */
+    double checkEnergy = 400.0;
+    /** Used SRAM bytes each backup must save. */
+    std::uint64_t sramUsedBytes = 512;
+};
+
+/** Checkpoint-with-voltage-test policy. */
+class Mementos : public BackupPolicy
+{
+  public:
+    explicit Mementos(const MementosConfig &config);
+
+    std::string name() const override { return "mementos"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override;
+    bool savesVolatilePayload() const override { return true; }
+    void onBackupCommitted(const SupplyView &supply) override
+    {
+        (void)supply;
+    }
+    void onPowerFail() override {}
+    void onRestore() override {}
+
+    /** Checkpoints reached (taken or skipped). */
+    std::uint64_t checkpointsSeen() const { return seen; }
+
+    /** Checkpoints at which a backup was actually taken. */
+    std::uint64_t checkpointsTaken() const { return taken; }
+
+  private:
+    MementosConfig cfg;
+    std::uint64_t seen = 0;
+    std::uint64_t taken = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_MEMENTOS_HH

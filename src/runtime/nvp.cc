@@ -1,0 +1,62 @@
+#include "runtime/nvp.hh"
+
+#include "util/panic.hh"
+
+namespace eh::runtime {
+
+Nvp::Nvp(const NvpConfig &config) : cfg(config)
+{
+    if (cfg.backupEveryInstructions == 0)
+        fatalf("Nvp: backup interval must be > 0 instructions");
+}
+
+PolicyDecision
+Nvp::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                const SupplyView &supply)
+{
+    (void)cpu;
+    (void)peek;
+    (void)supply;
+    PolicyDecision d;
+    if (sinceBackup >= cfg.backupEveryInstructions) {
+        d.action = PolicyAction::Backup;
+        d.reason = arch::BackupTrigger::Watchdog;
+    }
+    return d;
+}
+
+void
+Nvp::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    (void)result;
+    ++sinceBackup;
+}
+
+PolicyDecision
+Nvp::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    return {};
+}
+
+void
+Nvp::onBackupCommitted(const SupplyView &supply)
+{
+    (void)supply;
+    sinceBackup = 0;
+}
+
+void
+Nvp::onPowerFail()
+{
+    sinceBackup = 0;
+}
+
+void
+Nvp::onRestore()
+{
+    sinceBackup = 0;
+}
+
+} // namespace eh::runtime

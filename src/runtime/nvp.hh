@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Nonvolatile-processor policy [38]. All memory is nonvolatile and the
+ * processor checkpoints its (tiny) volatile architectural state every
+ * cycle — the tau_B = 1 extreme of the multi-backup family (Section
+ * IV-A1). With dirty-register tracking only the program counter is
+ * compulsory, which is why A_B ~ 0 makes frequent backups essentially
+ * free (Figure 3).
+ */
+
+#ifndef EH_RUNTIME_NVP_HH
+#define EH_RUNTIME_NVP_HH
+
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the NVP policy. */
+struct NvpConfig
+{
+    /** Instructions between backups (1 = every instruction). */
+    std::uint64_t backupEveryInstructions = 1;
+    /** Architectural bytes charged per backup (PC only by default). */
+    std::uint64_t archBytes = 4;
+};
+
+/** Back-up-every-cycle nonvolatile processor. */
+class Nvp : public BackupPolicy
+{
+  public:
+    explicit Nvp(const NvpConfig &config);
+
+    std::string name() const override { return "nvp"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override { return 0; }
+    std::uint64_t chargedArchBytes() const override
+    {
+        return cfg.archBytes;
+    }
+    bool savesVolatilePayload() const override { return false; }
+    void onBackupCommitted(const SupplyView &supply) override;
+    void onPowerFail() override;
+    void onRestore() override;
+
+  private:
+    NvpConfig cfg;
+    std::uint64_t sinceBackup = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_NVP_HH

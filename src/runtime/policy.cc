@@ -1,0 +1,7 @@
+#include "runtime/policy.hh"
+
+// The interface is header-only; this translation unit anchors the vtable.
+
+namespace eh::runtime {
+
+} // namespace eh::runtime

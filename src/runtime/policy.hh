@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Backup-policy interface. A policy decides *when* the simulator must
+ * perform a backup and *how many bytes* of application state that backup
+ * is charged for; the simulator owns the mechanics (copying state into
+ * the double-buffered checkpoint region, charging energy, handling power
+ * failures mid-backup).
+ *
+ * The six implementations cover the paper's taxonomy (Section II):
+ * Hibernus (single-backup, voltage threshold), Mementos (compiler
+ * checkpoints + voltage test), DINO/Chain (task-boundary commits), Clank
+ * (idempotency violations + watchdog), NVP (backup every cycle) and a
+ * plain watchdog timer (the hypothetical mixed-volatility processor of
+ * Section V-B).
+ */
+
+#ifndef EH_RUNTIME_POLICY_HH
+#define EH_RUNTIME_POLICY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "arch/cpu.hh"
+#include "arch/tracker.hh"
+
+namespace eh::runtime {
+
+/** Snapshot of the energy supply a policy may consult (its "ADC"). */
+struct SupplyView
+{
+    double stored = 0.0; ///< energy currently stored
+    double budget = 0.0; ///< usable energy per period (E)
+
+    /** Stored energy as a fraction of the period budget, in [0, 1]. */
+    double
+    fraction() const
+    {
+        if (budget <= 0.0)
+            return 0.0;
+        return std::clamp(stored / budget, 0.0, 1.0);
+    }
+};
+
+/** What the policy wants the simulator to do before the next step. */
+enum class PolicyAction
+{
+    Continue,       ///< execute the next instruction
+    Backup,         ///< back up, then continue executing
+    BackupAndSleep  ///< back up, then hibernate until the next period
+};
+
+/** Decision plus any monitoring overhead incurred while deciding. */
+struct PolicyDecision
+{
+    PolicyAction action = PolicyAction::Continue;
+    arch::BackupTrigger reason = arch::BackupTrigger::None;
+    std::uint64_t monitorCycles = 0; ///< ADC/supervision cycles to charge
+    double monitorEnergy = 0.0;      ///< ADC/supervision energy to charge
+};
+
+/**
+ * Policy interface. Contract with the simulator, per instruction:
+ *
+ *  1. The simulator calls beforeStep() with the CPU, a peek at the next
+ *     instruction's memory behaviour, and the supply view. If the
+ *     decision is a backup, the simulator performs it (calling
+ *     onBackupCommitted() on success) and calls beforeStep() again,
+ *     repeating until the decision is Continue.
+ *  2. The instruction executes; afterStep() sees the result.
+ *  3. If the instruction was a CHECKPOINT op, onCheckpointOp() is
+ *     consulted the same way as beforeStep().
+ *
+ * On a power failure the simulator calls onPowerFail(); at the start of
+ * each active period, after state is reloaded, onRestore().
+ */
+class BackupPolicy
+{
+  public:
+    virtual ~BackupPolicy() = default;
+
+    /** Policy name for reports ("clank", "hibernus", ...). */
+    virtual std::string name() const = 0;
+
+    /** Consulted before each instruction (see class contract). */
+    virtual PolicyDecision beforeStep(const arch::Cpu &cpu,
+                                      const arch::MemPeek &peek,
+                                      const SupplyView &supply) = 0;
+
+    /** Observes each executed instruction. */
+    virtual void afterStep(const arch::Cpu &cpu,
+                           const arch::StepResult &result) = 0;
+
+    /** Consulted when a CHECKPOINT instruction executes. */
+    virtual PolicyDecision onCheckpointOp(const SupplyView &supply) = 0;
+
+    /**
+     * Application-state bytes this backup is *charged* for (the model's
+     * alpha_B * tau_B contribution). The physical payload copied for
+     * correctness can differ (see savesVolatilePayload()).
+     */
+    virtual std::uint64_t chargedAppBackupBytes() const = 0;
+
+    /**
+     * Architectural-state bytes charged per backup (the model's A_B).
+     * Defaults to the full register file + PC.
+     */
+    virtual std::uint64_t
+    chargedArchBytes() const
+    {
+        return arch::Cpu::archStateBytes;
+    }
+
+    /**
+     * True when the policy keeps application data in volatile memory, so
+     * the simulator must physically copy the used SRAM region into the
+     * checkpoint (and back on restore).
+     */
+    virtual bool savesVolatilePayload() const = 0;
+
+    /**
+     * A backup has committed (buffers clear, counters restart).
+     * @param supply Post-backup supply view — adaptive policies use it
+     *               to measure what the backup actually cost.
+     */
+    virtual void onBackupCommitted(const SupplyView &supply) = 0;
+
+    /** Power failed; volatile tracking state is lost. */
+    virtual void onPowerFail() = 0;
+
+    /** A restore completed; execution resumes at the checkpoint. */
+    virtual void onRestore() = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_POLICY_HH

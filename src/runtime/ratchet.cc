@@ -1,0 +1,73 @@
+#include "runtime/ratchet.hh"
+
+#include "util/panic.hh"
+
+namespace eh::runtime {
+
+Ratchet::Ratchet(const RatchetConfig &config) : cfg(config)
+{
+    if (cfg.maxSectionCycles == 0)
+        fatalf("Ratchet: section cap must be > 0 cycles");
+}
+
+PolicyDecision
+Ratchet::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                    const SupplyView &supply)
+{
+    (void)cpu;
+    (void)supply;
+    PolicyDecision d;
+    if (sectionCycles >= cfg.maxSectionCycles) {
+        d.action = PolicyAction::Backup;
+        d.reason = arch::BackupTrigger::Watchdog;
+        return d;
+    }
+    // Conservative compile-time rule: a nonvolatile store after any
+    // nonvolatile load might be a WAR — break the section first.
+    if (peek.isMem && peek.nonvolatile && peek.isStore && loadSeen) {
+        ++breaks;
+        d.action = PolicyAction::Backup;
+        d.reason = arch::BackupTrigger::Violation;
+    }
+    return d;
+}
+
+void
+Ratchet::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    sectionCycles += result.cycles;
+    if (result.isMem && result.memNonvolatile && !result.memIsStore)
+        loadSeen = true;
+}
+
+PolicyDecision
+Ratchet::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    return {}; // sections are compiler-defined, not program-defined
+}
+
+void
+Ratchet::onBackupCommitted(const SupplyView &supply)
+{
+    (void)supply;
+    loadSeen = false;
+    sectionCycles = 0;
+}
+
+void
+Ratchet::onPowerFail()
+{
+    loadSeen = false;
+    sectionCycles = 0;
+}
+
+void
+Ratchet::onRestore()
+{
+    loadSeen = false;
+    sectionCycles = 0;
+}
+
+} // namespace eh::runtime

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ratchet-style policy [54]: compiler-enforced idempotency without
+ * hardware support. Ratchet decomposes the program into idempotent
+ * sections at compile time by breaking every potential WAR dependence
+ * with a checkpoint. Lacking runtime address knowledge, the compiler
+ * must be conservative; we model that conservatism as "any nonvolatile
+ * store after any nonvolatile load since the last checkpoint forces a
+ * checkpoint" (real Ratchet sharpens this with alias analysis, so this
+ * is a lower bound on its section lengths — see the
+ * abl_compiler_vs_hw_idempotency bench for the comparison against
+ * Clank's runtime tracking).
+ */
+
+#ifndef EH_RUNTIME_RATCHET_HH
+#define EH_RUNTIME_RATCHET_HH
+
+#include "runtime/policy.hh"
+
+namespace eh::runtime {
+
+/** Configuration of the Ratchet policy. */
+struct RatchetConfig
+{
+    /** Force a checkpoint after this many cycles without a WAR break
+     * (Ratchet's timer fallback for store-free stretches). */
+    std::uint64_t maxSectionCycles = 8000;
+    /** Architectural bytes charged per checkpoint. */
+    std::uint64_t archBytes = 80;
+};
+
+/** Conservative compiler-enforced idempotent sections. */
+class Ratchet : public BackupPolicy
+{
+  public:
+    explicit Ratchet(const RatchetConfig &config);
+
+    std::string name() const override { return "ratchet"; }
+    PolicyDecision beforeStep(const arch::Cpu &cpu,
+                              const arch::MemPeek &peek,
+                              const SupplyView &supply) override;
+    void afterStep(const arch::Cpu &cpu,
+                   const arch::StepResult &result) override;
+    PolicyDecision onCheckpointOp(const SupplyView &supply) override;
+    std::uint64_t chargedAppBackupBytes() const override { return 0; }
+    std::uint64_t chargedArchBytes() const override
+    {
+        return cfg.archBytes;
+    }
+    bool savesVolatilePayload() const override { return false; }
+    void onBackupCommitted(const SupplyView &supply) override;
+    void onPowerFail() override;
+    void onRestore() override;
+
+    /** WAR-break checkpoints taken so far. */
+    std::uint64_t warBreaks() const { return breaks; }
+
+  private:
+    RatchetConfig cfg;
+    bool loadSeen = false;
+    std::uint64_t sectionCycles = 0;
+    std::uint64_t breaks = 0;
+};
+
+} // namespace eh::runtime
+
+#endif // EH_RUNTIME_RATCHET_HH

@@ -1,0 +1,82 @@
+#include "runtime/watchdog.hh"
+
+#include "util/panic.hh"
+
+namespace eh::runtime {
+
+Watchdog::Watchdog(const WatchdogConfig &config) : cfg(config)
+{
+    if (cfg.periodCycles == 0)
+        fatalf("Watchdog: period must be > 0 cycles");
+}
+
+PolicyDecision
+Watchdog::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
+                     const SupplyView &supply)
+{
+    (void)cpu;
+    (void)peek;
+    (void)supply;
+    PolicyDecision d;
+    if (sinceBackup >= cfg.periodCycles) {
+        d.action = PolicyAction::Backup;
+        d.reason = arch::BackupTrigger::Watchdog;
+    }
+    return d;
+}
+
+void
+Watchdog::afterStep(const arch::Cpu &cpu, const arch::StepResult &result)
+{
+    (void)cpu;
+    sinceBackup += result.cycles;
+    if (result.isMem && result.memIsStore && !result.memNonvolatile)
+        dirty.recordStore(result.memAddr, result.memBytes);
+}
+
+PolicyDecision
+Watchdog::onCheckpointOp(const SupplyView &supply)
+{
+    (void)supply;
+    return {}; // the timer alone decides
+}
+
+std::uint64_t
+Watchdog::chargedAppBackupBytes() const
+{
+    if (cfg.chargeDirtyBytesOnly)
+        return dirty.uniqueBytes();
+    return cfg.sramUsedBytes;
+}
+
+void
+Watchdog::onBackupCommitted(const SupplyView &supply)
+{
+    (void)supply;
+    sinceBackup = 0;
+    dirty.clear();
+}
+
+void
+Watchdog::onPowerFail()
+{
+    sinceBackup = 0;
+    dirty.clear();
+}
+
+void
+Watchdog::onRestore()
+{
+    sinceBackup = 0;
+    dirty.clear();
+}
+
+void
+Watchdog::setPeriod(std::uint64_t cycles)
+{
+    if (cycles == 0)
+        fatalf("Watchdog: period must be > 0 cycles");
+    cfg.periodCycles = cycles;
+}
+
+} // namespace eh::runtime

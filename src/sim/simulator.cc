@@ -1,0 +1,436 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace eh::sim {
+
+namespace {
+
+/** Magic word marking a valid checkpoint slot header. */
+constexpr std::uint32_t checkpointMagic = 0xE4C0FFEE;
+
+} // namespace
+
+double
+SimStats::measuredProgress() const
+{
+    const double total = meter.totalEnergy();
+    if (total <= 0.0)
+        return 0.0;
+    return meter.energy(energy::Phase::Progress) / total;
+}
+
+core::ObservedBehavior
+SimStats::observe(const SimConfig &config,
+                  std::uint64_t charged_arch_bytes) const
+{
+    core::ObservedBehavior o;
+    o.name = workload + "/" + policy;
+    o.energyPerPeriod = periodEnergy.count() ? periodEnergy.mean() : 0.0;
+
+    // Prefer the measured execution energy per committed cycle; fall back
+    // to the configured base rate when nothing committed.
+    const auto prog_cycles = meter.cycles(energy::Phase::Progress);
+    o.execEnergy = prog_cycles
+                       ? meter.energy(energy::Phase::Progress) /
+                             static_cast<double>(prog_cycles)
+                       : config.costs.execEnergyPerCycle;
+    o.chargeEnergy = 0.0; // caller overrides for harvesting supplies
+
+    o.meanBackupPeriod = tauB.count() ? tauB.mean() : 1.0;
+    // Dead cycles per period, in energy-equivalent terms: execution lost
+    // to power failures plus backups that browned out before committing
+    // (both are spent without being saved — exactly the model's e_D).
+    const double dead_equivalent_energy =
+        meter.energy(energy::Phase::Dead) + failedBackupEnergy;
+    o.meanDeadCycles =
+        periods > 0 && o.execEnergy > 0.0
+            ? dead_equivalent_energy / static_cast<double>(periods) /
+                  o.execEnergy
+            : (tauD.count() ? tauD.mean() : 0.0);
+    // alpha_B via ratio of means: the model prices a backup at
+    // Omega * (A_B + alpha_B * tauB_mean), so alpha_B must satisfy that
+    // identity for the *mean* backup. (A mean of per-backup ratios
+    // explodes when a policy occasionally backs up in quick succession.)
+    const double mean_backup_bytes =
+        backupBytes.count() ? backupBytes.mean() : 0.0;
+    o.meanAppStateRate =
+        o.meanBackupPeriod > 0.0
+            ? std::max(0.0, (mean_backup_bytes -
+                             static_cast<double>(charged_arch_bytes)) /
+                               o.meanBackupPeriod)
+            : 0.0;
+    o.archStateBytes = static_cast<double>(charged_arch_bytes);
+    o.restoreStateBytes = restoreBytes.count() ? restoreBytes.mean()
+                                               : o.archStateBytes;
+
+    const auto costs = mem::defaultCosts(config.nvmTech);
+    o.backupCost = costs.writeEnergyPerByte;
+    o.restoreCost = costs.readEnergyPerByte;
+    o.backupBandwidth = costs.writeBandwidth;
+    o.restoreBandwidth = costs.readBandwidth;
+    o.measuredProgress = measuredProgress();
+    return o;
+}
+
+std::string
+SimStats::summary() const
+{
+    std::ostringstream oss;
+    oss << workload << " under " << policy << ": " << periods
+        << " periods, " << backups << " backups, " << restores
+        << " restores, " << powerFailures << " power failures"
+        << (finished ? " (finished)" : " (NOT finished)") << "\n"
+        << "  progress " << measuredProgress() * 100.0 << "%"
+        << ", mean tau_B " << (tauB.count() ? tauB.mean() : 0.0)
+        << ", mean tau_D " << (tauD.count() ? tauD.mean() : 0.0)
+        << ", mean alpha_B " << (alphaB.count() ? alphaB.mean() : 0.0)
+        << "\n";
+    if (!triggers.empty()) {
+        oss << "  backup triggers:";
+        for (const auto &[trigger, count] : triggers)
+            oss << ' ' << arch::backupTriggerName(trigger) << '='
+                << count;
+        oss << "\n";
+    }
+    oss << meter.report();
+    return oss.str();
+}
+
+Simulator::Simulator(const arch::Program &program,
+                     runtime::BackupPolicy &policy,
+                     energy::EnergySupply &supply, const SimConfig &config)
+    : prog(program), pol(policy), sup(supply), cfg(config),
+      mem_(config.sramBytes, config.nvmBytes, config.nvmTech),
+      cpu_(program, mem_, config.costs)
+{
+    if (cfg.sramUsedBytes > cfg.sramBytes)
+        fatalf("Simulator: payload region (", cfg.sramUsedBytes,
+               ") exceeds SRAM (", cfg.sramBytes, ")");
+    // Checkpoint region: header (8) + arch state + payload capacity,
+    // double-buffered, plus a selector word at the very top of NVM.
+    slotBytes = 8 + arch::Cpu::archStateBytes + cfg.sramUsedBytes;
+    const std::uint64_t region = 2 * slotBytes + 16;
+    if (region + 1024 > cfg.nvmBytes)
+        fatalf("Simulator: NVM (", cfg.nvmBytes,
+               " bytes) too small for the checkpoint region (", region,
+               " bytes) plus workload data");
+    selectorAddr = cfg.nvmBytes - 8;
+    slot0Addr = cfg.nvmBytes - 16 - 2 * slotBytes;
+    if (cfg.enableNvmCache)
+        mem_.attachNvmCache(cfg.cacheGeometry);
+}
+
+runtime::SupplyView
+Simulator::view() const
+{
+    return {sup.storedEnergy(), sup.periodBudget()};
+}
+
+void
+Simulator::handlePowerFailure()
+{
+    stats.tauD.add(static_cast<double>(stats.meter.uncommittedCycles()));
+    stats.meter.discard();
+    ++stats.powerFailures;
+    cpu_.powerFail();
+    mem_.powerFail();
+    pol.onPowerFail();
+}
+
+double
+Simulator::consumeTracked(double demand, std::uint64_t cycles, bool &ok)
+{
+    const double before = sup.storedEnergy();
+    ok = sup.consume(demand, cycles);
+    if (ok)
+        return demand;
+    return std::max(0.0, before - sup.storedEnergy());
+}
+
+Simulator::ActionStatus
+Simulator::chargeMonitorOverhead(const runtime::PolicyDecision &d)
+{
+    if (d.monitorCycles == 0 && d.monitorEnergy == 0.0)
+        return ActionStatus::Ok;
+    const std::uint64_t cycles = std::max<std::uint64_t>(d.monitorCycles, 1);
+    bool ok = false;
+    const double spent = consumeTracked(d.monitorEnergy, cycles, ok);
+    periodEnergyConsumed += spent;
+    stats.meter.add(energy::Phase::Monitor, cycles, spent);
+    if (!ok) {
+        handlePowerFailure();
+        return ActionStatus::BrownOut;
+    }
+    return ActionStatus::Ok;
+}
+
+Simulator::ActionStatus
+Simulator::doBackup(arch::BackupTrigger reason)
+{
+    const std::uint64_t arch_bytes = pol.chargedArchBytes();
+    std::uint64_t app_bytes = pol.chargedAppBackupBytes();
+    if (mem_.hasNvmCache()) {
+        // A mixed-volatility backup must also flush the cache's dirty
+        // blocks to NVM, at block granularity (Section VI-A).
+        app_bytes += mem_.drainCache().bytesBlock;
+    }
+    const std::uint64_t charged = arch_bytes + app_bytes;
+    const auto wcost = mem_.nvm().writeCost(charged);
+    const std::uint64_t cycles = std::max<std::uint64_t>(wcost.cycles, 1);
+
+    bool ok = false;
+    const double spent = consumeTracked(wcost.energy, cycles, ok);
+    periodEnergyConsumed += spent;
+    stats.meter.add(energy::Phase::Backup, cycles, spent);
+    if (!ok) {
+        ++stats.failedBackups;
+        stats.failedBackupEnergy += spent;
+        handlePowerFailure(); // old checkpoint slot stays valid
+        return ActionStatus::BrownOut;
+    }
+
+    // Physically materialize the checkpoint in the inactive slot, then
+    // flip the selector (atomic single-word commit).
+    const std::uint32_t target = activeSlot == 1 ? 2 : 1;
+    const std::uint64_t base = slot0Addr + (target - 1) * slotBytes;
+    const std::uint32_t payload_len =
+        pol.savesVolatilePayload()
+            ? static_cast<std::uint32_t>(cfg.sramUsedBytes)
+            : 0;
+    mem_.nvm().store32(base, checkpointMagic);
+    mem_.nvm().store32(base + 4, payload_len);
+    std::uint8_t arch_buf[arch::Cpu::archStateBytes];
+    cpu_.saveArchState(arch_buf);
+    mem_.nvm().write(base + 8, arch_buf, sizeof(arch_buf));
+    if (payload_len > 0) {
+        std::vector<std::uint8_t> payload(payload_len);
+        mem_.sram().read(0, payload.data(), payload.size());
+        mem_.nvm().write(base + 8 + sizeof(arch_buf), payload.data(),
+                         payload.size());
+    }
+    mem_.nvm().store32(selectorAddr, target);
+    activeSlot = target;
+
+    ++stats.backups;
+    ++stats.triggers[reason];
+    if (cyclesSinceBackup > 0) {
+        stats.tauB.add(static_cast<double>(cyclesSinceBackup));
+        stats.alphaB.add(static_cast<double>(app_bytes) /
+                         static_cast<double>(cyclesSinceBackup));
+    }
+    stats.backupBytes.add(static_cast<double>(charged));
+    stats.meter.commit();
+    cyclesSinceBackup = 0;
+    pol.onBackupCommitted(view());
+    return ActionStatus::Ok;
+}
+
+Simulator::ActionStatus
+Simulator::doRestore()
+{
+    // The selector word is the authoritative (nonvolatile) record.
+    activeSlot = mem_.nvm().load32(selectorAddr);
+    if (activeSlot == 0) {
+        // First boot (no checkpoint yet): restart from the program image,
+        // re-applying initial data — a reboot re-initializes volatile
+        // data from the (nonvolatile) program image at no modeled cost.
+        cpu_.reset();
+        cpu_.applyMemInits();
+        return ActionStatus::Ok;
+    }
+    EH_ASSERT(activeSlot == 1 || activeSlot == 2,
+              "corrupt checkpoint selector");
+    const std::uint64_t base = slot0Addr + (activeSlot - 1) * slotBytes;
+    EH_ASSERT(mem_.nvm().load32(base) == checkpointMagic,
+              "active checkpoint slot lacks its magic word");
+    const std::uint32_t payload_len = mem_.nvm().load32(base + 4);
+
+    const std::uint64_t charged = pol.chargedArchBytes() + payload_len;
+    const auto rcost = mem_.nvm().readCost(charged);
+    const std::uint64_t cycles = std::max<std::uint64_t>(rcost.cycles, 1);
+    bool ok = false;
+    const double spent = consumeTracked(rcost.energy, cycles, ok);
+    periodEnergyConsumed += spent;
+    stats.meter.add(energy::Phase::Restore, cycles, spent);
+    if (!ok) {
+        ++stats.failedRestores;
+        handlePowerFailure();
+        return ActionStatus::BrownOut;
+    }
+
+    std::uint8_t arch_buf[arch::Cpu::archStateBytes];
+    mem_.nvm().read(base + 8, arch_buf, sizeof(arch_buf));
+    cpu_.loadArchState(arch_buf);
+    if (payload_len > 0) {
+        std::vector<std::uint8_t> payload(payload_len);
+        mem_.nvm().read(base + 8 + sizeof(arch_buf), payload.data(),
+                        payload.size());
+        mem_.sram().write(0, payload.data(), payload.size());
+    }
+    ++stats.restores;
+    stats.restoreBytes.add(static_cast<double>(charged));
+    return ActionStatus::Ok;
+}
+
+SimStats
+Simulator::run()
+{
+    stats = SimStats{};
+    stats.workload = prog.name;
+    stats.policy = pol.name();
+    cpu_.applyMemInits();
+
+    while (!stats.finished && stats.periods < cfg.maxActivePeriods) {
+        const std::uint64_t charged =
+            sup.chargeUntilReady(cfg.maxChargeCyclesPerPeriod);
+        if (charged == energy::chargeFailed) {
+            warn("simulator: supply starved during charging; stopping");
+            break;
+        }
+        stats.chargeCycles.add(static_cast<double>(charged));
+        ++stats.periods;
+        periodEnergyConsumed = 0.0;
+        const auto progress_cycles_at_start =
+            stats.meter.cycles(energy::Phase::Progress);
+        const auto progress_energy_at_start =
+            stats.meter.energy(energy::Phase::Progress);
+
+        if (doRestore() != ActionStatus::Ok) {
+            stats.periodEnergy.add(periodEnergyConsumed);
+            continue; // died during restore; retry next period
+        }
+        pol.onRestore();
+        cyclesSinceBackup = 0;
+
+        std::uint64_t instrs = 0;
+        bool period_ended = false;
+        while (!period_ended) {
+            if (++instrs > cfg.maxInstructionsPerPeriod) {
+                panicf("simulator: period exceeded ",
+                       cfg.maxInstructionsPerPeriod,
+                       " instructions — runaway program or supply");
+            }
+
+            // Pre-step policy consultation (may demand backups).
+            const arch::MemPeek peek = cpu_.peek();
+            int guard = 0;
+            for (;;) {
+                const auto d = pol.beforeStep(cpu_, peek, view());
+                if (chargeMonitorOverhead(d) != ActionStatus::Ok) {
+                    period_ended = true;
+                    break;
+                }
+                if (d.action == runtime::PolicyAction::Continue)
+                    break;
+                if (doBackup(d.reason) != ActionStatus::Ok) {
+                    period_ended = true;
+                    break;
+                }
+                if (d.action == runtime::PolicyAction::BackupAndSleep) {
+                    sup.hibernate();
+                    period_ended = true;
+                    break;
+                }
+                if (++guard > 8)
+                    panic("policy demands backups without making "
+                          "progress");
+            }
+            if (period_ended)
+                break;
+
+            // Execute one instruction and pay for it.
+            const arch::StepResult step = cpu_.step();
+            bool ok = false;
+            const double spent =
+                consumeTracked(step.energy, step.cycles, ok);
+            periodEnergyConsumed += spent;
+            stats.meter.addUncommitted(step.cycles, spent);
+            cyclesSinceBackup += step.cycles;
+            if (!ok) {
+                handlePowerFailure();
+                break;
+            }
+            pol.afterStep(cpu_, step);
+
+            if (step.checkpointRequested) {
+                const auto d = pol.onCheckpointOp(view());
+                if (chargeMonitorOverhead(d) != ActionStatus::Ok)
+                    break;
+                if (d.action != runtime::PolicyAction::Continue) {
+                    if (doBackup(d.reason) != ActionStatus::Ok)
+                        break;
+                    if (d.action ==
+                        runtime::PolicyAction::BackupAndSleep) {
+                        sup.hibernate();
+                        break;
+                    }
+                }
+            }
+
+            if (step.halted) {
+                // Commit the final state; on failure the next period
+                // re-executes from the last checkpoint.
+                if (doBackup(arch::BackupTrigger::None) ==
+                    ActionStatus::Ok) {
+                    stats.finished = true;
+                }
+                break;
+            }
+        }
+        stats.periodEnergy.add(periodEnergyConsumed);
+        stats.periodProgressCycles.add(static_cast<double>(
+            stats.meter.cycles(energy::Phase::Progress) -
+            progress_cycles_at_start));
+        if (periodEnergyConsumed > 0.0) {
+            stats.periodProgress.add(
+                (stats.meter.energy(energy::Phase::Progress) -
+                 progress_energy_at_start) /
+                periodEnergyConsumed);
+        }
+    }
+    return stats;
+}
+
+std::uint32_t
+Simulator::resultWord(std::uint64_t addr)
+{
+    mem::MemAccessResult cost;
+    return mem_.load32(addr, &cost);
+}
+
+GoldenResult
+runGolden(const arch::Program &program, const SimConfig &config,
+          const std::vector<std::uint64_t> &result_addrs,
+          std::uint64_t max_instructions)
+{
+    mem::AddressSpace memory(config.sramBytes, config.nvmBytes,
+                             config.nvmTech);
+    arch::Cpu cpu(program, memory, config.costs);
+    cpu.applyMemInits();
+    cpu.reset();
+
+    GoldenResult g;
+    while (!cpu.halted()) {
+        if (g.instructions >= max_instructions)
+            fatalf("runGolden: program '", program.name,
+                   "' exceeded ", max_instructions, " instructions");
+        const auto step = cpu.step();
+        ++g.instructions;
+        g.cycles += step.cycles;
+        g.energy += step.energy;
+    }
+    g.halted = true;
+    for (const auto addr : result_addrs) {
+        mem::MemAccessResult cost;
+        g.resultWords.push_back(memory.load32(addr, &cost));
+    }
+    return g;
+}
+
+} // namespace eh::sim

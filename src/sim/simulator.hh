@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Intermittent-execution simulator. Orchestrates the charging/active
+ * alternation of an energy-harvesting device (Section II): charge until
+ * the supply can power on, restore the last checkpoint, execute under a
+ * backup policy until the supply browns out, classify the energy spent
+ * per phase, and repeat until the program completes (its HALT committed)
+ * or a period cap is hit.
+ *
+ * Checkpoints are double-buffered in a reserved region at the top of
+ * nonvolatile memory: a backup writes the inactive slot and then flips a
+ * selector word, so a power failure mid-backup leaves the previous
+ * checkpoint intact (the consistency hazard of [42]).
+ */
+
+#ifndef EH_SIM_SIMULATOR_HH
+#define EH_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/cpu.hh"
+#include "arch/isa.hh"
+#include "core/calibration.hh"
+#include "energy/meter.hh"
+#include "energy/supply.hh"
+#include "mem/address_space.hh"
+#include "runtime/policy.hh"
+#include "util/stats.hh"
+
+namespace eh::sim {
+
+/** Platform and run-control configuration. */
+struct SimConfig
+{
+    std::size_t sramBytes = 8192;          ///< volatile memory size
+    std::size_t nvmBytes = 256 * 1024;     ///< nonvolatile memory size
+    mem::NvmTech nvmTech = mem::NvmTech::Fram;
+    arch::CostModel costs = arch::CostModel::msp430();
+
+    /**
+     * Volatile payload region [0, sramUsedBytes): everything a
+     * volatile-data policy must copy at each backup (workload data +
+     * stack). Must not exceed sramBytes.
+     */
+    std::size_t sramUsedBytes = 512;
+
+    /**
+     * Interpose a volatile write-back cache on the NVM region (the
+     * mixed-volatility platform of Section VI-A). Each backup must then
+     * also flush the dirty blocks, charged at block granularity on top
+     * of the policy's own bytes; a power failure loses the cache.
+     */
+    bool enableNvmCache = false;
+    mem::CacheGeometry cacheGeometry{1024, 4, 16};
+
+    std::uint64_t maxActivePeriods = 100000;
+    std::uint64_t maxChargeCyclesPerPeriod = 2'000'000'000ull;
+    std::uint64_t maxInstructionsPerPeriod = 200'000'000ull;
+};
+
+/** Aggregate statistics of one simulation run. */
+struct SimStats
+{
+    std::string workload;
+    std::string policy;
+
+    std::uint64_t periods = 0;       ///< active periods started
+    std::uint64_t backups = 0;       ///< committed backups
+    std::uint64_t restores = 0;      ///< restores performed
+    std::uint64_t powerFailures = 0; ///< brown-outs
+    std::uint64_t failedBackups = 0; ///< backups aborted by brown-out
+    std::uint64_t failedRestores = 0;///< restores aborted by brown-out
+    bool finished = false;           ///< HALT committed
+
+    energy::EnergyMeter meter;       ///< per-phase cycles and energy
+
+    RunningStats tauB;        ///< active cycles between committed backups
+    RunningStats tauD;        ///< dead cycles per power failure
+    RunningStats alphaB;      ///< charged app bytes per backup / tau_B
+    RunningStats backupBytes; ///< charged bytes per backup
+    RunningStats restoreBytes;///< charged bytes per restore
+    double failedBackupEnergy = 0.0; ///< energy sunk into aborted backups
+    RunningStats chargeCycles;///< charging cycles per period
+    RunningStats periodEnergy;///< energy consumed per active period
+    RunningStats periodProgressCycles; ///< committed cycles per period
+    RunningStats periodProgress;       ///< committed-energy share per period
+
+    /** Backup counts by trigger cause. */
+    std::map<arch::BackupTrigger, std::uint64_t> triggers;
+
+    /**
+     * Measured forward progress: fraction of all consumed energy spent
+     * on committed execution — the quantity the EH model predicts.
+     */
+    double measuredProgress() const;
+
+    /** Package the run as an EH-model observation (Section V bridge). */
+    core::ObservedBehavior observe(const SimConfig &config,
+                                   std::uint64_t charged_arch_bytes) const;
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * The simulator. Owns the memory map and CPU; the policy and supply are
+ * borrowed so callers can inspect them afterwards.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param program Program to run (borrowed; must outlive run()).
+     * @param policy  Backup policy (borrowed).
+     * @param supply  Energy supply (borrowed).
+     * @param config  Platform configuration.
+     */
+    Simulator(const arch::Program &program, runtime::BackupPolicy &policy,
+              energy::EnergySupply &supply, const SimConfig &config);
+
+    /** Run to completion (HALT committed) or to the period cap. */
+    SimStats run();
+
+    /** Memory map (result inspection after run()). */
+    mem::AddressSpace &memory() { return mem_; }
+
+    /** CPU (inspection in tests). */
+    const arch::Cpu &cpu() const { return cpu_; }
+
+    /** Read a 32-bit result word from the memory map post-run. */
+    std::uint32_t resultWord(std::uint64_t addr);
+
+  private:
+    /** Outcome of an in-period action that draws supply energy. */
+    enum class ActionStatus { Ok, BrownOut };
+
+    ActionStatus doBackup(arch::BackupTrigger reason);
+    ActionStatus doRestore();
+    ActionStatus chargeMonitorOverhead(const runtime::PolicyDecision &d);
+    void handlePowerFailure();
+    runtime::SupplyView view() const;
+
+    /**
+     * Draw @p demand across @p cycles from the supply. On brown-out the
+     * returned energy is what the supply actually had left (net of any
+     * concurrent harvesting), so accounting never exceeds reality.
+     */
+    double consumeTracked(double demand, std::uint64_t cycles, bool &ok);
+
+    const arch::Program &prog;
+    runtime::BackupPolicy &pol;
+    energy::EnergySupply &sup;
+    SimConfig cfg;
+
+    mem::AddressSpace mem_;
+    arch::Cpu cpu_;
+    SimStats stats;
+
+    // Checkpoint region bookkeeping (top of NVM).
+    std::uint64_t slotBytes;       ///< size of one checkpoint slot
+    std::uint64_t slot0Addr;       ///< NVM-relative address of slot 0
+    std::uint64_t selectorAddr;    ///< NVM-relative selector word
+    std::uint32_t activeSlot = 0;  ///< 0 = none yet, 1 or 2
+
+    std::uint64_t cyclesSinceBackup = 0;
+    double periodEnergyConsumed = 0.0;
+};
+
+/** Result of an uninterrupted reference execution. */
+struct GoldenResult
+{
+    bool halted = false;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double energy = 0.0;
+    std::vector<std::uint32_t> resultWords;
+};
+
+/**
+ * Execute @p program to completion with unlimited energy (no backups, no
+ * failures) and collect the words at @p result_addrs. The baseline
+ * against which intermittent executions are checked for correctness.
+ */
+GoldenResult runGolden(const arch::Program &program,
+                       const SimConfig &config,
+                       const std::vector<std::uint64_t> &result_addrs,
+                       std::uint64_t max_instructions = 500'000'000ull);
+
+} // namespace eh::sim
+
+#endif // EH_SIM_SIMULATOR_HH

@@ -1,0 +1,70 @@
+#include "util/csv.hh"
+
+#include <sstream>
+
+#include "util/panic.hh"
+
+namespace eh {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : out(path), filePath(path), width(header.size())
+{
+    if (!out)
+        fatalf("cannot open CSV output file: ", path);
+    EH_ASSERT(width > 0, "CSV header must have at least one column");
+    std::string line;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i)
+            line += ',';
+        line += escape(header[i]);
+    }
+    out << line << "\n";
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    EH_ASSERT(cells.size() == width, "CSV row width mismatch");
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            line += ',';
+        line += escape(cells[i]);
+    }
+    out << line << "\n";
+    ++nRows;
+}
+
+void
+CsvWriter::rowNumeric(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream oss;
+        oss.precision(10);
+        oss << v;
+        text.push_back(oss.str());
+    }
+    row(text);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needsQuote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needsQuote)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace eh

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tiny CSV writer. Every benchmark binary emits its figure/table data both
+ * as a console table and as a CSV file so the series can be replotted.
+ */
+
+#ifndef EH_UTIL_CSV_HH
+#define EH_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace eh {
+
+/**
+ * Appends rows to a CSV file. Values containing commas, quotes or newlines
+ * are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (truncate) the target file and emit the header row.
+     * @throws FatalError if the file cannot be opened.
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** Append one row of string cells; must match the header width. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Append one row of numeric cells; must match the header width. */
+    void rowNumeric(const std::vector<double> &cells);
+
+    /** Number of data rows written so far. */
+    std::size_t rows() const { return nRows; }
+
+    /** Path the writer targets. */
+    const std::string &path() const { return filePath; }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out;
+    std::string filePath;
+    std::size_t width;
+    std::size_t nRows = 0;
+};
+
+} // namespace eh
+
+#endif // EH_UTIL_CSV_HH

@@ -1,0 +1,34 @@
+#include "util/log.hh"
+
+namespace eh {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Info;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    std::ostream &out = (level == LogLevel::Warn) ? std::cerr : std::cout;
+    out << "[" << tag << "] " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace eh

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal leveled logger. Benchmark harnesses use inform() for status lines
+ * and warn() for suspicious-but-survivable conditions, mirroring gem5's
+ * message taxonomy.
+ */
+
+#ifndef EH_UTIL_LOG_HH
+#define EH_UTIL_LOG_HH
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace eh {
+
+/** Severity levels in increasing order of urgency. */
+enum class LogLevel { Debug, Info, Warn, Quiet };
+
+/**
+ * Global log threshold; messages below this level are suppressed.
+ * Defaults to Info.
+ */
+LogLevel logLevel();
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+
+template <typename... Args>
+void
+logAt(LogLevel level, const std::string &tag, Args &&...args)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    emit(level, tag, oss.str());
+}
+
+} // namespace detail
+
+/** Informational status message, visible at Info and below. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logAt(LogLevel::Info, "info", std::forward<Args>(args)...);
+}
+
+/** Diagnostic message, visible only at Debug level. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    detail::logAt(LogLevel::Debug, "debug", std::forward<Args>(args)...);
+}
+
+/** Warning: something looks wrong but execution can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logAt(LogLevel::Warn, "warn", std::forward<Args>(args)...);
+}
+
+} // namespace eh
+
+#endif // EH_UTIL_LOG_HH

@@ -1,0 +1,17 @@
+#include "util/panic.hh"
+
+namespace eh {
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+} // namespace eh

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-reporting primitives in the gem5 tradition: panic() for internal
+ * invariant violations (bugs in this library) and fatal() for unrecoverable
+ * user errors (bad parameters, malformed inputs).
+ */
+
+#ifndef EH_UTIL_PANIC_HH
+#define EH_UTIL_PANIC_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eh {
+
+/**
+ * Exception thrown by panic(): an internal invariant of the library was
+ * violated. Catching this is only appropriate in tests.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/**
+ * Exception thrown by fatal(): the caller supplied input the library cannot
+ * proceed with (e.g., a negative energy budget). Recoverable by fixing the
+ * input.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Report an internal library bug. Never returns.
+ *
+ * @param msg Human-readable description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user/configuration error. Never returns.
+ *
+ * @param msg Human-readable description of the bad input.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+namespace detail {
+
+/** Fold arbitrary streamable arguments into one message string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** panic() with streamable arguments: panicf("bad x=", x). */
+template <typename... Args>
+[[noreturn]] void
+panicf(Args &&...args)
+{
+    panic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** fatal() with streamable arguments: fatalf("bad E=", e). */
+template <typename... Args>
+[[noreturn]] void
+fatalf(Args &&...args)
+{
+    fatal(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace eh
+
+/**
+ * Assert a library invariant; active in all build types (unlike <cassert>)
+ * because model correctness depends on these checks during benchmarking
+ * runs, which are typically built optimized.
+ */
+#define EH_ASSERT(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::eh::panicf("assertion failed: ", #cond, " — ", msg, " (",      \
+                         __FILE__, ":", __LINE__, ")");                      \
+        }                                                                    \
+    } while (false)
+
+#endif // EH_UTIL_PANIC_HH

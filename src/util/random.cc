@@ -1,0 +1,112 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/panic.hh"
+
+namespace eh {
+
+namespace {
+
+/** splitmix64 step, used to expand a single seed into xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : seedValue(seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : state)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    EH_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return draw % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    EH_ASSERT(lo <= hi, "nextRange requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits → uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    double u1 = nextDouble();
+    while (u1 <= 0.0)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+bool
+Rng::nextBool(double prob)
+{
+    return nextDouble() < prob;
+}
+
+Rng
+Rng::fork(std::uint64_t index) const
+{
+    std::uint64_t x = seedValue ^ (0xa0761d6478bd642full + index);
+    // One extra mixing round decorrelates adjacent child indices.
+    return Rng(splitmix64(x));
+}
+
+} // namespace eh

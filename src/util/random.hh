@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 +
+ * xoshiro256**). Every stochastic component in the repository draws from an
+ * explicitly seeded Rng so that simulations, workload input generators and
+ * voltage-trace synthesis are exactly reproducible run-to-run.
+ */
+
+#ifndef EH_UTIL_RANDOM_HH
+#define EH_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace eh {
+
+/**
+ * Small, fast, reproducible PRNG (xoshiro256** seeded via splitmix64).
+ * Not cryptographic; statistical quality is more than adequate for workload
+ * synthesis and trace jitter.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Standard normal draw (Box–Muller, one value per call). */
+    double nextGaussian();
+
+    /** Bernoulli draw with success probability prob. */
+    bool nextBool(double prob = 0.5);
+
+    /**
+     * Fork an independent child stream; children of the same parent with
+     * distinct indices produce uncorrelated streams.
+     */
+    Rng fork(std::uint64_t index) const;
+
+  private:
+    std::uint64_t state[4];
+    std::uint64_t seedValue;
+};
+
+} // namespace eh
+
+#endif // EH_UTIL_RANDOM_HH

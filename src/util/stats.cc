@@ -1,0 +1,159 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/panic.hh"
+
+namespace eh {
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        minValue = x;
+        maxValue = x;
+    } else {
+        minValue = std::min(minValue, x);
+        maxValue = std::max(maxValue, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.m - m;
+    const double combined = na + nb;
+    m += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    n += other.n;
+    total += other.total;
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::sem() const
+{
+    if (n == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n));
+}
+
+double
+geomean(const std::vector<double> &values, double epsilon)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        EH_ASSERT(v >= 0.0, "geomean requires non-negative values");
+        logSum += std::log(std::max(v, epsilon));
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    EH_ASSERT(q >= 0.0 && q <= 100.0, "percentile q out of range");
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    EH_ASSERT(xs.size() == ys.size(), "pearson requires equal lengths");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins_)
+    : lo(lo_), hi(hi_), counts(bins_, 0)
+{
+    EH_ASSERT(hi > lo, "histogram needs hi > lo");
+    EH_ASSERT(bins_ > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    auto idx = static_cast<long>(std::floor((x - lo) / width));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+    ++n;
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    EH_ASSERT(i < counts.size(), "histogram bin index out of range");
+    return counts[i];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    EH_ASSERT(i < counts.size(), "histogram bin index out of range");
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+} // namespace eh

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Streaming summary statistics used throughout the simulators and the
+ * benchmark harnesses: running mean/variance (Welford), standard error of
+ * the mean (the error bars in the paper's Figs 8–10), geometric mean (the
+ * model-error metric in Fig 6), and fixed-width histograms.
+ */
+
+#ifndef EH_UTIL_STATS_HH
+#define EH_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace eh {
+
+/**
+ * Single-pass mean/variance accumulator (Welford's algorithm).
+ * Numerically stable for the long cycle-count streams the simulator emits.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * Standard error of the mean (stddev / sqrt(n)) — the error-bar metric
+     * used in the paper's characterization figures.
+     */
+    double sem() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return minValue; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return maxValue; }
+
+    /** Sum of all observations. */
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double minValue = 0.0; // valid only when n > 0
+    double maxValue = 0.0; // valid only when n > 0
+};
+
+/**
+ * Geometric mean of strictly positive values. Values of exactly zero are
+ * clamped to epsilon so that a single perfect prediction does not zero the
+ * aggregate error, matching common practice for error geomeans.
+ */
+double geomean(const std::vector<double> &values, double epsilon = 1e-12);
+
+/**
+ * Percentile via linear interpolation on a copy of the data.
+ * @param q in [0, 100].
+ */
+double percentile(std::vector<double> values, double q);
+
+/**
+ * Pearson correlation coefficient of two equal-length series; 0 for
+ * degenerate inputs (fewer than two points or zero variance).
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Fixed-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower edge.
+     * @param hi Exclusive upper edge; must be > lo.
+     * @param bins Number of equal-width bins; must be > 0.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation (clamped into the edge bins). */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Total observations recorded. */
+    std::size_t total() const { return n; }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::size_t> counts;
+    std::size_t n = 0;
+};
+
+} // namespace eh
+
+#endif // EH_UTIL_STATS_HH

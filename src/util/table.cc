@@ -1,0 +1,70 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/panic.hh"
+
+namespace eh {
+
+Table::Table(std::vector<std::string> header) : head(std::move(header))
+{
+    EH_ASSERT(!head.empty(), "table must have at least one column");
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    EH_ASSERT(cells.size() == head.size(), "table row width mismatch");
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << (fraction * 100.0) << "%";
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &r : body)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c];
+            if (c + 1 < cells.size())
+                out << "  ";
+        }
+        out << "\n";
+    };
+
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (const auto &r : body)
+        emit(r);
+}
+
+} // namespace eh

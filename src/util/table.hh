@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the benchmark harnesses to
+ * render each figure/table of the paper as readable rows.
+ */
+
+#ifndef EH_UTIL_TABLE_HH
+#define EH_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eh {
+
+/**
+ * Accumulates rows of cells and renders them with aligned columns.
+ * Numeric helpers format with a fixed precision for stable output.
+ */
+class Table
+{
+  public:
+    /** @param header Column titles; fixes the table width. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row of preformatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format a double as a percentage with @p precision decimals. */
+    static std::string pct(double fraction, int precision = 2);
+
+    /** Render the table to @p out with a separator under the header. */
+    void print(std::ostream &out) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace eh
+
+#endif // EH_UTIL_TABLE_HH

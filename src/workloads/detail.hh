@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Internal helpers shared by the workload factories: deterministic input
+ * generation (so the assembly program and its C++ reference mirror see
+ * identical data) and byte/word image packing for Program::memInits.
+ */
+
+#ifndef EH_WORKLOADS_DETAIL_HH
+#define EH_WORKLOADS_DETAIL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eh::workloads::detail {
+
+/** n pseudo-random words from @p seed; values in [0, modulo) if set. */
+std::vector<std::uint32_t> pseudoWords(std::uint64_t seed, std::size_t n,
+                                       std::uint32_t modulo = 0);
+
+/** n pseudo-random bytes from @p seed. */
+std::vector<std::uint8_t> pseudoBytes(std::uint64_t seed, std::size_t n);
+
+/** Pack 32-bit words into a little-endian byte image. */
+std::vector<std::uint8_t> wordsToBytes(
+    const std::vector<std::uint32_t> &words);
+
+/** Standard CRC-32 (reflected, poly 0xEDB88320) lookup table. */
+std::vector<std::uint32_t> crc32Table();
+
+/** The AES S-box (FIPS-197). */
+const std::uint8_t *aesSbox();
+
+/**
+ * AES-128 key expansion: 16-byte key -> 176 bytes of round keys
+ * (FIPS-197 section 5.2).
+ */
+std::vector<std::uint8_t> aes128ExpandKey(const std::uint8_t key[16]);
+
+/**
+ * Encrypt one 16-byte block in place with expanded round keys
+ * (FIPS-197 section 5.1). This is the exact byte-oriented algorithm the
+ * rijndael workload implements in assembly; the unit tests check it
+ * against the FIPS-197 Appendix B vector.
+ */
+void aes128EncryptBlock(std::uint8_t state[16],
+                        const std::uint8_t *round_keys);
+
+} // namespace eh::workloads::detail
+
+#endif // EH_WORKLOADS_DETAIL_HH

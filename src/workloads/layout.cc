@@ -1,0 +1,129 @@
+#include "workloads/workload.hh"
+
+#include "util/panic.hh"
+#include "util/random.hh"
+#include "workloads/detail.hh"
+
+namespace eh::workloads {
+
+WorkloadLayout
+volatileLayout(std::size_t sram_used, std::uint64_t nvm_base)
+{
+    if (sram_used < 1024)
+        fatalf("volatileLayout: payload region too small (", sram_used,
+               " bytes); workloads need at least 1 KiB");
+    WorkloadLayout l;
+    l.dataBase = 64;
+    l.scratchBase = sram_used / 2;
+    l.resultBase = nvm_base + 16;
+    l.dataNonvolatile = false;
+    l.sramUsedBytes = sram_used;
+    return l;
+}
+
+WorkloadLayout
+nonvolatileLayout(std::uint64_t nvm_base)
+{
+    WorkloadLayout l;
+    l.dataBase = nvm_base + 256;
+    l.scratchBase = nvm_base + 16384;
+    l.resultBase = nvm_base + 16;
+    l.dataNonvolatile = true;
+    l.sramUsedBytes = 0;
+    return l;
+}
+
+std::vector<std::string>
+tableIINames()
+{
+    return {"rsa", "crc", "sense", "ar", "midi", "ds"};
+}
+
+std::vector<std::string>
+mibenchNames()
+{
+    return {"bitcount", "qsort", "basicmath", "stringsearch", "dijkstra",
+            "fft", "sha", "adpcm", "lzfx", "patricia", "susan",
+            "rijndael", "jpeg"};
+}
+
+Workload
+makeWorkload(const std::string &name, const WorkloadLayout &layout)
+{
+    if (name == "rsa") return makeRsa(layout);
+    if (name == "crc") return makeCrc(layout);
+    if (name == "sense") return makeSense(layout);
+    if (name == "ar") return makeAr(layout);
+    if (name == "midi") return makeMidi(layout);
+    if (name == "ds") return makeDs(layout);
+    if (name == "bitcount") return makeBitcount(layout);
+    if (name == "qsort") return makeQsort(layout);
+    if (name == "basicmath") return makeBasicmath(layout);
+    if (name == "stringsearch") return makeStringsearch(layout);
+    if (name == "dijkstra") return makeDijkstra(layout);
+    if (name == "fft") return makeFft(layout);
+    if (name == "sha") return makeSha(layout);
+    if (name == "adpcm") return makeAdpcm(layout);
+    if (name == "lzfx") return makeLzfx(layout);
+    if (name == "patricia") return makePatricia(layout);
+    if (name == "susan") return makeSusan(layout);
+    if (name == "rijndael") return makeRijndael(layout);
+    if (name == "jpeg") return makeJpeg(layout);
+    if (name == "counter") return makeCounter(layout);
+    fatalf("makeWorkload: unknown workload '", name, "'");
+}
+
+namespace detail {
+
+std::vector<std::uint32_t>
+pseudoWords(std::uint64_t seed, std::size_t n, std::uint32_t modulo)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> out(n);
+    for (auto &w : out) {
+        w = static_cast<std::uint32_t>(rng.next());
+        if (modulo)
+            w %= modulo;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+pseudoBytes(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> out(n);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+std::vector<std::uint8_t>
+wordsToBytes(const std::vector<std::uint32_t> &words)
+{
+    std::vector<std::uint8_t> bytes(words.size() * 4);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        bytes[4 * i] = static_cast<std::uint8_t>(words[i]);
+        bytes[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+        bytes[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+        bytes[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+    }
+    return bytes;
+}
+
+std::vector<std::uint32_t>
+crc32Table()
+{
+    std::vector<std::uint32_t> table(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace detail
+
+} // namespace eh::workloads

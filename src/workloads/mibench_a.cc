@@ -1,0 +1,445 @@
+/**
+ * @file
+ * MiBench-like kernels, batch A: bitcount, qsort, basicmath and
+ * stringsearch (Section V-B Clank characterization). Each factory
+ * includes a C++ mirror of the exact integer algorithm the assembly
+ * implements.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "arch/assembler.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace eh::workloads {
+
+using arch::Assembler;
+using arch::Reg;
+
+// --------------------------------------------------------------------------
+// bitcount: population counts over 128 words, computed two ways
+// (Kernighan clearing and bit-serial scan). The two counts must agree —
+// a built-in self check.
+// --------------------------------------------------------------------------
+
+Workload
+makeBitcount(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kWords = 128;
+    const auto input = detail::pseudoWords(0xB17C001, kWords);
+    const std::uint64_t base = layout.dataBase;
+
+    // C++ mirror.
+    std::uint32_t c1 = 0, c2 = 0;
+    for (std::uint32_t x : input) {
+        std::uint32_t v = x;
+        while (v) {
+            v &= v - 1;
+            ++c1;
+        }
+        v = x;
+        for (int k = 0; k < 32; ++k) {
+            c2 += v & 1;
+            v >>= 1;
+        }
+    }
+
+    Assembler a("bitcount");
+    a.initWords(base, input);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0) // i
+        .movi(Reg::R2, static_cast<std::int32_t>(base))
+        .movi(Reg::R3, kWords)
+        .movi(Reg::R5, 0)  // c1
+        .movi(Reg::R6, 0); // c2
+    a.label("loop")
+        .bgeu(Reg::R1, Reg::R3, "done")
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R4, Reg::R9, 0);
+    a.label("kern")
+        .beq(Reg::R4, Reg::R0, "kernd")
+        .subi(Reg::R7, Reg::R4, 1)
+        .and_(Reg::R4, Reg::R4, Reg::R7)
+        .addi(Reg::R5, Reg::R5, 1)
+        .b("kern");
+    a.label("kernd")
+        .ldw(Reg::R4, Reg::R9, 0) // reload x
+        .movi(Reg::R8, 0);
+    a.label("serial")
+        .movi(Reg::R7, 32)
+        .bgeu(Reg::R8, Reg::R7, "seriald")
+        .andi(Reg::R7, Reg::R4, 1)
+        .add(Reg::R6, Reg::R6, Reg::R7)
+        .lsri(Reg::R4, Reg::R4, 1)
+        .addi(Reg::R8, Reg::R8, 1)
+        .b("serial");
+    a.label("seriald")
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 15)
+        .bne(Reg::R7, Reg::R0, "loop")
+        .checkpoint()
+        .b("loop");
+    a.label("done")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R5, Reg::R9, 0)
+        .stw(Reg::R6, Reg::R9, 4)
+        .halt();
+
+    Workload w;
+    w.name = "bitcount";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {c1, c2};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// qsort: iterative Lomuto quicksort of 64 words with an explicit index
+// stack in memory — a heavy read-modify-write pattern (frequent
+// idempotency violations on Clank).
+// --------------------------------------------------------------------------
+
+Workload
+makeQsort(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kElems = 256;
+    auto input = detail::pseudoWords(0x50C7001, kElems, 100000);
+    const std::uint64_t arr_base = layout.dataBase;
+    const std::uint64_t stk_base = layout.scratchBase;
+
+    // C++ mirror: the checksum depends only on the sorted order.
+    auto sorted = input;
+    std::sort(sorted.begin(), sorted.end());
+    std::uint32_t checksum = 0;
+    for (std::uint32_t k = 0; k < kElems; ++k)
+        checksum += sorted[k] * (k + 1);
+
+    Assembler a("qsort");
+    a.initWords(arr_base, input);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R2, static_cast<std::int32_t>(arr_base))
+        .movi(Reg::R3, static_cast<std::int32_t>(stk_base))
+        // push (0, kElems-1)
+        .stw(Reg::R0, Reg::R3, 0)
+        .movi(Reg::R9, kElems - 1)
+        .stw(Reg::R9, Reg::R3, 4)
+        .movi(Reg::R1, 2); // sp (in words)
+    a.label("mloop")
+        .beq(Reg::R1, Reg::R0, "sorted")
+        // pop hi, then lo
+        .subi(Reg::R1, Reg::R1, 1)
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R3, Reg::R9)
+        .ldw(Reg::R5, Reg::R9, 0) // hi
+        .subi(Reg::R1, Reg::R1, 1)
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R3, Reg::R9)
+        .ldw(Reg::R4, Reg::R9, 0) // lo
+        .bgeu(Reg::R4, Reg::R5, "mloop")
+        // partition around pivot = a[hi]
+        .lsli(Reg::R9, Reg::R5, 2)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R8, Reg::R9, 0)
+        .mov(Reg::R6, Reg::R4)  // i
+        .mov(Reg::R7, Reg::R4); // j
+    a.label("ploop")
+        .bgeu(Reg::R7, Reg::R5, "pdone")
+        .lsli(Reg::R9, Reg::R7, 2)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R10, Reg::R9, 0) // a[j]
+        .bltu(Reg::R8, Reg::R10, "noswap")
+        // swap a[i] <-> a[j]
+        .lsli(Reg::R11, Reg::R6, 2)
+        .add(Reg::R11, Reg::R2, Reg::R11)
+        .ldw(Reg::R12, Reg::R11, 0)
+        .stw(Reg::R10, Reg::R11, 0)
+        .stw(Reg::R12, Reg::R9, 0)
+        .addi(Reg::R6, Reg::R6, 1);
+    a.label("noswap")
+        .addi(Reg::R7, Reg::R7, 1)
+        .b("ploop");
+    a.label("pdone")
+        // swap a[i] <-> a[hi]
+        .lsli(Reg::R9, Reg::R6, 2)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R10, Reg::R9, 0)
+        .lsli(Reg::R11, Reg::R5, 2)
+        .add(Reg::R11, Reg::R2, Reg::R11)
+        .ldw(Reg::R12, Reg::R11, 0)
+        .stw(Reg::R12, Reg::R9, 0)
+        .stw(Reg::R10, Reg::R11, 0)
+        // push (lo, i-1) when lo < i
+        .bgeu(Reg::R4, Reg::R6, "nopush1")
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R3, Reg::R9)
+        .stw(Reg::R4, Reg::R9, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .subi(Reg::R10, Reg::R6, 1)
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R3, Reg::R9)
+        .stw(Reg::R10, Reg::R9, 0)
+        .addi(Reg::R1, Reg::R1, 1);
+    a.label("nopush1")
+        // push (i+1, hi) when i+1 < hi
+        .addi(Reg::R10, Reg::R6, 1)
+        .bgeu(Reg::R10, Reg::R5, "nopush2")
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R3, Reg::R9)
+        .stw(Reg::R10, Reg::R9, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R3, Reg::R9)
+        .stw(Reg::R5, Reg::R9, 0)
+        .addi(Reg::R1, Reg::R1, 1);
+    a.label("nopush2")
+        .checkpoint()
+        .b("mloop");
+    a.label("sorted")
+        .movi(Reg::R4, 0) // k
+        .movi(Reg::R5, 0) // checksum
+        .movi(Reg::R6, kElems);
+    a.label("qcs")
+        .bgeu(Reg::R4, Reg::R6, "qcsd")
+        .lsli(Reg::R9, Reg::R4, 2)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R10, Reg::R9, 0)
+        .addi(Reg::R11, Reg::R4, 1)
+        .mul(Reg::R10, Reg::R10, Reg::R11)
+        .add(Reg::R5, Reg::R5, Reg::R10)
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("qcs");
+    a.label("qcsd")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R5, Reg::R9, 0)
+        .halt();
+
+    Workload w;
+    w.name = "qsort";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// basicmath: bit-by-bit integer square roots over 64 inputs plus Euclid
+// GCDs over 32 pairs.
+// --------------------------------------------------------------------------
+
+Workload
+makeBasicmath(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kRoots = 256;
+    constexpr std::uint32_t kPairs = 128;
+    const auto root_in = detail::pseudoWords(0xBA5E001, kRoots);
+    const auto gcd_in =
+        detail::pseudoWords(0xBA5E002, kPairs * 2, 1000000);
+    const std::uint64_t root_base = layout.dataBase;
+    const std::uint64_t gcd_base = layout.dataBase + kRoots * 4;
+
+    // C++ mirror.
+    auto isqrt = [](std::uint32_t x) {
+        std::uint32_t res = 0;
+        std::uint32_t bit = 1u << 30;
+        while (bit > x)
+            bit >>= 2;
+        while (bit) {
+            if (x >= res + bit) {
+                x -= res + bit;
+                res = (res >> 1) + bit;
+            } else {
+                res >>= 1;
+            }
+            bit >>= 2;
+        }
+        return res;
+    };
+    std::uint32_t sum_roots = 0;
+    for (std::uint32_t x : root_in)
+        sum_roots += isqrt(x);
+    std::uint32_t sum_gcd = 0;
+    for (std::uint32_t p = 0; p < kPairs; ++p) {
+        std::uint32_t x = gcd_in[2 * p] + 1;
+        std::uint32_t y = gcd_in[2 * p + 1] + 1;
+        while (y) {
+            const std::uint32_t t = x % y;
+            x = y;
+            y = t;
+        }
+        sum_gcd += x;
+    }
+
+    Assembler a("basicmath");
+    a.initWords(root_base, root_in);
+    a.initWords(gcd_base, gcd_in);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0) // i
+        .movi(Reg::R2, static_cast<std::int32_t>(root_base))
+        .movi(Reg::R3, kRoots)
+        .movi(Reg::R12, 0); // sum_roots
+    // --- isqrt loop ---
+    a.label("rloop")
+        .bgeu(Reg::R1, Reg::R3, "rdone")
+        .lsli(Reg::R9, Reg::R1, 2)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R4, Reg::R9, 0)  // x
+        .movi(Reg::R5, 0)          // res
+        .movi(Reg::R6, 1 << 30);   // bit
+    a.label("bitdn")
+        .bgeu(Reg::R4, Reg::R6, "sqloop")
+        .lsri(Reg::R6, Reg::R6, 2)
+        .beq(Reg::R6, Reg::R0, "sqdone")
+        .b("bitdn");
+    a.label("sqloop")
+        .beq(Reg::R6, Reg::R0, "sqdone")
+        .add(Reg::R7, Reg::R5, Reg::R6) // res + bit
+        .bltu(Reg::R4, Reg::R7, "sqelse")
+        .sub(Reg::R4, Reg::R4, Reg::R7)
+        .lsri(Reg::R5, Reg::R5, 1)
+        .add(Reg::R5, Reg::R5, Reg::R6)
+        .b("sqnext");
+    a.label("sqelse")
+        .lsri(Reg::R5, Reg::R5, 1);
+    a.label("sqnext")
+        .lsri(Reg::R6, Reg::R6, 2)
+        .b("sqloop");
+    a.label("sqdone")
+        .add(Reg::R12, Reg::R12, Reg::R5)
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 15)
+        .bne(Reg::R7, Reg::R0, "rloop")
+        .checkpoint()
+        .b("rloop");
+    // --- gcd loop ---
+    a.label("rdone")
+        .movi(Reg::R1, 0) // pair index
+        .movi(Reg::R2, static_cast<std::int32_t>(gcd_base))
+        .movi(Reg::R3, kPairs)
+        .movi(Reg::R11, 0); // sum_gcd
+    a.label("gloop")
+        .bgeu(Reg::R1, Reg::R3, "gdone")
+        .lsli(Reg::R9, Reg::R1, 3)
+        .add(Reg::R9, Reg::R2, Reg::R9)
+        .ldw(Reg::R4, Reg::R9, 0)
+        .addi(Reg::R4, Reg::R4, 1) // x = in + 1 (avoid zero)
+        .ldw(Reg::R5, Reg::R9, 4)
+        .addi(Reg::R5, Reg::R5, 1); // y
+    a.label("euclid")
+        .beq(Reg::R5, Reg::R0, "euclidd")
+        .remu(Reg::R7, Reg::R4, Reg::R5)
+        .mov(Reg::R4, Reg::R5)
+        .mov(Reg::R5, Reg::R7)
+        .b("euclid");
+    a.label("euclidd")
+        .add(Reg::R11, Reg::R11, Reg::R4)
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 7)
+        .bne(Reg::R7, Reg::R0, "gloop")
+        .checkpoint()
+        .b("gloop");
+    a.label("gdone")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R12, Reg::R9, 0)
+        .stw(Reg::R11, Reg::R9, 4)
+        .halt();
+
+    Workload w;
+    w.name = "basicmath";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {sum_roots, sum_gcd};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// stringsearch: naive substring search of an 8-byte pattern in 512 bytes
+// of generated text (with planted occurrences).
+// --------------------------------------------------------------------------
+
+Workload
+makeStringsearch(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kTextLen = 2048;
+    constexpr std::uint32_t kPatLen = 8;
+    auto text = detail::pseudoBytes(0x5EA4C4, kTextLen);
+    const std::uint8_t pattern[kPatLen] = {'e', 'h', 'm', 'o',
+                                           'd', 'e', 'l', '!'};
+    // Plant occurrences so matches exist.
+    for (std::uint32_t pos : {37u, 200u, 201u, 444u, 1023u, 1999u}) {
+        for (std::uint32_t k = 0; k < kPatLen; ++k)
+            text[pos + k] = pattern[k];
+    }
+    const std::uint64_t text_base = layout.dataBase;
+    const std::uint64_t pat_base = layout.scratchBase;
+
+    // C++ mirror.
+    std::uint32_t matches = 0, first = kTextLen;
+    for (std::uint32_t i = 0; i + kPatLen <= kTextLen; ++i) {
+        std::uint32_t k = 0;
+        while (k < kPatLen && text[i + k] == pattern[k])
+            ++k;
+        if (k == kPatLen) {
+            ++matches;
+            first = std::min(first, i);
+        }
+    }
+
+    Assembler a("stringsearch");
+    a.initBytes(text_base, text);
+    a.initBytes(pat_base,
+                std::vector<std::uint8_t>(pattern, pattern + kPatLen));
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0) // i
+        .movi(Reg::R2, static_cast<std::int32_t>(text_base))
+        .movi(Reg::R3, static_cast<std::int32_t>(pat_base))
+        .movi(Reg::R4, kTextLen - kPatLen + 1)
+        .movi(Reg::R5, 0)          // matches
+        .movi(Reg::R6, kTextLen)   // first (sentinel)
+        .movi(Reg::R12, kPatLen);
+    a.label("iloop")
+        .bgeu(Reg::R1, Reg::R4, "done")
+        .movi(Reg::R7, 0); // k
+    a.label("kloop")
+        .bgeu(Reg::R7, Reg::R12, "hit")
+        .add(Reg::R8, Reg::R1, Reg::R7)
+        .add(Reg::R8, Reg::R2, Reg::R8)
+        .ldb(Reg::R9, Reg::R8, 0)
+        .add(Reg::R10, Reg::R3, Reg::R7)
+        .ldb(Reg::R10, Reg::R10, 0)
+        .bne(Reg::R9, Reg::R10, "miss")
+        .addi(Reg::R7, Reg::R7, 1)
+        .b("kloop");
+    a.label("hit")
+        .addi(Reg::R5, Reg::R5, 1)
+        .bltu(Reg::R1, Reg::R6, "sethit")
+        .b("miss");
+    a.label("sethit")
+        .mov(Reg::R6, Reg::R1);
+    a.label("miss")
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R8, Reg::R1, 63)
+        .bne(Reg::R8, Reg::R0, "iloop")
+        .checkpoint()
+        .b("iloop");
+    a.label("done")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R5, Reg::R9, 0)
+        .stw(Reg::R6, Reg::R9, 4)
+        .halt();
+
+    Workload w;
+    w.name = "stringsearch";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {matches, first};
+    return w;
+}
+
+} // namespace eh::workloads

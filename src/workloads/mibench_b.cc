@@ -1,0 +1,678 @@
+/**
+ * @file
+ * MiBench-like kernels, batch B: dijkstra, fft and sha. These are the
+ * pointer/array-update heavy kernels whose read-then-write patterns
+ * drive Clank's idempotency violations (Section V-B).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace eh::workloads {
+
+using arch::Assembler;
+using arch::Reg;
+
+// --------------------------------------------------------------------------
+// dijkstra: O(V^2) single-source shortest paths over a dense 16-node
+// graph. dist[] is repeatedly read and overwritten — a classic WAR
+// pattern.
+// --------------------------------------------------------------------------
+
+Workload
+makeDijkstra(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kV = 16;
+    constexpr std::uint32_t kSources = 8;
+    constexpr std::uint32_t kInf = 0x3FFFFFFF;
+    // Dense weight matrix: weight 1..63, ~25% of edges absent (0),
+    // diagonal 0.
+    auto raw = detail::pseudoWords(0xD10001, kV * kV, 256);
+    std::vector<std::uint32_t> adj(kV * kV);
+    for (std::uint32_t r = 0; r < kV; ++r) {
+        for (std::uint32_t c = 0; c < kV; ++c) {
+            const std::uint32_t v = raw[r * kV + c];
+            adj[r * kV + c] = (r == c || v < 64) ? 0 : v % 63 + 1;
+        }
+    }
+    const std::uint64_t adj_base = layout.dataBase;
+    const std::uint64_t dist_base = layout.scratchBase;
+    const std::uint64_t vis_base = layout.scratchBase + kV * 4;
+    const std::uint64_t src_slot = layout.scratchBase + kV * 8;
+
+    // C++ mirror: shortest paths from each of kSources sources, with the
+    // per-source distance checksums accumulated.
+    std::uint32_t checksum = 0;
+    for (std::uint32_t source = 0; source < kSources; ++source) {
+        std::uint32_t dist[kV], visited[kV] = {};
+        for (std::uint32_t k = 0; k < kV; ++k)
+            dist[k] = kInf;
+        dist[source] = 0;
+        for (std::uint32_t iter = 0; iter < kV; ++iter) {
+            std::uint32_t best = kInf, u = kV;
+            for (std::uint32_t k = 0; k < kV; ++k) {
+                if (!visited[k] && dist[k] < best) {
+                    best = dist[k];
+                    u = k;
+                }
+            }
+            if (u == kV)
+                break;
+            visited[u] = 1;
+            for (std::uint32_t k = 0; k < kV; ++k) {
+                const std::uint32_t wgt = adj[u * kV + k];
+                if (!visited[k] && wgt && best + wgt < dist[k])
+                    dist[k] = best + wgt;
+            }
+        }
+        for (std::uint32_t k = 0; k < kV; ++k)
+            checksum += dist[k] * (k + 1);
+    }
+
+    // Registers: R0 zero, R1 loop index, R2 running checksum, R3 = kV,
+    // R4 best, R5 u, R6 k, R7-R10 scratch, R11 &dist, R12 &visited. The
+    // source counter lives in memory (src_slot).
+    Assembler a("dijkstra");
+    a.initWords(adj_base, adj);
+    a.initWords(src_slot, {0});
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R2, 0)
+        .movi(Reg::R3, kV)
+        .movi(Reg::R11, static_cast<std::int32_t>(dist_base))
+        .movi(Reg::R12, static_cast<std::int32_t>(vis_base));
+    a.label("srcloop")
+        .movi(Reg::R8, static_cast<std::int32_t>(src_slot))
+        .ldw(Reg::R7, Reg::R8, 0)
+        .movi(Reg::R9, kSources)
+        .bgeu(Reg::R7, Reg::R9, "alldone")
+        // init dist = INF, visited = 0
+        .movi(Reg::R1, 0);
+    a.label("init")
+        .bgeu(Reg::R1, Reg::R3, "initd")
+        .lsli(Reg::R4, Reg::R1, 2)
+        .add(Reg::R5, Reg::R11, Reg::R4)
+        .movi(Reg::R9, kInf)
+        .stw(Reg::R9, Reg::R5, 0)
+        .add(Reg::R5, Reg::R12, Reg::R4)
+        .stw(Reg::R0, Reg::R5, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("init");
+    a.label("initd")
+        // dist[source] = 0
+        .lsli(Reg::R7, Reg::R7, 2)
+        .add(Reg::R7, Reg::R11, Reg::R7)
+        .stw(Reg::R0, Reg::R7, 0)
+        .checkpoint()
+        .movi(Reg::R1, 0); // iteration
+    a.label("outer")
+        .bgeu(Reg::R1, Reg::R3, "ddone")
+        // find the unvisited node with minimum distance
+        .movi(Reg::R4, kInf) // best
+        .movi(Reg::R5, kV)   // u = sentinel
+        .movi(Reg::R6, 0);   // k
+    a.label("find")
+        .bgeu(Reg::R6, Reg::R3, "foundd")
+        .lsli(Reg::R7, Reg::R6, 2)
+        .add(Reg::R8, Reg::R12, Reg::R7)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .bne(Reg::R8, Reg::R0, "fskip")
+        .add(Reg::R8, Reg::R11, Reg::R7)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .bgeu(Reg::R8, Reg::R4, "fskip")
+        .mov(Reg::R4, Reg::R8)
+        .mov(Reg::R5, Reg::R6);
+    a.label("fskip")
+        .addi(Reg::R6, Reg::R6, 1)
+        .b("find");
+    a.label("foundd")
+        .beq(Reg::R5, Reg::R3, "ddone") // no reachable node left
+        // visited[u] = 1
+        .lsli(Reg::R7, Reg::R5, 2)
+        .add(Reg::R7, Reg::R12, Reg::R7)
+        .movi(Reg::R8, 1)
+        .stw(Reg::R8, Reg::R7, 0)
+        // relax neighbours of u
+        .movi(Reg::R6, 0);
+    a.label("relax")
+        .bgeu(Reg::R6, Reg::R3, "relaxd")
+        .lsli(Reg::R7, Reg::R6, 2)
+        .add(Reg::R8, Reg::R12, Reg::R7)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .bne(Reg::R8, Reg::R0, "rskip")
+        // w = adj[u*kV + k]
+        .lsli(Reg::R8, Reg::R5, 4) // u * 16
+        .add(Reg::R8, Reg::R8, Reg::R6)
+        .lsli(Reg::R8, Reg::R8, 2)
+        .movi(Reg::R9, static_cast<std::int32_t>(adj_base))
+        .add(Reg::R8, Reg::R9, Reg::R8)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .beq(Reg::R8, Reg::R0, "rskip")
+        .add(Reg::R8, Reg::R4, Reg::R8) // nd = best + w
+        .add(Reg::R9, Reg::R11, Reg::R7)
+        .ldw(Reg::R10, Reg::R9, 0)      // dist[k]
+        .bgeu(Reg::R8, Reg::R10, "rskip")
+        .stw(Reg::R8, Reg::R9, 0);
+    a.label("rskip")
+        .addi(Reg::R6, Reg::R6, 1)
+        .b("relax");
+    a.label("relaxd")
+        .checkpoint()
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("outer");
+    a.label("ddone")
+        // checksum += sum dist[k] * (k+1)
+        .movi(Reg::R1, 0);
+    a.label("csum")
+        .bgeu(Reg::R1, Reg::R3, "csumd")
+        .lsli(Reg::R7, Reg::R1, 2)
+        .add(Reg::R7, Reg::R11, Reg::R7)
+        .ldw(Reg::R8, Reg::R7, 0)
+        .addi(Reg::R9, Reg::R1, 1)
+        .mul(Reg::R8, Reg::R8, Reg::R9)
+        .add(Reg::R2, Reg::R2, Reg::R8)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("csum");
+    a.label("csumd")
+        // next source
+        .movi(Reg::R8, static_cast<std::int32_t>(src_slot))
+        .ldw(Reg::R7, Reg::R8, 0)
+        .addi(Reg::R7, Reg::R7, 1)
+        .stw(Reg::R7, Reg::R8, 0)
+        .checkpoint()
+        .b("srcloop");
+    a.label("alldone")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .halt();
+
+    Workload w;
+    w.name = "dijkstra";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// fft: in-place 64-point radix-2 fixed-point (Q12) FFT. Heavy in-place
+// butterfly updates (read a[], write a[]) make it violation-dense.
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** Exactly the arithmetic the assembly performs: 32-bit wrap, asr 12. */
+std::int32_t
+q12mul(std::int32_t x, std::int32_t y)
+{
+    const auto wrapped = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(x) * static_cast<std::uint32_t>(y));
+    return wrapped >> 12; // arithmetic shift, matching asri
+}
+
+} // namespace
+
+Workload
+makeFft(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kN = 256;
+    constexpr std::uint32_t kLogN = 8;
+
+    // Input: Q12-ish samples in [-1024, 1023]; imaginary part zero.
+    const auto raw = detail::pseudoWords(0xFF7001, kN, 2048);
+    std::vector<std::int32_t> re(kN), im(kN, 0);
+    for (std::uint32_t k = 0; k < kN; ++k)
+        re[k] = static_cast<std::int32_t>(raw[k]) - 1024;
+
+    // Twiddle tables (Q12) and bit-reversal permutation, baked as data.
+    std::vector<std::uint32_t> tw_re(kN / 2), tw_im(kN / 2);
+    for (std::uint32_t j = 0; j < kN / 2; ++j) {
+        const double ang = -2.0 * M_PI * j / kN;
+        tw_re[j] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(std::lround(std::cos(ang) * 4096)));
+        tw_im[j] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(std::lround(std::sin(ang) * 4096)));
+    }
+    std::vector<std::uint32_t> rev(kN);
+    for (std::uint32_t k = 0; k < kN; ++k) {
+        std::uint32_t r = 0;
+        for (std::uint32_t b = 0; b < kLogN; ++b)
+            if (k & (1u << b))
+                r |= 1u << (kLogN - 1 - b);
+        rev[k] = r;
+    }
+
+    // C++ mirror (identical integer ops).
+    {
+        std::vector<std::int32_t> r2(re), i2(im);
+        for (std::uint32_t k = 0; k < kN; ++k) {
+            re[rev[k]] = r2[k];
+            im[rev[k]] = i2[k];
+        }
+        for (std::uint32_t len = 2; len <= kN; len <<= 1) {
+            const std::uint32_t half = len / 2;
+            const std::uint32_t step = kN / len;
+            for (std::uint32_t i = 0; i < kN; i += len) {
+                for (std::uint32_t j = 0; j < half; ++j) {
+                    const auto wr = static_cast<std::int32_t>(
+                        tw_re[j * step]);
+                    const auto wi = static_cast<std::int32_t>(
+                        tw_im[j * step]);
+                    const std::uint32_t p = i + j, q = i + j + half;
+                    const std::int32_t tr =
+                        q12mul(wr, re[q]) - q12mul(wi, im[q]);
+                    const std::int32_t ti =
+                        q12mul(wr, im[q]) + q12mul(wi, re[q]);
+                    re[q] = re[p] - tr;
+                    im[q] = im[p] - ti;
+                    re[p] = re[p] + tr;
+                    im[p] = im[p] + ti;
+                }
+            }
+        }
+    }
+    std::uint32_t checksum = 0;
+    for (std::uint32_t k = 0; k < kN; ++k) {
+        checksum += static_cast<std::uint32_t>(re[k]) * (2 * k + 1) +
+                    static_cast<std::uint32_t>(im[k]) * (2 * k + 2);
+    }
+
+    // Memory layout: re[64], im[64] at dataBase; tables at scratch.
+    const std::uint64_t re_base = layout.dataBase;
+    const std::uint64_t im_base = layout.dataBase + kN * 4;
+    const std::uint64_t twr_base = layout.scratchBase;
+    const std::uint64_t twi_base = layout.scratchBase + kN * 2;
+    const std::uint64_t rev_base = layout.scratchBase + kN * 4;
+
+    // The program writes the bit-reversed input itself (from a pristine
+    // copy), so re-execution stays correct: src arrays are read-only.
+    const std::uint64_t src_base = layout.scratchBase + kN * 8;
+    std::vector<std::uint32_t> src_re(kN);
+    for (std::uint32_t k = 0; k < kN; ++k)
+        src_re[k] = raw[k] - 1024; // same values as the mirror's input
+
+    Assembler a("fft");
+    a.initWords(twr_base, tw_re);
+    a.initWords(twi_base, tw_im);
+    a.initWords(rev_base, rev);
+    a.initWords(src_base, src_re);
+    a.movi(Reg::R0, 0)
+        // Bit-reversal scatter: re[rev[k]] = src[k]; im[rev[k]] = 0.
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, kN);
+    a.label("scatter")
+        .bgeu(Reg::R1, Reg::R2, "scatterd")
+        .lsli(Reg::R3, Reg::R1, 2)
+        .movi(Reg::R4, static_cast<std::int32_t>(rev_base))
+        .add(Reg::R4, Reg::R4, Reg::R3)
+        .ldw(Reg::R4, Reg::R4, 0) // rev[k]
+        .movi(Reg::R5, static_cast<std::int32_t>(src_base))
+        .add(Reg::R5, Reg::R5, Reg::R3)
+        .ldw(Reg::R5, Reg::R5, 0) // src[k]
+        .lsli(Reg::R4, Reg::R4, 2)
+        .movi(Reg::R6, static_cast<std::int32_t>(re_base))
+        .add(Reg::R6, Reg::R6, Reg::R4)
+        .stw(Reg::R5, Reg::R6, 0)
+        .movi(Reg::R6, static_cast<std::int32_t>(im_base))
+        .add(Reg::R6, Reg::R6, Reg::R4)
+        .stw(Reg::R0, Reg::R6, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("scatter");
+    a.label("scatterd")
+        .checkpoint()
+        // Butterfly stages. r1 = len.
+        .movi(Reg::R1, 2);
+    a.label("stage")
+        .movi(Reg::R2, kN)
+        .bltu(Reg::R2, Reg::R1, "fftdone") // len > N → done
+        .movi(Reg::R3, 0);                 // i
+    a.label("group")
+        .movi(Reg::R2, kN)
+        .bgeu(Reg::R3, Reg::R2, "staged")
+        .movi(Reg::R4, 0); // j
+    a.label("fly")
+        .lsri(Reg::R5, Reg::R1, 1) // half = len/2
+        .bgeu(Reg::R4, Reg::R5, "flyd")
+        // tw index = j * (N/len); N/len = 64/len = (64 >> log2 len)...
+        // computed as j * step where step = N/len via division.
+        .movi(Reg::R6, kN)
+        .divu(Reg::R6, Reg::R6, Reg::R1) // step
+        .mul(Reg::R6, Reg::R4, Reg::R6)  // j*step
+        .lsli(Reg::R6, Reg::R6, 2)
+        .movi(Reg::R7, static_cast<std::int32_t>(twr_base))
+        .add(Reg::R7, Reg::R7, Reg::R6)
+        .ldw(Reg::R7, Reg::R7, 0) // wr
+        .movi(Reg::R8, static_cast<std::int32_t>(twi_base))
+        .add(Reg::R8, Reg::R8, Reg::R6)
+        .ldw(Reg::R8, Reg::R8, 0) // wi
+        // p = i + j; q = p + half  (byte offsets in R9/R10)
+        .add(Reg::R9, Reg::R3, Reg::R4)
+        .add(Reg::R10, Reg::R9, Reg::R5)
+        .lsli(Reg::R9, Reg::R9, 2)
+        .lsli(Reg::R10, Reg::R10, 2)
+        // tr = (wr*re[q] >> 12) - (wi*im[q] >> 12) -> R11
+        .movi(Reg::R6, static_cast<std::int32_t>(re_base))
+        .add(Reg::R6, Reg::R6, Reg::R10)
+        .ldw(Reg::R11, Reg::R6, 0) // re[q]
+        .mul(Reg::R11, Reg::R7, Reg::R11)
+        .asri(Reg::R11, Reg::R11, 12)
+        .movi(Reg::R6, static_cast<std::int32_t>(im_base))
+        .add(Reg::R6, Reg::R6, Reg::R10)
+        .ldw(Reg::R12, Reg::R6, 0) // im[q]
+        .mul(Reg::R6, Reg::R8, Reg::R12)
+        .asri(Reg::R6, Reg::R6, 12)
+        .sub(Reg::R11, Reg::R11, Reg::R6) // tr
+        // ti = (wr*im[q] >> 12) + (wi*re[q] >> 12) -> R12
+        .mul(Reg::R12, Reg::R7, Reg::R12)
+        .asri(Reg::R12, Reg::R12, 12)
+        .movi(Reg::R6, static_cast<std::int32_t>(re_base))
+        .add(Reg::R6, Reg::R6, Reg::R10)
+        .ldw(Reg::R6, Reg::R6, 0) // re[q] again
+        .mul(Reg::R6, Reg::R8, Reg::R6)
+        .asri(Reg::R6, Reg::R6, 12)
+        .add(Reg::R12, Reg::R12, Reg::R6) // ti
+        // re[q] = re[p] - tr; re[p] += tr
+        .movi(Reg::R6, static_cast<std::int32_t>(re_base))
+        .add(Reg::R7, Reg::R6, Reg::R9)
+        .ldw(Reg::R8, Reg::R7, 0) // re[p]
+        .add(Reg::R6, Reg::R6, Reg::R10)
+        .sub(Reg::R7, Reg::R8, Reg::R11)
+        .stw(Reg::R7, Reg::R6, 0) // re[q]
+        .movi(Reg::R6, static_cast<std::int32_t>(re_base))
+        .add(Reg::R6, Reg::R6, Reg::R9)
+        .add(Reg::R8, Reg::R8, Reg::R11)
+        .stw(Reg::R8, Reg::R6, 0) // re[p]
+        // im[q] = im[p] - ti; im[p] += ti
+        .movi(Reg::R6, static_cast<std::int32_t>(im_base))
+        .add(Reg::R7, Reg::R6, Reg::R9)
+        .ldw(Reg::R8, Reg::R7, 0) // im[p]
+        .add(Reg::R6, Reg::R6, Reg::R10)
+        .sub(Reg::R7, Reg::R8, Reg::R12)
+        .stw(Reg::R7, Reg::R6, 0) // im[q]
+        .movi(Reg::R6, static_cast<std::int32_t>(im_base))
+        .add(Reg::R6, Reg::R6, Reg::R9)
+        .add(Reg::R8, Reg::R8, Reg::R12)
+        .stw(Reg::R8, Reg::R6, 0) // im[p]
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("fly");
+    a.label("flyd")
+        .add(Reg::R3, Reg::R3, Reg::R1) // i += len
+        .b("group");
+    a.label("staged")
+        .checkpoint()
+        .lsli(Reg::R1, Reg::R1, 1) // len <<= 1
+        .b("stage");
+    a.label("fftdone")
+        // checksum = sum re[k]*(2k+1) + im[k]*(2k+2)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, 0)
+        .movi(Reg::R3, kN);
+    a.label("fcs")
+        .bgeu(Reg::R1, Reg::R3, "fcsd")
+        .lsli(Reg::R4, Reg::R1, 2)
+        .movi(Reg::R5, static_cast<std::int32_t>(re_base))
+        .add(Reg::R5, Reg::R5, Reg::R4)
+        .ldw(Reg::R5, Reg::R5, 0)
+        .lsli(Reg::R6, Reg::R1, 1)
+        .addi(Reg::R7, Reg::R6, 1)
+        .mul(Reg::R5, Reg::R5, Reg::R7)
+        .add(Reg::R2, Reg::R2, Reg::R5)
+        .movi(Reg::R5, static_cast<std::int32_t>(im_base))
+        .add(Reg::R5, Reg::R5, Reg::R4)
+        .ldw(Reg::R5, Reg::R5, 0)
+        .addi(Reg::R7, Reg::R6, 2)
+        .mul(Reg::R5, Reg::R5, Reg::R7)
+        .add(Reg::R2, Reg::R2, Reg::R5)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("fcs");
+    a.label("fcsd")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .halt();
+
+    Workload w;
+    w.name = "fft";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// sha: SHA-1 compression over a two-block (128-byte) baked message with
+// the 80-entry W schedule materialized in memory.
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t
+rol(std::uint32_t x, unsigned n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // namespace
+
+Workload
+makeSha(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kBlocks = 16;
+    const auto message =
+        detail::pseudoWords(0x5AA001, kBlocks * 16); // already "words"
+
+    // C++ mirror: standard SHA-1 over the word message.
+    std::uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                          0xC3D2E1F0};
+    for (std::uint32_t blk = 0; blk < kBlocks; ++blk) {
+        std::uint32_t wsched[80];
+        for (int t = 0; t < 16; ++t)
+            wsched[t] = message[blk * 16 + t];
+        for (int t = 16; t < 80; ++t)
+            wsched[t] = rol(wsched[t - 3] ^ wsched[t - 8] ^
+                                wsched[t - 14] ^ wsched[t - 16],
+                            1);
+        std::uint32_t a_ = h[0], b_ = h[1], c_ = h[2], d_ = h[3],
+                      e_ = h[4];
+        for (int t = 0; t < 80; ++t) {
+            std::uint32_t f, k;
+            if (t < 20) {
+                f = (b_ & c_) | (~b_ & d_);
+                k = 0x5A827999;
+            } else if (t < 40) {
+                f = b_ ^ c_ ^ d_;
+                k = 0x6ED9EBA1;
+            } else if (t < 60) {
+                f = (b_ & c_) | (b_ & d_) | (c_ & d_);
+                k = 0x8F1BBCDC;
+            } else {
+                f = b_ ^ c_ ^ d_;
+                k = 0xCA62C1D6;
+            }
+            const std::uint32_t tmp = rol(a_, 5) + f + e_ + k + wsched[t];
+            e_ = d_;
+            d_ = c_;
+            c_ = rol(b_, 30);
+            b_ = a_;
+            a_ = tmp;
+        }
+        h[0] += a_;
+        h[1] += b_;
+        h[2] += c_;
+        h[3] += d_;
+        h[4] += e_;
+    }
+
+    const std::uint64_t msg_base = layout.dataBase;
+    const std::uint64_t w_base = layout.scratchBase;        // W[80]
+    const std::uint64_t h_base = layout.scratchBase + 400;  // h[5]
+
+    Assembler a("sha");
+    a.initWords(msg_base, message);
+    a.initWords(h_base, {0x67452301, static_cast<std::uint32_t>(0xEFCDAB89),
+                         static_cast<std::uint32_t>(0x98BADCFE),
+                         0x10325476,
+                         static_cast<std::uint32_t>(0xC3D2E1F0)});
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R12, 0); // block index
+    a.label("block")
+        .movi(Reg::R7, kBlocks)
+        .bgeu(Reg::R12, Reg::R7, "shad")
+        // W[0..15] = message words of this block
+        .movi(Reg::R6, 0);
+    a.label("wcopy")
+        .movi(Reg::R7, 16)
+        .bgeu(Reg::R6, Reg::R7, "wexp")
+        .lsli(Reg::R8, Reg::R12, 6) // blk * 64 bytes
+        .lsli(Reg::R9, Reg::R6, 2)
+        .add(Reg::R8, Reg::R8, Reg::R9)
+        .movi(Reg::R10, static_cast<std::int32_t>(msg_base))
+        .add(Reg::R8, Reg::R10, Reg::R8)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .movi(Reg::R10, static_cast<std::int32_t>(w_base))
+        .add(Reg::R9, Reg::R10, Reg::R9)
+        .stw(Reg::R8, Reg::R9, 0)
+        .addi(Reg::R6, Reg::R6, 1)
+        .b("wcopy");
+    a.label("wexp")
+        // W[t] = rol1(W[t-3]^W[t-8]^W[t-14]^W[t-16]), t = 16..79
+        .movi(Reg::R6, 16);
+    a.label("wloop")
+        .movi(Reg::R7, 80)
+        .bgeu(Reg::R6, Reg::R7, "rounds")
+        .movi(Reg::R10, static_cast<std::int32_t>(w_base))
+        .lsli(Reg::R8, Reg::R6, 2)
+        .add(Reg::R8, Reg::R10, Reg::R8) // &W[t]
+        .ldw(Reg::R9, Reg::R8, -12)      // W[t-3]
+        .ldw(Reg::R11, Reg::R8, -32)     // W[t-8]
+        .eor(Reg::R9, Reg::R9, Reg::R11)
+        .ldw(Reg::R11, Reg::R8, -56)     // W[t-14]
+        .eor(Reg::R9, Reg::R9, Reg::R11)
+        .ldw(Reg::R11, Reg::R8, -64)     // W[t-16]
+        .eor(Reg::R9, Reg::R9, Reg::R11)
+        .lsli(Reg::R11, Reg::R9, 1)
+        .lsri(Reg::R9, Reg::R9, 31)
+        .orr(Reg::R9, Reg::R9, Reg::R11) // rol1
+        .stw(Reg::R9, Reg::R8, 0)
+        .addi(Reg::R6, Reg::R6, 1)
+        .b("wloop");
+    a.label("rounds")
+        .checkpoint()
+        // load a..e from h[]
+        .movi(Reg::R10, static_cast<std::int32_t>(h_base))
+        .ldw(Reg::R1, Reg::R10, 0)  // a
+        .ldw(Reg::R2, Reg::R10, 4)  // b
+        .ldw(Reg::R3, Reg::R10, 8)  // c
+        .ldw(Reg::R4, Reg::R10, 12) // d
+        .ldw(Reg::R5, Reg::R10, 16) // e
+        .movi(Reg::R6, 0);          // t
+    a.label("round")
+        .movi(Reg::R7, 80)
+        .bgeu(Reg::R6, Reg::R7, "blockend")
+        // f and k by quarter -> R8 (f), R9 (k)
+        .movi(Reg::R7, 20)
+        .bgeu(Reg::R6, Reg::R7, "q2")
+        .and_(Reg::R8, Reg::R2, Reg::R3)
+        .eori(Reg::R9, Reg::R2, -1)
+        .and_(Reg::R9, Reg::R9, Reg::R4)
+        .orr(Reg::R8, Reg::R8, Reg::R9)
+        .movi(Reg::R9, 0x5A827999)
+        .b("mix");
+    a.label("q2")
+        .movi(Reg::R7, 40)
+        .bgeu(Reg::R6, Reg::R7, "q3")
+        .eor(Reg::R8, Reg::R2, Reg::R3)
+        .eor(Reg::R8, Reg::R8, Reg::R4)
+        .movi(Reg::R9, 0x6ED9EBA1)
+        .b("mix");
+    a.label("q3")
+        .movi(Reg::R7, 60)
+        .bgeu(Reg::R6, Reg::R7, "q4")
+        .and_(Reg::R8, Reg::R2, Reg::R3)
+        .and_(Reg::R9, Reg::R2, Reg::R4)
+        .orr(Reg::R8, Reg::R8, Reg::R9)
+        .and_(Reg::R9, Reg::R3, Reg::R4)
+        .orr(Reg::R8, Reg::R8, Reg::R9)
+        .movi(Reg::R9, static_cast<std::int32_t>(0x8F1BBCDC))
+        .b("mix");
+    a.label("q4")
+        .eor(Reg::R8, Reg::R2, Reg::R3)
+        .eor(Reg::R8, Reg::R8, Reg::R4)
+        .movi(Reg::R9, static_cast<std::int32_t>(0xCA62C1D6));
+    a.label("mix")
+        // tmp = rol5(a) + f + e + k + W[t]  -> R7
+        .lsli(Reg::R7, Reg::R1, 5)
+        .lsri(Reg::R11, Reg::R1, 27)
+        .orr(Reg::R7, Reg::R7, Reg::R11)
+        .add(Reg::R7, Reg::R7, Reg::R8)
+        .add(Reg::R7, Reg::R7, Reg::R5)
+        .add(Reg::R7, Reg::R7, Reg::R9)
+        .movi(Reg::R10, static_cast<std::int32_t>(w_base))
+        .lsli(Reg::R11, Reg::R6, 2)
+        .add(Reg::R10, Reg::R10, Reg::R11)
+        .ldw(Reg::R10, Reg::R10, 0)
+        .add(Reg::R7, Reg::R7, Reg::R10)
+        // rotate the working registers
+        .mov(Reg::R5, Reg::R4)
+        .mov(Reg::R4, Reg::R3)
+        .lsli(Reg::R3, Reg::R2, 30)
+        .lsri(Reg::R11, Reg::R2, 2)
+        .orr(Reg::R3, Reg::R3, Reg::R11) // c = rol30(b)
+        .mov(Reg::R2, Reg::R1)
+        .mov(Reg::R1, Reg::R7)
+        .addi(Reg::R6, Reg::R6, 1)
+        .b("round");
+    a.label("blockend")
+        // h[i] += working registers
+        .movi(Reg::R10, static_cast<std::int32_t>(h_base))
+        .ldw(Reg::R7, Reg::R10, 0)
+        .add(Reg::R7, Reg::R7, Reg::R1)
+        .stw(Reg::R7, Reg::R10, 0)
+        .ldw(Reg::R7, Reg::R10, 4)
+        .add(Reg::R7, Reg::R7, Reg::R2)
+        .stw(Reg::R7, Reg::R10, 4)
+        .ldw(Reg::R7, Reg::R10, 8)
+        .add(Reg::R7, Reg::R7, Reg::R3)
+        .stw(Reg::R7, Reg::R10, 8)
+        .ldw(Reg::R7, Reg::R10, 12)
+        .add(Reg::R7, Reg::R7, Reg::R4)
+        .stw(Reg::R7, Reg::R10, 12)
+        .ldw(Reg::R7, Reg::R10, 16)
+        .add(Reg::R7, Reg::R7, Reg::R5)
+        .stw(Reg::R7, Reg::R10, 16)
+        .checkpoint()
+        .addi(Reg::R12, Reg::R12, 1)
+        .b("block");
+    a.label("shad")
+        // copy h[0..4] to the result area
+        .movi(Reg::R10, static_cast<std::int32_t>(h_base))
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .ldw(Reg::R7, Reg::R10, 0)
+        .stw(Reg::R7, Reg::R9, 0)
+        .ldw(Reg::R7, Reg::R10, 4)
+        .stw(Reg::R7, Reg::R9, 4)
+        .ldw(Reg::R7, Reg::R10, 8)
+        .stw(Reg::R7, Reg::R9, 8)
+        .ldw(Reg::R7, Reg::R10, 12)
+        .stw(Reg::R7, Reg::R9, 12)
+        .ldw(Reg::R7, Reg::R10, 16)
+        .stw(Reg::R7, Reg::R9, 16)
+        .halt();
+
+    Workload w;
+    w.name = "sha";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4,
+                     layout.resultBase + 8, layout.resultBase + 12,
+                     layout.resultBase + 16};
+    w.expected = {h[0], h[1], h[2], h[3], h[4]};
+    return w;
+}
+
+} // namespace eh::workloads

@@ -1,0 +1,742 @@
+/**
+ * @file
+ * MiBench-like kernels, batch C: adpcm, lzfx, patricia and susan. lzfx's
+ * store-per-iteration hash-table updates reproduce the very frequent
+ * Clank backups the paper observes for it (Figure 8); susan is the
+ * workload behind the bit-precision case study (Figure 11).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "arch/cpu.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace eh::workloads {
+
+using arch::Assembler;
+using arch::Reg;
+
+// --------------------------------------------------------------------------
+// adpcm: IMA ADPCM encoder over 256 synthetic PCM samples. Delta codes
+// are written out one per sample; predictor/index state clamps follow
+// the reference algorithm.
+// --------------------------------------------------------------------------
+
+Workload
+makeAdpcm(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kSamples = 1024;
+    static const std::uint32_t kStepTable[89] = {
+        7,     8,     9,     10,    11,    12,    13,    14,    16,
+        17,    19,    21,    23,    25,    28,    31,    34,    37,
+        41,    45,    50,    55,    60,    66,    73,    80,    88,
+        97,    107,   118,   130,   143,   157,   173,   190,   209,
+        230,   253,   279,   307,   337,   371,   408,   449,   494,
+        544,   598,   658,   724,   796,   876,   963,   1060,  1166,
+        1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,
+        3024,  3327,  3660,  4026,  4428,  4871,  5358,  5894,  6484,
+        7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899, 15289,
+        16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+    static const std::int32_t kIndexTable[16] = {
+        -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+    // PCM input derived from the deterministic sensor wave, stored as
+    // 16-bit halfwords (the natural PCM width) and sign-extended by the
+    // program on load.
+    std::vector<std::int32_t> pcm(kSamples);
+    std::vector<std::uint8_t> pcm_image(kSamples * 2);
+    for (std::uint32_t i = 0; i < kSamples; ++i) {
+        const std::int32_t s =
+            (static_cast<std::int32_t>(arch::Cpu::sensorValue(i)) - 512) *
+            24;
+        pcm[i] = s;
+        const auto half = static_cast<std::uint16_t>(s);
+        pcm_image[2 * i] = static_cast<std::uint8_t>(half);
+        pcm_image[2 * i + 1] = static_cast<std::uint8_t>(half >> 8);
+    }
+
+    // C++ mirror.
+    std::int32_t predictor = 0;
+    std::int32_t index = 0;
+    std::uint32_t checksum = 0;
+    for (std::uint32_t i = 0; i < kSamples; ++i) {
+        const std::int32_t sample = pcm[i];
+        std::int32_t diff = sample - predictor;
+        std::uint32_t delta = 0;
+        if (diff < 0) {
+            delta = 8;
+            diff = -diff;
+        }
+        const auto step = static_cast<std::int32_t>(kStepTable[index]);
+        std::int32_t vpdiff = step >> 3;
+        if (diff >= step) {
+            delta |= 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        if (diff >= step >> 1) {
+            delta |= 2;
+            diff -= step >> 1;
+            vpdiff += step >> 1;
+        }
+        if (diff >= step >> 2) {
+            delta |= 1;
+            vpdiff += step >> 2;
+        }
+        if (delta & 8)
+            predictor -= vpdiff;
+        else
+            predictor += vpdiff;
+        predictor = std::clamp(predictor, -32768, 32767);
+        index += kIndexTable[delta];
+        index = std::clamp(index, 0, 88);
+        checksum += delta * (i + 1);
+    }
+
+    const std::uint64_t pcm_base = layout.dataBase;
+    const std::uint64_t step_base = layout.scratchBase;
+    const std::uint64_t idx_base = layout.scratchBase + 89 * 4 + 4;
+    const std::uint64_t out_base = layout.scratchBase + 512;
+
+    std::vector<std::uint32_t> idx_words(16);
+    for (int i = 0; i < 16; ++i)
+        idx_words[i] = static_cast<std::uint32_t>(kIndexTable[i]);
+
+    Assembler a("adpcm");
+    a.initBytes(pcm_base, pcm_image);
+    a.initWords(step_base,
+                std::vector<std::uint32_t>(kStepTable, kStepTable + 89));
+    a.initWords(idx_base, idx_words);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)   // i
+        .movi(Reg::R2, 0)   // predictor
+        .movi(Reg::R3, 0)   // index
+        .movi(Reg::R12, 0); // checksum
+    a.label("loop")
+        .movi(Reg::R7, kSamples)
+        .bgeu(Reg::R1, Reg::R7, "done")
+        // diff = pcm[i] - predictor; sign bit into delta (R5)
+        .lsli(Reg::R4, Reg::R1, 1)
+        .movi(Reg::R7, static_cast<std::int32_t>(pcm_base))
+        .add(Reg::R4, Reg::R7, Reg::R4)
+        .ldh(Reg::R4, Reg::R4, 0)
+        .lsli(Reg::R4, Reg::R4, 16) // sign-extend the 16-bit sample
+        .asri(Reg::R4, Reg::R4, 16)
+        .sub(Reg::R4, Reg::R4, Reg::R2) // diff
+        .movi(Reg::R5, 0)
+        .bge(Reg::R4, Reg::R0, "possd")
+        .movi(Reg::R5, 8)
+        .sub(Reg::R4, Reg::R0, Reg::R4); // diff = -diff
+    a.label("possd")
+        // step = stepTable[index] -> R6; vpdiff = step>>3 -> R8
+        .lsli(Reg::R6, Reg::R3, 2)
+        .movi(Reg::R7, static_cast<std::int32_t>(step_base))
+        .add(Reg::R6, Reg::R7, Reg::R6)
+        .ldw(Reg::R6, Reg::R6, 0)
+        .asri(Reg::R8, Reg::R6, 3)
+        // quantize
+        .blt(Reg::R4, Reg::R6, "b2")
+        .orri(Reg::R5, Reg::R5, 4)
+        .sub(Reg::R4, Reg::R4, Reg::R6)
+        .add(Reg::R8, Reg::R8, Reg::R6);
+    a.label("b2")
+        .asri(Reg::R9, Reg::R6, 1)
+        .blt(Reg::R4, Reg::R9, "b1")
+        .orri(Reg::R5, Reg::R5, 2)
+        .sub(Reg::R4, Reg::R4, Reg::R9)
+        .add(Reg::R8, Reg::R8, Reg::R9);
+    a.label("b1")
+        .asri(Reg::R9, Reg::R6, 2)
+        .blt(Reg::R4, Reg::R9, "bdone")
+        .orri(Reg::R5, Reg::R5, 1)
+        .add(Reg::R8, Reg::R8, Reg::R9);
+    a.label("bdone")
+        // predictor +/-= vpdiff, then clamp to [-32768, 32767]
+        .andi(Reg::R9, Reg::R5, 8)
+        .beq(Reg::R9, Reg::R0, "plus")
+        .sub(Reg::R2, Reg::R2, Reg::R8)
+        .b("clamp");
+    a.label("plus")
+        .add(Reg::R2, Reg::R2, Reg::R8);
+    a.label("clamp")
+        .movi(Reg::R9, 32767)
+        .blt(Reg::R2, Reg::R9, "cl1")
+        .mov(Reg::R2, Reg::R9);
+    a.label("cl1")
+        .movi(Reg::R9, -32768)
+        .bge(Reg::R2, Reg::R9, "cl2")
+        .mov(Reg::R2, Reg::R9);
+    a.label("cl2")
+        // index += indexTable[delta]; clamp to [0, 88]
+        .lsli(Reg::R9, Reg::R5, 2)
+        .movi(Reg::R7, static_cast<std::int32_t>(idx_base))
+        .add(Reg::R9, Reg::R7, Reg::R9)
+        .ldw(Reg::R9, Reg::R9, 0)
+        .add(Reg::R3, Reg::R3, Reg::R9)
+        .bge(Reg::R3, Reg::R0, "ix1")
+        .movi(Reg::R3, 0);
+    a.label("ix1")
+        .movi(Reg::R9, 88)
+        .blt(Reg::R3, Reg::R9, "ix2")
+        .mov(Reg::R3, Reg::R9);
+    a.label("ix2")
+        // out[i] = delta; checksum += delta * (i+1)
+        .movi(Reg::R7, static_cast<std::int32_t>(out_base))
+        .add(Reg::R7, Reg::R7, Reg::R1)
+        .stb(Reg::R5, Reg::R7, 0)
+        .addi(Reg::R9, Reg::R1, 1)
+        .mul(Reg::R7, Reg::R5, Reg::R9)
+        .add(Reg::R12, Reg::R12, Reg::R7)
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 31)
+        .bne(Reg::R7, Reg::R0, "loop")
+        .checkpoint()
+        .b("loop");
+    a.label("done")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R12, Reg::R9, 0)
+        .stw(Reg::R2, Reg::R9, 4)
+        .stw(Reg::R3, Reg::R9, 8)
+        .halt();
+
+    Workload w;
+    w.name = "adpcm";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4,
+                     layout.resultBase + 8};
+    w.expected = {checksum, static_cast<std::uint32_t>(predictor),
+                  static_cast<std::uint32_t>(index)};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// lzfx: LZF-style compressor. A 64-entry position hash table is updated
+// on *every* input position — the highest store rate in the suite, which
+// is exactly why lzfx backs up most frequently on Clank (Figure 8).
+// --------------------------------------------------------------------------
+
+Workload
+makeLzfx(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kLen = 2048;
+    constexpr std::uint32_t kHashMul = 2654435761u;
+    constexpr std::uint32_t kMaxMatch = 8;
+
+    // Compressible input: a 64-byte motif tiled with sparse mutations.
+    auto motif = detail::pseudoBytes(0x12F001, 64);
+    std::vector<std::uint8_t> input(kLen);
+    for (std::uint32_t i = 0; i < kLen; ++i)
+        input[i] = motif[i % 64];
+    const auto muts = detail::pseudoWords(0x12F002, 160);
+    for (std::uint32_t m = 0; m < 160; ++m)
+        input[muts[m] % kLen] ^= static_cast<std::uint8_t>(m + 1);
+
+    // C++ mirror.
+    std::uint32_t htab[64];
+    std::fill(std::begin(htab), std::end(htab), 0xFFFFFFFFu);
+    std::vector<std::uint8_t> out;
+    {
+        std::uint32_t i = 0;
+        while (i + 2 < kLen) {
+            const std::uint32_t h =
+                ((static_cast<std::uint32_t>(input[i]) << 8 |
+                  input[i + 1]) *
+                 kHashMul) >>
+                26;
+            const std::uint32_t ref = htab[h];
+            htab[h] = i;
+            bool matched = false;
+            if (ref != 0xFFFFFFFFu && ref < i && i - ref < 256 &&
+                input[ref] == input[i] && input[ref + 1] == input[i + 1] &&
+                input[ref + 2] == input[i + 2]) {
+                std::uint32_t len = 3;
+                while (len < kMaxMatch && i + len < kLen &&
+                       input[ref + len] == input[i + len])
+                    ++len;
+                out.push_back(
+                    static_cast<std::uint8_t>(0x80u | len));
+                out.push_back(static_cast<std::uint8_t>(i - ref));
+                i += len;
+                matched = true;
+            }
+            if (!matched) {
+                out.push_back(input[i]);
+                ++i;
+            }
+        }
+        while (i < kLen) {
+            out.push_back(input[i]);
+            ++i;
+        }
+    }
+    std::uint32_t checksum = 0;
+    for (std::uint32_t k = 0; k < out.size(); ++k)
+        checksum += static_cast<std::uint32_t>(out[k]) * (k + 1);
+    const auto out_len = static_cast<std::uint32_t>(out.size());
+
+    const std::uint64_t in_base = layout.dataBase;
+    const std::uint64_t htab_base = layout.scratchBase;
+    const std::uint64_t out_base = layout.scratchBase + 64 * 4;
+
+    Assembler a("lzfx");
+    a.initBytes(in_base, input);
+    a.initWords(htab_base, std::vector<std::uint32_t>(64, 0xFFFFFFFFu));
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)  // i
+        .movi(Reg::R2, 0)  // o (output length)
+        .movi(Reg::R3, 0)  // iterations since the last checkpoint
+        .movi(Reg::R11, static_cast<std::int32_t>(in_base))
+        .movi(Reg::R12, static_cast<std::int32_t>(out_base));
+    a.label("loop")
+        // Checkpoint every 24 loop iterations. (Keying checkpoints off
+        // the *output* length would let runs of 2-byte match emits skip
+        // every multiple-of-32 boundary, starving Mementos/DINO of
+        // commit points for longer than an active period.)
+        .movi(Reg::R4, 24)
+        .bltu(Reg::R3, Reg::R4, "nockpt")
+        .checkpoint()
+        .movi(Reg::R3, 0);
+    a.label("nockpt")
+        .addi(Reg::R3, Reg::R3, 1)
+        .addi(Reg::R4, Reg::R1, 2)
+        .movi(Reg::R5, kLen)
+        .bgeu(Reg::R4, Reg::R5, "tail")
+        // h = ((b[i]<<8 | b[i+1]) * kHashMul) >> 26
+        .add(Reg::R10, Reg::R11, Reg::R1)
+        .ldb(Reg::R4, Reg::R10, 0)
+        .lsli(Reg::R4, Reg::R4, 8)
+        .ldb(Reg::R5, Reg::R10, 1)
+        .orr(Reg::R4, Reg::R4, Reg::R5)
+        .movi(Reg::R5, static_cast<std::int32_t>(kHashMul))
+        .mul(Reg::R4, Reg::R4, Reg::R5)
+        .lsri(Reg::R4, Reg::R4, 26)
+        // ref = htab[h]; htab[h] = i (store on EVERY position)
+        .lsli(Reg::R4, Reg::R4, 2)
+        .movi(Reg::R5, static_cast<std::int32_t>(htab_base))
+        .add(Reg::R4, Reg::R5, Reg::R4)
+        .ldw(Reg::R5, Reg::R4, 0) // ref
+        .stw(Reg::R1, Reg::R4, 0)
+        // match candidate? ref < i && i - ref < 256 (0xFFFFFFFF fails <)
+        .bgeu(Reg::R5, Reg::R1, "literal")
+        .sub(Reg::R6, Reg::R1, Reg::R5) // dist
+        .movi(Reg::R7, 256)
+        .bgeu(Reg::R6, Reg::R7, "literal")
+        // verify 3 bytes
+        .add(Reg::R7, Reg::R11, Reg::R5) // &b[ref]
+        .add(Reg::R8, Reg::R11, Reg::R1) // &b[i]
+        .ldb(Reg::R9, Reg::R7, 0)
+        .ldb(Reg::R10, Reg::R8, 0)
+        .bne(Reg::R9, Reg::R10, "literal")
+        .ldb(Reg::R9, Reg::R7, 1)
+        .ldb(Reg::R10, Reg::R8, 1)
+        .bne(Reg::R9, Reg::R10, "literal")
+        .ldb(Reg::R9, Reg::R7, 2)
+        .ldb(Reg::R10, Reg::R8, 2)
+        .bne(Reg::R9, Reg::R10, "literal")
+        // extend match length in R4 (reuse), up to kMaxMatch
+        .movi(Reg::R4, 3);
+    a.label("extend")
+        .movi(Reg::R9, kMaxMatch)
+        .bgeu(Reg::R4, Reg::R9, "emit")
+        .add(Reg::R9, Reg::R1, Reg::R4)
+        .movi(Reg::R10, kLen)
+        .bgeu(Reg::R9, Reg::R10, "emit")
+        .add(Reg::R9, Reg::R7, Reg::R4)
+        .ldb(Reg::R9, Reg::R9, 0)
+        .add(Reg::R10, Reg::R8, Reg::R4)
+        .ldb(Reg::R10, Reg::R10, 0)
+        .bne(Reg::R9, Reg::R10, "emit")
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("extend");
+    a.label("emit")
+        // out[o++] = 0x80 | len; out[o++] = dist
+        .orri(Reg::R9, Reg::R4, 0x80)
+        .add(Reg::R10, Reg::R12, Reg::R2)
+        .stb(Reg::R9, Reg::R10, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .add(Reg::R10, Reg::R12, Reg::R2)
+        .stb(Reg::R6, Reg::R10, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .add(Reg::R1, Reg::R1, Reg::R4) // i += len
+        .b("loop");
+    a.label("literal")
+        .add(Reg::R9, Reg::R11, Reg::R1)
+        .ldb(Reg::R9, Reg::R9, 0)
+        .add(Reg::R10, Reg::R12, Reg::R2)
+        .stb(Reg::R9, Reg::R10, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("loop");
+    a.label("tail")
+        .movi(Reg::R4, kLen)
+        .bgeu(Reg::R1, Reg::R4, "lzdone")
+        .add(Reg::R9, Reg::R11, Reg::R1)
+        .ldb(Reg::R9, Reg::R9, 0)
+        .add(Reg::R10, Reg::R12, Reg::R2)
+        .stb(Reg::R9, Reg::R10, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("tail");
+    a.label("lzdone")
+        // checksum over output bytes
+        .movi(Reg::R1, 0)
+        .movi(Reg::R3, 0);
+    a.label("lcs")
+        .bgeu(Reg::R1, Reg::R2, "lcsd")
+        .add(Reg::R9, Reg::R12, Reg::R1)
+        .ldb(Reg::R9, Reg::R9, 0)
+        .addi(Reg::R10, Reg::R1, 1)
+        .mul(Reg::R9, Reg::R9, Reg::R10)
+        .add(Reg::R3, Reg::R3, Reg::R9)
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R9, Reg::R1, 63)
+        .bne(Reg::R9, Reg::R0, "lcs")
+        .checkpoint()
+        .b("lcs");
+    a.label("lcsd")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .stw(Reg::R3, Reg::R9, 4)
+        .halt();
+
+    Workload w;
+    w.name = "lzfx";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {out_len, checksum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// patricia: binary-trie (simplified PATRICIA analogue) insert of 64 keys
+// followed by 64 probes — pointer-chasing loads with occasional node
+// allocations.
+// --------------------------------------------------------------------------
+
+Workload
+makePatricia(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kKeys = 256;
+    const auto keys = detail::pseudoWords(0x9A7001, kKeys);
+    auto probes = detail::pseudoWords(0x9A7002, kKeys);
+    for (std::uint32_t k = 0; k < kKeys / 2; ++k)
+        probes[k] = keys[k * 2]; // half the probes are guaranteed hits
+
+    // C++ mirror. Node: {key, left, right}; index 0 is the root; link 0
+    // means null (the root is never a child).
+    struct Node
+    {
+        std::uint32_t key, left, right;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(kKeys);
+    auto insert = [&nodes](std::uint32_t key) {
+        if (nodes.empty()) {
+            nodes.push_back({key, 0, 0});
+            return;
+        }
+        std::uint32_t cur = 0;
+        for (int bit = 31; bit >= 0; --bit) {
+            if (nodes[cur].key == key)
+                return;
+            const bool right = (key >> bit) & 1;
+            const std::uint32_t next =
+                right ? nodes[cur].right : nodes[cur].left;
+            if (next == 0) {
+                const auto idx =
+                    static_cast<std::uint32_t>(nodes.size());
+                nodes.push_back({key, 0, 0});
+                if (right)
+                    nodes[cur].right = idx;
+                else
+                    nodes[cur].left = idx;
+                return;
+            }
+            cur = next;
+        }
+    };
+    auto lookup = [&nodes](std::uint32_t key) {
+        if (nodes.empty())
+            return false;
+        std::uint32_t cur = 0;
+        for (int bit = 31; bit >= 0; --bit) {
+            if (nodes[cur].key == key)
+                return true;
+            const bool right = (key >> bit) & 1;
+            const std::uint32_t next =
+                right ? nodes[cur].right : nodes[cur].left;
+            if (next == 0)
+                return false;
+            cur = next;
+        }
+        return false; // depth exhausted — matches the assembly's walk
+    };
+    for (std::uint32_t k = 0; k < kKeys; ++k)
+        insert(keys[k]);
+    std::uint32_t hits = 0;
+    for (std::uint32_t k = 0; k < kKeys; ++k)
+        hits += lookup(probes[k]) ? 1 : 0;
+    const auto node_count = static_cast<std::uint32_t>(nodes.size());
+
+    const std::uint64_t keys_base = layout.dataBase;
+    const std::uint64_t probes_base = layout.dataBase + kKeys * 4;
+    const std::uint64_t nodes_base = layout.scratchBase;
+
+    // Assembly registers: R1 = loop index, R2 = node count, R3 = key,
+    // R4 = cur, R5 = bit, R6..R10 = scratch, R11 = hits.
+    Assembler a("patricia");
+    a.initWords(keys_base, keys);
+    a.initWords(probes_base, probes);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, 0)
+        .movi(Reg::R11, 0)
+        .movi(Reg::R12, static_cast<std::int32_t>(nodes_base));
+    // ---- insert phase ----
+    a.label("iloop")
+        .movi(Reg::R7, kKeys)
+        .bgeu(Reg::R1, Reg::R7, "lphase")
+        .lsli(Reg::R3, Reg::R1, 2)
+        .movi(Reg::R7, static_cast<std::int32_t>(keys_base))
+        .add(Reg::R3, Reg::R7, Reg::R3)
+        .ldw(Reg::R3, Reg::R3, 0) // key
+        // empty trie: create the root
+        .bne(Reg::R2, Reg::R0, "walk")
+        .stw(Reg::R3, Reg::R12, 0)
+        .stw(Reg::R0, Reg::R12, 4)
+        .stw(Reg::R0, Reg::R12, 8)
+        .movi(Reg::R2, 1)
+        .b("inext");
+    a.label("walk")
+        .movi(Reg::R4, 0)   // cur
+        .movi(Reg::R5, 31); // bit
+    a.label("wstep")
+        // node address = nodes_base + cur*12
+        .muli(Reg::R6, Reg::R4, 12)
+        .add(Reg::R6, Reg::R12, Reg::R6)
+        .ldw(Reg::R7, Reg::R6, 0) // node.key
+        .beq(Reg::R7, Reg::R3, "inext")
+        // dir = (key >> bit) & 1; link offset = 4 + dir*4
+        .lsr(Reg::R8, Reg::R3, Reg::R5)
+        .andi(Reg::R8, Reg::R8, 1)
+        .lsli(Reg::R8, Reg::R8, 2)
+        .addi(Reg::R8, Reg::R8, 4)
+        .add(Reg::R9, Reg::R6, Reg::R8)
+        .ldw(Reg::R10, Reg::R9, 0) // next
+        .bne(Reg::R10, Reg::R0, "descend")
+        // allocate node[count] = {key, 0, 0}; link it
+        .muli(Reg::R10, Reg::R2, 12)
+        .add(Reg::R10, Reg::R12, Reg::R10)
+        .stw(Reg::R3, Reg::R10, 0)
+        .stw(Reg::R0, Reg::R10, 4)
+        .stw(Reg::R0, Reg::R10, 8)
+        .stw(Reg::R2, Reg::R9, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("inext");
+    a.label("descend")
+        .mov(Reg::R4, Reg::R10)
+        .beq(Reg::R5, Reg::R0, "inext") // bit exhausted (can't happen
+        .subi(Reg::R5, Reg::R5, 1)      // for distinct keys)
+        .b("wstep");
+    a.label("inext")
+        .checkpoint()
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("iloop");
+    // ---- lookup phase ----
+    a.label("lphase")
+        .movi(Reg::R1, 0);
+    a.label("lloop")
+        .movi(Reg::R7, kKeys)
+        .bgeu(Reg::R1, Reg::R7, "pdone")
+        .lsli(Reg::R3, Reg::R1, 2)
+        .movi(Reg::R7, static_cast<std::int32_t>(probes_base))
+        .add(Reg::R3, Reg::R7, Reg::R3)
+        .ldw(Reg::R3, Reg::R3, 0)
+        .movi(Reg::R4, 0)
+        .movi(Reg::R5, 31);
+    a.label("lstep")
+        .muli(Reg::R6, Reg::R4, 12)
+        .add(Reg::R6, Reg::R12, Reg::R6)
+        .ldw(Reg::R7, Reg::R6, 0)
+        .beq(Reg::R7, Reg::R3, "lhit")
+        .lsr(Reg::R8, Reg::R3, Reg::R5)
+        .andi(Reg::R8, Reg::R8, 1)
+        .lsli(Reg::R8, Reg::R8, 2)
+        .addi(Reg::R8, Reg::R8, 4)
+        .add(Reg::R9, Reg::R6, Reg::R8)
+        .ldw(Reg::R10, Reg::R9, 0)
+        .beq(Reg::R10, Reg::R0, "lnext") // miss
+        .mov(Reg::R4, Reg::R10)
+        .beq(Reg::R5, Reg::R0, "lnext")
+        .subi(Reg::R5, Reg::R5, 1)
+        .b("lstep");
+    a.label("lhit")
+        .addi(Reg::R11, Reg::R11, 1);
+    a.label("lnext")
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 15)
+        .bne(Reg::R7, Reg::R0, "lloop")
+        .checkpoint()
+        .b("lloop");
+    a.label("pdone")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .stw(Reg::R11, Reg::R9, 4)
+        .halt();
+
+    Workload w;
+    w.name = "patricia";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {node_count, hits};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// susan: thresholded 3x3 smoothing over a 32x32 image — the image-
+// processing workload used for the bit-precision case study (Figure 11).
+// --------------------------------------------------------------------------
+
+Workload
+makeSusan(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kDim = 32;
+    constexpr std::uint32_t kOut = kDim - 2;
+    constexpr std::uint32_t kThresh = 20;
+    const auto img = detail::pseudoBytes(0x5U + 0x5A5001, kDim * kDim);
+
+    // C++ mirror.
+    std::vector<std::uint8_t> out(kOut * kOut);
+    for (std::uint32_t y = 1; y + 1 < kDim; ++y) {
+        for (std::uint32_t x = 1; x + 1 < kDim; ++x) {
+            const std::uint32_t c = img[y * kDim + x];
+            std::uint32_t sum = 0, cnt = 0;
+            for (std::uint32_t ky = 0; ky < 3; ++ky) {
+                for (std::uint32_t kx = 0; kx < 3; ++kx) {
+                    const std::uint32_t p =
+                        img[(y + ky - 1) * kDim + (x + kx - 1)];
+                    const std::uint32_t d = p >= c ? p - c : c - p;
+                    if (d <= kThresh) {
+                        sum += p;
+                        ++cnt;
+                    }
+                }
+            }
+            out[(y - 1) * kOut + (x - 1)] =
+                static_cast<std::uint8_t>(sum / cnt);
+        }
+    }
+    std::uint32_t checksum = 0;
+    for (std::uint32_t k = 0; k < out.size(); ++k)
+        checksum += static_cast<std::uint32_t>(out[k]) * (k + 1);
+
+    const std::uint64_t img_base = layout.dataBase;
+    const std::uint64_t out_base = layout.scratchBase;
+
+    // Registers: R1=y, R2=x, R3=c, R4=sum, R5=cnt, R6=ky, R7=kx,
+    // R8..R10 scratch, R11=&img, R12=&out.
+    Assembler a("susan");
+    a.initBytes(img_base, img);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R11, static_cast<std::int32_t>(img_base))
+        .movi(Reg::R12, static_cast<std::int32_t>(out_base))
+        .movi(Reg::R1, 1);
+    a.label("yloop")
+        .movi(Reg::R8, kDim - 1)
+        .bgeu(Reg::R1, Reg::R8, "sdone")
+        .movi(Reg::R2, 1);
+    a.label("xloop")
+        .movi(Reg::R8, kDim - 1)
+        .bgeu(Reg::R2, Reg::R8, "ynext")
+        // c = img[y*32 + x]
+        .lsli(Reg::R8, Reg::R1, 5)
+        .add(Reg::R8, Reg::R8, Reg::R2)
+        .add(Reg::R8, Reg::R11, Reg::R8)
+        .ldb(Reg::R3, Reg::R8, 0)
+        .movi(Reg::R4, 0)
+        .movi(Reg::R5, 0)
+        .movi(Reg::R6, 0);
+    a.label("kyloop")
+        .movi(Reg::R8, 3)
+        .bgeu(Reg::R6, Reg::R8, "store")
+        .movi(Reg::R7, 0);
+    a.label("kxloop")
+        .movi(Reg::R8, 3)
+        .bgeu(Reg::R7, Reg::R8, "kynext")
+        // p = img[(y+ky-1)*32 + (x+kx-1)]
+        .add(Reg::R8, Reg::R1, Reg::R6)
+        .subi(Reg::R8, Reg::R8, 1)
+        .lsli(Reg::R8, Reg::R8, 5)
+        .add(Reg::R8, Reg::R8, Reg::R2)
+        .add(Reg::R8, Reg::R8, Reg::R7)
+        .subi(Reg::R8, Reg::R8, 1)
+        .add(Reg::R8, Reg::R11, Reg::R8)
+        .ldb(Reg::R9, Reg::R8, 0)
+        // d = |p - c|
+        .bgeu(Reg::R9, Reg::R3, "dpos")
+        .sub(Reg::R10, Reg::R3, Reg::R9)
+        .b("dtest");
+    a.label("dpos")
+        .sub(Reg::R10, Reg::R9, Reg::R3);
+    a.label("dtest")
+        .movi(Reg::R8, kThresh + 1)
+        .bgeu(Reg::R10, Reg::R8, "kxnext")
+        .add(Reg::R4, Reg::R4, Reg::R9)
+        .addi(Reg::R5, Reg::R5, 1);
+    a.label("kxnext")
+        .addi(Reg::R7, Reg::R7, 1)
+        .b("kxloop");
+    a.label("kynext")
+        .addi(Reg::R6, Reg::R6, 1)
+        .b("kyloop");
+    a.label("store")
+        .divu(Reg::R4, Reg::R4, Reg::R5)
+        // out[(y-1)*30 + (x-1)]
+        .subi(Reg::R8, Reg::R1, 1)
+        .muli(Reg::R8, Reg::R8, kOut)
+        .add(Reg::R8, Reg::R8, Reg::R2)
+        .subi(Reg::R8, Reg::R8, 1)
+        .add(Reg::R8, Reg::R12, Reg::R8)
+        .stb(Reg::R4, Reg::R8, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("xloop");
+    a.label("ynext")
+        .checkpoint()
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("yloop");
+    a.label("sdone")
+        // checksum over the output image
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, 0)
+        .movi(Reg::R3, kOut * kOut);
+    a.label("scs")
+        .bgeu(Reg::R1, Reg::R3, "scsd")
+        .add(Reg::R8, Reg::R12, Reg::R1)
+        .ldb(Reg::R9, Reg::R8, 0)
+        .addi(Reg::R10, Reg::R1, 1)
+        .mul(Reg::R9, Reg::R9, Reg::R10)
+        .add(Reg::R2, Reg::R2, Reg::R9)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("scs");
+    a.label("scsd")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .halt();
+
+    Workload w;
+    w.name = "susan";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+} // namespace eh::workloads

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * MiBench-like kernels, batch D: rijndael — AES-128 encryption of eight
+ * CBC-chained blocks, byte-oriented exactly as in FIPS-197 (S-box and
+ * expanded round keys baked as data, as embedded deployments do). The
+ * in-place state updates through SubBytes/ShiftRows/MixColumns are a
+ * rich source of read-modify-write traffic for the Clank tracker.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace eh::workloads {
+
+using arch::Assembler;
+using arch::Reg;
+
+Workload
+makeRijndael(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kBlocks = 8;
+
+    const auto key_bytes = detail::pseudoBytes(0xAE5001, 16);
+    const auto input = detail::pseudoBytes(0xAE5002, kBlocks * 16);
+    const auto round_keys = detail::aes128ExpandKey(key_bytes.data());
+    const std::uint8_t *sbox = detail::aesSbox();
+
+    // C++ mirror: CBC chaining with a zero IV.
+    std::vector<std::uint8_t> out(kBlocks * 16);
+    {
+        std::uint8_t prev[16] = {};
+        for (std::uint32_t b = 0; b < kBlocks; ++b) {
+            std::uint8_t state[16];
+            for (int i = 0; i < 16; ++i)
+                state[i] = input[b * 16 + i] ^ prev[i];
+            detail::aes128EncryptBlock(state, round_keys.data());
+            for (int i = 0; i < 16; ++i) {
+                out[b * 16 + i] = state[i];
+                prev[i] = state[i];
+            }
+        }
+    }
+    std::uint32_t checksum = 0;
+    for (std::uint32_t k = 0; k < out.size(); ++k)
+        checksum += static_cast<std::uint32_t>(out[k]) * (k + 1);
+
+    const auto in_base = static_cast<std::int32_t>(layout.dataBase);
+    const auto out_base =
+        static_cast<std::int32_t>(layout.dataBase + 512);
+    const auto sbox_base = static_cast<std::int32_t>(layout.scratchBase);
+    const auto rk_base =
+        static_cast<std::int32_t>(layout.scratchBase + 256);
+    const auto state_base =
+        static_cast<std::int32_t>(layout.scratchBase + 448);
+    const auto tmp_base =
+        static_cast<std::int32_t>(layout.scratchBase + 464);
+
+    // Register plan: R0 zero, R1 round, R2 loop index, R3..R9 scratch,
+    // R10 block, R11/R12 scratch for xtime. LR used for one-level calls.
+    Assembler a("rijndael");
+    a.initBytes(static_cast<std::uint64_t>(sbox_base),
+                std::vector<std::uint8_t>(sbox, sbox + 256));
+    a.initBytes(static_cast<std::uint64_t>(rk_base), round_keys);
+    a.initBytes(static_cast<std::uint64_t>(in_base), input);
+
+    a.movi(Reg::R0, 0).movi(Reg::R10, 0);
+    a.label("blk")
+        .movi(Reg::R3, kBlocks)
+        .bgeu(Reg::R10, Reg::R3, "aesdone")
+        // state[i] = in[b*16+i] ^ (b ? out[(b-1)*16+i] : 0)
+        .movi(Reg::R2, 0);
+    a.label("ld")
+        .movi(Reg::R3, 16)
+        .bgeu(Reg::R2, Reg::R3, "ldd")
+        .lsli(Reg::R4, Reg::R10, 4)
+        .add(Reg::R4, Reg::R4, Reg::R2)
+        .movi(Reg::R5, in_base)
+        .add(Reg::R4, Reg::R5, Reg::R4)
+        .ldb(Reg::R5, Reg::R4, 0)
+        .beq(Reg::R10, Reg::R0, "noprev")
+        .subi(Reg::R6, Reg::R10, 1)
+        .lsli(Reg::R6, Reg::R6, 4)
+        .add(Reg::R6, Reg::R6, Reg::R2)
+        .movi(Reg::R7, out_base)
+        .add(Reg::R6, Reg::R7, Reg::R6)
+        .ldb(Reg::R6, Reg::R6, 0)
+        .eor(Reg::R5, Reg::R5, Reg::R6);
+    a.label("noprev")
+        .movi(Reg::R7, state_base)
+        .add(Reg::R6, Reg::R7, Reg::R2)
+        .stb(Reg::R5, Reg::R6, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("ld");
+    a.label("ldd")
+        .movi(Reg::R1, 0)
+        .call("ark")
+        .movi(Reg::R1, 1);
+    a.label("rounds")
+        .movi(Reg::R3, 10)
+        .bgeu(Reg::R1, Reg::R3, "final")
+        .call("sbs")
+        .call("mxc")
+        .call("ark")
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("rounds");
+    a.label("final")
+        .call("sbs")
+        .movi(Reg::R1, 10)
+        .call("ark")
+        // out[b*16 ..] = state (word copies)
+        .movi(Reg::R2, 0);
+    a.label("st")
+        .movi(Reg::R3, 16)
+        .bgeu(Reg::R2, Reg::R3, "std")
+        .movi(Reg::R4, state_base)
+        .add(Reg::R4, Reg::R4, Reg::R2)
+        .ldw(Reg::R5, Reg::R4, 0)
+        .lsli(Reg::R4, Reg::R10, 4)
+        .add(Reg::R4, Reg::R4, Reg::R2)
+        .movi(Reg::R6, out_base)
+        .add(Reg::R4, Reg::R6, Reg::R4)
+        .stw(Reg::R5, Reg::R4, 0)
+        .addi(Reg::R2, Reg::R2, 4)
+        .b("st");
+    a.label("std")
+        .checkpoint()
+        .addi(Reg::R10, Reg::R10, 1)
+        .b("blk");
+    a.label("aesdone")
+        // checksum over the ciphertext
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, 0)
+        .movi(Reg::R3, kBlocks * 16);
+    a.label("acs")
+        .bgeu(Reg::R1, Reg::R3, "acsd")
+        .movi(Reg::R4, out_base)
+        .add(Reg::R4, Reg::R4, Reg::R1)
+        .ldb(Reg::R5, Reg::R4, 0)
+        .addi(Reg::R6, Reg::R1, 1)
+        .mul(Reg::R5, Reg::R5, Reg::R6)
+        .add(Reg::R2, Reg::R2, Reg::R5)
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("acs");
+    a.label("acsd")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .halt();
+
+    // ---- subroutine: AddRoundKey (round in R1) ----
+    a.label("ark")
+        .movi(Reg::R2, 0);
+    a.label("arkl")
+        .movi(Reg::R3, 4)
+        .bgeu(Reg::R2, Reg::R3, "arkd")
+        .lsli(Reg::R4, Reg::R2, 2)
+        .movi(Reg::R5, state_base)
+        .add(Reg::R5, Reg::R5, Reg::R4)
+        .ldw(Reg::R6, Reg::R5, 0)
+        .lsli(Reg::R7, Reg::R1, 4)
+        .add(Reg::R7, Reg::R7, Reg::R4)
+        .movi(Reg::R8, rk_base)
+        .add(Reg::R7, Reg::R8, Reg::R7)
+        .ldw(Reg::R7, Reg::R7, 0)
+        .eor(Reg::R6, Reg::R6, Reg::R7)
+        .stw(Reg::R6, Reg::R5, 0)
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("arkl");
+    a.label("arkd")
+        .ret();
+
+    // ---- subroutine: SubBytes + ShiftRows into tmp, copy back ----
+    a.label("sbs")
+        .movi(Reg::R2, 0); // row
+    a.label("sbr")
+        .movi(Reg::R3, 4)
+        .bgeu(Reg::R2, Reg::R3, "sbcopy")
+        .movi(Reg::R4, 0); // col
+    a.label("sbc")
+        .movi(Reg::R3, 4)
+        .bgeu(Reg::R4, Reg::R3, "sbrn")
+        .add(Reg::R5, Reg::R4, Reg::R2)
+        .andi(Reg::R5, Reg::R5, 3)
+        .lsli(Reg::R5, Reg::R5, 2)
+        .add(Reg::R5, Reg::R5, Reg::R2)
+        .movi(Reg::R6, state_base)
+        .add(Reg::R5, Reg::R6, Reg::R5)
+        .ldb(Reg::R5, Reg::R5, 0)
+        .movi(Reg::R6, sbox_base)
+        .add(Reg::R5, Reg::R6, Reg::R5)
+        .ldb(Reg::R5, Reg::R5, 0)
+        .lsli(Reg::R6, Reg::R4, 2)
+        .add(Reg::R6, Reg::R6, Reg::R2)
+        .movi(Reg::R7, tmp_base)
+        .add(Reg::R6, Reg::R7, Reg::R6)
+        .stb(Reg::R5, Reg::R6, 0)
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("sbc");
+    a.label("sbrn")
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("sbr");
+    a.label("sbcopy")
+        .movi(Reg::R2, 0);
+    a.label("cpl")
+        .movi(Reg::R3, 16)
+        .bgeu(Reg::R2, Reg::R3, "cpd")
+        .movi(Reg::R4, tmp_base)
+        .add(Reg::R4, Reg::R4, Reg::R2)
+        .ldw(Reg::R5, Reg::R4, 0)
+        .movi(Reg::R4, state_base)
+        .add(Reg::R4, Reg::R4, Reg::R2)
+        .stw(Reg::R5, Reg::R4, 0)
+        .addi(Reg::R2, Reg::R2, 4)
+        .b("cpl");
+    a.label("cpd")
+        .ret();
+
+    // ---- subroutine: MixColumns in place ----
+    a.label("mxc")
+        .movi(Reg::R2, 0); // column
+    a.label("mxl")
+        .movi(Reg::R3, 4)
+        .bgeu(Reg::R2, Reg::R3, "mxd")
+        .lsli(Reg::R9, Reg::R2, 2)
+        .movi(Reg::R3, state_base)
+        .add(Reg::R9, Reg::R3, Reg::R9) // &state[col*4]
+        .ldb(Reg::R3, Reg::R9, 0)       // a0
+        .ldb(Reg::R4, Reg::R9, 1)       // a1
+        .ldb(Reg::R5, Reg::R9, 2)       // a2
+        .ldb(Reg::R6, Reg::R9, 3)       // a3
+        .eor(Reg::R7, Reg::R3, Reg::R4)
+        .eor(Reg::R7, Reg::R7, Reg::R5)
+        .eor(Reg::R7, Reg::R7, Reg::R6) // t
+        // c0 = a0 ^ t ^ xtime(a0 ^ a1)
+        .eor(Reg::R8, Reg::R3, Reg::R4)
+        .lsli(Reg::R12, Reg::R8, 1)
+        .andi(Reg::R11, Reg::R8, 128)
+        .beq(Reg::R11, Reg::R0, "xt0")
+        .eori(Reg::R12, Reg::R12, 0x1B);
+    a.label("xt0")
+        .andi(Reg::R12, Reg::R12, 255)
+        .eor(Reg::R12, Reg::R12, Reg::R7)
+        .eor(Reg::R12, Reg::R12, Reg::R3)
+        .stb(Reg::R12, Reg::R9, 0)
+        // c1 = a1 ^ t ^ xtime(a1 ^ a2)
+        .eor(Reg::R8, Reg::R4, Reg::R5)
+        .lsli(Reg::R12, Reg::R8, 1)
+        .andi(Reg::R11, Reg::R8, 128)
+        .beq(Reg::R11, Reg::R0, "xt1")
+        .eori(Reg::R12, Reg::R12, 0x1B);
+    a.label("xt1")
+        .andi(Reg::R12, Reg::R12, 255)
+        .eor(Reg::R12, Reg::R12, Reg::R7)
+        .eor(Reg::R12, Reg::R12, Reg::R4)
+        .stb(Reg::R12, Reg::R9, 1)
+        // c2 = a2 ^ t ^ xtime(a2 ^ a3)
+        .eor(Reg::R8, Reg::R5, Reg::R6)
+        .lsli(Reg::R12, Reg::R8, 1)
+        .andi(Reg::R11, Reg::R8, 128)
+        .beq(Reg::R11, Reg::R0, "xt2")
+        .eori(Reg::R12, Reg::R12, 0x1B);
+    a.label("xt2")
+        .andi(Reg::R12, Reg::R12, 255)
+        .eor(Reg::R12, Reg::R12, Reg::R7)
+        .eor(Reg::R12, Reg::R12, Reg::R5)
+        .stb(Reg::R12, Reg::R9, 2)
+        // c3 = a3 ^ t ^ xtime(a3 ^ a0)
+        .eor(Reg::R8, Reg::R6, Reg::R3)
+        .lsli(Reg::R12, Reg::R8, 1)
+        .andi(Reg::R11, Reg::R8, 128)
+        .beq(Reg::R11, Reg::R0, "xt3")
+        .eori(Reg::R12, Reg::R12, 0x1B);
+    a.label("xt3")
+        .andi(Reg::R12, Reg::R12, 255)
+        .eor(Reg::R12, Reg::R12, Reg::R7)
+        .eor(Reg::R12, Reg::R12, Reg::R6)
+        .stb(Reg::R12, Reg::R9, 3)
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("mxl");
+    a.label("mxd")
+        .ret();
+
+    Workload w;
+    w.name = "rijndael";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+} // namespace eh::workloads

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * MiBench-like kernels, batch E: jpeg — the forward 8x8 DCT at the heart
+ * of JPEG compression, as a separable fixed-point (Q12) transform over a
+ * 32x32 image (16 blocks). The row pass writes an intermediate block
+ * that the column pass reads back — a producer/consumer RMW pattern
+ * distinct from the other kernels.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "arch/assembler.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace eh::workloads {
+
+using arch::Assembler;
+using arch::Reg;
+
+Workload
+makeJpeg(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kDim = 32;          // image edge
+    constexpr std::uint32_t kBlocks = (kDim / 8) * (kDim / 8);
+
+    const auto image = detail::pseudoBytes(0x19E6001, kDim * kDim);
+
+    // Orthonormal DCT-II basis in Q12:
+    // C[u][x] = c(u) * cos((2x+1) u pi / 16), c(0)=sqrt(1/8), else 1/2.
+    std::vector<std::uint32_t> basis(64);
+    for (std::uint32_t u = 0; u < 8; ++u) {
+        const double cu = u == 0 ? std::sqrt(1.0 / 8.0) : 0.5;
+        for (std::uint32_t x = 0; x < 8; ++x) {
+            const double val =
+                cu * std::cos((2.0 * x + 1.0) * u * M_PI / 16.0);
+            basis[u * 8 + x] = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(std::lround(val * 4096.0)));
+        }
+    }
+
+    // C++ mirror with the exact integer arithmetic of the assembly.
+    std::uint32_t checksum = 0;
+    {
+        for (std::uint32_t by = 0; by < kDim / 8; ++by) {
+            for (std::uint32_t bx = 0; bx < kDim / 8; ++bx) {
+                std::int32_t tmp[64];
+                // Row pass: tmp[u][y] = (sum_x C[u][x]*(p(x,y)-128)) >> 8
+                for (std::uint32_t u = 0; u < 8; ++u) {
+                    for (std::uint32_t y = 0; y < 8; ++y) {
+                        std::int32_t acc = 0;
+                        for (std::uint32_t x = 0; x < 8; ++x) {
+                            const std::int32_t pixel =
+                                static_cast<std::int32_t>(
+                                    image[(by * 8 + y) * kDim +
+                                          bx * 8 + x]) -
+                                128;
+                            acc += static_cast<std::int32_t>(
+                                       basis[u * 8 + x]) *
+                                   pixel;
+                        }
+                        tmp[u * 8 + y] = acc >> 8;
+                    }
+                }
+                // Column pass: coef[u][v] =
+                //   (sum_y C[v][y] * tmp[u][y]) >> 16
+                for (std::uint32_t u = 0; u < 8; ++u) {
+                    for (std::uint32_t v = 0; v < 8; ++v) {
+                        std::int32_t acc = 0;
+                        for (std::uint32_t y = 0; y < 8; ++y) {
+                            acc += static_cast<std::int32_t>(
+                                       basis[v * 8 + y]) *
+                                   tmp[u * 8 + y];
+                        }
+                        const std::int32_t coef = acc >> 16;
+                        const std::uint32_t idx =
+                            (by * (kDim / 8) + bx) * 64 + u * 8 + v;
+                        checksum +=
+                            static_cast<std::uint32_t>(coef) * (idx + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    const auto img_base = static_cast<std::int32_t>(layout.dataBase);
+    const auto basis_base =
+        static_cast<std::int32_t>(layout.scratchBase);
+    const auto tmp_base =
+        static_cast<std::int32_t>(layout.scratchBase + 256);
+    // Registers: R1 block, R2/R3 u/v-or-y loops, R4 inner index,
+    // R5 accumulator, R6..R10 scratch, R11 checksum, R12 coef index.
+    Assembler a("jpeg");
+    a.initBytes(static_cast<std::uint64_t>(img_base), image);
+    a.initWords(static_cast<std::uint64_t>(basis_base), basis);
+
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)   // block index
+        .movi(Reg::R11, 0)  // checksum
+        .movi(Reg::R12, 0); // linear coefficient index
+    a.label("blk")
+        .movi(Reg::R6, kBlocks)
+        .bgeu(Reg::R1, Reg::R6, "jdone")
+        // --- row pass: tmp[u*8+y] ---
+        .movi(Reg::R2, 0); // u
+    a.label("rowu")
+        .movi(Reg::R6, 8)
+        .bgeu(Reg::R2, Reg::R6, "colstart")
+        .movi(Reg::R3, 0); // y
+    a.label("rowy")
+        .movi(Reg::R6, 8)
+        .bgeu(Reg::R3, Reg::R6, "rownextu")
+        .movi(Reg::R5, 0)  // acc
+        .movi(Reg::R4, 0); // x
+    a.label("rowx")
+        .movi(Reg::R6, 8)
+        .bgeu(Reg::R4, Reg::R6, "rowstore")
+        // pixel address: ((by*8+y)*32 + bx*8 + x); with block index
+        // b = by*4+bx: row = (b>>2)*8+y, col = (b&3)*8+x.
+        .lsri(Reg::R6, Reg::R1, 2)
+        .lsli(Reg::R6, Reg::R6, 3)
+        .add(Reg::R6, Reg::R6, Reg::R3) // row
+        .lsli(Reg::R6, Reg::R6, 5)     // row * 32
+        .andi(Reg::R7, Reg::R1, 3)
+        .lsli(Reg::R7, Reg::R7, 3)
+        .add(Reg::R7, Reg::R7, Reg::R4) // col
+        .add(Reg::R6, Reg::R6, Reg::R7)
+        .movi(Reg::R7, img_base)
+        .add(Reg::R6, Reg::R7, Reg::R6)
+        .ldb(Reg::R6, Reg::R6, 0)
+        .subi(Reg::R6, Reg::R6, 128) // centered pixel
+        // basis C[u][x]
+        .lsli(Reg::R7, Reg::R2, 3)
+        .add(Reg::R7, Reg::R7, Reg::R4)
+        .lsli(Reg::R7, Reg::R7, 2)
+        .movi(Reg::R8, basis_base)
+        .add(Reg::R7, Reg::R8, Reg::R7)
+        .ldw(Reg::R7, Reg::R7, 0)
+        .mul(Reg::R6, Reg::R6, Reg::R7)
+        .add(Reg::R5, Reg::R5, Reg::R6)
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("rowx");
+    a.label("rowstore")
+        .asri(Reg::R5, Reg::R5, 8)
+        .lsli(Reg::R6, Reg::R2, 3)
+        .add(Reg::R6, Reg::R6, Reg::R3)
+        .lsli(Reg::R6, Reg::R6, 2)
+        .movi(Reg::R7, tmp_base)
+        .add(Reg::R6, Reg::R7, Reg::R6)
+        .stw(Reg::R5, Reg::R6, 0)
+        .addi(Reg::R3, Reg::R3, 1)
+        .b("rowy");
+    a.label("rownextu")
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("rowu");
+    // --- column pass: coef[u][v] from tmp ---
+    a.label("colstart")
+        .movi(Reg::R2, 0); // u
+    a.label("colu")
+        .movi(Reg::R6, 8)
+        .bgeu(Reg::R2, Reg::R6, "blknext")
+        .movi(Reg::R3, 0); // v
+    a.label("colv")
+        .movi(Reg::R6, 8)
+        .bgeu(Reg::R3, Reg::R6, "colnextu")
+        .movi(Reg::R5, 0)  // acc
+        .movi(Reg::R4, 0); // y
+    a.label("coly")
+        .movi(Reg::R6, 8)
+        .bgeu(Reg::R4, Reg::R6, "colemit")
+        // tmp[u*8 + y]
+        .lsli(Reg::R6, Reg::R2, 3)
+        .add(Reg::R6, Reg::R6, Reg::R4)
+        .lsli(Reg::R6, Reg::R6, 2)
+        .movi(Reg::R7, tmp_base)
+        .add(Reg::R6, Reg::R7, Reg::R6)
+        .ldw(Reg::R6, Reg::R6, 0)
+        // basis C[v][y]
+        .lsli(Reg::R7, Reg::R3, 3)
+        .add(Reg::R7, Reg::R7, Reg::R4)
+        .lsli(Reg::R7, Reg::R7, 2)
+        .movi(Reg::R8, basis_base)
+        .add(Reg::R7, Reg::R8, Reg::R7)
+        .ldw(Reg::R7, Reg::R7, 0)
+        .mul(Reg::R6, Reg::R6, Reg::R7)
+        .add(Reg::R5, Reg::R5, Reg::R6)
+        .addi(Reg::R4, Reg::R4, 1)
+        .b("coly");
+    a.label("colemit")
+        .asri(Reg::R5, Reg::R5, 16)
+        // checksum += coef * (idx + 1); idx advances u-major per block
+        .addi(Reg::R12, Reg::R12, 1)
+        .mul(Reg::R5, Reg::R5, Reg::R12)
+        .add(Reg::R11, Reg::R11, Reg::R5)
+        .addi(Reg::R3, Reg::R3, 1)
+        .b("colv");
+    a.label("colnextu")
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("colu");
+    a.label("blknext")
+        .checkpoint()
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("blk");
+    a.label("jdone")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R11, Reg::R9, 0)
+        .halt();
+
+    Workload w;
+    w.name = "jpeg";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+} // namespace eh::workloads

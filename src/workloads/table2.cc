@@ -1,0 +1,538 @@
+/**
+ * @file
+ * The six Table II benchmarks used for the paper's hardware validation
+ * (Section V-A), plus the Figure 5 counter program. Each factory builds
+ * the assembly program and runs a C++ mirror of the same algorithm to
+ * fill Workload::expected, so every run — including intermittent runs —
+ * is checkable end to end.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "arch/assembler.hh"
+#include "arch/cpu.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace eh::workloads {
+
+using arch::Assembler;
+using arch::Reg;
+
+namespace {
+
+/** Shorthand: sensor sample k as the CPU will see it. */
+std::uint32_t
+sensor(std::uint32_t k)
+{
+    return arch::Cpu::sensorValue(k);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// RSA: square-and-multiply modular exponentiation, c_i = m_i^17 mod 3233.
+// Checkpoint at each message boundary (a natural task granularity).
+// --------------------------------------------------------------------------
+
+Workload
+makeRsa(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kMessages = 480;
+    constexpr std::uint32_t kModulus = 3233; // 61 * 53
+    constexpr std::uint32_t kExponent = 17;
+
+    const auto messages =
+        detail::pseudoWords(0x45A001, kMessages, kModulus - 2);
+    const std::uint64_t m_base = layout.dataBase;
+    const std::uint64_t out_base = layout.dataBase + kMessages * 4;
+
+    // C++ mirror.
+    std::uint32_t checksum = 0;
+    for (std::uint32_t i = 0; i < kMessages; ++i) {
+        std::uint32_t base = messages[i] % kModulus;
+        std::uint32_t result = 1;
+        std::uint32_t exp = kExponent;
+        while (exp) {
+            if (exp & 1)
+                result = result * base % kModulus;
+            base = base * base % kModulus;
+            exp >>= 1;
+        }
+        checksum += result * (i + 1);
+    }
+
+    Assembler a("rsa");
+    a.initWords(m_base, messages);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)                                  // i
+        .movi(Reg::R11, 0)                                 // checksum
+        .movi(Reg::R2, static_cast<std::int32_t>(m_base))  // &m
+        .movi(Reg::R3, static_cast<std::int32_t>(out_base))// &out
+        .movi(Reg::R4, kMessages)
+        .movi(Reg::R5, kModulus);
+    a.label("outer")
+        .bgeu(Reg::R1, Reg::R4, "done")
+        .lsli(Reg::R10, Reg::R1, 2)
+        .add(Reg::R10, Reg::R2, Reg::R10)
+        .ldw(Reg::R7, Reg::R10, 0)        // m_i
+        .remu(Reg::R7, Reg::R7, Reg::R5)  // base = m mod n
+        .movi(Reg::R8, 1)                 // result
+        .movi(Reg::R9, kExponent);        // exp
+    a.label("modloop")
+        .beq(Reg::R9, Reg::R0, "modexit")
+        .andi(Reg::R12, Reg::R9, 1)
+        .beq(Reg::R12, Reg::R0, "skipmul")
+        .mul(Reg::R8, Reg::R8, Reg::R7)
+        .remu(Reg::R8, Reg::R8, Reg::R5);
+    a.label("skipmul")
+        .mul(Reg::R7, Reg::R7, Reg::R7)
+        .remu(Reg::R7, Reg::R7, Reg::R5)
+        .lsri(Reg::R9, Reg::R9, 1)
+        .b("modloop");
+    a.label("modexit")
+        .lsli(Reg::R10, Reg::R1, 2)
+        .add(Reg::R10, Reg::R3, Reg::R10)
+        .stw(Reg::R8, Reg::R10, 0)        // out[i] = c_i
+        .addi(Reg::R12, Reg::R1, 1)
+        .mul(Reg::R10, Reg::R8, Reg::R12)
+        .add(Reg::R11, Reg::R11, Reg::R10) // checksum += c_i * (i+1)
+        .checkpoint()
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("outer");
+    a.label("done")
+        .movi(Reg::R10, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R11, Reg::R10, 0)
+        .halt();
+
+    Workload w;
+    w.name = "rsa";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {checksum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// CRC: table-driven CRC-32 over 256 bytes; checkpoint every 32 bytes.
+// --------------------------------------------------------------------------
+
+Workload
+makeCrc(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kLen = 4096;
+    const auto table = detail::crc32Table();
+    const auto input = detail::pseudoBytes(0xC4C001, kLen);
+    const std::uint64_t table_base = layout.dataBase;
+    const std::uint64_t buf_base = layout.dataBase + 1024;
+
+    // C++ mirror.
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::uint8_t b : input)
+        crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+    crc ^= 0xFFFFFFFFu;
+
+    Assembler a("crc");
+    a.initWords(table_base, table);
+    a.initBytes(buf_base, input);
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, static_cast<std::int32_t>(table_base))
+        .movi(Reg::R3, static_cast<std::int32_t>(buf_base))
+        .movi(Reg::R4, kLen)
+        .movi(Reg::R5, -1); // crc = 0xFFFFFFFF
+    a.label("loop")
+        .bgeu(Reg::R1, Reg::R4, "done")
+        .add(Reg::R8, Reg::R3, Reg::R1)
+        .ldb(Reg::R6, Reg::R8, 0)
+        .eor(Reg::R7, Reg::R5, Reg::R6)
+        .andi(Reg::R7, Reg::R7, 255)
+        .lsli(Reg::R7, Reg::R7, 2)
+        .add(Reg::R7, Reg::R2, Reg::R7)
+        .ldw(Reg::R7, Reg::R7, 0)
+        .lsri(Reg::R5, Reg::R5, 8)
+        .eor(Reg::R5, Reg::R5, Reg::R7)
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R8, Reg::R1, 31)
+        .bne(Reg::R8, Reg::R0, "loop")
+        .checkpoint()
+        .b("loop");
+    a.label("done")
+        .eori(Reg::R5, Reg::R5, -1)
+        .movi(Reg::R8, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R5, Reg::R8, 0)
+        .halt();
+
+    Workload w;
+    w.name = "crc";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase};
+    w.expected = {crc};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// SENSE: running statistics (sum, sum of squares, min, max) over 256 ADC
+// samples; checkpoint every 16 samples.
+// --------------------------------------------------------------------------
+
+Workload
+makeSense(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kSamples = 4096;
+
+    // C++ mirror.
+    std::uint32_t sum = 0, sumsq = 0;
+    std::uint32_t mn = 0x7FFFFFFFu, mx = 0;
+    for (std::uint32_t i = 0; i < kSamples; ++i) {
+        const std::uint32_t s = sensor(i);
+        sum += s;
+        sumsq += s * s;
+        mn = std::min(mn, s);
+        mx = std::max(mx, s);
+    }
+
+    Assembler a("sense");
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, 0)              // sum
+        .movi(Reg::R3, 0)              // sumsq
+        .movi(Reg::R4, 0x7FFFFFFF)     // min
+        .movi(Reg::R5, 0)              // max
+        .movi(Reg::R8, kSamples);
+    a.label("loop")
+        .bgeu(Reg::R1, Reg::R8, "done")
+        .sense(Reg::R6, Reg::R1)
+        .add(Reg::R2, Reg::R2, Reg::R6)
+        .mul(Reg::R7, Reg::R6, Reg::R6)
+        .add(Reg::R3, Reg::R3, Reg::R7)
+        .bgeu(Reg::R6, Reg::R4, "skipmin")
+        .mov(Reg::R4, Reg::R6);
+    a.label("skipmin")
+        .bgeu(Reg::R5, Reg::R6, "skipmax")
+        .mov(Reg::R5, Reg::R6);
+    a.label("skipmax")
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 15)
+        .bne(Reg::R7, Reg::R0, "loop")
+        .checkpoint()
+        .b("loop");
+    a.label("done")
+        .movi(Reg::R9, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R2, Reg::R9, 0)
+        .stw(Reg::R3, Reg::R9, 4)
+        .stw(Reg::R4, Reg::R9, 8)
+        .stw(Reg::R5, Reg::R9, 12)
+        .halt();
+
+    Workload w;
+    w.name = "sense";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4,
+                     layout.resultBase + 8, layout.resultBase + 12};
+    w.expected = {sum, sumsq, mn, mx};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// AR: activity recognition — per 16-sample window compute magnitude and
+// jerk features, classify into 4 classes, histogram the labels.
+// Checkpoint per window (variable work per checkpoint, like DINO tasks).
+// --------------------------------------------------------------------------
+
+Workload
+makeAr(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kWindows = 256;
+    constexpr std::uint32_t kWinLen = 16;
+    constexpr std::uint32_t kMagThresh = 9600;
+    constexpr std::uint32_t kJerkThresh = 640;
+    const std::uint64_t hist_base = layout.dataBase;
+
+    // C++ mirror.
+    std::uint32_t hist[4] = {0, 0, 0, 0};
+    for (std::uint32_t wi = 0; wi < kWindows; ++wi) {
+        std::uint32_t mag = 0, jerk = 0, prev = 0;
+        for (std::uint32_t k = 0; k < kWinLen; ++k) {
+            const std::uint32_t s = sensor(wi * kWinLen + k);
+            mag += s;
+            jerk += s >= prev ? s - prev : prev - s;
+            prev = s;
+        }
+        std::uint32_t cls = 0;
+        if (mag > kMagThresh)
+            cls += 1;
+        if (jerk > kJerkThresh)
+            cls += 2;
+        ++hist[cls];
+    }
+
+    Assembler a("ar");
+    a.initWords(hist_base, {0, 0, 0, 0});
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0) // window
+        .movi(Reg::R9, static_cast<std::int32_t>(hist_base))
+        .movi(Reg::R11, kWindows)
+        .movi(Reg::R12, kWinLen);
+    a.label("wloop")
+        .bgeu(Reg::R1, Reg::R11, "done")
+        .movi(Reg::R3, 0)  // mag
+        .movi(Reg::R4, 0)  // jerk
+        .movi(Reg::R5, 0)  // prev
+        .movi(Reg::R2, 0); // k
+    a.label("sloop")
+        .bgeu(Reg::R2, Reg::R12, "wdone")
+        .mul(Reg::R7, Reg::R1, Reg::R12)
+        .add(Reg::R7, Reg::R7, Reg::R2)
+        .sense(Reg::R6, Reg::R7)
+        .add(Reg::R3, Reg::R3, Reg::R6)
+        .bgeu(Reg::R6, Reg::R5, "pos")
+        .sub(Reg::R7, Reg::R5, Reg::R6)
+        .b("acc");
+    a.label("pos")
+        .sub(Reg::R7, Reg::R6, Reg::R5);
+    a.label("acc")
+        .add(Reg::R4, Reg::R4, Reg::R7)
+        .mov(Reg::R5, Reg::R6)
+        .addi(Reg::R2, Reg::R2, 1)
+        .b("sloop");
+    a.label("wdone")
+        .movi(Reg::R10, 0)
+        .movi(Reg::R7, kMagThresh)
+        .bgeu(Reg::R7, Reg::R3, "c1")
+        .addi(Reg::R10, Reg::R10, 1);
+    a.label("c1")
+        .movi(Reg::R7, kJerkThresh)
+        .bgeu(Reg::R7, Reg::R4, "c2")
+        .addi(Reg::R10, Reg::R10, 2);
+    a.label("c2")
+        .lsli(Reg::R7, Reg::R10, 2)
+        .add(Reg::R7, Reg::R9, Reg::R7)
+        .ldw(Reg::R8, Reg::R7, 0)
+        .addi(Reg::R8, Reg::R8, 1)
+        .stw(Reg::R8, Reg::R7, 0)
+        .checkpoint()
+        .addi(Reg::R1, Reg::R1, 1)
+        .b("wloop");
+    a.label("done")
+        .movi(Reg::R10, static_cast<std::int32_t>(layout.resultBase))
+        .ldw(Reg::R7, Reg::R9, 0)
+        .stw(Reg::R7, Reg::R10, 0)
+        .ldw(Reg::R7, Reg::R9, 4)
+        .stw(Reg::R7, Reg::R10, 4)
+        .ldw(Reg::R7, Reg::R9, 8)
+        .stw(Reg::R7, Reg::R10, 8)
+        .ldw(Reg::R7, Reg::R9, 12)
+        .stw(Reg::R7, Reg::R10, 12)
+        .halt();
+
+    Workload w;
+    w.name = "ar";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4,
+                     layout.resultBase + 8, layout.resultBase + 12};
+    w.expected = {hist[0], hist[1], hist[2], hist[3]};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// MIDI: note-event detection over an audio-derived stream; events are
+// appended to a log buffer. Checkpoint every 16 samples.
+// --------------------------------------------------------------------------
+
+Workload
+makeMidi(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kSamples = 4000;
+    constexpr std::uint32_t kDelta = 4;
+    // The event log is a 128-entry ring (real loggers bound their RAM).
+    const std::uint64_t out_base = layout.scratchBase;
+
+    // C++ mirror.
+    std::uint32_t last = 255, count = 0, checksum = 0;
+    for (std::uint32_t i = 0; i < kSamples; ++i) {
+        const std::uint32_t note = sensor(i) >> 3;
+        const std::uint32_t d = note >= last ? note - last : last - note;
+        if (d >= kDelta) {
+            ++count;
+            last = note;
+            checksum += note * count;
+        }
+    }
+
+    Assembler a("midi");
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)   // i
+        .movi(Reg::R2, 255) // last note (sentinel)
+        .movi(Reg::R3, 0)   // event count j
+        .movi(Reg::R4, static_cast<std::int32_t>(out_base))
+        .movi(Reg::R9, kSamples)
+        .movi(Reg::R10, 0); // checksum
+    a.label("loop")
+        .bgeu(Reg::R1, Reg::R9, "done")
+        .sense(Reg::R5, Reg::R1)
+        .lsri(Reg::R6, Reg::R5, 3)
+        .bgeu(Reg::R6, Reg::R2, "m1")
+        .sub(Reg::R7, Reg::R2, Reg::R6)
+        .b("m2");
+    a.label("m1")
+        .sub(Reg::R7, Reg::R6, Reg::R2);
+    a.label("m2")
+        .movi(Reg::R8, kDelta)
+        .bltu(Reg::R7, Reg::R8, "skip")
+        .andi(Reg::R8, Reg::R3, 127) // ring slot
+        .lsli(Reg::R8, Reg::R8, 3)
+        .add(Reg::R8, Reg::R4, Reg::R8)
+        .stw(Reg::R1, Reg::R8, 0) // event time
+        .stw(Reg::R6, Reg::R8, 4) // event note
+        .addi(Reg::R3, Reg::R3, 1)
+        .mov(Reg::R2, Reg::R6)
+        .mul(Reg::R7, Reg::R6, Reg::R3)
+        .add(Reg::R10, Reg::R10, Reg::R7);
+    a.label("skip")
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R7, Reg::R1, 15)
+        .bne(Reg::R7, Reg::R0, "loop")
+        .checkpoint()
+        .b("loop");
+    a.label("done")
+        .movi(Reg::R8, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R3, Reg::R8, 0)
+        .stw(Reg::R10, Reg::R8, 4)
+        .halt();
+
+    Workload w;
+    w.name = "midi";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {count, checksum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// DS: key-value histogram data logger — hash sensor readings into 64
+// buckets; every 64 samples scan the table into a running log sum.
+// Checkpoint per batch.
+// --------------------------------------------------------------------------
+
+Workload
+makeDs(const WorkloadLayout &layout)
+{
+    constexpr std::uint32_t kSamples = 2048;
+    constexpr std::uint32_t kBuckets = 64;
+    constexpr std::uint32_t kHashMul = 2654435761u;
+    const std::uint64_t hist_base = layout.dataBase;
+
+    // C++ mirror.
+    std::uint32_t hist[kBuckets] = {};
+    std::uint32_t logsum = 0;
+    for (std::uint32_t i = 0; i < kSamples; ++i) {
+        const std::uint32_t key = (sensor(i) * kHashMul) >> 26;
+        ++hist[key];
+        if ((i + 1) % kBuckets == 0) {
+            for (std::uint32_t k = 0; k < kBuckets; ++k)
+                logsum += hist[k];
+        }
+    }
+    std::uint32_t checksum = 0;
+    for (std::uint32_t k = 0; k < kBuckets; ++k)
+        checksum += hist[k] * (k + 1);
+
+    Assembler a("ds");
+    a.initWords(hist_base,
+                std::vector<std::uint32_t>(kBuckets, 0));
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, static_cast<std::int32_t>(hist_base))
+        .movi(Reg::R6, kSamples)
+        .movi(Reg::R7, 0)  // logsum
+        .movi(Reg::R11, static_cast<std::int32_t>(kHashMul))
+        .movi(Reg::R12, kBuckets);
+    a.label("loop")
+        .bgeu(Reg::R1, Reg::R6, "done")
+        .sense(Reg::R3, Reg::R1)
+        .mul(Reg::R4, Reg::R3, Reg::R11)
+        .lsri(Reg::R4, Reg::R4, 26)
+        .lsli(Reg::R4, Reg::R4, 2)
+        .add(Reg::R4, Reg::R2, Reg::R4)
+        .ldw(Reg::R5, Reg::R4, 0)
+        .addi(Reg::R5, Reg::R5, 1)
+        .stw(Reg::R5, Reg::R4, 0)
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R5, Reg::R1, kBuckets - 1)
+        .bne(Reg::R5, Reg::R0, "loop")
+        .movi(Reg::R9, 0);
+    a.label("scan")
+        .bgeu(Reg::R9, Reg::R12, "scand")
+        .lsli(Reg::R8, Reg::R9, 2)
+        .add(Reg::R8, Reg::R2, Reg::R8)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .add(Reg::R7, Reg::R7, Reg::R8)
+        .addi(Reg::R9, Reg::R9, 1)
+        .b("scan");
+    a.label("scand")
+        .checkpoint()
+        .b("loop");
+    a.label("done")
+        .movi(Reg::R3, 0) // checksum
+        .movi(Reg::R9, 0);
+    a.label("csum")
+        .bgeu(Reg::R9, Reg::R12, "csumd")
+        .lsli(Reg::R8, Reg::R9, 2)
+        .add(Reg::R8, Reg::R2, Reg::R8)
+        .ldw(Reg::R8, Reg::R8, 0)
+        .addi(Reg::R5, Reg::R9, 1)
+        .mul(Reg::R8, Reg::R8, Reg::R5)
+        .add(Reg::R3, Reg::R3, Reg::R8)
+        .addi(Reg::R9, Reg::R9, 1)
+        .b("csum");
+    a.label("csumd")
+        .movi(Reg::R8, static_cast<std::int32_t>(layout.resultBase))
+        .stw(Reg::R3, Reg::R8, 0)
+        .stw(Reg::R7, Reg::R8, 4)
+        .halt();
+
+    Workload w;
+    w.name = "ds";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    w.resultAddrs = {layout.resultBase, layout.resultBase + 4};
+    w.expected = {checksum, logsum};
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// counter: the Figure 5 validation program — an endless increment loop
+// with a small circular store pattern. Never halts; runs are bounded by
+// the simulator's active-period cap.
+// --------------------------------------------------------------------------
+
+Workload
+makeCounter(const WorkloadLayout &layout)
+{
+    Assembler a("counter");
+    a.movi(Reg::R0, 0)
+        .movi(Reg::R1, 0)
+        .movi(Reg::R2, static_cast<std::int32_t>(layout.dataBase));
+    a.label("loop")
+        .addi(Reg::R1, Reg::R1, 1)
+        .andi(Reg::R3, Reg::R1, 3)
+        .lsli(Reg::R3, Reg::R3, 2)
+        .add(Reg::R3, Reg::R2, Reg::R3)
+        .stw(Reg::R1, Reg::R3, 0)
+        .b("loop");
+
+    Workload w;
+    w.name = "counter";
+    w.program = a.assemble();
+    w.sramUsedBytes = layout.sramUsedBytes;
+    return w;
+}
+
+} // namespace eh::workloads

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Workload definitions. A Workload bundles a Program with the metadata
+ * the simulator and the experiments need: how much volatile memory it
+ * uses (the backup payload for volatile-data policies), where its results
+ * land in nonvolatile memory, and the expected result words computed by a
+ * C++ reference implementation of the same algorithm — every workload is
+ * therefore end-to-end checkable, including under intermittent execution.
+ *
+ * Two placements are supported, mirroring the paper's two platform
+ * families: volatile layout (data + scratch in SRAM, as on the MSP430
+ * systems of Section V-A) and nonvolatile layout (data in FRAM, as on the
+ * Clank Cortex-M0+ of Section V-B).
+ */
+
+#ifndef EH_WORKLOADS_WORKLOAD_HH
+#define EH_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/isa.hh"
+
+namespace eh::workloads {
+
+/** Where a workload's data, scratch and results are placed. */
+struct WorkloadLayout
+{
+    std::uint64_t dataBase = 64;      ///< base of input/working arrays
+    std::uint64_t scratchBase = 4096; ///< base of secondary arrays
+    std::uint64_t resultBase = 0;     ///< result words (always in NVM)
+    bool dataNonvolatile = false;     ///< data region lives in NVM
+    std::size_t sramUsedBytes = 0;    ///< volatile payload to back up
+};
+
+/**
+ * Volatile placement: data and scratch in SRAM, results in NVM.
+ * @param sram_used  Volatile payload size (data + scratch must fit).
+ * @param nvm_base   First NVM address of the platform (= SRAM size).
+ */
+WorkloadLayout volatileLayout(std::size_t sram_used = 6144,
+                              std::uint64_t nvm_base = 8192);
+
+/**
+ * Nonvolatile placement: everything in NVM (Clank-style platform).
+ * @param nvm_base First NVM address of the platform.
+ */
+WorkloadLayout nonvolatileLayout(std::uint64_t nvm_base = 8192);
+
+/** A runnable, checkable benchmark. */
+struct Workload
+{
+    std::string name;
+    arch::Program program;
+    std::size_t sramUsedBytes = 0;          ///< backup payload region
+    std::vector<std::uint64_t> resultAddrs; ///< absolute result addresses
+    std::vector<std::uint32_t> expected;    ///< reference result words
+};
+
+// --- Table II benchmarks (Section V-A hardware validation) -------------
+
+/** RSA: square-and-multiply modular exponentiation over a message set. */
+Workload makeRsa(const WorkloadLayout &layout);
+
+/** CRC: table-driven CRC-32 over a data buffer. */
+Workload makeCrc(const WorkloadLayout &layout);
+
+/** SENSE: summary statistics over an ADC sample stream. */
+Workload makeSense(const WorkloadLayout &layout);
+
+/** AR: windowed-feature activity recognition over sensor data. */
+Workload makeAr(const WorkloadLayout &layout);
+
+/** MIDI: audio-derived event detection and logging. */
+Workload makeMidi(const WorkloadLayout &layout);
+
+/** DS: key-value histogram data logger. */
+Workload makeDs(const WorkloadLayout &layout);
+
+// --- MiBench-like suite (Section V-B Clank characterization) -----------
+
+/** bitcount: population counts via two methods. */
+Workload makeBitcount(const WorkloadLayout &layout);
+
+/** qsort: iterative quicksort with an explicit index stack. */
+Workload makeQsort(const WorkloadLayout &layout);
+
+/** basicmath: integer square roots and GCDs. */
+Workload makeBasicmath(const WorkloadLayout &layout);
+
+/** stringsearch: naive substring search over generated text. */
+Workload makeStringsearch(const WorkloadLayout &layout);
+
+/** dijkstra: single-source shortest paths on a dense graph. */
+Workload makeDijkstra(const WorkloadLayout &layout);
+
+/** fft: in-place fixed-point radix-2 FFT. */
+Workload makeFft(const WorkloadLayout &layout);
+
+/** sha: SHA-1 compression over a two-block message. */
+Workload makeSha(const WorkloadLayout &layout);
+
+/** adpcm: IMA ADPCM encoding of a synthetic waveform. */
+Workload makeAdpcm(const WorkloadLayout &layout);
+
+/** lzfx: LZF-style compression with a position hash table. */
+Workload makeLzfx(const WorkloadLayout &layout);
+
+/** patricia: binary-trie insert and lookup. */
+Workload makePatricia(const WorkloadLayout &layout);
+
+/** susan: thresholded 3x3 image smoothing. */
+Workload makeSusan(const WorkloadLayout &layout);
+
+/** rijndael: AES-128 CBC encryption (FIPS-197, byte-oriented). */
+Workload makeRijndael(const WorkloadLayout &layout);
+
+/** jpeg: separable fixed-point 8x8 forward DCT over a 32x32 image. */
+Workload makeJpeg(const WorkloadLayout &layout);
+
+// --- Synthetic ----------------------------------------------------------
+
+/**
+ * counter: the Figure 5 hardware-validation program — an infinite
+ * increment loop with periodic stores; never halts (the experiment is
+ * bounded by active periods, not completion).
+ */
+Workload makeCounter(const WorkloadLayout &layout);
+
+// --- Registry -------------------------------------------------------------
+
+/** Names of the Table II benchmarks, in paper order. */
+std::vector<std::string> tableIINames();
+
+/** Names of the MiBench-like suite. */
+std::vector<std::string> mibenchNames();
+
+/**
+ * Factory by name.
+ * @throws FatalError for unknown names.
+ */
+Workload makeWorkload(const std::string &name,
+                      const WorkloadLayout &layout);
+
+} // namespace eh::workloads
+
+#endif // EH_WORKLOADS_WORKLOAD_HH

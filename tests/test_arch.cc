@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests for the CPU substrate: ISA classification, the assembler's label
+ * resolution, the interpreter's semantics (ALU, memory, control flow,
+ * sensor determinism, power-failure discipline) and the Clank-style
+ * idempotency tracker's detection rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/assembler.hh"
+#include "arch/cpu.hh"
+#include "arch/isa.hh"
+#include "arch/tracker.hh"
+#include "mem/address_space.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::arch;
+
+mem::AddressSpace
+smallMem()
+{
+    return mem::AddressSpace(256, 4096, mem::NvmTech::Fram);
+}
+
+Program
+assembleAndRun(Assembler &a)
+{
+    a.halt();
+    return a.assemble();
+}
+
+/** Run a program to halt and return the CPU for register inspection. */
+void
+runToHalt(Cpu &cpu, std::uint64_t cap = 100000)
+{
+    cpu.reset();
+    cpu.applyMemInits();
+    std::uint64_t n = 0;
+    while (!cpu.halted()) {
+        ASSERT_LT(n++, cap) << "program did not halt";
+        cpu.step();
+    }
+}
+
+TEST(Isa, EveryOpcodeHasNameAndClass)
+{
+    for (int op = 0; op <= static_cast<int>(Opcode::Halt); ++op) {
+        EXPECT_NE(opcodeName(static_cast<Opcode>(op)), nullptr);
+        // classify must not panic for any declared opcode.
+        (void)classify(static_cast<Opcode>(op));
+    }
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels)
+{
+    Assembler a("labels");
+    a.movi(R1, 3);
+    a.label("back");
+    a.subi(R1, R1, 1);
+    a.bne(R1, R0, "back");
+    a.b("fwd");
+    a.movi(R2, 99); // skipped
+    a.label("fwd");
+    a.movi(R3, 7);
+    const auto prog = assembleAndRun(a);
+
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    runToHalt(cpu);
+    EXPECT_EQ(cpu.reg(R1), 0u);
+    EXPECT_EQ(cpu.reg(R2), 0u);
+    EXPECT_EQ(cpu.reg(R3), 7u);
+}
+
+TEST(Assembler, UndefinedLabelIsFatal)
+{
+    Assembler a("bad");
+    a.b("nowhere");
+    EXPECT_THROW(a.assemble(), FatalError);
+}
+
+TEST(Assembler, DuplicateLabelIsFatal)
+{
+    Assembler a("dup");
+    a.label("x");
+    EXPECT_THROW(a.label("x"), FatalError);
+}
+
+TEST(Cpu, AluSemantics)
+{
+    Assembler a("alu");
+    a.movi(R1, 20).movi(R2, 6);
+    a.add(R3, R1, R2);   // 26
+    a.sub(R4, R1, R2);   // 14
+    a.mul(R5, R1, R2);   // 120
+    a.divu(R6, R1, R2);  // 3
+    a.remu(R7, R1, R2);  // 2
+    a.eor(R8, R1, R2);   // 18
+    a.lsli(R9, R2, 3);   // 48
+    a.movi(R10, -8);
+    a.asri(R11, R10, 2); // -2
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    runToHalt(cpu);
+    EXPECT_EQ(cpu.reg(R3), 26u);
+    EXPECT_EQ(cpu.reg(R4), 14u);
+    EXPECT_EQ(cpu.reg(R5), 120u);
+    EXPECT_EQ(cpu.reg(R6), 3u);
+    EXPECT_EQ(cpu.reg(R7), 2u);
+    EXPECT_EQ(cpu.reg(R8), 18u);
+    EXPECT_EQ(cpu.reg(R9), 48u);
+    EXPECT_EQ(cpu.reg(R11), static_cast<std::uint32_t>(-2));
+}
+
+TEST(Cpu, DivisionByZeroFollowsRiscvConvention)
+{
+    Assembler a("div0");
+    a.movi(R1, 77).movi(R2, 0);
+    a.divu(R3, R1, R2); // all ones
+    a.remu(R4, R1, R2); // dividend
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    runToHalt(cpu);
+    EXPECT_EQ(cpu.reg(R3), UINT32_MAX);
+    EXPECT_EQ(cpu.reg(R4), 77u);
+}
+
+TEST(Cpu, LoadStoreWidths)
+{
+    Assembler a("mem");
+    a.movi(R1, 0x11223344);
+    a.movi(R2, 16);
+    a.stw(R1, R2, 0);
+    a.ldb(R3, R2, 0);  // 0x44
+    a.ldh(R4, R2, 0);  // 0x3344
+    a.ldw(R5, R2, 0);  // whole word
+    a.movi(R6, 0xAB);
+    a.stb(R6, R2, 1);  // patch byte 1
+    a.ldw(R7, R2, 0);  // 0x1122AB44
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    runToHalt(cpu);
+    EXPECT_EQ(cpu.reg(R3), 0x44u);
+    EXPECT_EQ(cpu.reg(R4), 0x3344u);
+    EXPECT_EQ(cpu.reg(R5), 0x11223344u);
+    EXPECT_EQ(cpu.reg(R7), 0x1122AB44u);
+}
+
+TEST(Cpu, CallAndReturnViaLinkRegister)
+{
+    Assembler a("call");
+    a.movi(R1, 5);
+    a.call("double_it");
+    a.mov(R3, R2);
+    a.b("end");
+    a.label("double_it");
+    a.add(R2, R1, R1);
+    a.ret();
+    a.label("end");
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    runToHalt(cpu);
+    EXPECT_EQ(cpu.reg(R3), 10u);
+}
+
+TEST(Cpu, BranchConditionsSignedAndUnsigned)
+{
+    Assembler a("branches");
+    a.movi(R1, -1); // 0xFFFFFFFF
+    a.movi(R2, 1);
+    a.movi(R3, 0).movi(R4, 0);
+    a.blt(R1, R2, "signed_taken");
+    a.b("check_unsigned");
+    a.label("signed_taken");
+    a.movi(R3, 1);
+    a.label("check_unsigned");
+    a.bltu(R1, R2, "unsigned_taken"); // 0xFFFFFFFF not < 1 unsigned
+    a.b("end");
+    a.label("unsigned_taken");
+    a.movi(R4, 1);
+    a.label("end");
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    runToHalt(cpu);
+    EXPECT_EQ(cpu.reg(R3), 1u) << "-1 < 1 signed";
+    EXPECT_EQ(cpu.reg(R4), 0u) << "0xFFFFFFFF >= 1 unsigned";
+}
+
+TEST(Cpu, MemoryInstructionsCostMore)
+{
+    Assembler a("cost");
+    a.movi(R1, 16);
+    a.stw(R1, R1, 0);
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    const auto movi_step = cpu.step();
+    const auto store_step = cpu.step();
+    EXPECT_GT(store_step.energy / static_cast<double>(store_step.cycles),
+              movi_step.energy / static_cast<double>(movi_step.cycles));
+    EXPECT_TRUE(store_step.isMem);
+    EXPECT_TRUE(store_step.memIsStore);
+    EXPECT_EQ(store_step.memAddr, 16u);
+}
+
+TEST(Cpu, NvmAccessAddsEnergy)
+{
+    Assembler a("nvcost");
+    a.movi(R1, 16);   // SRAM address
+    a.movi(R2, 1024); // NVM address (SRAM is 256)
+    a.stw(R1, R1, 0);
+    a.stw(R1, R2, 0);
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    cpu.step();
+    cpu.step();
+    const auto sram_store = cpu.step();
+    const auto nvm_store = cpu.step();
+    EXPECT_FALSE(sram_store.memNonvolatile);
+    EXPECT_TRUE(nvm_store.memNonvolatile);
+    EXPECT_GT(nvm_store.energy, sram_store.energy);
+}
+
+TEST(Cpu, PeekPredictsNextMemoryAccess)
+{
+    Assembler a("peek");
+    a.movi(R1, 2000);
+    a.stw(R1, R1, 8);
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    EXPECT_FALSE(cpu.peek().isMem);
+    cpu.step();
+    const auto p = cpu.peek();
+    EXPECT_TRUE(p.isMem);
+    EXPECT_TRUE(p.isStore);
+    EXPECT_EQ(p.addr, 2008u);
+    EXPECT_EQ(p.bytes, 4u);
+    EXPECT_TRUE(p.nonvolatile);
+}
+
+TEST(Cpu, ArchStateRoundTripsThroughSaveLoad)
+{
+    Assembler a("state");
+    a.movi(R1, 123).movi(R2, 456);
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    cpu.step();
+    cpu.step();
+    std::uint8_t snapshot[Cpu::archStateBytes];
+    cpu.saveArchState(snapshot);
+
+    cpu.powerFail();
+    cpu.loadArchState(snapshot);
+    EXPECT_EQ(cpu.reg(R1), 123u);
+    EXPECT_EQ(cpu.reg(R2), 456u);
+    EXPECT_EQ(cpu.pc(), 2u);
+}
+
+TEST(Cpu, SteppingAfterPowerFailureWithoutRestorePanics)
+{
+    Assembler a("panic");
+    a.movi(R1, 1);
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    cpu.powerFail();
+    EXPECT_THROW(cpu.step(), PanicError);
+}
+
+TEST(Cpu, SteppingWhenHaltedPanics)
+{
+    Assembler a("halted");
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    cpu.step();
+    ASSERT_TRUE(cpu.halted());
+    EXPECT_THROW(cpu.step(), PanicError);
+}
+
+TEST(Cpu, SensorIsDeterministicAndTenBit)
+{
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+        const auto v = Cpu::sensorValue(i);
+        EXPECT_EQ(v, Cpu::sensorValue(i));
+        EXPECT_LE(v, 1023u);
+    }
+    // The wave actually moves.
+    EXPECT_NE(Cpu::sensorValue(0), Cpu::sensorValue(64));
+}
+
+TEST(Cpu, CheckpointOpSignalsRuntime)
+{
+    Assembler a("ckpt");
+    a.checkpoint();
+    const auto prog = assembleAndRun(a);
+    auto mem = smallMem();
+    Cpu cpu(prog, mem, CostModel::msp430());
+    cpu.reset();
+    const auto step = cpu.step();
+    EXPECT_TRUE(step.checkpointRequested);
+    EXPECT_FALSE(cpu.halted());
+}
+
+TEST(Disassembler, RendersRepresentativeInstructions)
+{
+    using arch::Instruction;
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::Add, 3, 1, 2, 0}),
+              "add r3, r1, r2");
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::AddI, 3, 1, 0, 42}),
+              "addi r3, r1, 42");
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::MovI, 5, 0, 0, -7}),
+              "movi r5, -7");
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::Ldw, 4, 2, 0, 16}),
+              "ldw r4, [r2 + 16]");
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::Stb, 0, 2, 7, -4}),
+              "stb r7, [r2 + -4]");
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::Bne, 0, 1, 2, 12}),
+              "bne r1, r2 -> 12");
+    EXPECT_EQ(arch::disassemble(Instruction{Opcode::B, 0, 0, 0, 3}),
+              "b -> 3");
+    EXPECT_EQ(arch::disassemble(Instruction{Opcode::Halt, 0, 0, 0, 0}),
+              "halt");
+    EXPECT_EQ(arch::disassemble(
+                  Instruction{Opcode::Checkpoint, 0, 0, 0, 0}),
+              "checkpoint");
+}
+
+TEST(Disassembler, ListsWholeProgramsWithImages)
+{
+    Assembler a("listing");
+    a.movi(R1, 5).label("top").subi(R1, R1, 1).bne(R1, R0, "top").halt();
+    a.initWords(100, {1, 2});
+    const auto text = arch::disassemble(a.assemble());
+    EXPECT_NE(text.find("program 'listing', 4 instructions"),
+              std::string::npos);
+    EXPECT_NE(text.find("0:\tmovi r1, 5"), std::string::npos);
+    EXPECT_NE(text.find("2:\tbne r1, r0 -> 1"), std::string::npos);
+    EXPECT_NE(text.find("8 bytes at address 100"), std::string::npos);
+}
+
+TEST(Disassembler, EveryInstructionMentionsItsMnemonic)
+{
+    // Every opcode the ISA declares must disassemble without panicking
+    // and lead with its mnemonic.
+    for (int op = 0; op <= static_cast<int>(Opcode::Halt); ++op) {
+        Instruction in{static_cast<Opcode>(op), 1, 2, 3, 4};
+        const auto text = arch::disassemble(in);
+        EXPECT_EQ(text.rfind(opcodeName(in.op), 0), 0u) << text;
+    }
+}
+
+TEST(Tracker, DetectsWarViolation)
+{
+    IdempotencyTracker t(8, 8, 100000);
+    EXPECT_EQ(t.onLoad(100, 4), BackupTrigger::None);
+    EXPECT_EQ(t.onStore(100, 4), BackupTrigger::Violation);
+    EXPECT_EQ(t.stats().violations, 1u);
+}
+
+TEST(Tracker, WriteFirstSuppressesViolation)
+{
+    IdempotencyTracker t(8, 8, 100000);
+    EXPECT_EQ(t.onStore(100, 4), BackupTrigger::None);
+    EXPECT_EQ(t.onLoad(100, 4), BackupTrigger::None);
+    EXPECT_EQ(t.onStore(100, 4), BackupTrigger::None)
+        << "rewriting own data is idempotent";
+}
+
+TEST(Tracker, SubWordStoreDoesNotClaimWholeWord)
+{
+    // A byte store must NOT mark the word write-first: the other bytes
+    // were not written, so reading them is still read-first and a later
+    // full-word store must violate.
+    IdempotencyTracker t(8, 8, 100000);
+    EXPECT_EQ(t.onStore(100, 1), BackupTrigger::None);
+    EXPECT_EQ(t.onLoad(100, 4), BackupTrigger::None); // enters read-first
+    EXPECT_EQ(t.onStore(100, 4), BackupTrigger::Violation);
+}
+
+TEST(Tracker, ReadBufferOverflowForcesBackup)
+{
+    IdempotencyTracker t(4, 8, 100000);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.onLoad(i * 4, 4), BackupTrigger::None);
+    EXPECT_EQ(t.onLoad(100, 4), BackupTrigger::BufferOverflow);
+    EXPECT_EQ(t.stats().overflows, 1u);
+}
+
+TEST(Tracker, WriteBufferOverflowForcesBackup)
+{
+    IdempotencyTracker t(8, 2, 100000);
+    EXPECT_EQ(t.onStore(0, 4), BackupTrigger::None);
+    EXPECT_EQ(t.onStore(8, 4), BackupTrigger::None);
+    EXPECT_EQ(t.onStore(16, 4), BackupTrigger::BufferOverflow);
+}
+
+TEST(Tracker, WatchdogFiresAfterPeriod)
+{
+    IdempotencyTracker t(8, 8, 1000);
+    EXPECT_EQ(t.tick(999), BackupTrigger::None);
+    EXPECT_EQ(t.tick(1), BackupTrigger::Watchdog);
+    EXPECT_EQ(t.stats().watchdogFirings, 1u);
+}
+
+TEST(Tracker, ResetClearsEverythingButStats)
+{
+    IdempotencyTracker t(8, 8, 1000);
+    t.onLoad(100, 4);
+    t.tick(500);
+    t.reset();
+    EXPECT_EQ(t.cyclesSinceBackup(), 0u);
+    EXPECT_EQ(t.onStore(100, 4), BackupTrigger::None)
+        << "read-first buffer must be empty after reset";
+}
+
+TEST(Tracker, RepeatedLoadsDoNotOverflow)
+{
+    IdempotencyTracker t(2, 8, 100000);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(t.onLoad(64, 4), BackupTrigger::None);
+}
+
+TEST(Tracker, MultiWordAccessTracksEveryWord)
+{
+    IdempotencyTracker t(8, 8, 100000);
+    EXPECT_EQ(t.onLoad(100, 8), BackupTrigger::None); // words 25 and 26
+    EXPECT_EQ(t.onStore(104, 4), BackupTrigger::Violation);
+}
+
+} // namespace

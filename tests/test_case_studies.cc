@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the case-study analyses: store-major locality (Section VI-A,
+ * Equations 13–14) including its consistency with the cache simulator,
+ * and circular-buffer idempotency sizing (Section VI-B, Equation 15)
+ * including its consistency with the idempotency tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tracker.hh"
+#include "core/idempotency.hh"
+#include "core/locality.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "mem/cache.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using core::LocalityParams;
+
+LocalityParams
+transposeScenario()
+{
+    // Matrix transpose: read footprint == write footprint
+    // (the paper's Listing 1 example).
+    LocalityParams lp;
+    lp.blockBytes = 16.0;
+    lp.loadBytes = 4.0;
+    lp.storeBytes = 4.0;
+    lp.loadRate = 0.1;
+    lp.appStateRate = 0.1;
+    lp.loadBandwidth = 1.0;
+    lp.backupBandwidth = 1.0;
+    lp.progressCycles = 10000.0;
+    lp.backupPeriod = 1000.0;
+    lp.backupCount = 10.0;
+    return lp;
+}
+
+TEST(Locality, EqualFootprintsAndSymmetricNvmAreAWash)
+{
+    // Paper: with sigma_load == sigma_B and equal read/write footprints,
+    // load-major and store-major perform identically.
+    const auto lp = transposeScenario();
+    EXPECT_NEAR(core::loadMajorOverStoreMajorRatio(lp), 1.0, 1e-12);
+    EXPECT_FALSE(core::storeMajorWins(lp));
+}
+
+TEST(Locality, SlowNvmWritesFavourStoreMajor)
+{
+    // STT-RAM-style 10x write latency (sigma_B = sigma_load / 10) makes
+    // store-major loops win (Section VI-A).
+    auto lp = transposeScenario();
+    lp.backupBandwidth = 0.1;
+    EXPECT_TRUE(core::storeMajorWins(lp));
+    EXPECT_GT(core::loadMajorOverStoreMajorRatio(lp), 1.0);
+}
+
+TEST(Locality, WriteHeavyApplicationsFavourStoreMajor)
+{
+    auto lp = transposeScenario();
+    lp.appStateRate = 0.5; // write footprint 5x the read footprint
+    EXPECT_TRUE(core::storeMajorWins(lp));
+}
+
+TEST(Locality, ReadHeavyApplicationsFavourLoadMajor)
+{
+    auto lp = transposeScenario();
+    lp.loadRate = 0.5;
+    EXPECT_FALSE(core::storeMajorWins(lp));
+    EXPECT_LT(core::loadMajorOverStoreMajorRatio(lp), 1.0);
+}
+
+TEST(Locality, RatioGrowsWithBlockToStoreRatio)
+{
+    auto lp = transposeScenario();
+    lp.backupBandwidth = 0.5;
+    double last = 0.0;
+    for (double block : {8.0, 16.0, 32.0, 64.0}) {
+        lp.blockBytes = block;
+        const double ratio = core::loadMajorOverStoreMajorRatio(lp);
+        EXPECT_GT(ratio, last);
+        last = ratio;
+    }
+}
+
+TEST(Locality, ValidationRejectsBadShapes)
+{
+    auto lp = transposeScenario();
+    lp.loadBytes = 32.0; // wider than the block
+    EXPECT_THROW(lp.validate(), FatalError);
+    lp = transposeScenario();
+    lp.blockBytes = 0.0;
+    EXPECT_THROW(lp.validate(), FatalError);
+    lp = transposeScenario();
+    lp.backupBandwidth = 0.0;
+    EXPECT_THROW(lp.validate(), FatalError);
+}
+
+TEST(Locality, CacheSimulatorExhibitsTheBlockInflation)
+{
+    // Drive the real cache with the two loop orders of Listing 1 and
+    // confirm the beta_block/beta_store backup-traffic inflation the
+    // analysis predicts.
+    constexpr std::size_t dim = 16;       // 16x16 matrix of words
+    constexpr std::size_t block = 16;     // 4 words per block
+    mem::CacheGeometry geom{512, 4, block};
+
+    // Store-major: writes walk contiguously -> one dirty block per four
+    // stores.
+    mem::Cache store_major(geom);
+    for (std::size_t i = 0; i < dim; ++i)
+        for (std::size_t j = 0; j < dim; ++j)
+            store_major.access(0x1000 + (i * dim + j) * 4, 4, true);
+    const auto sm = store_major.flushDirty();
+
+    // Load-major ordering of the same stores: writes stride by a row.
+    mem::Cache load_major(geom);
+    for (std::size_t i = 0; i < dim; ++i)
+        for (std::size_t j = 0; j < dim; ++j)
+            load_major.access(0x1000 + (j * dim + i) * 4, 4, true);
+    const auto lm = load_major.flushDirty();
+
+    // Both orders write the same 1024 bytes, but the strided (load-
+    // major) order evicts each block after only one 4-byte store, so the
+    // total dirty-block traffic (write-backs during the run plus the
+    // final flush) inflates by ~beta_block / beta_store = 4x — the
+    // inflation factor Equation 13 charges load-major loops with.
+    const double sm_transfers = static_cast<double>(
+        store_major.stats().writebacks + sm.blocks);
+    const double lm_transfers = static_cast<double>(
+        load_major.stats().writebacks + lm.blocks);
+    EXPECT_GE(lm_transfers / sm_transfers, 3.0);
+    EXPECT_LE(lm_transfers / sm_transfers, 4.5);
+}
+
+TEST(Idempotency, ViolationIntervalMatchesPaperFormula)
+{
+    // N - n + 1 stores between violations (Section VI-B).
+    EXPECT_DOUBLE_EQ(core::violationStoreInterval(100, 100), 1.0);
+    EXPECT_DOUBLE_EQ(core::violationStoreInterval(200, 100), 101.0);
+    // Double buffering: N = 2n -> n + 1 stores.
+    EXPECT_DOUBLE_EQ(core::violationStoreInterval(128, 64), 65.0);
+    // Write-back buffer extends the interval (footnote 4).
+    EXPECT_DOUBLE_EQ(core::violationStoreInterval(100, 100, 8), 9.0);
+}
+
+TEST(Idempotency, CycleIntervalScalesWithStorePeriod)
+{
+    EXPECT_DOUBLE_EQ(core::violationCycleInterval(110, 100, 50.0),
+                     11.0 * 50.0);
+}
+
+TEST(Idempotency, Equation15InvertsTheInterval)
+{
+    // Sizing the buffer for tau_B,opt then recomputing the interval must
+    // give back tau_B,opt.
+    const double n = 256, tau_store = 40.0, w = 8.0;
+    const double tau_opt = 52000.0;
+    const double slots =
+        core::optimalCircularBufferSize(n, tau_store, tau_opt, w);
+    EXPECT_NEAR(core::violationCycleInterval(slots, n, tau_store, w),
+                tau_opt, 1e-9 * tau_opt);
+}
+
+TEST(Idempotency, BufferNeverSmallerThanArray)
+{
+    // A tiny optimal period cannot shrink the buffer below the array.
+    EXPECT_DOUBLE_EQ(core::optimalCircularBufferSize(128, 10.0, 0.0),
+                     128.0);
+}
+
+TEST(Idempotency, RecommendedSlotsArePowersOfTwo)
+{
+    const auto p = core::cortexM0Params();
+    const auto slots = core::recommendedBufferSlots(p, 100, 25.0, 8.0);
+    EXPECT_GE(slots, 100u);
+    EXPECT_EQ(slots & (slots - 1), 0u) << slots;
+}
+
+TEST(Idempotency, RejectsBadInputs)
+{
+    EXPECT_THROW(core::violationStoreInterval(50, 100), FatalError);
+    EXPECT_THROW(core::violationStoreInterval(100, 0), FatalError);
+    EXPECT_THROW(core::violationCycleInterval(100, 100, 0.0),
+                 FatalError);
+    EXPECT_THROW(core::optimalCircularBufferSize(0, 1.0, 1.0),
+                 FatalError);
+}
+
+TEST(Idempotency, TrackerViolationSpacingMatchesFormula)
+{
+    // Walk a circular buffer of N slots holding an n-element array with
+    // the real tracker: read slot (head + n), write slot head, advance.
+    // Violations must occur every N - n + 1 stores, as Equation 15's
+    // derivation assumes.
+    constexpr std::uint64_t n = 12, N = 32;
+    arch::IdempotencyTracker tracker(64, 64, 1u << 30);
+
+    std::uint64_t stores = 0;
+    std::vector<std::uint64_t> gaps;
+    std::uint64_t last_violation = 0;
+    for (std::uint64_t step = 0; step < 400; ++step) {
+        // Listing 2: read A[(head + i) % N], write A[(head + n + i) % N]
+        // — the writes run n slots AHEAD of the reads.
+        const std::uint64_t read_addr = (step % N) * 4;
+        const std::uint64_t write_addr = ((step + n) % N) * 4;
+        // The loop body reads ahead n slots and writes the head slot.
+        EXPECT_EQ(tracker.onLoad(read_addr, 4),
+                  arch::BackupTrigger::None);
+        const auto trig = tracker.onStore(write_addr, 4);
+        ++stores;
+        if (trig == arch::BackupTrigger::Violation) {
+            tracker.reset();
+            gaps.push_back(stores - last_violation);
+            last_violation = stores;
+            // Replay the store against the fresh buffers.
+            EXPECT_EQ(tracker.onStore(write_addr, 4),
+                      arch::BackupTrigger::None);
+        }
+    }
+    ASSERT_GT(gaps.size(), 3u);
+    // Steady-state gaps equal N - n + 1 (the first can differ while the
+    // buffer warms up).
+    for (std::size_t i = 1; i < gaps.size(); ++i)
+        EXPECT_EQ(gaps[i], N - n + 1) << "violation " << i;
+}
+
+} // namespace

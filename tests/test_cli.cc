@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the command-line option parser behind eh_explore: flag
+ * syntax, numeric conversion, preset selection and Table I overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cli/options.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using cli::Options;
+
+TEST(CliOptions, ParsesSubcommandAndFlags)
+{
+    const auto o =
+        Options::parse({"sweep", "--param", "tauB", "--points", "10"});
+    EXPECT_EQ(o.subcommand(), "sweep");
+    EXPECT_TRUE(o.has("param"));
+    EXPECT_EQ(o.get("param"), "tauB");
+    EXPECT_DOUBLE_EQ(o.getDouble("points", 0.0), 10.0);
+}
+
+TEST(CliOptions, EmptyAndFlagOnlyInvocations)
+{
+    EXPECT_EQ(Options::parse({}).subcommand(), "");
+    const auto o = Options::parse({"--E", "50"});
+    EXPECT_EQ(o.subcommand(), "");
+    EXPECT_DOUBLE_EQ(o.getDouble("E", 0.0), 50.0);
+}
+
+TEST(CliOptions, FallbacksWhenAbsent)
+{
+    const auto o = Options::parse({"progress"});
+    EXPECT_FALSE(o.has("nope"));
+    EXPECT_EQ(o.get("nope", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(o.getDouble("nope", 3.5), 3.5);
+}
+
+TEST(CliOptions, RejectsMalformedInput)
+{
+    EXPECT_THROW(Options::parse({"cmd", "--flag"}), FatalError);
+    EXPECT_THROW(Options::parse({"cmd", "stray"}), FatalError);
+    const auto o = Options::parse({"cmd", "--x", "abc"});
+    EXPECT_THROW(o.getDouble("x", 0.0), FatalError);
+}
+
+TEST(CliOptions, ScientificNotationParses)
+{
+    const auto o = Options::parse({"cmd", "--E", "2.5e6"});
+    EXPECT_DOUBLE_EQ(o.getDouble("E", 0.0), 2.5e6);
+}
+
+TEST(CliOptions, TracksUnusedFlags)
+{
+    const auto o = Options::parse({"cmd", "--used", "1", "--typo", "2"});
+    (void)o.getDouble("used", 0.0);
+    const auto unused = o.unusedFlags();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliParams, DefaultIsIllustrativePreset)
+{
+    const auto p = cli::paramsFromOptions(Options::parse({"progress"}));
+    const auto ref = core::illustrativeParams();
+    EXPECT_DOUBLE_EQ(p.energyBudget, ref.energyBudget);
+    EXPECT_DOUBLE_EQ(p.backupCost, ref.backupCost);
+}
+
+TEST(CliParams, PresetsSelectable)
+{
+    const auto msp = cli::paramsFromOptions(
+        Options::parse({"progress", "--preset", "msp430"}));
+    EXPECT_NEAR(msp.execEnergy, 65.625, 1e-9);
+    const auto m0 = cli::paramsFromOptions(
+        Options::parse({"progress", "--preset", "cortexm0"}));
+    EXPECT_NEAR(m0.execEnergy, 147.0, 1e-9);
+    EXPECT_THROW(cli::paramsFromOptions(
+                     Options::parse({"progress", "--preset", "zx81"})),
+                 FatalError);
+}
+
+TEST(CliParams, OverridesApplyOnTopOfPreset)
+{
+    const auto p = cli::paramsFromOptions(Options::parse(
+        {"progress", "--preset", "msp430", "--tauB", "5000",
+         "--alphaB", "0.25", "--OmegaR", "10"}));
+    EXPECT_DOUBLE_EQ(p.backupPeriod, 5000.0);
+    EXPECT_DOUBLE_EQ(p.appStateRate, 0.25);
+    EXPECT_DOUBLE_EQ(p.restoreCost, 10.0);
+    EXPECT_NEAR(p.execEnergy, 65.625, 1e-9); // untouched preset value
+}
+
+TEST(CliParams, InvalidOverridesAreFatal)
+{
+    EXPECT_THROW(cli::paramsFromOptions(
+                     Options::parse({"progress", "--E", "-5"})),
+                 FatalError);
+    EXPECT_THROW(cli::paramsFromOptions(Options::parse(
+                     {"progress", "--epsC", "2", "--eps", "1"})),
+                 FatalError);
+}
+
+TEST(CliParams, Msp430PeriodFlagScalesBudget)
+{
+    const auto half = cli::paramsFromOptions(Options::parse(
+        {"progress", "--preset", "msp430", "--period-s", "0.125"}));
+    const auto full = cli::paramsFromOptions(Options::parse(
+        {"progress", "--preset", "msp430", "--period-s", "0.25"}));
+    EXPECT_NEAR(full.energyBudget, 2.0 * half.energyBudget, 1.0);
+}
+
+} // namespace

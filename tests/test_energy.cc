@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the energy-harvesting substrate: voltage traces (including
+ * the three paper trace shapes), the transducer, the capacitor's
+ * threshold dynamics, both supplies, and the per-phase energy meter's
+ * commit/discard semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "energy/capacitor.hh"
+#include "energy/meter.hh"
+#include "energy/supply.hh"
+#include "energy/trace.hh"
+#include "energy/transducer.hh"
+#include "util/panic.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::energy;
+
+TEST(Trace, InterpolatesBetweenSamples)
+{
+    VoltageTrace t({0.0, 2.0}, 100, "test");
+    EXPECT_DOUBLE_EQ(t.voltageAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(t.voltageAt(50), 1.0);
+    EXPECT_DOUBLE_EQ(t.voltageAt(25), 0.5);
+}
+
+TEST(Trace, LoopsPastTheEnd)
+{
+    VoltageTrace t({1.0, 3.0}, 10, "test");
+    EXPECT_DOUBLE_EQ(t.voltageAt(0), t.voltageAt(t.lengthCycles()));
+    EXPECT_DOUBLE_EQ(t.voltageAt(7), t.voltageAt(7 + 2 * t.lengthCycles()));
+}
+
+TEST(Trace, LastSegmentInterpolatesTowardsFirstSample)
+{
+    VoltageTrace t({0.0, 4.0}, 10, "test");
+    // Cycle 15 sits halfway between sample 1 (4.0) and the wrap to
+    // sample 0 (0.0).
+    EXPECT_DOUBLE_EQ(t.voltageAt(15), 2.0);
+}
+
+TEST(Trace, RejectsBadConstruction)
+{
+    EXPECT_THROW(VoltageTrace({}, 10, "x"), FatalError);
+    EXPECT_THROW(VoltageTrace({1.0}, 0, "x"), FatalError);
+    EXPECT_THROW(VoltageTrace({-0.5}, 10, "x"), FatalError);
+}
+
+TEST(Trace, SpikyShapeMatchesPaperDescription)
+{
+    // Two short spikes above 5 V, troughs near 0 V (Section V-B).
+    const auto t = makeSpikyTrace(Rng(7), 1'000'000);
+    EXPECT_GT(t.peakVoltage(), 5.0);
+    EXPECT_LT(t.troughVoltage(), 0.2);
+    EXPECT_LT(t.meanVoltage(), 1.5) << "spikes must be short";
+}
+
+TEST(Trace, RampShapeMatchesPaperDescription)
+{
+    const auto t = makeRampTrace(Rng(7), 1'000'000);
+    EXPECT_LT(t.samples().front(), 0.2);
+    EXPECT_NEAR(t.peakVoltage(), 2.5, 0.3);
+    // Monotone on average: the last quarter clearly exceeds the first.
+    const auto &s = t.samples();
+    double head = 0.0, tail = 0.0;
+    const std::size_t q = s.size() / 4;
+    for (std::size_t i = 0; i < q; ++i) {
+        head += s[i];
+        tail += s[s.size() - 1 - i];
+    }
+    EXPECT_GT(tail, head * 3.0);
+}
+
+TEST(Trace, MultiPeakShapeMatchesPaperDescription)
+{
+    const auto t = makeMultiPeakTrace(Rng(7), 1'000'000);
+    EXPECT_GE(t.peakVoltage(), 3.5);
+    EXPECT_LE(t.peakVoltage(), 5.7);
+    EXPECT_LE(t.troughVoltage(), 1.5);
+}
+
+TEST(Trace, PaperTracesAreDeterministicPerSeed)
+{
+    const auto a = makePaperTraces(42, 200000);
+    const auto b = makePaperTraces(42, 200000);
+    ASSERT_EQ(a.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(a[i].samples(), b[i].samples()) << i;
+    const auto c = makePaperTraces(43, 200000);
+    EXPECT_NE(a[0].samples(), c[0].samples());
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    const std::string path = "/tmp/eh_trace_roundtrip.csv";
+    const auto original = makeMultiPeakTrace(Rng(3), 50000, 500);
+    saveTraceCsv(original, path);
+    const auto loaded = loadTraceCsv(path, "reloaded");
+    EXPECT_EQ(loaded.samples(), original.samples());
+    EXPECT_EQ(loaded.cyclesPerSample(), original.cyclesPerSample());
+    EXPECT_EQ(loaded.name(), "reloaded");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CsvLoadRejectsMalformedFiles)
+{
+    const std::string path = "/tmp/eh_trace_bad.csv";
+    auto write = [&](const char *content) {
+        std::ofstream out(path);
+        out << content;
+    };
+    write("volts\n1\n");
+    EXPECT_THROW(loadTraceCsv(path), FatalError);
+    write("cycle,volts\n");
+    EXPECT_THROW(loadTraceCsv(path), FatalError);
+    write("cycle,volts\n0,1.0\n10,2.0\n15,3.0\n"); // uneven pitch
+    EXPECT_THROW(loadTraceCsv(path), FatalError);
+    write("cycle,volts\nnot,numbers\n");
+    EXPECT_THROW(loadTraceCsv(path), FatalError);
+    EXPECT_THROW(loadTraceCsv("/no/such/file.csv"), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, CsvLoadAcceptsSingleSample)
+{
+    const std::string path = "/tmp/eh_trace_single.csv";
+    {
+        std::ofstream out(path);
+        out << "cycle,volts\n0,2.5\n";
+    }
+    const auto t = loadTraceCsv(path);
+    EXPECT_DOUBLE_EQ(t.voltageAt(12345), 2.5);
+    std::remove(path.c_str());
+}
+
+TEST(Transducer, QuadraticInVoltage)
+{
+    Transducer t(0.5, 50.0, 16.0e6);
+    EXPECT_DOUBLE_EQ(t.energyPerCycle(0.0), 0.0);
+    EXPECT_NEAR(t.energyPerCycle(2.0), 4.0 * t.energyPerCycle(1.0),
+                1e-12);
+}
+
+TEST(Transducer, ConcreteValue)
+{
+    // eta=1, R=1 Ohm, 1 Hz, pJ scale: 2 V -> 4 W -> 4e12 pJ per cycle.
+    Transducer t(1.0, 1.0, 1.0);
+    EXPECT_NEAR(t.energyPerCycle(2.0), 4.0e12, 1.0);
+}
+
+TEST(Transducer, RejectsBadConfig)
+{
+    EXPECT_THROW(Transducer(0.0, 50.0, 1e6), FatalError);
+    EXPECT_THROW(Transducer(1.5, 50.0, 1e6), FatalError);
+    EXPECT_THROW(Transducer(0.5, 0.0, 1e6), FatalError);
+    EXPECT_THROW(Transducer(0.5, 50.0, 0.0), FatalError);
+}
+
+TEST(Capacitor, EnergyVoltageRoundTrip)
+{
+    Capacitor c(100e-6, 5.0, 3.0, 1.8);
+    c.charge(0.5 * 100e-6 * 4.0 * 4.0 * 1e12); // energy at 4 V
+    EXPECT_NEAR(c.voltage(), 4.0, 1e-9);
+}
+
+TEST(Capacitor, ThresholdsGateOnAndOff)
+{
+    Capacitor c(100e-6, 5.0, 3.0, 1.8);
+    EXPECT_FALSE(c.canTurnOn());
+    c.charge(0.5 * 100e-6 * 9.0 * 1e12); // exactly 3 V
+    EXPECT_TRUE(c.canTurnOn());
+    EXPECT_TRUE(c.alive());
+    // Draw down to below 1.8 V.
+    c.draw(c.storedEnergy() - 0.5 * 100e-6 * 1.7 * 1.7 * 1e12);
+    EXPECT_FALSE(c.alive());
+}
+
+TEST(Capacitor, ChargeClampsAtVmax)
+{
+    Capacitor c(100e-6, 5.0, 3.0, 1.8);
+    c.charge(1e20);
+    EXPECT_NEAR(c.voltage(), 5.0, 1e-9);
+    EXPECT_DOUBLE_EQ(c.storedEnergy(), c.capacityEnergy());
+}
+
+TEST(Capacitor, DrawBeyondStoredFailsAndEmpties)
+{
+    Capacitor c(100e-6, 5.0, 3.0, 1.8);
+    c.charge(1000.0);
+    EXPECT_FALSE(c.draw(2000.0));
+    EXPECT_DOUBLE_EQ(c.storedEnergy(), 0.0);
+}
+
+TEST(Capacitor, UsableBudgetIsOnOffWindow)
+{
+    Capacitor c(100e-6, 5.0, 3.0, 1.8);
+    const double expected =
+        0.5 * 100e-6 * (3.0 * 3.0 - 1.8 * 1.8) * 1e12;
+    EXPECT_NEAR(c.usableBudget(), expected, 1e-3);
+}
+
+TEST(Capacitor, RejectsBadThresholds)
+{
+    EXPECT_THROW(Capacitor(0.0, 5.0, 3.0, 1.8), FatalError);
+    EXPECT_THROW(Capacitor(1e-6, 5.0, 1.8, 3.0), FatalError);
+    EXPECT_THROW(Capacitor(1e-6, 5.0, 6.0, 1.8), FatalError);
+}
+
+TEST(ConstantSupply, RefillsEveryPeriod)
+{
+    ConstantSupply s(1000.0);
+    EXPECT_EQ(s.chargeUntilReady(100), 0u);
+    EXPECT_TRUE(s.consume(600.0));
+    EXPECT_FALSE(s.consume(600.0)); // brown-out
+    EXPECT_DOUBLE_EQ(s.storedEnergy(), 0.0);
+    EXPECT_EQ(s.chargeUntilReady(100), 0u);
+    EXPECT_DOUBLE_EQ(s.storedEnergy(), 1000.0);
+    EXPECT_DOUBLE_EQ(s.periodBudget(), 1000.0);
+    EXPECT_DOUBLE_EQ(s.chargeRatePerCycle(), 0.0);
+}
+
+TEST(HarvestingSupply, ChargesThenBrownsOut)
+{
+    // Constant 2 V source, eta 1, 1 Ohm, 1 MHz, pJ: 4e6 pJ/cycle.
+    Transducer tx(1.0, 1.0, 1.0e6);
+    Capacitor cap(100e-6, 5.0, 3.0, 1.8);
+    HarvestingSupply s(makeConstantTrace(2.0, 1'000'000), tx, cap);
+
+    const auto cycles = s.chargeUntilReady(1'000'000);
+    ASSERT_NE(cycles, chargeFailed);
+    EXPECT_GT(cycles, 0u);
+    // Roughly usable-at-3V / per-cycle-harvest cycles of charging.
+    const double at3v = 0.5 * 100e-6 * 9.0 * 1e12;
+    EXPECT_NEAR(static_cast<double>(cycles), at3v / 4.0e6,
+                at3v / 4.0e6 * 0.01 + 2);
+
+    // Consume faster than harvest until brown-out.
+    bool died = false;
+    for (int i = 0; i < 10'000'000 && !died; ++i)
+        died = !s.consume(8.0e6);
+    EXPECT_TRUE(died);
+}
+
+TEST(HarvestingSupply, ChargeFailsOnDeadSource)
+{
+    Transducer tx(1.0, 1.0, 1.0e6);
+    Capacitor cap(100e-6, 5.0, 3.0, 1.8);
+    HarvestingSupply s(makeConstantTrace(0.0, 1000), tx, cap);
+    EXPECT_EQ(s.chargeUntilReady(10000), chargeFailed);
+}
+
+TEST(HarvestingSupply, TracksChargeRateDuringActiveCycles)
+{
+    Transducer tx(1.0, 1.0, 1.0e6);
+    Capacitor cap(100e-6, 5.0, 3.0, 1.8);
+    HarvestingSupply s(makeConstantTrace(1.0, 100000), tx, cap);
+    ASSERT_NE(s.chargeUntilReady(100'000'000), chargeFailed);
+    s.consume(100.0, 10);
+    EXPECT_NEAR(s.chargeRatePerCycle(), 1.0e6, 1.0); // 1 V -> 1e6 pJ/cyc
+}
+
+TEST(HarvestingSupply, HibernateForfeitsCharge)
+{
+    Transducer tx(1.0, 1.0, 1.0e6);
+    Capacitor cap(100e-6, 5.0, 3.0, 1.8);
+    HarvestingSupply s(makeConstantTrace(2.0, 100000), tx, cap);
+    ASSERT_NE(s.chargeUntilReady(100'000'000), chargeFailed);
+    EXPECT_GT(s.storedEnergy(), 0.0);
+    s.hibernate();
+    EXPECT_DOUBLE_EQ(s.storedEnergy(), 0.0);
+}
+
+TEST(Meter, CommitMovesUncommittedToProgress)
+{
+    EnergyMeter m;
+    m.addUncommitted(10, 100.0);
+    EXPECT_EQ(m.cycles(Phase::Progress), 0u);
+    m.commit();
+    EXPECT_EQ(m.cycles(Phase::Progress), 10u);
+    EXPECT_DOUBLE_EQ(m.energy(Phase::Progress), 100.0);
+    EXPECT_EQ(m.uncommittedCycles(), 0u);
+}
+
+TEST(Meter, DiscardMovesUncommittedToDead)
+{
+    EnergyMeter m;
+    m.addUncommitted(7, 70.0);
+    m.discard();
+    EXPECT_EQ(m.cycles(Phase::Dead), 7u);
+    EXPECT_DOUBLE_EQ(m.energy(Phase::Dead), 70.0);
+    EXPECT_EQ(m.cycles(Phase::Progress), 0u);
+}
+
+TEST(Meter, SharesSumToOne)
+{
+    EnergyMeter m;
+    m.add(Phase::Progress, 10, 50.0);
+    m.add(Phase::Backup, 5, 30.0);
+    m.add(Phase::Restore, 2, 15.0);
+    m.add(Phase::Dead, 1, 5.0);
+    double total = 0.0;
+    for (auto ph : {Phase::Progress, Phase::Backup, Phase::Restore,
+                    Phase::Dead, Phase::Monitor})
+        total += m.energyShare(ph);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(m.energyShare(Phase::Progress), 0.5, 1e-12);
+}
+
+TEST(Meter, ClearResetsEverything)
+{
+    EnergyMeter m;
+    m.add(Phase::Backup, 5, 30.0);
+    m.addUncommitted(2, 10.0);
+    m.clear();
+    EXPECT_EQ(m.totalCycles(), 0u);
+    EXPECT_DOUBLE_EQ(m.totalEnergy(), 0.0);
+    EXPECT_EQ(m.uncommittedCycles(), 0u);
+}
+
+TEST(Meter, ReportNamesEveryPhase)
+{
+    EnergyMeter m;
+    const auto text = m.report();
+    for (const char *name :
+         {"progress", "backup", "restore", "dead", "monitor"})
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+} // namespace

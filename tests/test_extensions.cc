@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the library extensions beyond the paper's core equations:
+ * monitoring-aware single-backup analysis (Section IV-B's "up to 40%"
+ * remark), wall-clock throughput/completion estimation, speculation
+ * headroom (the Spendthrift bound of Section IV-A2), and the adaptive
+ * Hibernus++ policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hh"
+#include "core/monitoring.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "core/throughput.hh"
+#include "energy/supply.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/hibernus_pp.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+using core::MonitorConfig;
+using core::Params;
+
+TEST(Monitoring, ZeroCostMatchesEquation12)
+{
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.3;
+    p.archStateRestore = 2.0;
+    MonitorConfig m{64.0, 0.0};
+    EXPECT_NEAR(core::singleBackupProgressWithMonitoring(p, m),
+                core::Model(p).singleBackupProgress(), 1e-12);
+    EXPECT_DOUBLE_EQ(core::monitoringOverheadShare(p, m), 0.0);
+}
+
+TEST(Monitoring, DenserCheckingCostsMoreProgress)
+{
+    Params p = core::illustrativeParams();
+    double last = 0.0;
+    for (double period : {4.0, 16.0, 64.0, 256.0}) {
+        const double prog = core::singleBackupProgressWithMonitoring(
+            p, {period, 2.0});
+        EXPECT_GT(prog, last);
+        last = prog;
+    }
+}
+
+TEST(Monitoring, AggressiveAdcCanReachTheFortyPercentRegime)
+{
+    // Section IV-B notes monitoring overheads of up to ~40%; with a
+    // check as expensive as 2 cycles of execution taken every 3 cycles,
+    // the share lands in that regime.
+    Params p = core::illustrativeParams();
+    const double share = core::monitoringOverheadShare(p, {3.0, 2.0});
+    EXPECT_GT(share, 0.3);
+    EXPECT_LT(share, 0.5);
+}
+
+TEST(Monitoring, OverheadAndProgressAreConsistent)
+{
+    // Monitoring share + progress share cannot exceed the budget.
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.3;
+    p.archStateRestore = 2.0;
+    for (double energy : {0.0, 0.5, 2.0, 8.0}) {
+        MonitorConfig m{32.0, energy};
+        const double prog =
+            core::singleBackupProgressWithMonitoring(p, m);
+        const double share = core::monitoringOverheadShare(p, m);
+        EXPECT_LE(prog + share, 1.0 + 1e-9) << energy;
+    }
+}
+
+TEST(Monitoring, RejectsBadConfig)
+{
+    const Params p = core::illustrativeParams();
+    EXPECT_THROW(core::singleBackupProgressWithMonitoring(p, {0.0, 1.0}),
+                 FatalError);
+    EXPECT_THROW(core::singleBackupProgressWithMonitoring(p, {8.0, -1.0}),
+                 FatalError);
+    EXPECT_THROW(core::maxSafeMonitorPeriod(p, 0.0), FatalError);
+    EXPECT_THROW(core::maxSafeMonitorPeriod(p, 1.0), FatalError);
+}
+
+TEST(Monitoring, SafePeriodScalesWithReserve)
+{
+    const Params p = core::illustrativeParams();
+    EXPECT_GT(core::maxSafeMonitorPeriod(p, 0.2),
+              core::maxSafeMonitorPeriod(p, 0.1));
+}
+
+TEST(Throughput, CompletionArithmeticIsConsistent)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = core::optimalBackupPeriod(p);
+    const auto est = core::estimateCompletion(p, 1e6, 0.05);
+    EXPECT_GT(est.progressPerPeriod, 0.0);
+    EXPECT_NEAR(est.periods, 1e6 / est.progressPerPeriod, 1e-9);
+    EXPECT_NEAR(est.totalCycles,
+                est.periods * (est.activePerPeriod + est.chargePerPeriod),
+                1e-6 * est.totalCycles);
+    EXPECT_NEAR(est.throughput, 1e6 / est.totalCycles, 1e-12);
+    EXPECT_GT(est.activeDutyCycle, 0.0);
+    EXPECT_LT(est.activeDutyCycle, 1.0);
+}
+
+TEST(Throughput, FasterHarvestShortensCompletion)
+{
+    Params p = core::illustrativeParams();
+    const auto slow = core::estimateCompletion(p, 1e6, 0.01);
+    const auto fast = core::estimateCompletion(p, 1e6, 0.1);
+    EXPECT_LT(fast.totalCycles, slow.totalCycles);
+    EXPECT_GT(fast.activeDutyCycle, slow.activeDutyCycle);
+}
+
+TEST(Throughput, InfeasibleConfigurationNeverCompletes)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 500.0; // dead energy alone exceeds E
+    const auto est = core::estimateCompletion(p, 1e6, 0.05);
+    EXPECT_TRUE(std::isinf(est.periods));
+    EXPECT_DOUBLE_EQ(est.throughput, 0.0);
+}
+
+TEST(Throughput, CompletionOptimumMatchesProgressOptimum)
+{
+    // With a fixed refill budget, minimizing wall-clock time and
+    // maximizing per-period progress agree (documented equivalence).
+    Params p = core::illustrativeParams();
+    const double tau_completion =
+        core::completionOptimalBackupPeriod(p, 1e6, 0.05);
+    const double tau_progress = core::optimalBackupPeriod(p);
+    EXPECT_NEAR(tau_completion, tau_progress, 0.05 * tau_progress);
+}
+
+TEST(Throughput, RejectsBadInputs)
+{
+    const Params p = core::illustrativeParams();
+    EXPECT_THROW(core::estimateCompletion(p, 0.0, 0.05), FatalError);
+    EXPECT_THROW(core::estimateCompletion(p, 1e6, 0.0), FatalError);
+}
+
+TEST(Speculation, HeadroomIsBestMinusAverage)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 40.0;
+    core::Model m(p);
+    EXPECT_NEAR(core::speculationHeadroom(p),
+                m.progress(core::DeadCycleMode::BestCase) -
+                    m.progress(core::DeadCycleMode::Average),
+                1e-15);
+    EXPECT_GT(core::speculationHeadroom(p), 0.0);
+}
+
+TEST(Speculation, HeadroomGrowsWithBackupPeriodAndSaturates)
+{
+    Params p = core::illustrativeParams();
+    auto headroom_at = [&](double tau) {
+        Params q = p;
+        q.backupPeriod = tau;
+        return core::speculationHeadroom(q);
+    };
+    // Monotone non-decreasing: longer periods leave more for a perfect
+    // speculator to save.
+    double last = -1.0;
+    for (double tau : {1.0, 10.0, 50.0, 200.0, 1000.0, 10000.0}) {
+        const double h = headroom_at(tau);
+        EXPECT_GE(h + 1e-12, last) << tau;
+        last = h;
+    }
+    // The sweet spot marks the knee: most of the saturated headroom is
+    // already available there, and it is far below the search ceiling.
+    const double sweet = core::speculationSweetSpot(p);
+    ASSERT_GT(sweet, 1.0);
+    EXPECT_LT(sweet, 1e6);
+    EXPECT_GE(headroom_at(sweet), 0.95 * headroom_at(1e7));
+    EXPECT_LT(headroom_at(sweet / 10.0), 0.95 * headroom_at(1e7));
+}
+
+TEST(HibernusPP, AdaptsThresholdDownToTheMeasuredCost)
+{
+    // Run a real workload: the adaptive policy must finish, converge its
+    // threshold well below the conservative initial value, and still
+    // produce exact results.
+    const auto w = workloads::makeWorkload(
+        "sense", workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 30000;
+
+    runtime::HibernusPPConfig hc;
+    hc.sramUsedBytes = cfg.sramUsedBytes;
+    hc.initialThreshold = 0.6;
+    runtime::HibernusPP policy(hc);
+
+    // Budget: several backup round trips per period.
+    const double budget =
+        8.0 * (static_cast<double>(cfg.sramUsedBytes) + 68.0) * 75.0;
+    energy::ConstantSupply supply(budget);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+
+    ASSERT_TRUE(stats.finished) << stats.summary();
+    EXPECT_GT(policy.adaptations(), 0u);
+    EXPECT_LT(policy.threshold(), 0.5)
+        << "threshold should shrink toward the measured backup cost";
+    EXPECT_GT(policy.threshold(), 0.05);
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+        EXPECT_EQ(s.resultWord(w.resultAddrs[i]), w.expected[i]);
+}
+
+TEST(HibernusPP, BeatsBadlyTunedPlainHibernusOnProgress)
+{
+    // A plain Hibernus with an over-conservative threshold sleeps too
+    // early; the adaptive policy recovers that energy.
+    const auto w = workloads::makeWorkload(
+        "crc", workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 30000;
+    const double budget =
+        8.0 * (static_cast<double>(cfg.sramUsedBytes) + 68.0) * 75.0;
+
+    runtime::HibernusConfig plain_cfg;
+    plain_cfg.sramUsedBytes = cfg.sramUsedBytes;
+    plain_cfg.backupThreshold = 0.6; // badly over-tuned
+    runtime::Hibernus plain(plain_cfg);
+    energy::ConstantSupply supply1(budget);
+    sim::Simulator s1(w.program, plain, supply1, cfg);
+    const auto plain_stats = s1.run();
+
+    runtime::HibernusPPConfig pp_cfg;
+    pp_cfg.sramUsedBytes = cfg.sramUsedBytes;
+    pp_cfg.initialThreshold = 0.6; // same bad starting point
+    runtime::HibernusPP adaptive(pp_cfg);
+    energy::ConstantSupply supply2(budget);
+    sim::Simulator s2(w.program, adaptive, supply2, cfg);
+    const auto pp_stats = s2.run();
+
+    ASSERT_TRUE(plain_stats.finished);
+    ASSERT_TRUE(pp_stats.finished);
+    EXPECT_GT(pp_stats.measuredProgress(),
+              plain_stats.measuredProgress());
+    EXPECT_LT(pp_stats.periods, plain_stats.periods);
+}
+
+TEST(HibernusPP, DoublesThresholdAfterAFailedBackup)
+{
+    runtime::HibernusPPConfig hc;
+    hc.initialThreshold = 0.1;
+    hc.minThreshold = 0.01;
+    runtime::HibernusPP policy(hc);
+
+    // Simulate the trigger-then-brown-out path directly.
+    arch::Program prog{
+        "noop", {arch::Instruction{arch::Opcode::Nop, 0, 0, 0, 0}}, {}};
+    mem::AddressSpace memory(256, 65536, mem::NvmTech::Fram);
+    arch::Cpu cpu(prog, memory, arch::CostModel::msp430());
+    cpu.reset();
+    policy.afterStep(cpu, [] {
+        arch::StepResult r;
+        r.cycles = 100;
+        r.energy = 6500.0;
+        return r;
+    }());
+    const auto d = policy.beforeStep(cpu, {}, {50.0, 1000.0});
+    ASSERT_EQ(d.action, runtime::PolicyAction::BackupAndSleep);
+    policy.onPowerFail(); // the backup browned out
+    EXPECT_NEAR(policy.threshold(), 0.2, 1e-12);
+}
+
+TEST(HibernusPP, RejectsBadConfig)
+{
+    runtime::HibernusPPConfig hc;
+    hc.initialThreshold = 1.0;
+    EXPECT_THROW(runtime::HibernusPP{hc}, FatalError);
+    hc = {};
+    hc.safetyMargin = 0.5;
+    EXPECT_THROW(runtime::HibernusPP{hc}, FatalError);
+    hc = {};
+    hc.adaptRate = 0.0;
+    EXPECT_THROW(runtime::HibernusPP{hc}, FatalError);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Randomized fault-injection fuzzing of the full stack: workloads run on
+ * harvested supplies built from random trace shapes, capacitor sizes and
+ * harvest strengths, so power failures land at arbitrary instruction
+ * boundaries (including inside backups and restores). Results must stay
+ * exactly equal to the C++ reference for every seed. Also covers the
+ * simulator's runaway-period guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/supply.hh"
+#include "energy/trace.hh"
+#include "energy/transducer.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+class FuzzSeed : public ::testing::TestWithParam<int>
+{
+};
+
+energy::HarvestingSupply
+randomSupply(Rng &rng)
+{
+    // Random trace shape, capacitor size and harvest strength. The
+    // transducer is sized so active periods land between roughly 5k and
+    // 200k cycles — long enough to progress, short enough to fail often.
+    auto traces =
+        energy::makePaperTraces(rng.next(), 20'000'000);
+    const auto pick = rng.nextBelow(3);
+    energy::Transducer tx(rng.nextDouble(0.3, 0.9),
+                          rng.nextDouble(1500.0, 6000.0), 16.0e6);
+    energy::Capacitor cap(rng.nextDouble(0.2e-6, 1.5e-6), 3.6, 3.0,
+                          2.2);
+    return energy::HarvestingSupply(
+        std::move(traces[pick]), tx, cap);
+}
+
+TEST_P(FuzzSeed, ClankSurvivesRandomHarvestedSupplies)
+{
+    Rng rng(0xF022 + static_cast<std::uint64_t>(GetParam()) * 7919);
+    const char *names[] = {"crc", "qsort", "sha", "rijndael", "lzfx"};
+    const std::string workload = names[rng.nextBelow(5)];
+    const auto w =
+        workloads::makeWorkload(workload, workloads::nonvolatileLayout());
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.costs = arch::CostModel::cortexM0();
+    cfg.maxActivePeriods = 60000;
+
+    auto supply = randomSupply(rng);
+    runtime::Clank policy({});
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+
+    ASSERT_TRUE(stats.finished)
+        << workload << " seed " << GetParam() << ": " << stats.summary();
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i) {
+        ASSERT_EQ(s.resultWord(w.resultAddrs[i]), w.expected[i])
+            << workload << " seed " << GetParam() << " word " << i;
+    }
+}
+
+TEST_P(FuzzSeed, DinoSurvivesRandomHarvestedSupplies)
+{
+    Rng rng(0xD120 + static_cast<std::uint64_t>(GetParam()) * 104729);
+    const char *names[] = {"sense", "midi", "ds", "ar"};
+    const std::string workload = names[rng.nextBelow(4)];
+    const auto w =
+        workloads::makeWorkload(workload, workloads::volatileLayout());
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 60000;
+
+    // Larger capacitors for the volatile platform: each period must fit
+    // a payload restore plus a payload backup (~1M pJ round trip).
+    auto traces = energy::makePaperTraces(rng.next(), 20'000'000);
+    energy::Transducer tx(rng.nextDouble(0.4, 0.9),
+                          rng.nextDouble(1000.0, 3000.0), 16.0e6);
+    energy::Capacitor cap(rng.nextDouble(1.0e-6, 2.5e-6), 3.6, 3.0,
+                          2.2);
+    energy::HarvestingSupply supply(
+        std::move(traces[rng.nextBelow(3)]), tx, cap);
+
+    runtime::Dino policy({.sramUsedBytes = cfg.sramUsedBytes,
+                          .chargeDirtyBytesOnly = true});
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+
+    ASSERT_TRUE(stats.finished)
+        << workload << " seed " << GetParam() << ": " << stats.summary();
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i) {
+        ASSERT_EQ(s.resultWord(w.resultAddrs[i]), w.expected[i])
+            << workload << " seed " << GetParam() << " word " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(0, 10));
+
+TEST(SimulatorGuards, RunawayPeriodPanics)
+{
+    // A program that never halts with effectively infinite energy must
+    // hit the per-period instruction cap instead of hanging.
+    const auto w = workloads::makeWorkload(
+        "counter", workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.maxInstructionsPerPeriod = 10000;
+    runtime::Dino policy({.sramUsedBytes = 64});
+    energy::ConstantSupply supply(1.0e18);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    EXPECT_THROW(s.run(), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * End-to-end intermittent-execution correctness: every workload, run
+ * under every compatible backup policy with an energy budget small enough
+ * to force many power failures, must still produce exactly its reference
+ * results. This exercises the full stack — CPU, policies, double-buffered
+ * checkpoints, restores, re-execution — including the consistency
+ * hazards (mid-backup failure, dying stores) the machinery exists for.
+ *
+ * Policy/placement pairing follows the platforms the paper models:
+ * volatile-data policies (Mementos, DINO, Hibernus, Watchdog) run the
+ * SRAM placement; nonvolatile-data policies (Clank, NVP) run the FRAM
+ * placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+struct Combo
+{
+    std::string workload;
+    std::string policy;
+};
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<std::string> names = workloads::tableIINames();
+    for (const auto &n : workloads::mibenchNames())
+        names.push_back(n);
+    std::vector<Combo> combos;
+    for (const auto &w : names)
+        for (const auto &p : {"mementos", "dino", "hibernus", "watchdog",
+                              "clank", "nvp", "ratchet"})
+            combos.push_back({w, p});
+    return combos;
+}
+
+bool
+isVolatilePolicy(const std::string &p)
+{
+    return p == "mementos" || p == "dino" || p == "hibernus" ||
+           p == "watchdog";
+}
+
+std::unique_ptr<runtime::BackupPolicy>
+makePolicy(const std::string &name, std::size_t sram_used,
+           double budget = 0.0)
+{
+    if (name == "mementos") {
+        runtime::MementosConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Mementos>(c);
+    }
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    if (name == "hibernus") {
+        runtime::HibernusConfig c;
+        c.sramUsedBytes = sram_used;
+        // Real Hibernus derives its backup threshold from the energy
+        // the single backup needs; with too low a threshold the backup
+        // itself browns out every period.
+        const double backup_energy =
+            (static_cast<double>(sram_used) + 68.0) * 75.0;
+        c.backupThreshold = std::clamp(
+            budget > 0.0 ? 2.0 * backup_energy / budget : 0.15, 0.15,
+            0.85);
+        return std::make_unique<runtime::Hibernus>(c);
+    }
+    if (name == "watchdog") {
+        runtime::WatchdogConfig c;
+        c.sramUsedBytes = sram_used;
+        c.periodCycles = 2500;
+        return std::make_unique<runtime::Watchdog>(c);
+    }
+    if (name == "clank")
+        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    if (name == "ratchet")
+        return std::make_unique<runtime::Ratchet>(
+            runtime::RatchetConfig{.maxSectionCycles = 4000,
+                                   .archBytes = 80});
+    if (name == "nvp") {
+        runtime::NvpConfig c;
+        c.backupEveryInstructions = 1;
+        return std::make_unique<runtime::Nvp>(c);
+    }
+    ADD_FAILURE() << "unknown policy " << name;
+    return nullptr;
+}
+
+class IntermittentCorrectness : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(IntermittentCorrectness, ResultsSurvivePowerFailures)
+{
+    const auto &[wname, pname] = GetParam();
+    const bool vol = isVolatilePolicy(pname);
+    const auto layout = vol ? workloads::volatileLayout()
+                            : workloads::nonvolatileLayout();
+    const auto w = workloads::makeWorkload(wname, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+    cfg.maxActivePeriods = 30000;
+
+    // Size the budget from the uninterrupted run so every combination
+    // needs several active periods: restore + one payload backup must
+    // fit, but the whole program must not.
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    // The nonvolatile floor must exceed the longest backup-free
+    // stretch any policy allows (Ratchet/Clank watchdogs: 8000 cycles).
+    const double floor_budget = vol ? 2.0e6 : 1.0e6;
+    const double budget = std::max(floor_budget, golden.energy / 6.0);
+    energy::ConstantSupply supply(budget);
+    auto policy = makePolicy(pname, cfg.sramUsedBytes, budget);
+    ASSERT_NE(policy, nullptr);
+
+    sim::Simulator simulator(w.program, *policy, supply, cfg);
+    const auto stats = simulator.run();
+
+    ASSERT_TRUE(stats.finished)
+        << w.name << "/" << pname << " did not finish: "
+        << stats.summary();
+    if (pname == "hibernus") {
+        // Hibernus hibernates *before* power fails — the absence of
+        // brown-outs is its design goal; multiple periods still prove
+        // the run was interrupted and resumed.
+        EXPECT_GT(stats.periods, 1u) << w.name << "/" << pname;
+    } else {
+        EXPECT_GT(stats.powerFailures, 0u)
+            << w.name << "/" << pname
+            << " must actually experience power failures for this test "
+               "to mean anything";
+    }
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i) {
+        EXPECT_EQ(simulator.resultWord(w.resultAddrs[i]), w.expected[i])
+            << "result word " << i << " of " << w.name << " under "
+            << pname;
+    }
+    EXPECT_GT(stats.backups, 0u);
+    EXPECT_GT(stats.periods, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, IntermittentCorrectness,
+    ::testing::ValuesIn(allCombos()),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        return info.param.workload + "_" + info.param.policy;
+    });
+
+} // namespace

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the memory substrate: NVM cost tables and persistence, SRAM
+ * poisoning, the two-region address map, the write-back cache's dirty
+ * tracking at block and byte granularity, and the store queue used for
+ * alpha_B characterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "mem/cache.hh"
+#include "mem/nvm.hh"
+#include "mem/sram.hh"
+#include "mem/store_queue.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::mem;
+
+TEST(Nvm, RoundTripsData)
+{
+    Nvm nvm(1024, NvmTech::Fram);
+    const std::uint32_t v = 0xDEADBEEF;
+    nvm.store32(100, v);
+    EXPECT_EQ(nvm.load32(100), v);
+}
+
+TEST(Nvm, SurvivesPowerFailure)
+{
+    Nvm nvm(1024, NvmTech::Fram);
+    nvm.store32(0, 42);
+    nvm.powerFail();
+    EXPECT_EQ(nvm.load32(0), 42u);
+}
+
+TEST(Nvm, CostsScaleWithLength)
+{
+    Nvm nvm(4096, NvmTech::Fram);
+    const auto one = nvm.writeCost(1);
+    const auto many = nvm.writeCost(100);
+    EXPECT_NEAR(many.energy, 100.0 * one.energy, 1e-9);
+    EXPECT_GE(many.cycles, one.cycles);
+}
+
+TEST(Nvm, TechnologiesHaveThePaperAsymmetries)
+{
+    const auto fram = defaultCosts(NvmTech::Fram);
+    EXPECT_DOUBLE_EQ(fram.readEnergyPerByte, fram.writeEnergyPerByte);
+
+    const auto stt = defaultCosts(NvmTech::SttRam);
+    EXPECT_NEAR(stt.writeEnergyPerByte / stt.readEnergyPerByte, 10.0,
+                1e-9)
+        << "Section VI-A cites ~10x writes for STT-RAM";
+    EXPECT_NEAR(stt.readBandwidth / stt.writeBandwidth, 10.0, 1e-9);
+
+    const auto flash = defaultCosts(NvmTech::Flash);
+    EXPECT_GT(flash.writeEnergyPerByte / flash.readEnergyPerByte, 20.0);
+}
+
+TEST(Nvm, OutOfRangeIsFatal)
+{
+    Nvm nvm(64, NvmTech::Fram);
+    std::uint8_t buf[8];
+    EXPECT_THROW(nvm.read(60, buf, 8), FatalError);
+    EXPECT_THROW(nvm.write(64, buf, 1), FatalError);
+    EXPECT_NO_THROW(nvm.read(56, buf, 8));
+}
+
+TEST(Nvm, TracksWearCounters)
+{
+    Nvm nvm(128, NvmTech::Fram);
+    std::uint8_t buf[16] = {};
+    nvm.write(0, buf, 16);
+    nvm.read(0, buf, 8);
+    EXPECT_EQ(nvm.bytesWritten(), 16u);
+    EXPECT_EQ(nvm.bytesRead(), 8u);
+}
+
+TEST(Sram, PoisonsOnPowerFailure)
+{
+    Sram sram(64);
+    sram.store32(0, 0x12345678);
+    sram.powerFail();
+    EXPECT_EQ(sram.load32(0), 0xA5A5A5A5u);
+    EXPECT_EQ(sram.powerFailures(), 1u);
+}
+
+TEST(Sram, OutOfRangeIsFatal)
+{
+    Sram sram(16);
+    EXPECT_THROW(sram.load32(13), FatalError);
+    EXPECT_NO_THROW(sram.load32(12));
+}
+
+TEST(AddressSpace, RoutesByRegion)
+{
+    AddressSpace as(256, 1024, NvmTech::Fram);
+    EXPECT_FALSE(as.isNonvolatile(0));
+    EXPECT_FALSE(as.isNonvolatile(255));
+    EXPECT_TRUE(as.isNonvolatile(256));
+    EXPECT_EQ(as.limit(), 1280u);
+    EXPECT_THROW(as.isNonvolatile(1280), FatalError);
+}
+
+TEST(AddressSpace, SramAccessesAreFree)
+{
+    AddressSpace as(256, 1024, NvmTech::Fram);
+    MemAccessResult cost;
+    as.store32(16, 7, &cost);
+    EXPECT_EQ(cost.cycles, 0u);
+    EXPECT_DOUBLE_EQ(cost.energy, 0.0);
+    EXPECT_FALSE(cost.nonvolatile);
+    EXPECT_EQ(as.load32(16, &cost), 7u);
+}
+
+TEST(AddressSpace, NvmAccessesCost)
+{
+    AddressSpace as(256, 1024, NvmTech::Fram);
+    MemAccessResult cost;
+    as.store32(512, 9, &cost);
+    EXPECT_TRUE(cost.nonvolatile);
+    EXPECT_GT(cost.energy, 0.0);
+    EXPECT_EQ(as.load32(512, &cost), 9u);
+}
+
+TEST(AddressSpace, PowerFailurePoisonsOnlySram)
+{
+    AddressSpace as(256, 1024, NvmTech::Fram);
+    MemAccessResult cost;
+    as.store32(0, 111, &cost);
+    as.store32(600, 222, &cost);
+    as.powerFail();
+    EXPECT_EQ(as.load32(0, &cost), 0xA5A5A5A5u);
+    EXPECT_EQ(as.load32(600, &cost), 222u);
+}
+
+TEST(AddressSpace, StraddlingAccessIsFatal)
+{
+    AddressSpace as(256, 1024, NvmTech::Fram);
+    MemAccessResult cost;
+    EXPECT_THROW(as.load32(254, &cost), FatalError);
+}
+
+TEST(CachedAddressSpace, HitsAreFreeMissesPayBlockFill)
+{
+    AddressSpace as(256, 4096, NvmTech::Fram);
+    as.attachNvmCache(CacheGeometry{512, 2, 16});
+    MemAccessResult cost;
+    as.store32(1024, 7, &cost); // cold miss: block fill
+    EXPECT_GT(cost.energy, 0.0);
+    const double miss_energy = cost.energy;
+    as.store32(1028, 8, &cost); // same block: hit, free
+    EXPECT_DOUBLE_EQ(cost.energy, 0.0);
+    EXPECT_EQ(cost.cycles, 0u);
+    // Data is still immediately visible.
+    EXPECT_EQ(as.load32(1024, &cost), 7u);
+    EXPECT_EQ(as.load32(1028, &cost), 8u);
+    EXPECT_GT(miss_energy, 0.0);
+}
+
+TEST(CachedAddressSpace, DirtyEvictionPaysWriteback)
+{
+    AddressSpace as(256, 65536, NvmTech::SttRam);
+    as.attachNvmCache(CacheGeometry{64, 2, 16}); // 2 sets, 2 ways
+    MemAccessResult cost;
+    // Three dirty blocks mapping to one set: third access evicts dirty.
+    as.store32(1024, 1, &cost);
+    const double fill_only = cost.energy;
+    as.store32(1024 + 32, 2, &cost);
+    as.store32(1024 + 64, 3, &cost);
+    EXPECT_GT(cost.energy, fill_only)
+        << "dirty eviction must add an STT-RAM block write";
+}
+
+TEST(CachedAddressSpace, DrainChargesBlockGranularity)
+{
+    AddressSpace as(256, 4096, NvmTech::Fram);
+    as.attachNvmCache(CacheGeometry{512, 2, 16});
+    MemAccessResult cost;
+    as.store32(1024, 1, &cost);
+    as.store32(2048, 2, &cost);
+    const auto flush = as.drainCache();
+    EXPECT_EQ(flush.blocks, 2u);
+    EXPECT_EQ(flush.bytesBlock, 32u);
+    EXPECT_EQ(flush.bytesExact, 8u);
+    // Second drain: nothing left.
+    EXPECT_EQ(as.drainCache().blocks, 0u);
+}
+
+TEST(CachedAddressSpace, PowerFailureLosesTheCache)
+{
+    AddressSpace as(256, 4096, NvmTech::Fram);
+    as.attachNvmCache(CacheGeometry{512, 2, 16});
+    MemAccessResult cost;
+    as.store32(1024, 1, &cost);
+    as.powerFail();
+    EXPECT_EQ(as.drainCache().blocks, 0u) << "dirty state is volatile";
+    as.load32(1024, &cost);
+    EXPECT_GT(cost.energy, 0.0) << "cold again after the failure";
+    // NVM data itself survived (write-through data semantics).
+    EXPECT_EQ(as.load32(1024, &cost), 1u);
+}
+
+TEST(CachedAddressSpace, NoCacheDrainIsNoop)
+{
+    AddressSpace as(256, 4096, NvmTech::Fram);
+    EXPECT_FALSE(as.hasNvmCache());
+    EXPECT_EQ(as.drainCache().blocks, 0u);
+}
+
+TEST(Cache, HitsAfterFill)
+{
+    Cache c(CacheGeometry{256, 2, 16});
+    EXPECT_FALSE(c.access(0x100, 4, false)); // miss
+    EXPECT_TRUE(c.access(0x104, 4, false));  // same block
+    EXPECT_EQ(c.stats().loadMisses, 1u);
+    EXPECT_EQ(c.stats().loads, 2u);
+}
+
+TEST(Cache, TracksDirtyAtBothGranularities)
+{
+    Cache c(CacheGeometry{256, 2, 16});
+    c.access(0x100, 4, true); // dirty 4 bytes of one 16-byte block
+    const auto f = c.flushDirty();
+    EXPECT_EQ(f.blocks, 1u);
+    EXPECT_EQ(f.bytesBlock, 16u);
+    EXPECT_EQ(f.bytesExact, 4u);
+}
+
+TEST(Cache, BlockByteInflationIsBlockOverStore)
+{
+    // One 4-byte store per distinct block: backup traffic at block
+    // granularity is beta_block/beta_store times the true dirty bytes —
+    // the exact inflation the Section VI-A analysis uses.
+    Cache c(CacheGeometry{1024, 4, 16});
+    for (int i = 0; i < 8; ++i)
+        c.access(0x1000 + i * 16, 4, true);
+    const auto f = c.flushDirty();
+    EXPECT_EQ(f.blocks, 8u);
+    EXPECT_EQ(f.bytesBlock, 8u * 16u);
+    EXPECT_EQ(f.bytesExact, 8u * 4u);
+    EXPECT_EQ(f.bytesBlock / f.bytesExact, 4u); // 16 / 4
+}
+
+TEST(Cache, FlushCleansState)
+{
+    Cache c(CacheGeometry{256, 2, 16});
+    c.access(0x40, 4, true);
+    EXPECT_EQ(c.dirtyBlocks(), 1u);
+    c.flushDirty();
+    EXPECT_EQ(c.dirtyBlocks(), 0u);
+    const auto again = c.flushDirty();
+    EXPECT_EQ(again.blocks, 0u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // Direct-mapped-ish: 2 ways, force 3 blocks into one set.
+    Cache c(CacheGeometry{64, 2, 16}); // 2 sets, 2 ways
+    const std::uint64_t set_stride = 32; // blocks mapping to set 0
+    c.access(0 * set_stride, 4, false);
+    c.access(2 * set_stride, 4, false);
+    c.access(0 * set_stride, 4, false);     // touch to make way-0 MRU
+    c.access(4 * set_stride, 4, false);     // evicts 2*stride
+    EXPECT_TRUE(c.access(0 * set_stride, 4, false));
+    EXPECT_FALSE(c.access(2 * set_stride, 4, false)); // was evicted
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache c(CacheGeometry{64, 2, 16});
+    c.access(0, 4, true);
+    c.access(32, 4, true);
+    c.access(64, 4, true); // evicts a dirty line
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, InvalidateDropsEverything)
+{
+    Cache c(CacheGeometry{256, 2, 16});
+    c.access(0x10, 4, true);
+    c.invalidateAll();
+    EXPECT_EQ(c.dirtyBlocks(), 0u);
+    EXPECT_FALSE(c.access(0x10, 4, false));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(CacheGeometry{100, 2, 16}), FatalError);
+    EXPECT_THROW(Cache(CacheGeometry{256, 3, 16}), FatalError);
+    EXPECT_THROW(Cache(CacheGeometry{256, 2, 128}), FatalError);
+    EXPECT_THROW(Cache(CacheGeometry{16, 4, 16}), FatalError);
+}
+
+TEST(Cache, CrossBlockAccessIsRejected)
+{
+    Cache c(CacheGeometry{256, 2, 16});
+    EXPECT_THROW(c.access(14, 4, false), PanicError);
+}
+
+TEST(StoreQueue, CountsUniqueBytes)
+{
+    StoreQueue q;
+    q.recordStore(100, 4);
+    q.recordStore(102, 4); // overlaps two bytes
+    EXPECT_EQ(q.uniqueBytes(), 6u);
+    EXPECT_EQ(q.storeCount(), 2u);
+}
+
+TEST(StoreQueue, RepeatedStoresDoNotGrowFootprint)
+{
+    StoreQueue q;
+    for (int i = 0; i < 100; ++i)
+        q.recordStore(64, 4);
+    EXPECT_EQ(q.uniqueBytes(), 4u);
+    EXPECT_EQ(q.storeCount(), 100u);
+}
+
+TEST(StoreQueue, ClearAccumulatesLifetime)
+{
+    StoreQueue q;
+    q.recordStore(0, 8);
+    q.clear();
+    q.recordStore(100, 8);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.lifetimeUniqueBytes(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit and property tests for the EH model core (Section III): the
+ * energy-balance identity (Equation 1), the closed form of Equation 8,
+ * the single-backup form (Equation 12), dead-cycle bounds, and the
+ * structural monotonicities the paper's takeaways rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hh"
+#include "core/params.hh"
+#include "core/sweep.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using core::DeadCycleMode;
+using core::Model;
+using core::Params;
+
+/** Equation 8 transcribed literally from the paper. */
+double
+equation8(const Params &p)
+{
+    const double eps_net = p.execEnergy - p.chargeEnergy;
+    const double tau_d = p.backupPeriod / 2.0;
+    const double e_b = (p.backupCost - p.chargeEnergy / p.backupBandwidth) *
+                       (p.archStateBackup + p.appStateRate * p.backupPeriod);
+    const double e_d = eps_net * tau_d;
+    const double e_r =
+        (p.restoreCost - p.chargeEnergy / p.restoreBandwidth) *
+        (p.archStateRestore + p.appRestoreRate * tau_d);
+    const double num =
+        1.0 - e_d / p.energyBudget - e_r / p.energyBudget;
+    const double den = (1.0 + e_b / (eps_net * p.backupPeriod)) *
+                       (1.0 - p.chargeEnergy / p.execEnergy);
+    return num / den;
+}
+
+TEST(Model, MatchesEquation8Literally)
+{
+    for (double tau_b : {1.0, 5.0, 20.0, 100.0, 1000.0}) {
+        for (double omega : {0.0, 0.5, 1.0, 4.0}) {
+            Params p = core::illustrativeParams();
+            p.backupPeriod = tau_b;
+            p.backupCost = omega;
+            if (equation8(p) <= 0.0)
+                continue; // clamped region: the model reports 0
+            EXPECT_NEAR(Model(p).progress(), equation8(p), 1e-12)
+                << "tau_B=" << tau_b << " Omega_B=" << omega;
+        }
+    }
+}
+
+TEST(Model, MatchesEquation8WithChargingAndRestore)
+{
+    Params p = core::illustrativeParams();
+    p.chargeEnergy = 0.25;
+    p.restoreCost = 0.5;
+    p.archStateRestore = 2.0;
+    p.appRestoreRate = 0.05;
+    p.backupPeriod = 30.0;
+    EXPECT_NEAR(Model(p).progress(), equation8(p), 1e-12);
+}
+
+TEST(Model, EnergyBalanceHoldsWheneverProgressPositive)
+{
+    // Equation 1 must balance exactly: E = e_P + n_B e_B + e_D + e_R.
+    for (double tau_b : core::logspace(1.0, 5000.0, 25)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        p.restoreCost = 0.3;
+        p.archStateRestore = 1.5;
+        const auto b = Model(p).breakdown();
+        if (b.progress > 0.0) {
+            EXPECT_NEAR(b.residual, 0.0, 1e-9 * p.energyBudget)
+                << "tau_B=" << tau_b;
+        } else {
+            EXPECT_GE(b.residual, 0.0);
+        }
+    }
+}
+
+TEST(Model, ProgressWithinUnitIntervalWithoutCharging)
+{
+    for (double tau_b : core::logspace(0.1, 1e6, 40)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        const double prog = Model(p).progress();
+        EXPECT_GE(prog, 0.0);
+        EXPECT_LE(prog, 1.0) << "tau_B=" << tau_b;
+    }
+}
+
+TEST(Model, DeadCycleBoundsOrdered)
+{
+    // Best case >= average >= worst case, for any parameters
+    // (Section IV-A2, Figure 4).
+    for (double tau_b : core::logspace(1.0, 10000.0, 20)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        Model m(p);
+        const double best = m.progress(DeadCycleMode::BestCase);
+        const double avg = m.progress(DeadCycleMode::Average);
+        const double worst = m.progress(DeadCycleMode::WorstCase);
+        EXPECT_GE(best, avg);
+        EXPECT_GE(avg, worst);
+    }
+}
+
+TEST(Model, VariabilityShrinksWithSmallBackupPeriods)
+{
+    // Figure 4's first takeaway: the best/worst spread narrows as
+    // tau_B approaches 0.
+    Params p = core::illustrativeParams();
+    auto spread = [&](double tau_b) {
+        Model m(Model(p).withBackupPeriod(tau_b).params());
+        return m.progress(DeadCycleMode::BestCase) -
+               m.progress(DeadCycleMode::WorstCase);
+    };
+    EXPECT_LT(spread(1.0), spread(10.0));
+    EXPECT_LT(spread(10.0), spread(100.0));
+}
+
+TEST(Model, ReducingBackupCostAlwaysHelps)
+{
+    // "Reducing backup cost is always better" (Section IV-A1).
+    for (double tau_b : {2.0, 10.0, 50.0, 300.0}) {
+        double last = -1.0;
+        for (double omega : {4.0, 2.0, 1.0, 0.5, 0.0}) {
+            Params p = core::illustrativeParams();
+            p.backupPeriod = tau_b;
+            p.backupCost = omega;
+            const double prog = Model(p).progress();
+            EXPECT_GE(prog, last);
+            last = prog;
+        }
+    }
+}
+
+TEST(Model, ZeroArchStateMakesProgressMonotoneInBackupPeriod)
+{
+    // Figure 3: with A_B = 0 there is no sweet spot — progress is
+    // monotonically non-increasing in tau_B.
+    Params p = core::illustrativeParams();
+    p.archStateBackup = 0.0;
+    double last = 2.0;
+    for (double tau_b : core::logspace(0.01, 10000.0, 50)) {
+        const double prog = Model(p).withBackupPeriod(tau_b).progress();
+        EXPECT_LE(prog, last + 1e-12) << "tau_B=" << tau_b;
+        last = prog;
+    }
+}
+
+TEST(Model, ZeroArchStateLimitAtTinyPeriods)
+{
+    // With A_B = 0 the backup rate e_B / tau_B is the constant
+    // Omega_B * alpha_B, so lim tau_B -> 0 of p is
+    // 1 / (1 + Omega_B alpha_B / eps) — which reaches the paper's
+    // "p -> 1" statement as the per-cycle backup cost vanishes
+    // (Section IV-A1).
+    Params p = core::illustrativeParams();
+    p.archStateBackup = 0.0;
+    const double expected =
+        1.0 / (1.0 + p.backupCost * p.appStateRate / p.execEnergy);
+    EXPECT_NEAR(Model(p).withBackupPeriod(1e-7).progress(), expected,
+                1e-6);
+
+    p.appStateRate = 1e-9; // negligible application state
+    EXPECT_NEAR(Model(p).withBackupPeriod(1e-7).progress(), 1.0, 1e-6);
+}
+
+TEST(Model, ChargingIncreasesProgress)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 20.0;
+    const double base = Model(p).progress();
+    p.chargeEnergy = 0.3;
+    EXPECT_GT(Model(p).progress(), base);
+}
+
+TEST(Model, ChargingCanPushProgressAboveOne)
+{
+    // As epsilon_C approaches epsilon, p grows without bound
+    // (Section III).
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 5.0;
+    p.backupCost = 0.8; // stays above epsilon_C / sigma_B
+    p.chargeEnergy = 0.6;
+    EXPECT_GT(Model(p).progress(), 1.0);
+}
+
+TEST(Model, SingleBackupMatchesEquation12)
+{
+    Params p = core::illustrativeParams();
+    p.chargeEnergy = 0.2;
+    p.restoreCost = 0.4;
+    p.archStateRestore = 3.0;
+    const double eff_b =
+        p.backupCost - p.chargeEnergy / p.backupBandwidth;
+    const double e_r =
+        (p.restoreCost - p.chargeEnergy / p.restoreBandwidth) *
+        p.archStateRestore;
+    const double num = 1.0 -
+                       eff_b * p.archStateBackup / p.energyBudget -
+                       e_r / p.energyBudget;
+    const double den =
+        (1.0 + eff_b * p.appStateRate /
+                   (p.execEnergy - p.chargeEnergy)) *
+        (1.0 - p.chargeEnergy / p.execEnergy);
+    EXPECT_NEAR(Model(p).singleBackupProgress(), num / den, 1e-12);
+}
+
+TEST(Model, SingleBackupIsGeneralModelAtExtremes)
+{
+    // Equation 12 == the general solver with tau_B = tau_P, tau_D = 0.
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.2;
+    p.archStateRestore = 2.0;
+    const double single = Model(p).singleBackupProgress();
+    // Find tau_B = tau_P self-consistently by fixed-point iteration on
+    // the general model with best-case dead cycles.
+    double tau = 50.0;
+    for (int i = 0; i < 200; ++i) {
+        Model m = Model(p).withBackupPeriod(tau);
+        const double tau_p = m.progressCycles(0.0);
+        if (std::abs(tau_p - tau) < 1e-10)
+            break;
+        tau = tau_p;
+    }
+    const double general =
+        Model(p).withBackupPeriod(tau).progressAt(0.0);
+    EXPECT_NEAR(single, general, 1e-6);
+}
+
+TEST(Model, InfeasiblePeriodYieldsZeroProgress)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 300.0; // dead energy alone (150) > E? no: E=100
+    // average tau_D = 150 cycles at eps 1 = 150 > E = 100.
+    EXPECT_EQ(Model(p).progress(), 0.0);
+    EXPECT_EQ(Model(p).breakdown().progressCycles, 0.0);
+}
+
+TEST(Model, BreakdownComponentsNonNegative)
+{
+    for (double tau_b : core::logspace(1.0, 1e5, 30)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        p.restoreCost = 0.2;
+        p.archStateRestore = 1.0;
+        const auto b = Model(p).breakdown();
+        EXPECT_GE(b.progressCycles, 0.0);
+        EXPECT_GE(b.backupEnergy, 0.0);
+        EXPECT_GE(b.deadEnergy, 0.0);
+        EXPECT_GE(b.restoreEnergy, 0.0);
+    }
+}
+
+TEST(Model, WithersPreserveOtherParams)
+{
+    const Params p = core::illustrativeParams();
+    const Model m(p);
+    const Model m2 = m.withBackupPeriod(42.0).withAppStateRate(0.7);
+    EXPECT_EQ(m2.params().backupPeriod, 42.0);
+    EXPECT_EQ(m2.params().appStateRate, 0.7);
+    EXPECT_EQ(m2.params().energyBudget, p.energyBudget);
+    EXPECT_EQ(m2.params().backupCost, p.backupCost);
+}
+
+TEST(Params, ValidationCatchesEveryDomainViolation)
+{
+    auto expectInvalid = [](auto mutate) {
+        Params p = core::illustrativeParams();
+        mutate(p);
+        EXPECT_THROW(p.validate(), FatalError);
+        EXPECT_FALSE(p.valid());
+    };
+    expectInvalid([](Params &p) { p.energyBudget = 0.0; });
+    expectInvalid([](Params &p) { p.energyBudget = -5.0; });
+    expectInvalid([](Params &p) { p.execEnergy = 0.0; });
+    expectInvalid([](Params &p) { p.chargeEnergy = -1.0; });
+    expectInvalid([](Params &p) { p.chargeEnergy = p.execEnergy; });
+    expectInvalid([](Params &p) { p.backupPeriod = 0.0; });
+    expectInvalid([](Params &p) { p.backupBandwidth = 0.0; });
+    expectInvalid([](Params &p) { p.backupCost = -0.1; });
+    expectInvalid([](Params &p) { p.archStateBackup = -1.0; });
+    expectInvalid([](Params &p) { p.appStateRate = -1.0; });
+    expectInvalid([](Params &p) { p.restoreBandwidth = 0.0; });
+    expectInvalid([](Params &p) { p.restoreCost = -0.1; });
+    expectInvalid([](Params &p) { p.archStateRestore = -1.0; });
+    expectInvalid([](Params &p) { p.appRestoreRate = -1.0; });
+}
+
+TEST(Params, PresetsAreValid)
+{
+    EXPECT_NO_THROW(core::illustrativeParams().validate());
+    EXPECT_NO_THROW(core::msp430Params().validate());
+    EXPECT_NO_THROW(core::msp430Params(0.125).validate());
+    EXPECT_NO_THROW(core::cortexM0Params().validate());
+    EXPECT_NO_THROW(core::nvpParams().validate());
+}
+
+TEST(Params, Msp430EnergyMatchesPaperMeasurements)
+{
+    const Params p = core::msp430Params();
+    // 1.05 mW at 16 MHz = 65.625 pJ per cycle.
+    EXPECT_NEAR(p.execEnergy, 65.625, 1e-9);
+    // Load/store power 1.2 mW -> 75 pJ per byte at 1 byte/cycle.
+    EXPECT_NEAR(p.backupCost, 75.0, 1e-9);
+    // A 0.25 s active period holds 4M cycles of execution energy.
+    EXPECT_NEAR(p.energyBudget, 65.625 * 4.0e6, 1.0);
+}
+
+TEST(Params, DescribeMentionsEveryParameter)
+{
+    const auto text = core::illustrativeParams().describe();
+    for (const char *token :
+         {"E=", "eps=", "epsC=", "tauB=", "sigmaB=", "OmegaB=", "A_B=",
+          "alphaB=", "sigmaR=", "OmegaR=", "A_R=", "alphaR="}) {
+        EXPECT_NE(text.find(token), std::string::npos) << token;
+    }
+}
+
+} // namespace

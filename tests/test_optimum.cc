@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Property tests for the closed-form optima of Section IV. Each equation
+ * is validated against numeric optimization of the general model under
+ * the paper's derivation assumptions, and the structural claims —
+ * worst-case optimum below average-case optimum, break-even behaviour of
+ * the backup/restore derivatives — are checked across parameter grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "core/sweep.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using core::DeadCycleMode;
+using core::Model;
+using core::Params;
+
+/** Parameter grid under the paper's derivation assumptions. */
+std::vector<Params>
+paperAssumptionGrid()
+{
+    std::vector<Params> grid;
+    for (double e : {50.0, 100.0, 1000.0}) {
+        for (double omega : {0.25, 1.0, 4.0}) {
+            for (double arch : {0.5, 1.0, 8.0}) {
+                for (double alpha : {0.0, 0.1, 0.5}) {
+                    Params p = core::illustrativeParams();
+                    p.energyBudget = e;
+                    p.backupCost = omega;
+                    p.archStateBackup = arch;
+                    p.appStateRate = alpha;
+                    grid.push_back(p);
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+TEST(Optimum, Equation9MatchesNumericArgmax)
+{
+    for (const auto &p : paperAssumptionGrid()) {
+        const double closed = core::optimalBackupPeriod(p);
+        const double numeric = core::numericOptimalBackupPeriod(
+            p, DeadCycleMode::Average, 1e-3, 1e7);
+        // Relative agreement; the numeric argmax is exact to the golden-
+        // section tolerance.
+        EXPECT_NEAR(closed, numeric, 1e-4 * std::max(closed, 1.0))
+            << p.describe();
+    }
+}
+
+TEST(Optimum, Equation10MatchesNumericWorstCaseArgmax)
+{
+    for (const auto &p : paperAssumptionGrid()) {
+        const double closed = core::worstCaseOptimalBackupPeriod(p);
+        const double numeric = core::numericOptimalBackupPeriod(
+            p, DeadCycleMode::WorstCase, 1e-3, 1e7);
+        EXPECT_NEAR(closed, numeric, 1e-4 * std::max(closed, 1.0))
+            << p.describe();
+    }
+}
+
+TEST(Optimum, WorstCaseOptimumStrictlyBelowAverageOptimum)
+{
+    // Section IV-A2's key takeaway: tau_B,opt(wc) < tau_B,opt, always,
+    // for A_B > 0.
+    for (const auto &p : paperAssumptionGrid()) {
+        if (p.archStateBackup <= 0.0)
+            continue;
+        EXPECT_LT(core::worstCaseOptimalBackupPeriod(p),
+                  core::optimalBackupPeriod(p))
+            << p.describe();
+    }
+}
+
+TEST(Optimum, ZeroArchStateGivesZeroOptimalPeriod)
+{
+    Params p = core::illustrativeParams();
+    p.archStateBackup = 0.0;
+    EXPECT_EQ(core::optimalBackupPeriod(p), 0.0);
+    EXPECT_EQ(core::worstCaseOptimalBackupPeriod(p), 0.0);
+    EXPECT_EQ(core::bitPrecisionOptimalPeriod(p), 0.0);
+}
+
+TEST(Optimum, Equation9ClosedFormValue)
+{
+    // Hand-computed instance: E=100, eps=1, Omega_B=1, A_B=1,
+    // alpha_B=0.1 -> k=1, m=1.1,
+    // tau_opt = (1/1.1) * (sqrt(2*100*1.1 + 1) - 1).
+    const Params p = core::illustrativeParams();
+    const double expected = (1.0 / 1.1) * (std::sqrt(221.0) - 1.0);
+    EXPECT_NEAR(core::optimalBackupPeriod(p), expected, 1e-12);
+}
+
+TEST(Optimum, BreakEvenMatchesEquation11)
+{
+    EXPECT_NEAR(core::breakEvenBackupPeriod(100.0, 10.0, 5.0, 1.0),
+                2.0 / 3.0 * 85.0, 1e-12);
+    EXPECT_THROW(core::breakEvenBackupPeriod(0.0, 1.0, 1.0, 1.0),
+                 PanicError);
+}
+
+TEST(Optimum, DerivativesEqualAtBreakEvenPeriod)
+{
+    // At tau_B,be the marginal benefit of shaving backup energy equals
+    // that of shaving restore energy (Section IV-A3).
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.5;
+    p.archStateRestore = 2.0;
+    const double tau_be = core::breakEvenBackupPeriodFixedPoint(p);
+    ASSERT_GT(tau_be, 0.0);
+    p.backupPeriod = tau_be;
+    const double d_b = core::progressPerBackupEnergy(p);
+    const double d_r = core::progressPerRestoreEnergy(p);
+    EXPECT_LT(d_b, 0.0);
+    EXPECT_LT(d_r, 0.0);
+    EXPECT_NEAR(d_b, d_r, 1e-6 * std::abs(d_b));
+}
+
+TEST(Optimum, BackupMattersBelowBreakEvenRestoreAbove)
+{
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.5;
+    p.archStateRestore = 2.0;
+    const double tau_be = core::breakEvenBackupPeriodFixedPoint(p);
+    ASSERT_GT(tau_be, 1.0);
+
+    // Below break-even: backup reduction is the better lever
+    // (more negative derivative).
+    Params below = p;
+    below.backupPeriod = tau_be / 2.0;
+    EXPECT_LT(core::progressPerBackupEnergy(below),
+              core::progressPerRestoreEnergy(below));
+
+    // Above break-even: restore reduction wins.
+    Params above = p;
+    above.backupPeriod = tau_be * 1.4;
+    EXPECT_GT(core::progressPerBackupEnergy(above),
+              core::progressPerRestoreEnergy(above));
+}
+
+TEST(Optimum, DerivativesMatchFiniteDifferences)
+{
+    // dp/de_B and dp/de_R analytic forms vs central differences on a
+    // model where e_B / e_R are perturbed via Omega scaling.
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.4;
+    p.archStateRestore = 2.0;
+    p.backupPeriod = 25.0;
+    Model m(p);
+
+    const double e_b = m.backupEnergyPerBackup();
+    const double e_r = m.restoreEnergy(p.backupPeriod / 2.0);
+    ASSERT_GT(e_b, 0.0);
+    ASSERT_GT(e_r, 0.0);
+
+    // Perturb e_B by scaling Omega_B (A_B + alpha tau fixed).
+    auto progress_with_backup_energy = [&](double target) {
+        Params q = p;
+        q.backupCost = p.backupCost * target / e_b;
+        return Model(q).progress();
+    };
+    const double num_db = core::numericDerivative(
+        progress_with_backup_energy, e_b, 1e-5 * e_b);
+    EXPECT_NEAR(core::progressPerBackupEnergy(p), num_db,
+                1e-5 * std::abs(num_db));
+
+    auto progress_with_restore_energy = [&](double target) {
+        Params q = p;
+        q.restoreCost = p.restoreCost * target / e_r;
+        return Model(q).progress();
+    };
+    const double num_dr = core::numericDerivative(
+        progress_with_restore_energy, e_r, 1e-5 * e_r);
+    EXPECT_NEAR(core::progressPerRestoreEnergy(p), num_dr,
+                1e-5 * std::abs(num_dr));
+}
+
+TEST(Optimum, GoldenSectionFindsParabolaMaximum)
+{
+    const double x = core::goldenSectionMaximize(
+        [](double v) { return -(v - 3.25) * (v - 3.25); }, 0.0, 10.0);
+    EXPECT_NEAR(x, 3.25, 1e-7);
+}
+
+TEST(Optimum, GoldenSectionRejectsEmptyBracket)
+{
+    EXPECT_THROW(core::goldenSectionMaximize([](double v) { return v; },
+                                             1.0, 1.0),
+                 PanicError);
+}
+
+TEST(Optimum, BitPrecisionPeriodExceedsProgressOptimum)
+{
+    // tau_B,bit has scale 3/2 and a larger sqrt factor, so it always
+    // exceeds tau_B,opt for the same parameters.
+    for (const auto &p : paperAssumptionGrid()) {
+        if (p.archStateBackup <= 0.0)
+            continue;
+        EXPECT_GT(core::bitPrecisionOptimalPeriod(p),
+                  core::optimalBackupPeriod(p))
+            << p.describe();
+    }
+}
+
+TEST(Optimum, Equation16MaximizesAppStateSensitivity)
+{
+    // |dp/dalpha_B| as a function of tau_B peaks at Equation 16's root.
+    Params p = core::illustrativeParams();
+    const double tau_bit = core::bitPrecisionOptimalPeriod(p);
+    ASSERT_GT(tau_bit, 0.0);
+
+    auto magnitude = [&](double tau) {
+        Params q = p;
+        q.backupPeriod = tau;
+        // Closed form of |dp/dalpha_B| (Section VI-C).
+        const double x = tau;
+        const double a = q.execEnergy / (2.0 * q.energyBudget);
+        const double k = q.backupCost * q.archStateBackup;
+        const double mm = q.backupCost * q.appStateRate + q.execEnergy;
+        const double live = 1.0 - a * x;
+        if (live <= 0.0)
+            return 0.0;
+        const double denom = k + mm * x;
+        return q.backupCost * q.execEnergy * x * x * live /
+               (denom * denom);
+    };
+    const double numeric = core::goldenSectionMaximize(
+        [&](double log_tau) { return magnitude(std::exp(log_tau)); },
+        std::log(0.1), std::log(1e6), 1e-12);
+    EXPECT_NEAR(tau_bit, std::exp(numeric),
+                1e-5 * std::max(tau_bit, 1.0));
+}
+
+TEST(Optimum, FixedPointBreakEvenIsSelfConsistent)
+{
+    Params p = core::illustrativeParams();
+    p.restoreCost = 0.3;
+    p.archStateRestore = 1.0;
+    const double tau = core::breakEvenBackupPeriodFixedPoint(p);
+    ASSERT_GT(tau, 0.0);
+    Model m(p);
+    const double e_b = m.backupEnergyPerBackup(tau);
+    const double e_r = m.restoreEnergy(tau / 2.0);
+    EXPECT_NEAR(tau,
+                core::breakEvenBackupPeriod(p.energyBudget, e_b, e_r,
+                                            p.execEnergy),
+                1e-6 * tau);
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit tests for each backup policy's decision logic, independent of the
+ * full simulator: trigger conditions, charged byte accounting, and
+ * bookkeeping across backups / power failures / restores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
+#include "runtime/watchdog.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::runtime;
+
+/** Minimal CPU/peek stand-ins for policies that ignore them. */
+struct Fixture
+{
+    arch::Program prog;
+    mem::AddressSpace mem{256, 65536, mem::NvmTech::Fram};
+    arch::Cpu cpu;
+
+    Fixture()
+        : prog{"noop",
+               {arch::Instruction{arch::Opcode::Nop, 0, 0, 0, 0}},
+               {}},
+          cpu(prog, mem, arch::CostModel::msp430())
+    {
+        cpu.reset();
+    }
+};
+
+arch::StepResult
+aluStep(std::uint64_t cycles = 1)
+{
+    arch::StepResult r;
+    r.cls = arch::InstrClass::Alu;
+    r.cycles = cycles;
+    r.energy = 65.0 * static_cast<double>(cycles);
+    return r;
+}
+
+arch::StepResult
+volatileStore(std::uint64_t addr, std::uint32_t bytes)
+{
+    arch::StepResult r;
+    r.cls = arch::InstrClass::Store;
+    r.cycles = 2;
+    r.energy = 150.0;
+    r.isMem = true;
+    r.memIsStore = true;
+    r.memNonvolatile = false;
+    r.memAddr = addr;
+    r.memBytes = bytes;
+    return r;
+}
+
+arch::MemPeek
+nvStorePeek(std::uint64_t addr, std::uint32_t bytes = 4)
+{
+    arch::MemPeek p;
+    p.isMem = true;
+    p.isStore = true;
+    p.addr = addr;
+    p.bytes = bytes;
+    p.nonvolatile = true;
+    return p;
+}
+
+arch::MemPeek
+nvLoadPeek(std::uint64_t addr, std::uint32_t bytes = 4)
+{
+    auto p = nvStorePeek(addr, bytes);
+    p.isStore = false;
+    return p;
+}
+
+TEST(HibernusPolicy, BacksUpBelowThresholdOnly)
+{
+    Fixture f;
+    Hibernus h({.backupThreshold = 0.2,
+                .monitorPeriod = 10,
+                .adcCycles = 2,
+                .adcEnergy = 50.0,
+                .sramUsedBytes = 256});
+    // Before the monitor period elapses: no check at all.
+    auto d = h.beforeStep(f.cpu, {}, {1000.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::Continue);
+    EXPECT_EQ(d.monitorCycles, 0u);
+
+    // Advance past the monitor period with a healthy supply.
+    h.afterStep(f.cpu, aluStep(12));
+    d = h.beforeStep(f.cpu, {}, {900.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::Continue);
+    EXPECT_EQ(d.monitorCycles, 2u) << "an ADC check was due";
+    EXPECT_EQ(h.adcChecks(), 1u);
+
+    // Low supply at the next due check: hibernate.
+    h.afterStep(f.cpu, aluStep(12));
+    d = h.beforeStep(f.cpu, {}, {100.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::BackupAndSleep);
+}
+
+TEST(HibernusPolicy, StaysAsleepAfterItsBackup)
+{
+    Fixture f;
+    Hibernus h({.backupThreshold = 0.5,
+                .monitorPeriod = 1,
+                .sramUsedBytes = 128});
+    h.afterStep(f.cpu, aluStep(2));
+    auto d = h.beforeStep(f.cpu, {}, {10.0, 1000.0});
+    ASSERT_EQ(d.action, PolicyAction::BackupAndSleep);
+    h.onBackupCommitted({1.0, 1.0});
+    h.afterStep(f.cpu, aluStep(2));
+    d = h.beforeStep(f.cpu, {}, {5.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::Continue)
+        << "no second backup in the same period";
+    h.onRestore();
+    h.afterStep(f.cpu, aluStep(2));
+    d = h.beforeStep(f.cpu, {}, {5.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::BackupAndSleep)
+        << "re-armed for the next period";
+}
+
+TEST(HibernusPolicy, ChargesFullSramPerBackup)
+{
+    Hibernus h({.sramUsedBytes = 777});
+    EXPECT_EQ(h.chargedAppBackupBytes(), 777u);
+    EXPECT_TRUE(h.savesVolatilePayload());
+}
+
+TEST(HibernusPolicy, RejectsBadThreshold)
+{
+    EXPECT_THROW(Hibernus({.backupThreshold = 0.0}), FatalError);
+    EXPECT_THROW(Hibernus({.backupThreshold = 1.0}), FatalError);
+}
+
+TEST(MementosPolicy, BacksUpAtCheckpointWhenLow)
+{
+    Mementos m({.backupThreshold = 0.5,
+                .checkCycles = 3,
+                .checkEnergy = 30.0,
+                .sramUsedBytes = 256});
+    auto d = m.onCheckpointOp({800.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::Continue);
+    EXPECT_EQ(d.monitorCycles, 3u);
+    d = m.onCheckpointOp({300.0, 1000.0});
+    EXPECT_EQ(d.action, PolicyAction::Backup);
+    EXPECT_EQ(m.checkpointsSeen(), 2u);
+    EXPECT_EQ(m.checkpointsTaken(), 1u);
+}
+
+TEST(MementosPolicy, IgnoresOrdinarySteps)
+{
+    Fixture f;
+    Mementos m({.sramUsedBytes = 64});
+    for (int i = 0; i < 100; ++i) {
+        m.afterStep(f.cpu, aluStep());
+        EXPECT_EQ(m.beforeStep(f.cpu, {}, {1.0, 1000.0}).action,
+                  PolicyAction::Continue);
+    }
+}
+
+TEST(DinoPolicy, CommitsUnconditionallyAtTaskBoundaries)
+{
+    Dino d({.sramUsedBytes = 512});
+    EXPECT_EQ(d.onCheckpointOp({999.0, 1000.0}).action,
+              PolicyAction::Backup);
+    EXPECT_EQ(d.onCheckpointOp({1.0, 1000.0}).action,
+              PolicyAction::Backup);
+}
+
+TEST(DinoPolicy, ChargesOnlyDirtyBytes)
+{
+    Fixture f;
+    Dino d({.sramUsedBytes = 512, .chargeDirtyBytesOnly = true});
+    EXPECT_EQ(d.chargedAppBackupBytes(), 0u);
+    d.afterStep(f.cpu, volatileStore(100, 4));
+    d.afterStep(f.cpu, volatileStore(100, 4)); // same bytes
+    d.afterStep(f.cpu, volatileStore(200, 2));
+    EXPECT_EQ(d.chargedAppBackupBytes(), 6u);
+    d.onBackupCommitted({1.0, 1.0});
+    EXPECT_EQ(d.chargedAppBackupBytes(), 0u);
+    EXPECT_EQ(d.tasksCommitted(), 1u);
+}
+
+TEST(DinoPolicy, IgnoresNonvolatileStores)
+{
+    Fixture f;
+    Dino d({.sramUsedBytes = 512});
+    auto store = volatileStore(4096, 4);
+    store.memNonvolatile = true;
+    d.afterStep(f.cpu, store);
+    EXPECT_EQ(d.chargedAppBackupBytes(), 0u)
+        << "NVM stores are already durable";
+}
+
+TEST(DinoPolicy, CanChargeWholeRegion)
+{
+    Dino d({.sramUsedBytes = 512, .chargeDirtyBytesOnly = false});
+    EXPECT_EQ(d.chargedAppBackupBytes(), 512u);
+}
+
+TEST(ClankPolicy, ViolationForcesPreStoreBackup)
+{
+    Fixture f;
+    Clank c({});
+    // Load then store to the same NV word: the store must trigger.
+    EXPECT_EQ(c.beforeStep(f.cpu, nvLoadPeek(4096), {1.0, 1.0}).action,
+              PolicyAction::Continue);
+    auto d = c.beforeStep(f.cpu, nvStorePeek(4096), {1.0, 1.0});
+    EXPECT_EQ(d.action, PolicyAction::Backup);
+    EXPECT_EQ(d.reason, arch::BackupTrigger::Violation);
+    // After the backup commits, the same store is clean.
+    c.onBackupCommitted({1.0, 1.0});
+    EXPECT_EQ(c.beforeStep(f.cpu, nvStorePeek(4096), {1.0, 1.0}).action,
+              PolicyAction::Continue);
+}
+
+TEST(ClankPolicy, WatchdogFires)
+{
+    Fixture f;
+    Clank c({.watchdogCycles = 100});
+    c.afterStep(f.cpu, aluStep(99));
+    EXPECT_EQ(c.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+              PolicyAction::Continue);
+    c.afterStep(f.cpu, aluStep(1));
+    auto d = c.beforeStep(f.cpu, {}, {1.0, 1.0});
+    EXPECT_EQ(d.action, PolicyAction::Backup);
+    EXPECT_EQ(d.reason, arch::BackupTrigger::Watchdog);
+}
+
+TEST(ClankPolicy, ChargesArchOnlyAndNoPayload)
+{
+    Clank c({.archBytes = 80});
+    EXPECT_EQ(c.chargedAppBackupBytes(), 0u);
+    EXPECT_EQ(c.chargedArchBytes(), 80u);
+    EXPECT_FALSE(c.savesVolatilePayload());
+}
+
+TEST(ClankPolicy, VolatileAccessesAreNotTracked)
+{
+    Fixture f;
+    Clank c({});
+    auto peek = nvLoadPeek(16);
+    peek.nonvolatile = false;
+    c.beforeStep(f.cpu, peek, {1.0, 1.0});
+    auto store = nvStorePeek(16);
+    store.nonvolatile = false;
+    EXPECT_EQ(c.beforeStep(f.cpu, store, {1.0, 1.0}).action,
+              PolicyAction::Continue);
+    EXPECT_EQ(c.tracker().stats().loadsObserved, 0u);
+}
+
+TEST(NvpPolicy, BacksUpEveryNInstructions)
+{
+    Fixture f;
+    Nvp n({.backupEveryInstructions = 3, .archBytes = 4});
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(n.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+                  PolicyAction::Continue)
+            << i;
+        n.afterStep(f.cpu, aluStep());
+    }
+    EXPECT_EQ(n.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+              PolicyAction::Backup);
+    n.onBackupCommitted({1.0, 1.0});
+    EXPECT_EQ(n.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+              PolicyAction::Continue);
+}
+
+TEST(NvpPolicy, RejectsZeroInterval)
+{
+    EXPECT_THROW(Nvp({.backupEveryInstructions = 0}), FatalError);
+}
+
+TEST(RatchetPolicy, AnyStoreAfterLoadBreaksSection)
+{
+    Fixture f;
+    Ratchet r({});
+    // Store before any load: no break (write-first sections are safe).
+    EXPECT_EQ(r.beforeStep(f.cpu, nvStorePeek(4096), {1.0, 1.0}).action,
+              PolicyAction::Continue);
+    // A load anywhere...
+    auto load = nvLoadPeek(8192);
+    r.beforeStep(f.cpu, load, {1.0, 1.0});
+    auto step = volatileStore(8192, 4);
+    step.memNonvolatile = true;
+    step.memIsStore = false; // it was a load
+    r.afterStep(f.cpu, step);
+    // ...makes the NEXT store — to a different address — break too
+    // (the compiler cannot prove it is not a WAR).
+    auto d = r.beforeStep(f.cpu, nvStorePeek(4096), {1.0, 1.0});
+    EXPECT_EQ(d.action, PolicyAction::Backup);
+    EXPECT_EQ(d.reason, arch::BackupTrigger::Violation);
+    EXPECT_EQ(r.warBreaks(), 1u);
+    // After the checkpoint the section is clean again.
+    r.onBackupCommitted({1.0, 1.0});
+    EXPECT_EQ(r.beforeStep(f.cpu, nvStorePeek(4096), {1.0, 1.0}).action,
+              PolicyAction::Continue);
+}
+
+TEST(RatchetPolicy, SectionCapActsAsWatchdog)
+{
+    Fixture f;
+    Ratchet r({.maxSectionCycles = 100, .archBytes = 80});
+    r.afterStep(f.cpu, aluStep(100));
+    auto d = r.beforeStep(f.cpu, {}, {1.0, 1.0});
+    EXPECT_EQ(d.action, PolicyAction::Backup);
+    EXPECT_EQ(d.reason, arch::BackupTrigger::Watchdog);
+}
+
+TEST(RatchetPolicy, VolatileTrafficIsIgnored)
+{
+    Fixture f;
+    Ratchet r({});
+    auto load = volatileStore(16, 4);
+    load.memIsStore = false; // SRAM load
+    r.afterStep(f.cpu, load);
+    auto store = nvStorePeek(4096);
+    store.nonvolatile = false; // SRAM store
+    EXPECT_EQ(r.beforeStep(f.cpu, store, {1.0, 1.0}).action,
+              PolicyAction::Continue);
+}
+
+TEST(WatchdogPolicy, FiresOnCycleBudget)
+{
+    Fixture f;
+    Watchdog w({.periodCycles = 50, .sramUsedBytes = 64});
+    w.afterStep(f.cpu, aluStep(49));
+    EXPECT_EQ(w.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+              PolicyAction::Continue);
+    w.afterStep(f.cpu, aluStep(1));
+    EXPECT_EQ(w.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+              PolicyAction::Backup);
+    EXPECT_EQ(w.cyclesSinceBackup(), 50u);
+    w.onBackupCommitted({1.0, 1.0});
+    EXPECT_EQ(w.cyclesSinceBackup(), 0u);
+}
+
+TEST(WatchdogPolicy, TracksDirtyFootprintForAlphaB)
+{
+    Fixture f;
+    Watchdog w({.periodCycles = 1000, .sramUsedBytes = 512});
+    w.afterStep(f.cpu, volatileStore(0, 4));
+    w.afterStep(f.cpu, volatileStore(64, 4));
+    w.afterStep(f.cpu, volatileStore(0, 4));
+    EXPECT_EQ(w.pendingDirtyBytes(), 8u);
+    EXPECT_EQ(w.chargedAppBackupBytes(), 8u);
+    w.onPowerFail();
+    EXPECT_EQ(w.pendingDirtyBytes(), 0u);
+}
+
+TEST(WatchdogPolicy, PeriodIsAdjustable)
+{
+    Fixture f;
+    Watchdog w({.periodCycles = 10, .sramUsedBytes = 64});
+    w.setPeriod(100);
+    w.afterStep(f.cpu, aluStep(50));
+    EXPECT_EQ(w.beforeStep(f.cpu, {}, {1.0, 1.0}).action,
+              PolicyAction::Continue);
+    EXPECT_THROW(w.setPeriod(0), FatalError);
+}
+
+TEST(SupplyView, FractionClampsAndGuards)
+{
+    EXPECT_DOUBLE_EQ((SupplyView{50.0, 100.0}).fraction(), 0.5);
+    EXPECT_DOUBLE_EQ((SupplyView{500.0, 100.0}).fraction(), 1.0);
+    EXPECT_DOUBLE_EQ((SupplyView{50.0, 0.0}).fraction(), 0.0);
+}
+
+} // namespace

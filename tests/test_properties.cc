@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Randomized property tests over the model's full parameter domain.
+ * Each seed draws a random (valid) Params instance and checks the
+ * structural invariants the paper's reasoning relies on:
+ *
+ *  - energy balance (Equation 1) holds exactly;
+ *  - p ∈ [0, 1] without charging, p >= 0 always;
+ *  - dead-cycle ordering best >= average >= worst;
+ *  - monotonicity: p never improves when any cost parameter grows;
+ *  - tau_B,opt(wc) < tau_B,opt (A_B > 0) and both match numeric argmax
+ *    under the derivation assumptions;
+ *  - the single-backup form is the general model's fixed point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace eh;
+using core::DeadCycleMode;
+using core::Model;
+using core::Params;
+
+/** Draw a random valid parameter set; charging only when allowed. */
+Params
+randomParams(Rng &rng, bool allow_charging, bool allow_restore)
+{
+    Params p;
+    p.energyBudget = rng.nextDouble(10.0, 1.0e7);
+    p.execEnergy = rng.nextDouble(0.1, 200.0);
+    p.chargeEnergy =
+        allow_charging ? rng.nextDouble(0.0, 0.8) * p.execEnergy : 0.0;
+    p.backupPeriod = std::exp(rng.nextDouble(0.0, std::log(1e6)));
+    p.backupBandwidth = rng.nextDouble(0.1, 16.0);
+    // Keep the effective backup cost non-negative (the physical regime).
+    const double min_cost = p.chargeEnergy / p.backupBandwidth;
+    p.backupCost = min_cost + rng.nextDouble(0.0, 3.0 * p.execEnergy);
+    p.archStateBackup = rng.nextDouble(0.0, 256.0);
+    p.appStateRate = rng.nextDouble(0.0, 2.0);
+    p.restoreBandwidth = rng.nextDouble(0.1, 16.0);
+    if (allow_restore) {
+        const double min_rcost = p.chargeEnergy / p.restoreBandwidth;
+        p.restoreCost =
+            min_rcost + rng.nextDouble(0.0, 2.0 * p.execEnergy);
+        p.archStateRestore = rng.nextDouble(0.0, 256.0);
+        p.appRestoreRate = rng.nextDouble(0.0, 1.0);
+    } else {
+        p.restoreCost = 0.0;
+        p.archStateRestore = 0.0;
+        p.appRestoreRate = 0.0;
+    }
+    return p;
+}
+
+class ModelProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ModelProperty, EnergyBalanceExact)
+{
+    Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 40; ++i) {
+        const Params p = randomParams(rng, true, true);
+        const auto b = Model(p).breakdown();
+        EXPECT_NEAR(b.residual, 0.0, 1e-8 * p.energyBudget)
+            << p.describe();
+    }
+}
+
+TEST_P(ModelProperty, ProgressBoundsWithoutCharging)
+{
+    Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 40; ++i) {
+        const Params p = randomParams(rng, false, true);
+        for (auto mode : {DeadCycleMode::BestCase, DeadCycleMode::Average,
+                          DeadCycleMode::WorstCase}) {
+            const double prog = Model(p).progress(mode);
+            EXPECT_GE(prog, 0.0) << p.describe();
+            EXPECT_LE(prog, 1.0 + 1e-12) << p.describe();
+        }
+        EXPECT_GE(Model(p).singleBackupProgress(), 0.0);
+        EXPECT_LE(Model(p).singleBackupProgress(), 1.0 + 1e-12);
+    }
+}
+
+TEST_P(ModelProperty, DeadCycleOrdering)
+{
+    Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 40; ++i) {
+        const Params p = randomParams(rng, true, true);
+        Model m(p);
+        const double best = m.progress(DeadCycleMode::BestCase);
+        const double avg = m.progress(DeadCycleMode::Average);
+        const double worst = m.progress(DeadCycleMode::WorstCase);
+        EXPECT_GE(best + 1e-12, avg) << p.describe();
+        EXPECT_GE(avg + 1e-12, worst) << p.describe();
+    }
+}
+
+TEST_P(ModelProperty, CostMonotonicity)
+{
+    // Growing any cost parameter must never increase progress.
+    Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 25; ++i) {
+        const Params p = randomParams(rng, false, true);
+        const double base = Model(p).progress();
+        auto worse = [&](auto mutate) {
+            Params q = p;
+            mutate(q);
+            EXPECT_LE(Model(q).progress(), base + 1e-12)
+                << p.describe();
+        };
+        worse([&](Params &q) { q.backupCost *= 1.5; });
+        worse([&](Params &q) { q.archStateBackup += 10.0; });
+        worse([&](Params &q) { q.appStateRate += 0.2; });
+        worse([&](Params &q) { q.restoreCost += 0.5; });
+        worse([&](Params &q) { q.archStateRestore += 10.0; });
+        worse([&](Params &q) { q.appRestoreRate += 0.1; });
+    }
+}
+
+TEST_P(ModelProperty, OptimaMatchNumericSearch)
+{
+    Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 8; ++i) {
+        Params p = randomParams(rng, false, false);
+        if (p.archStateBackup < 1e-3)
+            p.archStateBackup = 1e-3; // keep the optimum interior
+        const double closed = core::optimalBackupPeriod(p);
+        const double numeric = core::numericOptimalBackupPeriod(
+            p, DeadCycleMode::Average, 1e-4, 1e9);
+        EXPECT_NEAR(closed, numeric, 2e-4 * std::max(closed, 1.0))
+            << p.describe();
+        EXPECT_LT(core::worstCaseOptimalBackupPeriod(p), closed)
+            << p.describe();
+    }
+}
+
+TEST_P(ModelProperty, SingleBackupIsGeneralModelFixedPoint)
+{
+    Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 15; ++i) {
+        const Params p = randomParams(rng, false, true);
+        const double single = Model(p).singleBackupProgress();
+        if (single <= 0.0)
+            continue;
+        double tau = p.backupPeriod;
+        for (int it = 0; it < 300; ++it) {
+            const double tau_p =
+                Model(p).withBackupPeriod(tau).progressCycles(0.0);
+            if (std::abs(tau_p - tau) < 1e-9 * std::max(1.0, tau))
+                break;
+            tau = std::max(tau_p, 1e-9);
+        }
+        const double general =
+            Model(p).withBackupPeriod(tau).progressAt(0.0);
+        EXPECT_NEAR(single, general, 1e-5 * std::max(single, 1e-6))
+            << p.describe();
+    }
+}
+
+TEST_P(ModelProperty, ProgressCyclesScaleWithBudget)
+{
+    // Doubling E more than doubles tau_P (one-time costs amortize).
+    Rng rng(7000 + static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 25; ++i) {
+        const Params p = randomParams(rng, false, true);
+        const double tau1 =
+            Model(p).breakdown(DeadCycleMode::Average).progressCycles;
+        Params q = p;
+        q.energyBudget *= 2.0;
+        const double tau2 =
+            Model(q).breakdown(DeadCycleMode::Average).progressCycles;
+        if (tau1 > 0.0) {
+            EXPECT_GE(tau2 + 1e-9, 2.0 * tau1) << p.describe();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty, ::testing::Range(0, 8));
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the sensitivity analysis of Section VI-C: the closed-form
+ * dp/dalpha_B against finite differences, the structural identity
+ * dp/dalpha_B = tau_B * dp/dA_B, the paper's claim that reducing
+ * application state always beats reducing architectural state for
+ * tau_B >= 1, and the reduced-bit-precision gain computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using core::DeadCycleMode;
+using core::Params;
+
+TEST(Sensitivity, ClosedFormMatchesNumericDifference)
+{
+    for (double tau_b : core::logspace(1.0, 1000.0, 15)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        const double closed = core::progressPerAppStateRate(p);
+        const double numeric = core::numericProgressPerAppStateRate(p);
+        EXPECT_NEAR(closed, numeric,
+                    1e-4 * std::max(std::abs(numeric), 1e-9))
+            << "tau_B=" << tau_b;
+    }
+}
+
+TEST(Sensitivity, ArchClosedFormMatchesNumericDifference)
+{
+    for (double tau_b : core::logspace(1.0, 1000.0, 15)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        const double closed = core::progressPerArchState(p);
+        const double numeric = core::numericProgressPerArchState(p);
+        EXPECT_NEAR(closed, numeric,
+                    1e-4 * std::max(std::abs(numeric), 1e-9))
+            << "tau_B=" << tau_b;
+    }
+}
+
+TEST(Sensitivity, AppStateSensitivityIsTauBTimesArchSensitivity)
+{
+    // dp/dalpha_B = tau_B * dp/dA_B: the algebraic identity behind the
+    // paper's always-prefer-application-state conclusion.
+    for (double tau_b : {1.0, 4.0, 50.0, 120.0}) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        EXPECT_NEAR(core::progressPerAppStateRate(p),
+                    tau_b * core::progressPerArchState(p), 1e-12);
+    }
+}
+
+TEST(Sensitivity, ApplicationStateWinsForPeriodsAboveOneCycle)
+{
+    // |dp/dalpha_B| >= |dp/dA_B| whenever tau_B >= 1 (Section VI-C).
+    for (double tau_b : core::logspace(1.0, 5000.0, 20)) {
+        Params p = core::illustrativeParams();
+        p.backupPeriod = tau_b;
+        EXPECT_LE(core::progressPerAppStateRate(p),
+                  core::progressPerArchState(p))
+            << "both are negative; app must be more negative, tau_B="
+            << tau_b;
+    }
+}
+
+TEST(Sensitivity, DerivativesAreNegativeWhereProgressPositive)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 20.0;
+    EXPECT_LT(core::progressPerAppStateRate(p), 0.0);
+    EXPECT_LT(core::progressPerArchState(p), 0.0);
+}
+
+TEST(Sensitivity, ZeroWhenProgressPinnedAtZero)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 500.0; // dead energy 250 > E = 100
+    EXPECT_EQ(core::progressPerAppStateRate(p), 0.0);
+}
+
+TEST(Sensitivity, NumericFallbackUsedWithCharging)
+{
+    // With charging the closed form does not apply; the function must
+    // still agree with a direct finite difference.
+    Params p = core::illustrativeParams();
+    p.chargeEnergy = 0.2;
+    p.backupPeriod = 30.0;
+    EXPECT_NEAR(core::progressPerAppStateRate(p),
+                core::numericProgressPerAppStateRate(p), 1e-9);
+}
+
+TEST(Sensitivity, SensitivityPeaksAtEquation16Period)
+{
+    Params p = core::illustrativeParams();
+    const double tau_bit = core::bitPrecisionOptimalPeriod(p);
+    const double peak = std::abs(core::progressPerAppStateRate(
+        core::Model(p).withBackupPeriod(tau_bit).params()));
+    for (double factor : {0.25, 0.5, 2.0, 4.0}) {
+        const double off = std::abs(core::progressPerAppStateRate(
+            core::Model(p).withBackupPeriod(tau_bit * factor).params()));
+        EXPECT_GE(peak, off) << "factor=" << factor;
+    }
+}
+
+TEST(Sensitivity, ReducedPrecisionGainIsExactRecomputation)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 30.0;
+    const auto r = core::reducedPrecisionGain(p, 32, 8);
+    EXPECT_DOUBLE_EQ(r.oldAppStateRate, p.appStateRate);
+    EXPECT_DOUBLE_EQ(r.newAppStateRate, p.appStateRate * 0.75);
+    EXPECT_GT(r.gain, 0.0);
+    EXPECT_NEAR(r.newProgress - r.oldProgress, r.gain, 1e-15);
+}
+
+TEST(Sensitivity, RemovingAllBitsRemovesAllAppState)
+{
+    Params p = core::illustrativeParams();
+    const auto r = core::reducedPrecisionGain(p, 16, 16);
+    EXPECT_DOUBLE_EQ(r.newAppStateRate, 0.0);
+}
+
+TEST(Sensitivity, ZeroBitsRemovedIsNoOp)
+{
+    Params p = core::illustrativeParams();
+    const auto r = core::reducedPrecisionGain(p, 32, 0);
+    EXPECT_DOUBLE_EQ(r.gain, 0.0);
+}
+
+TEST(Sensitivity, RejectsBadBitCounts)
+{
+    const Params p = core::illustrativeParams();
+    EXPECT_THROW(core::reducedPrecisionGain(p, 0, 0), FatalError);
+    EXPECT_THROW(core::reducedPrecisionGain(p, 32, 33), FatalError);
+    EXPECT_THROW(core::reducedPrecisionGain(p, 32, -1), FatalError);
+}
+
+TEST(Sensitivity, MoreBitsRemovedNeverHurts)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 50.0;
+    double last = -1.0;
+    for (int bits = 0; bits <= 32; bits += 4) {
+        const auto r = core::reducedPrecisionGain(p, 32, bits);
+        EXPECT_GE(r.gain, last);
+        last = r.gain;
+    }
+}
+
+} // namespace

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Simulator-level tests: checkpoint double-buffering under injected
+ * failures, phase accounting, statistics aggregation, the observation
+ * bridge into the EH model, and the golden runner's guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+sim::SimConfig
+volConfig()
+{
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = workloads::volatileLayout().sramUsedBytes;
+    return cfg;
+}
+
+TEST(Simulator, FinishesWithAmpleEnergyInOnePeriod)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    runtime::Watchdog policy(
+        {.periodCycles = 5000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(1e12);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_TRUE(stats.finished);
+    EXPECT_EQ(stats.periods, 1u);
+    EXPECT_EQ(stats.powerFailures, 0u);
+    EXPECT_EQ(s.resultWord(w.resultAddrs[0]), w.expected[0]);
+}
+
+TEST(Simulator, MeasuredProgressDecreasesWithSmallerBudgets)
+{
+    // Less energy per period -> relatively more restore/dead overhead.
+    const auto w = workloads::makeWorkload("sense",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    auto run = [&](double budget) {
+        runtime::Watchdog policy(
+            {.periodCycles = 3000, .sramUsedBytes = cfg.sramUsedBytes});
+        energy::ConstantSupply supply(budget);
+        sim::Simulator s(w.program, policy, supply, cfg);
+        return s.run().measuredProgress();
+    };
+    const double big = run(50.0e6);
+    const double small = run(2.5e6);
+    EXPECT_GT(big, small);
+    EXPECT_GT(small, 0.0);
+}
+
+TEST(Simulator, TauBStatisticTracksWatchdogPeriod)
+{
+    const auto w = workloads::makeWorkload("bitcount",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(1e12);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished);
+    ASSERT_GT(stats.tauB.count(), 5u);
+    // Watchdog fires at >= 2000 cycles (instruction granularity adds
+    // slack); the final halt commit contributes one short sample, so the
+    // mean sits near — not exactly at — the period.
+    EXPECT_GE(stats.tauB.mean(), 1800.0);
+    EXPECT_LE(stats.tauB.mean(), 2200.0);
+    EXPECT_GE(stats.tauB.max(), 2000.0);
+}
+
+TEST(Simulator, DeadCyclesNeverExceedObservedBackupSpacing)
+{
+    const auto w = workloads::makeWorkload("ds",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(3.0e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished);
+    ASSERT_GT(stats.powerFailures, 0u);
+    // tau_D is capped by the time between commit opportunities plus one
+    // backup's worth of cycles (a failed backup's work is dead too).
+    EXPECT_LE(stats.tauD.max(), 2000.0 + 2500.0);
+}
+
+TEST(Simulator, EnergyConservationAcrossPhases)
+{
+    const auto w = workloads::makeWorkload("rsa",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    runtime::Watchdog policy(
+        {.periodCycles = 2500, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(4.0e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished);
+    // Total metered energy equals the per-period consumption total.
+    const double metered = stats.meter.totalEnergy() +
+                           stats.meter.uncommittedEnergy();
+    const double consumed = stats.periodEnergy.sum();
+    EXPECT_NEAR(metered, consumed, 1e-6 * consumed);
+}
+
+TEST(Simulator, ObservationBridgesToModel)
+{
+    const auto w = workloads::makeWorkload("ar",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(5.0e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished);
+
+    const auto obs = stats.observe(cfg, arch::Cpu::archStateBytes);
+    EXPECT_GT(obs.energyPerPeriod, 0.0);
+    EXPECT_GT(obs.execEnergy, 0.0);
+    EXPECT_GT(obs.meanBackupPeriod, 0.0);
+    EXPECT_GT(obs.measuredProgress, 0.0);
+
+    const auto pred = core::predictFromObservation(obs);
+    EXPECT_GT(pred.predictedProgress, 0.0);
+    EXPECT_LE(pred.predictedProgress, 1.0);
+    // The model should land in the right ballpark of the measurement.
+    EXPECT_LT(pred.relativeError, 0.5)
+        << "pred=" << pred.predictedProgress
+        << " meas=" << pred.measuredProgress;
+}
+
+TEST(Simulator, SurvivesManyInjectedMidBackupFailures)
+{
+    // A budget barely above the restore+backup cost forces frequent
+    // deaths inside the backup path; double buffering must keep a valid
+    // checkpoint at all times and the final results must still be exact.
+    const auto w = workloads::makeWorkload("midi",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    cfg.maxActivePeriods = 200000;
+    runtime::Watchdog policy(
+        {.periodCycles = 1500, .sramUsedBytes = cfg.sramUsedBytes});
+    // Restore ~ (68+6144)*75 = 466k; backup (dirty-charged) is small.
+    energy::ConstantSupply supply(1.1e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished) << stats.summary();
+    EXPECT_GT(stats.powerFailures, 10u);
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+        EXPECT_EQ(s.resultWord(w.resultAddrs[i]), w.expected[i]);
+}
+
+TEST(Simulator, StarvedSupplyStopsCleanly)
+{
+    // A supply that can never reach the turn-on threshold must stop the
+    // run without finishing rather than spinning forever.
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    energy::Transducer tx(1.0, 1.0, 1.0e6);
+    energy::Capacitor cap(100e-6, 5.0, 3.0, 1.8);
+    energy::HarvestingSupply supply(
+        energy::makeConstantTrace(0.0, 1000), tx, cap);
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    cfg.maxChargeCyclesPerPeriod = 100000;
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_FALSE(stats.finished);
+    EXPECT_EQ(stats.periods, 0u);
+}
+
+TEST(Simulator, RunsOnHarvestedEnergy)
+{
+    const auto w = workloads::makeWorkload("sense",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    cfg.maxActivePeriods = 50000;
+    // ~40 uW harvest at 2 V vs ~1 mW consumption: heavily intermittent.
+    energy::Transducer tx(0.5, 50.0e3, 16.0e6);
+    energy::Capacitor cap(2.2e-6, 3.6, 3.0, 2.2);
+    energy::HarvestingSupply supply(
+        energy::makeConstantTrace(2.0, 10'000'000), tx, cap);
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished) << stats.summary();
+    EXPECT_GT(stats.periods, 1u);
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+        EXPECT_EQ(s.resultWord(w.resultAddrs[i]), w.expected[i]);
+}
+
+TEST(Simulator, RestoreFailuresAreSurvivedAndCounted)
+{
+    // A budget below the restore cost cannot ever finish, but must fail
+    // gracefully: every period dies inside the restore, the old
+    // checkpoint stays valid, and the counters say so.
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    auto cfg = volConfig();
+    cfg.maxActivePeriods = 50;
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    // Restore charges (68 + 6144) * 75 ~ 466k; give less, so once the
+    // first period's backup establishes a checkpoint every subsequent
+    // restore browns out.
+    energy::ConstantSupply supply(3.0e5);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_FALSE(stats.finished);
+    EXPECT_GT(stats.failedRestores, 10u) << stats.summary();
+    EXPECT_EQ(stats.periods, 50u);
+}
+
+TEST(Simulator, CachedPlatformStaysCorrectUnderFailures)
+{
+    // The mixed-volatility cache must change costs, never results.
+    const auto w = workloads::makeWorkload(
+        "crc", workloads::nonvolatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.enableNvmCache = true;
+    cfg.maxActivePeriods = 60000;
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(1.2e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_TRUE(stats.finished) << stats.summary();
+    EXPECT_GT(stats.powerFailures, 0u);
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+        EXPECT_EQ(s.resultWord(w.resultAddrs[i]), w.expected[i]);
+}
+
+TEST(Simulator, CacheReducesNvmEnergyForHotData)
+{
+    // crc re-reads its 1 KiB table constantly: with a cache the same
+    // program must finish using fewer active periods on the same budget.
+    const auto w = workloads::makeWorkload(
+        "crc", workloads::nonvolatileLayout());
+    auto run_with = [&](bool cached) {
+        sim::SimConfig cfg;
+        cfg.sramUsedBytes = 64;
+        cfg.enableNvmCache = cached;
+        cfg.cacheGeometry = {2048, 4, 16};
+        cfg.maxActivePeriods = 60000;
+        runtime::Watchdog policy(
+            {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+        energy::ConstantSupply supply(1.0e6);
+        sim::Simulator s(w.program, policy, supply, cfg);
+        const auto stats = s.run();
+        EXPECT_TRUE(stats.finished);
+        return stats.periods;
+    };
+    EXPECT_LT(run_with(true), run_with(false));
+}
+
+TEST(Simulator, RejectsOversizedPayload)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = cfg.sramBytes + 1;
+    runtime::Watchdog policy({});
+    energy::ConstantSupply supply(1e9);
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+}
+
+TEST(Simulator, RejectsTinyNvm)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.nvmBytes = 1024;
+    cfg.sramUsedBytes = 4096;
+    runtime::Watchdog policy({});
+    energy::ConstantSupply supply(1e9);
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+}
+
+TEST(Golden, CountsInstructionsCyclesEnergy)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    const auto g =
+        sim::runGolden(w.program, volConfig(), w.resultAddrs);
+    EXPECT_TRUE(g.halted);
+    EXPECT_GT(g.cycles, g.instructions); // multi-cycle ops exist
+    EXPECT_GT(g.energy, 0.0);
+    EXPECT_EQ(g.resultWords.size(), w.resultAddrs.size());
+}
+
+TEST(Golden, InstructionCapIsFatal)
+{
+    const auto w = workloads::makeWorkload("counter",
+                                           workloads::volatileLayout());
+    EXPECT_THROW(
+        sim::runGolden(w.program, volConfig(), {}, 10000),
+        FatalError);
+}
+
+TEST(SimStats, SummaryMentionsKeyFields)
+{
+    sim::SimStats stats;
+    stats.workload = "wname";
+    stats.policy = "pname";
+    const auto text = stats.summary();
+    EXPECT_NE(text.find("wname"), std::string::npos);
+    EXPECT_NE(text.find("pname"), std::string::npos);
+    EXPECT_NE(text.find("tau_B"), std::string::npos);
+}
+
+} // namespace

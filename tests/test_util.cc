@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the utility layer: streaming statistics (the SEM error bars
+ * of Figs 8–10 and the geomean error metric of Fig 6), deterministic
+ * RNG, CSV output, table formatting, sweep helpers and the calibration
+ * bridge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/calibration.hh"
+#include "core/sweep.hh"
+#include "util/csv.hh"
+#include "util/panic.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace eh;
+
+TEST(RunningStats, MeanVarianceKnownValues)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_NEAR(s.sem(), s.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStats, EmptyAndSingleton)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(99);
+    RunningStats all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.nextGaussian() * 3.0 + 10.0;
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // Zeros are clamped, not fatal (error geomeans).
+    EXPECT_GT(geomean({0.0, 4.0}), 0.0);
+    EXPECT_THROW(geomean({-1.0}), PanicError);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_THROW(percentile(v, 101.0), PanicError);
+}
+
+TEST(Stats, PearsonCorrelation)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 5, 9}), 0.0);
+}
+
+TEST(Stats, HistogramBinsAndClamps)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(9.9);
+    h.add(-100.0); // clamped into bin 0
+    h.add(100.0);  // clamped into the last bin
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformDoublesInRange)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, NextBelowIsUnbiasedEnough)
+{
+    Rng rng(11);
+    std::size_t counts[10] = {};
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBelow(10)];
+    for (auto c : counts)
+        EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+    EXPECT_THROW(rng.nextBelow(0), PanicError);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    RunningStats s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.nextGaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ForksAreIndependentAndStable)
+{
+    Rng root(42);
+    Rng f1 = root.fork(1);
+    Rng f2 = root.fork(2);
+    Rng f1b = Rng(42).fork(1);
+    EXPECT_EQ(f1.next(), f1b.next());
+    EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Csv, WritesHeaderRowsAndEscapes)
+{
+    const std::string path = "/tmp/eh_test_csv.csv";
+    {
+        CsvWriter w(path, {"a", "b"});
+        w.row({"plain", "has,comma"});
+        w.rowNumeric({1.5, 2.0});
+        EXPECT_EQ(w.rows(), 2u);
+        EXPECT_THROW(w.row({"too", "many", "cells"}), PanicError);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,\"has,comma\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), FatalError);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer-name", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    const auto text = oss.str();
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_THROW(t.row({"only-one"}), PanicError);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Sweep, LinspaceEndpointsExact)
+{
+    const auto xs = core::linspace(0.0, 1.0, 11);
+    ASSERT_EQ(xs.size(), 11u);
+    EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+    EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+    EXPECT_NEAR(xs[5], 0.5, 1e-12);
+}
+
+TEST(Sweep, LogspaceMultiplicative)
+{
+    const auto xs = core::logspace(1.0, 1000.0, 4);
+    ASSERT_EQ(xs.size(), 4u);
+    EXPECT_NEAR(xs[1] / xs[0], 10.0, 1e-9);
+    EXPECT_NEAR(xs[2] / xs[1], 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(xs.back(), 1000.0);
+    EXPECT_THROW(core::logspace(0.0, 10.0, 3), PanicError);
+}
+
+TEST(Sweep, Sweep1DFindsArgmax)
+{
+    const auto xs = core::linspace(-5.0, 5.0, 101);
+    const auto r =
+        core::sweep1D(xs, [](double x) { return -(x - 2.0) * (x - 2.0); });
+    EXPECT_NEAR(r.bestX, 2.0, 0.06);
+    EXPECT_EQ(r.points.size(), 101u);
+    EXPECT_EQ(r.values().size(), 101u);
+    EXPECT_EQ(r.xs().size(), 101u);
+}
+
+TEST(Sweep, Sweep2DFindsArgmax)
+{
+    const auto xs = core::linspace(0.0, 4.0, 5);
+    const auto ys = core::linspace(0.0, 4.0, 5);
+    const auto g = core::sweep2D(xs, ys, [](double x, double y) {
+        return -(x - 3.0) * (x - 3.0) - (y - 1.0) * (y - 1.0);
+    });
+    EXPECT_DOUBLE_EQ(g.bestX, 3.0);
+    EXPECT_DOUBLE_EQ(g.bestY, 1.0);
+    EXPECT_EQ(g.cells.size(), 25u);
+    EXPECT_DOUBLE_EQ(g.at(3, 1).value, 0.0);
+}
+
+TEST(Calibration, ObservationRoundTripsIntoParams)
+{
+    core::ObservedBehavior obs;
+    obs.name = "unit";
+    obs.energyPerPeriod = 1e6;
+    obs.execEnergy = 65.0;
+    obs.meanBackupPeriod = 2000.0;
+    obs.meanDeadCycles = 900.0;
+    obs.meanAppStateRate = 0.12;
+    obs.archStateBytes = 68.0;
+    obs.backupCost = 75.0;
+    obs.restoreCost = 75.0;
+    obs.measuredProgress = 0.8;
+
+    const auto p = core::observedToParams(obs);
+    EXPECT_DOUBLE_EQ(p.energyBudget, 1e6);
+    EXPECT_DOUBLE_EQ(p.backupPeriod, 2000.0);
+    EXPECT_DOUBLE_EQ(p.appStateRate, 0.12);
+    EXPECT_NO_THROW(p.validate());
+
+    const auto pred = core::predictFromObservation(obs);
+    EXPECT_GT(pred.predictedProgress, 0.0);
+    EXPECT_DOUBLE_EQ(pred.measuredProgress, 0.8);
+    EXPECT_GE(pred.relativeError, 0.0);
+}
+
+TEST(Calibration, DeadCyclesClampedToThePeriod)
+{
+    core::ObservedBehavior obs;
+    obs.name = "clamp";
+    obs.energyPerPeriod = 1e6;
+    obs.execEnergy = 65.0;
+    obs.meanBackupPeriod = 100.0;
+    obs.meanDeadCycles = 1e9; // bogus: more than a whole period
+    obs.backupCost = 75.0;
+    obs.archStateBytes = 68.0;
+    obs.measuredProgress = 0.5;
+    const auto pred = core::predictFromObservation(obs);
+    // Clamped to tau_D = E / eps: an entire dead period predicts zero
+    // progress, never a negative value.
+    EXPECT_DOUBLE_EQ(pred.predictedProgress, 0.0);
+
+    // Dead time may legitimately exceed tau_B (aborted backups), and
+    // still predicts positive progress while below a full period.
+    obs.meanDeadCycles = 400.0;
+    EXPECT_GT(core::predictFromObservation(obs).predictedProgress, 0.0);
+}
+
+TEST(Calibration, RejectsUnusableObservations)
+{
+    core::ObservedBehavior obs;
+    obs.name = "bad";
+    EXPECT_THROW(core::observedToParams(obs), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the dead-cycle variability analysis (Section IV-A2): the
+ * quantile mapping, the exact expectation vs the paper's average-case
+ * shortcut, and the infeasible-period fraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "core/variability.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using core::Params;
+
+TEST(Variability, QuantileEndpointsAreTheBounds)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 30.0;
+    core::Model m(p);
+    EXPECT_DOUBLE_EQ(core::progressQuantile(p, 0.0),
+                     m.progress(core::DeadCycleMode::BestCase));
+    EXPECT_DOUBLE_EQ(core::progressQuantile(p, 1.0),
+                     m.progress(core::DeadCycleMode::WorstCase));
+    EXPECT_DOUBLE_EQ(core::progressQuantile(p, 0.5), m.progress());
+}
+
+TEST(Variability, QuantilesAreMonotoneNonIncreasing)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 50.0;
+    double last = 2.0;
+    for (double c : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        const double q = core::progressQuantile(p, c);
+        EXPECT_LE(q, last + 1e-12) << c;
+        last = q;
+    }
+    EXPECT_THROW(core::progressQuantile(p, -0.1), FatalError);
+    EXPECT_THROW(core::progressQuantile(p, 1.1), FatalError);
+}
+
+TEST(Variability, ExpectationEqualsAverageCaseWhileFeasible)
+{
+    // p is affine in tau_D while the whole [0, tau_B] range stays
+    // feasible, so E[p] = p(tau_B / 2) exactly — the paper's shortcut.
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 20.0;
+    ASSERT_GT(core::Model(p).progress(core::DeadCycleMode::WorstCase),
+              0.0);
+    EXPECT_NEAR(core::expectedProgressUniformDead(p),
+                core::Model(p).progress(), 1e-9);
+}
+
+TEST(Variability, ExpectationExceedsShortcutOnceClamped)
+{
+    // Once part of the tau_D range is infeasible, the clamp at zero
+    // bends the curve upward: the true expectation exceeds the
+    // average-case shortcut (which can even be 0 while half the periods
+    // still progress).
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 230.0; // worst case dead energy > E, best case fine
+    ASSERT_EQ(core::Model(p).progress(core::DeadCycleMode::WorstCase),
+              0.0);
+    ASSERT_GT(core::Model(p).progress(core::DeadCycleMode::BestCase),
+              0.0);
+    EXPECT_GT(core::expectedProgressUniformDead(p),
+              core::Model(p).progress());
+}
+
+TEST(Variability, InfeasibleFractionRegimes)
+{
+    Params p = core::illustrativeParams();
+    p.backupPeriod = 20.0;
+    EXPECT_DOUBLE_EQ(core::infeasiblePeriodFraction(p), 0.0);
+
+    p.backupPeriod = 150.0; // clamp point at tau_D* where eps*tau = E
+    const double frac = core::infeasiblePeriodFraction(p);
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+    // Clamp point: eps_net * tau_D + e_R = E -> tau_D* ~ 98.5 cycles
+    // (E=100, small backup-rate correction); fraction ~ 1 - 98.5/150.
+    EXPECT_NEAR(frac, 1.0 - 98.5 / 150.0, 0.02);
+
+    p.backupPeriod = 1.0e6;
+    EXPECT_GT(core::infeasiblePeriodFraction(p), 0.99);
+}
+
+TEST(Variability, TailProgressSupportsDesignForTail)
+{
+    // Section IV-A2: designing for the tail means a smaller tau_B. The
+    // 95th-percentile progress at the worst-case optimum must beat the
+    // 95th-percentile progress at the average-case optimum.
+    Params p = core::illustrativeParams();
+    const double tau_avg = core::optimalBackupPeriod(p);
+    const double tau_wc = core::worstCaseOptimalBackupPeriod(p);
+    Params at_avg = p, at_wc = p;
+    at_avg.backupPeriod = tau_avg;
+    at_wc.backupPeriod = tau_wc;
+    EXPECT_GT(core::tailProgress(at_wc, 1.0),
+              core::tailProgress(at_avg, 1.0));
+    // ...while the average-case optimum wins on the mean, by definition.
+    EXPECT_GE(core::Model(at_avg).progress(),
+              core::Model(at_wc).progress());
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Structural invariants over every assembled workload, in both
+ * placements: branch/call targets stay inside the program, memory
+ * images land inside their regions and off the checkpoint area,
+ * registers referenced are architectural, Table II programs expose the
+ * CHECKPOINT ops the task-based runtimes need, and result addresses are
+ * word-aligned nonvolatile locations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/isa.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+using arch::InstrClass;
+using arch::Opcode;
+
+std::vector<std::string>
+allNames()
+{
+    auto names = workloads::tableIINames();
+    for (const auto &n : workloads::mibenchNames())
+        names.push_back(n);
+    names.push_back("counter");
+    return names;
+}
+
+struct Placement
+{
+    std::string workload;
+    bool nonvolatile;
+};
+
+class WorkloadStructure : public ::testing::TestWithParam<Placement>
+{
+  protected:
+    workloads::Workload
+    make() const
+    {
+        const auto layout = GetParam().nonvolatile
+                                ? workloads::nonvolatileLayout()
+                                : workloads::volatileLayout();
+        return workloads::makeWorkload(GetParam().workload, layout);
+    }
+};
+
+TEST_P(WorkloadStructure, BranchTargetsInsideProgram)
+{
+    const auto w = make();
+    const auto size = static_cast<std::int64_t>(w.program.size());
+    for (const auto &in : w.program.code) {
+        const auto cls = classify(in.op);
+        if (cls == InstrClass::Branch ||
+            (cls == InstrClass::Call && in.op == Opcode::Call)) {
+            EXPECT_GE(in.imm, 0) << opcodeName(in.op);
+            EXPECT_LT(in.imm, size) << opcodeName(in.op);
+        }
+    }
+}
+
+TEST_P(WorkloadStructure, RegistersAreArchitectural)
+{
+    const auto w = make();
+    for (const auto &in : w.program.code) {
+        EXPECT_LT(in.rd, arch::NumRegs);
+        EXPECT_LT(in.ra, arch::NumRegs);
+        EXPECT_LT(in.rb, arch::NumRegs);
+    }
+}
+
+TEST_P(WorkloadStructure, MemoryImagesFitTheirRegions)
+{
+    const auto w = make();
+    const sim::SimConfig cfg; // default platform geometry
+    const std::uint64_t sram = cfg.sramBytes;
+    const std::uint64_t limit = sram + cfg.nvmBytes;
+    // Keep clear of the double-buffered checkpoint region at the top of
+    // NVM (2 slots of up to header+arch+payload, plus the selector).
+    const std::uint64_t checkpoint_start =
+        limit - 16 - 2 * (8 + arch::Cpu::archStateBytes + 6144);
+    for (const auto &init : w.program.memInits) {
+        const auto end = init.addr + init.bytes.size();
+        EXPECT_LE(end, limit) << "image beyond memory";
+        EXPECT_LE(end, checkpoint_start)
+            << "image collides with the checkpoint region";
+        const bool starts_nv = init.addr >= sram;
+        const bool ends_nv = end == 0 ? starts_nv : (end - 1) >= sram;
+        EXPECT_EQ(starts_nv, ends_nv)
+            << "image straddles the volatile/nonvolatile boundary";
+    }
+}
+
+TEST_P(WorkloadStructure, ResultAddressesAreAlignedNonvolatileWords)
+{
+    const auto w = make();
+    const sim::SimConfig cfg;
+    for (const auto addr : w.resultAddrs) {
+        EXPECT_EQ(addr % 4, 0u) << addr;
+        EXPECT_GE(addr, cfg.sramBytes)
+            << "results must survive power failures";
+        EXPECT_LT(addr + 4, cfg.sramBytes + cfg.nvmBytes);
+    }
+    EXPECT_EQ(w.resultAddrs.size(), w.expected.size());
+}
+
+TEST_P(WorkloadStructure, VolatilePlacementStaysInsidePayload)
+{
+    if (GetParam().nonvolatile)
+        GTEST_SKIP() << "volatile-placement property";
+    const auto layout = workloads::volatileLayout();
+    const auto w = workloads::makeWorkload(GetParam().workload, layout);
+    for (const auto &init : w.program.memInits) {
+        if (init.addr < 8192) { // SRAM image
+            EXPECT_LE(init.addr + init.bytes.size(),
+                      layout.sramUsedBytes)
+                << "volatile data outside the backed-up payload would "
+                   "be lost across power failures";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadStructure,
+    ::testing::ValuesIn([] {
+        std::vector<Placement> placements;
+        for (const auto &name : allNames()) {
+            placements.push_back({name, false});
+            placements.push_back({name, true});
+        }
+        return placements;
+    }()),
+    [](const ::testing::TestParamInfo<Placement> &info) {
+        return info.param.workload +
+               (info.param.nonvolatile ? "_nv" : "_vol");
+    });
+
+TEST(WorkloadStructureGlobal, TableIIProgramsExposeCheckpoints)
+{
+    // Mementos/DINO need program-induced backup points.
+    for (const auto &name : workloads::tableIINames()) {
+        const auto w =
+            workloads::makeWorkload(name, workloads::volatileLayout());
+        bool has_checkpoint = false;
+        for (const auto &in : w.program.code)
+            has_checkpoint |= in.op == Opcode::Checkpoint;
+        EXPECT_TRUE(has_checkpoint) << name;
+    }
+}
+
+TEST(WorkloadStructureGlobal, FinishingProgramsEndInHalt)
+{
+    for (const auto &name : workloads::tableIINames()) {
+        const auto w =
+            workloads::makeWorkload(name, workloads::volatileLayout());
+        bool has_halt = false;
+        for (const auto &in : w.program.code)
+            has_halt |= in.op == Opcode::Halt;
+        EXPECT_TRUE(has_halt) << name;
+    }
+    const auto counter =
+        workloads::makeWorkload("counter", workloads::volatileLayout());
+    for (const auto &in : counter.program.code)
+        EXPECT_NE(in.op, Opcode::Halt) << "counter must never halt";
+}
+
+} // namespace

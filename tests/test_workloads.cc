@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Golden-run correctness for every workload: executing the assembly on
+ * the VM with unlimited energy must reproduce the C++ reference results,
+ * in both the volatile (MSP430-style) and nonvolatile (Clank-style)
+ * placements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "workloads/detail.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+std::vector<std::string>
+allFinishingWorkloads()
+{
+    auto names = workloads::tableIINames();
+    for (const auto &n : workloads::mibenchNames())
+        names.push_back(n);
+    return names;
+}
+
+sim::SimConfig
+configFor(bool nonvolatile_data)
+{
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = nonvolatile_data ? 64 : 6144;
+    return cfg;
+}
+
+class WorkloadGolden : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadGolden, VolatileLayoutMatchesReference)
+{
+    const auto w =
+        workloads::makeWorkload(GetParam(), workloads::volatileLayout());
+    const auto cfg = configFor(false);
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    ASSERT_TRUE(golden.halted);
+    ASSERT_EQ(golden.resultWords.size(), w.expected.size());
+    for (std::size_t i = 0; i < w.expected.size(); ++i) {
+        EXPECT_EQ(golden.resultWords[i], w.expected[i])
+            << "result word " << i << " of " << w.name;
+    }
+    EXPECT_GT(golden.instructions, 100u)
+        << w.name << " should do non-trivial work";
+}
+
+TEST_P(WorkloadGolden, NonvolatileLayoutMatchesReference)
+{
+    const auto w = workloads::makeWorkload(GetParam(),
+                                           workloads::nonvolatileLayout());
+    const auto cfg = configFor(true);
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    ASSERT_TRUE(golden.halted);
+    ASSERT_EQ(golden.resultWords.size(), w.expected.size());
+    for (std::size_t i = 0; i < w.expected.size(); ++i) {
+        EXPECT_EQ(golden.resultWords[i], w.expected[i])
+            << "result word " << i << " of " << w.name;
+    }
+}
+
+TEST_P(WorkloadGolden, LayoutsAgreeOnResults)
+{
+    const auto wv =
+        workloads::makeWorkload(GetParam(), workloads::volatileLayout());
+    const auto wn = workloads::makeWorkload(GetParam(),
+                                            workloads::nonvolatileLayout());
+    EXPECT_EQ(wv.expected, wn.expected)
+        << "placement must not change the algorithm's results";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadGolden,
+    ::testing::ValuesIn(allFinishingWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadRegistry, TableIIHasSixEntries)
+{
+    EXPECT_EQ(workloads::tableIINames().size(), 6u);
+}
+
+TEST(WorkloadRegistry, MibenchHasThirteenEntries)
+{
+    EXPECT_EQ(workloads::mibenchNames().size(), 13u);
+}
+
+TEST(Aes, Fips197AppendixBKnownAnswer)
+{
+    // FIPS-197 Appendix B: key 2b7e151628aed2a6abf7158809cf4f3c,
+    // plaintext 3243f6a8885a308d313198a2e0370734.
+    const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                  0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                  0x09, 0xcf, 0x4f, 0x3c};
+    std::uint8_t state[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a,
+                              0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2,
+                              0xe0, 0x37, 0x07, 0x34};
+    const std::uint8_t expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02,
+                                       0xdc, 0x09, 0xfb, 0xdc, 0x11,
+                                       0x85, 0x97, 0x19, 0x6a, 0x0b,
+                                       0x32};
+    const auto rk = workloads::detail::aes128ExpandKey(key);
+    workloads::detail::aes128EncryptBlock(state, rk.data());
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(state[i], expected[i]) << i;
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW((workloads::makeWorkload("no-such-benchmark",
+                                          workloads::volatileLayout())),
+                 eh::FatalError);
+}
+
+TEST(WorkloadRegistry, CounterNeverHalts)
+{
+    const auto w =
+        workloads::makeWorkload("counter", workloads::volatileLayout());
+    EXPECT_TRUE(w.resultAddrs.empty());
+    EXPECT_TRUE(w.expected.empty());
+}
+
+} // namespace

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * eh_explore — command-line design-space exploration with the EH model.
+ *
+ *   eh_explore progress  [params]            p, bounds and the energy split
+ *   eh_explore optimal   [params]            Equations 9 / 10 / 11 / 16
+ *   eh_explore sweep     --param tauB --from 1 --to 1000 [--points 40]
+ *                        [--log 1] [--csv out.csv] [params]
+ *   eh_explore simulate  --workload crc --policy clank [--budget 2.5e6]
+ *   eh_explore completion --work 2e6 --harvest 4 [params]
+ *   eh_explore disasm    --workload crc [--nv 0]
+ *   eh_explore traces    --cycles 30000000 [--seed 7] [--dir results]
+ *
+ * [params]: --preset illustrative|msp430|cortexm0|nvp plus Table I
+ * overrides (--E --eps --epsC --tauB --sigmaB --OmegaB --AB --alphaB
+ * --sigmaR --OmegaR --AR --alphaR).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "arch/cpu.hh"
+#include "cli/options.hh"
+#include "core/calibration.hh"
+#include "core/model.hh"
+#include "core/monitoring.hh"
+#include "core/optimum.hh"
+#include "core/sweep.hh"
+#include "core/throughput.hh"
+#include "core/variability.hh"
+#include "energy/supply.hh"
+#include "energy/trace.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/hibernus_pp.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "util/csv.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+int
+cmdProgress(const cli::Options &opts)
+{
+    const auto params = cli::paramsFromOptions(opts);
+    core::Model model(params);
+    const auto b = model.breakdown();
+
+    std::cout << "parameters: " << params.describe() << "\n\n";
+    Table t({"quantity", "value"});
+    t.row({"p (average tau_D, Eq 8)", Table::pct(model.progress())});
+    t.row({"p best case (tau_D = 0)",
+           Table::pct(model.progress(core::DeadCycleMode::BestCase))});
+    t.row({"p worst case (tau_D = tau_B)",
+           Table::pct(model.progress(core::DeadCycleMode::WorstCase))});
+    t.row({"p single-backup (Eq 12)",
+           Table::pct(model.singleBackupProgress())});
+    t.row({"tau_P (cycles of useful work)",
+           Table::num(b.progressCycles, 1)});
+    t.row({"backups per period (n_B)", Table::num(b.backupCount, 2)});
+    t.row({"energy: progress", Table::num(b.progressEnergy, 2)});
+    t.row({"energy: backups", Table::num(b.backupEnergy, 2)});
+    t.row({"energy: dead", Table::num(b.deadEnergy, 2)});
+    t.row({"energy: restore", Table::num(b.restoreEnergy, 2)});
+    t.row({"p guaranteed in 95% of periods",
+           Table::pct(core::tailProgress(params, 0.95))});
+    t.row({"expected p over uniform tau_D",
+           Table::pct(core::expectedProgressUniformDead(params))});
+    t.row({"periods making zero progress",
+           Table::pct(core::infeasiblePeriodFraction(params))});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdOptimal(const cli::Options &opts)
+{
+    const auto params = cli::paramsFromOptions(opts);
+    Table t({"quantity", "cycles", "p at that tau_B"});
+    auto at = [&](double tau) {
+        if (tau <= 0.0)
+            return std::string("-");
+        return Table::pct(
+            core::Model(params).withBackupPeriod(tau).progress());
+    };
+    const double opt = core::optimalBackupPeriod(params);
+    const double wc = core::worstCaseOptimalBackupPeriod(params);
+    const double bit = core::bitPrecisionOptimalPeriod(params);
+    const double be = core::breakEvenBackupPeriodFixedPoint(params);
+    t.row({"tau_B,opt (Eq 9, average case)", Table::num(opt, 2),
+           at(opt)});
+    t.row({"tau_B,opt(wc) (Eq 10, tail latency)", Table::num(wc, 2),
+           at(wc)});
+    t.row({"tau_B,bit (Eq 16, precision reduction)", Table::num(bit, 2),
+           at(bit)});
+    t.row({"tau_B,be (Eq 11, backup/restore break-even)",
+           Table::num(be, 2), at(be)});
+    t.print(std::cout);
+    std::cout << "\nBelow tau_B,be optimize the backup path; above it, "
+                 "the restore path.\n";
+    return 0;
+}
+
+/** Apply a named Table I parameter override. */
+void
+setParam(core::Params &p, const std::string &name, double value)
+{
+    if (name == "tauB")
+        p.backupPeriod = value;
+    else if (name == "E")
+        p.energyBudget = value;
+    else if (name == "eps")
+        p.execEnergy = value;
+    else if (name == "epsC")
+        p.chargeEnergy = value;
+    else if (name == "sigmaB")
+        p.backupBandwidth = value;
+    else if (name == "OmegaB")
+        p.backupCost = value;
+    else if (name == "AB")
+        p.archStateBackup = value;
+    else if (name == "alphaB")
+        p.appStateRate = value;
+    else if (name == "sigmaR")
+        p.restoreBandwidth = value;
+    else if (name == "OmegaR")
+        p.restoreCost = value;
+    else if (name == "AR")
+        p.archStateRestore = value;
+    else if (name == "alphaR")
+        p.appRestoreRate = value;
+    else
+        fatalf("unknown sweep parameter '", name, "'");
+}
+
+int
+cmdSweep(const cli::Options &opts)
+{
+    const auto base = cli::paramsFromOptions(opts);
+    const std::string param = opts.get("param", "tauB");
+    const double from = opts.getDouble("from", 1.0);
+    const double to = opts.getDouble("to", 1000.0);
+    const auto points =
+        static_cast<std::size_t>(opts.getDouble("points", 40.0));
+    const bool log_axis = opts.getDouble("log", 1.0) != 0.0;
+    const auto xs = log_axis ? core::logspace(from, to, points)
+                             : core::linspace(from, to, points);
+
+    Table t({param, "p average", "p best", "p worst"});
+    std::unique_ptr<CsvWriter> csv;
+    if (opts.has("csv")) {
+        csv = std::make_unique<CsvWriter>(
+            opts.get("csv"),
+            std::vector<std::string>{param, "avg", "best", "worst"});
+    }
+    for (double x : xs) {
+        core::Params p = base;
+        setParam(p, param, x);
+        core::Model m(p);
+        const double avg = m.progress();
+        const double best = m.progress(core::DeadCycleMode::BestCase);
+        const double worst = m.progress(core::DeadCycleMode::WorstCase);
+        t.row({Table::num(x, 3), Table::num(avg, 4), Table::num(best, 4),
+               Table::num(worst, 4)});
+        if (csv)
+            csv->rowNumeric({x, avg, best, worst});
+    }
+    t.print(std::cout);
+    if (csv)
+        std::cout << "\nCSV: " << csv->path() << "\n";
+    return 0;
+}
+
+int
+cmdSimulate(const cli::Options &opts)
+{
+    const std::string workload = opts.get("workload", "crc");
+    const std::string policy_name = opts.get("policy", "clank");
+    const bool vol = policy_name == "mementos" || policy_name == "dino" ||
+                     policy_name == "hibernus" ||
+                     policy_name == "hibernus++" ||
+                     policy_name == "watchdog";
+    const auto layout = vol ? workloads::volatileLayout()
+                            : workloads::nonvolatileLayout();
+    const auto w = workloads::makeWorkload(workload, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+    if (!vol)
+        cfg.costs = arch::CostModel::cortexM0();
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    const double budget =
+        opts.getDouble("budget", std::max(golden.energy / 5.0,
+                                          vol ? 3.0e6 : 1.0e6));
+    energy::ConstantSupply supply(budget);
+
+    std::unique_ptr<runtime::BackupPolicy> policy;
+    const auto sram = cfg.sramUsedBytes;
+    if (policy_name == "mementos")
+        policy = std::make_unique<runtime::Mementos>(
+            runtime::MementosConfig{0.5, 4, 400.0, sram});
+    else if (policy_name == "dino")
+        policy = std::make_unique<runtime::Dino>(
+            runtime::DinoConfig{sram, true});
+    else if (policy_name == "hibernus") {
+        runtime::HibernusConfig hc;
+        hc.sramUsedBytes = sram;
+        hc.backupThreshold = std::clamp(
+            2.0 * (static_cast<double>(sram) + 68.0) * 75.0 / budget,
+            0.15, 0.85);
+        policy = std::make_unique<runtime::Hibernus>(hc);
+    } else if (policy_name == "hibernus++") {
+        runtime::HibernusPPConfig hc;
+        hc.sramUsedBytes = sram;
+        policy = std::make_unique<runtime::HibernusPP>(hc);
+    } else if (policy_name == "watchdog") {
+        runtime::WatchdogConfig wc;
+        wc.sramUsedBytes = sram;
+        wc.periodCycles = static_cast<std::uint64_t>(
+            opts.getDouble("tauB", 2000.0));
+        policy = std::make_unique<runtime::Watchdog>(wc);
+    } else if (policy_name == "clank")
+        policy = std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    else if (policy_name == "ratchet")
+        policy = std::make_unique<runtime::Ratchet>(
+            runtime::RatchetConfig{});
+    else if (policy_name == "nvp")
+        policy = std::make_unique<runtime::Nvp>(
+            runtime::NvpConfig{1, 4});
+    else
+        fatalf("unknown policy '", policy_name, "'");
+
+    sim::Simulator s(w.program, *policy, supply, cfg);
+    const auto stats = s.run();
+    std::cout << stats.summary() << "\n";
+
+    bool correct = stats.finished;
+    for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+        correct &= s.resultWord(w.resultAddrs[i]) == w.expected[i];
+    std::cout << "results vs C++ reference: "
+              << (correct ? "exact match" : "MISMATCH") << "\n";
+
+    const auto obs = stats.observe(
+        cfg, vol ? arch::Cpu::archStateBytes : 80);
+    const auto pred = core::predictFromObservation(obs);
+    std::cout << "EH model prediction: "
+              << Table::pct(pred.predictedProgress) << " vs measured "
+              << Table::pct(pred.measuredProgress) << " (error "
+              << Table::pct(pred.relativeError) << ")\n";
+    return correct ? 0 : 1;
+}
+
+int
+cmdCompletion(const cli::Options &opts)
+{
+    const auto params = cli::paramsFromOptions(opts);
+    const double work = opts.getDouble("work", 1.0e6);
+    const double harvest = opts.getDouble("harvest", 0.05);
+    const auto est = core::estimateCompletion(params, work, harvest);
+
+    Table t({"quantity", "value"});
+    t.row({"useful cycles requested", Table::num(work, 0)});
+    t.row({"progress per period", Table::num(est.progressPerPeriod, 1)});
+    t.row({"active cycles per period",
+           Table::num(est.activePerPeriod, 1)});
+    t.row({"charging cycles per period",
+           Table::num(est.chargePerPeriod, 1)});
+    t.row({"periods needed", Table::num(est.periods, 2)});
+    t.row({"total wall-clock cycles", Table::num(est.totalCycles, 0)});
+    t.row({"throughput (useful/wall-clock)",
+           Table::pct(est.throughput)});
+    t.row({"active duty cycle", Table::pct(est.activeDutyCycle)});
+    t.print(std::cout);
+
+    const double tau_best =
+        core::completionOptimalBackupPeriod(params, work, harvest);
+    std::cout << "\nWall-clock-optimal backup period: "
+              << Table::num(tau_best, 1) << " cycles\n"
+              << "Speculation headroom at the current tau_B: "
+              << Table::pct(core::speculationHeadroom(params)) << "\n";
+    return 0;
+}
+
+int
+cmdDisasm(const cli::Options &opts)
+{
+    const std::string workload = opts.get("workload", "crc");
+    const bool nv = opts.getDouble("nv", 1.0) != 0.0;
+    const auto layout = nv ? workloads::nonvolatileLayout()
+                           : workloads::volatileLayout();
+    const auto w = workloads::makeWorkload(workload, layout);
+    std::cout << arch::disassemble(w.program);
+    std::cout << "; payload region: " << w.sramUsedBytes
+              << " bytes; results at:";
+    for (auto addr : w.resultAddrs)
+        std::cout << ' ' << addr;
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmdTraces(const cli::Options &opts)
+{
+    const auto cycles = static_cast<std::uint64_t>(
+        opts.getDouble("cycles", 30'000'000.0));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getDouble("seed", 7.0));
+    const std::string dir = opts.get("dir", "results");
+    const auto traces = energy::makePaperTraces(seed, cycles);
+    for (const auto &trace : traces) {
+        const std::string path = dir + "/" + trace.name() + ".csv";
+        energy::saveTraceCsv(trace, path);
+        std::cout << trace.name() << ": peak "
+                  << Table::num(trace.peakVoltage(), 2) << " V, mean "
+                  << Table::num(trace.meanVoltage(), 2) << " V -> "
+                  << path << "\n";
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "eh_explore — EH model design-space exploration\n"
+        "  progress | optimal | sweep | simulate | completion | disasm | traces\n"
+        "Common parameter flags: --preset illustrative|msp430|cortexm0|"
+        "nvp,\n  --E --eps --epsC --tauB --sigmaB --OmegaB --AB --alphaB"
+        " --sigmaR --OmegaR --AR --alphaR\n"
+        "sweep:    --param tauB --from 1 --to 1000 --points 40 --log 1 "
+        "[--csv file]\n"
+        "simulate: --workload crc --policy clank|ratchet|nvp|mementos|dino|"
+        "hibernus|hibernus++|watchdog [--budget pJ]\n"
+        "disasm:   --workload crc --nv 1|0 (placement)\n"
+        "traces:   --cycles N --seed S --dir results\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        const auto opts = eh::cli::Options::parse(args);
+        const auto &cmd = opts.subcommand();
+        int rc;
+        if (cmd == "progress")
+            rc = cmdProgress(opts);
+        else if (cmd == "optimal")
+            rc = cmdOptimal(opts);
+        else if (cmd == "sweep")
+            rc = cmdSweep(opts);
+        else if (cmd == "simulate")
+            rc = cmdSimulate(opts);
+        else if (cmd == "completion")
+            rc = cmdCompletion(opts);
+        else if (cmd == "disasm")
+            rc = cmdDisasm(opts);
+        else if (cmd == "traces")
+            rc = cmdTraces(opts);
+        else {
+            usage();
+            return cmd.empty() ? 0 : 2;
+        }
+        for (const auto &flag : opts.unusedFlags())
+            eh::warn("unused flag --", flag);
+        return rc;
+    } catch (const std::exception &err) {
+        std::cerr << err.what() << "\n";
+        return 2;
+    }
+}
