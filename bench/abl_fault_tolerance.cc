@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Ablation: forward progress vs. NVM fault rate. The checkpoint CRC +
+ * recovery ladder guarantees detection and recovery for faults inside
+ * the checkpoint region, but wear-driven bit errors strike anywhere —
+ * live application data included — so beyond some rate correctness
+ * degrades no matter what the runtime does. This bench sweeps the
+ * wear bit-error rate (plus proportional targeted checkpoint/selector
+ * corruption) and records, per workload x policy, how often runs still
+ * finish, how often they finish *correctly*, the energy-progress share,
+ * and how hard the recovery machinery had to work.
+ *
+ * The zero-rate column doubles as a regression gate: with no injected
+ * faults every run must finish with exact reference results.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/supply.hh"
+#include "fault/injector.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/nvp.hh"
+#include "sim/simulator.hh"
+#include "support.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace eh;
+
+namespace {
+
+struct RateResult
+{
+    int runs = 0;
+    int finished = 0;
+    int correct = 0;
+    double progressSum = 0.0;
+    std::uint64_t corruptionsDetected = 0;
+    std::uint64_t slotFallbacks = 0;
+    std::uint64_t restartsFromScratch = 0;
+    std::uint64_t bitFlips = 0;
+};
+
+std::unique_ptr<runtime::BackupPolicy>
+makePolicy(const std::string &name, std::size_t sram_used)
+{
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    if (name == "clank")
+        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    return std::make_unique<runtime::Nvp>(runtime::NvpConfig{4, 4});
+}
+
+bool
+isVolatilePolicy(const std::string &name)
+{
+    return name == "dino";
+}
+
+RateResult
+sweepPoint(const std::string &wname, const std::string &pname,
+           double rate, int seeds)
+{
+    const bool vol = isVolatilePolicy(pname);
+    const auto w = workloads::makeWorkload(
+        wname, vol ? workloads::volatileLayout()
+                   : workloads::nonvolatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+    cfg.maxActivePeriods = 60000;
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    const double budget =
+        std::max(vol ? 2.0e6 : 1.0e6, golden.energy / 5.0);
+
+    RateResult agg;
+    for (int seed = 0; seed < seeds; ++seed) {
+        fault::FaultPlan plan;
+        plan.seed = 0xAB1 + static_cast<std::uint64_t>(seed) * 7919;
+        plan.wearBitErrorRate = rate;
+        // Targeted corruption scales with the same rate so the
+        // checkpoint-integrity path is exercised proportionally.
+        plan.checkpointCorruptionProb = std::min(0.9, rate * 1.0e5);
+        plan.selectorCorruptionProb = std::min(0.5, rate * 3.0e4);
+        plan.maxBitFlips = 1ull << 40;
+
+        auto policy = makePolicy(pname, cfg.sramUsedBytes);
+        energy::ConstantSupply supply(budget);
+        fault::FaultInjector injector(plan);
+        sim::Simulator s(w.program, *policy, supply, cfg);
+        s.attachFaultInjector(&injector);
+        const auto stats = s.run();
+
+        ++agg.runs;
+        if (stats.finished) {
+            ++agg.finished;
+            bool exact = true;
+            for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+                exact &= s.resultWord(w.resultAddrs[i]) == w.expected[i];
+            if (exact)
+                ++agg.correct;
+        }
+        agg.progressSum += stats.measuredProgress();
+        agg.corruptionsDetected += stats.corruptionsDetected;
+        agg.slotFallbacks += stats.slotFallbacks;
+        agg.restartsFromScratch += stats.restartsFromScratch;
+        agg.bitFlips += stats.injectedBitFlips;
+    }
+    return agg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: fault tolerance",
+                  "progress and correctness vs. NVM bit-error rate");
+
+    const std::vector<double> rates = {0.0, 1.0e-8, 1.0e-7, 1.0e-6,
+                                       1.0e-5};
+    const int seeds = 5;
+
+    Table table({"workload", "policy", "bit error rate", "finished",
+                 "correct", "mean progress", "corruptions", "fallbacks",
+                 "restarts"});
+    CsvWriter csv(bench::csvPath("abl_fault_tolerance.csv"),
+                  {"workload", "policy", "rate", "runs", "finished",
+                   "correct", "mean_progress", "corruptions_detected",
+                   "slot_fallbacks", "restarts_from_scratch",
+                   "bit_flips"});
+
+    bool zero_rate_clean = true;
+    for (const auto &wname : {"crc", "sha"}) {
+        for (const auto &pname : {"dino", "clank", "nvp"}) {
+            for (double rate : rates) {
+                const auto r = sweepPoint(wname, pname, rate, seeds);
+                if (rate == 0.0 && r.correct != r.runs)
+                    zero_rate_clean = false;
+                const double mean_progress =
+                    r.runs ? r.progressSum / r.runs : 0.0;
+                table.row({wname, pname, Table::num(rate, 8),
+                           std::to_string(r.finished) + "/" +
+                               std::to_string(r.runs),
+                           std::to_string(r.correct) + "/" +
+                               std::to_string(r.runs),
+                           Table::pct(mean_progress),
+                           std::to_string(r.corruptionsDetected),
+                           std::to_string(r.slotFallbacks),
+                           std::to_string(r.restartsFromScratch)});
+                csv.row({wname, pname, Table::num(rate, 10),
+                         std::to_string(r.runs),
+                         std::to_string(r.finished),
+                         std::to_string(r.correct),
+                         Table::num(mean_progress, 5),
+                         std::to_string(r.corruptionsDetected),
+                         std::to_string(r.slotFallbacks),
+                         std::to_string(r.restartsFromScratch),
+                         std::to_string(r.bitFlips)});
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nZero-rate runs all finish with exact results: "
+              << (zero_rate_clean ? "CONFIRMED" : "VIOLATED")
+              << "\nTakeaway: CRC + slot fallback + counted restart keep "
+                 "checkpoint faults invisible to\nresults; only "
+                 "array-wide wear faults on live data erode correctness, "
+                 "and gradually.\nCSV: "
+              << bench::csvPath("abl_fault_tolerance.csv") << "\n";
+    return zero_rate_clean ? 0 : 1;
+}

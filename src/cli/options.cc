@@ -74,6 +74,81 @@ Options::unusedFlags() const
     return unused;
 }
 
+namespace {
+
+/** Parse "12,400,9000" into cycle/instruction fault points. */
+std::vector<std::uint64_t>
+parsePointList(const Options &options, const std::string &flag)
+{
+    std::vector<std::uint64_t> points;
+    const std::string raw = options.get(flag);
+    std::size_t pos = 0;
+    while (pos < raw.size()) {
+        const std::size_t comma = raw.find(',', pos);
+        const std::string item =
+            raw.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0')
+            fatalf("flag --", flag, " expects comma-separated integers, "
+                   "got '", raw, "'");
+        points.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return points;
+}
+
+} // namespace
+
+bool
+hasFaultOptions(const Options &options)
+{
+    static const char *flags[] = {
+        "fault-seed",          "fault-at-cycle",
+        "fault-at-instr",      "fault-backup-prob",
+        "fault-selector-prob", "fault-restore-prob",
+        "fault-max",           "fault-ckpt-corrupt-prob",
+        "fault-selector-corrupt-prob", "fault-wear-rate",
+        "fault-max-bitflips",  "fault-transient-restore-prob",
+    };
+    for (const char *flag : flags) {
+        if (options.has(flag))
+            return true;
+    }
+    return false;
+}
+
+fault::FaultPlan
+faultPlanFromOptions(const Options &options)
+{
+    fault::FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(
+        options.getDouble("fault-seed", static_cast<double>(plan.seed)));
+    if (options.has("fault-at-cycle"))
+        plan.failAtCycle = parsePointList(options, "fault-at-cycle");
+    if (options.has("fault-at-instr"))
+        plan.failAtInstruction = parsePointList(options, "fault-at-instr");
+    plan.backupFailProb = options.getDouble("fault-backup-prob", 0.0);
+    plan.selectorFlipFailProb =
+        options.getDouble("fault-selector-prob", 0.0);
+    plan.restoreFailProb = options.getDouble("fault-restore-prob", 0.0);
+    plan.maxForcedFailures = static_cast<std::uint64_t>(options.getDouble(
+        "fault-max", static_cast<double>(plan.maxForcedFailures)));
+    plan.checkpointCorruptionProb =
+        options.getDouble("fault-ckpt-corrupt-prob", 0.0);
+    plan.selectorCorruptionProb =
+        options.getDouble("fault-selector-corrupt-prob", 0.0);
+    plan.wearBitErrorRate = options.getDouble("fault-wear-rate", 0.0);
+    plan.maxBitFlips = static_cast<std::uint64_t>(options.getDouble(
+        "fault-max-bitflips", static_cast<double>(plan.maxBitFlips)));
+    plan.transientRestoreFaultProb =
+        options.getDouble("fault-transient-restore-prob", 0.0);
+    return plan;
+}
+
 core::Params
 paramsFromOptions(const Options &options)
 {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/params.hh"
+#include "fault/plan.hh"
 
 namespace eh::cli {
 
@@ -61,6 +62,28 @@ class Options
  * @throws FatalError on unknown presets or invalid final parameters.
  */
 core::Params paramsFromOptions(const Options &options);
+
+/**
+ * Build a fault plan from `--fault-*` options (all optional; the default
+ * plan injects nothing):
+ *   --fault-seed N                 seed for every stochastic fault draw
+ *   --fault-at-cycle C[,C...]      forced power failure at active cycle C
+ *   --fault-at-instr K[,K...]      forced power failure before instr K
+ *   --fault-backup-prob P          P(interrupt a backup mid-slot-write)
+ *   --fault-selector-prob P        P(failure exactly at the selector flip)
+ *   --fault-restore-prob P         P(interrupt a restore)
+ *   --fault-max N                  cap on forced power failures
+ *   --fault-ckpt-corrupt-prob P    P(bit flip in the slot just committed)
+ *   --fault-selector-corrupt-prob P  P(bit flip in the selector word)
+ *   --fault-wear-rate R            bit errors per NVM byte written
+ *   --fault-max-bitflips N         cap on injected bit flips
+ *   --fault-transient-restore-prob P  P(transient restore read fault)
+ * @throws FatalError on unparsable numbers or out-of-range rates.
+ */
+fault::FaultPlan faultPlanFromOptions(const Options &options);
+
+/** True when any --fault-* option was supplied. */
+bool hasFaultOptions(const Options &options);
 
 } // namespace eh::cli
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -180,6 +181,10 @@ loadTraceCsv(const std::string &path, const std::string &name)
         fatalf("loadTraceCsv: '", path,
                "' lacks the 'cycle,volts' header");
 
+    // Reject garbage before it can reach the supply model: every row
+    // must carry a finite, non-negative voltage, and the cycle column
+    // must be strictly monotonic with a constant pitch. Each diagnostic
+    // names the offending line.
     std::vector<std::uint64_t> cycles;
     std::vector<double> volts;
     std::size_t line_no = 1;
@@ -190,10 +195,27 @@ loadTraceCsv(const std::string &path, const std::string &name)
         std::istringstream row(line);
         std::uint64_t cycle;
         char comma;
-        double v;
-        if (!(row >> cycle >> comma >> v) || comma != ',')
-            fatalf("loadTraceCsv: malformed row ", line_no, " in '",
-                   path, "': ", line);
+        std::string vtok;
+        // The voltage goes through strtod, not operator>>: the stream
+        // extractor rejects "nan"/"inf" outright, which would misreport
+        // non-finite samples as mere syntax errors.
+        if (!(row >> cycle >> comma >> vtok) || comma != ',')
+            fatalf("loadTraceCsv: malformed row at line ", line_no,
+                   " of '", path, "': ", line);
+        char *vend = nullptr;
+        const double v = std::strtod(vtok.c_str(), &vend);
+        if (vend == vtok.c_str() || *vend != '\0')
+            fatalf("loadTraceCsv: malformed row at line ", line_no,
+                   " of '", path, "': ", line);
+        if (std::isnan(v) || std::isinf(v))
+            fatalf("loadTraceCsv: non-finite voltage at line ", line_no,
+                   " of '", path, "': ", line);
+        if (v < 0.0)
+            fatalf("loadTraceCsv: negative voltage at line ", line_no,
+                   " of '", path, "': ", line);
+        if (!cycles.empty() && cycle <= cycles.back())
+            fatalf("loadTraceCsv: non-monotonic cycle at line ", line_no,
+                   " of '", path, "': ", cycle, " after ", cycles.back());
         cycles.push_back(cycle);
         volts.push_back(v);
     }
@@ -203,11 +225,9 @@ loadTraceCsv(const std::string &path, const std::string &name)
     std::uint64_t pitch = 1;
     if (cycles.size() >= 2) {
         pitch = cycles[1] - cycles[0];
-        if (pitch == 0)
-            fatalf("loadTraceCsv: zero sample pitch in '", path, "'");
         for (std::size_t i = 1; i < cycles.size(); ++i) {
             if (cycles[i] - cycles[i - 1] != pitch)
-                fatalf("loadTraceCsv: uneven sample spacing at row ",
+                fatalf("loadTraceCsv: uneven sample spacing at line ",
                        i + 2, " of '", path, "'");
         }
     }

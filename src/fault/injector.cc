@@ -1,0 +1,203 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+
+#include "mem/nvm.hh"
+#include "util/panic.hh"
+
+namespace eh::fault {
+
+namespace {
+
+void
+checkProb(double p, const char *what)
+{
+    if (!(p >= 0.0 && p <= 1.0))
+        fatalf("FaultPlan: ", what, " must be a probability in [0, 1], "
+               "got ", p);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : thePlan(plan), rng(plan.seed),
+      cyclePoints(plan.failAtCycle),
+      instructionPoints(plan.failAtInstruction)
+{
+    checkProb(plan.backupFailProb, "backupFailProb");
+    checkProb(plan.selectorFlipFailProb, "selectorFlipFailProb");
+    checkProb(plan.restoreFailProb, "restoreFailProb");
+    checkProb(plan.checkpointCorruptionProb, "checkpointCorruptionProb");
+    checkProb(plan.selectorCorruptionProb, "selectorCorruptionProb");
+    checkProb(plan.transientRestoreFaultProb, "transientRestoreFaultProb");
+    if (plan.wearBitErrorRate < 0.0)
+        fatalf("FaultPlan: wearBitErrorRate must be >= 0, got ",
+               plan.wearBitErrorRate);
+    std::sort(cyclePoints.begin(), cyclePoints.end());
+    std::sort(instructionPoints.begin(), instructionPoints.end());
+}
+
+void
+FaultInjector::noteCheckpointRegion(std::uint64_t slot0_addr,
+                                    std::uint64_t slot_bytes,
+                                    std::uint64_t selector_addr)
+{
+    slot0Addr = slot0_addr;
+    slotBytes = slot_bytes;
+    selectorAddr = selector_addr;
+    regionKnown = true;
+}
+
+bool
+FaultInjector::forcedFailuresExhausted() const
+{
+    return tally.powerFailures() >= thePlan.maxForcedFailures;
+}
+
+bool
+FaultInjector::bitFlipBudgetExhausted() const
+{
+    return tally.bitFlips() >= thePlan.maxBitFlips;
+}
+
+bool
+FaultInjector::failBeforeInstruction(std::uint64_t instruction,
+                                     std::uint64_t active_cycle)
+{
+    if (forcedFailuresExhausted())
+        return false;
+    bool fire = false;
+    // Consume every planned point this boundary has reached: several
+    // points inside one instruction still cause only one failure.
+    while (nextInstructionPoint < instructionPoints.size() &&
+           instructionPoints[nextInstructionPoint] <= instruction) {
+        ++nextInstructionPoint;
+        fire = true;
+    }
+    while (nextCyclePoint < cyclePoints.size() &&
+           cyclePoints[nextCyclePoint] <= active_cycle) {
+        ++nextCyclePoint;
+        fire = true;
+    }
+    if (fire)
+        ++tally.forcedPowerFailures;
+    return fire;
+}
+
+std::optional<std::uint64_t>
+FaultInjector::backupFailure(std::uint64_t backup_index,
+                             std::uint64_t cycles)
+{
+    if (cycles == 0 || forcedFailuresExhausted())
+        return std::nullopt;
+    if (backup_index == thePlan.failBackupIndex) {
+        ++tally.backupInterrupts;
+        return std::min(thePlan.failBackupAtCycle, cycles - 1);
+    }
+    if (thePlan.backupFailProb > 0.0 &&
+        rng.nextBool(thePlan.backupFailProb)) {
+        ++tally.backupInterrupts;
+        return rng.nextBelow(cycles);
+    }
+    return std::nullopt;
+}
+
+SelectorFlipFault
+FaultInjector::selectorFlipFailure()
+{
+    if (thePlan.selectorFlipFailProb <= 0.0 || forcedFailuresExhausted())
+        return SelectorFlipFault::None;
+    if (!rng.nextBool(thePlan.selectorFlipFailProb))
+        return SelectorFlipFault::None;
+    ++tally.selectorFlipInterrupts;
+    return rng.nextBool(0.5) ? SelectorFlipFault::TornWrite
+                             : SelectorFlipFault::BeforeFlip;
+}
+
+std::uint32_t
+FaultInjector::tornSelectorValue()
+{
+    // Any word that is not a valid slot designator (0 none, 1, 2).
+    for (;;) {
+        const auto v = static_cast<std::uint32_t>(rng.next());
+        if (v > 2)
+            return v;
+    }
+}
+
+std::optional<std::uint64_t>
+FaultInjector::restoreFailure(std::uint64_t cycles)
+{
+    if (cycles == 0 || thePlan.restoreFailProb <= 0.0 ||
+        forcedFailuresExhausted())
+        return std::nullopt;
+    if (!rng.nextBool(thePlan.restoreFailProb))
+        return std::nullopt;
+    ++tally.restoreInterrupts;
+    return rng.nextBelow(cycles);
+}
+
+bool
+FaultInjector::transientRestoreFault()
+{
+    if (thePlan.transientRestoreFaultProb <= 0.0)
+        return false;
+    if (!rng.nextBool(thePlan.transientRestoreFaultProb))
+        return false;
+    ++tally.transientRestoreFaults;
+    return true;
+}
+
+void
+FaultInjector::flipBit(mem::Nvm &nvm, std::uint64_t addr, unsigned bit,
+                       std::uint64_t &counter)
+{
+    nvm.flipBit(addr, bit);
+    ++counter;
+}
+
+void
+FaultInjector::corruptAfterBackup(mem::Nvm &nvm, std::uint32_t slot)
+{
+    EH_ASSERT(regionKnown,
+              "fault injector consulted before the checkpoint region "
+              "was reported");
+    EH_ASSERT(slot == 1 || slot == 2, "corruptAfterBackup: bad slot");
+    if (thePlan.checkpointCorruptionProb > 0.0 &&
+        !bitFlipBudgetExhausted() &&
+        rng.nextBool(thePlan.checkpointCorruptionProb)) {
+        const std::uint64_t base = slot0Addr + (slot - 1) * slotBytes;
+        flipBit(nvm, base + rng.nextBelow(slotBytes),
+                static_cast<unsigned>(rng.nextBelow(8)),
+                tally.checkpointBitFlips);
+    }
+    if (thePlan.selectorCorruptionProb > 0.0 &&
+        !bitFlipBudgetExhausted() &&
+        rng.nextBool(thePlan.selectorCorruptionProb)) {
+        flipBit(nvm, selectorAddr + rng.nextBelow(4),
+                static_cast<unsigned>(rng.nextBelow(8)),
+                tally.selectorCorruptions);
+    }
+}
+
+void
+FaultInjector::applyWearFaults(mem::Nvm &nvm)
+{
+    if (thePlan.wearBitErrorRate <= 0.0)
+        return;
+    const std::uint64_t written = nvm.bytesWritten();
+    const std::uint64_t delta = written - wearBytesSeen;
+    wearBytesSeen = written;
+    pendingWearFlips +=
+        thePlan.wearBitErrorRate * static_cast<double>(delta);
+    while (pendingWearFlips >= 1.0 && !bitFlipBudgetExhausted()) {
+        pendingWearFlips -= 1.0;
+        flipBit(nvm, rng.nextBelow(nvm.size()),
+                static_cast<unsigned>(rng.nextBelow(8)),
+                tally.wearBitFlips);
+    }
+    // The fractional residue carries over to the next call, so the
+    // long-run flip count matches rate * bytes exactly.
+}
+
+} // namespace eh::fault

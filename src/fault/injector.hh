@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The fault injector: executes a FaultPlan against a running simulation.
+ * The simulator consults it at every point the plan can strike — before
+ * each instruction, inside each backup and restore, at the selector-word
+ * flip, after each commit — and the injector answers deterministically
+ * from the plan and its seeded Rng while tallying what it injected.
+ *
+ * The injector is deliberately mechanism-free: it decides *that* a fault
+ * happens (and where, for bit flips); the simulator owns the physics of
+ * what a torn slot write or a dropped selector flip leaves behind.
+ */
+
+#ifndef EH_FAULT_INJECTOR_HH
+#define EH_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/plan.hh"
+#include "util/random.hh"
+
+namespace eh::mem {
+class Nvm;
+}
+
+namespace eh::fault {
+
+/** Outcome of consulting the injector at the selector-word flip. */
+enum class SelectorFlipFault
+{
+    None,       ///< the flip commits normally
+    BeforeFlip, ///< power dies first; the old selector value persists
+    TornWrite   ///< power dies mid-write; the word is left as garbage
+};
+
+/** Executes one FaultPlan against one simulation run (see file header). */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /**
+     * The simulator reports its checkpoint geometry (NVM-relative
+     * addresses) so targeted corruption knows where the slots live.
+     */
+    void noteCheckpointRegion(std::uint64_t slot0_addr,
+                              std::uint64_t slot_bytes,
+                              std::uint64_t selector_addr);
+
+    /**
+     * Should power fail before the instruction about to execute?
+     * @param instruction Lifetime executed-instruction count so far.
+     * @param active_cycle Lifetime active-cycle count so far.
+     */
+    bool failBeforeInstruction(std::uint64_t instruction,
+                               std::uint64_t active_cycle);
+
+    /**
+     * Should backup number @p backup_index (0-based attempt count),
+     * which will take @p cycles cycles, be interrupted? Returns the
+     * cycle offset in [0, cycles) at which power dies, or nullopt.
+     */
+    std::optional<std::uint64_t> backupFailure(std::uint64_t backup_index,
+                                               std::uint64_t cycles);
+
+    /** Consulted when a fully written slot is about to be committed. */
+    SelectorFlipFault selectorFlipFailure();
+
+    /** Garbage value a torn selector write leaves behind (never 0/1/2). */
+    std::uint32_t tornSelectorValue();
+
+    /**
+     * Should this restore (taking @p cycles cycles) be interrupted by a
+     * power failure? Returns the cycle offset at which power dies.
+     */
+    std::optional<std::uint64_t> restoreFailure(std::uint64_t cycles);
+
+    /** Does this restore attempt fail transiently (retry, no reboot)? */
+    bool transientRestoreFault();
+
+    /**
+     * A backup into @p slot (1 or 2) just committed: apply any targeted
+     * checkpoint/selector corruption the plan calls for, directly into
+     * @p nvm (NVM-relative addressing, uncharged — faults are free).
+     */
+    void corruptAfterBackup(mem::Nvm &nvm, std::uint32_t slot);
+
+    /**
+     * Apply wear-driven random bit errors: the plan's rate times the
+     * bytes written to @p nvm since the last call gives the expected
+     * number of flips, landed at uniform random bits of the array.
+     */
+    void applyWearFaults(mem::Nvm &nvm);
+
+    /** Everything injected so far. */
+    const FaultCounters &counters() const { return tally; }
+
+    /** The plan being executed. */
+    const FaultPlan &plan() const { return thePlan; }
+
+  private:
+    bool forcedFailuresExhausted() const;
+    bool bitFlipBudgetExhausted() const;
+    void flipBit(mem::Nvm &nvm, std::uint64_t addr, unsigned bit,
+                 std::uint64_t &counter);
+
+    FaultPlan thePlan;
+    Rng rng;
+    FaultCounters tally;
+
+    std::vector<std::uint64_t> cyclePoints;       ///< sorted failAtCycle
+    std::vector<std::uint64_t> instructionPoints; ///< sorted failAtInstruction
+    std::size_t nextCyclePoint = 0;
+    std::size_t nextInstructionPoint = 0;
+
+    std::uint64_t slot0Addr = 0;
+    std::uint64_t slotBytes = 0;
+    std::uint64_t selectorAddr = 0;
+    bool regionKnown = false;
+
+    double pendingWearFlips = 0.0;
+    std::uint64_t wearBytesSeen = 0;
+};
+
+} // namespace eh::fault
+
+#endif // EH_FAULT_INJECTOR_HH

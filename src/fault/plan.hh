@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fault plans: a declarative, fully deterministic description of the
+ * faults one simulation run must suffer. The intermittent-computing
+ * literature is unambiguous that correctness must hold under power
+ * failure at *every* program point (Surbatovich et al.) and that real
+ * nonvolatile memories exhibit bit errors and wear (NORM); a FaultPlan
+ * lets tests and benchmarks force exactly those conditions — a failure
+ * at the worst cycle, a flipped bit in a checkpoint slot — instead of
+ * waiting for a harvested supply to happen to brown out there.
+ *
+ * Everything stochastic is driven by the plan's seed through eh::Rng, so
+ * a (plan, workload, policy, supply) tuple replays bit-identically.
+ */
+
+#ifndef EH_FAULT_PLAN_HH
+#define EH_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eh::fault {
+
+/** Sentinel for "no index selected". */
+constexpr std::uint64_t noIndex = UINT64_MAX;
+
+/**
+ * What to inject into one run. Default-constructed plans inject nothing;
+ * each knob arms one fault class independently.
+ */
+struct FaultPlan
+{
+    /** Seed for every stochastic decision below. */
+    std::uint64_t seed = 1;
+
+    // ---- (a) forced power failures --------------------------------------
+
+    /**
+     * Kill power at the first instruction boundary at or after each of
+     * these absolute active-cycle counts (summed over the whole run,
+     * re-execution included). Unsorted is fine.
+     */
+    std::vector<std::uint64_t> failAtCycle;
+
+    /**
+     * Kill power immediately before the k-th executed instruction
+     * (lifetime count, re-execution included), for each listed k.
+     */
+    std::vector<std::uint64_t> failAtInstruction;
+
+    /**
+     * Probability that any given backup is interrupted by a power
+     * failure partway through writing its checkpoint slot (a torn slot
+     * write — the Section II consistency hazard).
+     */
+    double backupFailProb = 0.0;
+
+    /**
+     * Deterministic variant of backupFailProb: interrupt backup number
+     * failBackupIndex (0-based count of backup attempts) after exactly
+     * failBackupAtCycle of its write cycles. Used to sweep a failure
+     * across every cycle of one backup.
+     */
+    std::uint64_t failBackupIndex = noIndex;
+    std::uint64_t failBackupAtCycle = 0;
+
+    /**
+     * Probability that a backup that survives the slot write dies
+     * exactly at the selector-word flip. Half such deaths land before
+     * the word is durable (old selector persists); the other half tear
+     * the word into garbage, exercising the selector-recovery path.
+     */
+    double selectorFlipFailProb = 0.0;
+
+    /** Probability that a restore is interrupted partway through. */
+    double restoreFailProb = 0.0;
+
+    /**
+     * Stop injecting *forced power failures* (the four knobs above)
+     * after this many, so plans terminate even under policies that back
+     * up every instruction.
+     */
+    std::uint64_t maxForcedFailures = 16;
+
+    // ---- (b) NVM bit errors ---------------------------------------------
+
+    /**
+     * Probability, per committed backup, that a bit of the just-written
+     * checkpoint slot flips (targeted corruption — the case integrity
+     * checking exists for).
+     */
+    double checkpointCorruptionProb = 0.0;
+
+    /**
+     * Probability, per committed backup, that a bit of the selector
+     * word flips.
+     */
+    double selectorCorruptionProb = 0.0;
+
+    /**
+     * Random bit errors tied to wear: expected flips per byte written
+     * to the NVM device (anywhere in the array, live data included —
+     * these can legitimately corrupt results; the ablation harness
+     * measures how gracefully policies degrade).
+     */
+    double wearBitErrorRate = 0.0;
+
+    /** Cap on injected bit flips (targeted + wear-driven). */
+    std::uint64_t maxBitFlips = 64;
+
+    // ---- (c) transient restore faults -----------------------------------
+
+    /**
+     * Probability that a restore attempt fails transiently (a read
+     * disturb / marginal sense): the attempt is abandoned and retried
+     * without a power cycle.
+     */
+    double transientRestoreFaultProb = 0.0;
+};
+
+/** Tally of every fault actually injected, by class. */
+struct FaultCounters
+{
+    std::uint64_t forcedPowerFailures = 0;   ///< at cycle/instruction points
+    std::uint64_t backupInterrupts = 0;      ///< mid-slot-write failures
+    std::uint64_t selectorFlipInterrupts = 0;///< failures at the flip itself
+    std::uint64_t restoreInterrupts = 0;     ///< mid-restore failures
+    std::uint64_t checkpointBitFlips = 0;    ///< targeted slot corruption
+    std::uint64_t selectorCorruptions = 0;   ///< selector-word corruption
+    std::uint64_t wearBitFlips = 0;          ///< rate-driven array corruption
+    std::uint64_t transientRestoreFaults = 0;
+
+    /** All injected power-failure faults. */
+    std::uint64_t
+    powerFailures() const
+    {
+        return forcedPowerFailures + backupInterrupts +
+               selectorFlipInterrupts + restoreInterrupts;
+    }
+
+    /** All injected bit flips. */
+    std::uint64_t
+    bitFlips() const
+    {
+        return checkpointBitFlips + selectorCorruptions + wearBitFlips;
+    }
+};
+
+} // namespace eh::fault
+
+#endif // EH_FAULT_PLAN_HH

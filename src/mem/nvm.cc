@@ -1,5 +1,6 @@
 #include "mem/nvm.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -102,6 +103,22 @@ Nvm::write(std::uint64_t addr, const void *in, std::size_t len)
     std::memcpy(data.data() + addr, in, len);
     writtenTotal += len;
     return writeCost(len);
+}
+
+void
+Nvm::flipBit(std::uint64_t addr, unsigned bit)
+{
+    checkRange(addr, 1, "flipBit");
+    if (bit > 7)
+        fatalf("Nvm: flipBit bit index ", bit, " out of range");
+    data[addr] ^= static_cast<std::uint8_t>(1u << bit);
+    ++flippedTotal;
+}
+
+void
+Nvm::wipe()
+{
+    std::fill(data.begin(), data.end(), 0);
 }
 
 std::uint32_t

@@ -98,11 +98,29 @@ class Nvm
     /** Power failure: nonvolatile contents are unaffected (by design). */
     void powerFail() {}
 
+    /**
+     * Fault injection: invert one stored bit in place. Unlike write(),
+     * this charges nothing and does not count as wear — it models the
+     * cell decaying, not the device being used. @p bit is 0..7.
+     */
+    void flipBit(std::uint64_t addr, unsigned bit);
+
+    /**
+     * Erase the whole array back to zeros, as a reprogramming tool
+     * would. Charges nothing and does not count as wear — it models
+     * recovery-by-reflash, not in-mission device use. Lifetime wear
+     * counters are preserved.
+     */
+    void wipe();
+
     /** Total bytes written over the device's lifetime (wear statistics). */
     std::uint64_t bytesWritten() const { return writtenTotal; }
 
     /** Total bytes read over the device's lifetime. */
     std::uint64_t bytesRead() const { return readTotal; }
+
+    /** Total bits inverted by flipBit() (injected-fault statistics). */
+    std::uint64_t bitsFlipped() const { return flippedTotal; }
 
   private:
     void checkRange(std::uint64_t addr, std::size_t len,
@@ -113,6 +131,7 @@ class Nvm
     NvmCosts costTable;
     mutable std::uint64_t readTotal = 0;
     std::uint64_t writtenTotal = 0;
+    std::uint64_t flippedTotal = 0;
 };
 
 } // namespace eh::mem

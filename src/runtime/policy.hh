@@ -130,6 +130,17 @@ class BackupPolicy
 
     /** A restore completed; execution resumes at the checkpoint. */
     virtual void onRestore() = 0;
+
+    /**
+     * A restore attempt could not use the expected checkpoint — the
+     * slot failed its integrity check (corruption), the read faulted
+     * transiently, or recovery fell through to a restart from program
+     * start. Called before the recovery action resolves; onRestore()
+     * still follows once execution has a consistent state to resume
+     * from. The default keeps policies oblivious: volatile tracking was
+     * already cleared by onPowerFail(), so most have nothing to do.
+     */
+    virtual void onRestoreFailed() {}
 };
 
 } // namespace eh::runtime

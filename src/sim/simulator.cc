@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "fault/injector.hh"
+#include "util/crc.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
 
@@ -13,6 +15,14 @@ namespace {
 
 /** Magic word marking a valid checkpoint slot header. */
 constexpr std::uint32_t checkpointMagic = 0xE4C0FFEE;
+
+// Slot layout (offsets from the slot base; header 16 bytes total):
+//   +0  magic   +4  crc32 of [+8, slotBytes)   +8  payload length
+//   +12 sequence number   +16 arch state   +16+arch  volatile payload
+constexpr std::uint64_t slotCrcOffset = 4;
+constexpr std::uint64_t slotLenOffset = 8;
+constexpr std::uint64_t slotSeqOffset = 12;
+constexpr std::uint64_t slotBodyOffset = 8; ///< CRC covers from here on
 
 } // namespace
 
@@ -85,7 +95,16 @@ SimStats::summary() const
     oss << workload << " under " << policy << ": " << periods
         << " periods, " << backups << " backups, " << restores
         << " restores, " << powerFailures << " power failures"
-        << (finished ? " (finished)" : " (NOT finished)") << "\n"
+        << (finished ? " (finished)"
+                     : (gaveUp ? " (GAVE UP: restart bound hit)"
+                               : " (NOT finished)"))
+        << "\n"
+        << "  faults: injected " << injectedPowerFailures
+        << " power failures + " << injectedBitFlips
+        << " bit flips; detected " << corruptionsDetected
+        << " corruptions -> " << slotFallbacks << " slot fallbacks, "
+        << restartsFromScratch << " restarts from scratch, "
+        << transientRestoreFaults << " transient restore faults\n"
         << "  progress " << measuredProgress() * 100.0 << "%"
         << ", mean tau_B " << (tauB.count() ? tauB.mean() : 0.0)
         << ", mean tau_D " << (tauD.count() ? tauD.mean() : 0.0)
@@ -109,21 +128,52 @@ Simulator::Simulator(const arch::Program &program,
       mem_(config.sramBytes, config.nvmBytes, config.nvmTech),
       cpu_(program, mem_, config.costs)
 {
+    // Validate the whole configuration up front with actionable fatal()
+    // messages, instead of tripping a panic() (or worse, silent
+    // out-of-range arithmetic) deep inside run().
     if (cfg.sramUsedBytes > cfg.sramBytes)
         fatalf("Simulator: payload region (", cfg.sramUsedBytes,
                ") exceeds SRAM (", cfg.sramBytes, ")");
-    // Checkpoint region: header (8) + arch state + payload capacity,
-    // double-buffered, plus a selector word at the very top of NVM.
-    slotBytes = 8 + arch::Cpu::archStateBytes + cfg.sramUsedBytes;
+    if (cfg.maxActivePeriods == 0)
+        fatal("Simulator: maxActivePeriods must be > 0");
+    if (cfg.maxInstructionsPerPeriod == 0)
+        fatal("Simulator: maxInstructionsPerPeriod must be > 0");
+    if (cfg.enableNvmCache) {
+        const auto &g = cfg.cacheGeometry;
+        if (g.totalBytes == 0 || g.associativity == 0 ||
+            g.blockBytes == 0) {
+            fatalf("Simulator: cache geometry must be nonzero (size ",
+                   g.totalBytes, ", ways ", g.associativity, ", block ",
+                   g.blockBytes, ")");
+        }
+        if (g.totalBytes > cfg.nvmBytes)
+            fatalf("Simulator: NVM cache (", g.totalBytes,
+                   " bytes) larger than the NVM region it fronts (",
+                   cfg.nvmBytes, " bytes)");
+    }
+    // Checkpoint region: header (magic, CRC, length, sequence) + arch
+    // state + payload capacity, double-buffered, plus a selector word at
+    // the very top of NVM. The workload needs nonzero NVM below it.
+    slotBytes =
+        checkpointSlotBytes(arch::Cpu::archStateBytes, cfg.sramUsedBytes);
     const std::uint64_t region = 2 * slotBytes + 16;
     if (region + 1024 > cfg.nvmBytes)
         fatalf("Simulator: NVM (", cfg.nvmBytes,
-               " bytes) too small for the checkpoint region (", region,
-               " bytes) plus workload data");
+               " bytes) leaves no workload space under the checkpoint "
+               "region (", region, " bytes + selector); need at least ",
+               region + 1024, " bytes of NVM");
     selectorAddr = cfg.nvmBytes - 8;
     slot0Addr = cfg.nvmBytes - 16 - 2 * slotBytes;
     if (cfg.enableNvmCache)
         mem_.attachNvmCache(cfg.cacheGeometry);
+}
+
+void
+Simulator::attachFaultInjector(fault::FaultInjector *injector)
+{
+    inj = injector;
+    if (inj)
+        inj->noteCheckpointRegion(slot0Addr, slotBytes, selectorAddr);
 }
 
 runtime::SupplyView
@@ -170,9 +220,78 @@ Simulator::chargeMonitorOverhead(const runtime::PolicyDecision &d)
     return ActionStatus::Ok;
 }
 
+std::vector<std::uint8_t>
+Simulator::buildSlotImage(std::uint32_t payload_len, std::uint32_t seq)
+{
+    std::vector<std::uint8_t> image(checkpointSlotHeaderBytes +
+                                    arch::Cpu::archStateBytes +
+                                    payload_len);
+    auto put32 = [&](std::uint64_t off, std::uint32_t v) {
+        std::memcpy(image.data() + off, &v, 4);
+    };
+    put32(0, checkpointMagic);
+    put32(slotLenOffset, payload_len);
+    put32(slotSeqOffset, seq);
+    cpu_.saveArchState(image.data() + checkpointSlotHeaderBytes);
+    if (payload_len > 0) {
+        mem_.sram().read(0,
+                         image.data() + checkpointSlotHeaderBytes +
+                             arch::Cpu::archStateBytes,
+                         payload_len);
+    }
+    put32(slotCrcOffset, crc32(image.data() + slotBodyOffset,
+                               image.size() - slotBodyOffset));
+    return image;
+}
+
+bool
+Simulator::slotValid(std::uint32_t slot) const
+{
+    const std::uint64_t base = slot0Addr + (slot - 1) * slotBytes;
+    if (mem_.nvm().load32(base) != checkpointMagic)
+        return false;
+    const std::uint32_t payload_len = mem_.nvm().load32(base + slotLenOffset);
+    if (payload_len > cfg.sramUsedBytes)
+        return false; // length field itself corrupted
+    const std::uint64_t body_len = checkpointSlotHeaderBytes -
+                                   slotBodyOffset +
+                                   arch::Cpu::archStateBytes + payload_len;
+    std::vector<std::uint8_t> body(body_len);
+    mem_.nvm().read(base + slotBodyOffset, body.data(), body.size());
+    return crc32(body.data(), body.size()) ==
+           mem_.nvm().load32(base + slotCrcOffset);
+}
+
+std::uint32_t
+Simulator::slotSeq(std::uint32_t slot) const
+{
+    return mem_.nvm().load32(slot0Addr + (slot - 1) * slotBytes +
+                             slotSeqOffset);
+}
+
+std::uint32_t
+Simulator::newestValidSlot() const
+{
+    const bool v1 = slotValid(1);
+    const bool v2 = slotValid(2);
+    if (v1 && v2) {
+        // Sequence numbers differ by exactly 1 between the two slots, so
+        // wraparound-safe "newer" is the signed difference's sign.
+        const std::int32_t d =
+            static_cast<std::int32_t>(slotSeq(2) - slotSeq(1));
+        return d > 0 ? 2 : 1;
+    }
+    if (v1)
+        return 1;
+    if (v2)
+        return 2;
+    return 0;
+}
+
 Simulator::ActionStatus
 Simulator::doBackup(arch::BackupTrigger reason)
 {
+    const std::uint64_t attempt = backupAttempts++;
     const std::uint64_t arch_bytes = pol.chargedArchBytes();
     std::uint64_t app_bytes = pol.chargedAppBackupBytes();
     if (mem_.hasNvmCache()) {
@@ -184,6 +303,41 @@ Simulator::doBackup(arch::BackupTrigger reason)
     const auto wcost = mem_.nvm().writeCost(charged);
     const std::uint64_t cycles = std::max<std::uint64_t>(wcost.cycles, 1);
 
+    const std::uint32_t target = activeSlot == 1 ? 2 : 1;
+    const std::uint64_t base = slot0Addr + (target - 1) * slotBytes;
+    const std::uint32_t payload_len =
+        pol.savesVolatilePayload()
+            ? static_cast<std::uint32_t>(cfg.sramUsedBytes)
+            : 0;
+
+    // Injected power failure partway through the slot write: pay for the
+    // cycles that ran, tear the inactive slot's image at the matching
+    // byte offset, and die. The active slot is untouched — this is the
+    // exact hazard double-buffering exists to survive.
+    if (inj) {
+        if (const auto fail_cycle = inj->backupFailure(attempt, cycles)) {
+            const double frac = static_cast<double>(*fail_cycle) /
+                                static_cast<double>(cycles);
+            const std::uint64_t ran =
+                std::max<std::uint64_t>(*fail_cycle, 1);
+            bool ok = false;
+            const double spent =
+                consumeTracked(wcost.energy * frac, ran, ok);
+            periodEnergyConsumed += spent;
+            stats.meter.add(energy::Phase::Backup, ran, spent);
+            ++stats.failedBackups;
+            stats.failedBackupEnergy += spent;
+
+            const auto image = buildSlotImage(payload_len, backupSeq + 1);
+            const auto torn = static_cast<std::size_t>(
+                frac * static_cast<double>(image.size()));
+            if (torn > 0)
+                mem_.nvm().write(base, image.data(), torn);
+            handlePowerFailure(); // old checkpoint slot stays valid
+            return ActionStatus::BrownOut;
+        }
+    }
+
     bool ok = false;
     const double spent = consumeTracked(wcost.energy, cycles, ok);
     periodEnergyConsumed += spent;
@@ -191,31 +345,53 @@ Simulator::doBackup(arch::BackupTrigger reason)
     if (!ok) {
         ++stats.failedBackups;
         stats.failedBackupEnergy += spent;
-        handlePowerFailure(); // old checkpoint slot stays valid
+        // The brown-out landed at some point of the slot write; tear the
+        // inactive slot proportionally to the energy that actually went
+        // in. The committed slot stays intact either way.
+        const auto image = buildSlotImage(payload_len, backupSeq + 1);
+        const auto torn = static_cast<std::size_t>(
+            wcost.energy > 0.0
+                ? (spent / wcost.energy) * static_cast<double>(image.size())
+                : 0.0);
+        if (torn > 0)
+            mem_.nvm().write(base, image.data(),
+                             std::min(torn, image.size()));
+        handlePowerFailure();
         return ActionStatus::BrownOut;
     }
 
     // Physically materialize the checkpoint in the inactive slot, then
     // flip the selector (atomic single-word commit).
-    const std::uint32_t target = activeSlot == 1 ? 2 : 1;
-    const std::uint64_t base = slot0Addr + (target - 1) * slotBytes;
-    const std::uint32_t payload_len =
-        pol.savesVolatilePayload()
-            ? static_cast<std::uint32_t>(cfg.sramUsedBytes)
-            : 0;
-    mem_.nvm().store32(base, checkpointMagic);
-    mem_.nvm().store32(base + 4, payload_len);
-    std::uint8_t arch_buf[arch::Cpu::archStateBytes];
-    cpu_.saveArchState(arch_buf);
-    mem_.nvm().write(base + 8, arch_buf, sizeof(arch_buf));
-    if (payload_len > 0) {
-        std::vector<std::uint8_t> payload(payload_len);
-        mem_.sram().read(0, payload.data(), payload.size());
-        mem_.nvm().write(base + 8 + sizeof(arch_buf), payload.data(),
-                         payload.size());
+    const auto image = buildSlotImage(payload_len, backupSeq + 1);
+    mem_.nvm().write(base, image.data(), image.size());
+
+    if (inj) {
+        // Power failure exactly at the selector flip: the slot is fully
+        // written but the commit point itself is interrupted. The word
+        // either keeps its old value or is torn into garbage.
+        switch (inj->selectorFlipFailure()) {
+          case fault::SelectorFlipFault::None:
+            break;
+          case fault::SelectorFlipFault::BeforeFlip:
+            ++stats.failedBackups;
+            handlePowerFailure();
+            return ActionStatus::BrownOut;
+          case fault::SelectorFlipFault::TornWrite:
+            mem_.nvm().store32(selectorAddr, inj->tornSelectorValue());
+            ++stats.failedBackups;
+            handlePowerFailure();
+            return ActionStatus::BrownOut;
+        }
     }
+
     mem_.nvm().store32(selectorAddr, target);
     activeSlot = target;
+    ++backupSeq;
+
+    if (inj) {
+        inj->corruptAfterBackup(mem_.nvm(), target);
+        inj->applyWearFaults(mem_.nvm());
+    }
 
     ++stats.backups;
     ++stats.triggers[reason];
@@ -231,29 +407,147 @@ Simulator::doBackup(arch::BackupTrigger reason)
     return ActionStatus::Ok;
 }
 
+void
+Simulator::restartFromScratch()
+{
+    // Last resort: a clean, *counted* restart from program start,
+    // modeled as a reflash + first boot. The *whole* NVM array is wiped
+    // back to zeros before the program image re-applies its initial
+    // data: init records only cover explicitly initialized bytes, and
+    // implicitly-zero regions the interrupted execution mutated in
+    // place (NVM-data policies write there directly) would otherwise
+    // leak stale state into the restarted run — a silent-wrong-answer
+    // hazard the torture suite actually caught. Wiping also clears both
+    // checkpoint slots and the selector word.
+    ++stats.restartsFromScratch;
+    mem_.nvm().wipe();
+    activeSlot = 0;
+    cpu_.reset();
+    cpu_.applyMemInits();
+}
+
 Simulator::ActionStatus
 Simulator::doRestore()
 {
-    // The selector word is the authoritative (nonvolatile) record.
-    activeSlot = mem_.nvm().load32(selectorAddr);
-    if (activeSlot == 0) {
-        // First boot (no checkpoint yet): restart from the program image,
-        // re-applying initial data — a reboot re-initializes volatile
-        // data from the (nonvolatile) program image at no modeled cost.
+    // Transient read faults (injected) abandon the attempt and retry a
+    // bounded number of times without a power cycle; a device whose
+    // reads never settle gives up the period like a brown-out.
+    for (std::uint64_t attempt = 0; attempt <= cfg.restoreRetryLimit;
+         ++attempt) {
+        if (inj && inj->transientRestoreFault()) {
+            ++stats.transientRestoreFaults;
+            pol.onRestoreFailed();
+            continue;
+        }
+        return restoreAttempt();
+    }
+    ++stats.failedRestores;
+    handlePowerFailure();
+    return ActionStatus::BrownOut;
+}
+
+Simulator::ActionStatus
+Simulator::restoreAttempt()
+{
+    // The selector word is the authoritative (nonvolatile) record — but
+    // it may lie: a torn commit leaves garbage, a bit error can redirect
+    // it, and the slot it designates may itself fail its CRC. Recovery
+    // ladder (docs/FAULTS.md): designated slot -> other slot (only where
+    // replay from an older checkpoint is sound) -> restart from scratch.
+    const std::uint32_t selector = mem_.nvm().load32(selectorAddr);
+    if (selector == 0 && newestValidSlot() == 0) {
+        // True first boot (no checkpoint ever committed): start from the
+        // program image, re-applying initial data — a reboot
+        // re-initializes volatile data from the (nonvolatile) program
+        // image at no modeled cost.
+        activeSlot = 0;
         cpu_.reset();
         cpu_.applyMemInits();
         return ActionStatus::Ok;
     }
-    EH_ASSERT(activeSlot == 1 || activeSlot == 2,
-              "corrupt checkpoint selector");
-    const std::uint64_t base = slot0Addr + (activeSlot - 1) * slotBytes;
-    EH_ASSERT(mem_.nvm().load32(base) == checkpointMagic,
-              "active checkpoint slot lacks its magic word");
-    const std::uint32_t payload_len = mem_.nvm().load32(base + 4);
+
+    if (selector == 1 || selector == 2) {
+        if (slotValid(selector))
+            return restoreFromSlot(selector, false, selector);
+        // The designated slot is corrupt. Falling back to the *older*
+        // slot replays committed work; that is only sound when the
+        // checkpoint captures all mutable state (volatile-payload
+        // policies — replay is then bit-identical). Policies whose
+        // application state lives in NVM would replay against mutated
+        // data, so they restart instead.
+        ++stats.corruptionsDetected;
+        pol.onRestoreFailed();
+        const std::uint32_t other = selector == 1 ? 2 : 1;
+        if (pol.savesVolatilePayload() && slotValid(other)) {
+            ++stats.slotFallbacks;
+            return restoreFromSlot(other, true, selector);
+        }
+    } else {
+        // Corrupt selector: garbage from a torn commit flip or a bit
+        // error — including an error that zeroed it, which is why a
+        // "first boot" selector with a surviving valid slot lands here
+        // instead of silently replaying from program start. Restoring
+        // the newest valid slot is sound only if it is the *frontier*
+        // checkpoint (sequence >= newest written): a torn flip leaves
+        // the fully-written newest slot, a post-commit bit error leaves
+        // the newest committed one. If the newest valid slot is older
+        // than that — the frontier slot was itself corrupted — falling
+        // back to it replays committed work, which NVM-data policies
+        // cannot survive (their one-generation re-execution guarantee
+        // does not cover older checkpoints); they restart instead.
+        ++stats.corruptionsDetected;
+        pol.onRestoreFailed();
+        const std::uint32_t newest = newestValidSlot();
+        if (newest != 0 && (pol.savesVolatilePayload() ||
+                            slotSeq(newest) >= backupSeq)) {
+            ++stats.slotFallbacks;
+            return restoreFromSlot(newest, true, selector);
+        }
+    }
+
+    if (stats.restartsFromScratch >= cfg.maxRestartsFromScratch) {
+        warn("simulator: checkpoint recovery exceeded ",
+             cfg.maxRestartsFromScratch,
+             " restarts from scratch; giving up");
+        stats.gaveUp = true;
+        return ActionStatus::BrownOut;
+    }
+    restartFromScratch();
+    return ActionStatus::Ok;
+}
+
+Simulator::ActionStatus
+Simulator::restoreFromSlot(std::uint32_t slot, bool fallback,
+                           std::uint32_t selector_was)
+{
+    const std::uint64_t base = slot0Addr + (slot - 1) * slotBytes;
+    const std::uint32_t payload_len =
+        mem_.nvm().load32(base + slotLenOffset);
 
     const std::uint64_t charged = pol.chargedArchBytes() + payload_len;
     const auto rcost = mem_.nvm().readCost(charged);
     const std::uint64_t cycles = std::max<std::uint64_t>(rcost.cycles, 1);
+
+    // Injected power failure partway through the restore: pay for the
+    // cycles that ran, then die. Volatile state was mid-load anyway, so
+    // nothing needs tearing — the next period restores afresh.
+    if (inj) {
+        if (const auto fail_cycle = inj->restoreFailure(cycles)) {
+            const double frac = static_cast<double>(*fail_cycle) /
+                                static_cast<double>(cycles);
+            const std::uint64_t ran =
+                std::max<std::uint64_t>(*fail_cycle, 1);
+            bool ok = false;
+            const double spent =
+                consumeTracked(rcost.energy * frac, ran, ok);
+            periodEnergyConsumed += spent;
+            stats.meter.add(energy::Phase::Restore, ran, spent);
+            ++stats.failedRestores;
+            handlePowerFailure();
+            return ActionStatus::BrownOut;
+        }
+    }
+
     bool ok = false;
     const double spent = consumeTracked(rcost.energy, cycles, ok);
     periodEnergyConsumed += spent;
@@ -265,14 +559,27 @@ Simulator::doRestore()
     }
 
     std::uint8_t arch_buf[arch::Cpu::archStateBytes];
-    mem_.nvm().read(base + 8, arch_buf, sizeof(arch_buf));
+    mem_.nvm().read(base + checkpointSlotHeaderBytes, arch_buf,
+                    sizeof(arch_buf));
     cpu_.loadArchState(arch_buf);
     if (payload_len > 0) {
         std::vector<std::uint8_t> payload(payload_len);
-        mem_.nvm().read(base + 8 + sizeof(arch_buf), payload.data(),
-                        payload.size());
+        mem_.nvm().read(base + checkpointSlotHeaderBytes +
+                            sizeof(arch_buf),
+                        payload.data(), payload.size());
         mem_.sram().write(0, payload.data(), payload.size());
     }
+    activeSlot = slot;
+    // Keep the sequence frontier in step with what was restored: a
+    // torn-flip slot carries backupSeq + 1, and the next commit must
+    // not reuse a sequence number a live slot already claims (a tie
+    // would make newestValidSlot() ambiguous).
+    backupSeq = std::max(backupSeq,
+                         mem_.nvm().load32(base + slotSeqOffset));
+    // Heal the selector so the recovered slot is found directly next
+    // time (a fallback or a torn selector left it wrong).
+    if (fallback || selector_was != slot)
+        mem_.nvm().store32(selectorAddr, slot);
     ++stats.restores;
     stats.restoreBytes.add(static_cast<double>(charged));
     return ActionStatus::Ok;
@@ -284,9 +591,13 @@ Simulator::run()
     stats = SimStats{};
     stats.workload = prog.name;
     stats.policy = pol.name();
+    lifetimeInstructions = 0;
+    lifetimeActiveCycles = 0;
+    backupAttempts = 0;
     cpu_.applyMemInits();
 
-    while (!stats.finished && stats.periods < cfg.maxActivePeriods) {
+    while (!stats.finished && !stats.gaveUp &&
+           stats.periods < cfg.maxActivePeriods) {
         const std::uint64_t charged =
             sup.chargeUntilReady(cfg.maxChargeCyclesPerPeriod);
         if (charged == energy::chargeFailed) {
@@ -344,8 +655,19 @@ Simulator::run()
             if (period_ended)
                 break;
 
+            // Forced power failure at this instruction boundary (the
+            // plan's chosen cycle or k-th instruction was reached).
+            if (inj &&
+                inj->failBeforeInstruction(lifetimeInstructions,
+                                           lifetimeActiveCycles)) {
+                handlePowerFailure();
+                break;
+            }
+
             // Execute one instruction and pay for it.
             const arch::StepResult step = cpu_.step();
+            ++lifetimeInstructions;
+            lifetimeActiveCycles += step.cycles;
             bool ok = false;
             const double spent =
                 consumeTracked(step.energy, step.cycles, ok);
@@ -393,6 +715,12 @@ Simulator::run()
                  progress_energy_at_start) /
                 periodEnergyConsumed);
         }
+        if (inj)
+            inj->applyWearFaults(mem_.nvm());
+    }
+    if (inj) {
+        stats.injectedPowerFailures = inj->counters().powerFailures();
+        stats.injectedBitFlips = inj->counters().bitFlips();
     }
     return stats;
 }

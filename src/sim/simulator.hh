@@ -10,7 +10,15 @@
  * Checkpoints are double-buffered in a reserved region at the top of
  * nonvolatile memory: a backup writes the inactive slot and then flips a
  * selector word, so a power failure mid-backup leaves the previous
- * checkpoint intact (the consistency hazard of [42]).
+ * checkpoint intact (the consistency hazard of [42]). Every slot carries
+ * a CRC-32 and a sequence number, so a restore *detects* a torn write or
+ * an NVM bit error and recovers — falling back to the other slot where
+ * that is sound, restarting from program start as a last resort — rather
+ * than resuming from garbage (see docs/FAULTS.md for the full ladder).
+ *
+ * An optional fault::FaultInjector forces power failures at adversarial
+ * points (a chosen cycle, the k-th instruction, mid-backup, mid-restore,
+ * exactly at the selector flip) and injects NVM bit errors.
  */
 
 #ifndef EH_SIM_SIMULATOR_HH
@@ -30,7 +38,25 @@
 #include "runtime/policy.hh"
 #include "util/stats.hh"
 
+namespace eh::fault {
+class FaultInjector;
+}
+
 namespace eh::sim {
+
+/**
+ * Bytes of metadata at the head of each checkpoint slot: magic word,
+ * CRC-32 of the slot body, payload length, sequence number (4 each).
+ */
+constexpr std::uint64_t checkpointSlotHeaderBytes = 16;
+
+/** Size of one checkpoint slot for a given volatile-payload capacity. */
+constexpr std::uint64_t
+checkpointSlotBytes(std::size_t arch_state_bytes,
+                    std::size_t sram_used_bytes)
+{
+    return checkpointSlotHeaderBytes + arch_state_bytes + sram_used_bytes;
+}
 
 /** Platform and run-control configuration. */
 struct SimConfig
@@ -59,6 +85,14 @@ struct SimConfig
     std::uint64_t maxActivePeriods = 100000;
     std::uint64_t maxChargeCyclesPerPeriod = 2'000'000'000ull;
     std::uint64_t maxInstructionsPerPeriod = 200'000'000ull;
+
+    /**
+     * Recovery bounds (see docs/FAULTS.md): how many restarts from
+     * program start the run tolerates before giving up, and how many
+     * times one restore retries through transient read faults.
+     */
+    std::uint64_t maxRestartsFromScratch = 64;
+    std::uint64_t restoreRetryLimit = 4;
 };
 
 /** Aggregate statistics of one simulation run. */
@@ -74,6 +108,15 @@ struct SimStats
     std::uint64_t failedBackups = 0; ///< backups aborted by brown-out
     std::uint64_t failedRestores = 0;///< restores aborted by brown-out
     bool finished = false;           ///< HALT committed
+    bool gaveUp = false;             ///< restart-from-scratch bound hit
+
+    // Fault-injection and recovery accounting (docs/FAULTS.md).
+    std::uint64_t corruptionsDetected = 0;  ///< slots/selector failing checks
+    std::uint64_t slotFallbacks = 0;        ///< restores from the older slot
+    std::uint64_t restartsFromScratch = 0;  ///< last-resort cold restarts
+    std::uint64_t transientRestoreFaults = 0; ///< retried restore attempts
+    std::uint64_t injectedPowerFailures = 0;  ///< forced by a FaultInjector
+    std::uint64_t injectedBitFlips = 0;       ///< NVM bits the injector flipped
 
     energy::EnergyMeter meter;       ///< per-phase cycles and energy
 
@@ -121,6 +164,13 @@ class Simulator
     Simulator(const arch::Program &program, runtime::BackupPolicy &policy,
               energy::EnergySupply &supply, const SimConfig &config);
 
+    /**
+     * Attach a fault injector (borrowed; nullptr detaches). The
+     * injector is consulted at every injectable point of run() and
+     * immediately learns the checkpoint-region geometry.
+     */
+    void attachFaultInjector(fault::FaultInjector *injector);
+
     /** Run to completion (HALT committed) or to the period cap. */
     SimStats run();
 
@@ -139,9 +189,28 @@ class Simulator
 
     ActionStatus doBackup(arch::BackupTrigger reason);
     ActionStatus doRestore();
+    ActionStatus restoreAttempt();
+    ActionStatus restoreFromSlot(std::uint32_t slot, bool fallback,
+                                 std::uint32_t selector_was);
     ActionStatus chargeMonitorOverhead(const runtime::PolicyDecision &d);
     void handlePowerFailure();
     runtime::SupplyView view() const;
+
+    /** Assemble the full image of the next checkpoint slot. */
+    std::vector<std::uint8_t> buildSlotImage(std::uint32_t payload_len,
+                                             std::uint32_t seq);
+
+    /** Magic + CRC verification of one slot (1 or 2). */
+    bool slotValid(std::uint32_t slot) const;
+
+    /** Sequence number of a slot (caller guarantees slotValid()). */
+    std::uint32_t slotSeq(std::uint32_t slot) const;
+
+    /** Of the valid slots, the one with the newest sequence (0 = none). */
+    std::uint32_t newestValidSlot() const;
+
+    /** Cold restart: wipe the checkpoint region, reboot from the image. */
+    void restartFromScratch();
 
     /**
      * Draw @p demand across @p cycles from the supply. On brown-out the
@@ -158,15 +227,22 @@ class Simulator
     mem::AddressSpace mem_;
     arch::Cpu cpu_;
     SimStats stats;
+    fault::FaultInjector *inj = nullptr; ///< optional, borrowed
 
     // Checkpoint region bookkeeping (top of NVM).
     std::uint64_t slotBytes;       ///< size of one checkpoint slot
     std::uint64_t slot0Addr;       ///< NVM-relative address of slot 0
     std::uint64_t selectorAddr;    ///< NVM-relative selector word
     std::uint32_t activeSlot = 0;  ///< 0 = none yet, 1 or 2
+    std::uint32_t backupSeq = 0;   ///< sequence of the newest written slot
 
     std::uint64_t cyclesSinceBackup = 0;
     double periodEnergyConsumed = 0.0;
+
+    // Lifetime counters the fault injector aims at (re-execution included).
+    std::uint64_t lifetimeInstructions = 0;
+    std::uint64_t lifetimeActiveCycles = 0;
+    std::uint64_t backupAttempts = 0;
 };
 
 /** Result of an uninterrupted reference execution. */

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+ * integrity. Each checkpoint slot the simulator writes carries a CRC over
+ * its contents so that a restore can *detect* corruption — a torn write,
+ * an NVM bit error — instead of silently resuming from garbage. The
+ * incremental form lets callers checksum a slot that lives in several
+ * buffers (header fields, architectural state, payload) without copying.
+ */
+
+#ifndef EH_UTIL_CRC_HH
+#define EH_UTIL_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eh {
+
+/**
+ * One-shot CRC-32 of @p len bytes at @p data.
+ * crc32("123456789") == 0xCBF43926 (the standard check value).
+ */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/**
+ * Incremental CRC-32: feed @p crc the result of the previous call (start
+ * from crc32Init()) and finish with crc32Final(). Splitting a buffer at
+ * any point yields the same digest as one crc32() over the whole.
+ */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t len);
+
+/** Initial accumulator value for crc32Update(). */
+constexpr std::uint32_t crc32Init() { return 0xFFFFFFFFu; }
+
+/** Finalize an accumulator produced by crc32Update(). */
+constexpr std::uint32_t crc32Final(std::uint32_t crc)
+{
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace eh
+
+#endif // EH_UTIL_CRC_HH

@@ -130,6 +130,40 @@ TEST(Trace, CsvLoadRejectsMalformedFiles)
     std::remove(path.c_str());
 }
 
+TEST(Trace, CsvLoadRejectsGarbageValuesWithLineNumbers)
+{
+    const std::string path = "/tmp/eh_trace_garbage.csv";
+    auto write = [&](const char *content) {
+        std::ofstream out(path);
+        out << content;
+    };
+    auto expectFatalMentioning = [&](const std::string &needle) {
+        try {
+            loadTraceCsv(path);
+            ADD_FAILURE() << "expected FatalError mentioning '" << needle
+                          << "'";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << "diagnostic was: " << e.what();
+        }
+    };
+
+    write("cycle,volts\n0,1.0\n10,nan\n");
+    expectFatalMentioning("non-finite voltage at line 3");
+    write("cycle,volts\n0,inf\n");
+    expectFatalMentioning("non-finite voltage at line 2");
+    write("cycle,volts\n0,1.0\n10,-0.5\n");
+    expectFatalMentioning("negative voltage at line 3");
+    write("cycle,volts\n0,1.0\n10,2.0\n5,1.5\n");
+    expectFatalMentioning("non-monotonic cycle at line 4");
+    write("cycle,volts\n0,1.0\n0,2.0\n"); // duplicate cycle stamp
+    expectFatalMentioning("non-monotonic cycle at line 3");
+    write("cycle,volts\n\n\n"); // blank rows only: no samples
+    expectFatalMentioning("contains no samples");
+    std::remove(path.c_str());
+}
+
 TEST(Trace, CsvLoadAcceptsSingleSample)
 {
     const std::string path = "/tmp/eh_trace_single.csv";

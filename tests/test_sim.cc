@@ -316,6 +316,56 @@ TEST(Golden, InstructionCapIsFatal)
         FatalError);
 }
 
+TEST(Simulator, RejectsZeroRunCaps)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    runtime::Watchdog policy({});
+    energy::ConstantSupply supply(1e9);
+
+    auto cfg = volConfig();
+    cfg.maxActivePeriods = 0;
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+
+    cfg = volConfig();
+    cfg.maxInstructionsPerPeriod = 0;
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+}
+
+TEST(Simulator, RejectsBadCacheGeometry)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    runtime::Watchdog policy({});
+    energy::ConstantSupply supply(1e9);
+
+    auto cfg = volConfig();
+    cfg.enableNvmCache = true;
+    cfg.cacheGeometry = {0, 4, 16}; // zero capacity
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+
+    cfg.cacheGeometry = {1024, 0, 16}; // zero ways
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+
+    cfg.cacheGeometry = {1024, 4, 0}; // zero block
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+
+    // A "cache" bigger than the memory it fronts is a config typo.
+    cfg.cacheGeometry = {1024 * 1024, 4, 16};
+    cfg.nvmBytes = 256 * 1024;
+    EXPECT_THROW(sim::Simulator(w.program, policy, supply, cfg),
+                 FatalError);
+
+    // The same geometry is fine when the cache is disabled.
+    cfg.enableNvmCache = false;
+    EXPECT_NO_THROW(sim::Simulator(w.program, policy, supply, cfg));
+}
+
 TEST(SimStats, SummaryMentionsKeyFields)
 {
     sim::SimStats stats;
@@ -325,6 +375,30 @@ TEST(SimStats, SummaryMentionsKeyFields)
     EXPECT_NE(text.find("wname"), std::string::npos);
     EXPECT_NE(text.find("pname"), std::string::npos);
     EXPECT_NE(text.find("tau_B"), std::string::npos);
+}
+
+TEST(SimStats, SummaryReportsFaultAndRecoveryCounters)
+{
+    sim::SimStats stats;
+    stats.workload = "wname";
+    stats.policy = "pname";
+    stats.injectedPowerFailures = 5;
+    stats.injectedBitFlips = 7;
+    stats.corruptionsDetected = 3;
+    stats.slotFallbacks = 2;
+    stats.restartsFromScratch = 1;
+    stats.transientRestoreFaults = 4;
+    const auto text = stats.summary();
+    EXPECT_NE(text.find("injected 5 power failures"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("7 bit flips"), std::string::npos);
+    EXPECT_NE(text.find("3 corruptions"), std::string::npos);
+    EXPECT_NE(text.find("2 slot fallbacks"), std::string::npos);
+    EXPECT_NE(text.find("1 restarts from scratch"), std::string::npos);
+    EXPECT_NE(text.find("4 transient restore faults"), std::string::npos);
+
+    stats.gaveUp = true;
+    EXPECT_NE(stats.summary().find("GAVE UP"), std::string::npos);
 }
 
 } // namespace

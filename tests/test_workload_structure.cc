@@ -82,7 +82,8 @@ TEST_P(WorkloadStructure, MemoryImagesFitTheirRegions)
     // Keep clear of the double-buffered checkpoint region at the top of
     // NVM (2 slots of up to header+arch+payload, plus the selector).
     const std::uint64_t checkpoint_start =
-        limit - 16 - 2 * (8 + arch::Cpu::archStateBytes + 6144);
+        limit - 16 -
+        2 * sim::checkpointSlotBytes(arch::Cpu::archStateBytes, 6144);
     for (const auto &init : w.program.memInits) {
         const auto end = init.addr + init.bytes.size();
         EXPECT_LE(end, limit) << "image beyond memory";

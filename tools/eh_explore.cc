@@ -31,6 +31,7 @@
 #include "core/variability.hh"
 #include "energy/supply.hh"
 #include "energy/trace.hh"
+#include "fault/injector.hh"
 #include "runtime/clank.hh"
 #include "runtime/dino.hh"
 #include "runtime/hibernus.hh"
@@ -242,6 +243,12 @@ cmdSimulate(const cli::Options &opts)
         fatalf("unknown policy '", policy_name, "'");
 
     sim::Simulator s(w.program, *policy, supply, cfg);
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (cli::hasFaultOptions(opts)) {
+        injector = std::make_unique<fault::FaultInjector>(
+            cli::faultPlanFromOptions(opts));
+        s.attachFaultInjector(injector.get());
+    }
     const auto stats = s.run();
     std::cout << stats.summary() << "\n";
 
@@ -342,6 +349,14 @@ usage()
         "[--csv file]\n"
         "simulate: --workload crc --policy clank|ratchet|nvp|mementos|dino|"
         "hibernus|hibernus++|watchdog [--budget pJ]\n"
+        "          fault injection: --fault-seed N --fault-at-cycle C,.. "
+        "--fault-at-instr K,..\n"
+        "          --fault-backup-prob P --fault-selector-prob P "
+        "--fault-restore-prob P --fault-max N\n"
+        "          --fault-ckpt-corrupt-prob P --fault-selector-corrupt-"
+        "prob P --fault-wear-rate R\n"
+        "          --fault-max-bitflips N --fault-transient-restore-prob "
+        "P\n"
         "disasm:   --workload crc --nv 1|0 (placement)\n"
         "traces:   --cycles N --seed S --dir results\n";
 }
