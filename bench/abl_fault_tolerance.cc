@@ -10,26 +10,26 @@
  * finish, how often they finish *correctly*, the energy-progress share,
  * and how hard the recovery machinery had to work.
  *
+ * The grid (workload x policy x rate x seed cell) runs through the
+ * exploration campaign engine: every seeded run is one cached job, so
+ * re-runs only execute cells whose spec changed, and the whole sweep
+ * parallelizes across cores. Per-run fault seeds derive from the
+ * campaign seed and each job's content hash (Rng::split) instead of
+ * the old ad-hoc `base + i * prime` arithmetic.
+ *
  * The zero-rate column doubles as a regression gate: with no injected
  * faults every run must finish with exact reference results.
  */
 
-#include <algorithm>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "energy/supply.hh"
-#include "fault/injector.hh"
-#include "runtime/clank.hh"
-#include "runtime/dino.hh"
-#include "runtime/nvp.hh"
-#include "sim/simulator.hh"
+#include "explore/campaign.hh"
+#include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
 #include "util/table.hh"
-#include "workloads/workload.hh"
 
 using namespace eh;
 
@@ -47,76 +47,6 @@ struct RateResult
     std::uint64_t bitFlips = 0;
 };
 
-std::unique_ptr<runtime::BackupPolicy>
-makePolicy(const std::string &name, std::size_t sram_used)
-{
-    if (name == "dino") {
-        runtime::DinoConfig c;
-        c.sramUsedBytes = sram_used;
-        return std::make_unique<runtime::Dino>(c);
-    }
-    if (name == "clank")
-        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
-    return std::make_unique<runtime::Nvp>(runtime::NvpConfig{4, 4});
-}
-
-bool
-isVolatilePolicy(const std::string &name)
-{
-    return name == "dino";
-}
-
-RateResult
-sweepPoint(const std::string &wname, const std::string &pname,
-           double rate, int seeds)
-{
-    const bool vol = isVolatilePolicy(pname);
-    const auto w = workloads::makeWorkload(
-        wname, vol ? workloads::volatileLayout()
-                   : workloads::nonvolatileLayout());
-    sim::SimConfig cfg;
-    cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
-    cfg.maxActivePeriods = 60000;
-    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
-    const double budget =
-        std::max(vol ? 2.0e6 : 1.0e6, golden.energy / 5.0);
-
-    RateResult agg;
-    for (int seed = 0; seed < seeds; ++seed) {
-        fault::FaultPlan plan;
-        plan.seed = 0xAB1 + static_cast<std::uint64_t>(seed) * 7919;
-        plan.wearBitErrorRate = rate;
-        // Targeted corruption scales with the same rate so the
-        // checkpoint-integrity path is exercised proportionally.
-        plan.checkpointCorruptionProb = std::min(0.9, rate * 1.0e5);
-        plan.selectorCorruptionProb = std::min(0.5, rate * 3.0e4);
-        plan.maxBitFlips = 1ull << 40;
-
-        auto policy = makePolicy(pname, cfg.sramUsedBytes);
-        energy::ConstantSupply supply(budget);
-        fault::FaultInjector injector(plan);
-        sim::Simulator s(w.program, *policy, supply, cfg);
-        s.attachFaultInjector(&injector);
-        const auto stats = s.run();
-
-        ++agg.runs;
-        if (stats.finished) {
-            ++agg.finished;
-            bool exact = true;
-            for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
-                exact &= s.resultWord(w.resultAddrs[i]) == w.expected[i];
-            if (exact)
-                ++agg.correct;
-        }
-        agg.progressSum += stats.measuredProgress();
-        agg.corruptionsDetected += stats.corruptionsDetected;
-        agg.slotFallbacks += stats.slotFallbacks;
-        agg.restartsFromScratch += stats.restartsFromScratch;
-        agg.bitFlips += stats.injectedBitFlips;
-    }
-    return agg;
-}
-
 } // namespace
 
 int
@@ -125,9 +55,31 @@ main()
     bench::banner("Ablation: fault tolerance",
                   "progress and correctness vs. NVM bit-error rate");
 
+    const std::vector<std::string> workloads_list = {"crc", "sha"};
+    const std::vector<std::string> policies = {"dino", "clank", "nvp"};
     const std::vector<double> rates = {0.0, 1.0e-8, 1.0e-7, 1.0e-6,
                                        1.0e-5};
     const int seeds = 5;
+
+    explore::CampaignConfig cc;
+    cc.name = "fault";
+    cc.cacheDir = bench::outputDir() + "/cache";
+    cc.seed = 0xAB1;
+    explore::Campaign campaign(cc);
+    for (const auto &wname : workloads_list) {
+        for (const auto &pname : policies) {
+            for (double rate : rates) {
+                for (int cell = 0; cell < seeds; ++cell) {
+                    campaign.add(explore::JobSpec("fault")
+                                     .set("workload", wname)
+                                     .set("policy", pname)
+                                     .set("rate", rate)
+                                     .set("cell", cell));
+                }
+            }
+        }
+    }
+    const auto results = campaign.run(explore::evaluateJob);
 
     Table table({"workload", "policy", "bit error rate", "finished",
                  "correct", "mean progress", "corruptions", "fallbacks",
@@ -139,10 +91,25 @@ main()
                    "bit_flips"});
 
     bool zero_rate_clean = true;
-    for (const auto &wname : {"crc", "sha"}) {
-        for (const auto &pname : {"dino", "clank", "nvp"}) {
+    std::size_t job = 0;
+    for (const auto &wname : workloads_list) {
+        for (const auto &pname : policies) {
             for (double rate : rates) {
-                const auto r = sweepPoint(wname, pname, rate, seeds);
+                RateResult r;
+                for (int cell = 0; cell < seeds; ++cell) {
+                    const auto &run = results[job++];
+                    ++r.runs;
+                    if (run.num("finished") != 0.0) {
+                        ++r.finished;
+                        if (run.num("correct") != 0.0)
+                            ++r.correct;
+                    }
+                    r.progressSum += run.num("progress");
+                    r.corruptionsDetected += run.uint("corruptions");
+                    r.slotFallbacks += run.uint("fallbacks");
+                    r.restartsFromScratch += run.uint("restarts");
+                    r.bitFlips += run.uint("bit_flips");
+                }
                 if (rate == 0.0 && r.correct != r.runs)
                     zero_rate_clean = false;
                 const double mean_progress =
@@ -169,6 +136,7 @@ main()
         }
     }
     table.print(std::cout);
+    std::cout << "campaign: " << campaign.report().summary() << "\n";
     std::cout << "\nZero-rate runs all finish with exact results: "
               << (zero_rate_clean ? "CONFIRMED" : "VIOLATED")
               << "\nTakeaway: CRC + slot fallback + counted restart keep "

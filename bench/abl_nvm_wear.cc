@@ -8,60 +8,22 @@
  * under each nonvolatile-data policy on the same budget and reports
  * total NVM bytes written per committed instruction — an early-stage
  * endurance axis the EH model's energy focus does not capture.
+ *
+ * The workload x policy grid runs through the exploration campaign
+ * engine ("wear" jobs, cached under results/cache/wear.jsonl), so
+ * repeat runs are served from cache and the cells execute in parallel.
  */
 
 #include <iostream>
-#include <memory>
+#include <string>
 
-#include "arch/cpu.hh"
-#include "energy/supply.hh"
-#include "runtime/clank.hh"
-#include "runtime/nvp.hh"
-#include "runtime/ratchet.hh"
-#include "sim/simulator.hh"
+#include "explore/campaign.hh"
+#include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
 #include "util/table.hh"
-#include "workloads/workload.hh"
 
 using namespace eh;
-
-namespace {
-
-struct WearRun
-{
-    double bytesPerCommittedInstr;
-    double progress;
-    std::uint64_t totalWritten;
-    bool finished;
-};
-
-WearRun
-runPolicy(const std::string &workload, runtime::BackupPolicy &policy)
-{
-    const auto w = workloads::makeWorkload(
-        workload, workloads::nonvolatileLayout());
-    sim::SimConfig cfg;
-    cfg.sramUsedBytes = 64;
-    cfg.costs = arch::CostModel::cortexM0();
-    cfg.maxActivePeriods = 60000;
-    energy::ConstantSupply supply(147.0 * 50000.0);
-    sim::Simulator s(w.program, policy, supply, cfg);
-    const auto stats = s.run();
-    const auto committed =
-        stats.meter.cycles(energy::Phase::Progress);
-    WearRun r;
-    r.totalWritten = s.memory().nvm().bytesWritten();
-    r.bytesPerCommittedInstr =
-        committed ? static_cast<double>(r.totalWritten) /
-                        static_cast<double>(committed)
-                  : 0.0;
-    r.progress = stats.measuredProgress();
-    r.finished = stats.finished;
-    return r;
-}
-
-} // namespace
 
 int
 main()
@@ -75,37 +37,47 @@ main()
                   {"benchmark", "policy", "bytes", "bytes_per_cycle",
                    "progress"});
 
+    const std::vector<std::string> benchmarks = {"crc", "sha",
+                                                 "dijkstra"};
+    const std::vector<std::string> policies = {"clank", "ratchet",
+                                               "nvp"};
+
+    explore::CampaignConfig cc;
+    cc.name = "wear";
+    cc.cacheDir = bench::outputDir() + "/cache";
+    explore::Campaign campaign(cc);
+    for (const auto &benchmark : benchmarks) {
+        for (const auto &policy : policies) {
+            campaign.add(explore::JobSpec("wear")
+                             .set("workload", benchmark)
+                             .set("policy", policy));
+        }
+    }
+    const auto results = campaign.run(explore::evaluateJob);
+
     bool ordering_holds = true;
-    for (const auto &benchmark : {"crc", "sha", "dijkstra"}) {
+    std::size_t cell = 0;
+    for (const auto &benchmark : benchmarks) {
         double wear_clank = 0.0, wear_nvp = 0.0;
-        for (const char *policy_name : {"clank", "ratchet", "nvp"}) {
-            std::unique_ptr<runtime::BackupPolicy> policy;
-            if (std::string(policy_name) == "clank")
-                policy = std::make_unique<runtime::Clank>(
-                    runtime::ClankConfig{});
-            else if (std::string(policy_name) == "ratchet")
-                policy = std::make_unique<runtime::Ratchet>(
-                    runtime::RatchetConfig{});
-            else
-                policy = std::make_unique<runtime::Nvp>(
-                    runtime::NvpConfig{1, 4});
-            const auto r = runPolicy(benchmark, *policy);
-            if (std::string(policy_name) == "clank")
-                wear_clank = r.bytesPerCommittedInstr;
-            if (std::string(policy_name) == "nvp")
-                wear_nvp = r.bytesPerCommittedInstr;
-            table.row({benchmark, policy_name,
-                       std::to_string(r.totalWritten),
-                       Table::num(r.bytesPerCommittedInstr, 3),
-                       Table::pct(r.progress)});
-            csv.row({benchmark, policy_name,
-                     std::to_string(r.totalWritten),
-                     Table::num(r.bytesPerCommittedInstr, 4),
-                     Table::num(r.progress, 5)});
+        for (const auto &policy : policies) {
+            const auto &r = results[cell++];
+            const double per_cycle = r.num("bytes_per_cycle");
+            if (policy == "clank")
+                wear_clank = per_cycle;
+            if (policy == "nvp")
+                wear_nvp = per_cycle;
+            table.row({benchmark, policy,
+                       std::to_string(r.uint("bytes")),
+                       Table::num(per_cycle, 3),
+                       Table::pct(r.num("progress"))});
+            csv.row({benchmark, policy, std::to_string(r.uint("bytes")),
+                     Table::num(per_cycle, 4),
+                     Table::num(r.num("progress"), 5)});
         }
         ordering_holds &= wear_nvp > wear_clank;
     }
     table.print(std::cout);
+    std::cout << "campaign: " << campaign.report().summary() << "\n";
     std::cout << "\nNVP wears the NVM more than Clank per unit of work: "
               << (ordering_holds ? "CONFIRMED" : "VIOLATED")
               << "\nTakeaway: per-cycle checkpointing trades endurance "

@@ -17,6 +17,8 @@
 #include <map>
 #include <vector>
 
+#include "explore/campaign.hh"
+#include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
 #include "util/stats.hh"
@@ -40,31 +42,49 @@ main()
                   {"benchmark", "system", "measured", "predicted",
                    "rel_error", "tau_b", "tau_d"});
 
+    // The validation grid runs through the campaign engine: parallel
+    // across cores, cached under results/cache/validation.jsonl (shared
+    // with Figure 7, which re-reads the DINO column for free).
+    explore::CampaignConfig cc;
+    cc.name = "validation";
+    cc.cacheDir = bench::outputDir() + "/cache";
+    explore::Campaign campaign(cc);
+    for (const auto &benchmark : workloads::tableIINames()) {
+        for (const auto &system : systems) {
+            campaign.add(explore::JobSpec("validation")
+                             .set("workload", benchmark)
+                             .set("policy", system));
+        }
+    }
+    const auto results = campaign.run(explore::evaluateJob);
+
     std::map<std::string, std::vector<double>> errors_by_system;
     std::vector<double> all_errors;
     bool all_finished = true;
 
+    std::size_t cell = 0;
     for (const auto &benchmark : workloads::tableIINames()) {
         for (const auto &system : systems) {
-            const auto r = bench::runValidation(benchmark, system);
-            all_finished &= r.finished;
+            const auto &r = results[cell++];
+            all_finished &= r.num("finished") != 0.0;
             table.row({benchmark, system,
-                       Table::pct(r.measuredProgress),
-                       Table::pct(r.predictedProgress),
-                       Table::pct(r.relativeError),
-                       Table::num(r.meanTauB, 0),
-                       Table::num(r.meanTauD, 0)});
+                       Table::pct(r.num("measured")),
+                       Table::pct(r.num("predicted")),
+                       Table::pct(r.num("rel_error")),
+                       Table::num(r.num("tau_b"), 0),
+                       Table::num(r.num("tau_d"), 0)});
             csv.row({benchmark, system,
-                     Table::num(r.measuredProgress, 6),
-                     Table::num(r.predictedProgress, 6),
-                     Table::num(r.relativeError, 6),
-                     Table::num(r.meanTauB, 1),
-                     Table::num(r.meanTauD, 1)});
-            errors_by_system[system].push_back(r.relativeError);
-            all_errors.push_back(r.relativeError);
+                     Table::num(r.num("measured"), 6),
+                     Table::num(r.num("predicted"), 6),
+                     Table::num(r.num("rel_error"), 6),
+                     Table::num(r.num("tau_b"), 1),
+                     Table::num(r.num("tau_d"), 1)});
+            errors_by_system[system].push_back(r.num("rel_error"));
+            all_errors.push_back(r.num("rel_error"));
         }
     }
     table.print(std::cout);
+    std::cout << "campaign: " << campaign.report().summary() << "\n";
 
     std::cout << "\nGeometric-mean relative error:\n";
     for (const auto &[system, errs] : errors_by_system) {

@@ -16,6 +16,8 @@
 #include <iostream>
 #include <vector>
 
+#include "explore/campaign.hh"
+#include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
 #include "util/stats.hh"
@@ -37,23 +39,41 @@ main()
                   {"benchmark", "measured", "tau_b", "tau_b_opt",
                    "similarity"});
 
-    std::vector<double> progress, similarity;
+    // Same cache store as Figure 6: the DINO column of its grid is
+    // exactly this figure's job set, so a prior fig06 run makes this
+    // one free.
+    explore::CampaignConfig cc;
+    cc.name = "validation";
+    cc.cacheDir = bench::outputDir() + "/cache";
+    explore::Campaign campaign(cc);
     for (const auto &benchmark : workloads::tableIINames()) {
-        const auto r = bench::runValidation(benchmark, "dino");
-        const double ratio =
-            r.optimalTauB > 0.0 ? r.meanTauB / r.optimalTauB : 0.0;
+        campaign.add(explore::JobSpec("validation")
+                         .set("workload", benchmark)
+                         .set("policy", std::string("dino")));
+    }
+    const auto results = campaign.run(explore::evaluateJob);
+
+    std::vector<double> progress, similarity;
+    std::size_t cell = 0;
+    for (const auto &benchmark : workloads::tableIINames()) {
+        const auto &r = results[cell++];
+        const double tau_b = r.num("tau_b");
+        const double tau_b_opt = r.num("tau_b_opt");
+        const double measured = r.num("measured");
+        const double ratio = tau_b_opt > 0.0 ? tau_b / tau_b_opt : 0.0;
         const double sim =
             ratio > 0.0 ? std::min(ratio, 1.0 / ratio) : 0.0;
-        progress.push_back(r.measuredProgress);
+        progress.push_back(measured);
         similarity.push_back(sim);
-        table.row({benchmark, Table::pct(r.measuredProgress),
-                   Table::num(r.meanTauB, 0),
-                   Table::num(r.optimalTauB, 0), Table::num(sim, 3)});
-        csv.row({benchmark, Table::num(r.measuredProgress, 6),
-                 Table::num(r.meanTauB, 1),
-                 Table::num(r.optimalTauB, 1), Table::num(sim, 4)});
+        table.row({benchmark, Table::pct(measured),
+                   Table::num(tau_b, 0),
+                   Table::num(tau_b_opt, 0), Table::num(sim, 3)});
+        csv.row({benchmark, Table::num(measured, 6),
+                 Table::num(tau_b, 1),
+                 Table::num(tau_b_opt, 1), Table::num(sim, 4)});
     }
     table.print(std::cout);
+    std::cout << "campaign: " << campaign.report().summary() << "\n";
 
     const double corr = pearson(similarity, progress);
     std::cout << "\nPearson correlation (similarity vs measured "

@@ -1,30 +1,25 @@
 #include "support.hh"
 
-#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
-
-#include "arch/cpu.hh"
-#include "core/optimum.hh"
-#include "energy/supply.hh"
-#include "energy/trace.hh"
-#include "energy/transducer.hh"
-#include "runtime/clank.hh"
-#include "runtime/dino.hh"
-#include "runtime/hibernus.hh"
-#include "runtime/hibernus_pp.hh"
-#include "runtime/mementos.hh"
-#include "util/panic.hh"
+#include <mutex>
 
 namespace eh::bench {
 
 std::string
 outputDir()
 {
-    const char *env = std::getenv("EH_RESULTS_DIR");
-    const std::string dir = env ? env : "results";
-    std::filesystem::create_directories(dir);
+    // Resolved exactly once: concurrent campaign workers (and the
+    // figure drivers they host) all funnel through this call, so the
+    // env lookup and directory creation must not race.
+    static std::once_flag once;
+    static std::string dir;
+    std::call_once(once, [] {
+        const char *env = std::getenv("EH_RESULTS_DIR");
+        dir = env ? env : "results";
+        std::filesystem::create_directories(dir);
+    });
     return dir;
 }
 
@@ -42,144 +37,25 @@ csvPath(const std::string &name)
     return outputDir() + "/" + name;
 }
 
-namespace {
-
-/** Build the volatile-platform policy used by the validation runs. */
-std::unique_ptr<runtime::BackupPolicy>
-makeValidationPolicy(const std::string &name, std::size_t sram_used,
-                     double budget)
-{
-    if (name == "hibernus") {
-        runtime::HibernusConfig c;
-        c.sramUsedBytes = sram_used;
-        const double backup_energy =
-            (static_cast<double>(sram_used) + 68.0) * 75.0;
-        c.backupThreshold =
-            std::clamp(2.0 * backup_energy / budget, 0.15, 0.85);
-        return std::make_unique<runtime::Hibernus>(c);
-    }
-    if (name == "hibernus++") {
-        runtime::HibernusPPConfig c;
-        c.sramUsedBytes = sram_used;
-        (void)budget; // the whole point: no platform-specific tuning
-        return std::make_unique<runtime::HibernusPP>(c);
-    }
-    if (name == "mementos") {
-        runtime::MementosConfig c;
-        c.sramUsedBytes = sram_used;
-        c.backupThreshold = 0.5;
-        return std::make_unique<runtime::Mementos>(c);
-    }
-    if (name == "dino") {
-        runtime::DinoConfig c;
-        c.sramUsedBytes = sram_used;
-        return std::make_unique<runtime::Dino>(c);
-    }
-    fatalf("unknown validation policy '", name, "'");
-}
-
-} // namespace
-
 ValidationRun
 runValidation(const std::string &workload, const std::string &policy,
               double periods_budget_divisor)
 {
-    const auto layout = workloads::volatileLayout();
-    const auto w = workloads::makeWorkload(workload, layout);
-
-    sim::SimConfig cfg;
-    cfg.sramUsedBytes = w.sramUsedBytes;
-    cfg.maxActivePeriods = 60000;
-
-    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
-    // The floor keeps several backup+restore round trips per period so
-    // single-backup systems retain useful headroom after their snapshot.
-    const double round_trip =
-        (static_cast<double>(cfg.sramUsedBytes) + 68.0) * 75.0;
-    const double floor_budget = 6.0 * round_trip;
-    const double budget =
-        std::max(floor_budget, golden.energy / periods_budget_divisor);
-
-    energy::ConstantSupply supply(budget);
-    auto pol = makeValidationPolicy(policy, cfg.sramUsedBytes, budget);
-    sim::Simulator simulator(w.program, *pol, supply, cfg);
-    const auto stats = simulator.run();
-
-    ValidationRun out;
-    out.workload = workload;
-    out.policy = policy;
-    out.finished = stats.finished;
-    out.measuredProgress = stats.measuredProgress();
-    out.meanTauB = stats.tauB.count() ? stats.tauB.mean() : 0.0;
-    out.meanTauD = stats.tauD.count() ? stats.tauD.mean() : 0.0;
-    out.meanAlphaB = stats.alphaB.count() ? stats.alphaB.mean() : 0.0;
-
-    auto obs = stats.observe(cfg, arch::Cpu::archStateBytes);
-    if (policy == "hibernus") {
-        // Single-backup system: charged per backup is the full SRAM
-        // payload, best-case dead cycles (Section IV-B).
-        obs.meanAppStateRate = 0.0;
-        obs.archStateBytes = static_cast<double>(cfg.sramUsedBytes) + 68.0;
-    }
-    const auto pred = core::predictFromObservation(obs);
-    out.predictedProgress = pred.predictedProgress;
-    out.relativeError = pred.relativeError;
-    out.optimalTauB = core::optimalBackupPeriod(pred.params);
-    return out;
+    return explore::runValidation(workload, policy,
+                                  periods_budget_divisor);
 }
 
 std::vector<std::string>
 traceNames()
 {
-    return {"rf-spiky", "rf-ramp", "rf-multipeak"};
+    return explore::traceNames();
 }
 
 ClankCharacterization
 runClank(const std::string &workload, int trace_index,
          std::uint64_t watchdog_cycles)
 {
-    EH_ASSERT(trace_index >= 0 && trace_index < 3,
-              "trace index must be 0..2");
-    const auto layout = workloads::nonvolatileLayout();
-    const auto w = workloads::makeWorkload(workload, layout);
-
-    sim::SimConfig cfg;
-    cfg.sramUsedBytes = 64;
-    cfg.costs = arch::CostModel::cortexM0();
-    cfg.maxActivePeriods = 30000;
-
-    // Harvested supply: traces scaled so an active period holds roughly
-    // 30-60k cycles — several watchdog periods — and recharging takes a
-    // realistic multiple of the active time.
-    auto traces = energy::makePaperTraces(0xE40 + trace_index,
-                                          30'000'000);
-    energy::Transducer tx(0.6, 3000.0, 16.0e6);
-    energy::Capacitor cap(0.68e-6, 3.6, 3.0, 2.2);
-    energy::HarvestingSupply supply(std::move(traces[trace_index]), tx,
-                                    cap);
-
-    runtime::ClankConfig cc;
-    cc.watchdogCycles = watchdog_cycles;
-    runtime::Clank policy(cc);
-
-    sim::Simulator simulator(w.program, policy, supply, cfg);
-    const auto stats = simulator.run();
-
-    ClankCharacterization out;
-    out.workload = workload;
-    out.trace = traceNames()[static_cast<std::size_t>(trace_index)];
-    out.finished = stats.finished;
-    out.tauBMean = stats.tauB.count() ? stats.tauB.mean() : 0.0;
-    out.tauBSem = stats.tauB.sem();
-    out.tauDMean = stats.tauD.count() ? stats.tauD.mean() : 0.0;
-    out.tauDSem = stats.tauD.sem();
-    out.alphaBMean = stats.alphaB.count() ? stats.alphaB.mean() : 0.0;
-    out.backups = stats.backups;
-    const auto &ts = policy.tracker().stats();
-    out.violations = ts.violations;
-    out.watchdogs = ts.watchdogFirings;
-    out.overflows = ts.overflows;
-    return out;
+    return explore::runClank(workload, trace_index, watchdog_cycles);
 }
 
 } // namespace eh::bench

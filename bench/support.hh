@@ -1,9 +1,10 @@
 /**
  * @file
  * Shared support for the benchmark harnesses that regenerate the paper's
- * figures and tables: banner/output conventions, the simulated-hardware
- * validation runs (Figs 5–7), and the Clank characterization runs
- * (Figs 8–9) reused by multiple binaries.
+ * figures and tables: banner/output conventions plus aliases for the
+ * validation and Clank characterization runs, whose physics now lives in
+ * the library's exploration engine (src/explore/tasks.hh) so that both
+ * the serial benches and parallel campaigns evaluate identical code.
  */
 
 #ifndef EH_BENCH_SUPPORT_HH
@@ -12,15 +13,14 @@
 #include <string>
 #include <vector>
 
-#include "core/calibration.hh"
-#include "sim/simulator.hh"
-#include "workloads/workload.hh"
+#include "explore/tasks.hh"
 
 namespace eh::bench {
 
 /**
- * Directory for CSV outputs (created on first use). Override with the
- * EH_RESULTS_DIR environment variable.
+ * Directory for CSV outputs (created once, race-free). Override with
+ * the EH_RESULTS_DIR environment variable; the first call pins the
+ * value for the process lifetime.
  */
 std::string outputDir();
 
@@ -31,55 +31,17 @@ void banner(const std::string &figure_id, const std::string &title);
 std::string csvPath(const std::string &name);
 
 /** Outcome of one workload/policy validation run (Figs 6–7). */
-struct ValidationRun
-{
-    std::string workload;
-    std::string policy;
-    double measuredProgress = 0.0;
-    double predictedProgress = 0.0;
-    double relativeError = 0.0;
-    double meanTauB = 0.0;
-    double meanTauD = 0.0;
-    double meanAlphaB = 0.0;
-    double optimalTauB = 0.0; ///< Equation 9 at the calibrated params
-    bool finished = false;
-};
+using ValidationRun = explore::ValidationRun;
 
-/**
- * Run one Table II workload under a named policy ("hibernus",
- * "mementos", "dino") on the simulated MSP430-class platform, then
- * calibrate the EH model from the observed behaviour and score the
- * prediction (the Section V-A methodology).
- *
- * @param periods_budget_divisor The period budget is the uninterrupted
- *        run's energy divided by this, floored at a viable minimum.
- */
+/** @copydoc eh::explore::runValidation */
 ValidationRun runValidation(const std::string &workload,
                             const std::string &policy,
                             double periods_budget_divisor = 6.0);
 
 /** One benchmark's Clank characterization on one voltage trace. */
-struct ClankCharacterization
-{
-    std::string workload;
-    std::string trace;
-    double tauBMean = 0.0;
-    double tauBSem = 0.0;
-    double tauDMean = 0.0;
-    double tauDSem = 0.0;
-    double alphaBMean = 0.0;
-    std::uint64_t backups = 0;
-    std::uint64_t violations = 0;
-    std::uint64_t watchdogs = 0;
-    std::uint64_t overflows = 0;
-    bool finished = false;
-};
+using ClankCharacterization = explore::ClankCharacterization;
 
-/**
- * Run one MiBench-like workload under Clank on a harvested supply driven
- * by @p trace_index (0 = spiky, 1 = ramp, 2 = multi-peak; the Section
- * V-B setup: 8-entry buffers, 8000-cycle watchdog, Cortex-M0+ costs).
- */
+/** @copydoc eh::explore::runClank */
 ClankCharacterization runClank(const std::string &workload,
                                int trace_index,
                                std::uint64_t watchdog_cycles = 8000);

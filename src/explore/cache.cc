@@ -1,0 +1,293 @@
+#include "explore/cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+
+#include "util/hash.hh"
+#include "util/panic.hh"
+
+namespace eh::explore {
+
+namespace {
+
+/** Bump to invalidate every existing store when the record shape changes. */
+constexpr int cacheSchemaVersion = 1;
+
+/** JSON string escaping for the subset the cache emits (raw bytes). */
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (char c : raw) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (u < 0x20) {
+            static const char digits[] = "0123456789abcdef";
+            out += "\\u00";
+            out += digits[(u >> 4) & 0xf];
+            out += digits[u & 0xf];
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Cursor over one JSON line; fail-and-stop parsing. */
+struct Cursor
+{
+    const std::string &text;
+    std::size_t at = 0;
+
+    bool
+    literal(const char *expect)
+    {
+        const std::size_t n = std::char_traits<char>::length(expect);
+        if (text.compare(at, n, expect) != 0)
+            return false;
+        at += n;
+        return true;
+    }
+
+    bool
+    quotedString(std::string &out)
+    {
+        out.clear();
+        if (at >= text.size() || text[at] != '"')
+            return false;
+        ++at;
+        while (at < text.size()) {
+            const char c = text[at];
+            if (c == '"') {
+                ++at;
+                return true;
+            }
+            if (c == '\\') {
+                if (at + 1 >= text.size())
+                    return false;
+                const char esc = text[at + 1];
+                if (esc == '"' || esc == '\\' || esc == '/') {
+                    out += esc;
+                    at += 2;
+                } else if (esc == 'n') {
+                    out += '\n';
+                    at += 2;
+                } else if (esc == 't') {
+                    out += '\t';
+                    at += 2;
+                } else if (esc == 'r') {
+                    out += '\r';
+                    at += 2;
+                } else if (esc == 'u') {
+                    if (at + 6 > text.size())
+                        return false;
+                    unsigned v = 0;
+                    for (std::size_t k = at + 2; k < at + 6; ++k) {
+                        const char h = text[k];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    // The encoder only emits \u00XX (raw bytes).
+                    if (v > 0xff)
+                        return false;
+                    out += static_cast<char>(v);
+                    at += 6;
+                } else {
+                    return false;
+                }
+            } else {
+                out += c;
+                ++at;
+            }
+        }
+        return false; // unterminated string (torn line)
+    }
+};
+
+} // namespace
+
+std::string
+defaultCacheDir()
+{
+    static std::once_flag once;
+    static std::string dir;
+    std::call_once(once, [] {
+        const char *env = std::getenv("EH_RESULTS_DIR");
+        dir = (env ? std::string(env) : std::string("results")) +
+              "/cache";
+        std::filesystem::create_directories(dir);
+    });
+    return dir;
+}
+
+std::string
+ResultCache::encodeRecord(const JobSpec &spec, std::uint64_t seed,
+                          const JobResult &result)
+{
+    std::string line = "{\"v\":";
+    line += std::to_string(cacheSchemaVersion);
+    line += ",\"hash\":\"";
+    line += hashHex(spec.hash());
+    line += "\",\"seed\":\"";
+    line += std::to_string(seed);
+    line += "\",\"spec\":\"";
+    line += jsonEscape(spec.canonical());
+    line += "\",\"fields\":{";
+    bool first = true;
+    for (const auto &[k, v] : result.fields()) {
+        if (!first)
+            line += ',';
+        first = false;
+        line += '"';
+        line += jsonEscape(k);
+        line += "\":\"";
+        line += jsonEscape(v);
+        line += '"';
+    }
+    line += "}}";
+    return line;
+}
+
+bool
+ResultCache::decodeRecord(const std::string &line,
+                          std::string &canonical_out,
+                          std::uint64_t &hash_out,
+                          std::uint64_t &seed_out, JobResult &result_out)
+{
+    Cursor c{line};
+    const std::string prefix =
+        "{\"v\":" + std::to_string(cacheSchemaVersion) + ",\"hash\":";
+    if (!c.literal(prefix.c_str()))
+        return false;
+    std::string hex;
+    if (!c.quotedString(hex) || !parseHashHex(hex, hash_out))
+        return false;
+    std::string seed_text;
+    if (!c.literal(",\"seed\":") || !c.quotedString(seed_text))
+        return false;
+    if (seed_text.empty() ||
+        seed_text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    seed_out = std::strtoull(seed_text.c_str(), nullptr, 10);
+    if (!c.literal(",\"spec\":") || !c.quotedString(canonical_out))
+        return false;
+    if (!c.literal(",\"fields\":{"))
+        return false;
+    JobResult decoded;
+    if (c.at < line.size() && line[c.at] == '}') {
+        ++c.at;
+    } else {
+        for (;;) {
+            std::string key, value;
+            if (!c.quotedString(key) || !c.literal(":") ||
+                !c.quotedString(value)) {
+                return false;
+            }
+            decoded.set(key, value);
+            if (c.at < line.size() && line[c.at] == ',') {
+                ++c.at;
+                continue;
+            }
+            if (c.at < line.size() && line[c.at] == '}') {
+                ++c.at;
+                break;
+            }
+            return false; // torn mid-object
+        }
+    }
+    if (!c.literal("}"))
+        return false;
+    if (c.at < line.size() && line[c.at] == '\r')
+        ++c.at;
+    if (c.at != line.size())
+        return false; // trailing bytes — treat the line as corrupt
+    result_out = decoded;
+    return true;
+}
+
+ResultCache::ResultCache() = default;
+
+ResultCache::ResultCache(const std::string &dir, const std::string &name,
+                         bool fresh)
+{
+    if (dir.empty())
+        return;
+    std::filesystem::create_directories(dir);
+    filePath = dir + "/" + name + ".jsonl";
+    loadExisting(filePath, fresh);
+    appender.open(filePath, std::ios::app);
+    if (!appender)
+        fatalf("cannot open result cache '", filePath, "' for append");
+}
+
+void
+ResultCache::loadExisting(const std::string &file, bool fresh)
+{
+    std::ifstream in(file);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string canonical;
+        std::uint64_t hash = 0, seed = 0;
+        JobResult result;
+        if (!decodeRecord(line, canonical, hash, seed, result))
+            continue; // torn/corrupt line (crashed run) — ignore
+        ++loaded;
+        if (!fresh)
+            entries.insert({hash, Entry{canonical, seed, result}});
+    }
+    if (fresh)
+        loaded = 0;
+}
+
+bool
+ResultCache::lookup(const JobSpec &spec, std::uint64_t seed,
+                    JobResult &out) const
+{
+    const std::uint64_t h = spec.hash();
+    const std::string canonical = spec.canonical();
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto [lo, hi] = entries.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second.seed == seed &&
+            it->second.canonical == canonical) {
+            out = it->second.result;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ResultCache::store(const JobSpec &spec, std::uint64_t seed,
+                   const JobResult &result)
+{
+    const std::uint64_t h = spec.hash();
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.insert({h, Entry{spec.canonical(), seed, result}});
+    if (appender.is_open()) {
+        appender << encodeRecord(spec, seed, result) << '\n';
+        appender.flush();
+    }
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+} // namespace eh::explore

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Content-addressed result cache for exploration campaigns. Every
+ * evaluated job is stored in memory and appended — one flushed JSON
+ * line at a time — to an on-disk store keyed by the job's content hash,
+ * canonical spec string, and the campaign seed it ran under. Re-running a campaign after a crash, or
+ * after editing one corner of the grid, therefore only executes the
+ * cells whose specs actually changed: everything else is served from
+ * disk. A torn final line (the signature of a killed run) is detected
+ * and ignored on load, so a crashed campaign always resumes cleanly.
+ */
+
+#ifndef EH_EXPLORE_CACHE_HH
+#define EH_EXPLORE_CACHE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "explore/job.hh"
+
+namespace eh::explore {
+
+/**
+ * Default cache directory: $EH_RESULTS_DIR/cache (or results/cache),
+ * created on first use. Safe to call from multiple threads.
+ */
+std::string defaultCacheDir();
+
+/**
+ * In-memory + append-only JSONL result store. Thread-safe: lookups and
+ * inserts may come from any campaign worker.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * Open (or create) the store at @p dir/@p name.jsonl and load every
+     * intact record. An empty @p dir disables persistence (memory-only
+     * cache). @p fresh ignores existing records (they are preserved on
+     * disk; new results are still appended).
+     */
+    ResultCache(const std::string &dir, const std::string &name,
+                bool fresh = false);
+
+    /** Memory-only cache (no directory, nothing persisted). */
+    ResultCache();
+
+    /**
+     * Look up @p spec as evaluated under campaign @p seed. Returns true
+     * and fills @p out on a hit. A hash collision with a different
+     * canonical spec counts as a miss, and so does a record written
+     * under a different campaign seed — stochastic jobs draw their
+     * randomness from (seed, spec), so the seed is part of identity.
+     */
+    bool lookup(const JobSpec &spec, std::uint64_t seed,
+                JobResult &out) const;
+
+    /** Insert (and persist, when enabled) the result of @p spec. */
+    void store(const JobSpec &spec, std::uint64_t seed,
+               const JobResult &result);
+
+    /** Records loaded from disk at construction. */
+    std::size_t loadedRecords() const { return loaded; }
+
+    /** Records currently held in memory. */
+    std::size_t size() const;
+
+    /** Full path of the backing file; empty for memory-only caches. */
+    const std::string &path() const { return filePath; }
+
+    /**
+     * Serialize one record as the on-disk JSON line (exposed for tests
+     * and for tools that want to inspect the store).
+     */
+    static std::string encodeRecord(const JobSpec &spec,
+                                    std::uint64_t seed,
+                                    const JobResult &result);
+
+    /**
+     * Parse one on-disk line. Returns false on malformed/torn input.
+     * @param canonical_out canonical spec string of the record
+     * @param hash_out      content hash of the record
+     * @param seed_out      campaign seed the record was computed under
+     * @param result_out    decoded result fields
+     */
+    static bool decodeRecord(const std::string &line,
+                             std::string &canonical_out,
+                             std::uint64_t &hash_out,
+                             std::uint64_t &seed_out,
+                             JobResult &result_out);
+
+  private:
+    struct Entry
+    {
+        std::string canonical;
+        std::uint64_t seed = 0;
+        JobResult result;
+    };
+
+    void loadExisting(const std::string &file, bool fresh);
+
+    mutable std::mutex mutex;
+    std::unordered_multimap<std::uint64_t, Entry> entries;
+    std::ofstream appender;
+    std::string filePath;
+    std::size_t loaded = 0;
+};
+
+} // namespace eh::explore
+
+#endif // EH_EXPLORE_CACHE_HH

@@ -1,0 +1,139 @@
+#include "explore/campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#ifdef _WIN32
+#define EH_STDERR_IS_TTY() false
+#else
+#include <unistd.h>
+#define EH_STDERR_IS_TTY() (isatty(2) != 0)
+#endif
+
+#include "util/table.hh"
+
+namespace eh::explore {
+
+double
+CampaignReport::utilization() const
+{
+    if (elapsedSeconds <= 0.0 || workers.empty())
+        return 0.0;
+    const double capacity =
+        elapsedSeconds * static_cast<double>(workers.size());
+    return capacity > 0.0 ? busySeconds / capacity : 0.0;
+}
+
+std::string
+CampaignReport::summary() const
+{
+    std::ostringstream oss;
+    oss << total << " jobs: " << executed << " executed, " << cacheHits
+        << " cached, " << Table::num(elapsedSeconds, 2) << " s on "
+        << workers.size() << " worker"
+        << (workers.size() == 1 ? "" : "s") << " ("
+        << Table::pct(utilization()) << " busy";
+    std::uint64_t steals = 0;
+    for (const auto &w : workers)
+        steals += w.steals;
+    oss << ", " << steals << " steal" << (steals == 1 ? "" : "s") << ")";
+    if (!cachePath.empty())
+        oss << "; cache: " << cachePath;
+    return oss.str();
+}
+
+Campaign::Campaign(CampaignConfig config) : cfg(std::move(config)) {}
+
+void
+Campaign::add(JobSpec spec)
+{
+    specs.push_back(std::move(spec));
+}
+
+std::vector<JobResult>
+Campaign::run(const Evaluator &eval)
+{
+    using Clock = std::chrono::steady_clock;
+
+    ResultCache cache =
+        cfg.cache ? ResultCache(cfg.cacheDir.empty() ? defaultCacheDir()
+                                                     : cfg.cacheDir,
+                                cfg.name, cfg.fresh)
+                  : ResultCache();
+
+    std::vector<JobResult> results(specs.size());
+    std::atomic<std::size_t> done{0}, executed{0}, hits{0};
+    std::atomic<std::uint64_t> busyNanos{0};
+    std::mutex progressMutex;
+    Clock::time_point lastPrint = Clock::now();
+    const bool liveProgress = cfg.progress && EH_STDERR_IS_TTY();
+
+    const Rng master(cfg.seed);
+    const auto start = Clock::now();
+
+    ThreadPool pool(cfg.jobs);
+    pool.forEach(specs.size(), [&](std::size_t i) {
+        const JobSpec &spec = specs[i];
+        JobResult result;
+        if (cache.lookup(spec, cfg.seed, result)) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            // The job's whole entropy budget: campaign seed + job hash.
+            // Independent of worker, steal pattern, and sibling jobs.
+            Rng rng = master.split(spec.hash());
+            const auto t0 = Clock::now();
+            result = eval(spec, rng);
+            busyNanos.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - t0)
+                        .count()),
+                std::memory_order_relaxed);
+            cache.store(spec, cfg.seed, result);
+            executed.fetch_add(1, std::memory_order_relaxed);
+        }
+        results[i] = std::move(result);
+        const std::size_t finished =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+
+        if (!liveProgress)
+            return;
+        std::lock_guard<std::mutex> lock(progressMutex);
+        const auto now = Clock::now();
+        const bool last = finished == specs.size();
+        if (!last && now - lastPrint < std::chrono::milliseconds(250))
+            return;
+        lastPrint = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start).count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(finished) / elapsed : 0.0;
+        const double eta =
+            rate > 0.0
+                ? static_cast<double>(specs.size() - finished) / rate
+                : 0.0;
+        std::fprintf(stderr,
+                     "\r[%s] %zu/%zu jobs (%zu cached) eta %.1fs   %s",
+                     cfg.name.c_str(), finished, specs.size(),
+                     hits.load(std::memory_order_relaxed), eta,
+                     last ? "\n" : "");
+        std::fflush(stderr);
+    });
+
+    lastReport = CampaignReport{};
+    lastReport.total = specs.size();
+    lastReport.executed = executed.load();
+    lastReport.cacheHits = hits.load();
+    lastReport.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    lastReport.busySeconds =
+        static_cast<double>(busyNanos.load()) * 1e-9;
+    lastReport.workers = pool.workerStats();
+    lastReport.cachePath = cache.path();
+    return results;
+}
+
+} // namespace eh::explore

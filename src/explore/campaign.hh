@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Campaign = an ordered grid of JobSpecs + the machinery to evaluate it:
+ * work-stealing parallel execution, content-addressed result caching,
+ * deterministic per-job RNG sub-streams, and progress/ETA reporting.
+ *
+ * Results come back in submission order regardless of worker count or
+ * steal pattern, and each job's randomness is derived from the campaign
+ * seed and the job's content hash alone — so a campaign's output is
+ * bit-identical at --jobs 1 and --jobs 16, and a re-run after a crash
+ * or a parameter tweak executes only the cells not already on disk.
+ */
+
+#ifndef EH_EXPLORE_CAMPAIGN_HH
+#define EH_EXPLORE_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/cache.hh"
+#include "explore/job.hh"
+#include "explore/threadpool.hh"
+#include "util/random.hh"
+
+namespace eh::explore {
+
+/** Knobs shared by every campaign run. */
+struct CampaignConfig
+{
+    /** Cache-store name and progress tag. */
+    std::string name = "campaign";
+
+    /** Worker threads; 0 = --jobs/EH_JOBS/hardware default. */
+    unsigned jobs = 0;
+
+    /** Master seed; every job draws from split(seed, jobHash). */
+    std::uint64_t seed = 1;
+
+    /** Cache directory; empty = defaultCacheDir(). */
+    std::string cacheDir;
+
+    /** Disable the on-disk store entirely (memory-only run). */
+    bool cache = true;
+
+    /** Ignore existing on-disk records (still appends new ones). */
+    bool fresh = false;
+
+    /** Emit progress/ETA lines to stderr while running. */
+    bool progress = true;
+};
+
+/** What one run() did, for reporting and assertions. */
+struct CampaignReport
+{
+    std::size_t total = 0;     ///< jobs submitted
+    std::size_t executed = 0;  ///< jobs actually evaluated
+    std::size_t cacheHits = 0; ///< jobs served from the result cache
+    double elapsedSeconds = 0.0;
+    double busySeconds = 0.0;  ///< summed evaluator wall time
+    std::vector<WorkerStats> workers;
+    std::string cachePath;     ///< backing store ("" when disabled)
+
+    /** Mean fraction of worker wall-time spent inside evaluators. */
+    double utilization() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Evaluate one job. The Rng is the job's private sub-stream — the only
+ * sanctioned randomness source, so results cannot depend on scheduling.
+ */
+using Evaluator = std::function<JobResult(const JobSpec &, Rng &rng)>;
+
+/** An ordered grid of jobs plus the engine to evaluate it. */
+class Campaign
+{
+  public:
+    explicit Campaign(CampaignConfig config = {});
+
+    /** Append one job; results preserve this submission order. */
+    void add(JobSpec spec);
+
+    /** Jobs submitted so far. */
+    std::size_t size() const { return specs.size(); }
+
+    /** Submitted specs, in order. */
+    const std::vector<JobSpec> &jobs() const { return specs; }
+
+    /**
+     * Evaluate every job (cache first, then @p eval on a worker) and
+     * return the results in submission order. May be called once per
+     * Campaign. Exceptions from evaluators propagate after the grid
+     * drains.
+     */
+    std::vector<JobResult> run(const Evaluator &eval);
+
+    /** Statistics of the completed run(). */
+    const CampaignReport &report() const { return lastReport; }
+
+  private:
+    CampaignConfig cfg;
+    std::vector<JobSpec> specs;
+    CampaignReport lastReport;
+};
+
+} // namespace eh::explore
+
+#endif // EH_EXPLORE_CAMPAIGN_HH

@@ -1,0 +1,206 @@
+#include "explore/job.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/hash.hh"
+#include "util/panic.hh"
+
+namespace eh::explore {
+
+namespace {
+
+/** Percent-escape the canonical-form metacharacters. */
+std::string
+escapeCanonical(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (c == '%' || c == '|' || c == '=' || c == '\n') {
+            static const char digits[] = "0123456789abcdef";
+            out += '%';
+            out += digits[(static_cast<unsigned char>(c) >> 4) & 0xf];
+            out += digits[static_cast<unsigned char>(c) & 0xf];
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+double
+parseDoubleField(const std::string &context, const std::string &key,
+                 const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatalf(context, " field '", key, "' is not numeric: '", value,
+               "'");
+    return v;
+}
+
+} // namespace
+
+std::string
+formatRoundTrip(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+JobSpec &
+JobSpec::set(const std::string &key, const std::string &value)
+{
+    const auto at = std::lower_bound(
+        kv.begin(), kv.end(), key,
+        [](const auto &entry, const std::string &k) {
+            return entry.first < k;
+        });
+    if (at != kv.end() && at->first == key)
+        at->second = value;
+    else
+        kv.insert(at, {key, value});
+    return *this;
+}
+
+JobSpec &
+JobSpec::set(const std::string &key, double value)
+{
+    return set(key, formatRoundTrip(value));
+}
+
+JobSpec &
+JobSpec::set(const std::string &key, std::uint64_t value)
+{
+    return set(key, std::to_string(value));
+}
+
+JobSpec &
+JobSpec::set(const std::string &key, int value)
+{
+    return set(key, std::to_string(value));
+}
+
+bool
+JobSpec::has(const std::string &key) const
+{
+    return std::any_of(kv.begin(), kv.end(), [&](const auto &entry) {
+        return entry.first == key;
+    });
+}
+
+std::string
+JobSpec::get(const std::string &key, const std::string &fallback) const
+{
+    for (const auto &[k, v] : kv) {
+        if (k == key)
+            return v;
+    }
+    return fallback;
+}
+
+double
+JobSpec::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    return parseDoubleField("job spec", key, get(key));
+}
+
+std::string
+JobSpec::canonical() const
+{
+    std::string out = escapeCanonical(taskKind);
+    for (const auto &[k, v] : kv) {
+        out += '|';
+        out += escapeCanonical(k);
+        out += '=';
+        out += escapeCanonical(v);
+    }
+    return out;
+}
+
+std::uint64_t
+JobSpec::hash() const
+{
+    return contentHash(canonical());
+}
+
+JobResult &
+JobResult::set(const std::string &key, const std::string &value)
+{
+    for (auto &[k, v] : kv) {
+        if (k == key) {
+            v = value;
+            return *this;
+        }
+    }
+    kv.emplace_back(key, value);
+    return *this;
+}
+
+JobResult &
+JobResult::set(const std::string &key, double value)
+{
+    return set(key, formatRoundTrip(value));
+}
+
+JobResult &
+JobResult::set(const std::string &key, std::uint64_t value)
+{
+    return set(key, std::to_string(value));
+}
+
+JobResult &
+JobResult::set(const std::string &key, bool value)
+{
+    return set(key, std::string(value ? "1" : "0"));
+}
+
+bool
+JobResult::has(const std::string &key) const
+{
+    return std::any_of(kv.begin(), kv.end(), [&](const auto &entry) {
+        return entry.first == key;
+    });
+}
+
+std::string
+JobResult::str(const std::string &key) const
+{
+    for (const auto &[k, v] : kv) {
+        if (k == key)
+            return v;
+    }
+    return "";
+}
+
+double
+JobResult::num(const std::string &key) const
+{
+    if (!has(key))
+        fatalf("job result is missing field '", key,
+               "' (stale cache entry? delete results/cache and re-run)");
+    return parseDoubleField("job result", key, str(key));
+}
+
+std::uint64_t
+JobResult::uint(const std::string &key) const
+{
+    if (!has(key))
+        fatalf("job result is missing field '", key,
+               "' (stale cache entry? delete results/cache and re-run)");
+    const std::string value = str(key);
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatalf("job result field '", key, "' is not an integer: '",
+               value, "'");
+    return v;
+}
+
+} // namespace eh::explore

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The exploration engine's job model. A JobSpec is a complete, declarative
+ * description of one cell of a design-space campaign — which task kind to
+ * run (validation, clank characterization, fault sweep point, ...), every
+ * parameter it needs, and the seed stream it draws randomness from. Specs
+ * have a canonical serialization and a stable 64-bit content hash, so the
+ * same cell always maps to the same cache entry and the same RNG
+ * sub-stream regardless of submission order, thread count, or process
+ * lifetime (see docs/EXPLORE.md).
+ */
+
+#ifndef EH_EXPLORE_JOB_HH
+#define EH_EXPLORE_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eh::explore {
+
+/**
+ * One unit of campaign work: a task kind plus an ordered set of named
+ * parameters. Parameters are kept sorted by key so that logically equal
+ * specs serialize — and therefore hash — identically no matter the
+ * order set() calls were made in.
+ */
+class JobSpec
+{
+  public:
+    JobSpec() = default;
+    explicit JobSpec(std::string kind_) : taskKind(std::move(kind_)) {}
+
+    /** Task kind dispatched on by the evaluator ("validation", ...). */
+    const std::string &kind() const { return taskKind; }
+
+    /** Set (or overwrite) one named parameter. Returns *this. */
+    JobSpec &set(const std::string &key, const std::string &value);
+
+    /** Convenience overloads for numeric parameters. */
+    JobSpec &set(const std::string &key, double value);
+    JobSpec &set(const std::string &key, std::uint64_t value);
+    JobSpec &set(const std::string &key, int value);
+
+    /** True when @p key was set. */
+    bool has(const std::string &key) const;
+
+    /** String value of @p key, or @p fallback when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /**
+     * Numeric value of @p key, or @p fallback when absent.
+     * @throws FatalError when the stored value does not parse.
+     */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** All parameters, sorted by key. */
+    const std::vector<std::pair<std::string, std::string>> &
+    params() const
+    {
+        return kv;
+    }
+
+    /**
+     * Canonical serialization: `kind|k1=v1|k2=v2|...` with keys sorted
+     * and `%`, `|`, `=` and newline percent-escaped. This string — not
+     * any in-memory layout — defines job identity.
+     */
+    std::string canonical() const;
+
+    /** Stable 64-bit content hash of canonical(). */
+    std::uint64_t hash() const;
+
+  private:
+    std::string taskKind;
+    std::vector<std::pair<std::string, std::string>> kv;
+};
+
+/**
+ * The outcome of one evaluated job: named fields in the order the
+ * evaluator produced them. Values are stored as strings; numeric fields
+ * use round-trip ("%.17g") formatting so a result read back from the
+ * on-disk cache is bit-identical to the freshly computed one.
+ */
+class JobResult
+{
+  public:
+    /** Append one field (last write wins on duplicate names). */
+    JobResult &set(const std::string &key, const std::string &value);
+
+    /** Append one numeric field with round-trip formatting. */
+    JobResult &set(const std::string &key, double value);
+    JobResult &set(const std::string &key, std::uint64_t value);
+    JobResult &set(const std::string &key, bool value);
+
+    /** True when @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** String value of @p key; empty string when absent. */
+    std::string str(const std::string &key) const;
+
+    /**
+     * Numeric value of @p key.
+     * @throws FatalError when absent or unparsable — a result schema
+     *         mismatch, e.g. a stale cache entry from an older binary.
+     */
+    double num(const std::string &key) const;
+
+    /** Unsigned integer value of @p key (same error behaviour). */
+    std::uint64_t uint(const std::string &key) const;
+
+    /** Fields in insertion order. */
+    const std::vector<std::pair<std::string, std::string>> &
+    fields() const
+    {
+        return kv;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv;
+};
+
+/** Round-trip ("%.17g") rendering used for all numeric result fields. */
+std::string formatRoundTrip(double value);
+
+} // namespace eh::explore
+
+#endif // EH_EXPLORE_JOB_HH

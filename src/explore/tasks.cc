@@ -1,0 +1,410 @@
+#include "explore/tasks.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "arch/cpu.hh"
+#include "core/model.hh"
+#include "core/optimum.hh"
+#include "core/params.hh"
+#include "energy/supply.hh"
+#include "energy/trace.hh"
+#include "energy/transducer.hh"
+#include "fault/injector.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/hibernus_pp.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "workloads/workload.hh"
+
+namespace eh::explore {
+
+namespace {
+
+/** Build the volatile-platform policy used by the validation runs. */
+std::unique_ptr<runtime::BackupPolicy>
+makeValidationPolicy(const std::string &name, std::size_t sram_used,
+                     double budget)
+{
+    if (name == "hibernus") {
+        runtime::HibernusConfig c;
+        c.sramUsedBytes = sram_used;
+        const double backup_energy =
+            (static_cast<double>(sram_used) + 68.0) * 75.0;
+        c.backupThreshold =
+            std::clamp(2.0 * backup_energy / budget, 0.15, 0.85);
+        return std::make_unique<runtime::Hibernus>(c);
+    }
+    if (name == "hibernus++") {
+        runtime::HibernusPPConfig c;
+        c.sramUsedBytes = sram_used;
+        (void)budget; // the whole point: no platform-specific tuning
+        return std::make_unique<runtime::HibernusPP>(c);
+    }
+    if (name == "mementos") {
+        runtime::MementosConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Mementos>(c);
+    }
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    fatalf("unknown validation policy '", name, "'");
+}
+
+/** Build the nonvolatile-data policy used by the fault/wear sweeps. */
+std::unique_ptr<runtime::BackupPolicy>
+makeNvPolicy(const std::string &name, std::size_t sram_used)
+{
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    if (name == "clank")
+        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    if (name == "ratchet")
+        return std::make_unique<runtime::Ratchet>(
+            runtime::RatchetConfig{});
+    if (name == "nvp")
+        return std::make_unique<runtime::Nvp>(runtime::NvpConfig{1, 4});
+    fatalf("unknown nonvolatile policy '", name, "'");
+}
+
+/** Apply a named Table I parameter override (the CLI's sweep names). */
+void
+applyModelParam(core::Params &p, const std::string &name, double value)
+{
+    if (name == "tauB")
+        p.backupPeriod = value;
+    else if (name == "E")
+        p.energyBudget = value;
+    else if (name == "eps")
+        p.execEnergy = value;
+    else if (name == "epsC")
+        p.chargeEnergy = value;
+    else if (name == "sigmaB")
+        p.backupBandwidth = value;
+    else if (name == "OmegaB")
+        p.backupCost = value;
+    else if (name == "AB")
+        p.archStateBackup = value;
+    else if (name == "alphaB")
+        p.appStateRate = value;
+    else if (name == "sigmaR")
+        p.restoreBandwidth = value;
+    else if (name == "OmegaR")
+        p.restoreCost = value;
+    else if (name == "AR")
+        p.archStateRestore = value;
+    else if (name == "alphaR")
+        p.appRestoreRate = value;
+    else
+        fatalf("unknown model parameter '", name, "'");
+}
+
+JobResult
+packValidation(const ValidationRun &r)
+{
+    return JobResult()
+        .set("workload", r.workload)
+        .set("policy", r.policy)
+        .set("measured", r.measuredProgress)
+        .set("predicted", r.predictedProgress)
+        .set("rel_error", r.relativeError)
+        .set("tau_b", r.meanTauB)
+        .set("tau_d", r.meanTauD)
+        .set("alpha_b", r.meanAlphaB)
+        .set("tau_b_opt", r.optimalTauB)
+        .set("finished", r.finished);
+}
+
+JobResult
+packClank(const ClankCharacterization &r)
+{
+    return JobResult()
+        .set("workload", r.workload)
+        .set("trace", r.trace)
+        .set("tau_b_mean", r.tauBMean)
+        .set("tau_b_sem", r.tauBSem)
+        .set("tau_d_mean", r.tauDMean)
+        .set("tau_d_sem", r.tauDSem)
+        .set("alpha_b_mean", r.alphaBMean)
+        .set("backups", r.backups)
+        .set("violations", r.violations)
+        .set("watchdogs", r.watchdogs)
+        .set("overflows", r.overflows)
+        .set("finished", r.finished);
+}
+
+JobResult
+packFault(const FaultRun &r)
+{
+    return JobResult()
+        .set("finished", r.finished)
+        .set("correct", r.correct)
+        .set("progress", r.progress)
+        .set("corruptions", r.corruptionsDetected)
+        .set("fallbacks", r.slotFallbacks)
+        .set("restarts", r.restartsFromScratch)
+        .set("bit_flips", r.bitFlips);
+}
+
+JobResult
+packWear(const WearRun &r)
+{
+    return JobResult()
+        .set("bytes", r.totalWritten)
+        .set("bytes_per_cycle", r.bytesPerCommittedInstr)
+        .set("progress", r.progress)
+        .set("finished", r.finished);
+}
+
+} // namespace
+
+ValidationRun
+runValidation(const std::string &workload, const std::string &policy,
+              double periods_budget_divisor)
+{
+    const auto layout = workloads::volatileLayout();
+    const auto w = workloads::makeWorkload(workload, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 60000;
+
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    // The floor keeps several backup+restore round trips per period so
+    // single-backup systems retain useful headroom after their snapshot.
+    const double round_trip =
+        (static_cast<double>(cfg.sramUsedBytes) + 68.0) * 75.0;
+    const double floor_budget = 6.0 * round_trip;
+    const double budget =
+        std::max(floor_budget, golden.energy / periods_budget_divisor);
+
+    energy::ConstantSupply supply(budget);
+    auto pol = makeValidationPolicy(policy, cfg.sramUsedBytes, budget);
+    sim::Simulator simulator(w.program, *pol, supply, cfg);
+    const auto stats = simulator.run();
+
+    ValidationRun out;
+    out.workload = workload;
+    out.policy = policy;
+    out.finished = stats.finished;
+    out.measuredProgress = stats.measuredProgress();
+    out.meanTauB = stats.tauB.count() ? stats.tauB.mean() : 0.0;
+    out.meanTauD = stats.tauD.count() ? stats.tauD.mean() : 0.0;
+    out.meanAlphaB = stats.alphaB.count() ? stats.alphaB.mean() : 0.0;
+
+    auto obs = stats.observe(cfg, arch::Cpu::archStateBytes);
+    if (policy == "hibernus") {
+        // Single-backup system: charged per backup is the full SRAM
+        // payload, best-case dead cycles (Section IV-B).
+        obs.meanAppStateRate = 0.0;
+        obs.archStateBytes = static_cast<double>(cfg.sramUsedBytes) + 68.0;
+    }
+    const auto pred = core::predictFromObservation(obs);
+    out.predictedProgress = pred.predictedProgress;
+    out.relativeError = pred.relativeError;
+    out.optimalTauB = core::optimalBackupPeriod(pred.params);
+    return out;
+}
+
+std::vector<std::string>
+traceNames()
+{
+    return {"rf-spiky", "rf-ramp", "rf-multipeak"};
+}
+
+ClankCharacterization
+runClank(const std::string &workload, int trace_index,
+         std::uint64_t watchdog_cycles)
+{
+    EH_ASSERT(trace_index >= 0 && trace_index < 3,
+              "trace index must be 0..2");
+    const auto layout = workloads::nonvolatileLayout();
+    const auto w = workloads::makeWorkload(workload, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.costs = arch::CostModel::cortexM0();
+    cfg.maxActivePeriods = 30000;
+
+    // Harvested supply: traces scaled so an active period holds roughly
+    // 30-60k cycles — several watchdog periods — and recharging takes a
+    // realistic multiple of the active time.
+    auto traces = energy::makePaperTraces(0xE40 + trace_index,
+                                          30'000'000);
+    energy::Transducer tx(0.6, 3000.0, 16.0e6);
+    energy::Capacitor cap(0.68e-6, 3.6, 3.0, 2.2);
+    energy::HarvestingSupply supply(std::move(traces[trace_index]), tx,
+                                    cap);
+
+    runtime::ClankConfig cc;
+    cc.watchdogCycles = watchdog_cycles;
+    runtime::Clank policy(cc);
+
+    sim::Simulator simulator(w.program, policy, supply, cfg);
+    const auto stats = simulator.run();
+
+    ClankCharacterization out;
+    out.workload = workload;
+    out.trace = traceNames()[static_cast<std::size_t>(trace_index)];
+    out.finished = stats.finished;
+    out.tauBMean = stats.tauB.count() ? stats.tauB.mean() : 0.0;
+    out.tauBSem = stats.tauB.sem();
+    out.tauDMean = stats.tauD.count() ? stats.tauD.mean() : 0.0;
+    out.tauDSem = stats.tauD.sem();
+    out.alphaBMean = stats.alphaB.count() ? stats.alphaB.mean() : 0.0;
+    out.backups = stats.backups;
+    const auto &ts = policy.tracker().stats();
+    out.violations = ts.violations;
+    out.watchdogs = ts.watchdogFirings;
+    out.overflows = ts.overflows;
+    return out;
+}
+
+FaultRun
+runFaultPoint(const std::string &workload, const std::string &policy,
+              double rate, std::uint64_t plan_seed)
+{
+    const bool vol = policy == "dino";
+    const auto w = workloads::makeWorkload(
+        workload, vol ? workloads::volatileLayout()
+                      : workloads::nonvolatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+    cfg.maxActivePeriods = 60000;
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    const double budget =
+        std::max(vol ? 2.0e6 : 1.0e6, golden.energy / 5.0);
+
+    fault::FaultPlan plan;
+    plan.seed = plan_seed;
+    plan.wearBitErrorRate = rate;
+    // Targeted corruption scales with the same rate so the
+    // checkpoint-integrity path is exercised proportionally.
+    plan.checkpointCorruptionProb = std::min(0.9, rate * 1.0e5);
+    plan.selectorCorruptionProb = std::min(0.5, rate * 3.0e4);
+    plan.maxBitFlips = 1ull << 40;
+
+    // The fault ablation runs NVP with 4-entry buffers (vs 1 elsewhere).
+    std::unique_ptr<runtime::BackupPolicy> pol;
+    if (policy == "nvp")
+        pol = std::make_unique<runtime::Nvp>(runtime::NvpConfig{4, 4});
+    else
+        pol = makeNvPolicy(policy, cfg.sramUsedBytes);
+    energy::ConstantSupply supply(budget);
+    fault::FaultInjector injector(plan);
+    sim::Simulator s(w.program, *pol, supply, cfg);
+    s.attachFaultInjector(&injector);
+    const auto stats = s.run();
+
+    FaultRun out;
+    out.finished = stats.finished;
+    if (stats.finished) {
+        bool exact = true;
+        for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
+            exact &= s.resultWord(w.resultAddrs[i]) == w.expected[i];
+        out.correct = exact;
+    }
+    out.progress = stats.measuredProgress();
+    out.corruptionsDetected = stats.corruptionsDetected;
+    out.slotFallbacks = stats.slotFallbacks;
+    out.restartsFromScratch = stats.restartsFromScratch;
+    out.bitFlips = stats.injectedBitFlips;
+    return out;
+}
+
+WearRun
+runWearPoint(const std::string &workload, const std::string &policy)
+{
+    const auto w = workloads::makeWorkload(
+        workload, workloads::nonvolatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.costs = arch::CostModel::cortexM0();
+    cfg.maxActivePeriods = 60000;
+    energy::ConstantSupply supply(147.0 * 50000.0);
+    auto pol = makeNvPolicy(policy, cfg.sramUsedBytes);
+    sim::Simulator s(w.program, *pol, supply, cfg);
+    const auto stats = s.run();
+    const auto committed = stats.meter.cycles(energy::Phase::Progress);
+
+    WearRun r;
+    r.totalWritten = s.memory().nvm().bytesWritten();
+    r.bytesPerCommittedInstr =
+        committed ? static_cast<double>(r.totalWritten) /
+                        static_cast<double>(committed)
+                  : 0.0;
+    r.progress = stats.measuredProgress();
+    r.finished = stats.finished;
+    return r;
+}
+
+JobResult
+evaluateJob(const JobSpec &spec, Rng &rng)
+{
+    const std::string &kind = spec.kind();
+    if (kind == "validation") {
+        return packValidation(runValidation(
+            spec.get("workload"), spec.get("policy"),
+            spec.getDouble("divisor", 6.0)));
+    }
+    if (kind == "clank") {
+        return packClank(runClank(
+            spec.get("workload"),
+            static_cast<int>(spec.getDouble("trace", 0.0)),
+            static_cast<std::uint64_t>(
+                spec.getDouble("watchdog", 8000.0))));
+    }
+    if (kind == "fault") {
+        // The plan seed is the first draw of this job's sub-stream —
+        // deterministic for the (campaign seed, spec) pair, replacing
+        // the old ad-hoc `base + i * prime` seeding.
+        return packFault(runFaultPoint(spec.get("workload"),
+                                       spec.get("policy"),
+                                       spec.getDouble("rate", 0.0),
+                                       rng.next()));
+    }
+    if (kind == "wear") {
+        return packWear(
+            runWearPoint(spec.get("workload"), spec.get("policy")));
+    }
+    if (kind == "model") {
+        const std::string preset = spec.get("preset", "illustrative");
+        core::Params p;
+        if (preset == "illustrative")
+            p = core::illustrativeParams();
+        else if (preset == "msp430")
+            p = core::msp430Params(spec.getDouble("period-s", 0.25));
+        else if (preset == "cortexm0")
+            p = core::cortexM0Params();
+        else if (preset == "nvp")
+            p = core::nvpParams();
+        else
+            fatalf("unknown preset '", preset, "'");
+        for (const auto &[key, value] : spec.params()) {
+            if (key == "preset" || key == "period-s" || key == "cell")
+                continue;
+            applyModelParam(p, key, spec.getDouble(key, 0.0));
+        }
+        p.validate();
+        core::Model m(p);
+        return JobResult()
+            .set("avg", m.progress())
+            .set("best", m.progress(core::DeadCycleMode::BestCase))
+            .set("worst", m.progress(core::DeadCycleMode::WorstCase));
+    }
+    fatalf("unknown job kind '", kind, "'");
+}
+
+} // namespace eh::explore

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The exploration engine's built-in task kinds: the simulated-hardware
+ * validation runs (Figs 5–7), the Clank characterizations (Figs 8–9),
+ * fault-tolerance sweep points, NVM-wear points, and pure analytic
+ * EH-model evaluations. This is the physics that used to live in
+ * bench/support.cc, hoisted into the library so benches, tests and the
+ * eh_explore CLI all evaluate grid cells through one engine.
+ *
+ * Each kind is exposed two ways: a typed entry point (runValidation,
+ * runClank, ...) for direct calls, and the evaluateJob() dispatcher that
+ * maps a JobSpec onto the same code for campaign execution.
+ */
+
+#ifndef EH_EXPLORE_TASKS_HH
+#define EH_EXPLORE_TASKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/job.hh"
+#include "util/random.hh"
+
+namespace eh::explore {
+
+/** Outcome of one workload/policy validation run (Figs 6–7). */
+struct ValidationRun
+{
+    std::string workload;
+    std::string policy;
+    double measuredProgress = 0.0;
+    double predictedProgress = 0.0;
+    double relativeError = 0.0;
+    double meanTauB = 0.0;
+    double meanTauD = 0.0;
+    double meanAlphaB = 0.0;
+    double optimalTauB = 0.0; ///< Equation 9 at the calibrated params
+    bool finished = false;
+};
+
+/**
+ * Run one Table II workload under a named policy ("hibernus",
+ * "hibernus++", "mementos", "dino") on the simulated MSP430-class
+ * platform, then calibrate the EH model from the observed behaviour and
+ * score the prediction (the Section V-A methodology).
+ *
+ * @param periods_budget_divisor The period budget is the uninterrupted
+ *        run's energy divided by this, floored at a viable minimum.
+ */
+ValidationRun runValidation(const std::string &workload,
+                            const std::string &policy,
+                            double periods_budget_divisor = 6.0);
+
+/** One benchmark's Clank characterization on one voltage trace. */
+struct ClankCharacterization
+{
+    std::string workload;
+    std::string trace;
+    double tauBMean = 0.0;
+    double tauBSem = 0.0;
+    double tauDMean = 0.0;
+    double tauDSem = 0.0;
+    double alphaBMean = 0.0;
+    std::uint64_t backups = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t watchdogs = 0;
+    std::uint64_t overflows = 0;
+    bool finished = false;
+};
+
+/**
+ * Run one MiBench-like workload under Clank on a harvested supply driven
+ * by @p trace_index (0 = spiky, 1 = ramp, 2 = multi-peak; the Section
+ * V-B setup: 8-entry buffers, 8000-cycle watchdog, Cortex-M0+ costs).
+ */
+ClankCharacterization runClank(const std::string &workload,
+                               int trace_index,
+                               std::uint64_t watchdog_cycles = 8000);
+
+/** Names of the three synthetic RF traces, in index order. */
+std::vector<std::string> traceNames();
+
+/** One seeded fault-injection run of a workload/policy cell. */
+struct FaultRun
+{
+    bool finished = false;
+    bool correct = false; ///< finished with exact reference results
+    double progress = 0.0;
+    std::uint64_t corruptionsDetected = 0;
+    std::uint64_t slotFallbacks = 0;
+    std::uint64_t restartsFromScratch = 0;
+    std::uint64_t bitFlips = 0;
+};
+
+/**
+ * Run @p workload under @p policy ("dino", "clank", "nvp") with
+ * wear-driven NVM bit errors at @p rate (plus proportional targeted
+ * checkpoint/selector corruption, as in the fault-tolerance ablation).
+ * All stochastic fault draws derive from @p plan_seed.
+ */
+FaultRun runFaultPoint(const std::string &workload,
+                       const std::string &policy, double rate,
+                       std::uint64_t plan_seed);
+
+/** NVM write traffic of one workload/policy cell (wear ablation). */
+struct WearRun
+{
+    double bytesPerCommittedInstr = 0.0;
+    double progress = 0.0;
+    std::uint64_t totalWritten = 0;
+    bool finished = false;
+};
+
+/** Run @p workload under @p policy ("clank", "ratchet", "nvp"). */
+WearRun runWearPoint(const std::string &workload,
+                     const std::string &policy);
+
+/**
+ * Evaluate one campaign job. Dispatches on spec.kind():
+ *
+ *  - "validation": workload, policy, [divisor]
+ *  - "clank":      workload, trace, [watchdog]
+ *  - "fault":      workload, policy, rate, cell (the seed sub-stream
+ *                  index; the plan seed is drawn from @p rng)
+ *  - "wear":       workload, policy
+ *  - "model":      [preset] plus any Table I override (tauB, E, eps,
+ *                  epsC, sigmaB, OmegaB, AB, alphaB, sigmaR, OmegaR,
+ *                  AR, alphaR) — analytic, no simulation
+ *
+ * @throws FatalError on an unknown kind or missing parameter.
+ */
+JobResult evaluateJob(const JobSpec &spec, Rng &rng);
+
+} // namespace eh::explore
+
+#endif // EH_EXPLORE_TASKS_HH

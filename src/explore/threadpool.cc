@@ -1,0 +1,180 @@
+#include "explore/threadpool.hh"
+
+#include <cstdlib>
+
+#include "util/panic.hh"
+
+namespace eh::explore {
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("EH_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : workerCount(jobs > 0 ? jobs : defaultJobs())
+{
+    perWorker.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        perWorker.push_back(std::make_unique<Worker>());
+    threads.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(batchMutex);
+        shuttingDown = true;
+    }
+    batchStart.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::forEach(std::size_t count,
+                    const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        firstError = nullptr;
+    }
+    std::unique_lock<std::mutex> lock(batchMutex);
+    // Entry barrier: a worker that woke up late for the *previous*
+    // epoch may still be scanning the deques with that epoch's (now
+    // cleared) body pointer; wait for every such straggler to park
+    // before dealing new tasks it could otherwise steal.
+    batchDone.wait(lock, [this] { return activeWorkers == 0; });
+    // Deal tasks round-robin; workers are parked, so their deques are
+    // safe to fill, but take the per-worker locks anyway to publish the
+    // writes to the stealing loops.
+    for (unsigned w = 0; w < workerCount; ++w) {
+        std::lock_guard<std::mutex> wlock(perWorker[w]->mutex);
+        perWorker[w]->stats = WorkerStats{};
+        for (std::size_t i = w; i < count; i += workerCount)
+            perWorker[w]->tasks.push_back(i);
+    }
+    remaining.store(count, std::memory_order_release);
+    batchBody = &body;
+    ++epoch;
+    batchStart.notify_all();
+    // Wait for the tasks to drain AND every participating worker to
+    // park: a lagging worker must never see the next batch's deques
+    // while still holding this batch's body pointer.
+    batchDone.wait(lock, [this] {
+        return remaining.load(std::memory_order_acquire) == 0 &&
+               activeWorkers == 0;
+    });
+    batchBody = nullptr;
+
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> elock(errorMutex);
+        err = firstError;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+bool
+ThreadPool::takeTask(unsigned id, std::size_t &task)
+{
+    Worker &own = *perWorker[id];
+    {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = own.tasks.back();
+            own.tasks.pop_back();
+            ++own.stats.executed;
+            return true;
+        }
+    }
+    // Own deque dry: steal the oldest task from the first victim that
+    // has one, scanning from our right-hand neighbour for fairness. At
+    // most one deque mutex is held at a time (the own-stats update below
+    // re-locks after the victim lock is released) so steal chains cannot
+    // deadlock on lock order.
+    for (unsigned step = 1; step < workerCount; ++step) {
+        Worker &victim = *perWorker[(id + step) % workerCount];
+        bool stolen = false;
+        {
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                task = victim.tasks.front();
+                victim.tasks.pop_front();
+                stolen = true;
+            }
+        }
+        if (stolen) {
+            std::lock_guard<std::mutex> lock(own.mutex);
+            ++own.stats.executed;
+            ++own.stats.steals;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    std::uint64_t seenEpoch = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(batchMutex);
+            batchStart.wait(lock, [this, seenEpoch] {
+                return shuttingDown || epoch != seenEpoch;
+            });
+            if (shuttingDown)
+                return;
+            seenEpoch = epoch;
+            body = batchBody;
+            ++activeWorkers;
+        }
+        // Tasks are only enqueued before the epoch bump, so once every
+        // deque reads empty this worker is done with the batch.
+        std::size_t task = 0;
+        while (takeTask(id, task)) {
+            try {
+                (*body)(task);
+            } catch (...) {
+                std::lock_guard<std::mutex> elock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        {
+            std::lock_guard<std::mutex> lock(batchMutex);
+            if (--activeWorkers == 0)
+                batchDone.notify_all();
+        }
+    }
+}
+
+std::vector<WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::vector<WorkerStats> out;
+    out.reserve(workerCount);
+    for (const auto &w : perWorker) {
+        std::lock_guard<std::mutex> lock(w->mutex);
+        out.push_back(w->stats);
+    }
+    return out;
+}
+
+} // namespace eh::explore

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Work-stealing thread pool for exploration campaigns. Each worker owns
+ * a deque of task indices: it pops from the back of its own deque (hot,
+ * cache-friendly) and steals from the front of a victim's when it runs
+ * dry, so a handful of slow simulations cannot strand the rest of the
+ * grid behind them. Campaign jobs are pure functions of their spec, so
+ * execution order — and therefore stealing — never affects results.
+ *
+ * The worker count comes from, in priority order: the explicit
+ * constructor argument (the CLI's --jobs), the EH_JOBS environment
+ * variable, and std::thread::hardware_concurrency().
+ */
+
+#ifndef EH_EXPLORE_THREADPOOL_HH
+#define EH_EXPLORE_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eh::explore {
+
+/** Per-worker execution counters, reported with campaign progress. */
+struct WorkerStats
+{
+    std::uint64_t executed = 0; ///< tasks run by this worker
+    std::uint64_t steals = 0;   ///< tasks taken from another worker's deque
+};
+
+/**
+ * Fixed-size pool executing batches of indexed tasks. Threads are
+ * spawned once in the constructor and parked between batches.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs Worker count; 0 means defaultJobs(). Clamped to ≥ 1.
+     */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    /** Joins all workers. Outstanding batches must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Resolve the default worker count: EH_JOBS when set to a positive
+     * integer, else hardware_concurrency(), floored at 1.
+     */
+    static unsigned defaultJobs();
+
+    /** Number of workers in this pool. */
+    unsigned workers() const { return workerCount; }
+
+    /**
+     * Run body(i) for every i in [0, count) and block until all
+     * complete. Tasks are dealt round-robin across the worker deques;
+     * idle workers steal. The first exception a task throws is captured
+     * and rethrown here after the batch drains (remaining tasks still
+     * run — campaign results must stay index-addressable).
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+    /** Per-worker counters for the most recent / current batch epoch. */
+    std::vector<WorkerStats> workerStats() const;
+
+  private:
+    struct Worker
+    {
+        mutable std::mutex mutex;
+        std::deque<std::size_t> tasks;
+        WorkerStats stats;
+    };
+
+    void workerLoop(unsigned id);
+
+    /** Pop from own back, else steal from a victim's front. */
+    bool takeTask(unsigned id, std::size_t &task);
+
+    unsigned workerCount;
+    std::vector<std::unique_ptr<Worker>> perWorker;
+    std::vector<std::thread> threads;
+
+    std::mutex batchMutex;
+    std::condition_variable batchStart;
+    std::condition_variable batchDone;
+    std::uint64_t epoch = 0;             ///< bumped per forEach batch
+    unsigned activeWorkers = 0;          ///< workers inside the batch loop
+    bool shuttingDown = false;
+    std::atomic<std::size_t> remaining{0};
+    const std::function<void(std::size_t)> *batchBody = nullptr;
+
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+};
+
+} // namespace eh::explore
+
+#endif // EH_EXPLORE_THREADPOOL_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stable 64-bit content hashing (FNV-1a) for the exploration engine's
+ * job keys and result cache. The hash is part of the on-disk cache
+ * format, so it must never depend on the platform, the standard
+ * library's std::hash, or pointer values — only on the bytes fed in.
+ */
+
+#ifndef EH_UTIL_HASH_HH
+#define EH_UTIL_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eh {
+
+/** FNV-1a offset basis (64-bit). */
+constexpr std::uint64_t fnv1aBasis = 0xcbf29ce484222325ull;
+
+/** Fold one byte into an FNV-1a state. */
+constexpr std::uint64_t
+fnv1aByte(std::uint64_t h, std::uint8_t byte)
+{
+    return (h ^ byte) * 0x100000001b3ull;
+}
+
+/** FNV-1a over a byte span, continuing from @p h. */
+constexpr std::uint64_t
+fnv1a(std::string_view bytes, std::uint64_t h = fnv1aBasis)
+{
+    for (char c : bytes)
+        h = fnv1aByte(h, static_cast<std::uint8_t>(c));
+    return h;
+}
+
+/**
+ * Final avalanche (splitmix64 finalizer). FNV-1a alone mixes low bits
+ * weakly; jobs differing only in a trailing digit must still land far
+ * apart because Rng sub-streams are derived from these hashes.
+ */
+constexpr std::uint64_t
+hashMix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Stable content hash of a string: avalanched FNV-1a. */
+constexpr std::uint64_t
+contentHash(std::string_view bytes)
+{
+    return hashMix(fnv1a(bytes));
+}
+
+/** Fixed-width lowercase hex rendering of a 64-bit hash. */
+std::string hashHex(std::uint64_t h);
+
+/** Parse a hashHex() string; returns false on malformed input. */
+bool parseHashHex(std::string_view hex, std::uint64_t &out);
+
+} // namespace eh
+
+#endif // EH_UTIL_HASH_HH

@@ -109,4 +109,18 @@ Rng::fork(std::uint64_t index) const
     return Rng(splitmix64(x));
 }
 
+Rng
+Rng::split(std::uint64_t stream) const
+{
+    // Mix seed and stream through two independent splitmix rounds so
+    // that single-bit differences in either input avalanche across the
+    // whole derived seed (fork()'s single round leaves the XOR of two
+    // adjacent hashes partially visible).
+    std::uint64_t x = seedValue;
+    std::uint64_t derived = splitmix64(x);
+    x = derived ^ stream;
+    derived = splitmix64(x);
+    return Rng(derived);
+}
+
 } // namespace eh

@@ -51,6 +51,18 @@ class Rng
      */
     Rng fork(std::uint64_t index) const;
 
+    /**
+     * Derive an independent sub-stream from this generator's seed and a
+     * 64-bit stream identifier (splitmix-style double mixing). Unlike
+     * fork(), split() is designed for sparse, adversarial identifiers —
+     * e.g. content hashes of exploration jobs — where neighbouring ids
+     * may differ in a single bit; the two mixing rounds guarantee the
+     * derived seeds avalanche. Equal (seed, stream) pairs always yield
+     * the same stream, independent of how many draws this generator has
+     * already made.
+     */
+    Rng split(std::uint64_t stream) const;
+
   private:
     std::uint64_t state[4];
     std::uint64_t seedValue;

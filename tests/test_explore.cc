@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the exploration-campaign engine: JobSpec identity (canonical
+ * serialization, content hashing, escaping), the work-stealing thread
+ * pool, deterministic parallel execution (bit-identical results and CSV
+ * bytes at any worker count), the content-addressed result cache (hit on
+ * identical spec+seed, miss on any change), and crash-resume semantics
+ * (a partially written store re-executes only the missing cells and
+ * tolerates the torn final line a killed run leaves behind).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/cache.hh"
+#include "explore/campaign.hh"
+#include "explore/job.hh"
+#include "explore/threadpool.hh"
+#include "util/csv.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::explore;
+
+/** A unique scratch directory, removed when the test ends. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+    {
+        root = std::filesystem::temp_directory_path() /
+               ("eh_explore_test_" + tag);
+        std::filesystem::remove_all(root);
+        std::filesystem::create_directories(root);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(root); }
+    std::string str() const { return root.string(); }
+
+  private:
+    std::filesystem::path root;
+};
+
+/**
+ * Cheap deterministic evaluator: fields depend only on the spec and the
+ * job's private RNG stream, never on scheduling. Counts invocations so
+ * cache tests can assert exactly which cells executed.
+ */
+JobResult
+countingEval(const JobSpec &spec, Rng &rng, std::atomic<int> &calls)
+{
+    calls.fetch_add(1);
+    return JobResult()
+        .set("x2", spec.getDouble("x", 0.0) * 2.0)
+        .set("draw", rng.next())
+        .set("tag", spec.get("tag", "none"));
+}
+
+/** A small campaign grid with string, double and integer parameters. */
+std::vector<JobSpec>
+sampleGrid(int n)
+{
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < n; ++i) {
+        specs.push_back(JobSpec("demo")
+                            .set("x", 0.1 * i)
+                            .set("tag", i % 2 ? "odd" : "even")
+                            .set("cell", i));
+    }
+    return specs;
+}
+
+std::vector<JobResult>
+runGrid(const std::vector<JobSpec> &specs, unsigned jobs,
+        std::atomic<int> &calls, const std::string &cache_dir = "",
+        std::uint64_t seed = 7, bool fresh = false)
+{
+    CampaignConfig cc;
+    cc.name = "test";
+    cc.jobs = jobs;
+    cc.seed = seed;
+    cc.cacheDir = cache_dir;
+    cc.cache = !cache_dir.empty();
+    cc.fresh = fresh;
+    cc.progress = false;
+    Campaign campaign(cc);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    return campaign.run([&](const JobSpec &spec, Rng &rng) {
+        return countingEval(spec, rng, calls);
+    });
+}
+
+std::string
+renderCsv(const std::string &path, const std::vector<JobResult> &results)
+{
+    {
+        CsvWriter csv(path, {"x2", "draw", "tag"});
+        for (const auto &r : results)
+            csv.row({r.str("x2"), r.str("draw"), r.str("tag")});
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(JobSpec, CanonicalIsOrderIndependentAndSorted)
+{
+    JobSpec a("kind");
+    a.set("zeta", 1.0).set("alpha", std::string("x"));
+    JobSpec b("kind");
+    b.set("alpha", std::string("x")).set("zeta", 1.0);
+    EXPECT_EQ(a.canonical(), b.canonical());
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_EQ(a.canonical(), "kind|alpha=x|zeta=1");
+}
+
+TEST(JobSpec, SetOverwritesAndEscapesDelimiters)
+{
+    JobSpec s("k");
+    s.set("a", std::string("one")).set("a", std::string("two"));
+    EXPECT_EQ(s.get("a"), "two");
+
+    JobSpec t("k");
+    t.set("weird", std::string("a|b=c%d\ne"));
+    const auto canon = t.canonical();
+    // The raw delimiters must not appear unescaped in the value part.
+    EXPECT_EQ(canon, "k|weird=a%7cb%3dc%25d%0ae");
+    EXPECT_EQ(t.get("weird"), "a|b=c%d\ne");
+}
+
+TEST(JobSpec, HashIsStableAcrossReleases)
+{
+    // The content hash keys the on-disk cache and each job's RNG
+    // sub-stream; changing it silently invalidates every stored result.
+    JobSpec s("validation");
+    s.set("workload", std::string("crc"))
+        .set("policy", std::string("dino"));
+    EXPECT_EQ(s.canonical(), "validation|policy=dino|workload=crc");
+    EXPECT_EQ(s.hash(), 0x91f564cc3dc0eea3ull);
+}
+
+TEST(JobSpec, NumericParamsRoundTrip)
+{
+    JobSpec s("k");
+    s.set("rate", 1.0e-7).set("third", 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(s.getDouble("rate", 0.0), 1.0e-7);
+    EXPECT_EQ(s.getDouble("third", 0.0), 1.0 / 3.0);
+    EXPECT_EQ(s.getDouble("absent", 42.0), 42.0);
+}
+
+TEST(JobResult, MissingFieldIsFatalButHasIsNot)
+{
+    JobResult r;
+    r.set("present", 1.5);
+    EXPECT_TRUE(r.has("present"));
+    EXPECT_FALSE(r.has("absent"));
+    EXPECT_DOUBLE_EQ(r.num("present"), 1.5);
+    EXPECT_THROW(r.num("absent"), FatalError);
+    EXPECT_THROW(r.uint("absent"), FatalError);
+}
+
+TEST(ResultCache, RecordRoundTripsExactly)
+{
+    JobSpec spec("kind");
+    spec.set("s", std::string("quote\"back\\slash\tand\nnewline"))
+        .set("x", 0.1);
+    JobResult result;
+    result.set("pi", 3.14159265358979312)
+        .set("big", std::uint64_t(0xffffffffffffffffull))
+        .set("text", std::string("a,b\"c"));
+
+    const std::string line =
+        ResultCache::encodeRecord(spec, 0xDEAD, result);
+    std::string canonical;
+    std::uint64_t hash = 0, seed = 0;
+    JobResult decoded;
+    ASSERT_TRUE(
+        ResultCache::decodeRecord(line, canonical, hash, seed, decoded));
+    EXPECT_EQ(canonical, spec.canonical());
+    EXPECT_EQ(hash, spec.hash());
+    EXPECT_EQ(seed, 0xDEADu);
+    EXPECT_EQ(decoded.fields(), result.fields());
+}
+
+TEST(ResultCache, TornAndCorruptLinesAreRejected)
+{
+    JobSpec spec("k");
+    spec.set("a", 1.0);
+    JobResult result;
+    result.set("v", 2.0);
+    const std::string line = ResultCache::encodeRecord(spec, 1, result);
+
+    std::string canonical;
+    std::uint64_t hash = 0, seed = 0;
+    JobResult decoded;
+    for (std::size_t cut = 1; cut < line.size(); ++cut) {
+        EXPECT_FALSE(ResultCache::decodeRecord(line.substr(0, cut),
+                                               canonical, hash, seed,
+                                               decoded))
+            << "prefix of length " << cut << " decoded";
+    }
+    EXPECT_FALSE(ResultCache::decodeRecord(line + "x", canonical, hash,
+                                           seed, decoded));
+    EXPECT_FALSE(ResultCache::decodeRecord("not json", canonical, hash,
+                                           seed, decoded));
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.forEach(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+
+    std::uint64_t executed = 0;
+    for (const auto &w : pool.workerStats())
+        executed += w.executed;
+    EXPECT_EQ(executed, n);
+}
+
+TEST(ThreadPool, BatchesAreReusableAndEmptyBatchIsFine)
+{
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.forEach(0, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 0);
+    for (int round = 0; round < 20; ++round)
+        pool.forEach(17, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 20 * 17);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterDrain)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.forEach(64,
+                              [&](std::size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 13)
+                                      throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+    // The batch still drains: campaign results stay index-addressable.
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Campaign, ResultsAreIdenticalAtAnyWorkerCount)
+{
+    const auto specs = sampleGrid(40);
+    std::atomic<int> calls{0};
+    const auto serial = runGrid(specs, 1, calls);
+    for (unsigned jobs : {2u, 4u, 16u}) {
+        const auto parallel = runGrid(specs, jobs, calls);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].fields(), serial[i].fields())
+                << "job " << i << " with " << jobs << " workers";
+        }
+    }
+}
+
+TEST(Campaign, CsvBytesAreIdenticalAtAnyWorkerCount)
+{
+    ScratchDir dir("csv");
+    const auto specs = sampleGrid(24);
+    std::atomic<int> calls{0};
+    const auto bytes1 = renderCsv(dir.str() + "/j1.csv",
+                                  runGrid(specs, 1, calls));
+    const auto bytes4 = renderCsv(dir.str() + "/j4.csv",
+                                  runGrid(specs, 4, calls));
+    const auto bytes16 = renderCsv(dir.str() + "/j16.csv",
+                                   runGrid(specs, 16, calls));
+    EXPECT_FALSE(bytes1.empty());
+    EXPECT_EQ(bytes1, bytes4);
+    EXPECT_EQ(bytes1, bytes16);
+}
+
+TEST(Campaign, SeedChangesEveryStochasticResult)
+{
+    const auto specs = sampleGrid(8);
+    std::atomic<int> calls{0};
+    const auto a = runGrid(specs, 2, calls, "", 7);
+    const auto b = runGrid(specs, 2, calls, "", 8);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_NE(a[i].str("draw"), b[i].str("draw")) << "job " << i;
+        EXPECT_EQ(a[i].str("x2"), b[i].str("x2")) << "job " << i;
+    }
+}
+
+TEST(Campaign, WarmCacheSkipsEveryJobAndPreservesBytes)
+{
+    ScratchDir dir("warm");
+    const auto specs = sampleGrid(12);
+    std::atomic<int> calls{0};
+    const auto cold = runGrid(specs, 4, calls, dir.str());
+    EXPECT_EQ(calls.load(), 12);
+
+    const auto warm = runGrid(specs, 4, calls, dir.str());
+    EXPECT_EQ(calls.load(), 12) << "warm run must not re-execute";
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(warm[i].fields(), cold[i].fields()) << "job " << i;
+}
+
+TEST(Campaign, AnySpecOrSeedChangeMisses)
+{
+    ScratchDir dir("miss");
+    const auto specs = sampleGrid(6);
+    std::atomic<int> calls{0};
+    (void)runGrid(specs, 2, calls, dir.str());
+    EXPECT_EQ(calls.load(), 6);
+
+    // One changed parameter: exactly that cell re-executes.
+    auto tweaked = specs;
+    tweaked[3].set("x", 123.0);
+    (void)runGrid(tweaked, 2, calls, dir.str());
+    EXPECT_EQ(calls.load(), 7);
+
+    // A different campaign seed re-executes everything: the records on
+    // disk were computed under another seed and must not be served.
+    (void)runGrid(specs, 2, calls, dir.str(), 99);
+    EXPECT_EQ(calls.load(), 13);
+
+    // fresh=true ignores the store even when it matches.
+    (void)runGrid(specs, 2, calls, dir.str(), 7, true);
+    EXPECT_EQ(calls.load(), 19);
+}
+
+TEST(Campaign, CrashResumeExecutesOnlyMissingJobs)
+{
+    ScratchDir dir("resume");
+    const auto full = sampleGrid(10);
+    const std::vector<JobSpec> half(full.begin(), full.begin() + 5);
+
+    // "Crashed" campaign: only half the grid reached the store, and the
+    // kill left a torn final line plus unrelated garbage.
+    std::atomic<int> calls{0};
+    const auto first = runGrid(half, 2, calls, dir.str());
+    EXPECT_EQ(calls.load(), 5);
+    {
+        std::ofstream f(dir.str() + "/test.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "garbage line\n";
+        f << ResultCache::encodeRecord(full[7], 7, JobResult().set(
+                                                      "torn", 1.0))
+                 .substr(0, 30); // no newline: a torn tail
+    }
+
+    const auto resumed = runGrid(full, 2, calls, dir.str());
+    EXPECT_EQ(calls.load(), 10) << "resume must execute exactly the "
+                                   "5 missing jobs";
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(resumed[i].fields(), first[i].fields()) << "job " << i;
+    // The job whose record was torn mid-write re-executed for real.
+    EXPECT_TRUE(resumed[7].has("draw"));
+    EXPECT_FALSE(resumed[7].has("torn"));
+}
+
+TEST(Campaign, ReportCountsExecutionAndHits)
+{
+    ScratchDir dir("report");
+    const auto specs = sampleGrid(9);
+    std::atomic<int> calls{0};
+
+    CampaignConfig cc;
+    cc.name = "test";
+    cc.jobs = 3;
+    cc.cacheDir = dir.str();
+    cc.progress = false;
+    Campaign campaign(cc);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    (void)campaign.run([&](const JobSpec &spec, Rng &rng) {
+        return countingEval(spec, rng, calls);
+    });
+    const auto &report = campaign.report();
+    EXPECT_EQ(report.total, 9u);
+    EXPECT_EQ(report.executed, 9u);
+    EXPECT_EQ(report.cacheHits, 0u);
+    EXPECT_EQ(report.workers.size(), 3u);
+    EXPECT_FALSE(report.cachePath.empty());
+    EXPECT_FALSE(report.summary().empty());
+
+    Campaign again(cc);
+    for (const auto &spec : specs)
+        again.add(spec);
+    (void)again.run([&](const JobSpec &spec, Rng &rng) {
+        return countingEval(spec, rng, calls);
+    });
+    EXPECT_EQ(again.report().cacheHits, 9u);
+    EXPECT_EQ(again.report().executed, 0u);
+}
+
+TEST(Campaign, StochasticJobsGetDistinctStreams)
+{
+    // Every job's first RNG draw must differ: the sub-stream derivation
+    // (campaign seed + job content hash) may not collide across a grid.
+    const auto specs = sampleGrid(64);
+    std::atomic<int> calls{0};
+    const auto results = runGrid(specs, 4, calls);
+    std::set<std::string> draws;
+    for (const auto &r : results)
+        draws.insert(r.str("draw"));
+    EXPECT_EQ(draws.size(), specs.size());
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -181,6 +182,43 @@ TEST(Rng, ForksAreIndependentAndStable)
     Rng f1b = Rng(42).fork(1);
     EXPECT_EQ(f1.next(), f1b.next());
     EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    // split() feeds campaign jobs from sparse, adversarial stream ids
+    // (64-bit content hashes). Dense ids, single-bit-apart ids and
+    // hash-like ids must all open distinct, stable streams.
+    Rng root(0xFEEDFACEull);
+    std::set<std::uint64_t> ids;
+    for (std::uint64_t id = 0; id < 512; ++id)
+        ids.insert(id);
+    for (int bit = 0; bit < 64; ++bit)
+        ids.insert(1ull << bit);
+    for (std::uint64_t id = 0; id < 64; ++id)
+        ids.insert(0x9e3779b97f4a7c15ull * (id + 1));
+    std::set<std::uint64_t> first_draws;
+    for (std::uint64_t id : ids)
+        first_draws.insert(root.split(id).next());
+    EXPECT_EQ(first_draws.size(), ids.size());
+
+    // Stability: the same (seed, stream) pair always yields the same
+    // stream, and split() leaves the parent untouched.
+    EXPECT_EQ(root.split(12345).next(),
+              Rng(0xFEEDFACEull).split(12345).next());
+    Rng a(99);
+    const Rng b = a.split(7);
+    (void)b;
+    EXPECT_EQ(a.next(), Rng(99).next());
+}
+
+TEST(Rng, SplitDiffersFromForkAndFromParent)
+{
+    Rng root(0x5EEDull);
+    EXPECT_NE(root.split(3).next(), root.fork(3).next());
+    EXPECT_NE(root.split(0).next(), Rng(0x5EEDull).next());
+    // Different parents must give different streams for the same id.
+    EXPECT_NE(Rng(1).split(42).next(), Rng(2).split(42).next());
 }
 
 TEST(Csv, WritesHeaderRowsAndEscapes)

@@ -7,6 +7,9 @@
  *   eh_explore sweep     --param tauB --from 1 --to 1000 [--points 40]
  *                        [--log 1] [--csv out.csv] [params]
  *   eh_explore simulate  --workload crc --policy clank [--budget 2.5e6]
+ *   eh_explore campaign  --grid model|validation|clank|fault|wear
+ *                        [--jobs N] [--seed S] [--csv out.csv]
+ *                        [--cache-dir DIR] [--fresh 1] [--cache 0]
  *   eh_explore completion --work 2e6 --harvest 4 [params]
  *   eh_explore disasm    --workload crc [--nv 0]
  *   eh_explore traces    --cycles 30000000 [--seed 7] [--dir results]
@@ -31,6 +34,8 @@
 #include "core/variability.hh"
 #include "energy/supply.hh"
 #include "energy/trace.hh"
+#include "explore/campaign.hh"
+#include "explore/tasks.hh"
 #include "fault/injector.hh"
 #include "runtime/clank.hh"
 #include "runtime/dino.hh"
@@ -268,6 +273,120 @@ cmdSimulate(const cli::Options &opts)
     return correct ? 0 : 1;
 }
 
+/**
+ * Build one of the predefined campaign grids. "model" sweeps a Table I
+ * parameter analytically (the sweep flags apply); the other grids are
+ * the simulation suites the fig06-09 and ablation benches run.
+ */
+void
+buildCampaignGrid(explore::Campaign &campaign, const std::string &grid,
+                  const cli::Options &opts)
+{
+    if (grid == "model") {
+        const std::string preset = opts.get("preset", "illustrative");
+        const std::string param = opts.get("param", "tauB");
+        const double from = opts.getDouble("from", 1.0);
+        const double to = opts.getDouble("to", 1000.0);
+        const auto points =
+            static_cast<std::size_t>(opts.getDouble("points", 16.0));
+        const bool log_axis = opts.getDouble("log", 1.0) != 0.0;
+        const auto xs = log_axis ? core::logspace(from, to, points)
+                                 : core::linspace(from, to, points);
+        for (double x : xs) {
+            campaign.add(explore::JobSpec("model")
+                             .set("preset", preset)
+                             .set(param, x));
+        }
+    } else if (grid == "validation") {
+        for (const auto &w : workloads::tableIINames()) {
+            for (const char *p :
+                 {"hibernus", "hibernus++", "mementos", "dino"}) {
+                campaign.add(explore::JobSpec("validation")
+                                 .set("workload", w)
+                                 .set("policy", std::string(p)));
+            }
+        }
+    } else if (grid == "clank") {
+        for (const auto &w : workloads::mibenchNames()) {
+            for (int trace = 0; trace < 3; ++trace) {
+                campaign.add(explore::JobSpec("clank")
+                                 .set("workload", w)
+                                 .set("trace", trace));
+            }
+        }
+    } else if (grid == "fault") {
+        const int cells =
+            static_cast<int>(opts.getDouble("cells", 5.0));
+        for (const char *w : {"crc", "sha"}) {
+            for (const char *p : {"dino", "clank", "nvp"}) {
+                for (double rate :
+                     {0.0, 1.0e-8, 1.0e-7, 1.0e-6, 1.0e-5}) {
+                    for (int cell = 0; cell < cells; ++cell) {
+                        campaign.add(explore::JobSpec("fault")
+                                         .set("workload", std::string(w))
+                                         .set("policy", std::string(p))
+                                         .set("rate", rate)
+                                         .set("cell", cell));
+                    }
+                }
+            }
+        }
+    } else if (grid == "wear") {
+        for (const char *w : {"crc", "sha", "dijkstra"}) {
+            for (const char *p : {"clank", "ratchet", "nvp"}) {
+                campaign.add(explore::JobSpec("wear")
+                                 .set("workload", std::string(w))
+                                 .set("policy", std::string(p)));
+            }
+        }
+    } else {
+        fatalf("unknown campaign grid '", grid,
+               "' (model | validation | clank | fault | wear)");
+    }
+}
+
+int
+cmdCampaign(const cli::Options &opts)
+{
+    const std::string grid = opts.get("grid", "model");
+    explore::CampaignConfig cc;
+    cc.name = grid;
+    cc.jobs = static_cast<unsigned>(opts.getDouble("jobs", 0.0));
+    // The fault grid's default seed matches the fault-tolerance bench,
+    // so both populate (and reuse) the same cache records.
+    cc.seed = static_cast<std::uint64_t>(
+        opts.getDouble("seed", grid == "fault" ? 0xAB1 : 1.0));
+    cc.cacheDir = opts.get("cache-dir", "");
+    cc.cache = opts.getDouble("cache", 1.0) != 0.0;
+    cc.fresh = opts.getDouble("fresh", 0.0) != 0.0;
+    explore::Campaign campaign(cc);
+    buildCampaignGrid(campaign, grid, opts);
+
+    const auto results = campaign.run(explore::evaluateJob);
+
+    std::vector<std::string> cols{"job"};
+    if (!results.empty())
+        for (const auto &[key, value] : results.front().fields())
+            cols.push_back(key);
+    Table t(cols);
+    std::unique_ptr<CsvWriter> csv;
+    if (opts.has("csv"))
+        csv = std::make_unique<CsvWriter>(opts.get("csv"), cols);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::vector<std::string> row{campaign.jobs()[i].canonical()};
+        for (std::size_t c = 1; c < cols.size(); ++c)
+            row.push_back(results[i].str(cols[c]));
+        t.row(row);
+        if (csv)
+            csv->row(row);
+    }
+    t.print(std::cout);
+    std::cout << campaign.report().summary() << "\n";
+    if (csv)
+        std::cout << "CSV: " << csv->path() << "\n";
+    return 0;
+}
+
 int
 cmdCompletion(const cli::Options &opts)
 {
@@ -341,7 +460,8 @@ usage()
 {
     std::cout <<
         "eh_explore — EH model design-space exploration\n"
-        "  progress | optimal | sweep | simulate | completion | disasm | traces\n"
+        "  progress | optimal | sweep | simulate | campaign | completion |"
+        " disasm | traces\n"
         "Common parameter flags: --preset illustrative|msp430|cortexm0|"
         "nvp,\n  --E --eps --epsC --tauB --sigmaB --OmegaB --AB --alphaB"
         " --sigmaR --OmegaR --AR --alphaR\n"
@@ -349,6 +469,12 @@ usage()
         "[--csv file]\n"
         "simulate: --workload crc --policy clank|ratchet|nvp|mementos|dino|"
         "hibernus|hibernus++|watchdog [--budget pJ]\n"
+        "campaign: --grid model|validation|clank|fault|wear --jobs N "
+        "--seed S [--csv file]\n"
+        "          [--cache-dir DIR] [--fresh 1] [--cache 0]; model grid "
+        "takes the sweep\n          flags; fault takes --cells N "
+        "(seeded runs per point); EH_JOBS sets the\n          default "
+        "worker count\n"
         "          fault injection: --fault-seed N --fault-at-cycle C,.. "
         "--fault-at-instr K,..\n"
         "          --fault-backup-prob P --fault-selector-prob P "
@@ -379,6 +505,8 @@ main(int argc, char **argv)
             rc = cmdSweep(opts);
         else if (cmd == "simulate")
             rc = cmdSimulate(opts);
+        else if (cmd == "campaign")
+            rc = cmdCampaign(opts);
         else if (cmd == "completion")
             rc = cmdCompletion(opts);
         else if (cmd == "disasm")
