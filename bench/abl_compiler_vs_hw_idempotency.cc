@@ -18,6 +18,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -53,7 +54,7 @@ runPolicy(const std::string &workload, Policy &policy)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: compiler vs hardware idempotency",
                   "Ratchet (conservative sections) vs Clank (runtime "
@@ -113,4 +114,10 @@ main()
               << bench::csvPath("abl_compiler_vs_hw_idempotency.csv")
               << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

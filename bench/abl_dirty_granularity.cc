@@ -13,6 +13,7 @@
 #include "mem/cache.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
@@ -33,7 +34,7 @@ strideWrites(std::size_t block_bytes, std::size_t stride)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: dirty-tracking granularity",
                   "block-flush bytes vs actually-dirty bytes");
@@ -84,4 +85,10 @@ main()
                  "of per-byte\nmetadata.\nCSV: "
               << bench::csvPath("abl_dirty_granularity.csv") << "\n";
     return shape_holds ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -29,6 +29,7 @@
 #include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
@@ -50,7 +51,7 @@ struct RateResult
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: fault tolerance",
                   "progress and correctness vs. NVM bit-error rate");
@@ -145,4 +146,10 @@ main()
                  "and gradually.\nCSV: "
               << bench::csvPath("abl_fault_tolerance.csv") << "\n";
     return zero_rate_clean ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -16,6 +16,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -47,7 +48,7 @@ runWithPolicy(runtime::BackupPolicy &policy, double budget,
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: Hibernus threshold tuning",
                   "the mis-tuning cliff vs the adaptive policy");
@@ -109,4 +110,10 @@ main()
         adaptive_run.finished &&
         adaptive_run.progress > 0.9 * best_fixed;
     return ok ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

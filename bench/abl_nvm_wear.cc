@@ -21,12 +21,13 @@
 #include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: NVM wear per policy",
                   "bytes written per committed cycle, same budget");
@@ -86,4 +87,10 @@ main()
                  "(Section II).\nCSV: "
               << bench::csvPath("abl_nvm_wear.csv") << "\n";
     return ordering_holds ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -21,6 +21,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -69,7 +70,7 @@ runWith(const std::string &workload, bool harvested)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: supply model",
                   "harvested capacitor vs ideal fixed-budget bucket");
@@ -119,4 +120,10 @@ main()
                  "V-B).\nCSV: "
               << bench::csvPath("abl_supply_model.csv") << "\n";
     return worst_delta < 0.25 ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -17,6 +17,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -56,7 +57,7 @@ runWithBuffers(const std::string &workload, std::size_t entries)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Ablation: Clank tracking-buffer capacity",
                   "backup-trigger mix vs buffer entries");
@@ -97,4 +98,10 @@ main()
                  "below the paper's range-compressed hardware.\nCSV: "
               << bench::csvPath("abl_tracker_buffers.csv") << "\n";
     return monotone ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -24,6 +24,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -125,7 +126,7 @@ runRing(std::uint32_t ring_slots)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Section VI-B case study",
                   "circular-buffer sizing for Clank idempotency");
@@ -189,4 +190,10 @@ main()
               << "CSV: " << bench::csvPath("case_circular_buffer.csv")
               << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

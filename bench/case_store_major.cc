@@ -21,12 +21,13 @@
 #include "mem/cache.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Section VI-A case study",
                   "store-major vs load-major cache locality");
@@ -112,4 +113,10 @@ main()
               << "CSV: " << bench::csvPath("case_store_major.csv")
               << "\n";
     return inflation > 2.0 ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

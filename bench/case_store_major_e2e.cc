@@ -21,6 +21,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -157,7 +158,7 @@ run(bool store_major, mem::NvmTech tech)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Section VI-A, end to end",
                   "transpose loop order on the cached mixed-volatility "
@@ -196,4 +197,10 @@ main()
                  "closed form.\nCSV: "
               << bench::csvPath("case_store_major_e2e.csv") << "\n";
     return stt_gain > fram_gain ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

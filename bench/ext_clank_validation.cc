@@ -17,6 +17,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -24,7 +25,7 @@
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Extension: model validation on the Clank platform",
                   "measured vs predicted progress, all kernels");
@@ -83,4 +84,10 @@ main()
               << "CSV: " << bench::csvPath("ext_clank_validation.csv")
               << "\n";
     return all_finished && gm < 0.25 ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

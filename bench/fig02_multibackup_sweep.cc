@@ -18,12 +18,13 @@
 #include "core/sweep.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 2",
                   "progress vs tau_B for varying backup cost Omega_B");
@@ -76,4 +77,10 @@ main()
                  "always better; the sweet spot\nmoves left as backups "
                  "get cheaper.\nCSV: " << csv.path() << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -13,12 +13,13 @@
 #include "core/sweep.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 3",
                   "progress vs tau_B with zero architectural state");
@@ -63,4 +64,10 @@ main()
               << "Small-period limit per curve: p -> 1 / (1 + Omega_B "
                  "alpha_B / eps).\nCSV: " << csv.path() << "\n";
     return monotone ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

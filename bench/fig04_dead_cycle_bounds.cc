@@ -18,12 +18,13 @@
 #include "core/sweep.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 4",
                   "dead-cycle variability bounds on progress");
@@ -59,4 +60,10 @@ main()
                  "average case suggests (Section IV-A2).\nCSV: "
               << csv.path() << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -23,6 +23,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -104,7 +105,7 @@ modelBounds(double period_cycles, std::uint64_t tau_b)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 5",
                   "multi-backup validation: measured progress vs EH "
@@ -152,4 +153,10 @@ main()
                  "spread grows with tau_B\n(Section V-A, Figure 5).\n"
               << "CSV: " << csv.path() << "\n";
     return violations == 0 ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -21,6 +21,7 @@
 #include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -28,7 +29,7 @@
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 6 / Table II",
                   "measured vs predicted progress for Hibernus, "
@@ -101,4 +102,10 @@ main()
               << "CSV: " << bench::csvPath("fig06_system_validation.csv")
               << "\n";
     return all_finished ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

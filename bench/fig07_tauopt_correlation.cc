@@ -20,6 +20,7 @@
 #include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -27,7 +28,7 @@
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 7",
                   "correlation of progress with tau_B / tau_B,opt under "
@@ -83,4 +84,10 @@ main()
                  "paper singles out AR as closest and best).\nCSV: "
               << bench::csvPath("fig07_tauopt_correlation.csv") << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -17,13 +17,14 @@
 #include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 8",
                   "mean tau_B per benchmark across three RF traces "
@@ -88,4 +89,10 @@ main()
               << "CSV: " << bench::csvPath("fig08_clank_tau_b.csv")
               << "\n";
     return all_finished ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

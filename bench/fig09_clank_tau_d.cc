@@ -15,13 +15,14 @@
 #include "explore/tasks.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 9",
                   "mean tau_D per benchmark across three RF traces "
@@ -79,4 +80,10 @@ main()
                  "V-B).\nCSV: " << bench::csvPath("fig09_clank_tau_d.csv")
               << "\n";
     return all_bounded ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

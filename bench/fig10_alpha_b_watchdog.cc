@@ -18,6 +18,7 @@
 #include "sim/simulator.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
@@ -45,7 +46,7 @@ alphaFor(const std::string &benchmark, std::uint64_t period)
 } // namespace
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 10",
                   "alpha_B vs watchdog period (mixed-volatility store "
@@ -84,4 +85,10 @@ main()
                  "(constant hash-table stores).\nCSV: "
               << bench::csvPath("fig10_alpha_b_watchdog.csv") << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

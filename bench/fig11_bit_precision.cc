@@ -24,12 +24,13 @@
 #include "core/sweep.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Figure 11",
                   "bit-precision benefit |dp/dalpha_B| vs tau_B for "
@@ -119,4 +120,10 @@ main()
                  "tau_B,bit = 315 on its top curve).\nCSV: "
               << bench::csvPath("fig11_bit_precision.csv") << "\n";
     return 0;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

@@ -16,12 +16,13 @@
 #include "core/sweep.hh"
 #include "support.hh"
 #include "util/csv.hh"
+#include "util/panic.hh"
 #include "util/table.hh"
 
 using namespace eh;
 
 int
-main()
+runBench()
 {
     bench::banner("Equation 11 exploration",
                   "backup vs restore optimization break-even");
@@ -72,4 +73,10 @@ main()
                  "tau_B,be, restores above it.\nCSV: "
               << bench::csvPath("tab_breakeven.csv") << "\n";
     return consistent ? 0 : 1;
+}
+
+int
+main()
+{
+    return eh::runMain(runBench);
 }

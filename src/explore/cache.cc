@@ -5,14 +5,12 @@
 #include <mutex>
 
 #include "util/hash.hh"
+#include "util/log.hh"
 #include "util/panic.hh"
 
 namespace eh::explore {
 
 namespace {
-
-/** Bump to invalidate every existing store when the record shape changes. */
-constexpr int cacheSchemaVersion = 1;
 
 /** JSON string escaping for the subset the cache emits (raw bytes). */
 std::string
@@ -143,6 +141,10 @@ ResultCache::encodeRecord(const JobSpec &spec, std::uint64_t seed,
     line += std::to_string(seed);
     line += "\",\"spec\":\"";
     line += jsonEscape(spec.canonical());
+    line += "\",\"status\":\"";
+    line += jobStatusName(result.status());
+    line += "\",\"error\":\"";
+    line += jsonEscape(result.error());
     line += "\",\"fields\":{";
     bool first = true;
     for (const auto &[k, v] : result.fields()) {
@@ -182,9 +184,18 @@ ResultCache::decodeRecord(const std::string &line,
     seed_out = std::strtoull(seed_text.c_str(), nullptr, 10);
     if (!c.literal(",\"spec\":") || !c.quotedString(canonical_out))
         return false;
+    std::string status_text, error_text;
+    if (!c.literal(",\"status\":") || !c.quotedString(status_text))
+        return false;
+    JobStatus status = JobStatus::Ok;
+    if (!parseJobStatus(status_text, status))
+        return false;
+    if (!c.literal(",\"error\":") || !c.quotedString(error_text))
+        return false;
     if (!c.literal(",\"fields\":{"))
         return false;
     JobResult decoded;
+    decoded.setStatus(status, error_text);
     if (c.at < line.size() && line[c.at] == '}') {
         ++c.at;
     } else {
@@ -216,6 +227,21 @@ ResultCache::decodeRecord(const std::string &line,
     return true;
 }
 
+int
+ResultCache::recordSchemaVersion(const std::string &line)
+{
+    Cursor c{line};
+    if (!c.literal("{\"v\":"))
+        return -1;
+    const std::size_t begin = c.at;
+    while (c.at < line.size() && line[c.at] >= '0' && line[c.at] <= '9')
+        ++c.at;
+    if (c.at == begin || c.at >= line.size() || line[c.at] != ',')
+        return -1;
+    return static_cast<int>(
+        std::strtol(line.c_str() + begin, nullptr, 10));
+}
+
 ResultCache::ResultCache() = default;
 
 ResultCache::ResultCache(const std::string &dir, const std::string &name,
@@ -238,12 +264,35 @@ ResultCache::loadExisting(const std::string &file, bool fresh)
     if (!in)
         return;
     std::string line;
+    std::size_t lineno = 0;
+    bool warned_stale = false;
     while (std::getline(in, line)) {
+        ++lineno;
         std::string canonical;
         std::uint64_t hash = 0, seed = 0;
         JobResult result;
-        if (!decodeRecord(line, canonical, hash, seed, result))
+        if (!decodeRecord(line, canonical, hash, seed, result)) {
+            // Distinguish a *stale layout* (a well-formed record of
+            // another schema version, which must never be silently
+            // dropped or half-decoded) from a torn/corrupt line (the
+            // signature of a killed run, safe to skip).
+            const int v = recordSchemaVersion(line);
+            if (v >= 0 && v != cacheSchemaVersion) {
+                if (!fresh) {
+                    fatalf("result cache '", file, "' line ", lineno,
+                           " uses record schema v", v,
+                           " but this build reads v", cacheSchemaVersion,
+                           "; delete the file or rerun with --fresh 1");
+                }
+                if (!warned_stale) {
+                    warn("result cache '", file, "' holds schema-v", v,
+                         " records (this build writes v",
+                         cacheSchemaVersion, "); ignoring them");
+                    warned_stale = true;
+                }
+            }
             continue; // torn/corrupt line (crashed run) — ignore
+        }
         ++loaded;
         if (!fresh)
             entries.insert({hash, Entry{canonical, seed, result}});
@@ -288,6 +337,80 @@ ResultCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex);
     return entries.size();
+}
+
+QuarantineLog::QuarantineLog() = default;
+
+QuarantineLog::QuarantineLog(const std::string &dir,
+                             const std::string &name,
+                             unsigned strike_limit)
+    : limit(strike_limit)
+{
+    if (dir.empty() || strike_limit == 0) {
+        limit = 0;
+        return;
+    }
+    std::filesystem::create_directories(dir);
+    filePath = dir + "/" + name + ".quarantine";
+    // One canonical spec per line; canonical strings are newline-free
+    // by construction (the escaping in JobSpec::canonical()), so the
+    // file needs no quoting of its own. A torn final line counts as a
+    // strike for whatever prefix survived — harmless, since no real
+    // cell has that canonical form.
+    std::ifstream in(filePath);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            ++counts[line];
+    }
+    appender.open(filePath, std::ios::app);
+    if (!appender)
+        fatalf("cannot open quarantine log '", filePath,
+               "' for append");
+}
+
+unsigned
+QuarantineLog::strikes(const JobSpec &spec) const
+{
+    if (limit == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = counts.find(spec.canonical());
+    return it == counts.end() ? 0 : it->second;
+}
+
+bool
+QuarantineLog::poisoned(const JobSpec &spec) const
+{
+    return limit != 0 && strikes(spec) >= limit;
+}
+
+void
+QuarantineLog::recordFailure(const JobSpec &spec)
+{
+    if (limit == 0)
+        return;
+    const std::string canonical = spec.canonical();
+    std::lock_guard<std::mutex> lock(mutex);
+    ++counts[canonical];
+    if (appender.is_open()) {
+        appender << canonical << '\n';
+        appender.flush();
+    }
+}
+
+std::size_t
+QuarantineLog::poisonedCount() const
+{
+    if (limit == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t n = 0;
+    for (const auto &[canonical, strikes] : counts)
+        n += strikes >= limit ? 1 : 0;
+    return n;
 }
 
 } // namespace eh::explore

@@ -30,6 +30,14 @@ namespace eh::explore {
 std::string defaultCacheDir();
 
 /**
+ * The JSONL record layout version this build reads and writes. A store
+ * whose records carry a different version is rejected at load with a
+ * clear message (delete the file or pass fresh=true) instead of being
+ * silently decoded through a stale layout.
+ */
+constexpr int cacheSchemaVersion = 2;
+
+/**
  * In-memory + append-only JSONL result store. Thread-safe: lookups and
  * inserts may come from any campaign worker.
  */
@@ -92,6 +100,13 @@ class ResultCache
                              std::uint64_t &seed_out,
                              JobResult &result_out);
 
+    /**
+     * Schema version claimed by one on-disk line, or -1 when the line
+     * is not even the prefix of a record (torn tail, foreign garbage).
+     * Used to distinguish "corrupt, skip" from "stale layout, reject".
+     */
+    static int recordSchemaVersion(const std::string &line);
+
   private:
     struct Entry
     {
@@ -107,6 +122,56 @@ class ResultCache
     std::ofstream appender;
     std::string filePath;
     std::size_t loaded = 0;
+};
+
+/**
+ * Persisted strike list for repeatedly failing cells. Every final
+ * (post-retry) job failure or timeout appends one line — the cell's
+ * canonical spec — to `<dir>/<name>.quarantine`; a cell whose
+ * accumulated strike count reaches the limit is *poisoned* and skipped
+ * by subsequent campaigns (status Quarantined) unless they opt into
+ * retrying failures. Keyed by spec alone, not seed: a cell that crashes
+ * the evaluator is overwhelmingly a deterministic property of its
+ * parameters. Thread-safe.
+ */
+class QuarantineLog
+{
+  public:
+    /** Disabled log: nothing is poisoned, failures are not recorded. */
+    QuarantineLog();
+
+    /**
+     * Open (or create) `<dir>/<name>.quarantine` and load the strike
+     * counts. An empty @p dir or a zero @p strike_limit disables the
+     * log entirely.
+     */
+    QuarantineLog(const std::string &dir, const std::string &name,
+                  unsigned strike_limit);
+
+    /** Strikes recorded against @p spec across all campaigns so far. */
+    unsigned strikes(const JobSpec &spec) const;
+
+    /** True when @p spec has reached the strike limit. */
+    bool poisoned(const JobSpec &spec) const;
+
+    /** Record one final failure of @p spec (appends + counts). */
+    void recordFailure(const JobSpec &spec);
+
+    /** Strike limit (0 = disabled). */
+    unsigned strikeLimit() const { return limit; }
+
+    /** Cells currently at or past the limit. */
+    std::size_t poisonedCount() const;
+
+    /** Full path of the backing file; empty when disabled. */
+    const std::string &path() const { return filePath; }
+
+  private:
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, unsigned> counts;
+    std::ofstream appender;
+    std::string filePath;
+    unsigned limit = 0;
 };
 
 } // namespace eh::explore

@@ -1,10 +1,13 @@
 #include "explore/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #ifdef _WIN32
 #define EH_STDERR_IS_TTY() false
@@ -13,6 +16,7 @@
 #define EH_STDERR_IS_TTY() (isatty(2) != 0)
 #endif
 
+#include "util/panic.hh"
 #include "util/table.hh"
 
 namespace eh::explore {
@@ -32,7 +36,12 @@ CampaignReport::summary() const
 {
     std::ostringstream oss;
     oss << total << " jobs: " << executed << " executed, " << cacheHits
-        << " cached, " << Table::num(elapsedSeconds, 2) << " s on "
+        << " cached, ";
+    if (failures() > 0) {
+        oss << failed << " failed, " << timedOut << " timed out, "
+            << quarantined << " quarantined, ";
+    }
+    oss << Table::num(elapsedSeconds, 2) << " s on "
         << workers.size() << " worker"
         << (workers.size() == 1 ? "" : "s") << " ("
         << Table::pct(utilization()) << " busy";
@@ -53,47 +62,186 @@ Campaign::add(JobSpec spec)
     specs.push_back(std::move(spec));
 }
 
+namespace {
+
+/** Lifecycle of one grid cell, shared between worker and watchdog. */
+enum CellPhase : int {
+    CellIdle = 0,    ///< not yet picked up (or served from cache)
+    CellRunning = 1, ///< an evaluator attempt is in flight
+    CellDone = 2,    ///< the worker claimed the cell's outcome
+    CellTimedOut = 3 ///< the watchdog claimed the cell's outcome
+};
+
+/**
+ * Worker/watchdog rendezvous for one cell. The phase is claimed by
+ * compare-exchange (Running→Done by the worker, Running→TimedOut by the
+ * watchdog), so exactly one side ever writes the cell's result.
+ */
+struct CellState
+{
+    std::atomic<int> phase{CellIdle};
+    std::atomic<std::int64_t> startNanos{0}; ///< steady-clock epoch ns
+};
+
+std::int64_t
+nanosSinceEpoch(std::chrono::steady_clock::time_point t)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 std::vector<JobResult>
 Campaign::run(const Evaluator &eval)
 {
     using Clock = std::chrono::steady_clock;
 
+    const std::string dir =
+        cfg.cache
+            ? (cfg.cacheDir.empty() ? defaultCacheDir() : cfg.cacheDir)
+            : std::string();
     ResultCache cache =
-        cfg.cache ? ResultCache(cfg.cacheDir.empty() ? defaultCacheDir()
-                                                     : cfg.cacheDir,
-                                cfg.name, cfg.fresh)
-                  : ResultCache();
+        cfg.cache ? ResultCache(dir, cfg.name, cfg.fresh) : ResultCache();
+    QuarantineLog quarantine =
+        cfg.cache ? QuarantineLog(dir, cfg.name, cfg.quarantineAfter)
+                  : QuarantineLog();
 
     std::vector<JobResult> results(specs.size());
+    std::vector<double> cellSeconds(specs.size(), 0.0);
     std::atomic<std::size_t> done{0}, executed{0}, hits{0};
     std::atomic<std::uint64_t> busyNanos{0};
     std::mutex progressMutex;
     Clock::time_point lastPrint = Clock::now();
     const bool liveProgress = cfg.progress && EH_STDERR_IS_TTY();
+    const unsigned attempts = cfg.maxAttempts > 0 ? cfg.maxAttempts : 1;
 
     const Rng master(cfg.seed);
     const auto start = Clock::now();
+
+    // Deadline watchdog: scans the cell states and classifies any
+    // overdue Running cell as Timeout, writing its record immediately so
+    // the rest of the batch drains and a crash right after still leaves
+    // the verdict on disk. The straggling worker loses the phase
+    // compare-exchange and discards its eventual result.
+    std::unique_ptr<CellState[]> cells(new CellState[specs.size()]);
+    std::atomic<bool> watchdogStop{false};
+    std::thread watchdog;
+    if (cfg.jobTimeoutSeconds > 0.0 && !specs.empty()) {
+        watchdog = std::thread([&] {
+            const auto deadline = std::chrono::nanoseconds(
+                static_cast<std::int64_t>(cfg.jobTimeoutSeconds * 1e9));
+            while (!watchdogStop.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                const std::int64_t now =
+                    nanosSinceEpoch(Clock::now());
+                for (std::size_t i = 0; i < specs.size(); ++i) {
+                    CellState &cell = cells[i];
+                    if (cell.phase.load(std::memory_order_acquire) !=
+                        CellRunning) {
+                        continue;
+                    }
+                    const std::int64_t began =
+                        cell.startNanos.load(std::memory_order_relaxed);
+                    if (now - began < deadline.count())
+                        continue;
+                    int expected = CellRunning;
+                    if (!cell.phase.compare_exchange_strong(
+                            expected, CellTimedOut,
+                            std::memory_order_acq_rel)) {
+                        continue; // worker finished just in time
+                    }
+                    JobResult verdict = JobResult::failure(
+                        JobStatus::Timeout,
+                        detail::concat("exceeded the ",
+                                       cfg.jobTimeoutSeconds,
+                                       " s wall-clock deadline"));
+                    cache.store(specs[i], cfg.seed, verdict);
+                    quarantine.recordFailure(specs[i]);
+                    results[i] = std::move(verdict);
+                }
+            }
+        });
+    }
 
     ThreadPool pool(cfg.jobs);
     pool.forEach(specs.size(), [&](std::size_t i) {
         const JobSpec &spec = specs[i];
         JobResult result;
-        if (cache.lookup(spec, cfg.seed, result)) {
+        JobResult cached;
+        const bool hit = cache.lookup(spec, cfg.seed, cached);
+        if (hit && (cached.ok() || !cfg.retryFailed)) {
+            // Failure records are results too: resume must not grind
+            // through known-bad cells again unless explicitly asked.
+            result = std::move(cached);
             hits.fetch_add(1, std::memory_order_relaxed);
+        } else if (!cfg.retryFailed && quarantine.poisoned(spec)) {
+            result = JobResult::failure(
+                JobStatus::Quarantined,
+                detail::concat("skipped after ", quarantine.strikes(spec),
+                               " recorded failures; rerun with "
+                               "--retry-failed to attempt it again"));
+            if (!hit)
+                cache.store(spec, cfg.seed, result);
         } else {
-            // The job's whole entropy budget: campaign seed + job hash.
-            // Independent of worker, steal pattern, and sibling jobs.
-            Rng rng = master.split(spec.hash());
+            CellState &cell = cells[i];
             const auto t0 = Clock::now();
-            result = eval(spec, rng);
+            cell.startNanos.store(nanosSinceEpoch(t0),
+                                  std::memory_order_relaxed);
+            cell.phase.store(CellRunning, std::memory_order_release);
+            bool ok = false;
+            std::string error;
+            for (unsigned attempt = 0; attempt < attempts && !ok;
+                 ++attempt) {
+                if (attempt > 0) {
+                    const unsigned shift =
+                        attempt - 1 < 6 ? attempt - 1 : 6;
+                    const unsigned pause = std::min(
+                        cfg.retryBackoffMs << shift, 1000u);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(pause));
+                }
+                if (cell.phase.load(std::memory_order_acquire) ==
+                    CellTimedOut) {
+                    break; // the watchdog already ruled on this cell
+                }
+                // The job's whole entropy budget: campaign seed + job
+                // hash. Recreated per attempt so retries replay the
+                // exact same stream — independent of worker, steal
+                // pattern, and sibling jobs.
+                Rng rng = master.split(spec.hash());
+                try {
+                    result = eval(spec, rng);
+                    ok = true;
+                } catch (const std::exception &e) {
+                    error = e.what();
+                } catch (...) {
+                    error = "evaluator threw a non-standard exception";
+                }
+            }
+            const double seconds =
+                std::chrono::duration<double>(Clock::now() - t0)
+                    .count();
             busyNanos.fetch_add(
-                static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        Clock::now() - t0)
-                        .count()),
+                static_cast<std::uint64_t>(seconds * 1e9),
                 std::memory_order_relaxed);
-            cache.store(spec, cfg.seed, result);
             executed.fetch_add(1, std::memory_order_relaxed);
+            int expected = CellRunning;
+            if (!cell.phase.compare_exchange_strong(
+                    expected, CellDone, std::memory_order_acq_rel)) {
+                // Timed out: the watchdog wrote the cell's record while
+                // we were still grinding. Drop our late result.
+                done.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            cellSeconds[i] = seconds;
+            if (!ok) {
+                result = JobResult::failure(JobStatus::Failed, error);
+                quarantine.recordFailure(spec);
+            }
+            cache.store(spec, cfg.seed, result);
         }
         results[i] = std::move(result);
         const std::size_t finished =
@@ -123,6 +271,11 @@ Campaign::run(const Evaluator &eval)
         std::fflush(stderr);
     });
 
+    if (watchdog.joinable()) {
+        watchdogStop.store(true, std::memory_order_release);
+        watchdog.join();
+    }
+
     lastReport = CampaignReport{};
     lastReport.total = specs.size();
     lastReport.executed = executed.load();
@@ -133,6 +286,33 @@ Campaign::run(const Evaluator &eval)
         static_cast<double>(busyNanos.load()) * 1e-9;
     lastReport.workers = pool.workerStats();
     lastReport.cachePath = cache.path();
+    lastReport.quarantinePath = quarantine.path();
+    for (const JobResult &r : results) {
+        switch (r.status()) {
+          case JobStatus::Ok:
+            break;
+          case JobStatus::Failed:
+            ++lastReport.failed;
+            break;
+          case JobStatus::Timeout:
+            ++lastReport.timedOut;
+            break;
+          case JobStatus::Quarantined:
+            ++lastReport.quarantined;
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < cellSeconds.size(); ++i) {
+        if (cellSeconds[i] > 0.0)
+            lastReport.slowest.push_back({i, cellSeconds[i]});
+    }
+    std::sort(lastReport.slowest.begin(), lastReport.slowest.end(),
+              [](const CampaignReport::SlowCell &a,
+                 const CampaignReport::SlowCell &b) {
+                  return a.seconds > b.seconds;
+              });
+    if (lastReport.slowest.size() > 5)
+        lastReport.slowest.resize(5);
     return results;
 }
 

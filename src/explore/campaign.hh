@@ -49,6 +49,45 @@ struct CampaignConfig
 
     /** Emit progress/ETA lines to stderr while running. */
     bool progress = true;
+
+    // --- Fault containment (docs/ROBUSTNESS.md) ---------------------
+
+    /**
+     * Total evaluator attempts per cell (floored at 1). A throwing
+     * evaluator is retried with capped exponential backoff; only after
+     * the last attempt is the cell recorded as Failed.
+     */
+    unsigned maxAttempts = 2;
+
+    /**
+     * Backoff before the first retry, doubled per further retry and
+     * capped at 1000 ms. Transient faults (filesystem hiccups, memory
+     * pressure) get breathing room; deterministic faults just fail
+     * again quickly.
+     */
+    unsigned retryBackoffMs = 25;
+
+    /**
+     * Per-cell wall-clock deadline in seconds; 0 disables the
+     * watchdog. An overdue cell is classified Timeout immediately (its
+     * record is written and the batch keeps draining); the straggling
+     * evaluation is discarded when it eventually returns.
+     */
+    double jobTimeoutSeconds = 0.0;
+
+    /**
+     * Re-execute cells whose cached record is Failed/Timeout/
+     * Quarantined, and ignore the quarantine list. Without this, resume
+     * serves failure records from the cache like any other result.
+     */
+    bool retryFailed = false;
+
+    /**
+     * Final (post-retry) failures a cell accumulates — across campaign
+     * runs, via the persisted quarantine file — before it is skipped as
+     * known poison. 0 disables quarantine entirely.
+     */
+    unsigned quarantineAfter = 3;
 };
 
 /** What one run() did, for reporting and assertions. */
@@ -57,10 +96,30 @@ struct CampaignReport
     std::size_t total = 0;     ///< jobs submitted
     std::size_t executed = 0;  ///< jobs actually evaluated
     std::size_t cacheHits = 0; ///< jobs served from the result cache
+    std::size_t failed = 0;    ///< cells Failed (evaluator threw out of retries)
+    std::size_t timedOut = 0;  ///< cells the deadline watchdog classified
+    std::size_t quarantined = 0; ///< known-poison cells skipped
     double elapsedSeconds = 0.0;
     double busySeconds = 0.0;  ///< summed evaluator wall time
     std::vector<WorkerStats> workers;
-    std::string cachePath;     ///< backing store ("" when disabled)
+    std::string cachePath;      ///< backing store ("" when disabled)
+    std::string quarantinePath; ///< strike list ("" when disabled)
+
+    /** One freshly-executed cell's wall time, for the health report. */
+    struct SlowCell
+    {
+        std::size_t index = 0; ///< submission-order index into jobs()
+        double seconds = 0.0;
+    };
+
+    /** Slowest executed cells this run, descending (at most five). */
+    std::vector<SlowCell> slowest;
+
+    /** Cells that did not produce an Ok result. */
+    std::size_t failures() const
+    {
+        return failed + timedOut + quarantined;
+    }
 
     /** Mean fraction of worker wall-time spent inside evaluators. */
     double utilization() const;
@@ -93,8 +152,12 @@ class Campaign
     /**
      * Evaluate every job (cache first, then @p eval on a worker) and
      * return the results in submission order. May be called once per
-     * Campaign. Exceptions from evaluators propagate after the grid
-     * drains.
+     * Campaign. Evaluator exceptions are contained per cell: a throwing
+     * cell is retried per CampaignConfig, then recorded as a Failed
+     * result (with its message) rather than aborting the batch, so one
+     * poisoned corner of a grid cannot take down an overnight sweep.
+     * Only infrastructure errors (cache I/O, schema mismatch) still
+     * propagate.
      */
     std::vector<JobResult> run(const Evaluator &eval);
 

@@ -130,6 +130,49 @@ JobSpec::hash() const
     return contentHash(canonical());
 }
 
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Timeout:
+        return "timeout";
+      case JobStatus::Quarantined:
+        return "quarantined";
+    }
+    return "unknown";
+}
+
+bool
+parseJobStatus(const std::string &name, JobStatus &out)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::Timeout, JobStatus::Quarantined}) {
+        if (name == jobStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+JobResult &
+JobResult::setStatus(JobStatus status, const std::string &error)
+{
+    runStatus = status;
+    errorText = error;
+    return *this;
+}
+
+JobResult
+JobResult::failure(JobStatus status, const std::string &error)
+{
+    return JobResult().setStatus(status, error);
+}
+
 JobResult &
 JobResult::set(const std::string &key, const std::string &value)
 {

@@ -79,10 +79,30 @@ class JobSpec
 };
 
 /**
+ * Containment status of one evaluated job (docs/ROBUSTNESS.md). Ok is
+ * the only status carrying evaluator-produced fields; the others record
+ * why a cell has no physics result while letting the campaign complete.
+ */
+enum class JobStatus
+{
+    Ok,          ///< evaluator returned normally
+    Failed,      ///< evaluator threw on every attempt
+    Timeout,     ///< wall-clock deadline exceeded (watchdog classified)
+    Quarantined, ///< known-poison cell skipped without executing
+};
+
+/** Stable lowercase name ("ok", "failed", "timeout", "quarantined"). */
+const char *jobStatusName(JobStatus status);
+
+/** Parse a jobStatusName() string; returns false on unknown input. */
+bool parseJobStatus(const std::string &name, JobStatus &out);
+
+/**
  * The outcome of one evaluated job: named fields in the order the
- * evaluator produced them. Values are stored as strings; numeric fields
- * use round-trip ("%.17g") formatting so a result read back from the
- * on-disk cache is bit-identical to the freshly computed one.
+ * evaluator produced them, plus a containment status and error string.
+ * Values are stored as strings; numeric fields use round-trip ("%.17g")
+ * formatting so a result read back from the on-disk cache is
+ * bit-identical to the freshly computed one.
  */
 class JobResult
 {
@@ -118,8 +138,25 @@ class JobResult
         return kv;
     }
 
+    /** Containment status (JobStatus::Ok unless the cell failed). */
+    JobStatus status() const { return runStatus; }
+
+    /** True when the evaluator produced this result normally. */
+    bool ok() const { return runStatus == JobStatus::Ok; }
+
+    /** Diagnostic for non-Ok statuses; empty for Ok results. */
+    const std::string &error() const { return errorText; }
+
+    /** Set the containment status (and diagnostic). Returns *this. */
+    JobResult &setStatus(JobStatus status, const std::string &error = "");
+
+    /** Build a non-Ok result in one expression. */
+    static JobResult failure(JobStatus status, const std::string &error);
+
   private:
     std::vector<std::pair<std::string, std::string>> kv;
+    JobStatus runStatus = JobStatus::Ok;
+    std::string errorText;
 };
 
 /** Round-trip ("%.17g") rendering used for all numeric result fields. */

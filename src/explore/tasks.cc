@@ -1,7 +1,10 @@
 #include "explore/tasks.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "arch/cpu.hh"
 #include "core/model.hh"
@@ -111,6 +114,33 @@ applyModelParam(core::Params &p, const std::string &name, double value)
         fatalf("unknown model parameter '", name, "'");
 }
 
+/**
+ * True when any comma-separated substring in environment variable
+ * @p env_name occurs in @p canonical. Drives the test-only fault hooks.
+ */
+bool
+envListMatches(const char *env_name, const std::string &canonical)
+{
+    const char *env = std::getenv(env_name);
+    if (!env || !*env)
+        return false;
+    const std::string list(env);
+    std::size_t at = 0;
+    for (;;) {
+        const std::size_t comma = list.find(',', at);
+        const std::string needle =
+            comma == std::string::npos ? list.substr(at)
+                                       : list.substr(at, comma - at);
+        if (!needle.empty() &&
+            canonical.find(needle) != std::string::npos) {
+            return true;
+        }
+        if (comma == std::string::npos)
+            return false;
+        at = comma + 1;
+    }
+}
+
 JobResult
 packValidation(const ValidationRun &r)
 {
@@ -124,7 +154,8 @@ packValidation(const ValidationRun &r)
         .set("tau_d", r.meanTauD)
         .set("alpha_b", r.meanAlphaB)
         .set("tau_b_opt", r.optimalTauB)
-        .set("finished", r.finished);
+        .set("finished", r.finished)
+        .set("outcome", r.outcome);
 }
 
 JobResult
@@ -142,7 +173,8 @@ packClank(const ClankCharacterization &r)
         .set("violations", r.violations)
         .set("watchdogs", r.watchdogs)
         .set("overflows", r.overflows)
-        .set("finished", r.finished);
+        .set("finished", r.finished)
+        .set("outcome", r.outcome);
 }
 
 JobResult
@@ -155,7 +187,8 @@ packFault(const FaultRun &r)
         .set("corruptions", r.corruptionsDetected)
         .set("fallbacks", r.slotFallbacks)
         .set("restarts", r.restartsFromScratch)
-        .set("bit_flips", r.bitFlips);
+        .set("bit_flips", r.bitFlips)
+        .set("outcome", r.outcome);
 }
 
 JobResult
@@ -165,7 +198,8 @@ packWear(const WearRun &r)
         .set("bytes", r.totalWritten)
         .set("bytes_per_cycle", r.bytesPerCommittedInstr)
         .set("progress", r.progress)
-        .set("finished", r.finished);
+        .set("finished", r.finished)
+        .set("outcome", r.outcome);
 }
 
 } // namespace
@@ -199,6 +233,7 @@ runValidation(const std::string &workload, const std::string &policy,
     out.workload = workload;
     out.policy = policy;
     out.finished = stats.finished;
+    out.outcome = sim::outcomeName(stats.outcome);
     out.measuredProgress = stats.measuredProgress();
     out.meanTauB = stats.tauB.count() ? stats.tauB.mean() : 0.0;
     out.meanTauD = stats.tauD.count() ? stats.tauD.mean() : 0.0;
@@ -259,6 +294,7 @@ runClank(const std::string &workload, int trace_index,
     out.workload = workload;
     out.trace = traceNames()[static_cast<std::size_t>(trace_index)];
     out.finished = stats.finished;
+    out.outcome = sim::outcomeName(stats.outcome);
     out.tauBMean = stats.tauB.count() ? stats.tauB.mean() : 0.0;
     out.tauBSem = stats.tauB.sem();
     out.tauDMean = stats.tauD.count() ? stats.tauD.mean() : 0.0;
@@ -310,6 +346,7 @@ runFaultPoint(const std::string &workload, const std::string &policy,
 
     FaultRun out;
     out.finished = stats.finished;
+    out.outcome = sim::outcomeName(stats.outcome);
     if (stats.finished) {
         bool exact = true;
         for (std::size_t i = 0; i < w.resultAddrs.size(); ++i)
@@ -347,12 +384,24 @@ runWearPoint(const std::string &workload, const std::string &policy)
                   : 0.0;
     r.progress = stats.measuredProgress();
     r.finished = stats.finished;
+    r.outcome = sim::outcomeName(stats.outcome);
     return r;
 }
 
 JobResult
 evaluateJob(const JobSpec &spec, Rng &rng)
 {
+    // Test-only fault hooks, used by the campaign containment tests and
+    // CI's campaign-resilience job to manufacture poisoned grids without
+    // bespoke evaluators: cells whose canonical spec matches a
+    // comma-separated substring in EH_TEST_POISON_CELLS throw, cells
+    // matching EH_TEST_HANG_CELLS stall past any sane per-job deadline.
+    const std::string canonical = spec.canonical();
+    if (envListMatches("EH_TEST_POISON_CELLS", canonical))
+        fatalf("cell poisoned via EH_TEST_POISON_CELLS: ", canonical);
+    if (envListMatches("EH_TEST_HANG_CELLS", canonical))
+        std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+
     const std::string &kind = spec.kind();
     if (kind == "validation") {
         return packValidation(runValidation(

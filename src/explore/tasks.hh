@@ -37,6 +37,7 @@ struct ValidationRun
     double meanAlphaB = 0.0;
     double optimalTauB = 0.0; ///< Equation 9 at the calibrated params
     bool finished = false;
+    std::string outcome;      ///< sim::outcomeName() classification
 };
 
 /**
@@ -67,6 +68,7 @@ struct ClankCharacterization
     std::uint64_t watchdogs = 0;
     std::uint64_t overflows = 0;
     bool finished = false;
+    std::string outcome; ///< sim::outcomeName() classification
 };
 
 /**
@@ -91,6 +93,7 @@ struct FaultRun
     std::uint64_t slotFallbacks = 0;
     std::uint64_t restartsFromScratch = 0;
     std::uint64_t bitFlips = 0;
+    std::string outcome; ///< sim::outcomeName() classification
 };
 
 /**
@@ -110,6 +113,7 @@ struct WearRun
     double progress = 0.0;
     std::uint64_t totalWritten = 0;
     bool finished = false;
+    std::string outcome; ///< sim::outcomeName() classification
 };
 
 /** Run @p workload under @p policy ("clank", "ratchet", "nvp"). */

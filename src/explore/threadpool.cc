@@ -50,6 +50,7 @@ ThreadPool::forEach(std::size_t count,
     {
         std::lock_guard<std::mutex> lock(errorMutex);
         firstError = nullptr;
+        errorCount = 0;
     }
     std::unique_lock<std::mutex> lock(batchMutex);
     // Entry barrier: a worker that woke up late for the *previous*
@@ -80,12 +81,29 @@ ThreadPool::forEach(std::size_t count,
     batchBody = nullptr;
 
     std::exception_ptr err;
+    std::size_t errors = 0;
     {
         std::lock_guard<std::mutex> elock(errorMutex);
         err = firstError;
+        errors = errorCount;
     }
-    if (err)
+    if (!err)
+        return;
+    if (errors <= 1)
         std::rethrow_exception(err);
+    // Several tasks threw; the caller sees the first error verbatim
+    // plus an honest count of the rest instead of silent swallowing.
+    try {
+        std::rethrow_exception(err);
+    } catch (const std::exception &e) {
+        throw FatalError(detail::concat(
+            e.what(), " (+", errors - 1, " more task error",
+            errors == 2 ? "" : "s", " suppressed)"));
+    } catch (...) {
+        throw FatalError(detail::concat(
+            "task threw a non-standard exception (+", errors - 1,
+            " more task error", errors == 2 ? "" : "s", " suppressed)"));
+    }
 }
 
 bool
@@ -151,9 +169,14 @@ ThreadPool::workerLoop(unsigned id)
             try {
                 (*body)(task);
             } catch (...) {
-                std::lock_guard<std::mutex> elock(errorMutex);
-                if (!firstError)
-                    firstError = std::current_exception();
+                {
+                    std::lock_guard<std::mutex> elock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    ++errorCount;
+                }
+                std::lock_guard<std::mutex> wlock(perWorker[id]->mutex);
+                ++perWorker[id]->stats.errors;
             }
             remaining.fetch_sub(1, std::memory_order_acq_rel);
         }

@@ -32,6 +32,7 @@ struct WorkerStats
 {
     std::uint64_t executed = 0; ///< tasks run by this worker
     std::uint64_t steals = 0;   ///< tasks taken from another worker's deque
+    std::uint64_t errors = 0;   ///< tasks that threw on this worker
 };
 
 /**
@@ -66,7 +67,10 @@ class ThreadPool
      * complete. Tasks are dealt round-robin across the worker deques;
      * idle workers steal. The first exception a task throws is captured
      * and rethrown here after the batch drains (remaining tasks still
-     * run — campaign results must stay index-addressable).
+     * run — campaign results must stay index-addressable). When more
+     * than one task threw, the rethrown FatalError carries the first
+     * message plus the suppressed-error count; per-worker counts land
+     * in WorkerStats::errors either way.
      */
     void forEach(std::size_t count,
                  const std::function<void(std::size_t)> &body);
@@ -102,6 +106,7 @@ class ThreadPool
 
     std::mutex errorMutex;
     std::exception_ptr firstError;
+    std::size_t errorCount = 0; ///< total throwing tasks this batch
 };
 
 } // namespace eh::explore

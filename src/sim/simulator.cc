@@ -26,6 +26,24 @@ constexpr std::uint64_t slotBodyOffset = 8; ///< CRC covers from here on
 
 } // namespace
 
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Finished:
+        return "finished";
+      case Outcome::GaveUp:
+        return "gave-up";
+      case Outcome::Starved:
+        return "starved";
+      case Outcome::Livelock:
+        return "livelock";
+      case Outcome::Fault:
+        return "fault";
+    }
+    return "unknown";
+}
+
 double
 SimStats::measuredProgress() const
 {
@@ -95,9 +113,8 @@ SimStats::summary() const
     oss << workload << " under " << policy << ": " << periods
         << " periods, " << backups << " backups, " << restores
         << " restores, " << powerFailures << " power failures"
-        << (finished ? " (finished)"
-                     : (gaveUp ? " (GAVE UP: restart bound hit)"
-                               : " (NOT finished)"))
+        << " (outcome: " << outcomeName(outcome)
+        << (gaveUp ? ", GAVE UP: restart bound hit" : "") << ")"
         << "\n"
         << "  faults: injected " << injectedPowerFailures
         << " power failures + " << injectedBitFlips
@@ -596,12 +613,27 @@ Simulator::run()
     backupAttempts = 0;
     cpu_.applyMemInits();
 
+    bool starved = false;
+    bool livelocked = false;
+    // Consecutive active periods that committed zero Progress-phase
+    // cycles — the signature of a dead-region configuration whose
+    // backup energy exceeds what a period can supply. Reaching
+    // cfg.livelockPeriodLimit classifies the run as Livelock and stops
+    // instead of burning the remaining maxActivePeriods budget.
+    std::uint64_t zero_progress_streak = 0;
+    const auto note_zero_progress_period = [&] {
+        if (cfg.livelockPeriodLimit == 0)
+            return false;
+        return ++zero_progress_streak >= cfg.livelockPeriodLimit;
+    };
+
     while (!stats.finished && !stats.gaveUp &&
            stats.periods < cfg.maxActivePeriods) {
         const std::uint64_t charged =
             sup.chargeUntilReady(cfg.maxChargeCyclesPerPeriod);
         if (charged == energy::chargeFailed) {
             warn("simulator: supply starved during charging; stopping");
+            starved = true;
             break;
         }
         stats.chargeCycles.add(static_cast<double>(charged));
@@ -614,6 +646,11 @@ Simulator::run()
 
         if (doRestore() != ActionStatus::Ok) {
             stats.periodEnergy.add(periodEnergyConsumed);
+            // A period that died in restore committed nothing.
+            if (note_zero_progress_period()) {
+                livelocked = true;
+                break;
+            }
             continue; // died during restore; retry next period
         }
         pol.onRestore();
@@ -706,9 +743,11 @@ Simulator::run()
             }
         }
         stats.periodEnergy.add(periodEnergyConsumed);
-        stats.periodProgressCycles.add(static_cast<double>(
+        const std::uint64_t committed_cycles =
             stats.meter.cycles(energy::Phase::Progress) -
-            progress_cycles_at_start));
+            progress_cycles_at_start;
+        stats.periodProgressCycles.add(
+            static_cast<double>(committed_cycles));
         if (periodEnergyConsumed > 0.0) {
             stats.periodProgress.add(
                 (stats.meter.energy(energy::Phase::Progress) -
@@ -717,11 +756,25 @@ Simulator::run()
         }
         if (inj)
             inj->applyWearFaults(mem_.nvm());
+        if (committed_cycles > 0) {
+            zero_progress_streak = 0;
+        } else if (!stats.finished && note_zero_progress_period()) {
+            livelocked = true;
+            break;
+        }
     }
     if (inj) {
         stats.injectedPowerFailures = inj->counters().powerFailures();
         stats.injectedBitFlips = inj->counters().bitFlips();
     }
+    if (stats.finished)
+        stats.outcome = Outcome::Finished;
+    else if (starved)
+        stats.outcome = Outcome::Starved;
+    else if (livelocked)
+        stats.outcome = Outcome::Livelock;
+    else
+        stats.outcome = Outcome::GaveUp; // restart bound or period cap
     return stats;
 }
 

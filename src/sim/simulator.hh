@@ -93,7 +93,33 @@ struct SimConfig
      */
     std::uint64_t maxRestartsFromScratch = 64;
     std::uint64_t restoreRetryLimit = 4;
+
+    /**
+     * Fail-fast livelock detector (docs/ROBUSTNESS.md): after this many
+     * consecutive active periods committing zero Progress-phase cycles,
+     * the run terminates with Outcome::Livelock instead of grinding to
+     * maxActivePeriods. Dead-region cells (backup energy exceeds the
+     * period budget) hit this in exactly the limit. 0 disables.
+     */
+    std::uint64_t livelockPeriodLimit = 256;
 };
+
+/**
+ * How a simulation run ended — the classification layer a design-space
+ * campaign records for every cell, failure regions included (see
+ * docs/ROBUSTNESS.md).
+ */
+enum class Outcome
+{
+    Finished, ///< HALT committed: the program completed
+    GaveUp,   ///< a patience bound hit (restart-from-scratch or period cap)
+    Starved,  ///< the supply never reached the power-on threshold
+    Livelock, ///< zero committed progress for livelockPeriodLimit periods
+    Fault,    ///< reserved: harness-level evaluator fault (never set here)
+};
+
+/** Stable lowercase name of an Outcome ("finished", "livelock", ...). */
+const char *outcomeName(Outcome outcome);
 
 /** Aggregate statistics of one simulation run. */
 struct SimStats
@@ -109,6 +135,14 @@ struct SimStats
     std::uint64_t failedRestores = 0;///< restores aborted by brown-out
     bool finished = false;           ///< HALT committed
     bool gaveUp = false;             ///< restart-from-scratch bound hit
+
+    /**
+     * Structured run classification. finished/gaveUp remain as the
+     * legacy booleans; outcome is the authoritative taxonomy (GaveUp
+     * additionally covers a run that exhausted maxActivePeriods while
+     * still making progress).
+     */
+    Outcome outcome = Outcome::GaveUp;
 
     // Fault-injection and recovery accounting (docs/FAULTS.md).
     std::uint64_t corruptionsDetected = 0;  ///< slots/selector failing checks

@@ -1,5 +1,7 @@
 #include "util/panic.hh"
 
+#include <cstdio>
+
 namespace eh {
 
 void
@@ -13,5 +15,27 @@ fatal(const std::string &msg)
 {
     throw FatalError("fatal: " + msg);
 }
+
+namespace detail {
+
+int
+reportMainError(int code, bool internal, const std::string &what) noexcept
+{
+    // fatal()/panic() messages already carry their "fatal:"/"panic:"
+    // prefix; foreign exceptions (bad_alloc, logic bugs in callers) get
+    // labeled here so the exit code is always explicable from the line.
+    const bool tagged = what.rfind("fatal: ", 0) == 0 ||
+                        what.rfind("panic: ", 0) == 0;
+    std::fprintf(stderr, "%s%s\n",
+                 tagged ? "" : (internal ? "internal error: " : "error: "),
+                 what.c_str());
+    if (internal)
+        std::fprintf(stderr,
+                     "(this is a bug in the EH model library — please "
+                     "report it)\n");
+    return code;
+}
+
+} // namespace detail
 
 } // namespace eh

@@ -2,7 +2,10 @@
  * @file
  * Error-reporting primitives in the gem5 tradition: panic() for internal
  * invariant violations (bugs in this library) and fatal() for unrecoverable
- * user errors (bad parameters, malformed inputs).
+ * user errors (bad parameters, malformed inputs), plus runMain(), the
+ * unified top-level wrapper every binary uses to turn those exceptions
+ * into one-line diagnostics with distinct exit codes instead of
+ * std::terminate stack dumps.
  */
 
 #ifndef EH_UTIL_PANIC_HH
@@ -77,6 +80,49 @@ template <typename... Args>
 fatalf(Args &&...args)
 {
     fatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Exit code for user/configuration errors (FatalError). */
+constexpr int exitUserError = 1;
+
+/** Exit code for internal bugs (PanicError, unexpected exceptions). */
+constexpr int exitInternalError = 2;
+
+namespace detail {
+
+/**
+ * Print a one-line top-level diagnostic to stderr and return @p code.
+ * @p internal selects the "internal error (bug)" prefix.
+ */
+int reportMainError(int code, bool internal,
+                    const std::string &what) noexcept;
+
+} // namespace detail
+
+/**
+ * Run a program body under the unified error policy: FatalError (user
+ * error) exits with exitUserError, PanicError and any other exception
+ * (internal bug) with exitInternalError, each as a clean one-line
+ * stderr diagnostic instead of std::terminate. Usage:
+ *
+ *   int main() { return eh::runMain([] { ...; return 0; }); }
+ */
+template <typename Fn>
+int
+runMain(Fn &&body) noexcept
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        return detail::reportMainError(exitUserError, false, e.what());
+    } catch (const PanicError &e) {
+        return detail::reportMainError(exitInternalError, true, e.what());
+    } catch (const std::exception &e) {
+        return detail::reportMainError(exitInternalError, true, e.what());
+    } catch (...) {
+        return detail::reportMainError(exitInternalError, true,
+                                       "unknown exception");
+    }
 }
 
 } // namespace eh

@@ -12,12 +12,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "explore/cache.hh"
@@ -415,6 +418,313 @@ TEST(Campaign, StochasticJobsGetDistinctStreams)
     for (const auto &r : results)
         draws.insert(r.str("draw"));
     EXPECT_EQ(draws.size(), specs.size());
+}
+
+TEST(ThreadPool, MultipleErrorsReportTheSuppressedCount)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.forEach(64, [&](std::size_t i) {
+            ran.fetch_add(1);
+            if (i % 16 == 0) // 4 throwing tasks
+                throw std::runtime_error("boom");
+        });
+        FAIL() << "forEach swallowed the batch errors";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("boom"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what())
+                      .find("+3 more task errors suppressed"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(ran.load(), 64);
+    std::uint64_t errors = 0;
+    for (const auto &w : pool.workerStats())
+        errors += w.errors;
+    EXPECT_EQ(errors, 4u);
+}
+
+TEST(ResultCache, StatusAndErrorRoundTripThroughRecords)
+{
+    JobSpec spec("kind");
+    spec.set("x", 1.0);
+    const JobResult failure = JobResult::failure(
+        JobStatus::Failed, "divide by \"zero\"\nin cell");
+
+    const std::string line =
+        ResultCache::encodeRecord(spec, 9, failure);
+    std::string canonical;
+    std::uint64_t hash = 0, seed = 0;
+    JobResult decoded;
+    ASSERT_TRUE(
+        ResultCache::decodeRecord(line, canonical, hash, seed, decoded));
+    EXPECT_EQ(decoded.status(), JobStatus::Failed);
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error(), failure.error());
+
+    JobStatus parsed = JobStatus::Ok;
+    EXPECT_TRUE(parseJobStatus("quarantined", parsed));
+    EXPECT_EQ(parsed, JobStatus::Quarantined);
+    EXPECT_FALSE(parseJobStatus("exploded", parsed));
+}
+
+TEST(ResultCache, SchemaMismatchIsFatalUnlessFresh)
+{
+    ScratchDir dir("schema");
+    const std::string path = dir.str() + "/test.jsonl";
+    {
+        std::ofstream out(path);
+        out << "{\"v\":1,\"hash\":\"00baadf00dbaadf0\",\"seed\":\"7\","
+               "\"spec\":\"demo\",\"fields\":{}}\n";
+    }
+    EXPECT_THROW(ResultCache(dir.str(), "test", false), FatalError);
+    // fresh=true tolerates the stale layout (warns and ignores it).
+    ResultCache fresh(dir.str(), "test", true);
+    EXPECT_EQ(fresh.loadedRecords(), 0u);
+}
+
+TEST(Campaign, EvaluatorFailuresAreContainedPerCell)
+{
+    const auto specs = sampleGrid(12);
+    const std::string poison = specs[5].canonical();
+    std::atomic<int> calls{0};
+    CampaignConfig cc;
+    cc.name = "contain";
+    cc.jobs = 4;
+    cc.cache = false;
+    cc.progress = false;
+    cc.maxAttempts = 3;
+    cc.retryBackoffMs = 1;
+    cc.quarantineAfter = 0;
+    Campaign campaign(cc);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    std::atomic<int> poison_calls{0};
+    const auto results =
+        campaign.run([&](const JobSpec &spec, Rng &rng) {
+            if (spec.canonical() == poison) {
+                poison_calls.fetch_add(1);
+                throw std::runtime_error("synthetic cell fault");
+            }
+            return countingEval(spec, rng, calls);
+        });
+
+    ASSERT_EQ(results.size(), specs.size());
+    EXPECT_EQ(poison_calls.load(), 3); // all attempts consumed
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 5) {
+            EXPECT_EQ(results[i].status(), JobStatus::Failed);
+            EXPECT_NE(results[i].error().find("synthetic cell fault"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(results[i].ok()) << "cell " << i;
+        }
+    }
+    EXPECT_EQ(campaign.report().failed, 1u);
+    EXPECT_EQ(campaign.report().failures(), 1u);
+    EXPECT_NE(campaign.report().summary().find("1 failed"),
+              std::string::npos);
+}
+
+TEST(Campaign, TransientFaultsAreAbsorbedByRetry)
+{
+    const auto specs = sampleGrid(6);
+    const std::string flaky = specs[2].canonical();
+    std::atomic<int> calls{0}, flaky_calls{0};
+    CampaignConfig cc;
+    cc.name = "flaky";
+    cc.jobs = 2;
+    cc.seed = 7; // match runGrid's default for the byte-equality check
+    cc.cache = false;
+    cc.progress = false;
+    cc.maxAttempts = 2;
+    cc.retryBackoffMs = 1;
+    Campaign campaign(cc);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    const auto results =
+        campaign.run([&](const JobSpec &spec, Rng &rng) {
+            if (spec.canonical() == flaky &&
+                flaky_calls.fetch_add(1) == 0) {
+                throw std::runtime_error("transient hiccup");
+            }
+            return countingEval(spec, rng, calls);
+        });
+
+    EXPECT_EQ(flaky_calls.load(), 2);
+    EXPECT_TRUE(results[2].ok());
+    EXPECT_EQ(campaign.report().failed, 0u);
+    // The retry replays the identical RNG sub-stream, so the recovered
+    // result is byte-identical to a never-failed run of the same cell.
+    std::atomic<int> calls2{0};
+    const auto clean = runGrid(specs, 2, calls2);
+    EXPECT_EQ(results[2].fields(), clean[2].fields());
+}
+
+TEST(Campaign, FailureRecordsResumeWithoutReexecution)
+{
+    ScratchDir dir("failresume");
+    const auto specs = sampleGrid(8);
+    const std::string poison = specs[3].canonical();
+    std::atomic<int> poison_calls{0}, calls{0};
+    auto eval = [&](const JobSpec &spec, Rng &rng) {
+        if (spec.canonical() == poison) {
+            poison_calls.fetch_add(1);
+            throw std::runtime_error("deterministic fault");
+        }
+        return countingEval(spec, rng, calls);
+    };
+    CampaignConfig cc;
+    cc.name = "test";
+    cc.jobs = 2;
+    cc.cacheDir = dir.str();
+    cc.progress = false;
+    cc.maxAttempts = 1;
+    cc.quarantineAfter = 0; // isolate the cache-resume path
+    {
+        Campaign campaign(cc);
+        for (const auto &spec : specs)
+            campaign.add(spec);
+        (void)campaign.run(eval);
+        EXPECT_EQ(campaign.report().failed, 1u);
+    }
+    EXPECT_EQ(poison_calls.load(), 1);
+
+    // Resume: the Failed record is served from the cache like any other
+    // result — the poisoned cell must not execute again.
+    {
+        Campaign campaign(cc);
+        for (const auto &spec : specs)
+            campaign.add(spec);
+        const auto results = campaign.run(eval);
+        EXPECT_EQ(poison_calls.load(), 1);
+        EXPECT_EQ(campaign.report().cacheHits, 8u);
+        EXPECT_EQ(campaign.report().executed, 0u);
+        EXPECT_EQ(results[3].status(), JobStatus::Failed);
+        EXPECT_EQ(campaign.report().failed, 1u);
+    }
+
+    // --retry-failed re-executes exactly the failed cell.
+    cc.retryFailed = true;
+    {
+        Campaign campaign(cc);
+        for (const auto &spec : specs)
+            campaign.add(spec);
+        (void)campaign.run(eval);
+        EXPECT_EQ(poison_calls.load(), 2);
+        EXPECT_EQ(campaign.report().executed, 1u);
+        EXPECT_EQ(campaign.report().cacheHits, 7u);
+    }
+}
+
+TEST(Campaign, RepeatOffendersLandInQuarantine)
+{
+    ScratchDir dir("quarantine");
+    const auto specs = sampleGrid(5);
+    const std::string poison = specs[1].canonical();
+    std::atomic<int> poison_calls{0}, calls{0};
+    auto eval = [&](const JobSpec &spec, Rng &rng) {
+        if (spec.canonical() == poison) {
+            poison_calls.fetch_add(1);
+            throw std::runtime_error("hard fault");
+        }
+        return countingEval(spec, rng, calls);
+    };
+    CampaignConfig cc;
+    cc.name = "test";
+    cc.jobs = 2;
+    cc.cacheDir = dir.str();
+    cc.progress = false;
+    cc.maxAttempts = 1;
+    cc.quarantineAfter = 2;
+    cc.fresh = true; // defeat the result cache so strikes accumulate
+    auto runOnce = [&] {
+        Campaign campaign(cc);
+        for (const auto &spec : specs)
+            campaign.add(spec);
+        const auto results = campaign.run(eval);
+        return std::make_pair(results[1].status(),
+                              campaign.report().quarantined);
+    };
+
+    EXPECT_EQ(runOnce().first, JobStatus::Failed); // strike 1
+    EXPECT_EQ(runOnce().first, JobStatus::Failed); // strike 2: poisoned
+    EXPECT_EQ(poison_calls.load(), 2);
+
+    const auto third = runOnce(); // known poison: skipped unexecuted
+    EXPECT_EQ(third.first, JobStatus::Quarantined);
+    EXPECT_EQ(third.second, 1u);
+    EXPECT_EQ(poison_calls.load(), 2);
+
+    // Opting into retries bypasses the quarantine list.
+    cc.retryFailed = true;
+    (void)runOnce();
+    EXPECT_EQ(poison_calls.load(), 3);
+}
+
+TEST(Campaign, WatchdogClassifiesOverdueCellsAsTimeout)
+{
+    const auto specs = sampleGrid(6);
+    const std::string slow = specs[4].canonical();
+    std::atomic<int> calls{0};
+    CampaignConfig cc;
+    cc.name = "deadline";
+    cc.jobs = 3;
+    cc.cache = false;
+    cc.progress = false;
+    cc.maxAttempts = 1;
+    cc.jobTimeoutSeconds = 0.05;
+    Campaign campaign(cc);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    const auto results =
+        campaign.run([&](const JobSpec &spec, Rng &rng) {
+            if (spec.canonical() == slow) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(400));
+            }
+            return countingEval(spec, rng, calls);
+        });
+
+    EXPECT_EQ(results[4].status(), JobStatus::Timeout);
+    EXPECT_NE(results[4].error().find("deadline"), std::string::npos);
+    EXPECT_EQ(campaign.report().timedOut, 1u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i != 4)
+            EXPECT_TRUE(results[i].ok()) << "cell " << i;
+    }
+}
+
+TEST(Campaign, ReportRanksTheSlowestCells)
+{
+    const auto specs = sampleGrid(4);
+    const std::string slow = specs[2].canonical();
+    std::atomic<int> calls{0};
+    CampaignConfig cc;
+    cc.name = "slowest";
+    cc.jobs = 2;
+    cc.cache = false;
+    cc.progress = false;
+    Campaign campaign(cc);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    (void)campaign.run([&](const JobSpec &spec, Rng &rng) {
+        if (spec.canonical() == slow) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(60));
+        }
+        return countingEval(spec, rng, calls);
+    });
+
+    const auto &rep = campaign.report();
+    ASSERT_FALSE(rep.slowest.empty());
+    EXPECT_LE(rep.slowest.size(), 5u);
+    EXPECT_EQ(rep.slowest.front().index, 2u);
+    for (std::size_t k = 1; k < rep.slowest.size(); ++k) {
+        EXPECT_GE(rep.slowest[k - 1].seconds,
+                  rep.slowest[k].seconds);
+    }
 }
 
 } // namespace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Robustness tests for the structured run-outcome taxonomy and the
+ * unified CLI error policy: a starved supply classifies Starved, a
+ * backup cost exceeding the period budget trips the fail-fast livelock
+ * detector long before the period cap, adversarial fault torture still
+ * classifies Finished for every backup policy, and runMain() maps the
+ * error taxonomy onto distinct exit codes (docs/ROBUSTNESS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "energy/supply.hh"
+#include "fault/injector.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+/** A supply whose charge threshold is unreachable: starves immediately. */
+class NeverReadySupply : public energy::EnergySupply
+{
+  public:
+    std::uint64_t
+    chargeUntilReady(std::uint64_t) override
+    {
+        return energy::chargeFailed;
+    }
+    bool consume(double, std::uint64_t) override { return false; }
+    double storedEnergy() const override { return 0.0; }
+    double chargeRatePerCycle() const override { return 0.0; }
+    double periodBudget() const override { return 1.0; }
+    void reset() override {}
+};
+
+TEST(Outcome, NamesAreStable)
+{
+    EXPECT_STREQ(sim::outcomeName(sim::Outcome::Finished), "finished");
+    EXPECT_STREQ(sim::outcomeName(sim::Outcome::GaveUp), "gave-up");
+    EXPECT_STREQ(sim::outcomeName(sim::Outcome::Starved), "starved");
+    EXPECT_STREQ(sim::outcomeName(sim::Outcome::Livelock), "livelock");
+    EXPECT_STREQ(sim::outcomeName(sim::Outcome::Fault), "fault");
+}
+
+TEST(Outcome, AmpleEnergyClassifiesFinished)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    runtime::Watchdog policy(
+        {.periodCycles = 5000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(1e12);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_TRUE(stats.finished);
+    EXPECT_EQ(stats.outcome, sim::Outcome::Finished);
+    EXPECT_NE(stats.summary().find("outcome: finished"),
+              std::string::npos);
+}
+
+TEST(Outcome, StarvedSupplyClassifiesStarved)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    runtime::Watchdog policy(
+        {.periodCycles = 5000, .sramUsedBytes = cfg.sramUsedBytes});
+    NeverReadySupply supply;
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_FALSE(stats.finished);
+    EXPECT_EQ(stats.outcome, sim::Outcome::Starved);
+    EXPECT_EQ(stats.periods, 0u);
+    EXPECT_NE(stats.summary().find("outcome: starved"),
+              std::string::npos);
+}
+
+/**
+ * A per-period budget below the cost of a single instruction is the
+ * dead-region configuration of Section III: every period browns out
+ * before committing anything. The detector must classify Livelock after
+ * exactly livelockPeriodLimit zero-progress periods instead of grinding
+ * through the full maxActivePeriods budget.
+ */
+TEST(Outcome, BackupExceedingBudgetClassifiesLivelockEarly)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 100000;
+    cfg.livelockPeriodLimit = 48;
+    runtime::Watchdog policy(
+        {.periodCycles = 5000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(10.0); // below one instruction's cost
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_FALSE(stats.finished);
+    EXPECT_EQ(stats.outcome, sim::Outcome::Livelock);
+    EXPECT_EQ(stats.periods, cfg.livelockPeriodLimit);
+    EXPECT_LT(stats.periods, cfg.maxActivePeriods / 100);
+    EXPECT_NE(stats.summary().find("outcome: livelock"),
+              std::string::npos);
+}
+
+TEST(Outcome, DisabledDetectorRunsToThePeriodCap)
+{
+    const auto w = workloads::makeWorkload("crc",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 300;
+    cfg.livelockPeriodLimit = 0; // opt out of fail-fast
+    runtime::Watchdog policy(
+        {.periodCycles = 5000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(10.0);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_FALSE(stats.finished);
+    EXPECT_EQ(stats.outcome, sim::Outcome::GaveUp);
+    EXPECT_EQ(stats.periods, cfg.maxActivePeriods);
+}
+
+TEST(Outcome, ProgressingRunNeverTripsTheDetector)
+{
+    // A budget that completes the workload over many short periods: the
+    // streak must reset on every committed period, so even a limit much
+    // smaller than the period count cannot misfire.
+    const auto w = workloads::makeWorkload("sense",
+                                           workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.livelockPeriodLimit = 2;
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(2.5e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    EXPECT_TRUE(stats.finished);
+    EXPECT_EQ(stats.outcome, sim::Outcome::Finished);
+    EXPECT_GT(stats.periods, cfg.livelockPeriodLimit);
+}
+
+std::unique_ptr<runtime::BackupPolicy>
+makeTorturePolicy(const std::string &name, std::size_t sram_used,
+                  double budget)
+{
+    if (name == "mementos") {
+        runtime::MementosConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Mementos>(c);
+    }
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    if (name == "hibernus") {
+        runtime::HibernusConfig c;
+        c.sramUsedBytes = sram_used;
+        const double backup_energy =
+            (static_cast<double>(sram_used) + 68.0) * 75.0;
+        c.backupThreshold =
+            std::clamp(2.0 * backup_energy / budget, 0.15, 0.85);
+        return std::make_unique<runtime::Hibernus>(c);
+    }
+    if (name == "watchdog") {
+        runtime::WatchdogConfig c;
+        c.sramUsedBytes = sram_used;
+        c.periodCycles = 2500;
+        return std::make_unique<runtime::Watchdog>(c);
+    }
+    if (name == "clank")
+        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    if (name == "ratchet")
+        return std::make_unique<runtime::Ratchet>(
+            runtime::RatchetConfig{.maxSectionCycles = 4000,
+                                   .archBytes = 80});
+    runtime::NvpConfig c;
+    c.backupEveryInstructions = 1;
+    return std::make_unique<runtime::Nvp>(c);
+}
+
+/**
+ * The taxonomy must not misclassify recoverable chaos: under the fault
+ * torture mix (forced failures, checkpoint corruption, selector flips)
+ * every policy still reaches Finished — the detector only fires on
+ * genuine zero-progress configurations.
+ */
+TEST(Outcome, FaultTortureStillClassifiesFinished)
+{
+    for (const char *pname : {"mementos", "dino", "hibernus", "watchdog",
+                              "clank", "nvp", "ratchet"}) {
+        const bool vol = std::string(pname) == "mementos" ||
+                         std::string(pname) == "dino" ||
+                         std::string(pname) == "hibernus" ||
+                         std::string(pname) == "watchdog";
+        const auto w = workloads::makeWorkload(
+            "crc", vol ? workloads::volatileLayout()
+                       : workloads::nonvolatileLayout());
+        sim::SimConfig cfg;
+        cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+        cfg.maxActivePeriods = 60000;
+        const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+        const double budget =
+            std::max(vol ? 2.0e6 : 1.0e6, golden.energy / 4.0);
+
+        for (int seed = 0; seed < 3; ++seed) {
+            fault::FaultPlan plan;
+            plan.seed = 0x0DDB + static_cast<std::uint64_t>(seed);
+            plan.backupFailProb = 0.08;
+            plan.selectorFlipFailProb = 0.08;
+            plan.restoreFailProb = 0.04;
+            plan.checkpointCorruptionProb = 0.10;
+            plan.selectorCorruptionProb = 0.04;
+            plan.maxForcedFailures = 12;
+            plan.maxBitFlips = 1ull << 40;
+
+            energy::ConstantSupply supply(budget);
+            auto policy =
+                makeTorturePolicy(pname, cfg.sramUsedBytes, budget);
+            fault::FaultInjector injector(plan);
+            sim::Simulator s(w.program, *policy, supply, cfg);
+            s.attachFaultInjector(&injector);
+            const auto stats = s.run();
+            EXPECT_EQ(stats.outcome, sim::Outcome::Finished)
+                << pname << " seed " << seed << ":\n"
+                << stats.summary();
+        }
+    }
+}
+
+TEST(RunMain, MapsTheErrorTaxonomyOntoExitCodes)
+{
+    EXPECT_EQ(runMain([] { return 0; }), 0);
+    EXPECT_EQ(runMain([] { return 7; }), 7);
+    EXPECT_EQ(runMain([]() -> int { throw FatalError("bad flag"); }),
+              exitUserError);
+    EXPECT_EQ(runMain([]() -> int { throw PanicError("broken invariant"); }),
+              exitInternalError);
+    EXPECT_EQ(runMain([]() -> int { throw std::runtime_error("misc"); }),
+              exitInternalError);
+    EXPECT_EQ(runMain([]() -> int { throw 42; }), exitInternalError);
+}
+
+} // namespace

@@ -21,6 +21,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 
 #include "arch/cpu.hh"
@@ -345,6 +346,50 @@ buildCampaignGrid(explore::Campaign &campaign, const std::string &grid,
     }
 }
 
+/**
+ * Print the campaign health report: containment-status counts, the sim
+ * outcome census over Ok cells, the slowest freshly-executed cells, and
+ * one line per failed cell.
+ */
+void
+printHealthReport(const explore::Campaign &campaign,
+                  const std::vector<explore::JobResult> &results)
+{
+    const auto &rep = campaign.report();
+    std::cout << "health: " << rep.total - rep.failures() << " ok, "
+              << rep.failed << " failed, " << rep.timedOut
+              << " timed out, " << rep.quarantined << " quarantined\n";
+
+    // Census of simulator outcomes across the Ok cells ("outcome" is
+    // absent for analytic model cells and pre-outcome cache records).
+    std::map<std::string, std::size_t> outcomes;
+    for (const auto &r : results) {
+        if (r.ok() && r.has("outcome"))
+            ++outcomes[r.str("outcome")];
+    }
+    if (!outcomes.empty()) {
+        std::cout << "sim outcomes:";
+        for (const auto &[name, count] : outcomes)
+            std::cout << ' ' << count << ' ' << name;
+        std::cout << "\n";
+    }
+    if (!rep.slowest.empty()) {
+        std::cout << "slowest cells:\n";
+        for (const auto &cell : rep.slowest) {
+            std::cout << "  " << Table::num(cell.seconds, 2) << " s  "
+                      << campaign.jobs()[cell.index].canonical() << "\n";
+        }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok()) {
+            std::cout << "  ["
+                      << explore::jobStatusName(results[i].status())
+                      << "] " << campaign.jobs()[i].canonical() << ": "
+                      << results[i].error() << "\n";
+        }
+    }
+}
+
 int
 cmdCampaign(const cli::Options &opts)
 {
@@ -359,31 +404,51 @@ cmdCampaign(const cli::Options &opts)
     cc.cacheDir = opts.get("cache-dir", "");
     cc.cache = opts.getDouble("cache", 1.0) != 0.0;
     cc.fresh = opts.getDouble("fresh", 0.0) != 0.0;
+    cc.maxAttempts =
+        static_cast<unsigned>(opts.getDouble("retries", 1.0)) + 1;
+    cc.jobTimeoutSeconds = opts.getDouble("timeout", 0.0);
+    cc.retryFailed = opts.getDouble("retry-failed", 0.0) != 0.0;
+    cc.quarantineAfter = static_cast<unsigned>(
+        opts.getDouble("quarantine-after", 3.0));
+    const bool strict = opts.getDouble("strict", 0.0) != 0.0;
     explore::Campaign campaign(cc);
     buildCampaignGrid(campaign, grid, opts);
 
     const auto results = campaign.run(explore::evaluateJob);
 
+    // Physics columns come from the first Ok result (a Failed cell has
+    // no fields); status/error columns make every row self-describing.
     std::vector<std::string> cols{"job"};
-    if (!results.empty())
-        for (const auto &[key, value] : results.front().fields())
-            cols.push_back(key);
+    for (const auto &r : results) {
+        if (r.ok()) {
+            for (const auto &[key, value] : r.fields())
+                cols.push_back(key);
+            break;
+        }
+    }
+    cols.push_back("status");
+    cols.push_back("error");
     Table t(cols);
     std::unique_ptr<CsvWriter> csv;
     if (opts.has("csv"))
         csv = std::make_unique<CsvWriter>(opts.get("csv"), cols);
     for (std::size_t i = 0; i < results.size(); ++i) {
         std::vector<std::string> row{campaign.jobs()[i].canonical()};
-        for (std::size_t c = 1; c < cols.size(); ++c)
+        for (std::size_t c = 1; c + 2 < cols.size(); ++c)
             row.push_back(results[i].str(cols[c]));
+        row.push_back(explore::jobStatusName(results[i].status()));
+        row.push_back(results[i].error());
         t.row(row);
         if (csv)
             csv->row(row);
     }
     t.print(std::cout);
     std::cout << campaign.report().summary() << "\n";
+    printHealthReport(campaign, results);
     if (csv)
         std::cout << "CSV: " << csv->path() << "\n";
+    if (strict && campaign.report().failures() > 0)
+        return exitUserError;
     return 0;
 }
 
@@ -475,6 +540,11 @@ usage()
         "takes the sweep\n          flags; fault takes --cells N "
         "(seeded runs per point); EH_JOBS sets the\n          default "
         "worker count\n"
+        "          containment: --retries N --timeout SECONDS "
+        "--quarantine-after N\n"
+        "          --retry-failed 1 (re-run cached failures) --strict 1 "
+        "(exit 1 on any\n          failed/timed-out/quarantined cell); "
+        "see docs/ROBUSTNESS.md\n"
         "          fault injection: --fault-seed N --fault-at-cycle C,.. "
         "--fault-at-instr K,..\n"
         "          --fault-backup-prob P --fault-selector-prob P "
@@ -493,7 +563,7 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
-    try {
+    return eh::runMain([&]() -> int {
         const auto opts = eh::cli::Options::parse(args);
         const auto &cmd = opts.subcommand();
         int rc;
@@ -515,13 +585,10 @@ main(int argc, char **argv)
             rc = cmdTraces(opts);
         else {
             usage();
-            return cmd.empty() ? 0 : 2;
+            return cmd.empty() ? 0 : eh::exitUserError;
         }
         for (const auto &flag : opts.unusedFlags())
             eh::warn("unused flag --", flag);
         return rc;
-    } catch (const std::exception &err) {
-        std::cerr << err.what() << "\n";
-        return 2;
-    }
+    });
 }
