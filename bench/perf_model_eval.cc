@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/model.hh"
+#include "obs/trace.hh"
 #include "core/optimum.hh"
 #include "core/sensitivity.hh"
 #include "core/sweep.hh"
@@ -98,5 +99,48 @@ BM_SimulatedCrcRun(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedCrcRun)->Unit(benchmark::kMillisecond);
+
+static void
+runCrcOnce(const workloads::Workload &w)
+{
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(4.0e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    benchmark::DoNotOptimize(s.run().measuredProgress());
+}
+
+static void
+BM_SimulatedCrcRunSinkIdle(benchmark::State &state)
+{
+    // The disabled-tracing cost: the sink has been enabled once (rings
+    // exist) but the category mask is zero, so every instrumentation
+    // site takes its early-out branch. scripts/trace_overhead.sh
+    // asserts this stays within 5% of BM_SimulatedCrcRun.
+    const auto w =
+        workloads::makeWorkload("crc", workloads::volatileLayout());
+    obs::TraceSink::instance().enable(obs::allCategories, 1u << 12);
+    obs::TraceSink::instance().disable();
+    for (auto _ : state)
+        runCrcOnce(w);
+}
+BENCHMARK(BM_SimulatedCrcRunSinkIdle)->Unit(benchmark::kMillisecond);
+
+static void
+BM_SimulatedCrcRunTraced(benchmark::State &state)
+{
+    // Tracing fully on (all categories, small ring): the simulator
+    // emits its whole phase timeline. Runs last so the enabled sink
+    // cannot leak into the other benchmarks.
+    const auto w =
+        workloads::makeWorkload("crc", workloads::volatileLayout());
+    obs::TraceSink::instance().enable(obs::allCategories, 1u << 12);
+    for (auto _ : state)
+        runCrcOnce(w);
+    obs::TraceSink::instance().disable();
+}
+BENCHMARK(BM_SimulatedCrcRunTraced)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -5,7 +5,44 @@
 #include <iostream>
 #include <mutex>
 
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace eh::bench {
+
+void
+initObservability()
+{
+    // Env-driven so every figure/ablation bench gets tracing without
+    // its own flag plumbing: EH_TRACE=file.json turns the sink on
+    // (EH_TRACE_CATEGORIES selects categories) and the trace plus the
+    // EH_METRICS_OUT snapshot are written at process exit.
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // Construct the singletons NOW, before registering the atexit
+        // writers: statics are torn down in reverse construction/
+        // registration order, so a registry first touched later (mid-
+        // campaign) would be destroyed before a handler registered
+        // here got to read it.
+        obs::trace();
+        obs::metrics();
+        if (const char *path = std::getenv("EH_TRACE");
+            path && *path) {
+            const char *cats = std::getenv("EH_TRACE_CATEGORIES");
+            obs::trace().enable(
+                obs::parseCategories(cats ? cats : "all"));
+            static std::string tracePath = path;
+            std::atexit(
+                [] { obs::writeChromeTraceFile(tracePath); });
+        }
+        if (const char *path = std::getenv("EH_METRICS_OUT");
+            path && *path) {
+            static std::string metricsPath = path;
+            std::atexit([] { obs::writeMetricsFile(metricsPath); });
+        }
+    });
+}
 
 std::string
 outputDir()
@@ -26,6 +63,7 @@ outputDir()
 void
 banner(const std::string &figure_id, const std::string &title)
 {
+    initObservability();
     std::cout << "\n=== " << figure_id << ": " << title << " ===\n"
               << "(The EH Model, MICRO 2018 — reproduced on the simulated "
                  "substrate; see EXPERIMENTS.md)\n\n";

@@ -24,6 +24,16 @@ namespace eh::bench {
  */
 std::string outputDir();
 
+/**
+ * Enable tracing/metrics from the environment (once, race-free):
+ * EH_TRACE=file.json turns the trace sink on (EH_TRACE_CATEGORIES
+ * selects categories, default all) and EH_METRICS_OUT=file.json|.csv
+ * snapshots the metrics registry; both files are written at process
+ * exit. banner() calls this, so every bench harness inherits the
+ * hooks. See docs/OBSERVABILITY.md.
+ */
+void initObservability();
+
 /** Print the standard figure banner with the paper cross-reference. */
 void banner(const std::string &figure_id, const std::string &title);
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Gate on the observability subsystem's disabled cost (docs/OBSERVABILITY.md):
+# runs the perf_model_eval microbenchmarks and asserts that a full simulated
+# crc run with the trace sink constructed-but-disabled (BM_SimulatedCrcRunSinkIdle)
+# stays within EH_TRACE_OVERHEAD_TOLERANCE percent (default 5) of the
+# never-enabled baseline (BM_SimulatedCrcRun). Writes the datapoint —
+# including the fully-traced cost — to results/BENCH_obs.json.
+#
+# Usage: scripts/trace_overhead.sh [build-dir] [out-json]
+set -euo pipefail
+
+build="${1:-build}"
+out="${2:-results/BENCH_obs.json}"
+tolerance="${EH_TRACE_OVERHEAD_TOLERANCE:-5}"
+bench="$build/bench/perf_model_eval"
+
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build --target perf_model_eval)" >&2
+    exit 2
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bench" --benchmark_filter='BM_SimulatedCrcRun' \
+         --benchmark_repetitions=5 \
+         --benchmark_report_aggregates_only=true \
+         --benchmark_format=json >"$raw" 2>/dev/null
+
+python3 - "$raw" "$out" "$tolerance" <<'PY'
+import datetime
+import json
+import os
+import sys
+
+raw_path, out_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(raw_path) as f:
+    doc = json.load(f)
+
+medians = {}
+for b in doc.get("benchmarks", []):
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["run_name"].split("/")[0]
+    medians[name] = b["real_time"]  # ms (benchmark Unit)
+
+try:
+    base = medians["BM_SimulatedCrcRun"]
+    idle = medians["BM_SimulatedCrcRunSinkIdle"]
+    traced = medians["BM_SimulatedCrcRunTraced"]
+except KeyError as missing:
+    sys.exit(f"error: benchmark {missing} not found in output")
+
+disabled_pct = 100.0 * (idle - base) / base
+traced_pct = 100.0 * (traced - base) / base
+
+record = {
+    "date": datetime.date.today().isoformat(),
+    "benchmark": "perf_model_eval / BM_SimulatedCrcRun (median of 5)",
+    "baseline_ms": base,
+    "sink_idle_ms": idle,
+    "traced_ms": traced,
+    "disabled_overhead_pct": round(disabled_pct, 3),
+    "traced_overhead_pct": round(traced_pct, 3),
+    "tolerance_pct": tolerance,
+}
+os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+with open(out_path, "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+
+print(f"baseline {base:.3f} ms, sink-idle {idle:.3f} ms "
+      f"({disabled_pct:+.2f}%), traced {traced:.3f} ms "
+      f"({traced_pct:+.2f}%) -> {out_path}")
+if disabled_pct > tolerance:
+    sys.exit(f"FAIL: disabled-tracing overhead {disabled_pct:.2f}% "
+             f"exceeds {tolerance:.1f}%")
+print(f"OK: disabled-tracing overhead within {tolerance:.1f}%")
+PY

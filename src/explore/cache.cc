@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <mutex>
 
+#include "obs/trace.hh"
 #include "util/hash.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
@@ -307,16 +308,25 @@ ResultCache::lookup(const JobSpec &spec, std::uint64_t seed,
 {
     const std::uint64_t h = spec.hash();
     const std::string canonical = spec.canonical();
-    std::lock_guard<std::mutex> lock(mutex);
-    const auto [lo, hi] = entries.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-        if (it->second.seed == seed &&
-            it->second.canonical == canonical) {
-            out = it->second.result;
-            return true;
+    bool found = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto [lo, hi] = entries.equal_range(h);
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second.seed == seed &&
+                it->second.canonical == canonical) {
+                out = it->second.result;
+                found = true;
+                break;
+            }
         }
     }
-    return false;
+    if (obs::traceEnabled(obs::Category::Cache)) {
+        obs::trace().instant(obs::Category::Cache,
+                             found ? "cache:lookup-hit"
+                                   : "cache:lookup-miss");
+    }
+    return found;
 }
 
 void
@@ -324,6 +334,8 @@ ResultCache::store(const JobSpec &spec, std::uint64_t seed,
                    const JobResult &result)
 {
     const std::uint64_t h = spec.hash();
+    if (obs::traceEnabled(obs::Category::Cache))
+        obs::trace().instant(obs::Category::Cache, "cache:store");
     std::lock_guard<std::mutex> lock(mutex);
     entries.insert({h, Entry{spec.canonical(), seed, result}});
     if (appender.is_open()) {

@@ -16,6 +16,9 @@
 #define EH_STDERR_IS_TTY() (isatty(2) != 0)
 #endif
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/log.hh"
 #include "util/panic.hh"
 #include "util/table.hh"
 
@@ -111,10 +114,14 @@ Campaign::run(const Evaluator &eval)
     std::vector<JobResult> results(specs.size());
     std::vector<double> cellSeconds(specs.size(), 0.0);
     std::atomic<std::size_t> done{0}, executed{0}, hits{0};
+    std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> busyNanos{0};
     std::mutex progressMutex;
     Clock::time_point lastPrint = Clock::now();
-    const bool liveProgress = cfg.progress && EH_STDERR_IS_TTY();
+    // Progress rendering goes through eh::statusLine(), so --quiet (log
+    // level above Info) silences it along with every other status line.
+    const bool liveProgress = cfg.progress && EH_STDERR_IS_TTY() &&
+                              logLevel() <= LogLevel::Info;
     const unsigned attempts = cfg.maxAttempts > 0 ? cfg.maxAttempts : 1;
 
     const Rng master(cfg.seed);
@@ -153,6 +160,11 @@ Campaign::run(const Evaluator &eval)
                             std::memory_order_acq_rel)) {
                         continue; // worker finished just in time
                     }
+                    if (obs::traceEnabled(obs::Category::Campaign)) {
+                        obs::trace().instant(
+                            obs::Category::Campaign, "job-timeout",
+                            {{"index", static_cast<double>(i)}});
+                    }
                     JobResult verdict = JobResult::failure(
                         JobStatus::Timeout,
                         detail::concat("exceeded the ",
@@ -177,6 +189,11 @@ Campaign::run(const Evaluator &eval)
             // through known-bad cells again unless explicitly asked.
             result = std::move(cached);
             hits.fetch_add(1, std::memory_order_relaxed);
+            if (obs::traceEnabled(obs::Category::Cache)) {
+                obs::trace().instant(
+                    obs::Category::Cache, "cache:hit",
+                    {{"index", static_cast<double>(i)}});
+            }
         } else if (!cfg.retryFailed && quarantine.poisoned(spec)) {
             result = JobResult::failure(
                 JobStatus::Quarantined,
@@ -185,17 +202,40 @@ Campaign::run(const Evaluator &eval)
                                "--retry-failed to attempt it again"));
             if (!hit)
                 cache.store(spec, cfg.seed, result);
+            if (obs::traceEnabled(obs::Category::Campaign)) {
+                obs::trace().instant(
+                    obs::Category::Campaign, "quarantine-skip",
+                    {{"index", static_cast<double>(i)}});
+            }
         } else {
             CellState &cell = cells[i];
+            // Per-kind span name, interned once per executed job; the
+            // span itself is recorded after the attempt loop so retries
+            // stay inside it.
+            const bool traceJobs =
+                obs::traceEnabled(obs::Category::Campaign);
+            const char *jobName =
+                traceJobs ? obs::trace().intern("job:" + spec.kind())
+                          : nullptr;
+            const std::uint64_t traceStart =
+                traceJobs ? obs::trace().nowNanos() : 0;
             const auto t0 = Clock::now();
             cell.startNanos.store(nanosSinceEpoch(t0),
                                   std::memory_order_relaxed);
             cell.phase.store(CellRunning, std::memory_order_release);
             bool ok = false;
             std::string error;
+            unsigned attemptsUsed = 0;
             for (unsigned attempt = 0; attempt < attempts && !ok;
                  ++attempt) {
+                ++attemptsUsed;
                 if (attempt > 0) {
+                    if (obs::traceEnabled(obs::Category::Campaign)) {
+                        obs::trace().instant(
+                            obs::Category::Campaign, "retry",
+                            {{"index", static_cast<double>(i)},
+                             {"attempt", static_cast<double>(attempt)}});
+                    }
                     const unsigned shift =
                         attempt - 1 < 6 ? attempt - 1 : 6;
                     const unsigned pause = std::min(
@@ -228,11 +268,27 @@ Campaign::run(const Evaluator &eval)
                 static_cast<std::uint64_t>(seconds * 1e9),
                 std::memory_order_relaxed);
             executed.fetch_add(1, std::memory_order_relaxed);
+            if (attemptsUsed > 1)
+                retries.fetch_add(attemptsUsed - 1,
+                                  std::memory_order_relaxed);
+            if (traceJobs) {
+                obs::trace().span(
+                    obs::Category::Campaign, jobName, traceStart,
+                    obs::trace().nowNanos() - traceStart,
+                    {{"index", static_cast<double>(i)},
+                     {"attempts", static_cast<double>(attemptsUsed)},
+                     {"ok", ok ? 1.0 : 0.0}});
+            }
             int expected = CellRunning;
             if (!cell.phase.compare_exchange_strong(
                     expected, CellDone, std::memory_order_acq_rel)) {
                 // Timed out: the watchdog wrote the cell's record while
                 // we were still grinding. Drop our late result.
+                if (obs::traceEnabled(obs::Category::Campaign)) {
+                    obs::trace().instant(
+                        obs::Category::Campaign, "late-result-dropped",
+                        {{"index", static_cast<double>(i)}});
+                }
                 done.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
@@ -263,12 +319,12 @@ Campaign::run(const Evaluator &eval)
             rate > 0.0
                 ? static_cast<double>(specs.size() - finished) / rate
                 : 0.0;
-        std::fprintf(stderr,
-                     "\r[%s] %zu/%zu jobs (%zu cached) eta %.1fs   %s",
-                     cfg.name.c_str(), finished, specs.size(),
-                     hits.load(std::memory_order_relaxed), eta,
-                     last ? "\n" : "");
-        std::fflush(stderr);
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "[%s] %zu/%zu jobs (%zu cached) eta %.1fs",
+                      cfg.name.c_str(), finished, specs.size(),
+                      hits.load(std::memory_order_relaxed), eta);
+        statusLine(line, last);
     });
 
     if (watchdog.joinable()) {
@@ -313,6 +369,34 @@ Campaign::run(const Evaluator &eval)
               });
     if (lastReport.slowest.size() > 5)
         lastReport.slowest.resize(5);
+
+    // Metrics (docs/OBSERVABILITY.md). Counters and histograms carry
+    // only scheduling-independent quantities, so the deterministic
+    // snapshot is byte-identical at any --jobs value; wall times and
+    // steal counts go into gauges, which that snapshot omits. The
+    // histogram fills from the submission-ordered result vector, not
+    // from the workers, for the same reason.
+    auto &reg = obs::metrics();
+    reg.counter("campaign.jobs").add(lastReport.total);
+    reg.counter("campaign.executed").add(lastReport.executed);
+    reg.counter("campaign.cache_hits").add(lastReport.cacheHits);
+    reg.counter("campaign.failed").add(lastReport.failed);
+    reg.counter("campaign.timed_out").add(lastReport.timedOut);
+    reg.counter("campaign.quarantined").add(lastReport.quarantined);
+    reg.counter("campaign.retries").add(retries.load());
+    auto &resultBytes = reg.histogram("campaign.result_bytes");
+    for (const JobResult &r : results) {
+        std::uint64_t bytes = 0;
+        for (const auto &[key, value] : r.fields())
+            bytes += key.size() + value.size();
+        resultBytes.add(bytes);
+    }
+    std::uint64_t steals = 0;
+    for (const auto &w : lastReport.workers)
+        steals += w.steals;
+    reg.gauge("campaign.elapsed_seconds").add(lastReport.elapsedSeconds);
+    reg.gauge("campaign.busy_seconds").add(lastReport.busySeconds);
+    reg.gauge("pool.steals").add(static_cast<double>(steals));
     return results;
 }
 

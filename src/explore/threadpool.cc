@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/trace.hh"
 #include "util/panic.hh"
 
 namespace eh::explore {
@@ -136,9 +137,18 @@ ThreadPool::takeTask(unsigned id, std::size_t &task)
             }
         }
         if (stolen) {
-            std::lock_guard<std::mutex> lock(own.mutex);
-            ++own.stats.executed;
-            ++own.stats.steals;
+            {
+                std::lock_guard<std::mutex> lock(own.mutex);
+                ++own.stats.executed;
+                ++own.stats.steals;
+            }
+            if (obs::traceEnabled(obs::Category::Pool)) {
+                obs::trace().instant(
+                    obs::Category::Pool, "steal",
+                    {{"task", static_cast<double>(task)},
+                     {"victim", static_cast<double>(
+                                    (id + step) % workerCount)}});
+            }
             return true;
         }
     }
@@ -148,6 +158,9 @@ ThreadPool::takeTask(unsigned id, std::size_t &task)
 void
 ThreadPool::workerLoop(unsigned id)
 {
+    // Name the wall track up front so a trace enabled mid-run still
+    // shows "worker-N" rows (registering is idempotent and cheap).
+    obs::trace().setThreadName("worker-" + std::to_string(id));
     std::uint64_t seenEpoch = 0;
     for (;;) {
         const std::function<void(std::size_t)> *body = nullptr;

@@ -1,0 +1,235 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "util/panic.hh"
+
+namespace eh::obs {
+
+namespace {
+
+/** Wall tracks render under pid 1, virtual (cycle-clock) under pid 2. */
+constexpr int wallPid = 1;
+constexpr int virtualPid = 2;
+
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s) {
+        const char c = *s;
+        if (c == '"')
+            out += "\\\"";
+        else if (c == '\\')
+            out += "\\\\";
+        else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    return jsonEscape(s.c_str());
+}
+
+/** Timestamps: wall events ns -> us; virtual events 1 cycle = 1 us. */
+double
+toMicros(std::uint64_t t, bool virtualClock)
+{
+    return virtualClock ? static_cast<double>(t)
+                        : static_cast<double>(t) / 1000.0;
+}
+
+void
+writeArgs(std::ostream &out, const TraceEvent &e)
+{
+    out << "\"args\":{";
+    for (std::uint8_t i = 0; i < e.argCount; ++i) {
+        if (i)
+            out << ",";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", e.args[i].value);
+        out << "\"" << jsonEscape(e.args[i].key) << "\":" << buf;
+    }
+    out << "}";
+}
+
+void
+writeEventCommon(std::ostream &out, char ph, int pid, std::uint32_t tid,
+                 double ts)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", ts);
+    out << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"ts\":" << buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const TraceSnapshot &snapshot, std::ostream &out)
+{
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    // Metadata: process and track names.
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << wallPid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+           "\"workers (wall clock, us)\"}}";
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << virtualPid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+           "\"simulated devices (cycles)\"}}";
+    for (const TrackInfo &track : snapshot.tracks) {
+        sep();
+        out << "{\"ph\":\"M\",\"pid\":"
+            << (track.virtualClock ? virtualPid : wallPid)
+            << ",\"tid\":" << track.id
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            << jsonEscape(track.name) << "\"}}";
+    }
+    if (snapshot.dropped > 0) {
+        sep();
+        out << "{\"ph\":\"M\",\"pid\":" << wallPid
+            << ",\"tid\":0,\"name\":\"trace_dropped_events\",\"args\":"
+               "{\"count\":"
+            << snapshot.dropped << "}}";
+    }
+
+    // Partition events by track.
+    std::map<std::uint32_t, std::vector<const TraceEvent *>> spans;
+    std::map<std::uint32_t, std::vector<const TraceEvent *>> instants;
+    for (const TraceEvent &e : snapshot.events) {
+        if (e.kind == EventKind::Span)
+            spans[e.track].push_back(&e);
+        else
+            instants[e.track].push_back(&e);
+    }
+    auto trackInfo = [&](std::uint32_t id) -> const TrackInfo & {
+        // snapshot.tracks is indexed by id by construction.
+        EH_ASSERT(id < snapshot.tracks.size(),
+                  "trace event on unknown track");
+        return snapshot.tracks[id];
+    };
+
+    // Spans as properly nested B/E pairs, per track: sort by start
+    // (ties: longer span first, then recording order) and walk with a
+    // stack, closing every span that ends before the next one begins.
+    for (auto &[trackId, list] : spans) {
+        const TrackInfo &track = trackInfo(trackId);
+        const int pid = track.virtualClock ? virtualPid : wallPid;
+        std::sort(list.begin(), list.end(),
+                  [](const TraceEvent *a, const TraceEvent *b) {
+                      if (a->start != b->start)
+                          return a->start < b->start;
+                      if (a->dur != b->dur)
+                          return a->dur > b->dur;
+                      // Equal extent: later-recorded first. A parent
+                      // emitted after its children (period spans, RAII
+                      // scopes unwinding) must open before them.
+                      return a->seq > b->seq;
+                  });
+        std::vector<std::uint64_t> stack; ///< open spans' end times
+        auto close = [&](std::uint64_t end) {
+            writeEventCommon(out, 'E', pid, trackId,
+                             toMicros(end, track.virtualClock));
+            out << "}";
+            stack.pop_back();
+        };
+        for (const TraceEvent *e : list) {
+            while (!stack.empty() && stack.back() <= e->start) {
+                sep();
+                close(stack.back());
+            }
+            // A sibling overlapping its enclosing span would break
+            // nesting; truncate it (only reachable when repeated runs
+            // share one virtual track).
+            std::uint64_t end = e->start + e->dur;
+            if (!stack.empty() && end > stack.back())
+                end = stack.back();
+            sep();
+            writeEventCommon(out, 'B', pid, trackId,
+                             toMicros(e->start, track.virtualClock));
+            out << ",\"name\":\"" << jsonEscape(e->name)
+                << "\",\"cat\":\"" << categoryName(e->cat) << "\",";
+            writeArgs(out, *e);
+            out << "}";
+            stack.push_back(end);
+        }
+        while (!stack.empty()) {
+            sep();
+            close(stack.back());
+        }
+    }
+
+    // Instant events ('i', thread scope).
+    for (auto &[trackId, list] : instants) {
+        const TrackInfo &track = trackInfo(trackId);
+        const int pid = track.virtualClock ? virtualPid : wallPid;
+        std::sort(list.begin(), list.end(),
+                  [](const TraceEvent *a, const TraceEvent *b) {
+                      if (a->start != b->start)
+                          return a->start < b->start;
+                      return a->seq < b->seq;
+                  });
+        for (const TraceEvent *e : list) {
+            sep();
+            writeEventCommon(out, 'i', pid, trackId,
+                             toMicros(e->start, track.virtualClock));
+            out << ",\"s\":\"t\",\"name\":\"" << jsonEscape(e->name)
+                << "\",\"cat\":\"" << categoryName(e->cat) << "\",";
+            writeArgs(out, *e);
+            out << "}";
+        }
+    }
+
+    out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+writeChromeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatalf("cannot write trace file '", path, "'");
+    writeChromeTrace(TraceSink::instance().snapshot(), out);
+    if (!out.good())
+        fatalf("error while writing trace file '", path, "'");
+}
+
+void
+writeMetricsFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatalf("cannot write metrics file '", path, "'");
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        MetricsRegistry::global().writeCsv(out);
+    else
+        out << MetricsRegistry::global().toJson();
+    if (!out.good())
+        fatalf("error while writing metrics file '", path, "'");
+}
+
+} // namespace eh::obs

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace and metrics exporters (docs/OBSERVABILITY.md). The trace export
+ * writes Chrome trace-event JSON — loadable in Perfetto
+ * (https://ui.perfetto.dev) and chrome://tracing — with one track per
+ * worker thread (pid 1, wall-clock microseconds) and one track per
+ * simulated device timeline (pid 2, simulated cycles). Spans are
+ * emitted as B/E pairs that are properly nested per track by
+ * construction: overlapping spans (possible when repeated runs share a
+ * virtual track) are truncated to their enclosing span.
+ */
+
+#ifndef EH_OBS_EXPORT_HH
+#define EH_OBS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace eh::obs {
+
+/** Serialize a snapshot as Chrome trace-event JSON. */
+void writeChromeTrace(const TraceSnapshot &snapshot, std::ostream &out);
+
+/**
+ * Snapshot the global sink and write it to @p path.
+ * @throws FatalError when the file cannot be written.
+ */
+void writeChromeTraceFile(const std::string &path);
+
+/**
+ * Write the global metrics registry as JSON to @p path (".json") or as
+ * flat CSV when @p path ends in ".csv".
+ * @throws FatalError when the file cannot be written.
+ */
+void writeMetricsFile(const std::string &path);
+
+} // namespace eh::obs
+
+#endif // EH_OBS_EXPORT_HH

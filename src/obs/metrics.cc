@@ -1,0 +1,214 @@
+#include "obs/metrics.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace eh::obs {
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<HistogramMetric>();
+    return *slot;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Snapshot the other registry's names under its lock, then apply
+    // through the normal accessors (which take our lock) — never both
+    // locks at once, so cross-merges cannot deadlock.
+    std::vector<std::pair<std::string, std::uint64_t>> counts;
+    std::vector<std::pair<std::string, double>> gaugeVals;
+    std::vector<std::pair<std::string, Log2Histogram>> hists;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex);
+        for (const auto &[name, c] : other.counters)
+            counts.emplace_back(name, c->count());
+        for (const auto &[name, g] : other.gauges)
+            gaugeVals.emplace_back(name, g->get());
+        for (const auto &[name, h] : other.histograms)
+            hists.emplace_back(name, h->snapshot());
+    }
+    for (const auto &[name, v] : counts)
+        counter(name).add(v);
+    for (const auto &[name, v] : gaugeVals)
+        gauge(name).add(v);
+    for (const auto &[name, h] : hists) {
+        HistogramMetric &mine = histogram(name);
+        std::lock_guard<std::mutex> lock(mine.mutex);
+        mine.hist.merge(h);
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+}
+
+namespace {
+
+/** Round-trip double formatting, deterministic across platforms. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+histogramJson(const Log2Histogram &h)
+{
+    std::ostringstream oss;
+    oss << "{\"count\":" << h.total() << ",\"sum\":" << h.sum()
+        << ",\"p50\":" << fmtDouble(h.quantile(0.50))
+        << ",\"p95\":" << fmtDouble(h.quantile(0.95))
+        << ",\"p99\":" << fmtDouble(h.quantile(0.99)) << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < Log2Histogram::bucketCount; ++b) {
+        if (h.bucket(b) == 0)
+            continue;
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "[" << Log2Histogram::bucketLo(b) << ","
+            << Log2Histogram::bucketHi(b) << "," << h.bucket(b) << "]";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson(bool deterministicOnly) const
+{
+    // std::map iteration is already name-sorted; values use integer or
+    // round-trip formatting, so equal registries serialize identically.
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ostringstream oss;
+    oss << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        oss << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+            << "\": " << c->count();
+        first = false;
+    }
+    oss << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        oss << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+            << "\": " << histogramJson(h->snapshot());
+        first = false;
+    }
+    oss << (first ? "" : "\n  ") << "}";
+    if (!deterministicOnly) {
+        oss << ",\n  \"gauges\": {";
+        first = true;
+        for (const auto &[name, g] : gauges) {
+            oss << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+                << "\": " << fmtDouble(g->get());
+            first = false;
+        }
+        oss << (first ? "" : "\n  ") << "}";
+    }
+    oss << "\n}\n";
+    return oss.str();
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    out << "name,kind,value\n";
+    for (const auto &[name, c] : counters)
+        out << name << ",counter," << c->count() << "\n";
+    for (const auto &[name, g] : gauges)
+        out << name << ",gauge," << fmtDouble(g->get()) << "\n";
+    for (const auto &[name, h] : histograms) {
+        const Log2Histogram snap = h->snapshot();
+        out << name << ".count,histogram," << snap.total() << "\n"
+            << name << ".sum,histogram," << snap.sum() << "\n"
+            << name << ".p50,histogram," << fmtDouble(snap.quantile(0.5))
+            << "\n"
+            << name << ".p95,histogram,"
+            << fmtDouble(snap.quantile(0.95)) << "\n"
+            << name << ".p99,histogram,"
+            << fmtDouble(snap.quantile(0.99)) << "\n";
+    }
+}
+
+} // namespace eh::obs

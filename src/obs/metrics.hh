@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Named-metric registry for the simulator and the exploration engine
+ * (docs/OBSERVABILITY.md): monotonic counters, point-in-time gauges and
+ * log2-bucketed histograms, addressable by name from any thread.
+ *
+ * Determinism contract: counters and histograms must only record
+ * quantities that are independent of scheduling — job counts, cache
+ * hits, byte sizes, retry tallies — so a registry snapshot is
+ * byte-identical between `--jobs 1` and `--jobs 8`. Anything that
+ * depends on timing or thread interleaving (wall seconds, steal counts,
+ * utilization) belongs in a gauge, which the deterministic snapshot
+ * excludes. merge() is commutative, so parallel reductions of
+ * per-worker registries are order-independent too.
+ */
+
+#ifndef EH_OBS_METRICS_HH
+#define EH_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace eh::obs {
+
+/** Monotonic counter. add() is thread-safe and wait-free. */
+class Counter
+{
+  public:
+    void add(std::uint64_t delta = 1)
+    {
+        value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const
+    {
+        return value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<std::uint64_t> value{0};
+};
+
+/** Last-write-wins gauge (timings, utilization — non-deterministic). */
+class Gauge
+{
+  public:
+    void set(double v) { value.store(v, std::memory_order_relaxed); }
+
+    /** Accumulate (for summed wall-times across workers). */
+    void add(double delta)
+    {
+        double cur = value.load(std::memory_order_relaxed);
+        while (!value.compare_exchange_weak(cur, cur + delta,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    double get() const { return value.load(std::memory_order_relaxed); }
+
+  private:
+    friend class MetricsRegistry;
+    std::atomic<double> value{0.0};
+};
+
+/** Thread-safe wrapper around util Log2Histogram. */
+class HistogramMetric
+{
+  public:
+    void add(std::uint64_t value)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        hist.add(value);
+    }
+
+    /** Copy out a consistent snapshot. */
+    Log2Histogram snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return hist;
+    }
+
+  private:
+    friend class MetricsRegistry;
+    mutable std::mutex mutex;
+    Log2Histogram hist;
+};
+
+/**
+ * The registry: named metrics created on first use. Returned references
+ * stay valid for the registry's lifetime, so hot paths can look a
+ * metric up once and hold the reference.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry (what --metrics-out snapshots). */
+    static MetricsRegistry &global();
+
+    /** Find-or-create. Name style: "layer.metric" ("campaign.jobs"). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HistogramMetric &histogram(const std::string &name);
+
+    /**
+     * Merge another registry into this one: counters and histograms
+     * add, gauges sum (the only merge that keeps "summed worker busy
+     * seconds" meaningful). Commutative in the deterministic sections.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Drop every metric (tests; between campaign phases). */
+    void clear();
+
+    /**
+     * JSON snapshot: {"counters":{...},"gauges":{...},"histograms":
+     * {...}} with names sorted and round-trip number formatting.
+     * @param deterministicOnly Omit the gauges section, leaving only
+     *        the scheduling-independent metrics (see file comment).
+     */
+    std::string toJson(bool deterministicOnly = false) const;
+
+    /** Flat CSV: name,kind,value (histograms flattened to quantiles). */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    mutable std::mutex mutex; ///< guards the maps, not metric updates
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms;
+};
+
+/** Convenience accessor for the global registry. */
+inline MetricsRegistry &
+metrics()
+{
+    return MetricsRegistry::global();
+}
+
+} // namespace eh::obs
+
+#endif // EH_OBS_METRICS_HH

@@ -1,0 +1,485 @@
+#include "obs/summary.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/panic.hh"
+#include "util/table.hh"
+
+namespace eh::obs {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string view of the input. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text_) : text(text_) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = value();
+        skipSpace();
+        if (pos != text.size())
+            fail("trailing content after the JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        fatalf("JSON parse error at byte ", pos, ": ", why);
+    }
+
+    void skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    char peek()
+    {
+        skipSpace();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    JsonValue value()
+    {
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+          case 'f':
+            return boolean();
+          case 'n':
+            return null();
+          default:
+            return number();
+        }
+    }
+
+    JsonValue object()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = string();
+            expect(':');
+            v.object.emplace_back(std::move(key.str), value());
+            const char c = peek();
+            ++pos;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue array()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(value());
+            const char c = peek();
+            ++pos;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue string()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    fail("unterminated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    v.str += e;
+                    break;
+                  case 'b':
+                    v.str += '\b';
+                    break;
+                  case 'f':
+                    v.str += '\f';
+                    break;
+                  case 'n':
+                    v.str += '\n';
+                    break;
+                  case 'r':
+                    v.str += '\r';
+                    break;
+                  case 't':
+                    v.str += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("bad hex digit in \\u escape");
+                    }
+                    // UTF-8 encode (surrogate pairs not recombined —
+                    // our own traces never emit them).
+                    if (code < 0x80) {
+                        v.str += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        v.str += static_cast<char>(0xC0 | (code >> 6));
+                        v.str +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        v.str += static_cast<char>(0xE0 | (code >> 12));
+                        v.str += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                        v.str +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape character");
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue boolean()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (text.compare(pos, 4, "true") == 0) {
+            v.boolean = true;
+            pos += 4;
+        } else if (text.compare(pos, 5, "false") == 0) {
+            v.boolean = false;
+            pos += 5;
+        } else {
+            fail("expected 'true' or 'false'");
+        }
+        return v;
+    }
+
+    JsonValue null()
+    {
+        if (text.compare(pos, 4, "null") != 0)
+            fail("expected 'null'");
+        pos += 4;
+        return JsonValue{};
+    }
+
+    JsonValue number()
+    {
+        const std::size_t begin = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+')) {
+            ++pos;
+        }
+        if (pos == begin)
+            fail("expected a value");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        char *end = nullptr;
+        v.number = std::strtod(text.c_str() + begin, &end);
+        if (end != text.c_str() + pos)
+            fail("malformed number");
+        return v;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+/** One open span on a track's validation stack. */
+struct OpenSpan
+{
+    std::string name;
+    double ts = 0.0;
+};
+
+std::string
+eventStr(const JsonValue &e, const std::string &key)
+{
+    const JsonValue *v = e.find(key);
+    return v && v->type == JsonValue::Type::String ? v->str
+                                                   : std::string();
+}
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+TraceCheck
+validateTrace(const JsonValue &root)
+{
+    TraceCheck check;
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || events->type != JsonValue::Type::Array) {
+        check.error = "missing 'traceEvents' array";
+        return check;
+    }
+    std::map<std::pair<int, int>, std::vector<OpenSpan>> stacks;
+    std::map<std::pair<int, int>, double> lastTs;
+    for (const JsonValue &e : events->array) {
+        if (e.type != JsonValue::Type::Object) {
+            check.error = "trace record is not an object";
+            return check;
+        }
+        ++check.events;
+        const std::string ph = eventStr(e, "ph");
+        if (ph == "M")
+            continue; // metadata carries no timeline structure
+        const JsonValue *pidV = e.find("pid");
+        const JsonValue *tidV = e.find("tid");
+        const JsonValue *tsV = e.find("ts");
+        if (!pidV || !tidV || !tsV) {
+            check.error = "event missing pid/tid/ts";
+            return check;
+        }
+        const std::pair<int, int> track{
+            static_cast<int>(pidV->num()),
+            static_cast<int>(tidV->num())};
+        const double ts = tsV->num();
+        auto &stack = stacks[track];
+        auto last = lastTs.find(track);
+        if (last != lastTs.end() && ph != "i" && ts < last->second) {
+            check.error = "timestamps regress on a track";
+            return check;
+        }
+        if (ph != "i")
+            lastTs[track] = ts;
+        if (ph == "B") {
+            stack.push_back(OpenSpan{eventStr(e, "name"), ts});
+        } else if (ph == "E") {
+            if (stack.empty()) {
+                check.error = "'E' with no open 'B' on its track";
+                return check;
+            }
+            if (ts < stack.back().ts) {
+                check.error = "span ends before it begins";
+                return check;
+            }
+            stack.pop_back();
+            ++check.spans;
+        } else if (ph == "i" || ph == "I") {
+            ++check.instants;
+        } else if (ph == "X") {
+            ++check.spans; // complete events carry their own duration
+        } else {
+            check.error = "unknown event phase '" + ph + "'";
+            return check;
+        }
+    }
+    for (const auto &[track, stack] : stacks) {
+        if (!stack.empty()) {
+            check.error = "unclosed span '" + stack.back().name + "'";
+            return check;
+        }
+    }
+    check.tracks = stacks.size();
+    check.ok = true;
+    return check;
+}
+
+std::string
+summarizeTrace(const JsonValue &root, std::size_t topSpans)
+{
+    struct NameStats
+    {
+        double total = 0.0; ///< us (wall) or cycles (virtual)
+        std::size_t count = 0;
+        double cycles = 0.0; ///< summed "cycles" args
+        double energy = 0.0; ///< summed "energy" args
+    };
+    struct TrackAccum
+    {
+        std::string name;
+        int pid = 0;
+        double busy = 0.0; ///< top-level span time
+        double first = 0.0;
+        double last = 0.0;
+        bool any = false;
+        std::vector<std::pair<std::string, double>> open;
+    };
+
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || events->type != JsonValue::Type::Array)
+        fatal("trace has no 'traceEvents' array");
+
+    std::map<std::pair<int, int>, TrackAccum> tracks;
+    std::map<std::string, NameStats> wallNames;
+    std::map<std::string, NameStats> phaseNames; ///< virtual (pid 2)
+
+    for (const JsonValue &e : events->array) {
+        const std::string ph = eventStr(e, "ph");
+        const int pid =
+            static_cast<int>(e.find("pid") ? e.find("pid")->num() : 0);
+        const int tid =
+            static_cast<int>(e.find("tid") ? e.find("tid")->num() : 0);
+        auto &track = tracks[{pid, tid}];
+        track.pid = pid;
+        if (ph == "M") {
+            if (eventStr(e, "name") == "thread_name") {
+                if (const JsonValue *args = e.find("args"))
+                    if (const JsonValue *n = args->find("name"))
+                        track.name = n->str;
+            }
+            continue;
+        }
+        const double ts = e.find("ts") ? e.find("ts")->num() : 0.0;
+        if (!track.any || ts < track.first)
+            track.first = ts;
+        if (!track.any || ts > track.last)
+            track.last = ts;
+        track.any = true;
+        if (ph == "B") {
+            track.open.emplace_back(eventStr(e, "name"), ts);
+            if (const JsonValue *args = e.find("args")) {
+                auto &names =
+                    pid == 2 ? phaseNames : wallNames;
+                NameStats &ns = names[eventStr(e, "name")];
+                if (const JsonValue *c = args->find("cycles"))
+                    ns.cycles += c->num();
+                if (const JsonValue *en = args->find("energy"))
+                    ns.energy += en->num();
+            }
+        } else if (ph == "E" && !track.open.empty()) {
+            const auto [name, began] = track.open.back();
+            track.open.pop_back();
+            const double dur = ts - began;
+            auto &names = pid == 2 ? phaseNames : wallNames;
+            NameStats &ns = names[name];
+            ns.total += dur;
+            ++ns.count;
+            // Only top-level spans count as "busy" so nested spans are
+            // not double-charged to utilization.
+            if (track.open.empty())
+                track.busy += dur;
+        }
+    }
+
+    std::ostringstream oss;
+
+    auto printTop = [&](const char *title,
+                        const std::map<std::string, NameStats> &names,
+                        const char *unit) {
+        if (names.empty())
+            return;
+        std::vector<std::pair<std::string, NameStats>> sorted(
+            names.begin(), names.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.total > b.second.total;
+                  });
+        if (sorted.size() > topSpans)
+            sorted.resize(topSpans);
+        oss << title << "\n";
+        Table t({"span", std::string("total ") + unit, "count",
+                 "cycles", "energy"});
+        for (const auto &[name, ns] : sorted) {
+            t.row({name, Table::num(ns.total, 1),
+                   std::to_string(ns.count), Table::num(ns.cycles, 0),
+                   Table::num(ns.energy, 2)});
+        }
+        t.print(oss);
+        oss << "\n";
+    };
+
+    printTop("Top wall-clock spans (workers):", wallNames, "us");
+    printTop("Simulated phase breakdown (cycles):", phaseNames,
+             "cycles");
+
+    bool anyWorker = false;
+    Table ut({"worker", "span (us)", "busy (us)", "utilization"});
+    for (const auto &[key, track] : tracks) {
+        if (track.pid != 1 || !track.any)
+            continue;
+        anyWorker = true;
+        const double span = track.last - track.first;
+        ut.row({track.name.empty()
+                    ? "tid " + std::to_string(key.second)
+                    : track.name,
+                Table::num(span, 1), Table::num(track.busy, 1),
+                span > 0.0 ? Table::pct(track.busy / span) : "-"});
+    }
+    if (anyWorker) {
+        oss << "Per-worker utilization (top-level span time / track "
+               "span):\n";
+        ut.print(oss);
+    }
+    return oss.str();
+}
+
+} // namespace eh::obs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-file reading: a small self-contained JSON parser (enough for
+ * the Chrome trace-event format the exporter writes, and for general
+ * well-formedness checking), a structural validator (every 'B' has a
+ * matching 'E', pairs properly nested per track, timestamps ordered),
+ * and the summaries behind the `eh_trace` tool: top spans by total
+ * time, phase-time breakdown of the simulated timelines, and
+ * per-worker utilization.
+ */
+
+#ifndef EH_OBS_SUMMARY_HH
+#define EH_OBS_SUMMARY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eh::obs {
+
+/** Minimal JSON value (null / bool / number / string / array / object). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** number, or @p fallback when not a Number. */
+    double num(double fallback = 0.0) const
+    {
+        return type == Type::Number ? number : fallback;
+    }
+};
+
+/**
+ * Parse a complete JSON document.
+ * @throws FatalError with position information on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+/** Structural verdict on one trace file. */
+struct TraceCheck
+{
+    bool ok = false;
+    std::string error;          ///< first violation, empty when ok
+    std::size_t events = 0;     ///< total trace records
+    std::size_t spans = 0;      ///< matched B/E pairs
+    std::size_t instants = 0;   ///< 'i' records
+    std::size_t tracks = 0;     ///< distinct (pid, tid) rows with events
+};
+
+/**
+ * Validate a parsed Chrome trace: a traceEvents array where, per
+ * (pid, tid) track, B/E events match up LIFO with non-decreasing
+ * timestamps and every span closes inside its parent.
+ */
+TraceCheck validateTrace(const JsonValue &root);
+
+/** Human-readable report for `eh_trace summary`. */
+std::string summarizeTrace(const JsonValue &root,
+                           std::size_t topSpans = 10);
+
+} // namespace eh::obs
+
+#endif // EH_OBS_SUMMARY_HH

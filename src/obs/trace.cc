@@ -1,0 +1,379 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/panic.hh"
+
+namespace eh::obs {
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Sim:
+        return "sim";
+      case Category::Policy:
+        return "policy";
+      case Category::Campaign:
+        return "campaign";
+      case Category::Pool:
+        return "pool";
+      case Category::Cache:
+        return "cache";
+      case Category::Fault:
+        return "fault";
+      case Category::Energy:
+        return "energy";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+parseCategories(const std::string &list)
+{
+    if (list.empty() || list == "all")
+        return allCategories;
+    std::uint32_t mask = 0;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        bool found = false;
+        for (std::uint32_t bit = 1; bit <= allCategories; bit <<= 1) {
+            const auto cat = static_cast<Category>(bit);
+            if (item == categoryName(cat)) {
+                mask |= bit;
+                found = true;
+                break;
+            }
+        }
+        if (item == "none")
+            found = true; // explicit empty selection
+        if (!found)
+            fatalf("unknown trace category '", item,
+                   "' (sim, policy, campaign, pool, cache, fault, "
+                   "energy, all, none)");
+    }
+    return mask;
+}
+
+/**
+ * One thread's event storage. Only the owning thread writes events and
+ * bumps head; snapshot() readers synchronize through the head's release
+ * store. Rings are owned by the sink and outlive their threads, so a
+ * worker that exits before export loses nothing.
+ */
+struct TraceSink::Ring
+{
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+    std::vector<TraceEvent> slots;
+    std::atomic<std::uint64_t> head{0}; ///< events ever pushed
+    std::string threadName;             ///< set via setThreadName()
+    std::uint64_t generation = 0;       ///< enable() epoch that made it
+};
+
+struct TraceSink::Impl
+{
+    std::mutex mutex; ///< guards everything below
+    std::vector<std::unique_ptr<Ring>> rings;
+    std::vector<std::string> virtualNames; ///< index = id - 1
+    std::unordered_map<std::string, std::uint32_t> virtualByName;
+    std::deque<std::string> internPool;
+    std::size_t ringCapacity = 1u << 15;
+    std::uint64_t generation = 0; ///< bumped by enable()
+    std::uint64_t epochNanos = 0;
+};
+
+TraceSink &
+TraceSink::instance()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+TraceSink::Impl &
+TraceSink::impl()
+{
+    static Impl theImpl;
+    return theImpl;
+}
+
+namespace {
+
+std::uint64_t
+steadyNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Atomic epoch published by enable() so nowNanos() stays lock-free. */
+std::atomic<std::uint64_t> traceEpoch{0};
+
+} // namespace
+
+void
+TraceSink::enable(std::uint32_t mask, std::size_t ringCapacity)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    // Start a fresh generation: existing rings are emptied (their
+    // thread_local pointers stay valid), virtual tracks reset.
+    ++im.generation;
+    im.ringCapacity = ringCapacity > 0 ? ringCapacity : 1;
+    for (auto &ring : im.rings) {
+        ring->slots.assign(im.ringCapacity, TraceEvent{});
+        ring->head.store(0, std::memory_order_release);
+        ring->generation = im.generation;
+    }
+    im.virtualNames.clear();
+    im.virtualByName.clear();
+    im.epochNanos = steadyNanos();
+    traceEpoch.store(im.epochNanos, std::memory_order_relaxed);
+    enabledMask.store(mask & allCategories, std::memory_order_release);
+}
+
+void
+TraceSink::disable()
+{
+    enabledMask.store(0, std::memory_order_release);
+}
+
+std::uint64_t
+TraceSink::nowNanos() const
+{
+    return steadyNanos() - traceEpoch.load(std::memory_order_relaxed);
+}
+
+TraceSink::Ring &
+TraceSink::myRing()
+{
+    thread_local Ring *mine = nullptr;
+    Impl &im = impl();
+    if (mine) {
+        // A new enable() generation resized the ring in place; nothing
+        // to re-register. (The pointer is stable for process life.)
+        return *mine;
+    }
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.rings.push_back(std::make_unique<Ring>(im.ringCapacity));
+    mine = im.rings.back().get();
+    mine->generation = im.generation;
+    return *mine;
+}
+
+void
+TraceSink::push(Ring &ring, const TraceEvent &event)
+{
+    const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+    TraceEvent slot = event;
+    slot.seq = head;
+    ring.slots[head % ring.slots.size()] = slot;
+    ring.head.store(head + 1, std::memory_order_release);
+}
+
+void
+TraceSink::record(std::uint32_t track, Category category, EventKind kind,
+                  const char *name, std::uint64_t start,
+                  std::uint64_t dur, const TraceArg *args,
+                  std::size_t argCount)
+{
+    if (!on(category))
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.start = start;
+    e.dur = dur;
+    e.cat = category;
+    e.track = track;
+    e.kind = kind;
+    const std::size_t n =
+        argCount < maxTraceArgs ? argCount : maxTraceArgs;
+    for (std::size_t i = 0; i < n; ++i)
+        e.args[e.argCount++] = args[i];
+    push(myRing(), e);
+}
+
+void
+TraceSink::span(Category category, const char *name, std::uint64_t start,
+                std::uint64_t dur, std::initializer_list<TraceArg> args)
+{
+    record(0, category, EventKind::Span, name, start, dur, args.begin(),
+           args.size());
+}
+
+void
+TraceSink::spanArgs(Category category, const char *name,
+                    std::uint64_t start, std::uint64_t dur,
+                    const TraceArg *args, std::size_t argCount)
+{
+    record(0, category, EventKind::Span, name, start, dur, args,
+           argCount);
+}
+
+void
+TraceSink::instant(Category category, const char *name,
+                   std::initializer_list<TraceArg> args)
+{
+    record(0, category, EventKind::Instant, name, nowNanos(), 0,
+           args.begin(), args.size());
+}
+
+void
+TraceSink::spanTicks(std::uint32_t track, Category category,
+                     const char *name, std::uint64_t startTicks,
+                     std::uint64_t durTicks,
+                     std::initializer_list<TraceArg> args)
+{
+    if (track == 0)
+        return; // virtualTrack() declined (tracing off at creation)
+    record(track, category, EventKind::Span, name, startTicks, durTicks,
+           args.begin(), args.size());
+}
+
+void
+TraceSink::instantTicks(std::uint32_t track, Category category,
+                        const char *name, std::uint64_t ticks,
+                        std::initializer_list<TraceArg> args)
+{
+    if (track == 0)
+        return;
+    record(track, category, EventKind::Instant, name, ticks, 0,
+           args.begin(), args.size());
+}
+
+std::uint32_t
+TraceSink::virtualTrack(const std::string &name)
+{
+    if (mask() == 0)
+        return 0;
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    auto it = im.virtualByName.find(name);
+    if (it != im.virtualByName.end())
+        return it->second;
+    if (im.virtualNames.size() >= maxVirtualTracks) {
+        // Shared catch-all so long loops stay bounded; the exporter
+        // keeps the trace structurally valid regardless.
+        auto overflow = im.virtualByName.find("overflow");
+        if (overflow != im.virtualByName.end())
+            return overflow->second;
+        im.virtualNames.push_back("overflow");
+        const auto id =
+            static_cast<std::uint32_t>(im.virtualNames.size());
+        im.virtualByName.emplace("overflow", id);
+        return id;
+    }
+    im.virtualNames.push_back(name);
+    const auto id = static_cast<std::uint32_t>(im.virtualNames.size());
+    im.virtualByName.emplace(name, id);
+    return id;
+}
+
+void
+TraceSink::setThreadName(const std::string &name)
+{
+    if (mask() == 0)
+        return; // don't allocate a ring for an untraced thread
+    Ring &ring = myRing();
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    ring.threadName = name;
+}
+
+const char *
+TraceSink::intern(const std::string &s)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.internPool.push_back(s);
+    return im.internPool.back().c_str();
+}
+
+TraceSnapshot
+TraceSink::snapshot()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    TraceSnapshot snap;
+    snap.epochNanos = im.epochNanos;
+
+    // Final id space: wall tracks take 0..W-1 (ring registration
+    // order); virtual track v (1-based in events) maps to W + v - 1.
+    const auto wallTracks = static_cast<std::uint32_t>(im.rings.size());
+    for (std::uint32_t w = 0; w < wallTracks; ++w) {
+        TrackInfo info;
+        info.id = w;
+        info.name = !im.rings[w]->threadName.empty()
+                        ? im.rings[w]->threadName
+                        : "thread-" + std::to_string(w);
+        info.virtualClock = false;
+        snap.tracks.push_back(info);
+    }
+    for (std::size_t i = 0; i < im.virtualNames.size(); ++i) {
+        TrackInfo info;
+        info.id = wallTracks + static_cast<std::uint32_t>(i);
+        info.name = im.virtualNames[i];
+        info.virtualClock = true;
+        snap.tracks.push_back(info);
+    }
+
+    for (std::uint32_t w = 0; w < wallTracks; ++w) {
+        const Ring &ring = *im.rings[w];
+        if (ring.generation != im.generation)
+            continue; // registered under an older enable(); no events
+        const std::uint64_t head =
+            ring.head.load(std::memory_order_acquire);
+        const std::uint64_t capacity = ring.slots.size();
+        const std::uint64_t kept = head < capacity ? head : capacity;
+        snap.dropped += head - kept;
+        for (std::uint64_t i = head - kept; i < head; ++i) {
+            TraceEvent e = ring.slots[i % capacity];
+            e.track = e.track == 0 ? w : wallTracks + e.track - 1;
+            snap.events.push_back(e);
+        }
+    }
+    return snap;
+}
+
+TraceScope::TraceScope(Category category, const char *name_,
+                       std::initializer_list<TraceArg> args_)
+    : active(traceEnabled(category)), cat(category), name(name_)
+{
+    if (!active)
+        return;
+    for (const TraceArg &a : args_) {
+        if (argCount >= maxTraceArgs)
+            break;
+        args[argCount++] = a;
+    }
+    start = TraceSink::instance().nowNanos();
+}
+
+void
+TraceScope::arg(const char *key, double value)
+{
+    if (!active || argCount >= maxTraceArgs)
+        return;
+    args[argCount++] = TraceArg{key, value};
+}
+
+TraceScope::~TraceScope()
+{
+    if (!active)
+        return;
+    TraceSink &sink = TraceSink::instance();
+    const std::uint64_t dur = sink.nowNanos() - start;
+    sink.spanArgs(cat, name, start, dur, args, argCount);
+}
+
+} // namespace eh::obs

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Low-overhead tracing for the simulator and the exploration engine
+ * (docs/OBSERVABILITY.md). Instrumentation sites create scoped spans or
+ * instant events tagged with a category; events land in a per-thread
+ * ring buffer (owner-thread writes only, no locks on the hot path) and
+ * are exported afterwards as Chrome-trace / Perfetto JSON.
+ *
+ * Tracing is disabled by default: every emission site first tests one
+ * relaxed atomic category mask, so the no-op path is a load, a mask and
+ * a branch — no allocation, no clock read, no lock.
+ *
+ * Two clock domains coexist:
+ *  - wall tracks: one per OS thread (campaign workers), timestamped
+ *    with the steady clock in nanoseconds;
+ *  - virtual tracks: one per simulated device timeline, timestamped in
+ *    simulated cycles, so a Simulator::run() lays out its
+ *    progress/backup/restore/dead phases on its own row.
+ */
+
+#ifndef EH_OBS_TRACE_HH
+#define EH_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eh::obs {
+
+/** Event categories, selectable at runtime (--trace-categories). */
+enum class Category : std::uint32_t
+{
+    Sim = 1u << 0,      ///< simulator phase timeline (virtual tracks)
+    Policy = 1u << 1,   ///< backup/restore decision points
+    Campaign = 1u << 2, ///< job lifecycle in explore::Campaign
+    Pool = 1u << 3,     ///< thread-pool batches and steals
+    Cache = 1u << 4,    ///< result-cache hits and misses
+    Fault = 1u << 5,    ///< injected faults and recovery actions
+    Energy = 1u << 6,   ///< supply/meter events
+};
+
+/** Mask selecting every category. */
+constexpr std::uint32_t allCategories = 0x7f;
+
+/** Stable lowercase category name ("sim", "campaign", ...). */
+const char *categoryName(Category category);
+
+/**
+ * Parse a comma-separated category list ("sim,campaign", "all").
+ * @throws FatalError on an unknown category name.
+ */
+std::uint32_t parseCategories(const std::string &list);
+
+/** One named numeric event argument. Keys must be static strings. */
+struct TraceArg
+{
+    const char *key;
+    double value;
+};
+
+/** Maximum arguments one event can carry (fixed, allocation-free). */
+constexpr std::size_t maxTraceArgs = 6;
+
+/** What an event slot records. */
+enum class EventKind : std::uint8_t
+{
+    Span,    ///< duration event (exported as a B/E pair)
+    Instant, ///< point event
+};
+
+/** One recorded event. POD; lives in the per-thread ring. */
+struct TraceEvent
+{
+    const char *name = nullptr; ///< static or interned string
+    std::uint64_t start = 0;    ///< ns (wall) or cycles (virtual)
+    std::uint64_t dur = 0;      ///< 0 for instants
+    std::uint64_t seq = 0;      ///< per-ring monotonic tiebreaker
+    Category cat = Category::Sim;
+    std::uint32_t track = 0;    ///< 0 = owning wall track, else virtual id
+    EventKind kind = EventKind::Span;
+    std::uint8_t argCount = 0;
+    TraceArg args[maxTraceArgs] = {};
+};
+
+/** Snapshot of one track's identity for the exporter. */
+struct TrackInfo
+{
+    std::uint32_t id = 0;     ///< 0..N-1 wall tracks, then virtual ids
+    std::string name;         ///< "worker-0", "sim:crc/clank", ...
+    bool virtualClock = false;///< cycles instead of nanoseconds
+};
+
+/** Everything an export needs: events plus track identities. */
+struct TraceSnapshot
+{
+    std::vector<TraceEvent> events;  ///< all rings, unordered
+    std::vector<TrackInfo> tracks;   ///< wall + virtual tracks
+    std::uint64_t dropped = 0;       ///< events lost to ring wraparound
+    std::uint64_t epochNanos = 0;    ///< steady-clock origin of ts 0
+};
+
+/**
+ * The process-wide trace facility. All methods are safe to call from
+ * any thread; record() never blocks (it writes the caller's own ring).
+ */
+class TraceSink
+{
+  public:
+    static TraceSink &instance();
+
+    /**
+     * Turn tracing on for the categories in @p mask. Existing events
+     * are cleared and the timestamp epoch resets to "now".
+     * @param ringCapacity Events retained per thread; older events are
+     *        overwritten (and counted as dropped) once a ring is full.
+     */
+    void enable(std::uint32_t mask = allCategories,
+                std::size_t ringCapacity = 1u << 15);
+
+    /** Turn tracing off. Recorded events remain until enable(). */
+    void disable();
+
+    /** Currently enabled category mask (0 when disabled). */
+    std::uint32_t mask() const
+    {
+        return enabledMask.load(std::memory_order_relaxed);
+    }
+
+    /** True when @p category is being recorded. */
+    bool on(Category category) const
+    {
+        return (mask() & static_cast<std::uint32_t>(category)) != 0;
+    }
+
+    /** Nanoseconds since the enable() epoch (steady clock). */
+    std::uint64_t nowNanos() const;
+
+    /** Record a wall-clock span on the calling thread's track. */
+    void span(Category category, const char *name, std::uint64_t start,
+              std::uint64_t dur, std::initializer_list<TraceArg> args = {});
+
+    /** span() with an explicit argument array (for TraceScope). */
+    void spanArgs(Category category, const char *name,
+                  std::uint64_t start, std::uint64_t dur,
+                  const TraceArg *args, std::size_t argCount);
+
+    /** Record a wall-clock instant on the calling thread's track. */
+    void instant(Category category, const char *name,
+                 std::initializer_list<TraceArg> args = {});
+
+    /** Record a span on a virtual (simulated-cycles) track. */
+    void spanTicks(std::uint32_t track, Category category,
+                   const char *name, std::uint64_t startTicks,
+                   std::uint64_t durTicks,
+                   std::initializer_list<TraceArg> args = {});
+
+    /** Record an instant on a virtual track. */
+    void instantTicks(std::uint32_t track, Category category,
+                      const char *name, std::uint64_t ticks,
+                      std::initializer_list<TraceArg> args = {});
+
+    /**
+     * Register (or look up) a virtual track by name. Equal names share
+     * one track; at most @ref maxVirtualTracks distinct names are kept,
+     * after which everything lands on a shared "overflow" track, so a
+     * long benchmark loop cannot grow the registry without bound.
+     * Returns 0 — meaning "don't trace" — when tracing is disabled.
+     */
+    std::uint32_t virtualTrack(const std::string &name);
+
+    /** Name the calling thread's wall track ("worker-3"). */
+    void setThreadName(const std::string &name);
+
+    /**
+     * Copy a static-lifetime version of @p s for use as an event name.
+     * Interned strings live until process exit; intended for names that
+     * are constructed once per job or per run, not per event.
+     */
+    const char *intern(const std::string &s);
+
+    /** Snapshot everything recorded so far (any thread; takes locks). */
+    TraceSnapshot snapshot();
+
+    /** Distinct virtual-track cap (shared overflow track beyond it). */
+    static constexpr std::size_t maxVirtualTracks = 512;
+
+  private:
+    TraceSink() = default;
+    struct Ring;
+
+    Ring &myRing();
+    void push(Ring &ring, const TraceEvent &event);
+    void record(std::uint32_t track, Category category, EventKind kind,
+                const char *name, std::uint64_t start, std::uint64_t dur,
+                const TraceArg *args, std::size_t argCount);
+
+    std::atomic<std::uint32_t> enabledMask{0};
+    struct Impl;
+    Impl &impl();
+};
+
+/** Convenience accessor for the global sink. */
+inline TraceSink &
+trace()
+{
+    return TraceSink::instance();
+}
+
+/** True when @p category is currently traced. */
+inline bool
+traceEnabled(Category category)
+{
+    return TraceSink::instance().on(category);
+}
+
+/**
+ * RAII wall-clock span: records [construction, destruction) on the
+ * calling thread's track. When the category is disabled at
+ * construction the object is inert (a bool and a branch).
+ */
+class TraceScope
+{
+  public:
+    TraceScope(Category category, const char *name,
+               std::initializer_list<TraceArg> args = {});
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Attach one more argument (silently dropped past maxTraceArgs). */
+    void arg(const char *key, double value);
+
+    ~TraceScope();
+
+  private:
+    bool active;
+    Category cat;
+    const char *name;
+    std::uint64_t start = 0;
+    std::uint8_t argCount = 0;
+    TraceArg args[maxTraceArgs] = {};
+};
+
+} // namespace eh::obs
+
+#endif // EH_OBS_TRACE_HH

@@ -1,5 +1,7 @@
 #include "runtime/clank.hh"
 
+#include "obs/trace.hh"
+
 namespace eh::runtime {
 
 Clank::Clank(const ClankConfig &config)
@@ -20,6 +22,12 @@ Clank::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
     // Watchdog: fires even when the code stays idempotent (e.g. long
     // store-free stretches).
     if (detector.cyclesSinceBackup() >= detector.watchdogPeriod()) {
+        if (obs::traceEnabled(obs::Category::Policy)) {
+            obs::trace().instant(
+                obs::Category::Policy, "clank:watchdog-backup",
+                {{"cycles_since_backup",
+                  static_cast<double>(detector.cyclesSinceBackup())}});
+        }
         d.action = PolicyAction::Backup;
         d.reason = arch::BackupTrigger::Watchdog;
         return d;
@@ -33,6 +41,12 @@ Clank::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
             peek.isStore ? detector.onStore(peek.addr, peek.bytes)
                          : detector.onLoad(peek.addr, peek.bytes);
         if (trigger != arch::BackupTrigger::None) {
+            if (obs::traceEnabled(obs::Category::Policy)) {
+                obs::trace().instant(
+                    obs::Category::Policy, "clank:violation-backup",
+                    {{"addr", static_cast<double>(peek.addr)},
+                     {"store", peek.isStore ? 1.0 : 0.0}});
+            }
             d.action = PolicyAction::Backup;
             d.reason = trigger;
         }

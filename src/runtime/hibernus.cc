@@ -1,5 +1,6 @@
 #include "runtime/hibernus.hh"
 
+#include "obs/trace.hh"
 #include "util/panic.hh"
 
 namespace eh::runtime {
@@ -31,6 +32,12 @@ Hibernus::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
     d.monitorCycles = cfg.adcCycles;
     d.monitorEnergy = cfg.adcEnergy;
     if (supply.fraction() < cfg.backupThreshold) {
+        if (obs::traceEnabled(obs::Category::Policy)) {
+            obs::trace().instant(
+                obs::Category::Policy, "hibernus:threshold-backup",
+                {{"supply_fraction", supply.fraction()},
+                 {"threshold", cfg.backupThreshold}});
+        }
         d.action = PolicyAction::BackupAndSleep;
         d.reason = arch::BackupTrigger::None;
     }

@@ -1,5 +1,6 @@
 #include "runtime/watchdog.hh"
 
+#include "obs/trace.hh"
 #include "util/panic.hh"
 
 namespace eh::runtime {
@@ -19,6 +20,12 @@ Watchdog::beforeStep(const arch::Cpu &cpu, const arch::MemPeek &peek,
     (void)supply;
     PolicyDecision d;
     if (sinceBackup >= cfg.periodCycles) {
+        if (obs::traceEnabled(obs::Category::Policy)) {
+            obs::trace().instant(
+                obs::Category::Policy, "watchdog:period-backup",
+                {{"cycles_since_backup",
+                  static_cast<double>(sinceBackup)}});
+        }
         d.action = PolicyAction::Backup;
         d.reason = arch::BackupTrigger::Watchdog;
     }

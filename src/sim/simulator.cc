@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "fault/injector.hh"
+#include "obs/trace.hh"
 #include "util/crc.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
@@ -200,8 +201,50 @@ Simulator::view() const
 }
 
 void
+Simulator::traceFlushChunk(const char *fate)
+{
+    const std::uint64_t total = chunkExecCycles + chunkMonCycles;
+    if (traceTrack == 0 || total == 0)
+        return;
+    obs::trace().spanTicks(
+        traceTrack, obs::Category::Sim, fate, chunkStart, total,
+        {{"cycles", static_cast<double>(chunkExecCycles)},
+         {"energy", chunkExecEnergy},
+         {"monitor_cycles", static_cast<double>(chunkMonCycles)},
+         {"monitor_energy", chunkMonEnergy}});
+    chunkExecCycles = 0;
+    chunkMonCycles = 0;
+    chunkExecEnergy = 0.0;
+    chunkMonEnergy = 0.0;
+    chunkStart = vnow;
+}
+
+void
+Simulator::tracePhaseSpan(const char *name, std::uint64_t cycles,
+                          double energy, std::uint64_t bytes)
+{
+    if (traceTrack == 0 || cycles == 0)
+        return;
+    // Callers advance vnow past the phase first; the span ends at vnow.
+    obs::trace().spanTicks(traceTrack, obs::Category::Sim, name,
+                           vnow - cycles, cycles,
+                           {{"cycles", static_cast<double>(cycles)},
+                            {"energy", energy},
+                            {"bytes", static_cast<double>(bytes)}});
+    if (chunkExecCycles + chunkMonCycles == 0)
+        chunkStart = vnow;
+}
+
+void
 Simulator::handlePowerFailure()
 {
+    if (traceTrack != 0) {
+        traceFlushChunk("dead");
+        obs::trace().instantTicks(
+            traceTrack, obs::Category::Sim, "power-failure", vnow,
+            {{"uncommitted_cycles",
+              static_cast<double>(stats.meter.uncommittedCycles())}});
+    }
     stats.tauD.add(static_cast<double>(stats.meter.uncommittedCycles()));
     stats.meter.discard();
     ++stats.powerFailures;
@@ -230,6 +273,13 @@ Simulator::chargeMonitorOverhead(const runtime::PolicyDecision &d)
     const double spent = consumeTracked(d.monitorEnergy, cycles, ok);
     periodEnergyConsumed += spent;
     stats.meter.add(energy::Phase::Monitor, cycles, spent);
+    if (traceTrack != 0) {
+        if (chunkExecCycles + chunkMonCycles == 0)
+            chunkStart = vnow;
+        chunkMonCycles += cycles;
+        chunkMonEnergy += spent;
+        vnow += cycles;
+    }
     if (!ok) {
         handlePowerFailure();
         return ActionStatus::BrownOut;
@@ -344,6 +394,13 @@ Simulator::doBackup(arch::BackupTrigger reason)
             stats.meter.add(energy::Phase::Backup, ran, spent);
             ++stats.failedBackups;
             stats.failedBackupEnergy += spent;
+            if (traceTrack != 0) {
+                vnow += ran;
+                tracePhaseSpan("backup-failed", ran, spent, charged);
+                obs::trace().instantTicks(traceTrack,
+                                          obs::Category::Fault,
+                                          "fault:backup", vnow);
+            }
 
             const auto image = buildSlotImage(payload_len, backupSeq + 1);
             const auto torn = static_cast<std::size_t>(
@@ -359,6 +416,11 @@ Simulator::doBackup(arch::BackupTrigger reason)
     const double spent = consumeTracked(wcost.energy, cycles, ok);
     periodEnergyConsumed += spent;
     stats.meter.add(energy::Phase::Backup, cycles, spent);
+    if (traceTrack != 0) {
+        vnow += cycles;
+        if (!ok)
+            tracePhaseSpan("backup-failed", cycles, spent, charged);
+    }
     if (!ok) {
         ++stats.failedBackups;
         stats.failedBackupEnergy += spent;
@@ -386,16 +448,18 @@ Simulator::doBackup(arch::BackupTrigger reason)
         // Power failure exactly at the selector flip: the slot is fully
         // written but the commit point itself is interrupted. The word
         // either keeps its old value or is torn into garbage.
-        switch (inj->selectorFlipFailure()) {
-          case fault::SelectorFlipFault::None:
-            break;
-          case fault::SelectorFlipFault::BeforeFlip:
+        const auto flip = inj->selectorFlipFailure();
+        if (flip != fault::SelectorFlipFault::None) {
+            if (flip == fault::SelectorFlipFault::TornWrite)
+                mem_.nvm().store32(selectorAddr,
+                                   inj->tornSelectorValue());
             ++stats.failedBackups;
-            handlePowerFailure();
-            return ActionStatus::BrownOut;
-          case fault::SelectorFlipFault::TornWrite:
-            mem_.nvm().store32(selectorAddr, inj->tornSelectorValue());
-            ++stats.failedBackups;
+            if (traceTrack != 0) {
+                tracePhaseSpan("backup-failed", cycles, spent, charged);
+                obs::trace().instantTicks(traceTrack,
+                                          obs::Category::Fault,
+                                          "fault:selector", vnow);
+            }
             handlePowerFailure();
             return ActionStatus::BrownOut;
         }
@@ -419,6 +483,12 @@ Simulator::doBackup(arch::BackupTrigger reason)
     }
     stats.backupBytes.add(static_cast<double>(charged));
     stats.meter.commit();
+    if (traceTrack != 0) {
+        // Execution since the previous commit point survives: flush it
+        // as "progress", then lay the backup span after it.
+        traceFlushChunk("progress");
+        tracePhaseSpan("backup", cycles, spent, charged);
+    }
     cyclesSinceBackup = 0;
     pol.onBackupCommitted(view());
     return ActionStatus::Ok;
@@ -437,6 +507,9 @@ Simulator::restartFromScratch()
     // hazard the torture suite actually caught. Wiping also clears both
     // checkpoint slots and the selector word.
     ++stats.restartsFromScratch;
+    if (traceTrack != 0)
+        obs::trace().instantTicks(traceTrack, obs::Category::Sim,
+                                  "restart-from-scratch", vnow);
     mem_.nvm().wipe();
     activeSlot = 0;
     cpu_.reset();
@@ -453,6 +526,11 @@ Simulator::doRestore()
          ++attempt) {
         if (inj && inj->transientRestoreFault()) {
             ++stats.transientRestoreFaults;
+            if (traceTrack != 0)
+                obs::trace().instantTicks(traceTrack,
+                                          obs::Category::Fault,
+                                          "fault:restore-transient",
+                                          vnow);
             pol.onRestoreFailed();
             continue;
         }
@@ -493,6 +571,9 @@ Simulator::restoreAttempt()
         // application state lives in NVM would replay against mutated
         // data, so they restart instead.
         ++stats.corruptionsDetected;
+        if (traceTrack != 0)
+            obs::trace().instantTicks(traceTrack, obs::Category::Fault,
+                                      "checkpoint-corrupt", vnow);
         pol.onRestoreFailed();
         const std::uint32_t other = selector == 1 ? 2 : 1;
         if (pol.savesVolatilePayload() && slotValid(other)) {
@@ -513,6 +594,9 @@ Simulator::restoreAttempt()
         // cannot survive (their one-generation re-execution guarantee
         // does not cover older checkpoints); they restart instead.
         ++stats.corruptionsDetected;
+        if (traceTrack != 0)
+            obs::trace().instantTicks(traceTrack, obs::Category::Fault,
+                                      "checkpoint-corrupt", vnow);
         pol.onRestoreFailed();
         const std::uint32_t newest = newestValidSlot();
         if (newest != 0 && (pol.savesVolatilePayload() ||
@@ -560,6 +644,13 @@ Simulator::restoreFromSlot(std::uint32_t slot, bool fallback,
             periodEnergyConsumed += spent;
             stats.meter.add(energy::Phase::Restore, ran, spent);
             ++stats.failedRestores;
+            if (traceTrack != 0) {
+                vnow += ran;
+                tracePhaseSpan("restore-failed", ran, spent, charged);
+                obs::trace().instantTicks(traceTrack,
+                                          obs::Category::Fault,
+                                          "fault:restore", vnow);
+            }
             handlePowerFailure();
             return ActionStatus::BrownOut;
         }
@@ -569,6 +660,11 @@ Simulator::restoreFromSlot(std::uint32_t slot, bool fallback,
     const double spent = consumeTracked(rcost.energy, cycles, ok);
     periodEnergyConsumed += spent;
     stats.meter.add(energy::Phase::Restore, cycles, spent);
+    if (traceTrack != 0) {
+        vnow += cycles;
+        tracePhaseSpan(ok ? "restore" : "restore-failed", cycles, spent,
+                       charged);
+    }
     if (!ok) {
         ++stats.failedRestores;
         handlePowerFailure();
@@ -613,6 +709,33 @@ Simulator::run()
     backupAttempts = 0;
     cpu_.applyMemInits();
 
+    // One virtual trace track per (workload, policy) timeline; 0 when
+    // the "sim" category is off, which short-circuits every emission.
+    traceTrack =
+        obs::traceEnabled(obs::Category::Sim)
+            ? obs::trace().virtualTrack("sim:" + prog.name + "/" +
+                                        pol.name())
+            : 0;
+    vnow = 0;
+    chunkStart = 0;
+    chunkExecCycles = 0;
+    chunkMonCycles = 0;
+    chunkExecEnergy = 0.0;
+    chunkMonEnergy = 0.0;
+    // The per-period span wraps restore/progress/backup/dead children;
+    // the exporter nests by containment, so emitting it last is fine.
+    const auto trace_period = [this](std::uint64_t start_tick,
+                                     std::uint64_t charge_cycles) {
+        if (traceTrack == 0 || vnow <= start_tick)
+            return;
+        obs::trace().spanTicks(
+            traceTrack, obs::Category::Sim, "period", start_tick,
+            vnow - start_tick,
+            {{"period", static_cast<double>(stats.periods)},
+             {"charge_cycles", static_cast<double>(charge_cycles)},
+             {"energy", periodEnergyConsumed}});
+    };
+
     bool starved = false;
     bool livelocked = false;
     // Consecutive active periods that committed zero Progress-phase
@@ -639,6 +762,7 @@ Simulator::run()
         stats.chargeCycles.add(static_cast<double>(charged));
         ++stats.periods;
         periodEnergyConsumed = 0.0;
+        const std::uint64_t period_start_tick = vnow;
         const auto progress_cycles_at_start =
             stats.meter.cycles(energy::Phase::Progress);
         const auto progress_energy_at_start =
@@ -646,6 +770,7 @@ Simulator::run()
 
         if (doRestore() != ActionStatus::Ok) {
             stats.periodEnergy.add(periodEnergyConsumed);
+            trace_period(period_start_tick, charged);
             // A period that died in restore committed nothing.
             if (note_zero_progress_period()) {
                 livelocked = true;
@@ -697,6 +822,10 @@ Simulator::run()
             if (inj &&
                 inj->failBeforeInstruction(lifetimeInstructions,
                                            lifetimeActiveCycles)) {
+                if (traceTrack != 0)
+                    obs::trace().instantTicks(traceTrack,
+                                              obs::Category::Fault,
+                                              "fault:power", vnow);
                 handlePowerFailure();
                 break;
             }
@@ -711,6 +840,13 @@ Simulator::run()
             periodEnergyConsumed += spent;
             stats.meter.addUncommitted(step.cycles, spent);
             cyclesSinceBackup += step.cycles;
+            if (traceTrack != 0) {
+                if (chunkExecCycles + chunkMonCycles == 0)
+                    chunkStart = vnow;
+                chunkExecCycles += step.cycles;
+                chunkExecEnergy += spent;
+                vnow += step.cycles;
+            }
             if (!ok) {
                 handlePowerFailure();
                 break;
@@ -743,6 +879,7 @@ Simulator::run()
             }
         }
         stats.periodEnergy.add(periodEnergyConsumed);
+        trace_period(period_start_tick, charged);
         const std::uint64_t committed_cycles =
             stats.meter.cycles(energy::Phase::Progress) -
             progress_cycles_at_start;
@@ -775,6 +912,12 @@ Simulator::run()
         stats.outcome = Outcome::Livelock;
     else
         stats.outcome = Outcome::GaveUp; // restart bound or period cap
+    if (traceTrack != 0) {
+        traceFlushChunk("dead"); // anything left never committed
+        obs::trace().instantTicks(
+            traceTrack, obs::Category::Sim, outcomeName(stats.outcome),
+            vnow, {{"periods", static_cast<double>(stats.periods)}});
+    }
     return stats;
 }
 

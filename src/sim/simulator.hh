@@ -277,6 +277,28 @@ class Simulator
     std::uint64_t lifetimeInstructions = 0;
     std::uint64_t lifetimeActiveCycles = 0;
     std::uint64_t backupAttempts = 0;
+
+    // --- Observability (docs/OBSERVABILITY.md) ----------------------
+    // When the "sim" trace category is enabled, run() lays its phases
+    // out on a virtual track whose clock is the simulated cycle count:
+    // one span per period containing restore/backup spans and
+    // progress/dead execution chunks, each carrying cycles and energy
+    // as arguments. traceTrack == 0 (tracing off) short-circuits every
+    // emission to a single branch.
+    std::uint32_t traceTrack = 0;
+    std::uint64_t vnow = 0;        ///< simulated-cycle trace clock
+    std::uint64_t chunkStart = 0;  ///< first tick of the open exec chunk
+    std::uint64_t chunkExecCycles = 0;
+    double chunkExecEnergy = 0.0;
+    std::uint64_t chunkMonCycles = 0;
+    double chunkMonEnergy = 0.0;
+
+    /** Emit the open execution chunk as @p fate ("progress"/"dead"). */
+    void traceFlushChunk(const char *fate);
+
+    /** Emit one backup/restore span of @p cycles ending at vnow. */
+    void tracePhaseSpan(const char *name, std::uint64_t cycles,
+                        double energy, std::uint64_t bytes);
 };
 
 /** Result of an uninterrupted reference execution. */

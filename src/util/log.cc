@@ -1,23 +1,42 @@
 #include "util/log.hh"
 
+#include <atomic>
+#include <mutex>
+
 namespace eh {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Info;
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+/**
+ * One mutex for every emission path. Campaign workers log concurrently;
+ * without it, partial lines from different threads interleave on
+ * stderr. Each message is composed into a single string first and
+ * written with one stream insertion while the lock is held.
+ */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** True while the last emission was an unterminated status line. */
+bool statusLineOpen = false; // guarded by emitMutex()
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -26,9 +45,35 @@ void
 emit(LogLevel level, const std::string &tag, const std::string &msg)
 {
     std::ostream &out = (level == LogLevel::Warn) ? std::cerr : std::cout;
-    out << "[" << tag << "] " << msg << "\n";
+    const std::string line = "[" + tag + "] " + msg + "\n";
+    std::lock_guard<std::mutex> lock(emitMutex());
+    if (statusLineOpen) {
+        // Finish the in-place status line so the message gets its own
+        // row instead of splicing into the progress display.
+        std::cerr << "\n";
+        statusLineOpen = false;
+    }
+    out << line;
 }
 
 } // namespace detail
+
+void
+statusLine(const std::string &text, bool done)
+{
+    if (static_cast<int>(LogLevel::Info) <
+        static_cast<int>(logLevel())) {
+        return; // --quiet silences progress like any Info message
+    }
+    std::lock_guard<std::mutex> lock(emitMutex());
+    std::cerr << "\r" << text;
+    if (done) {
+        std::cerr << "\n";
+        statusLineOpen = false;
+    } else {
+        statusLineOpen = true;
+    }
+    std::cerr.flush();
+}
 
 } // namespace eh

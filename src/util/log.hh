@@ -26,6 +26,14 @@ LogLevel logLevel();
 /** Set the global log threshold. */
 void setLogLevel(LogLevel level);
 
+/**
+ * In-place progress line (campaign ETA display): rewrites the current
+ * stderr row with `\r`, holding the same mutex as every log emission so
+ * concurrent messages never splice into it. Suppressed (like inform())
+ * when the log level is above Info. @p done terminates the line.
+ */
+void statusLine(const std::string &text, bool done = false);
+
 namespace detail {
 
 void emit(LogLevel level, const std::string &tag, const std::string &msg);

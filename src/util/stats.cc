@@ -141,6 +141,40 @@ Histogram::add(double x)
     ++n;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    EH_ASSERT(lo == other.lo && hi == other.hi &&
+                  counts.size() == other.counts.size(),
+              "histogram merge requires identical geometry");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    n += other.n;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    EH_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of range");
+    if (n == 0)
+        return lo;
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    // Rank of the requested quantile among n observations, 0-based.
+    const double rank = q * static_cast<double>(n - 1);
+    double below = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto c = static_cast<double>(counts[i]);
+        if (c > 0.0 && below + c > rank) {
+            // Interpolate within this bin by the fraction of its
+            // occupants below the rank.
+            const double frac = (rank - below) / c;
+            return lo + (static_cast<double>(i) + frac) * width;
+        }
+        below += c;
+    }
+    return hi; // rank beyond the last occupied bin (q == 1 edge)
+}
+
 std::size_t
 Histogram::binCount(std::size_t i) const
 {
@@ -154,6 +188,95 @@ Histogram::binCenter(std::size_t i) const
     EH_ASSERT(i < counts.size(), "histogram bin index out of range");
     const double width = (hi - lo) / static_cast<double>(counts.size());
     return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+namespace {
+
+/** Bit width of v: 0 for 0, else position of the highest set bit + 1. */
+std::size_t
+bitWidth(std::uint64_t v)
+{
+    std::size_t w = 0;
+    while (v != 0) {
+        v >>= 1;
+        ++w;
+    }
+    return w;
+}
+
+} // namespace
+
+void
+Log2Histogram::add(std::uint64_t value)
+{
+    ++buckets[bitWidth(value)];
+    ++n;
+    valueSum += value;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (std::size_t b = 0; b < bucketCount; ++b)
+        buckets[b] += other.buckets[b];
+    n += other.n;
+    valueSum += other.valueSum;
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t b) const
+{
+    EH_ASSERT(b < bucketCount, "log2 bucket index out of range");
+    return buckets[b];
+}
+
+std::uint64_t
+Log2Histogram::bucketLo(std::size_t b)
+{
+    EH_ASSERT(b < bucketCount, "log2 bucket index out of range");
+    if (b == 0)
+        return 0;
+    return 1ull << (b - 1);
+}
+
+std::uint64_t
+Log2Histogram::bucketHi(std::size_t b)
+{
+    EH_ASSERT(b < bucketCount, "log2 bucket index out of range");
+    if (b == 0)
+        return 0;
+    if (b == 64)
+        return ~0ull;
+    return (1ull << b) - 1;
+}
+
+double
+Log2Histogram::mean() const
+{
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(valueSum) / static_cast<double>(n);
+}
+
+double
+Log2Histogram::quantile(double q) const
+{
+    EH_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of range");
+    if (n == 0)
+        return 0.0;
+    const double rank = q * static_cast<double>(n - 1);
+    double below = 0.0;
+    for (std::size_t b = 0; b < bucketCount; ++b) {
+        const auto c = static_cast<double>(buckets[b]);
+        if (c > 0.0 && below + c > rank) {
+            const double frac = (rank - below) / c;
+            const auto lo = static_cast<double>(bucketLo(b));
+            const auto hi = static_cast<double>(bucketHi(b));
+            return lo + (hi - lo) * frac;
+        }
+        below += c;
+    }
+    return 0.0; // unreachable: ranks are covered by the buckets
 }
 
 } // namespace eh

@@ -9,7 +9,9 @@
 #ifndef EH_UTIL_STATS_HH
 #define EH_UTIL_STATS_HH
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace eh {
@@ -96,6 +98,21 @@ class Histogram
     /** Record one observation (clamped into the edge bins). */
     void add(double x);
 
+    /**
+     * Merge another histogram into this one (parallel reduction).
+     * Commutative and associative. Both histograms must share the same
+     * [lo, hi) range and bin count (asserted).
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Approximate quantile via linear interpolation inside the bin that
+     * crosses rank q. @p q in [0, 1]. The result is bounded by the
+     * containing bin's edges, so the error is at most one bin width.
+     * Returns lo when empty.
+     */
+    double quantile(double q) const;
+
     /** Count in bin i. */
     std::size_t binCount(std::size_t i) const;
 
@@ -113,6 +130,57 @@ class Histogram
     double hi;
     std::vector<std::size_t> counts;
     std::size_t n = 0;
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer observations: bucket
+ * b holds values whose bit width is b (0 -> bucket 0, 1 -> 1, 2..3 ->
+ * 2, 4..7 -> 3, ...). Covers the full uint64 range in 65 fixed buckets
+ * with no configuration, which is what a metrics registry wants for
+ * byte counts, cycle counts and retry tallies of unknown magnitude.
+ * merge() is commutative, so parallel reductions are order-independent.
+ */
+class Log2Histogram
+{
+  public:
+    /** Number of buckets (bit widths 0..64). */
+    static constexpr std::size_t bucketCount = 65;
+
+    /** Record one observation. */
+    void add(std::uint64_t value);
+
+    /** Merge another histogram into this one (commutative). */
+    void merge(const Log2Histogram &other);
+
+    /** Count in bucket @p b (values with bit width b). */
+    std::uint64_t bucket(std::size_t b) const;
+
+    /** Inclusive lower edge of bucket b (0, 1, 2, 4, 8, ...). */
+    static std::uint64_t bucketLo(std::size_t b);
+
+    /** Inclusive upper edge of bucket b (0, 1, 3, 7, 15, ...). */
+    static std::uint64_t bucketHi(std::size_t b);
+
+    /** Total observations. */
+    std::uint64_t total() const { return n; }
+
+    /** Sum of all observations (exact). */
+    std::uint64_t sum() const { return valueSum; }
+
+    /** Mean observation; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Approximate quantile, @p q in [0, 1]: linear interpolation across
+     * the bucket containing rank q, so the result always lies within
+     * that bucket's [lo, hi] edges. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+  private:
+    std::array<std::uint64_t, bucketCount> buckets{};
+    std::uint64_t n = 0;
+    std::uint64_t valueSum = 0;
 };
 
 } // namespace eh

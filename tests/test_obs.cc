@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the observability subsystem (docs/OBSERVABILITY.md): the
+ * trace sink's ring-buffer and scoped-span semantics, the metrics
+ * registry's merge determinism, the Chrome-trace exporter's structural
+ * validity, the simulator's per-phase energy conservation, and the
+ * --jobs invariance of the deterministic metrics snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "energy/meter.hh"
+#include "energy/supply.hh"
+#include "explore/campaign.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/summary.hh"
+#include "obs/trace.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/hibernus_pp.hh"
+#include "runtime/mementos.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+/** Disables the global sink on scope exit even when an ASSERT fires. */
+struct SinkGuard
+{
+    ~SinkGuard() { obs::trace().disable(); }
+};
+
+/** Export the sink's current contents and parse them back. */
+obs::JsonValue
+exportAndParse()
+{
+    std::ostringstream oss;
+    obs::writeChromeTrace(obs::trace().snapshot(), oss);
+    return obs::parseJson(oss.str());
+}
+
+TEST(TraceSink, DisabledPathRecordsNothing)
+{
+    obs::trace().disable();
+    EXPECT_EQ(obs::trace().mask(), 0u);
+    EXPECT_FALSE(obs::traceEnabled(obs::Category::Sim));
+    // Virtual-track registration is a no-op while disabled (0 means
+    // "don't trace"), so benchmark loops can't grow the registry.
+    EXPECT_EQ(obs::trace().virtualTrack("sim:off"), 0u);
+    obs::trace().instant(obs::Category::Sim, "ignored");
+    obs::trace().span(obs::Category::Sim, "ignored", 0, 1);
+}
+
+TEST(TraceSink, CategoryMaskFilters)
+{
+    SinkGuard guard;
+    obs::trace().enable(
+        static_cast<std::uint32_t>(obs::Category::Campaign));
+    EXPECT_TRUE(obs::traceEnabled(obs::Category::Campaign));
+    EXPECT_FALSE(obs::traceEnabled(obs::Category::Sim));
+    obs::trace().instant(obs::Category::Sim, "filtered");
+    obs::trace().instant(obs::Category::Campaign, "kept");
+    const auto snap = obs::trace().snapshot();
+    ASSERT_EQ(snap.events.size(), 1u);
+    EXPECT_STREQ(snap.events[0].name, "kept");
+}
+
+TEST(TraceSink, ParseCategoriesNamesAndAll)
+{
+    EXPECT_EQ(obs::parseCategories("all"), obs::allCategories);
+    EXPECT_EQ(obs::parseCategories("sim"),
+              static_cast<std::uint32_t>(obs::Category::Sim));
+    EXPECT_EQ(obs::parseCategories("sim,campaign"),
+              static_cast<std::uint32_t>(obs::Category::Sim) |
+                  static_cast<std::uint32_t>(obs::Category::Campaign));
+    EXPECT_THROW(obs::parseCategories("bogus"), FatalError);
+}
+
+TEST(TraceSink, RingWraparoundKeepsNewestAndCountsDropped)
+{
+    SinkGuard guard;
+    constexpr std::size_t capacity = 8;
+    constexpr int emitted = 100;
+    obs::trace().enable(obs::allCategories, capacity);
+    for (int i = 0; i < emitted; ++i) {
+        obs::trace().instant(obs::Category::Sim, "tick",
+                             {{"i", static_cast<double>(i)}});
+    }
+    const auto snap = obs::trace().snapshot();
+    EXPECT_EQ(snap.dropped, emitted - capacity);
+    double newest = -1.0;
+    std::size_t ticks = 0;
+    for (const auto &e : snap.events) {
+        if (std::strcmp(e.name, "tick") != 0)
+            continue;
+        ++ticks;
+        ASSERT_EQ(e.argCount, 1u);
+        newest = std::max(newest, e.args[0].value);
+    }
+    EXPECT_EQ(ticks, capacity);
+    EXPECT_EQ(newest, static_cast<double>(emitted - 1)); // newest kept
+}
+
+TEST(TraceSink, ScopedSpansNestAndExportValidates)
+{
+    SinkGuard guard;
+    obs::trace().enable();
+    {
+        obs::TraceScope outer(obs::Category::Campaign, "outer",
+                              {{"depth", 0.0}});
+        outer.arg("extra", 42.0);
+        {
+            obs::TraceScope inner(obs::Category::Campaign, "inner");
+        }
+    }
+    const auto snap = obs::trace().snapshot();
+    ASSERT_EQ(snap.events.size(), 2u);
+    // RAII order: inner's destructor records first; outer encloses it.
+    const auto &inner = snap.events[0];
+    const auto &outer = snap.events[1];
+    EXPECT_STREQ(inner.name, "inner");
+    EXPECT_STREQ(outer.name, "outer");
+    EXPECT_LE(outer.start, inner.start);
+    EXPECT_GE(outer.start + outer.dur, inner.start + inner.dur);
+    EXPECT_EQ(outer.argCount, 2u);
+
+    const auto check = obs::validateTrace(exportAndParse());
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.spans, 2u);
+}
+
+TEST(TraceSink, VirtualTracksSharedByName)
+{
+    SinkGuard guard;
+    obs::trace().enable();
+    const auto a1 = obs::trace().virtualTrack("sim:a");
+    const auto a2 = obs::trace().virtualTrack("sim:a");
+    const auto b = obs::trace().virtualTrack("sim:b");
+    EXPECT_NE(a1, 0u);
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+    obs::trace().spanTicks(a1, obs::Category::Sim, "progress", 0, 100);
+    obs::trace().instantTicks(b, obs::Category::Sim, "power-failure", 50);
+    const auto snap = obs::trace().snapshot();
+    bool sawA = false;
+    bool sawB = false;
+    for (const auto &t : snap.tracks) {
+        if (t.name == "sim:a")
+            sawA = t.virtualClock;
+        if (t.name == "sim:b")
+            sawB = t.virtualClock;
+    }
+    EXPECT_TRUE(sawA);
+    EXPECT_TRUE(sawB);
+    const auto check = obs::validateTrace(exportAndParse());
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.spans, 1u);
+    EXPECT_EQ(check.instants, 1u);
+}
+
+TEST(TraceSink, InternedNamesOutliveTheirSource)
+{
+    SinkGuard guard;
+    obs::trace().enable();
+    const char *name = nullptr;
+    {
+        const std::string transient = "job:validation";
+        name = obs::trace().intern(transient);
+    }
+    EXPECT_STREQ(name, "job:validation");
+}
+
+// --- Metrics registry ---------------------------------------------------
+
+/** Two distinct metric populations for the merge tests. */
+void
+fillA(obs::MetricsRegistry &reg)
+{
+    reg.counter("jobs").add(7);
+    reg.counter("hits").add(3);
+    reg.gauge("busy").add(1.5);
+    auto &h = reg.histogram("bytes");
+    for (std::uint64_t v : {1u, 4u, 4u, 100u, 5000u})
+        h.add(v);
+}
+
+void
+fillB(obs::MetricsRegistry &reg)
+{
+    reg.counter("jobs").add(2);
+    reg.counter("retries").add(1);
+    reg.gauge("busy").add(0.5);
+    auto &h = reg.histogram("bytes");
+    for (std::uint64_t v : {2u, 8u, 1u << 20})
+        h.add(v);
+}
+
+TEST(Metrics, MergeIsCommutative)
+{
+    obs::MetricsRegistry ab1, ab2, ba1, ba2;
+    fillA(ab1);
+    fillB(ab2);
+    fillB(ba1);
+    fillA(ba2);
+    ab1.merge(ab2); // A <- B
+    ba1.merge(ba2); // B <- A
+    EXPECT_EQ(ab1.toJson(), ba1.toJson());
+    EXPECT_EQ(ab1.counter("jobs").count(), 9u);
+    EXPECT_EQ(ab1.histogram("bytes").snapshot().total(), 8u);
+}
+
+TEST(Metrics, DeterministicSnapshotOmitsGauges)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("jobs").add(1);
+    reg.gauge("elapsed").set(12.34);
+    const auto full = reg.toJson(false);
+    const auto det = reg.toJson(true);
+    EXPECT_NE(full.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(full.find("elapsed"), std::string::npos);
+    EXPECT_EQ(det.find("\"gauges\""), std::string::npos);
+    EXPECT_EQ(det.find("elapsed"), std::string::npos);
+    EXPECT_NE(det.find("\"jobs\""), std::string::npos);
+}
+
+TEST(Metrics, CsvListsEveryMetric)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("campaign.jobs").add(4);
+    reg.gauge("pool.steals").set(2.0);
+    reg.histogram("campaign.result_bytes").add(128);
+    std::ostringstream oss;
+    reg.writeCsv(oss);
+    const auto csv = oss.str();
+    EXPECT_NE(csv.find("campaign.jobs"), std::string::npos);
+    EXPECT_NE(csv.find("pool.steals"), std::string::npos);
+    EXPECT_NE(csv.find("campaign.result_bytes"), std::string::npos);
+}
+
+/** Run one deterministic in-process campaign and snapshot the registry. */
+std::string
+campaignMetricsSnapshot(unsigned jobs)
+{
+    obs::metrics().clear();
+    explore::CampaignConfig cc;
+    cc.name = "obs-test";
+    cc.jobs = jobs;
+    cc.seed = 11;
+    cc.cache = false;
+    cc.progress = false;
+    explore::Campaign campaign(cc);
+    for (int i = 0; i < 24; ++i) {
+        campaign.add(explore::JobSpec("demo")
+                         .set("x", 0.25 * i)
+                         .set("cell", i));
+    }
+    campaign.run([](const explore::JobSpec &spec, Rng &rng) {
+        return explore::JobResult()
+            .set("y", spec.getDouble("x", 0.0) + 1.0)
+            .set("draw", rng.next());
+    });
+    const auto json = obs::metrics().toJson(true);
+    obs::metrics().clear();
+    return json;
+}
+
+TEST(Metrics, CampaignSnapshotIdenticalAcrossJobCounts)
+{
+    // The determinism contract behind --metrics-out: counters and
+    // histograms record only scheduling-independent quantities, so the
+    // deterministic snapshot is byte-identical at any worker count.
+    const auto serial = campaignMetricsSnapshot(1);
+    const auto parallel = campaignMetricsSnapshot(8);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("\"campaign.jobs\": 24"), std::string::npos)
+        << serial;
+}
+
+// --- Simulator phase timeline -------------------------------------------
+
+TEST(SimulatorTrace, ExportsValidPhaseTimeline)
+{
+    SinkGuard guard;
+    obs::trace().enable();
+    const auto w =
+        workloads::makeWorkload("crc", workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    runtime::Watchdog policy(
+        {.periodCycles = 2000, .sramUsedBytes = cfg.sramUsedBytes});
+    energy::ConstantSupply supply(4.0e6);
+    sim::Simulator s(w.program, policy, supply, cfg);
+    const auto stats = s.run();
+    ASSERT_GT(stats.backups, 0u);
+
+    std::ostringstream oss;
+    obs::writeChromeTrace(obs::trace().snapshot(), oss);
+    const auto text = oss.str();
+    EXPECT_NE(text.find("sim:crc/watchdog"), std::string::npos);
+    EXPECT_NE(text.find("\"progress\""), std::string::npos);
+    EXPECT_NE(text.find("\"backup\""), std::string::npos);
+    EXPECT_NE(text.find("\"period\""), std::string::npos);
+
+    const auto check = obs::validateTrace(obs::parseJson(text));
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_GT(check.spans, stats.backups); // >= one span per backup
+}
+
+TEST(SimulatorTrace, RepeatedRunsOnSharedTrackStayWellFormed)
+{
+    // Benchmarks re-run the same workload/policy cell in a loop, so
+    // many runs share one virtual track; the exporter must still emit
+    // properly nested B/E pairs.
+    SinkGuard guard;
+    obs::trace().enable(obs::allCategories, 1u << 12);
+    const auto w =
+        workloads::makeWorkload("sense", workloads::volatileLayout());
+    for (int i = 0; i < 3; ++i) {
+        sim::SimConfig cfg;
+        cfg.sramUsedBytes = w.sramUsedBytes;
+        runtime::Watchdog policy(
+            {.periodCycles = 3000, .sramUsedBytes = cfg.sramUsedBytes});
+        energy::ConstantSupply supply(3.0e6);
+        sim::Simulator s(w.program, policy, supply, cfg);
+        s.run();
+    }
+    const auto check = obs::validateTrace(exportAndParse());
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_GT(check.spans, 0u);
+}
+
+// --- EnergyMeter conservation -------------------------------------------
+
+std::unique_ptr<runtime::BackupPolicy>
+conservationPolicy(const std::string &name, std::size_t sram_used)
+{
+    if (name == "hibernus") {
+        runtime::HibernusConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Hibernus>(c);
+    }
+    if (name == "hibernus++") {
+        runtime::HibernusPPConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::HibernusPP>(c);
+    }
+    if (name == "mementos") {
+        runtime::MementosConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Mementos>(c);
+    }
+    runtime::DinoConfig c;
+    c.sramUsedBytes = sram_used;
+    return std::make_unique<runtime::Dino>(c);
+}
+
+TEST(EnergyMeter, PerPhaseAccountingIsConservative)
+{
+    // Every consumed joule the simulator reports per period must land
+    // in exactly one meter phase (or remain uncommitted at the end):
+    // sum-of-phases == total consumed, for the whole validation matrix.
+    const std::vector<std::string> policies = {"hibernus", "hibernus++",
+                                               "mementos", "dino"};
+    for (const auto &workload : workloads::tableIINames()) {
+        const auto w = workloads::makeWorkload(
+            workload, workloads::volatileLayout());
+        for (const auto &policy : policies) {
+            sim::SimConfig cfg;
+            cfg.sramUsedBytes = w.sramUsedBytes;
+            cfg.maxActivePeriods = 500;
+            const double budget =
+                12.0 * (static_cast<double>(cfg.sramUsedBytes) + 68.0) *
+                75.0;
+            auto pol = conservationPolicy(policy, cfg.sramUsedBytes);
+            energy::ConstantSupply supply(budget);
+            sim::Simulator s(w.program, *pol, supply, cfg);
+            const auto stats = s.run();
+
+            const double consumed = stats.periodEnergy.sum();
+            const double metered = stats.meter.totalEnergy() +
+                                   stats.meter.uncommittedEnergy();
+            ASSERT_GT(consumed, 0.0)
+                << workload << "/" << policy;
+            EXPECT_NEAR(metered, consumed, 1e-6 * consumed)
+                << workload << "/" << policy << ": "
+                << stats.meter.report();
+            EXPECT_GT(stats.meter.totalCycles() +
+                          stats.meter.uncommittedCycles(),
+                      0u);
+        }
+    }
+}
+
+} // namespace

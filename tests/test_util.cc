@@ -12,14 +12,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/calibration.hh"
 #include "core/sweep.hh"
 #include "util/crc.hh"
 #include "util/csv.hh"
+#include "util/log.hh"
 #include "util/panic.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -431,6 +434,107 @@ TEST(Rng, StreamIsStableAcrossReleases)
 
     Rng f(0x1234ABCDull);
     EXPECT_EQ(f.fork(3).next(), 0x32d83b558398a859ull);
+}
+
+TEST(Histogram, MergeIsCommutative)
+{
+    Rng rng(41);
+    Histogram ab(0.0, 100.0, 20), ba(0.0, 100.0, 20);
+    Histogram a(0.0, 100.0, 20), b(0.0, 100.0, 20);
+    for (int i = 0; i < 300; ++i) {
+        const double v = rng.nextDouble() * 120.0 - 10.0; // hits clamps
+        (i % 3 ? a : b).add(v);
+    }
+    ab = a;
+    ab.merge(b);
+    ba = b;
+    ba.merge(a);
+    ASSERT_EQ(ab.total(), 300u);
+    for (std::size_t i = 0; i < ab.bins(); ++i)
+        EXPECT_EQ(ab.binCount(i), ba.binCount(i)) << "bin " << i;
+    EXPECT_THROW(ab.merge(Histogram(0.0, 50.0, 20)), PanicError);
+}
+
+TEST(Histogram, QuantileWithinOneBinOfExact)
+{
+    // Uniform fill: quantile(q) must land within the bin containing
+    // rank q, i.e. within one bin width (here 1.0) of the exact value.
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.add(0.1 * i);
+    for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+        const double exact = q * 100.0;
+        EXPECT_NEAR(h.quantile(q), exact, 1.0) << "q=" << q;
+    }
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+    EXPECT_DOUBLE_EQ(Histogram(0.0, 1.0, 4).quantile(0.5), 0.0);
+}
+
+TEST(Log2Histogram, BucketEdgesAndExactSums)
+{
+    Log2Histogram h;
+    for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 1023u, 1024u})
+        h.add(v);
+    EXPECT_EQ(h.bucket(0), 1u); // value 0
+    EXPECT_EQ(h.bucket(1), 1u); // value 1
+    EXPECT_EQ(h.bucket(2), 2u); // 2..3
+    EXPECT_EQ(h.bucket(3), 2u); // 4..7
+    EXPECT_EQ(h.bucket(10), 1u); // 512..1023
+    EXPECT_EQ(h.bucket(11), 1u); // 1024..2047
+    EXPECT_EQ(h.total(), 9u);
+    EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 9.0);
+    EXPECT_EQ(Log2Histogram::bucketLo(3), 4u);
+    EXPECT_EQ(Log2Histogram::bucketHi(3), 7u);
+    EXPECT_EQ(Log2Histogram::bucketHi(64),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Log2Histogram, MergeCommutativeAndQuantileBounded)
+{
+    Rng rng(43);
+    Log2Histogram a, b;
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t v = rng.next() >> (rng.next() % 48);
+        (i % 2 ? a : b).add(v);
+    }
+    Log2Histogram ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    for (std::size_t i = 0; i < Log2Histogram::bucketCount; ++i)
+        EXPECT_EQ(ab.bucket(i), ba.bucket(i)) << "bucket " << i;
+    EXPECT_EQ(ab.sum(), ba.sum());
+    // Quantiles are bounded by their bucket's edges and monotone in q.
+    double prev = 0.0;
+    for (double q : {0.05, 0.5, 0.95, 0.99}) {
+        const double v = ab.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+    EXPECT_DOUBLE_EQ(Log2Histogram().quantile(0.5), 0.0);
+}
+
+TEST(Log, ConcurrentEmissionAndStatusLinesDoNotRace)
+{
+    // The campaign progress line and worker warnings share one mutex
+    // (util/log); this is the TSan-visible regression test for it.
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet); // keep test output clean
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 200; ++i) {
+                statusLine("worker " + std::to_string(t) + " step " +
+                           std::to_string(i));
+                debug("dbg ", t, " ", i);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    statusLine("done", true);
+    setLogLevel(before);
 }
 
 } // namespace

@@ -26,6 +26,8 @@
 
 #include "arch/cpu.hh"
 #include "cli/options.hh"
+#include "obs/export.hh"
+#include "obs/trace.hh"
 #include "core/calibration.hh"
 #include "core/model.hh"
 #include "core/monitoring.hh"
@@ -554,7 +556,11 @@ usage()
         "          --fault-max-bitflips N --fault-transient-restore-prob "
         "P\n"
         "disasm:   --workload crc --nv 1|0 (placement)\n"
-        "traces:   --cycles N --seed S --dir results\n";
+        "traces:   --cycles N --seed S --dir results\n"
+        "observability (any subcommand; docs/OBSERVABILITY.md):\n"
+        "          --trace out.json [--trace-categories sim,campaign,...]"
+        " (Perfetto/\n          chrome://tracing JSON) --metrics-out "
+        "file.json|.csv --quiet 1 --verbose 1\n";
 }
 
 } // namespace
@@ -566,6 +572,20 @@ main(int argc, char **argv)
     return eh::runMain([&]() -> int {
         const auto opts = eh::cli::Options::parse(args);
         const auto &cmd = opts.subcommand();
+
+        // Global observability/verbosity flags (docs/OBSERVABILITY.md),
+        // honored by every subcommand.
+        if (opts.getDouble("quiet", 0.0) != 0.0)
+            eh::setLogLevel(eh::LogLevel::Warn);
+        else if (opts.getDouble("verbose", 0.0) != 0.0)
+            eh::setLogLevel(eh::LogLevel::Debug);
+        const std::string tracePath = opts.get("trace", "");
+        if (!tracePath.empty()) {
+            eh::obs::trace().enable(eh::obs::parseCategories(
+                opts.get("trace-categories", "all")));
+        }
+        const std::string metricsPath = opts.get("metrics-out", "");
+
         int rc;
         if (cmd == "progress")
             rc = cmdProgress(opts);
@@ -586,6 +606,15 @@ main(int argc, char **argv)
         else {
             usage();
             return cmd.empty() ? 0 : eh::exitUserError;
+        }
+        if (!tracePath.empty()) {
+            eh::obs::writeChromeTraceFile(tracePath);
+            eh::inform("trace written to ", tracePath,
+                       " (load in Perfetto or chrome://tracing)");
+        }
+        if (!metricsPath.empty()) {
+            eh::obs::writeMetricsFile(metricsPath);
+            eh::inform("metrics written to ", metricsPath);
         }
         for (const auto &flag : opts.unusedFlags())
             eh::warn("unused flag --", flag);

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * eh_trace — inspect Chrome-trace JSON files written by --trace
+ * (docs/OBSERVABILITY.md).
+ *
+ *   eh_trace validate --in trace.json        structural check (exit 1
+ *                                            on a malformed trace)
+ *   eh_trace summary  --in trace.json        top spans by total time,
+ *                     [--top N]              simulated phase breakdown,
+ *                                            per-worker utilization
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cli/options.hh"
+#include "obs/summary.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatalf("cannot open trace file '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+obs::JsonValue
+loadTrace(const cli::Options &opts)
+{
+    const std::string path = opts.get("in", "");
+    if (path.empty())
+        fatal("missing --in trace.json");
+    return obs::parseJson(readFile(path));
+}
+
+int
+cmdValidate(const cli::Options &opts)
+{
+    const auto root = loadTrace(opts);
+    const auto check = obs::validateTrace(root);
+    if (!check.ok) {
+        std::cout << "INVALID: " << check.error << "\n";
+        return 1;
+    }
+    std::cout << "ok: " << check.events << " events (" << check.spans
+              << " spans, " << check.instants << " instants) on "
+              << check.tracks << " tracks\n";
+    return 0;
+}
+
+int
+cmdSummary(const cli::Options &opts)
+{
+    const auto root = loadTrace(opts);
+    const auto top =
+        static_cast<std::size_t>(opts.getDouble("top", 10.0));
+    std::cout << obs::summarizeTrace(root, top);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "eh_trace — inspect --trace output (docs/OBSERVABILITY.md)\n"
+        "  validate --in trace.json           structural well-formedness\n"
+        "  summary  --in trace.json [--top N] top spans, phase breakdown,"
+        " worker\n                                     utilization\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return eh::runMain([&]() -> int {
+        const auto opts = eh::cli::Options::parse(args);
+        const auto &cmd = opts.subcommand();
+        int rc;
+        if (cmd == "validate")
+            rc = cmdValidate(opts);
+        else if (cmd == "summary")
+            rc = cmdSummary(opts);
+        else {
+            usage();
+            return cmd.empty() ? 0 : eh::exitUserError;
+        }
+        for (const auto &flag : opts.unusedFlags())
+            eh::warn("unused flag --", flag);
+        return rc;
+    });
+}
