@@ -8,12 +8,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "core/model.hh"
 #include "obs/trace.hh"
 #include "core/optimum.hh"
 #include "core/sensitivity.hh"
 #include "core/sweep.hh"
 #include "energy/supply.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
 #include "runtime/watchdog.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
@@ -142,5 +151,139 @@ BM_SimulatedCrcRunTraced(benchmark::State &state)
     obs::TraceSink::instance().disable();
 }
 BENCHMARK(BM_SimulatedCrcRunTraced)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Execution-engine comparison (docs/PERFORMANCE.md). Each BM_Engine
+// cell runs one full intermittent simulation of a workload x policy
+// pair under one engine; scripts/perf_gate.sh pairs the scalar and
+// block cells, computes per-cell speedups and writes
+// results/BENCH_perf.json — failing the build if the block engine's
+// median advantage drops below its floor.
+
+namespace {
+
+std::unique_ptr<runtime::BackupPolicy>
+benchPolicy(const std::string &name, std::size_t sram_used)
+{
+    if (name == "watchdog")
+        return std::make_unique<runtime::Watchdog>(runtime::WatchdogConfig{
+            .periodCycles = 2000, .sramUsedBytes = sram_used});
+    if (name == "mementos") {
+        runtime::MementosConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Mementos>(c);
+    }
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    if (name == "hibernus") {
+        runtime::HibernusConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Hibernus>(c);
+    }
+    if (name == "clank")
+        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    if (name == "ratchet")
+        return std::make_unique<runtime::Ratchet>(
+            runtime::RatchetConfig{.maxSectionCycles = 4000,
+                                   .archBytes = 80});
+    // nvp
+    runtime::NvpConfig c;
+    c.backupEveryInstructions = 64;
+    return std::make_unique<runtime::Nvp>(c);
+}
+
+bool
+volatileBenchPolicy(const std::string &name)
+{
+    return name == "watchdog" || name == "mementos" || name == "dino" ||
+           name == "hibernus";
+}
+
+double
+runEngineCell(const workloads::Workload &w, const std::string &pname,
+              sim::ExecEngine engine, double budget)
+{
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = volatileBenchPolicy(pname) ? w.sramUsedBytes : 64;
+    cfg.executionEngine = engine;
+    auto policy = benchPolicy(pname, cfg.sramUsedBytes);
+    energy::ConstantSupply supply(budget);
+    sim::Simulator s(w.program, *policy, supply, cfg);
+    return s.run().measuredProgress();
+}
+
+void
+BM_Engine(benchmark::State &state, const char *wname, const char *pname,
+          sim::ExecEngine engine)
+{
+    const auto w = workloads::makeWorkload(
+        wname, volatileBenchPolicy(pname)
+                   ? workloads::volatileLayout()
+                   : workloads::nonvolatileLayout());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runEngineCell(w, pname, engine, 4.0e6));
+}
+
+// The perf gate's cells: a workload spread (table II + MiBench-derived)
+// x a policy spread covering every capability class — per-cycle
+// horizons (watchdog, hibernus), per-instruction horizons (nvp),
+// peek-consuming policies (clank, ratchet) and checkpoint/task-based
+// ones (mementos, dino).
+#define EH_ENGINE_BENCH(w, p)                                            \
+    BENCHMARK_CAPTURE(BM_Engine, w##_##p##_scalar, #w, #p,               \
+                      sim::ExecEngine::Scalar)                           \
+        ->Unit(benchmark::kMillisecond);                                 \
+    BENCHMARK_CAPTURE(BM_Engine, w##_##p##_block, #w, #p,                \
+                      sim::ExecEngine::Block)                            \
+        ->Unit(benchmark::kMillisecond)
+
+EH_ENGINE_BENCH(crc, watchdog);
+EH_ENGINE_BENCH(crc, hibernus);
+EH_ENGINE_BENCH(crc, mementos);
+EH_ENGINE_BENCH(crc, dino);
+EH_ENGINE_BENCH(crc, nvp);
+EH_ENGINE_BENCH(crc, clank);
+EH_ENGINE_BENCH(crc, ratchet);
+EH_ENGINE_BENCH(sense, watchdog);
+EH_ENGINE_BENCH(sense, nvp);
+EH_ENGINE_BENCH(dijkstra, watchdog);
+EH_ENGINE_BENCH(dijkstra, hibernus);
+EH_ENGINE_BENCH(dijkstra, nvp);
+EH_ENGINE_BENCH(fft, watchdog);
+EH_ENGINE_BENCH(fft, nvp);
+
+#undef EH_ENGINE_BENCH
+
+/**
+ * Campaign-level timing: a budget-sweep grid (the shape of a
+ * design-space exploration) of full runs under one engine, i.e. what
+ * tools/eh_explore amortizes the one-time program decode across.
+ */
+void
+BM_EngineCampaign(benchmark::State &state, sim::ExecEngine engine)
+{
+    const auto w =
+        workloads::makeWorkload("crc", workloads::volatileLayout());
+    const double budgets[] = {2.0e6, 3.0e6, 4.5e6, 7.0e6, 1.1e7};
+    const char *policies[] = {"watchdog", "hibernus", "nvp"};
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const auto budget : budgets)
+            for (const auto *pname : policies)
+                acc += runEngineCell(w, pname, engine, budget);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+
+BENCHMARK_CAPTURE(BM_EngineCampaign, scalar, sim::ExecEngine::Scalar)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EngineCampaign, block, sim::ExecEngine::Block)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
 
 BENCHMARK_MAIN();

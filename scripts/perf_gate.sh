@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Performance gate for the block execution engine (docs/PERFORMANCE.md):
+# runs the BM_Engine scalar/block benchmark pairs (median of 5
+# repetitions), computes the per-cell block-over-scalar speedup, and
+# writes the full table plus the campaign-level numbers to
+# results/BENCH_perf.json. Fails when
+#   - the median per-cell speedup drops below EH_PERF_MIN_SPEEDUP
+#     (default 1.5), i.e. the fast path stopped being fast, or
+#   - the scalar engine's own median cell time regressed more than
+#     EH_PERF_SCALAR_TOLERANCE percent (default 5) against the
+#     committed results/BENCH_perf.json, i.e. the shared protocol
+#     picked up overhead. The scalar check is skipped when no prior
+#     file exists or EH_PERF_SKIP_SCALAR_CHECK=1 (CI machines are not
+#     comparable to the machine that committed the baseline).
+#
+# Usage: scripts/perf_gate.sh [build-dir] [out-json]
+set -euo pipefail
+
+build="${1:-build}"
+out="${2:-results/BENCH_perf.json}"
+min_speedup="${EH_PERF_MIN_SPEEDUP:-1.5}"
+scalar_tolerance="${EH_PERF_SCALAR_TOLERANCE:-5}"
+skip_scalar="${EH_PERF_SKIP_SCALAR_CHECK:-0}"
+filter="${EH_PERF_FILTER:-BM_Engine}"
+bench="$build/bench/perf_model_eval"
+
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake --build $build --target perf_model_eval)" >&2
+    exit 2
+fi
+
+prior=""
+if [ -f "$out" ] && [ "$skip_scalar" != "1" ]; then
+    prior=$(mktemp)
+    cp "$out" "$prior"
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw" ${prior:+"$prior"}' EXIT
+"$bench" --benchmark_filter="$filter" \
+         --benchmark_repetitions=5 \
+         --benchmark_report_aggregates_only=true \
+         --benchmark_format=json >"$raw" 2>/dev/null
+
+python3 - "$raw" "$out" "$min_speedup" "$scalar_tolerance" "${prior:-}" <<'PY'
+import datetime
+import json
+import os
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+min_speedup, scalar_tol = float(sys.argv[3]), float(sys.argv[4])
+prior_path = sys.argv[5] if len(sys.argv) > 5 else ""
+
+with open(raw_path) as f:
+    doc = json.load(f)
+
+# Medians of cpu_time (ms): wall time is noisy on loaded CI machines,
+# and both engines burn pure CPU.
+medians = {}
+for b in doc.get("benchmarks", []):
+    if b.get("aggregate_name") != "median":
+        continue
+    medians[b["run_name"]] = b["cpu_time"]
+
+cells = {}
+campaign = {}
+for name, t in sorted(medians.items()):
+    #  BM_Engine/<workload>_<policy>_<engine>  or  BM_EngineCampaign/<engine>
+    base, _, variant = name.partition("/")
+    if base == "BM_EngineCampaign":
+        campaign[variant] = t
+        continue
+    if base != "BM_Engine":
+        continue
+    cell, _, engine = variant.rpartition("_")
+    cells.setdefault(cell, {})[engine] = t
+
+rows = []
+for cell, times in sorted(cells.items()):
+    if "scalar" not in times or "block" not in times:
+        sys.exit(f"error: cell {cell} is missing an engine variant")
+    rows.append({
+        "cell": cell,
+        "scalar_ms": round(times["scalar"], 4),
+        "block_ms": round(times["block"], 4),
+        "speedup": round(times["scalar"] / times["block"], 3),
+    })
+if not rows:
+    sys.exit("error: no BM_Engine scalar/block pairs in benchmark output")
+
+speedups = sorted(r["speedup"] for r in rows)
+n = len(speedups)
+median_speedup = (speedups[n // 2] if n % 2
+                  else (speedups[n // 2 - 1] + speedups[n // 2]) / 2.0)
+scalar_times = sorted(r["scalar_ms"] for r in rows)
+median_scalar = (scalar_times[n // 2] if n % 2
+                 else (scalar_times[n // 2 - 1] + scalar_times[n // 2]) / 2.0)
+
+record = {
+    "date": datetime.date.today().isoformat(),
+    "benchmark": "perf_model_eval / BM_Engine (median of 5, cpu_time ms)",
+    "median_speedup": round(median_speedup, 3),
+    "min_speedup_required": min_speedup,
+    "median_scalar_ms": round(median_scalar, 4),
+    "cells": rows,
+    "campaign": {k: round(v, 3) for k, v in sorted(campaign.items())},
+}
+if "scalar" in campaign and "block" in campaign:
+    record["campaign_speedup"] = round(
+        campaign["scalar"] / campaign["block"], 3)
+
+prior_scalar = None
+if prior_path:
+    try:
+        with open(prior_path) as f:
+            prior_scalar = json.load(f).get("median_scalar_ms")
+    except (OSError, ValueError):
+        prior_scalar = None
+
+os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+with open(out_path, "w") as f:
+    json.dump(record, f, indent=2)
+    f.write("\n")
+
+for r in rows:
+    print(f"  {r['cell']:24s} scalar {r['scalar_ms']:9.3f} ms   "
+          f"block {r['block_ms']:9.3f} ms   x{r['speedup']:.2f}")
+if "campaign_speedup" in record:
+    print(f"  {'campaign':24s} scalar {campaign['scalar']:9.3f} ms   "
+          f"block {campaign['block']:9.3f} ms   "
+          f"x{record['campaign_speedup']:.2f}")
+print(f"median speedup x{median_speedup:.3f} "
+      f"(floor x{min_speedup:.2f}) -> {out_path}")
+
+failed = False
+if median_speedup < min_speedup:
+    print(f"FAIL: median block speedup x{median_speedup:.3f} below "
+          f"the x{min_speedup:.2f} floor")
+    failed = True
+if prior_scalar:
+    drift_pct = 100.0 * (median_scalar - prior_scalar) / prior_scalar
+    print(f"scalar median {median_scalar:.3f} ms vs committed "
+          f"{prior_scalar:.3f} ms ({drift_pct:+.2f}%)")
+    if drift_pct > scalar_tol:
+        print(f"FAIL: scalar engine regressed {drift_pct:.2f}% "
+              f"(> {scalar_tol:.1f}%)")
+        failed = True
+if failed:
+    sys.exit(1)
+print("OK: block engine holds its speedup floor")
+PY

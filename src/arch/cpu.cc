@@ -31,7 +31,7 @@ CostModel::cortexM0()
 
 Cpu::Cpu(const Program &program, mem::AddressSpace &memory,
          const CostModel &costs)
-    : prog(program), mem(memory), cost(costs)
+    : prog(program), mem(memory), cost(costs), dec(program, costs)
 {
     if (prog.code.empty())
         fatalf("Cpu: program '", prog.name, "' has no instructions");
@@ -73,41 +73,21 @@ Cpu::setReg(unsigned index, std::uint32_t value)
     regs[index] = value;
 }
 
-namespace {
-
-std::uint32_t
-accessBytes(Opcode op)
-{
-    switch (op) {
-      case Opcode::Ldb:
-      case Opcode::Stb:
-        return 1;
-      case Opcode::Ldh:
-      case Opcode::Sth:
-        return 2;
-      default:
-        return 4;
-    }
-}
-
-} // namespace
-
 MemPeek
 Cpu::peek() const
 {
     MemPeek p;
     if (isHalted || pcValue >= prog.code.size())
         return p;
-    const Instruction &in = prog.code[pcValue];
-    p.op = in.op;
-    const InstrClass cls = classify(in.op);
-    if (cls != InstrClass::Load && cls != InstrClass::Store)
+    const DecodedInsn &d = dec.at(pcValue);
+    p.op = d.in.op;
+    if (d.kind != ExecKind::Mem)
         return p;
     p.isMem = true;
-    p.isStore = (cls == InstrClass::Store);
+    p.isStore = d.isStore;
     p.addr = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(regs[in.ra]) + in.imm);
-    p.bytes = accessBytes(in.op);
+        static_cast<std::int64_t>(regs[d.in.ra]) + d.in.imm);
+    p.bytes = d.memBytes;
     p.nonvolatile = mem.isNonvolatile(p.addr);
     return p;
 }
@@ -131,49 +111,6 @@ Cpu::classEnergy(InstrClass cls, std::uint64_t cycles) const
     return rate * static_cast<double>(cycles);
 }
 
-std::uint32_t
-Cpu::aluOp(const Instruction &in) const
-{
-    const std::uint32_t a = regs[in.ra];
-    const std::uint32_t b = regs[in.rb];
-    const auto imm = static_cast<std::uint32_t>(in.imm);
-    switch (in.op) {
-      case Opcode::Add: return a + b;
-      case Opcode::Sub: return a - b;
-      case Opcode::Mul: return a * b;
-      case Opcode::Divu: return b == 0 ? UINT32_MAX : a / b;
-      case Opcode::Remu: return b == 0 ? a : a % b;
-      case Opcode::And: return a & b;
-      case Opcode::Orr: return a | b;
-      case Opcode::Eor: return a ^ b;
-      case Opcode::Lsl: return b >= 32 ? 0 : a << b;
-      case Opcode::Lsr: return b >= 32 ? 0 : a >> b;
-      case Opcode::Asr: {
-        const auto sa = static_cast<std::int32_t>(a);
-        const std::uint32_t sh = b >= 31 ? 31 : b;
-        return static_cast<std::uint32_t>(sa >> sh);
-      }
-      case Opcode::AddI: return a + imm;
-      case Opcode::SubI: return a - imm;
-      case Opcode::MulI: return a * imm;
-      case Opcode::AndI: return a & imm;
-      case Opcode::OrrI: return a | imm;
-      case Opcode::EorI: return a ^ imm;
-      case Opcode::LslI: return imm >= 32 ? 0 : a << imm;
-      case Opcode::LsrI: return imm >= 32 ? 0 : a >> imm;
-      case Opcode::AsrI: {
-        const auto sa = static_cast<std::int32_t>(a);
-        const std::int32_t sh = in.imm >= 31 ? 31 : in.imm;
-        return static_cast<std::uint32_t>(sa >> sh);
-      }
-      case Opcode::Mov: return a;
-      case Opcode::MovI: return imm;
-      case Opcode::Nop: return regs[in.rd];
-      default:
-        panic("aluOp called on non-ALU opcode");
-    }
-}
-
 StepResult
 Cpu::step()
 {
@@ -185,102 +122,77 @@ Cpu::step()
         panicf("Cpu::step: pc ", pcValue, " out of range for program '",
                prog.name, "' (", prog.code.size(), " instructions)");
 
-    const Instruction &in = prog.code[pcValue];
-    const InstrClass cls = classify(in.op);
+    const DecodedInsn &d = dec.at(pcValue);
+    const Instruction &in = d.in;
     StepResult r;
-    r.cls = cls;
+    r.cls = d.cls;
+    r.cycles = d.cycles;
     ++executed;
 
     std::uint64_t next_pc = pcValue + 1;
-    switch (cls) {
+    switch (d.cls) {
       case InstrClass::Alu:
-        r.cycles = cost.aluCycles;
-        regs[in.rd] = aluOp(in);
-        break;
       case InstrClass::Mul:
-        r.cycles = cost.mulCycles;
-        regs[in.rd] = aluOp(in);
-        break;
       case InstrClass::Div:
-        r.cycles = cost.divCycles;
         regs[in.rd] = aluOp(in);
+        r.energy = d.energy;
         break;
       case InstrClass::Load: {
-        r.cycles = cost.memCycles;
         r.isMem = true;
         r.memAddr = static_cast<std::uint64_t>(
             static_cast<std::int64_t>(regs[in.ra]) + in.imm);
-        r.memBytes = accessBytes(in.op);
+        r.memBytes = d.memBytes;
         std::uint32_t value = 0;
         const auto access = mem.read(r.memAddr, &value, r.memBytes);
         r.memNonvolatile = access.nonvolatile;
         r.cycles += access.cycles;
         regs[in.rd] = value;
-        r.energy = classEnergy(cls, r.cycles) + access.energy;
+        r.energy = classEnergy(d.cls, r.cycles) + access.energy;
         break;
       }
       case InstrClass::Store: {
-        r.cycles = cost.memCycles;
         r.isMem = true;
         r.memIsStore = true;
         r.memAddr = static_cast<std::uint64_t>(
             static_cast<std::int64_t>(regs[in.ra]) + in.imm);
-        r.memBytes = accessBytes(in.op);
+        r.memBytes = d.memBytes;
         const std::uint32_t value = regs[in.rb];
         const auto access = mem.write(r.memAddr, &value, r.memBytes);
         r.memNonvolatile = access.nonvolatile;
         r.cycles += access.cycles;
-        r.energy = classEnergy(cls, r.cycles) + access.energy;
+        r.energy = classEnergy(d.cls, r.cycles) + access.energy;
         break;
       }
-      case InstrClass::Branch: {
-        r.cycles = cost.branchCycles;
-        const std::uint32_t a = regs[in.ra];
-        const std::uint32_t b = regs[in.rb];
-        const auto sa = static_cast<std::int32_t>(a);
-        const auto sb = static_cast<std::int32_t>(b);
-        bool taken = false;
-        switch (in.op) {
-          case Opcode::B: taken = true; break;
-          case Opcode::Beq: taken = a == b; break;
-          case Opcode::Bne: taken = a != b; break;
-          case Opcode::Blt: taken = sa < sb; break;
-          case Opcode::Bge: taken = sa >= sb; break;
-          case Opcode::Bltu: taken = a < b; break;
-          case Opcode::Bgeu: taken = a >= b; break;
-          default: panic("bad branch opcode");
-        }
-        if (taken)
+      case InstrClass::Branch:
+        if (branchTaken(in.op, regs[in.ra], regs[in.rb]))
             next_pc = static_cast<std::uint64_t>(in.imm);
+        r.energy = d.energy;
         break;
-      }
       case InstrClass::Call:
-        r.cycles = cost.callCycles;
         if (in.op == Opcode::Call) {
             regs[LR] = static_cast<std::uint32_t>(pcValue + 1);
             next_pc = static_cast<std::uint64_t>(in.imm);
         } else { // Ret
             next_pc = regs[LR];
         }
+        r.energy = d.energy;
         break;
       case InstrClass::Sense:
-        r.cycles = cost.senseCycles;
         regs[in.rd] = sensorValue(regs[in.ra]);
+        r.energy = d.energy;
         break;
       case InstrClass::Checkpoint:
-        r.cycles = cost.checkpointCycles;
         r.checkpointRequested = true;
+        r.energy = d.energy;
         break;
       case InstrClass::Halt:
-        r.cycles = cost.haltCycles;
         r.halted = true;
         isHalted = true;
         next_pc = pcValue; // stay put; the simulator stops stepping
+        r.energy = d.energy;
         break;
     }
 
-    if (r.energy == 0.0)
-        r.energy = classEnergy(cls, r.cycles);
     pcValue = next_pc;
     return r;
 }

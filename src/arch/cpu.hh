@@ -15,8 +15,14 @@
 #include <array>
 #include <cstdint>
 
+#include "arch/decoded.hh"
 #include "arch/isa.hh"
 #include "mem/address_space.hh"
+#include "util/panic.hh"
+
+namespace eh::sim {
+class Simulator;
+}
 
 namespace eh::arch {
 
@@ -149,19 +155,94 @@ class Cpu
     /** Cost model in force. */
     const CostModel &costs() const { return cost; }
 
+    /**
+     * The one-time decode both engines execute from: peek() and step()
+     * read cached class/width/cost here, and the block engine batches
+     * whole spans of it (docs/PERFORMANCE.md).
+     */
+    const DecodedProgram &decoded() const { return dec; }
+
   private:
+    // The block execution engine updates registers/pc/executed directly
+    // while batching everything the interpreter loop would recompute.
+    friend class eh::sim::Simulator;
+
     double classEnergy(InstrClass cls, std::uint64_t cycles) const;
     std::uint32_t aluOp(const Instruction &in) const;
 
     const Program &prog;
     mem::AddressSpace &mem;
     CostModel cost;
+    DecodedProgram dec;
     std::array<std::uint32_t, NumRegs> regs{};
     std::uint64_t pcValue = 0;
     bool isHalted = false;
     bool poisoned = false;
     std::uint64_t executed = 0;
 };
+
+/** Branch-condition evaluation shared by step() and the block engine. */
+inline bool
+branchTaken(Opcode op, std::uint32_t a, std::uint32_t b)
+{
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    switch (op) {
+      case Opcode::B: return true;
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return sa < sb;
+      case Opcode::Bge: return sa >= sb;
+      case Opcode::Bltu: return a < b;
+      case Opcode::Bgeu: return a >= b;
+      default: panic("bad branch opcode");
+    }
+}
+
+// Defined in the header so the per-instruction interpreter switch
+// inlines into both engines' hot loops.
+inline std::uint32_t
+Cpu::aluOp(const Instruction &in) const
+{
+    const std::uint32_t a = regs[in.ra];
+    const std::uint32_t b = regs[in.rb];
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+    switch (in.op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::Divu: return b == 0 ? UINT32_MAX : a / b;
+      case Opcode::Remu: return b == 0 ? a : a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Orr: return a | b;
+      case Opcode::Eor: return a ^ b;
+      case Opcode::Lsl: return b >= 32 ? 0 : a << b;
+      case Opcode::Lsr: return b >= 32 ? 0 : a >> b;
+      case Opcode::Asr: {
+        const auto sa = static_cast<std::int32_t>(a);
+        const std::uint32_t sh = b >= 31 ? 31 : b;
+        return static_cast<std::uint32_t>(sa >> sh);
+      }
+      case Opcode::AddI: return a + imm;
+      case Opcode::SubI: return a - imm;
+      case Opcode::MulI: return a * imm;
+      case Opcode::AndI: return a & imm;
+      case Opcode::OrrI: return a | imm;
+      case Opcode::EorI: return a ^ imm;
+      case Opcode::LslI: return imm >= 32 ? 0 : a << imm;
+      case Opcode::LsrI: return imm >= 32 ? 0 : a >> imm;
+      case Opcode::AsrI: {
+        const auto sa = static_cast<std::int32_t>(a);
+        const std::int32_t sh = in.imm >= 31 ? 31 : in.imm;
+        return static_cast<std::uint32_t>(sa >> sh);
+      }
+      case Opcode::Mov: return a;
+      case Opcode::MovI: return imm;
+      case Opcode::Nop: return regs[in.rd];
+      default:
+        panic("aluOp called on non-ALU opcode");
+    }
+}
 
 } // namespace eh::arch
 

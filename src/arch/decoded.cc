@@ -1,0 +1,180 @@
+#include "arch/decoded.hh"
+
+#include <algorithm>
+
+#include "arch/cpu.hh"
+#include "util/panic.hh"
+
+namespace eh::arch {
+
+std::uint32_t
+accessBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldb:
+      case Opcode::Stb:
+        return 1;
+      case Opcode::Ldh:
+      case Opcode::Sth:
+        return 2;
+      default:
+        return 4;
+    }
+}
+
+namespace {
+
+std::uint32_t
+baseCycles(InstrClass cls, const CostModel &cost)
+{
+    switch (cls) {
+      case InstrClass::Alu: return cost.aluCycles;
+      case InstrClass::Mul: return cost.mulCycles;
+      case InstrClass::Div: return cost.divCycles;
+      case InstrClass::Load:
+      case InstrClass::Store: return cost.memCycles;
+      case InstrClass::Branch: return cost.branchCycles;
+      case InstrClass::Call: return cost.callCycles;
+      case InstrClass::Sense: return cost.senseCycles;
+      case InstrClass::Checkpoint: return cost.checkpointCycles;
+      case InstrClass::Halt: return cost.haltCycles;
+    }
+    panic("baseCycles: bad instruction class");
+}
+
+ExecKind
+kindOf(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Load:
+      case InstrClass::Store:
+        return ExecKind::Mem;
+      case InstrClass::Checkpoint:
+        return ExecKind::Checkpoint;
+      case InstrClass::Halt:
+        return ExecKind::Halt;
+      default:
+        return ExecKind::Straight;
+    }
+}
+
+bool
+transfersControl(InstrClass cls)
+{
+    return cls == InstrClass::Branch || cls == InstrClass::Call;
+}
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const Program &program,
+                               const CostModel &costs)
+{
+    const std::size_t n = program.code.size();
+    insn.resize(n);
+    cumCycles.resize(n + 1, 0);
+    cumEnergy.resize(n + 1, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        DecodedInsn &d = insn[i];
+        d.in = program.code[i];
+        d.cls = classify(d.in.op);
+        d.kind = kindOf(d.cls);
+        d.cycles = baseCycles(d.cls, costs);
+        if (d.kind == ExecKind::Mem) {
+            d.memBytes =
+                static_cast<std::uint8_t>(accessBytes(d.in.op));
+            d.isStore = (d.cls == InstrClass::Store);
+            // Memory energy depends on the access (cache state, NVM
+            // tech); it is resolved at execution with the interpreter's
+            // exact expression. The prefix sums see only the base part.
+            d.energy = costs.memEnergyPerCycle *
+                       static_cast<double>(d.cycles);
+        } else {
+            // Exactly Cpu::classEnergy(cls, cycles): the same
+            // rate-times-cycles product the interpreter computes.
+            double rate = costs.execEnergyPerCycle;
+            if (d.cls == InstrClass::Sense)
+                rate = costs.senseEnergyPerCycle;
+            d.energy = rate * static_cast<double>(d.cycles);
+        }
+        cumCycles[i + 1] = cumCycles[i] + d.cycles;
+        cumEnergy[i + 1] = cumEnergy[i] + d.energy;
+    }
+
+    // Straight-line spans, computed back to front: a span runs through
+    // consecutive Straight instructions and ends just after the first
+    // control transfer (which may jump anywhere, so nothing sequential
+    // follows it).
+    for (std::size_t i = n; i-- > 0;) {
+        DecodedInsn &d = insn[i];
+        if (d.kind != ExecKind::Straight) {
+            d.spanEnd = static_cast<std::uint32_t>(i);
+            continue;
+        }
+        if (transfersControl(d.cls) || i + 1 == n ||
+            insn[i + 1].kind != ExecKind::Straight) {
+            d.spanEnd = static_cast<std::uint32_t>(i + 1);
+        } else {
+            d.spanEnd = insn[i + 1].spanEnd;
+        }
+    }
+
+    // Classic basic blocks: leaders at the entry, at branch/call
+    // targets, and after any block-ending instruction; blocks also end
+    // at memory, checkpoint and halt instructions, which the block
+    // engine must dispatch individually.
+    std::vector<bool> leader(n, false);
+    if (n > 0)
+        leader[0] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const DecodedInsn &d = insn[i];
+        const bool ends_block =
+            transfersControl(d.cls) || d.kind != ExecKind::Straight;
+        if (ends_block && i + 1 < n)
+            leader[i + 1] = true;
+        if (transfersControl(d.cls) && d.in.op != Opcode::Ret) {
+            const auto target = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(d.in.imm));
+            if (target < n)
+                leader[target] = true;
+        }
+    }
+    for (std::size_t i = 0; i < n;) {
+        std::size_t end = i + 1;
+        if (transfersControl(insn[i].cls) ||
+            insn[i].kind != ExecKind::Straight) {
+            // single-instruction block (or the transfer ends it below)
+        } else {
+            while (end < n && !leader[end] &&
+                   insn[end].kind == ExecKind::Straight) {
+                if (transfersControl(insn[end].cls)) {
+                    ++end;
+                    break;
+                }
+                ++end;
+            }
+        }
+        BasicBlock b;
+        b.first = static_cast<std::uint32_t>(i);
+        b.end = static_cast<std::uint32_t>(end);
+        b.cycles = cumCycles[end] - cumCycles[i];
+        b.energy = cumEnergy[end] - cumEnergy[i];
+        blockTable.push_back(b);
+        i = end;
+    }
+}
+
+std::size_t
+DecodedProgram::blockOf(std::uint64_t pc) const
+{
+    EH_ASSERT(pc < insn.size(), "blockOf: pc out of range");
+    auto it = std::upper_bound(
+        blockTable.begin(), blockTable.end(), pc,
+        [](std::uint64_t p, const BasicBlock &b) { return p < b.end; });
+    // upper_bound with this predicate finds the first block whose end
+    // exceeds pc — exactly the covering block.
+    EH_ASSERT(it != blockTable.end(), "blockOf: no covering block");
+    return static_cast<std::size_t>(it - blockTable.begin());
+}
+
+} // namespace eh::arch

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * One-time program analysis backing the block execution engine
+ * (docs/PERFORMANCE.md). A Program is decoded once into a flat array of
+ * DecodedInsn — instruction class, memory-access width, base cycle count
+ * and (for non-memory instructions) the exact energy the interpreter
+ * would charge — so neither engine re-runs classify()/accessBytes() per
+ * executed instruction. On top of the array the analysis derives:
+ *
+ *  - straight-line *spans*: maximal runs of non-memory, non-checkpoint,
+ *    non-halt instructions ending at (and including) the first control
+ *    transfer. Within a span the program counter advances sequentially,
+ *    so the block engine can pre-clamp how many instructions fit a
+ *    cycle/energy budget instead of testing limits per instruction;
+ *  - per-program prefix sums of cycles and energy (valid across any
+ *    sequential range, hence across any span), used for that clamping
+ *    and for resolving how far a supply budget reaches into a span;
+ *  - classic basic blocks (leaders at branch targets, boundaries at
+ *    control transfers and at memory/checkpoint/halt instructions) for
+ *    inspection, tests and reporting.
+ *
+ * The decoded costs are *identical* to what Cpu::step() charges — the
+ * same rate-times-cycles products in the same order — which is what lets
+ * the block engine promise bit-identical results to the scalar path.
+ */
+
+#ifndef EH_ARCH_DECODED_HH
+#define EH_ARCH_DECODED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/isa.hh"
+
+namespace eh::arch {
+
+struct CostModel;
+
+/** Access width in bytes of a load/store opcode (4 for non-memory). */
+std::uint32_t accessBytes(Opcode op);
+
+/** How the block engine must dispatch one instruction. */
+enum class ExecKind : std::uint8_t
+{
+    Straight,   ///< ALU/branch/call/sense: executes without memory
+    Mem,        ///< load or store: needs the AddressSpace (and a peek)
+    Checkpoint, ///< triggers the policy's onCheckpointOp consultation
+    Halt,       ///< ends the program
+};
+
+/** One pre-decoded instruction with its interpreter-identical costs. */
+struct DecodedInsn
+{
+    Instruction in;                       ///< the instruction itself
+    InstrClass cls = InstrClass::Alu;     ///< cached classify(in.op)
+    ExecKind kind = ExecKind::Straight;   ///< engine dispatch kind
+    std::uint8_t memBytes = 0;            ///< access width; 0 if not Mem
+    bool isStore = false;                 ///< memory op writes
+    std::uint32_t cycles = 0;             ///< base cycles (pre-access)
+    double energy = 0.0;                  ///< full energy; 0.0 for Mem
+    std::uint32_t spanEnd = 0;            ///< one past this span's last insn
+};
+
+/** One basic block: [first, end) plus its summed base costs. */
+struct BasicBlock
+{
+    std::uint32_t first = 0;
+    std::uint32_t end = 0;       ///< exclusive
+    std::uint64_t cycles = 0;    ///< summed base cycles
+    double energy = 0.0;         ///< summed pre-resolved energy
+};
+
+/** The flat decoded program (see file header). */
+class DecodedProgram
+{
+  public:
+    DecodedProgram(const Program &program, const CostModel &costs);
+
+    /** Decoded instructions, index-aligned with Program::code. */
+    const std::vector<DecodedInsn> &instructions() const { return insn; }
+
+    /** Number of instructions. */
+    std::size_t size() const { return insn.size(); }
+
+    const DecodedInsn &at(std::uint64_t pc) const { return insn[pc]; }
+
+    /**
+     * cycleSums()[i] = base cycles of instructions [0, i). Meaningful
+     * differences require the range to execute sequentially (any
+     * sub-range of one span qualifies).
+     */
+    const std::vector<std::uint64_t> &cycleSums() const
+    {
+        return cumCycles;
+    }
+
+    /** energySums()[i] = pre-resolved energy of instructions [0, i). */
+    const std::vector<double> &energySums() const { return cumEnergy; }
+
+    /** Basic blocks in program order. */
+    const std::vector<BasicBlock> &blocks() const { return blockTable; }
+
+    /** Block index covering instruction @p pc. */
+    std::size_t blockOf(std::uint64_t pc) const;
+
+  private:
+    std::vector<DecodedInsn> insn;
+    std::vector<std::uint64_t> cumCycles; ///< size() + 1 entries
+    std::vector<double> cumEnergy;        ///< size() + 1 entries
+    std::vector<BasicBlock> blockTable;
+};
+
+} // namespace eh::arch
+
+#endif // EH_ARCH_DECODED_HH

@@ -37,14 +37,6 @@ EnergyMeter::add(Phase phase, std::uint64_t cycles, double energy)
 }
 
 void
-EnergyMeter::addUncommitted(std::uint64_t cycles, double energy)
-{
-    EH_ASSERT(energy >= 0.0, "uncommitted energy must be non-negative");
-    pendingCycles += cycles;
-    pendingEnergy += energy;
-}
-
-void
 EnergyMeter::commit()
 {
     add(Phase::Progress, pendingCycles, pendingEnergy);

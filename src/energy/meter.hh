@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/panic.hh"
+
 namespace eh::energy {
 
 /** Execution phases distinguished by the EH model. */
@@ -42,8 +44,18 @@ class EnergyMeter
     /** Record committed cycles/energy directly into a phase. */
     void add(Phase phase, std::uint64_t cycles, double energy);
 
-    /** Accumulate execution not yet saved by a backup. */
-    void addUncommitted(std::uint64_t cycles, double energy);
+    /**
+     * Accumulate execution not yet saved by a backup. Inline: called
+     * once per simulated instruction by both execution engines.
+     */
+    void
+    addUncommitted(std::uint64_t cycles, double energy)
+    {
+        EH_ASSERT(energy >= 0.0,
+                  "uncommitted energy must be non-negative");
+        pendingCycles += cycles;
+        pendingEnergy += energy;
+    }
 
     /** A backup succeeded: uncommitted work becomes forward progress. */
     void commit();

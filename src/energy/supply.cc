@@ -19,19 +19,6 @@ ConstantSupply::chargeUntilReady(std::uint64_t max_cycles)
     return 0;
 }
 
-bool
-ConstantSupply::consume(double demand, std::uint64_t cycles)
-{
-    (void)cycles; // no concurrent harvesting: cycle count is irrelevant
-    EH_ASSERT(demand >= 0.0, "demand must be non-negative");
-    if (stored < demand) {
-        stored = 0.0;
-        return false;
-    }
-    stored -= demand;
-    return true;
-}
-
 HarvestingSupply::HarvestingSupply(VoltageTrace trace,
                                    Transducer transducer,
                                    Capacitor capacitor)

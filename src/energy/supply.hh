@@ -15,6 +15,7 @@
 #include "energy/capacitor.hh"
 #include "energy/trace.hh"
 #include "energy/transducer.hh"
+#include "util/panic.hh"
 
 namespace eh::energy {
 
@@ -82,14 +83,29 @@ class EnergySupply
  * idealized setting and the paper's hardware experiments where the
  * active-period length is imposed externally.
  */
-class ConstantSupply : public EnergySupply
+class ConstantSupply final : public EnergySupply
 {
   public:
     /** @param period_energy E per active period (> 0). */
     explicit ConstantSupply(double period_energy);
 
     std::uint64_t chargeUntilReady(std::uint64_t max_cycles) override;
-    bool consume(double demand, std::uint64_t cycles = 1) override;
+
+    // Inline: the block engine's span loop calls this per instruction
+    // through a devirtualized reference (docs/PERFORMANCE.md).
+    bool
+    consume(double demand, std::uint64_t cycles = 1) override
+    {
+        (void)cycles; // no concurrent harvesting: count is irrelevant
+        EH_ASSERT(demand >= 0.0, "demand must be non-negative");
+        if (stored < demand) {
+            stored = 0.0;
+            return false;
+        }
+        stored -= demand;
+        return true;
+    }
+
     double storedEnergy() const override { return stored; }
     double chargeRatePerCycle() const override { return 0.0; }
     double periodBudget() const override { return budget; }

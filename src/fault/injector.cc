@@ -84,6 +84,24 @@ FaultInjector::failBeforeInstruction(std::uint64_t instruction,
     return fire;
 }
 
+std::uint64_t
+FaultInjector::nextInstructionTrigger() const
+{
+    if (forcedFailuresExhausted() ||
+        nextInstructionPoint >= instructionPoints.size()) {
+        return UINT64_MAX;
+    }
+    return instructionPoints[nextInstructionPoint];
+}
+
+std::uint64_t
+FaultInjector::nextCycleTrigger() const
+{
+    if (forcedFailuresExhausted() || nextCyclePoint >= cyclePoints.size())
+        return UINT64_MAX;
+    return cyclePoints[nextCyclePoint];
+}
+
 std::optional<std::uint64_t>
 FaultInjector::backupFailure(std::uint64_t backup_index,
                              std::uint64_t cycles)

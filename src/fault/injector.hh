@@ -58,6 +58,17 @@ class FaultInjector
                                std::uint64_t active_cycle);
 
     /**
+     * Smallest pending failAtInstruction point, or UINT64_MAX when none
+     * is pending (or forced failures are exhausted). The block engine
+     * clamps its quanta so failBeforeInstruction() is consulted at
+     * exactly this instruction.
+     */
+    std::uint64_t nextInstructionTrigger() const;
+
+    /** Smallest pending failAtCycle point, or UINT64_MAX when none. */
+    std::uint64_t nextCycleTrigger() const;
+
+    /**
      * Should backup number @p backup_index (0-based attempt count),
      * which will take @p cycles cycles, be interrupted? Returns the
      * cycle offset in [0, cycles) at which power dies, or nullopt.

@@ -8,7 +8,8 @@ namespace eh::mem {
 
 AddressSpace::AddressSpace(std::size_t sram_bytes, std::size_t nvm_bytes,
                            NvmTech tech)
-    : volatileBytes(sram_bytes), volatileMem(sram_bytes),
+    : volatileBytes(sram_bytes),
+      limitBytes(sram_bytes + nvm_bytes), volatileMem(sram_bytes),
       nonvolatileMem(nvm_bytes, tech)
 {
 }
@@ -16,7 +17,7 @@ AddressSpace::AddressSpace(std::size_t sram_bytes, std::size_t nvm_bytes,
 std::uint64_t
 AddressSpace::limit() const
 {
-    return volatileBytes + nonvolatileMem.size();
+    return limitBytes;
 }
 
 bool
@@ -52,7 +53,7 @@ AddressSpace::cachedCost(std::uint64_t addr, std::size_t len,
 }
 
 MemAccessResult
-AddressSpace::read(std::uint64_t addr, void *out, std::size_t len)
+AddressSpace::readSlow(std::uint64_t addr, void *out, std::size_t len)
 {
     if (len == 0)
         return {0, 0.0, false};
@@ -78,7 +79,8 @@ AddressSpace::read(std::uint64_t addr, void *out, std::size_t len)
 }
 
 MemAccessResult
-AddressSpace::write(std::uint64_t addr, const void *in, std::size_t len)
+AddressSpace::writeSlow(std::uint64_t addr, const void *in,
+                        std::size_t len)
 {
     if (len == 0)
         return {0, 0.0, false};

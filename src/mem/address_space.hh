@@ -53,12 +53,50 @@ class AddressSpace
     /** True when addr lies in the nonvolatile region. */
     bool isNonvolatile(std::uint64_t addr) const;
 
-    /** Read @p len bytes; dispatches by region. */
-    MemAccessResult read(std::uint64_t addr, void *out, std::size_t len);
+    /**
+     * Read @p len bytes; dispatches by region. The common cases — an
+     * access entirely inside one region, no cache interposed on NVM —
+     * dispatch inline; everything else (zero length, region straddles,
+     * out-of-range fatals, cache cost modelling) takes the slow path.
+     */
+    MemAccessResult
+    read(std::uint64_t addr, void *out, std::size_t len)
+    {
+        if (len != 0) {
+            if (addr < volatileBytes) {
+                if (len <= volatileBytes - addr) {
+                    volatileMem.read(addr, out, len);
+                    return {0, 0.0, false};
+                }
+            } else if (addr < limitBytes && len <= limitBytes - addr &&
+                       !nvCache) {
+                const auto cost =
+                    nonvolatileMem.read(addr - volatileBytes, out, len);
+                return {cost.cycles, cost.energy, true};
+            }
+        }
+        return readSlow(addr, out, len);
+    }
 
-    /** Write @p len bytes; dispatches by region. */
-    MemAccessResult write(std::uint64_t addr, const void *in,
-                          std::size_t len);
+    /** Write @p len bytes; dispatches by region (see read()). */
+    MemAccessResult
+    write(std::uint64_t addr, const void *in, std::size_t len)
+    {
+        if (len != 0) {
+            if (addr < volatileBytes) {
+                if (len <= volatileBytes - addr) {
+                    volatileMem.write(addr, in, len);
+                    return {0, 0.0, false};
+                }
+            } else if (addr < limitBytes && len <= limitBytes - addr &&
+                       !nvCache) {
+                const auto cost =
+                    nonvolatileMem.write(addr - volatileBytes, in, len);
+                return {cost.cycles, cost.energy, true};
+            }
+        }
+        return writeSlow(addr, in, len);
+    }
 
     /** 32-bit load (must not straddle the region boundary). */
     std::uint32_t load32(std::uint64_t addr, MemAccessResult *cost);
@@ -109,7 +147,14 @@ class AddressSpace
     MemAccessResult cachedCost(std::uint64_t addr, std::size_t len,
                                bool is_store);
 
+    /** Full dispatch: straddle/range fatals, cache, zero length. */
+    MemAccessResult readSlow(std::uint64_t addr, void *out,
+                             std::size_t len);
+    MemAccessResult writeSlow(std::uint64_t addr, const void *in,
+                              std::size_t len);
+
     std::size_t volatileBytes;
+    std::uint64_t limitBytes; ///< cached limit() (sizes never change)
     Sram volatileMem;
     Nvm nonvolatileMem;
     std::optional<Cache> nvCache;

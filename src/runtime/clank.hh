@@ -49,6 +49,26 @@ class Clank : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: the tracking buffers consume MemPeek data
+    // (needsPeek), so every load/store runs under the exact
+    // per-instruction protocol; between memory accesses only the
+    // watchdog can fire, bounded by the cycles left in its period.
+    PolicyCaps blockCaps() const override { return {true, false}; }
+    DecisionHorizon decisionHorizon() const override
+    {
+        DecisionHorizon h;
+        const std::uint64_t since = detector.cyclesSinceBackup();
+        const std::uint64_t period = detector.watchdogPeriod();
+        h.cycles = since >= period ? 0 : period - since;
+        return h;
+    }
+    void onBlockAdvance(std::uint64_t cycles,
+                        std::uint64_t instructions) override
+    {
+        (void)instructions;
+        (void)detector.tick(cycles);
+    }
+
     /** Detection hardware (tests and characterization reach in). */
     const arch::IdempotencyTracker &tracker() const { return detector; }
 

@@ -47,6 +47,12 @@ class Dino : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: DINO commits only at task boundaries
+    // (CHECKPOINT instructions) and its afterStep() only records
+    // volatile stores — which the engine always delivers through real
+    // afterStep() calls. Everything else may be batched freely.
+    PolicyCaps blockCaps() const override { return {false, false}; }
+
     /** Task commits so far. */
     std::uint64_t tasksCommitted() const { return commits; }
 

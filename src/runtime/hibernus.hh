@@ -49,6 +49,26 @@ class Hibernus : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: beforeStep() is a no-op until the next
+    // ADC check is due (or forever once the single backup happened).
+    PolicyCaps blockCaps() const override { return {false, false}; }
+    DecisionHorizon decisionHorizon() const override
+    {
+        DecisionHorizon h;
+        if (!backedUpThisPeriod) {
+            h.cycles = cyclesSinceCheck >= cfg.monitorPeriod
+                           ? 0
+                           : cfg.monitorPeriod - cyclesSinceCheck;
+        }
+        return h;
+    }
+    void onBlockAdvance(std::uint64_t cycles,
+                        std::uint64_t instructions) override
+    {
+        (void)instructions;
+        cyclesSinceCheck += cycles;
+    }
+
     /** Number of ADC checks performed (overhead characterization). */
     std::uint64_t adcChecks() const { return checks; }
 

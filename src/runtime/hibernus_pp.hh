@@ -62,6 +62,26 @@ class HibernusPP : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: identical shape to Hibernus — quiet until
+    // the next ADC check is due, quiet forever once backed up.
+    PolicyCaps blockCaps() const override { return {false, false}; }
+    DecisionHorizon decisionHorizon() const override
+    {
+        DecisionHorizon h;
+        if (!backedUpThisPeriod) {
+            h.cycles = cyclesSinceCheck >= cfg.monitorPeriod
+                           ? 0
+                           : cfg.monitorPeriod - cyclesSinceCheck;
+        }
+        return h;
+    }
+    void onBlockAdvance(std::uint64_t cycles,
+                        std::uint64_t instructions) override
+    {
+        (void)instructions;
+        cyclesSinceCheck += cycles;
+    }
+
     /** Current adapted threshold fraction (tests/telemetry). */
     double threshold() const { return thresholdFraction; }
 

@@ -50,6 +50,11 @@ class Mementos : public BackupPolicy
     void onPowerFail() override {}
     void onRestore() override {}
 
+    // Block-engine contract: Mementos acts only at CHECKPOINT
+    // instructions, which always interrupt a block quantum, so every
+    // hook between them is a no-op and the horizon is unbounded.
+    PolicyCaps blockCaps() const override { return {false, false}; }
+
     /** Checkpoints reached (taken or skipped). */
     std::uint64_t checkpointsSeen() const { return seen; }
 

@@ -47,6 +47,26 @@ class Nvp : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: fires purely on an instruction counter.
+    // With backupEveryInstructions = 1 the horizon is always one
+    // instruction, so the engine degenerates to (exact) stepping — NVP
+    // is inherently a per-instruction policy.
+    PolicyCaps blockCaps() const override { return {false, false}; }
+    DecisionHorizon decisionHorizon() const override
+    {
+        DecisionHorizon h;
+        h.instructions = sinceBackup >= cfg.backupEveryInstructions
+                             ? 0
+                             : cfg.backupEveryInstructions - sinceBackup;
+        return h;
+    }
+    void onBlockAdvance(std::uint64_t cycles,
+                        std::uint64_t instructions) override
+    {
+        (void)cycles;
+        sinceBackup += instructions;
+    }
+
   private:
     NvpConfig cfg;
     std::uint64_t sinceBackup = 0;

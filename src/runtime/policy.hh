@@ -60,6 +60,52 @@ struct PolicyDecision
 };
 
 /**
+ * What the block execution engine may batch around a policy
+ * (docs/PERFORMANCE.md). The defaults are maximally conservative: a
+ * policy that declares nothing runs under the exact per-instruction
+ * protocol even on the block engine.
+ */
+struct PolicyCaps
+{
+    /**
+     * beforeStep() inspects (and possibly updates state from) the
+     * MemPeek of upcoming memory instructions — Clank's tracking
+     * buffers, Ratchet's WAR rule. The engine then runs every
+     * load/store through the full per-instruction protocol.
+     */
+    bool needsPeek = true;
+
+    /**
+     * beforeStep()/afterStep() may act or accumulate state on *any*
+     * instruction, so nothing may be batched. Policies that clear this
+     * flag promise that, between the decision points the engine is
+     * obliged to visit (see DecisionHorizon), every beforeStep() would
+     * return Continue with no monitor overhead, and that replacing the
+     * skipped afterStep() calls for non-memory instructions with one
+     * onBlockAdvance(total cycles, count) reproduces their state
+     * exactly. Memory instructions always get a real afterStep().
+     */
+    bool needsPerInstructionHook = true;
+};
+
+/**
+ * How far the policy allows execution to run before it must be
+ * consulted again — its decision granularity. The engine stops at the
+ * first instruction boundary where either bound is reached, counted
+ * from the consultation that returned this horizon; unbounded
+ * dimensions use the `unbounded` sentinel. A zero bound degrades that
+ * quantum to a single exactly-emulated instruction, so a conservative
+ * horizon is always safe.
+ */
+struct DecisionHorizon
+{
+    static constexpr std::uint64_t unbounded = UINT64_MAX;
+
+    std::uint64_t cycles = unbounded;
+    std::uint64_t instructions = unbounded;
+};
+
+/**
  * Policy interface. Contract with the simulator, per instruction:
  *
  *  1. The simulator calls beforeStep() with the CPU, a peek at the next
@@ -141,6 +187,32 @@ class BackupPolicy
      * already cleared by onPowerFail(), so most have nothing to do.
      */
     virtual void onRestoreFailed() {}
+
+    // --- Block-engine capability contract (docs/PERFORMANCE.md) -----
+
+    /** What the block engine may batch; conservative by default. */
+    virtual PolicyCaps blockCaps() const { return {}; }
+
+    /**
+     * Bound, from the policy's current state, on how long beforeStep()
+     * is guaranteed to keep returning a no-overhead Continue. Consulted
+     * only when blockCaps() clears needsPerInstructionHook.
+     */
+    virtual DecisionHorizon decisionHorizon() const { return {}; }
+
+    /**
+     * Batched substitute for the afterStep() calls of @p instructions
+     * non-memory instructions totalling @p cycles cycles, delivered in
+     * execution order relative to the afterStep() of any interleaved
+     * memory instruction. Consulted only when blockCaps() clears
+     * needsPerInstructionHook.
+     */
+    virtual void onBlockAdvance(std::uint64_t cycles,
+                                std::uint64_t instructions)
+    {
+        (void)cycles;
+        (void)instructions;
+    }
 };
 
 } // namespace eh::runtime

@@ -52,6 +52,26 @@ class Ratchet : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: the WAR rule consumes MemPeek data
+    // (needsPeek), so every load/store runs under the exact
+    // per-instruction protocol; between memory accesses only the
+    // section timer can fire.
+    PolicyCaps blockCaps() const override { return {true, false}; }
+    DecisionHorizon decisionHorizon() const override
+    {
+        DecisionHorizon h;
+        h.cycles = sectionCycles >= cfg.maxSectionCycles
+                       ? 0
+                       : cfg.maxSectionCycles - sectionCycles;
+        return h;
+    }
+    void onBlockAdvance(std::uint64_t cycles,
+                        std::uint64_t instructions) override
+    {
+        (void)instructions;
+        sectionCycles += cycles;
+    }
+
     /** WAR-break checkpoints taken so far. */
     std::uint64_t warBreaks() const { return breaks; }
 

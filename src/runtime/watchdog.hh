@@ -49,6 +49,25 @@ class Watchdog : public BackupPolicy
     void onPowerFail() override;
     void onRestore() override;
 
+    // Block-engine contract: beforeStep() fires only when the timer
+    // elapses and afterStep() only accumulates cycles plus the store
+    // queue, which the engine feeds through real afterStep() calls.
+    PolicyCaps blockCaps() const override { return {false, false}; }
+    DecisionHorizon decisionHorizon() const override
+    {
+        DecisionHorizon h;
+        h.cycles = sinceBackup >= cfg.periodCycles
+                       ? 0
+                       : cfg.periodCycles - sinceBackup;
+        return h;
+    }
+    void onBlockAdvance(std::uint64_t cycles,
+                        std::uint64_t instructions) override
+    {
+        (void)instructions;
+        sinceBackup += cycles;
+    }
+
     /** Unique dirty bytes currently pending (alpha_B instrument). */
     std::size_t pendingDirtyBytes() const { return dirty.uniqueBytes(); }
 

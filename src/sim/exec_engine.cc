@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Basic-block fast-path execution engine (docs/PERFORMANCE.md).
+ *
+ * The scalar engine consults the policy, the fault injector and the
+ * supply once per instruction. This engine consults them once per
+ * *decision point* instead, and between decision points executes
+ * straight-line spans of pre-decoded instructions in a tight loop —
+ * while preserving bit-identical results. The argument:
+ *
+ *  - A policy that clears PolicyCaps::needsPerInstructionHook promises
+ *    that, within the horizon it reported at its last consultation,
+ *    every beforeStep() would return Continue with no monitor
+ *    overhead, so skipping those calls is unobservable. The quantum is
+ *    clamped so execution stops at (or before) the first boundary
+ *    where the horizon elapses; the policy is then re-consulted with
+ *    state identical to the scalar run's (onBlockAdvance() delivered
+ *    the batched counters first).
+ *  - The quantum is also clamped to the fault injector's next pending
+ *    trigger, so failBeforeInstruction() is consulted at exactly the
+ *    instruction boundary where it would fire in the scalar run — a
+ *    consultation that does not fire is a no-op, so the skipped
+ *    intermediate consultations are unobservable too.
+ *  - Per-instruction floating-point effects (supply draw, uncommitted
+ *    meter, period energy) are kept per instruction in the same order
+ *    as the interpreter, so every double is the same double. Only
+ *    integer counters are batched.
+ *  - Memory, checkpoint and halt instructions — and any instruction
+ *    under a peek-consuming policy's gaze or a zero horizon — run
+ *    through the exact same helper (execInstruction()) the scalar
+ *    engine is built from. There is one implementation of the
+ *    observable protocol, not two.
+ */
+
+#include <algorithm>
+#include <type_traits>
+
+#include "energy/supply.hh"
+#include "fault/injector.hh"
+#include "sim/simulator.hh"
+#include "util/panic.hh"
+
+namespace eh::sim {
+
+void
+Simulator::runPeriodBlock()
+{
+    if (pol.blockCaps().needsPerInstructionHook) {
+        // The policy may act on any instruction: the exact
+        // per-instruction loop *is* the contract.
+        runPeriodScalar();
+        return;
+    }
+    // Devirtualize the hot supply draw where the concrete type is
+    // known; ConstantSupply::consume() is final and inline, so the
+    // span loop pays no virtual dispatch per instruction.
+    if (auto *constant = dynamic_cast<energy::ConstantSupply *>(&sup))
+        runPeriodBlockImpl(*constant);
+    else
+        runPeriodBlockImpl(sup);
+}
+
+template <typename SupplyT>
+void
+Simulator::runPeriodBlockImpl(SupplyT &supply)
+{
+    const runtime::PolicyCaps caps = pol.blockCaps();
+    const arch::DecodedProgram &dec = cpu_.dec;
+    const arch::DecodedInsn *insns = dec.instructions().data();
+    const std::uint64_t *cumC = dec.cycleSums().data();
+    const std::uint64_t n = dec.size();
+    const bool tracing = traceTrack != 0;
+
+    std::uint64_t instrs = 0; // executed this period
+
+    // Batched afterStep() substitute for non-memory instructions,
+    // flushed before anything that can observe policy state.
+    std::uint64_t advC = 0;
+    std::uint64_t advI = 0;
+    const auto flushAdv = [&] {
+        if (advI == 0)
+            return;
+        pol.onBlockAdvance(advC, advI);
+        advC = 0;
+        advI = 0;
+    };
+
+    for (;;) {
+        // ---- decision point ------------------------------------------
+        flushAdv();
+        if (instrs >= cfg.maxInstructionsPerPeriod) {
+            // Same instant as the scalar engine: its attempt counter
+            // trips *before* the policy consultation of instruction
+            // maxInstructionsPerPeriod + 1.
+            panicf("simulator: period exceeded ",
+                   cfg.maxInstructionsPerPeriod,
+                   " instructions — runaway program or supply");
+        }
+        const arch::MemPeek peek = cpu_.peek();
+        if (consultBeforeStep(peek) == PeriodStatus::Ended)
+            return;
+        if (injectorFailsHere())
+            return;
+
+        if (caps.needsPeek && peek.isMem) {
+            // Peek-consuming policies (Clank, Ratchet) get the full
+            // exact protocol around every load/store.
+            ++instrs;
+            if (execInstruction() == PeriodStatus::Ended)
+                return;
+            continue;
+        }
+
+        // ---- quantum bounds ------------------------------------------
+        const runtime::DecisionHorizon hz = pol.decisionHorizon();
+        std::uint64_t limC = hz.cycles;
+        std::uint64_t limI = std::min(
+            hz.instructions, cfg.maxInstructionsPerPeriod - instrs);
+        if (inj) {
+            // Both triggers are strictly ahead of the counters here:
+            // the consultation above just returned false.
+            const std::uint64_t ni = inj->nextInstructionTrigger();
+            if (ni != UINT64_MAX)
+                limI = std::min(limI, ni - lifetimeInstructions);
+            const std::uint64_t nc = inj->nextCycleTrigger();
+            if (nc != UINT64_MAX)
+                limC = std::min(limC, nc - lifetimeActiveCycles);
+        }
+        if (limC == 0 || limI == 0) {
+            // Degenerate horizon: one exactly-emulated instruction
+            // keeps progress guaranteed whatever the policy reports.
+            ++instrs;
+            if (execInstruction() == PeriodStatus::Ended)
+                return;
+            continue;
+        }
+
+        // ---- one quantum ---------------------------------------------
+        const std::uint64_t baseI = instrs;
+        const std::uint64_t baseC = lifetimeActiveCycles;
+        while (instrs - baseI < limI &&
+               lifetimeActiveCycles - baseC < limC) {
+            const std::uint64_t pc = cpu_.pcValue;
+            if (pc >= n || insns[pc].kind != arch::ExecKind::Straight) {
+                if (pc < n && insns[pc].kind == arch::ExecKind::Mem &&
+                    caps.needsPeek) {
+                    break; // the decision point owns this access
+                }
+                // Memory, checkpoint, halt and out-of-range fetches all
+                // run the exact path (which raises the canonical panic
+                // for the latter). beforeStep() and the injector are
+                // skippable here: the policy is quiet inside its
+                // horizon and no injector trigger fits the quantum.
+                const bool checkpoint =
+                    pc < n &&
+                    insns[pc].kind == arch::ExecKind::Checkpoint;
+                flushAdv();
+                ++instrs;
+                if (execInstruction() == PeriodStatus::Ended)
+                    return;
+                if (checkpoint)
+                    break; // backup may have reset the horizon
+                continue;
+            }
+
+            // Straight-line span: clamp the instruction count against
+            // the quantum bounds via the prefix sums, then execute the
+            // whole run without re-checking limits per instruction.
+            std::uint64_t m = insns[pc].spanEnd - pc;
+            m = std::min(m, limI - (instrs - baseI));
+            const std::uint64_t remC =
+                limC - (lifetimeActiveCycles - baseC);
+            if (remC < cumC[pc + m] - cumC[pc]) {
+                // First j whose cumulative cycles reach remC — the
+                // boundary where the scalar run would next consult.
+                const std::uint64_t *stop = std::lower_bound(
+                    cumC + pc + 1, cumC + pc + m + 1, cumC[pc] + remC);
+                m = static_cast<std::uint64_t>(stop - (cumC + pc));
+            }
+
+            std::uint64_t p = pc;
+            const std::uint64_t spanEnd = pc + m;
+            bool transferred = false;
+            for (; p < spanEnd; ++p) {
+                const arch::DecodedInsn &d = insns[p];
+                const arch::Instruction &in = d.in;
+                std::uint64_t next_pc = p + 1;
+                switch (d.cls) {
+                  case arch::InstrClass::Branch:
+                    if (arch::branchTaken(in.op, cpu_.regs[in.ra],
+                                          cpu_.regs[in.rb])) {
+                        next_pc = static_cast<std::uint64_t>(in.imm);
+                    }
+                    break;
+                  case arch::InstrClass::Call:
+                    if (in.op == arch::Opcode::Call) {
+                        cpu_.regs[arch::LR] =
+                            static_cast<std::uint32_t>(p + 1);
+                        next_pc = static_cast<std::uint64_t>(in.imm);
+                    } else { // Ret
+                        next_pc = cpu_.regs[arch::LR];
+                    }
+                    break;
+                  case arch::InstrClass::Sense:
+                    cpu_.regs[in.rd] =
+                        arch::Cpu::sensorValue(cpu_.regs[in.ra]);
+                    break;
+                  default: // Alu / Mul / Div
+                    cpu_.regs[in.rd] = cpu_.aluOp(in);
+                    break;
+                }
+                ++cpu_.executed;
+                ++lifetimeInstructions;
+                lifetimeActiveCycles += d.cycles;
+
+                // Inline consumeTracked() against the devirtualized
+                // supply: the same statements, the same doubles.
+                const double before = supply.storedEnergy();
+                const bool ok = supply.consume(d.energy, d.cycles);
+                const double spent =
+                    ok ? d.energy
+                       : std::max(0.0, before - supply.storedEnergy());
+                periodEnergyConsumed += spent;
+                stats.meter.addUncommitted(d.cycles, spent);
+                cyclesSinceBackup += d.cycles;
+                if (tracing) {
+                    if (chunkExecCycles + chunkMonCycles == 0)
+                        chunkStart = vnow;
+                    chunkExecCycles += d.cycles;
+                    chunkExecEnergy += spent;
+                    vnow += d.cycles;
+                }
+                ++instrs;
+                if (!ok) {
+                    // The scalar run skips the failing instruction's
+                    // afterStep(); deliver only its predecessors.
+                    flushAdv();
+                    handlePowerFailure();
+                    return;
+                }
+                advC += d.cycles;
+                ++advI;
+                if (next_pc != p + 1) {
+                    // Taken branch / call / ret: spans only end in
+                    // control transfers, so this is the last iteration.
+                    cpu_.pcValue = next_pc;
+                    transferred = true;
+                    break;
+                }
+            }
+            if (!transferred)
+                cpu_.pcValue = p; // sequential fallthrough
+        }
+        // Quantum bound reached: back to the decision point.
+    }
+}
+
+// The two instantiations run() can dispatch to.
+template void
+Simulator::runPeriodBlockImpl<energy::ConstantSupply>(
+    energy::ConstantSupply &);
+template void
+Simulator::runPeriodBlockImpl<energy::EnergySupply>(energy::EnergySupply &);
+
+} // namespace eh::sim

@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -14,6 +16,9 @@ namespace eh::sim {
 
 namespace {
 
+/** Process-wide Auto fallback, settable from a CLI (--engine). */
+std::atomic<ExecEngine> defaultEngine{ExecEngine::Auto};
+
 /** Magic word marking a valid checkpoint slot header. */
 constexpr std::uint32_t checkpointMagic = 0xE4C0FFEE;
 
@@ -26,6 +31,53 @@ constexpr std::uint64_t slotSeqOffset = 12;
 constexpr std::uint64_t slotBodyOffset = 8; ///< CRC covers from here on
 
 } // namespace
+
+const char *
+execEngineName(ExecEngine engine)
+{
+    switch (engine) {
+      case ExecEngine::Auto:
+        return "auto";
+      case ExecEngine::Scalar:
+        return "scalar";
+      case ExecEngine::Block:
+        return "block";
+    }
+    return "unknown";
+}
+
+ExecEngine
+parseExecEngine(const std::string &name)
+{
+    if (name == "auto")
+        return ExecEngine::Auto;
+    if (name == "scalar")
+        return ExecEngine::Scalar;
+    if (name == "block")
+        return ExecEngine::Block;
+    fatalf("unknown execution engine '", name,
+           "' (expected auto, scalar or block)");
+}
+
+void
+setDefaultExecEngine(ExecEngine engine)
+{
+    defaultEngine.store(engine, std::memory_order_relaxed);
+}
+
+ExecEngine
+resolveExecEngine(ExecEngine configured)
+{
+    if (configured != ExecEngine::Auto)
+        return configured;
+    if (const char *env = std::getenv("EH_EXEC_ENGINE")) {
+        const ExecEngine e = parseExecEngine(env);
+        if (e != ExecEngine::Auto)
+            return e;
+    }
+    const ExecEngine def = defaultEngine.load(std::memory_order_relaxed);
+    return def == ExecEngine::Auto ? ExecEngine::Block : def;
+}
 
 const char *
 outcomeName(Outcome outcome)
@@ -144,7 +196,8 @@ Simulator::Simulator(const arch::Program &program,
                      energy::EnergySupply &supply, const SimConfig &config)
     : prog(program), pol(policy), sup(supply), cfg(config),
       mem_(config.sramBytes, config.nvmBytes, config.nvmTech),
-      cpu_(program, mem_, config.costs)
+      cpu_(program, mem_, config.costs),
+      engine_(resolveExecEngine(config.executionEngine))
 {
     // Validate the whole configuration up front with actionable fatal()
     // messages, instead of tripping a panic() (or worse, silent
@@ -698,6 +751,128 @@ Simulator::restoreFromSlot(std::uint32_t slot, bool fallback,
     return ActionStatus::Ok;
 }
 
+Simulator::PeriodStatus
+Simulator::consultBeforeStep(const arch::MemPeek &peek)
+{
+    int guard = 0;
+    for (;;) {
+        const auto d = pol.beforeStep(cpu_, peek, view());
+        if (chargeMonitorOverhead(d) != ActionStatus::Ok)
+            return PeriodStatus::Ended;
+        if (d.action == runtime::PolicyAction::Continue)
+            return PeriodStatus::Running;
+        if (doBackup(d.reason) != ActionStatus::Ok)
+            return PeriodStatus::Ended;
+        if (d.action == runtime::PolicyAction::BackupAndSleep) {
+            sup.hibernate();
+            return PeriodStatus::Ended;
+        }
+        if (++guard > 8)
+            panic("policy demands backups without making progress");
+    }
+}
+
+bool
+Simulator::injectorFailsHere()
+{
+    // Forced power failure at this instruction boundary (the plan's
+    // chosen cycle or k-th instruction was reached).
+    if (!inj || !inj->failBeforeInstruction(lifetimeInstructions,
+                                            lifetimeActiveCycles)) {
+        return false;
+    }
+    if (traceTrack != 0)
+        obs::trace().instantTicks(traceTrack, obs::Category::Fault,
+                                  "fault:power", vnow);
+    handlePowerFailure();
+    return true;
+}
+
+Simulator::PeriodStatus
+Simulator::handleCheckpointOp()
+{
+    const auto d = pol.onCheckpointOp(view());
+    if (chargeMonitorOverhead(d) != ActionStatus::Ok)
+        return PeriodStatus::Ended;
+    if (d.action != runtime::PolicyAction::Continue) {
+        if (doBackup(d.reason) != ActionStatus::Ok)
+            return PeriodStatus::Ended;
+        if (d.action == runtime::PolicyAction::BackupAndSleep) {
+            sup.hibernate();
+            return PeriodStatus::Ended;
+        }
+    }
+    return PeriodStatus::Running;
+}
+
+void
+Simulator::handleHalt()
+{
+    // Commit the final state; on failure the next period re-executes
+    // from the last checkpoint.
+    if (doBackup(arch::BackupTrigger::None) == ActionStatus::Ok)
+        stats.finished = true;
+}
+
+Simulator::PeriodStatus
+Simulator::execInstruction()
+{
+    // Execute one instruction and pay for it.
+    const arch::StepResult step = cpu_.step();
+    ++lifetimeInstructions;
+    lifetimeActiveCycles += step.cycles;
+    bool ok = false;
+    const double spent = consumeTracked(step.energy, step.cycles, ok);
+    periodEnergyConsumed += spent;
+    stats.meter.addUncommitted(step.cycles, spent);
+    cyclesSinceBackup += step.cycles;
+    if (traceTrack != 0) {
+        if (chunkExecCycles + chunkMonCycles == 0)
+            chunkStart = vnow;
+        chunkExecCycles += step.cycles;
+        chunkExecEnergy += spent;
+        vnow += step.cycles;
+    }
+    if (!ok) {
+        handlePowerFailure();
+        return PeriodStatus::Ended;
+    }
+    pol.afterStep(cpu_, step);
+
+    if (step.checkpointRequested &&
+        handleCheckpointOp() == PeriodStatus::Ended) {
+        return PeriodStatus::Ended;
+    }
+
+    if (step.halted) {
+        handleHalt();
+        return PeriodStatus::Ended;
+    }
+    return PeriodStatus::Running;
+}
+
+void
+Simulator::runPeriodScalar()
+{
+    std::uint64_t instrs = 0;
+    for (;;) {
+        if (++instrs > cfg.maxInstructionsPerPeriod) {
+            panicf("simulator: period exceeded ",
+                   cfg.maxInstructionsPerPeriod,
+                   " instructions — runaway program or supply");
+        }
+
+        // Pre-step policy consultation (may demand backups).
+        const arch::MemPeek peek = cpu_.peek();
+        if (consultBeforeStep(peek) == PeriodStatus::Ended)
+            return;
+        if (injectorFailsHere())
+            return;
+        if (execInstruction() == PeriodStatus::Ended)
+            return;
+    }
+}
+
 SimStats
 Simulator::run()
 {
@@ -781,103 +956,10 @@ Simulator::run()
         pol.onRestore();
         cyclesSinceBackup = 0;
 
-        std::uint64_t instrs = 0;
-        bool period_ended = false;
-        while (!period_ended) {
-            if (++instrs > cfg.maxInstructionsPerPeriod) {
-                panicf("simulator: period exceeded ",
-                       cfg.maxInstructionsPerPeriod,
-                       " instructions — runaway program or supply");
-            }
-
-            // Pre-step policy consultation (may demand backups).
-            const arch::MemPeek peek = cpu_.peek();
-            int guard = 0;
-            for (;;) {
-                const auto d = pol.beforeStep(cpu_, peek, view());
-                if (chargeMonitorOverhead(d) != ActionStatus::Ok) {
-                    period_ended = true;
-                    break;
-                }
-                if (d.action == runtime::PolicyAction::Continue)
-                    break;
-                if (doBackup(d.reason) != ActionStatus::Ok) {
-                    period_ended = true;
-                    break;
-                }
-                if (d.action == runtime::PolicyAction::BackupAndSleep) {
-                    sup.hibernate();
-                    period_ended = true;
-                    break;
-                }
-                if (++guard > 8)
-                    panic("policy demands backups without making "
-                          "progress");
-            }
-            if (period_ended)
-                break;
-
-            // Forced power failure at this instruction boundary (the
-            // plan's chosen cycle or k-th instruction was reached).
-            if (inj &&
-                inj->failBeforeInstruction(lifetimeInstructions,
-                                           lifetimeActiveCycles)) {
-                if (traceTrack != 0)
-                    obs::trace().instantTicks(traceTrack,
-                                              obs::Category::Fault,
-                                              "fault:power", vnow);
-                handlePowerFailure();
-                break;
-            }
-
-            // Execute one instruction and pay for it.
-            const arch::StepResult step = cpu_.step();
-            ++lifetimeInstructions;
-            lifetimeActiveCycles += step.cycles;
-            bool ok = false;
-            const double spent =
-                consumeTracked(step.energy, step.cycles, ok);
-            periodEnergyConsumed += spent;
-            stats.meter.addUncommitted(step.cycles, spent);
-            cyclesSinceBackup += step.cycles;
-            if (traceTrack != 0) {
-                if (chunkExecCycles + chunkMonCycles == 0)
-                    chunkStart = vnow;
-                chunkExecCycles += step.cycles;
-                chunkExecEnergy += spent;
-                vnow += step.cycles;
-            }
-            if (!ok) {
-                handlePowerFailure();
-                break;
-            }
-            pol.afterStep(cpu_, step);
-
-            if (step.checkpointRequested) {
-                const auto d = pol.onCheckpointOp(view());
-                if (chargeMonitorOverhead(d) != ActionStatus::Ok)
-                    break;
-                if (d.action != runtime::PolicyAction::Continue) {
-                    if (doBackup(d.reason) != ActionStatus::Ok)
-                        break;
-                    if (d.action ==
-                        runtime::PolicyAction::BackupAndSleep) {
-                        sup.hibernate();
-                        break;
-                    }
-                }
-            }
-
-            if (step.halted) {
-                // Commit the final state; on failure the next period
-                // re-executes from the last checkpoint.
-                if (doBackup(arch::BackupTrigger::None) ==
-                    ActionStatus::Ok) {
-                    stats.finished = true;
-                }
-                break;
-            }
-        }
+        if (engine_ == ExecEngine::Block)
+            runPeriodBlock();
+        else
+            runPeriodScalar();
         stats.periodEnergy.add(periodEnergyConsumed);
         trace_period(period_start_tick, charged);
         const std::uint64_t committed_cycles =

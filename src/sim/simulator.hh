@@ -58,6 +58,37 @@ checkpointSlotBytes(std::size_t arch_state_bytes,
     return checkpointSlotHeaderBytes + arch_state_bytes + sram_used_bytes;
 }
 
+/**
+ * Which execution engine run() uses (docs/PERFORMANCE.md). Both produce
+ * bit-identical SimStats; Scalar is the per-instruction reference
+ * oracle, Block the pre-decoded basic-block fast path.
+ */
+enum class ExecEngine
+{
+    Auto,   ///< EH_EXEC_ENGINE env var, then process default, then Block
+    Scalar, ///< exact per-instruction reference loop
+    Block,  ///< basic-block fast path (default)
+};
+
+/** Stable lowercase name of an engine ("auto", "scalar", "block"). */
+const char *execEngineName(ExecEngine engine);
+
+/** Parse an engine name; fatal on anything else. */
+ExecEngine parseExecEngine(const std::string &name);
+
+/**
+ * Process-wide default used when a SimConfig says Auto and the
+ * EH_EXEC_ENGINE environment variable is unset (CLI --engine flag).
+ * Auto (the initial value) means Block.
+ */
+void setDefaultExecEngine(ExecEngine engine);
+
+/**
+ * Resolve Auto to a concrete engine: an explicit @p configured choice
+ * wins, then EH_EXEC_ENGINE, then setDefaultExecEngine(), then Block.
+ */
+ExecEngine resolveExecEngine(ExecEngine configured);
+
 /** Platform and run-control configuration. */
 struct SimConfig
 {
@@ -102,6 +133,13 @@ struct SimConfig
      * period budget) hit this in exactly the limit. 0 disables.
      */
     std::uint64_t livelockPeriodLimit = 256;
+
+    /**
+     * Execution engine (docs/PERFORMANCE.md). Auto resolves through
+     * EH_EXEC_ENGINE and the process default; both engines produce
+     * bit-identical statistics, so this only trades simulation speed.
+     */
+    ExecEngine executionEngine = ExecEngine::Auto;
 };
 
 /**
@@ -221,6 +259,39 @@ class Simulator
     /** Outcome of an in-period action that draws supply energy. */
     enum class ActionStatus { Ok, BrownOut };
 
+    /** Whether the active period keeps executing after a step. */
+    enum class PeriodStatus { Running, Ended };
+
+    // --- Shared per-instruction protocol (both engines) -------------
+    // The scalar loop is built verbatim from these helpers; the block
+    // engine falls back to them at decision points and for memory,
+    // checkpoint and halt instructions, so there is exactly one
+    // implementation of the observable protocol.
+
+    /** The beforeStep() guard loop (consult until Continue). */
+    PeriodStatus consultBeforeStep(const arch::MemPeek &peek);
+
+    /** Consult the fault injector; on fire, handle the power failure. */
+    bool injectorFailsHere();
+
+    /** Execute one instruction under the full exact protocol. */
+    PeriodStatus execInstruction();
+
+    /** The onCheckpointOp() consult-and-backup sequence. */
+    PeriodStatus handleCheckpointOp();
+
+    /** The HALT commit sequence. */
+    void handleHalt();
+
+    /** One active period, per-instruction reference loop. */
+    void runPeriodScalar();
+
+    /** One active period, basic-block fast path (sim/exec_engine.cc). */
+    void runPeriodBlock();
+
+    /** Block-engine body, devirtualized over the supply type. */
+    template <typename SupplyT> void runPeriodBlockImpl(SupplyT &supply);
+
     ActionStatus doBackup(arch::BackupTrigger reason);
     ActionStatus doRestore();
     ActionStatus restoreAttempt();
@@ -262,6 +333,7 @@ class Simulator
     arch::Cpu cpu_;
     SimStats stats;
     fault::FaultInjector *inj = nullptr; ///< optional, borrowed
+    ExecEngine engine_;                  ///< resolved, never Auto
 
     // Checkpoint region bookkeeping (top of NVM).
     std::uint64_t slotBytes;       ///< size of one checkpoint slot

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Differential proof that the basic-block fast-path engine is
+ * bit-identical to the scalar reference interpreter
+ * (docs/PERFORMANCE.md). Every workload runs under every policy with
+ * both engines across a hundred-plus seeds — energy budgets varied so
+ * power failures land mid-span, every third seed with an adversarial
+ * fault plan, plus harvesting-supply, NVM-cache and default-capability
+ * policy variants — and the complete SimStats fingerprint (every
+ * counter and every double, compared by bit pattern), the summary()
+ * text, the CPU instruction count, the final supply charge and the
+ * result words must match exactly. Not approximately: the block engine
+ * claims the same simulation, merely faster.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "energy/supply.hh"
+#include "energy/trace.hh"
+#include "fault/injector.hh"
+#include "runtime/clank.hh"
+#include "runtime/dino.hh"
+#include "runtime/hibernus.hh"
+#include "runtime/mementos.hh"
+#include "runtime/nvp.hh"
+#include "runtime/ratchet.hh"
+#include "runtime/watchdog.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace eh;
+
+/** Append a double's exact bit pattern (not a rounded rendering). */
+void
+putBits(std::ostringstream &os, const char *tag, double v)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    os << tag << '=' << std::hex << u << std::dec << ' ';
+}
+
+void
+putStats(std::ostringstream &os, const char *tag, const RunningStats &r)
+{
+    os << tag << ":n=" << r.count() << ' ';
+    putBits(os, "sum", r.sum());
+    putBits(os, "mean", r.mean());
+    putBits(os, "var", r.variance());
+    putBits(os, "min", r.min());
+    putBits(os, "max", r.max());
+}
+
+/**
+ * Every observable of a finished run, doubles by bit pattern. Two runs
+ * with equal fingerprints took the same committed trajectory.
+ */
+std::string
+fingerprint(const sim::SimStats &st, sim::Simulator &s,
+            const energy::EnergySupply &supply,
+            const std::vector<std::uint64_t> &result_addrs)
+{
+    std::ostringstream os;
+    os << "periods=" << st.periods << " backups=" << st.backups
+       << " restores=" << st.restores << " pf=" << st.powerFailures
+       << " fb=" << st.failedBackups << " fr=" << st.failedRestores
+       << " fin=" << st.finished << " gaveUp=" << st.gaveUp
+       << " outcome=" << sim::outcomeName(st.outcome)
+       << " corr=" << st.corruptionsDetected
+       << " fall=" << st.slotFallbacks
+       << " restart=" << st.restartsFromScratch
+       << " trf=" << st.transientRestoreFaults
+       << " ipf=" << st.injectedPowerFailures
+       << " ibf=" << st.injectedBitFlips << ' ';
+    for (unsigned p = 0;
+         p < static_cast<unsigned>(energy::Phase::NumPhases); ++p) {
+        const auto ph = static_cast<energy::Phase>(p);
+        os << "ph" << p << ":c=" << st.meter.cycles(ph) << ' ';
+        putBits(os, "e", st.meter.energy(ph));
+    }
+    os << "unc:c=" << st.meter.uncommittedCycles() << ' ';
+    putBits(os, "e", st.meter.uncommittedEnergy());
+    putStats(os, "tauB", st.tauB);
+    putStats(os, "tauD", st.tauD);
+    putStats(os, "alphaB", st.alphaB);
+    putStats(os, "bBytes", st.backupBytes);
+    putStats(os, "rBytes", st.restoreBytes);
+    putBits(os, "fbe", st.failedBackupEnergy);
+    putStats(os, "chg", st.chargeCycles);
+    putStats(os, "pe", st.periodEnergy);
+    putStats(os, "ppc", st.periodProgressCycles);
+    putStats(os, "pp", st.periodProgress);
+    for (const auto &[trig, count] : st.triggers)
+        os << "trig" << static_cast<int>(trig) << '=' << count << ' ';
+    os << "exec=" << s.cpu().instructionsExecuted() << ' ';
+    putBits(os, "stored", supply.storedEnergy());
+    for (const auto addr : result_addrs)
+        os << "w@" << addr << '=' << s.resultWord(addr) << ' ';
+    os << '\n' << st.summary();
+    return os.str();
+}
+
+struct Combo
+{
+    std::string workload;
+    std::string policy;
+};
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<std::string> names = workloads::tableIINames();
+    for (const auto &n : workloads::mibenchNames())
+        names.push_back(n);
+    std::vector<Combo> combos;
+    for (const auto &w : names)
+        for (const auto &p : {"mementos", "dino", "hibernus", "watchdog",
+                              "clank", "nvp", "ratchet"})
+            combos.push_back({w, p});
+    return combos;
+}
+
+bool
+isVolatilePolicy(const std::string &p)
+{
+    return p == "mementos" || p == "dino" || p == "hibernus" ||
+           p == "watchdog";
+}
+
+std::unique_ptr<runtime::BackupPolicy>
+makePolicy(const std::string &name, std::size_t sram_used,
+           double budget = 0.0)
+{
+    if (name == "mementos") {
+        runtime::MementosConfig c;
+        c.sramUsedBytes = sram_used;
+        c.backupThreshold = 0.5;
+        return std::make_unique<runtime::Mementos>(c);
+    }
+    if (name == "dino") {
+        runtime::DinoConfig c;
+        c.sramUsedBytes = sram_used;
+        return std::make_unique<runtime::Dino>(c);
+    }
+    if (name == "hibernus") {
+        runtime::HibernusConfig c;
+        c.sramUsedBytes = sram_used;
+        const double backup_energy =
+            (static_cast<double>(sram_used) + 68.0) * 75.0;
+        c.backupThreshold = std::clamp(
+            budget > 0.0 ? 2.0 * backup_energy / budget : 0.15, 0.15,
+            0.85);
+        return std::make_unique<runtime::Hibernus>(c);
+    }
+    if (name == "watchdog") {
+        runtime::WatchdogConfig c;
+        c.sramUsedBytes = sram_used;
+        c.periodCycles = 2500;
+        return std::make_unique<runtime::Watchdog>(c);
+    }
+    if (name == "clank")
+        return std::make_unique<runtime::Clank>(runtime::ClankConfig{});
+    if (name == "ratchet")
+        return std::make_unique<runtime::Ratchet>(
+            runtime::RatchetConfig{.maxSectionCycles = 4000,
+                                   .archBytes = 80});
+    if (name == "nvp") {
+        runtime::NvpConfig c;
+        c.backupEveryInstructions = 1;
+        return std::make_unique<runtime::Nvp>(c);
+    }
+    ADD_FAILURE() << "unknown policy " << name;
+    return nullptr;
+}
+
+/** Adversarial plan used on every third seed (see test_fault_injection). */
+fault::FaultPlan
+torturePlan(int seed, const sim::GoldenResult &golden)
+{
+    fault::FaultPlan plan;
+    plan.seed = 0xE4E + static_cast<std::uint64_t>(seed) * 2654435761ull;
+    plan.backupFailProb = 0.08;
+    plan.selectorFlipFailProb = 0.08;
+    plan.restoreFailProb = 0.04;
+    plan.checkpointCorruptionProb = 0.10;
+    plan.selectorCorruptionProb = 0.04;
+    plan.transientRestoreFaultProb = 0.03;
+    plan.maxForcedFailures = 12;
+    plan.maxBitFlips = 1ull << 40;
+    Rng prng(plan.seed ^ 0x9E3779B97F4A7C15ull);
+    plan.failAtInstruction = {1 + prng.nextBelow(golden.instructions),
+                              1 + prng.nextBelow(golden.instructions)};
+    plan.failAtCycle = {1 + prng.nextBelow(golden.cycles)};
+    return plan;
+}
+
+/** One complete run under @p engine; everything rebuilt from scratch. */
+std::string
+runOnce(sim::ExecEngine engine, const workloads::Workload &w,
+        const std::string &pname, const sim::SimConfig &base,
+        double budget, const fault::FaultPlan *plan)
+{
+    sim::SimConfig cfg = base;
+    cfg.executionEngine = engine;
+    energy::ConstantSupply supply(budget);
+    auto policy = makePolicy(pname, cfg.sramUsedBytes, budget);
+    if (!policy)
+        return "<no policy>";
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (plan)
+        injector = std::make_unique<fault::FaultInjector>(*plan);
+    sim::Simulator s(w.program, *policy, supply, cfg);
+    if (injector)
+        s.attachFaultInjector(injector.get());
+    const auto stats = s.run();
+    return fingerprint(stats, s, supply, w.resultAddrs);
+}
+
+class EngineDifferential : public ::testing::TestWithParam<Combo>
+{
+};
+
+/**
+ * The headline claim: for every workload x policy pair, across 102
+ * seeds of varied energy budgets (power failures land on different
+ * instructions every time, including mid-span) with an adversarial
+ * fault plan every third seed, the block engine's complete fingerprint
+ * equals the scalar engine's.
+ */
+TEST_P(EngineDifferential, BitIdenticalAcrossSeeds)
+{
+    const auto &[wname, pname] = GetParam();
+    const bool vol = isVolatilePolicy(pname);
+    const auto layout = vol ? workloads::volatileLayout()
+                            : workloads::nonvolatileLayout();
+    const auto w = workloads::makeWorkload(wname, layout);
+
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+    cfg.maxActivePeriods = 60000;
+
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    ASSERT_TRUE(golden.halted);
+    const double floor_budget = vol ? 2.0e6 : 1.0e6;
+    const double base_budget =
+        std::max(floor_budget, golden.energy / 4.0);
+
+    constexpr int seeds = 102;
+    for (int seed = 0; seed < seeds; ++seed) {
+        // Sweep the budget so each seed browns out at different
+        // instruction boundaries — mid-span, at span heads, on memory
+        // instructions, during backups.
+        const double budget = base_budget * (0.6 + 0.1 * (seed % 11));
+        fault::FaultPlan plan;
+        const bool faulted = seed % 3 == 0;
+        if (faulted)
+            plan = torturePlan(seed, golden);
+
+        const std::string scalar =
+            runOnce(sim::ExecEngine::Scalar, w, pname, cfg, budget,
+                    faulted ? &plan : nullptr);
+        const std::string block =
+            runOnce(sim::ExecEngine::Block, w, pname, cfg, budget,
+                    faulted ? &plan : nullptr);
+        ASSERT_EQ(scalar, block)
+            << wname << "/" << pname << " seed " << seed
+            << (faulted ? " (faulted)" : "");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, EngineDifferential, ::testing::ValuesIn(allCombos()),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        return info.param.workload + "_" + info.param.policy;
+    });
+
+/**
+ * Harvesting supplies exercise the generic (virtual-dispatch) block
+ * instantiation and concurrent-harvest energy arithmetic: the brown-out
+ * energy actually drained is data-dependent, so any reordering of the
+ * per-instruction doubles would show up here.
+ */
+TEST(EngineDifferentialSupply, HarvestingTracesMatchBitExact)
+{
+    for (const char *wname : {"crc", "sense"}) {
+        for (const char *pname : {"mementos", "dino", "hibernus",
+                                  "watchdog", "clank", "nvp",
+                                  "ratchet"}) {
+            const bool vol = isVolatilePolicy(pname);
+            const auto layout = vol ? workloads::volatileLayout()
+                                    : workloads::nonvolatileLayout();
+            const auto w = workloads::makeWorkload(wname, layout);
+
+            sim::SimConfig cfg;
+            cfg.sramUsedBytes = vol ? w.sramUsedBytes : 64;
+            cfg.maxActivePeriods = 60000;
+
+            for (int seed = 0; seed < 12; ++seed) {
+                const auto runHarvest =
+                    [&](sim::ExecEngine engine) -> std::string {
+                    sim::SimConfig c = cfg;
+                    c.executionEngine = engine;
+                    auto traces = energy::makePaperTraces(
+                        1234 + static_cast<std::uint64_t>(seed),
+                        20'000'000);
+                    energy::Transducer tx(0.7, 2000.0, 16.0e6);
+                    energy::Capacitor cap(1.5e-6, 3.6, 3.0, 2.2);
+                    energy::HarvestingSupply supply(
+                        std::move(traces[seed % 3]), tx, cap);
+                    auto policy =
+                        makePolicy(pname, c.sramUsedBytes, 2.0e6);
+                    sim::Simulator s(w.program, *policy, supply, c);
+                    const auto stats = s.run();
+                    return fingerprint(stats, s, supply, w.resultAddrs);
+                };
+                ASSERT_EQ(runHarvest(sim::ExecEngine::Scalar),
+                          runHarvest(sim::ExecEngine::Block))
+                    << wname << "/" << pname << " seed " << seed;
+            }
+        }
+    }
+}
+
+/**
+ * The NVM cache adds data-dependent per-access costs (fills, dirty
+ * evictions) on the memory path — which the block engine must route
+ * through the exact same execInstruction() helper.
+ */
+TEST(EngineDifferentialMemory, NvmCacheMatchesBitExact)
+{
+    const auto w =
+        workloads::makeWorkload("crc", workloads::nonvolatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = 64;
+    cfg.enableNvmCache = true;
+    cfg.maxActivePeriods = 60000;
+
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    ASSERT_TRUE(golden.halted);
+    const double base_budget = std::max(1.0e6, golden.energy / 4.0);
+
+    for (const char *pname : {"clank", "nvp", "ratchet"}) {
+        for (int seed = 0; seed < 24; ++seed) {
+            const double budget =
+                base_budget * (0.6 + 0.1 * (seed % 11));
+            fault::FaultPlan plan;
+            const bool faulted = seed % 3 == 0;
+            if (faulted)
+                plan = torturePlan(seed, golden);
+            ASSERT_EQ(runOnce(sim::ExecEngine::Scalar, w, pname, cfg,
+                              budget, faulted ? &plan : nullptr),
+                      runOnce(sim::ExecEngine::Block, w, pname, cfg,
+                              budget, faulted ? &plan : nullptr))
+                << pname << " seed " << seed;
+        }
+    }
+}
+
+namespace {
+
+/**
+ * A policy that keeps the conservative default capabilities: it never
+ * declared block-safety, so the block engine must transparently run the
+ * scalar protocol for it — same results by construction, proven here.
+ */
+class DefaultCapsWatchdog : public runtime::Watchdog
+{
+  public:
+    using runtime::Watchdog::Watchdog;
+    runtime::PolicyCaps
+    blockCaps() const override
+    {
+        return {}; // needsPeek + needsPerInstructionHook
+    }
+    runtime::DecisionHorizon
+    decisionHorizon() const override
+    {
+        return {};
+    }
+    void
+    onBlockAdvance(std::uint64_t, std::uint64_t) override
+    {
+    }
+};
+
+/**
+ * A block-capable policy reporting the *minimum legal* horizon (one
+ * instruction): the degenerate quantum path must still be exact.
+ */
+class OneInstructionHorizonWatchdog : public runtime::Watchdog
+{
+  public:
+    using runtime::Watchdog::Watchdog;
+    runtime::DecisionHorizon
+    decisionHorizon() const override
+    {
+        runtime::DecisionHorizon h;
+        h.instructions = 1;
+        return h;
+    }
+};
+
+} // namespace
+
+TEST(EnginePolicyContract, DefaultCapsFallBackToScalarExactly)
+{
+    const auto w =
+        workloads::makeWorkload("sense", workloads::volatileLayout());
+    sim::SimConfig cfg;
+    cfg.sramUsedBytes = w.sramUsedBytes;
+    cfg.maxActivePeriods = 60000;
+    const auto golden = sim::runGolden(w.program, cfg, w.resultAddrs);
+    const double budget = std::max(2.0e6, golden.energy / 4.0);
+
+    runtime::WatchdogConfig wc;
+    wc.sramUsedBytes = cfg.sramUsedBytes;
+    wc.periodCycles = 2500;
+
+    const auto runWith = [&](sim::ExecEngine engine,
+                             auto makeP) -> std::string {
+        sim::SimConfig c = cfg;
+        c.executionEngine = engine;
+        auto policy = makeP();
+        energy::ConstantSupply supply(budget);
+        sim::Simulator s(w.program, policy, supply, c);
+        const auto stats = s.run();
+        return fingerprint(stats, s, supply, w.resultAddrs);
+    };
+
+    // Default caps: the block engine IS the scalar engine.
+    const auto mkDefault = [&] { return DefaultCapsWatchdog(wc); };
+    ASSERT_EQ(runWith(sim::ExecEngine::Scalar, mkDefault),
+              runWith(sim::ExecEngine::Block, mkDefault));
+
+    // One-instruction horizon: every quantum degenerates to a single
+    // exactly-emulated instruction.
+    const auto mkOne = [&] { return OneInstructionHorizonWatchdog(wc); };
+    ASSERT_EQ(runWith(sim::ExecEngine::Scalar, mkOne),
+              runWith(sim::ExecEngine::Block, mkOne));
+
+    // And both wrappers agree with the plain policy they delegate to.
+    const auto mkPlain = [&] { return runtime::Watchdog(wc); };
+    ASSERT_EQ(runWith(sim::ExecEngine::Block, mkPlain),
+              runWith(sim::ExecEngine::Block, mkDefault));
+    ASSERT_EQ(runWith(sim::ExecEngine::Block, mkPlain),
+              runWith(sim::ExecEngine::Block, mkOne));
+}
+
+TEST(EngineSelection, NamesParseAndRoundTrip)
+{
+    using sim::ExecEngine;
+    EXPECT_STREQ(sim::execEngineName(ExecEngine::Auto), "auto");
+    EXPECT_STREQ(sim::execEngineName(ExecEngine::Scalar), "scalar");
+    EXPECT_STREQ(sim::execEngineName(ExecEngine::Block), "block");
+    EXPECT_EQ(sim::parseExecEngine("auto"), ExecEngine::Auto);
+    EXPECT_EQ(sim::parseExecEngine("scalar"), ExecEngine::Scalar);
+    EXPECT_EQ(sim::parseExecEngine("block"), ExecEngine::Block);
+}
+
+TEST(EngineSelection, ExplicitConfigWinsOverDefaults)
+{
+    using sim::ExecEngine;
+    EXPECT_EQ(sim::resolveExecEngine(ExecEngine::Scalar),
+              ExecEngine::Scalar);
+    EXPECT_EQ(sim::resolveExecEngine(ExecEngine::Block),
+              ExecEngine::Block);
+    // Auto resolves to *some* concrete engine whatever the environment.
+    const auto resolved = sim::resolveExecEngine(ExecEngine::Auto);
+    EXPECT_NE(resolved, ExecEngine::Auto);
+}
+
+} // namespace

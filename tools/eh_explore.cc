@@ -557,6 +557,8 @@ usage()
         "P\n"
         "disasm:   --workload crc --nv 1|0 (placement)\n"
         "traces:   --cycles N --seed S --dir results\n"
+        "engine:   --engine auto|scalar|block (any subcommand; "
+        "docs/PERFORMANCE.md;\n          EH_EXEC_ENGINE overrides)\n"
         "observability (any subcommand; docs/OBSERVABILITY.md):\n"
         "          --trace out.json [--trace-categories sim,campaign,...]"
         " (Perfetto/\n          chrome://tracing JSON) --metrics-out "
@@ -585,6 +587,16 @@ main(int argc, char **argv)
                 opts.get("trace-categories", "all")));
         }
         const std::string metricsPath = opts.get("metrics-out", "");
+
+        // Execution-engine selection (docs/PERFORMANCE.md): applies to
+        // every simulation this invocation runs, campaign cells
+        // included. The flag sets the process default, which
+        // resolveExecEngine() consults after EH_EXEC_ENGINE — so the
+        // env var still wins over the flag.
+        if (opts.has("engine")) {
+            eh::sim::setDefaultExecEngine(
+                eh::sim::parseExecEngine(opts.get("engine")));
+        }
 
         int rc;
         if (cmd == "progress")
