@@ -1,0 +1,212 @@
+#!/usr/bin/env bash
+# Crash-point injection harness for the durable result store
+# (docs/STORAGE.md): drives the *real* binaries — eh_explore campaigns
+# and eh_cachectl — through the failure modes the store promises to
+# survive, and fails loudly when any intact record is lost or a resumed
+# campaign diverges from an uninterrupted one.
+#
+#   1. kill -9 a cached campaign mid-append (several delays), then
+#      resume: the final CSV must be byte-identical to a baseline run
+#      that was never interrupted, and fsck must never report worse
+#      than a torn tail.
+#   2. mid-compaction crash states, constructed deterministically at
+#      both commit windows (compaction itself is too fast to kill from
+#      a shell with any reliability; the in-process SIGKILL lives in
+#      tests/test_store.cc): a stray compact.tmp (crashed before the
+#      rename) and a published-but-undeleted input set (crashed after).
+#      Both must converge to the same live records.
+#   3. truncate a segment at EVERY byte offset: every fully-contained
+#      frame is still served, fsck flags exactly the torn tails.
+#   4. flip a bit at EVERY byte offset of a segment: exactly one frame
+#      is quarantined, the other records survive, fsck exits nonzero.
+#   5. flip a bit at every byte of a sidecar index: the segment falls
+#      back to a frame scan and every record is still served.
+#
+# Usage: scripts/crash_harness.sh [build-dir]
+set -euo pipefail
+
+build="${1:-build}"
+explore="$build/tools/eh_explore"
+cachectl="$build/tools/eh_cachectl"
+
+for bin in "$explore" "$cachectl"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (cmake --build $build --target eh_explore eh_cachectl)" >&2
+        exit 2
+    fi
+done
+
+work=$(mktemp -d -t eh_crash_harness.XXXXXX)
+trap 'rm -rf "$work"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+note() { echo "== $*"; }
+
+live_of() { # live_of <dir> <name> -> live record count per fsck
+    "$cachectl" fsck --dir "$1" --name "$2" 2>/dev/null \
+        | awk '/^live records:/ {print $3}' || true
+}
+
+# ----------------------------------------------------------------------
+# 1. kill -9 mid-append, resume byte-identically.
+# The fault grid takes ~1 s single-threaded, so a kill a few hundred ms
+# in reliably lands between appends. Worker count differs between the
+# baseline, the killed runs, and the resume on purpose: the CSV must not
+# care.
+grid=fault
+cells=3
+total=90   # 2 workloads x 3 policies x 5 rates x 3 cells
+
+note "baseline campaign ($total cells, uninterrupted)"
+"$explore" campaign --grid $grid --cells $cells --jobs 1 \
+    --cache-dir "$work/base" --csv "$work/baseline.csv" >/dev/null
+
+partial_seen=0
+for delay in 0.15 0.45 0.75; do
+    dir="$work/killed_$delay"
+    note "kill -9 campaign after ${delay}s"
+    "$explore" campaign --grid $grid --cells $cells --jobs 2 \
+        --cache-dir "$dir" >/dev/null 2>&1 &
+    pid=$!
+    sleep "$delay"
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+
+    # The kill must never corrupt an acknowledged record: fsck may see
+    # nothing at all (kill landed between frames or after the run) but
+    # never an error opening the store.
+    rc=0
+    "$cachectl" fsck --dir "$dir" --name $grid >/dev/null 2>&1 || rc=$?
+    [ "$rc" -le 1 ] || fail "fsck errored (rc=$rc) after kill at ${delay}s"
+
+    live=$(live_of "$dir" $grid)
+    live=${live:-0}
+    [ "$live" -le "$total" ] || fail "store invented records ($live > $total)"
+    if [ "$live" -gt 0 ] && [ "$live" -lt "$total" ]; then
+        partial_seen=1
+        note "  partial store: $live of $total records survived the kill"
+    fi
+
+    note "  resume and compare CSV"
+    "$explore" campaign --grid $grid --cells $cells --jobs 4 \
+        --cache-dir "$dir" --csv "$dir/resumed.csv" >/dev/null
+    cmp "$work/baseline.csv" "$dir/resumed.csv" \
+        || fail "resumed CSV differs from baseline (kill at ${delay}s)"
+done
+if [ "$partial_seen" -eq 0 ]; then
+    echo "warning: no kill landed mid-campaign (machine too fast?); resume identity still verified" >&2
+fi
+
+# ----------------------------------------------------------------------
+# 2. mid-compaction crash states on the baseline store.
+store="$work/base/$grid.ehc"
+[ -d "$store" ] || fail "expected store directory $store"
+
+note "compaction crash state A: stray compact.tmp (crash before rename)"
+echo "half-written compaction output" > "$store/compact.tmp"
+"$cachectl" compact --dir "$work/base" --name $grid >/dev/null
+[ ! -e "$store/compact.tmp" ] || fail "stray compact.tmp not cleaned"
+[ "$(live_of "$work/base" $grid)" = "$total" ] \
+    || fail "records lost across crash state A"
+
+note "compaction crash state B: output published, inputs not yet deleted"
+cat "$store"/seg-*.ehseg > "$store/seg-000099.ehseg"
+live=$(live_of "$work/base" $grid)
+[ "$live" = "$total" ] \
+    || fail "duplicate segments must dedup to $total records, got $live"
+"$cachectl" compact --dir "$work/base" --name $grid >/dev/null
+"$cachectl" fsck --dir "$work/base" --name $grid >/dev/null \
+    || fail "store not clean after converging crash state B"
+"$cachectl" export-jsonl --dir "$work/base" --name $grid \
+    --out "$work/base_export.jsonl" >/dev/null
+lines=$(wc -l < "$work/base_export.jsonl")
+[ "$lines" = "$total" ] || fail "export holds $lines of $total records"
+
+# ----------------------------------------------------------------------
+# 3-5. byte-sweep damage on a small store (every offset, real tools).
+note "building 6-record sweep store"
+"$explore" campaign --grid model --points 6 --jobs 2 \
+    --cache-dir "$work/sweep" >/dev/null
+python3 - "$cachectl" "$work/sweep" <<'PY'
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+cachectl, sweep_dir = sys.argv[1], sys.argv[2]
+store = Path(sweep_dir) / "model.ehc"
+seg = next(store.glob("seg-*.ehseg"))
+orig = seg.read_bytes()
+
+# Frame boundaries from the headers: magic "EHF1", payload len, CRC.
+bounds = [0]
+at = 0
+while at + 12 <= len(orig):
+    magic, length, _crc = struct.unpack_from("<III", orig, at)
+    assert magic == 0x31464845, f"bad magic at {at}"
+    at += 12 + length
+    bounds.append(at)
+assert at == len(orig), "trailing bytes in sweep segment"
+nframes = len(bounds) - 1
+assert nframes == 6, f"expected 6 frames, found {nframes}"
+
+def fsck():
+    proc = subprocess.run(
+        [cachectl, "fsck", "--dir", sweep_dir, "--name", "model"],
+        capture_output=True, text=True)
+    stats = {}
+    for line in proc.stdout.splitlines():
+        key, _, value = line.partition(":")
+        parts = value.split()
+        if parts and parts[0].isdigit():
+            stats[key.strip()] = int(parts[0])
+    return proc.returncode, stats
+
+rc, stats = fsck()
+assert rc == 0 and stats["intact frames"] == nframes, "sweep store not clean"
+
+print(f"== truncation sweep: {len(orig) + 1} cut points")
+for cut in range(len(orig) + 1):
+    seg.write_bytes(orig[:cut])
+    whole = sum(1 for b in bounds[1:] if b <= cut)
+    at_boundary = cut in bounds
+    rc, stats = fsck()
+    assert rc <= 1, f"cut {cut}: fsck errored (rc={rc})"
+    assert stats["intact frames"] == whole, \
+        f"cut {cut}: served {stats['intact frames']} of {whole} intact frames"
+    assert (rc == 0) == at_boundary, \
+        f"cut {cut}: rc={rc} but boundary={at_boundary}"
+
+print(f"== bit-flip sweep: {len(orig)} byte offsets")
+for at in range(len(orig)):
+    damaged = bytearray(orig)
+    damaged[at] ^= 0x40
+    seg.write_bytes(bytes(damaged))
+    rc, stats = fsck()
+    assert rc == 1, f"flip {at}: fsck missed the damage (rc={rc})"
+    assert stats["intact frames"] == nframes - 1, \
+        f"flip {at}: {stats['intact frames']} intact frames survive"
+seg.write_bytes(orig)
+
+# Compact to get a sealed, indexed segment, then damage the sidecar:
+# the segment falls back to a frame scan and loses nothing.
+subprocess.run([cachectl, "compact", "--dir", sweep_dir,
+                "--name", "model"], check=True, capture_output=True)
+idx = next(store.glob("seg-*.ehidx"))
+idx_orig = idx.read_bytes()
+print(f"== index bit-flip sweep: {len(idx_orig)} byte offsets")
+for at in range(len(idx_orig)):
+    damaged = bytearray(idx_orig)
+    damaged[at] ^= 0x40
+    idx.write_bytes(bytes(damaged))
+    rc, stats = fsck()
+    assert rc == 1, f"idx flip {at}: stale index not flagged (rc={rc})"
+    assert stats["intact frames"] == nframes, \
+        f"idx flip {at}: records lost behind a corrupt index"
+idx.write_bytes(idx_orig)
+rc, _ = fsck()
+assert rc == 0, "sweep store not clean after restore"
+print("== sweeps passed")
+PY
+
+echo "crash harness: all checks passed"

@@ -1,10 +1,15 @@
 #include "explore/cache.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
+#include <vector>
 
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "util/crc.hh"
+#include "util/fsio.hh"
 #include "util/hash.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
@@ -114,6 +119,22 @@ struct Cursor
     }
 };
 
+/** Parse a non-negative decimal env value; false on garbage. */
+bool
+parseEnvUint(const char *text, std::uint64_t &out)
+{
+    if (!text || !*text)
+        return false;
+    std::uint64_t v = 0;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    }
+    out = v;
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -131,17 +152,18 @@ defaultCacheDir()
 }
 
 std::string
-ResultCache::encodeRecord(const JobSpec &spec, std::uint64_t seed,
-                          const JobResult &result)
+ResultCache::encodeRecordRaw(const std::string &canonical,
+                             std::uint64_t hash, std::uint64_t seed,
+                             const JobResult &result)
 {
     std::string line = "{\"v\":";
     line += std::to_string(cacheSchemaVersion);
     line += ",\"hash\":\"";
-    line += hashHex(spec.hash());
+    line += hashHex(hash);
     line += "\",\"seed\":\"";
     line += std::to_string(seed);
     line += "\",\"spec\":\"";
-    line += jsonEscape(spec.canonical());
+    line += jsonEscape(canonical);
     line += "\",\"status\":\"";
     line += jobStatusName(result.status());
     line += "\",\"error\":\"";
@@ -160,6 +182,13 @@ ResultCache::encodeRecord(const JobSpec &spec, std::uint64_t seed,
     }
     line += "}}";
     return line;
+}
+
+std::string
+ResultCache::encodeRecord(const JobSpec &spec, std::uint64_t seed,
+                          const JobResult &result)
+{
+    return encodeRecordRaw(spec.canonical(), spec.hash(), seed, result);
 }
 
 bool
@@ -243,84 +272,135 @@ ResultCache::recordSchemaVersion(const std::string &line)
         std::strtol(line.c_str() + begin, nullptr, 10));
 }
 
-ResultCache::ResultCache() = default;
+ResultCache::ResultCache()
+    : segStore(std::make_unique<SegmentStore>())
+{
+}
 
 ResultCache::ResultCache(const std::string &dir, const std::string &name,
-                         bool fresh)
+                         bool fresh, int fsync_every)
 {
-    if (dir.empty())
+    if (dir.empty()) {
+        segStore = std::make_unique<SegmentStore>();
         return;
+    }
     std::filesystem::create_directories(dir);
-    filePath = dir + "/" + name + ".jsonl";
-    loadExisting(filePath, fresh);
-    appender.open(filePath, std::ios::app);
-    if (!appender)
-        fatalf("cannot open result cache '", filePath, "' for append");
+    filePath = dir + "/" + name + ".ehc";
+
+    StoreConfig cfg;
+    cfg.serveExisting = !fresh;
+    std::uint64_t v = 0;
+    if (fsync_every >= 0) {
+        cfg.fsyncEvery = static_cast<unsigned>(fsync_every);
+    } else if (const char *env = std::getenv("EH_CACHE_FSYNC")) {
+        if (parseEnvUint(env, v))
+            cfg.fsyncEvery = static_cast<unsigned>(v);
+        else
+            warn("ignoring unparsable EH_CACHE_FSYNC='", env, "'");
+    }
+    if (const char *env = std::getenv("EH_CACHE_SEGMENT_BYTES")) {
+        if (parseEnvUint(env, v) && v > 0)
+            cfg.maxSegmentBytes = static_cast<std::size_t>(v);
+        else
+            warn("ignoring unparsable EH_CACHE_SEGMENT_BYTES='", env,
+                 "'");
+    }
+    segStore = std::make_unique<SegmentStore>(filePath, cfg);
+    loaded = segStore->openStats().records;
+
+    const std::string legacy = dir + "/" + name + ".jsonl";
+    if (!fresh) {
+        migrateLegacy(legacy);
+    } else if (std::filesystem::exists(legacy)) {
+        inform("result cache: legacy store '", legacy,
+               "' left in place (fresh run); it migrates on the next "
+               "non-fresh open");
+    }
 }
 
 void
-ResultCache::loadExisting(const std::string &file, bool fresh)
+ResultCache::migrateLegacy(const std::string &legacy_path)
 {
-    std::ifstream in(file);
+    std::ifstream in(legacy_path);
     if (!in)
         return;
+
+    // Pass 1: decode every line before appending anything, so a stale
+    // schema aborts with nothing half-migrated.
+    std::vector<StoreRecord> records;
     std::string line;
-    std::size_t lineno = 0;
-    bool warned_stale = false;
+    std::size_t lineno = 0, torn = 0;
     while (std::getline(in, line)) {
         ++lineno;
-        std::string canonical;
-        std::uint64_t hash = 0, seed = 0;
-        JobResult result;
-        if (!decodeRecord(line, canonical, hash, seed, result)) {
-            // Distinguish a *stale layout* (a well-formed record of
-            // another schema version, which must never be silently
-            // dropped or half-decoded) from a torn/corrupt line (the
-            // signature of a killed run, safe to skip).
-            const int v = recordSchemaVersion(line);
-            if (v >= 0 && v != cacheSchemaVersion) {
-                if (!fresh) {
-                    fatalf("result cache '", file, "' line ", lineno,
-                           " uses record schema v", v,
-                           " but this build reads v", cacheSchemaVersion,
-                           "; delete the file or rerun with --fresh 1");
-                }
-                if (!warned_stale) {
-                    warn("result cache '", file, "' holds schema-v", v,
-                         " records (this build writes v",
-                         cacheSchemaVersion, "); ignoring them");
-                    warned_stale = true;
-                }
-            }
-            continue; // torn/corrupt line (crashed run) — ignore
+        StoreRecord rec;
+        if (decodeRecord(line, rec.canonical, rec.hash, rec.seed,
+                         rec.result)) {
+            records.push_back(std::move(rec));
+            continue;
         }
-        ++loaded;
-        if (!fresh)
-            entries.insert({hash, Entry{canonical, seed, result}});
+        // Distinguish a *stale layout* (a well-formed record of
+        // another schema version, which must never be silently dropped
+        // or half-decoded) from a torn/corrupt line (the signature of
+        // a killed run, safe to skip).
+        const int v = recordSchemaVersion(line);
+        if (v >= 0 && v != cacheSchemaVersion) {
+            fatalf("result cache '", legacy_path, "' line ", lineno,
+                   " uses record schema v", v, " but this build reads v",
+                   cacheSchemaVersion,
+                   "; delete the file or rerun with --fresh 1");
+        }
+        ++torn; // torn/corrupt line (crashed run) — ignore
     }
-    if (fresh)
-        loaded = 0;
+    in.close();
+
+    // Pass 2: append what the store does not already hold. A crash
+    // mid-migration leaves the JSONL in place; the next open skips the
+    // records that already landed, so migration is idempotent.
+    for (const auto &rec : records) {
+        JobResult existing;
+        if (segStore->lookup(rec.canonical, rec.hash, rec.seed,
+                             existing)) {
+            continue;
+        }
+        segStore->append(rec);
+        ++migrated;
+    }
+    segStore->flush(true);
+
+    // The rename is the commit point: once the `.jsonl` is gone, opens
+    // stop re-reading it. The data is preserved, not deleted.
+    std::error_code ec;
+    std::filesystem::rename(legacy_path, legacy_path + ".migrated", ec);
+    if (ec) {
+        warn("result cache: cannot rename migrated store '",
+             legacy_path, "'; it will be re-checked on the next open");
+    } else {
+        fsyncDir(std::filesystem::path(legacy_path)
+                     .parent_path()
+                     .string());
+    }
+
+    if (torn > 0) {
+        warn("result cache '", legacy_path, "': skipped ", torn,
+             " torn/corrupt line", torn == 1 ? "" : "s",
+             " during migration");
+    }
+    if (migrated > 0 || records.size() > 0) {
+        inform("result cache: migrated ", migrated, " of ",
+               records.size(), " legacy record",
+               records.size() == 1 ? "" : "s", " from '", legacy_path,
+               "' into '", filePath, "'");
+        obs::metrics().counter("cache.migrated_records").add(migrated);
+    }
+    loaded += migrated;
 }
 
 bool
 ResultCache::lookup(const JobSpec &spec, std::uint64_t seed,
                     JobResult &out) const
 {
-    const std::uint64_t h = spec.hash();
-    const std::string canonical = spec.canonical();
-    bool found = false;
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        const auto [lo, hi] = entries.equal_range(h);
-        for (auto it = lo; it != hi; ++it) {
-            if (it->second.seed == seed &&
-                it->second.canonical == canonical) {
-                out = it->second.result;
-                found = true;
-                break;
-            }
-        }
-    }
+    const bool found =
+        segStore->lookup(spec.canonical(), spec.hash(), seed, out);
     if (obs::traceEnabled(obs::Category::Cache)) {
         obs::trace().instant(obs::Category::Cache,
                              found ? "cache:lookup-hit"
@@ -333,23 +413,35 @@ void
 ResultCache::store(const JobSpec &spec, std::uint64_t seed,
                    const JobResult &result)
 {
-    const std::uint64_t h = spec.hash();
     if (obs::traceEnabled(obs::Category::Cache))
         obs::trace().instant(obs::Category::Cache, "cache:store");
-    std::lock_guard<std::mutex> lock(mutex);
-    entries.insert({h, Entry{spec.canonical(), seed, result}});
-    if (appender.is_open()) {
-        appender << encodeRecord(spec, seed, result) << '\n';
-        appender.flush();
-    }
+    StoreRecord rec;
+    rec.canonical = spec.canonical();
+    rec.hash = spec.hash();
+    rec.seed = seed;
+    rec.result = result;
+    segStore->append(rec);
 }
 
 std::size_t
 ResultCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
-    return entries.size();
+    return segStore->servedRecords();
 }
+
+namespace {
+
+/** 8-hex-digit CRC-32 of a canonical spec (quarantine line framing). */
+std::string
+quarantineCrc(const std::string &canonical)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x",
+                  crc32(canonical.data(), canonical.size()));
+    return buf;
+}
+
+} // namespace
 
 QuarantineLog::QuarantineLog() = default;
 
@@ -364,18 +456,37 @@ QuarantineLog::QuarantineLog(const std::string &dir,
     }
     std::filesystem::create_directories(dir);
     filePath = dir + "/" + name + ".quarantine";
-    // One canonical spec per line; canonical strings are newline-free
-    // by construction (the escaping in JobSpec::canonical()), so the
-    // file needs no quoting of its own. A torn final line counts as a
-    // strike for whatever prefix survived — harmless, since no real
-    // cell has that canonical form.
+    // One cell per line. This build writes CRC-framed lines
+    // (`q2 <crc32hex> <canonical>`) so a torn tail or flipped bits are
+    // *detected* and skipped instead of miscounting strikes against a
+    // phantom cell; bare canonical lines from older builds still count.
     std::ifstream in(filePath);
     std::string line;
     while (std::getline(in, line)) {
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
-        if (!line.empty())
-            ++counts[line];
+        if (line.empty())
+            continue;
+        if (line.compare(0, 2, "q2") == 0 &&
+            (line.size() == 2 || line[2] == ' ')) {
+            // Framed line: "q2 " + 8 hex digits + " " + canonical.
+            if (line.size() > 12 && line[11] == ' ') {
+                const std::string canonical = line.substr(12);
+                if (!canonical.empty() &&
+                    line.compare(3, 8, quarantineCrc(canonical)) == 0) {
+                    ++counts[canonical];
+                    continue;
+                }
+            }
+            ++skipped; // torn or corrupt framed line
+            continue;
+        }
+        ++counts[line]; // legacy unframed line
+    }
+    if (skipped > 0) {
+        warn("quarantine log '", filePath, "': skipped ", skipped,
+             " torn/corrupt line", skipped == 1 ? "" : "s",
+             " (not counted as strikes)");
     }
     appender.open(filePath, std::ios::app);
     if (!appender)
@@ -408,7 +519,8 @@ QuarantineLog::recordFailure(const JobSpec &spec)
     std::lock_guard<std::mutex> lock(mutex);
     ++counts[canonical];
     if (appender.is_open()) {
-        appender << canonical << '\n';
+        appender << "q2 " << quarantineCrc(canonical) << ' '
+                 << canonical << '\n';
         appender.flush();
     }
 }

@@ -1,13 +1,20 @@
 /**
  * @file
  * Content-addressed result cache for exploration campaigns. Every
- * evaluated job is stored in memory and appended — one flushed JSON
- * line at a time — to an on-disk store keyed by the job's content hash,
- * canonical spec string, and the campaign seed it ran under. Re-running a campaign after a crash, or
- * after editing one corner of the grid, therefore only executes the
- * cells whose specs actually changed: everything else is served from
- * disk. A torn final line (the signature of a killed run) is detected
- * and ignored on load, so a crashed campaign always resumes cleanly.
+ * evaluated job is stored in memory and appended to the durable
+ * segmented result store (explore/store.hh, docs/STORAGE.md) keyed by
+ * the job's content hash, canonical spec string, and the campaign seed
+ * it ran under. Re-running a campaign after a crash, or after editing
+ * one corner of the grid, therefore only executes the cells whose specs
+ * actually changed: everything else is served from disk. Corruption
+ * anywhere in the store — a torn tail from a killed run, flipped bits,
+ * foreign garbage — is quarantined frame-by-frame on load, so a crashed
+ * campaign always resumes cleanly and intact records are never lost.
+ *
+ * Stores written by older builds as `<name>.jsonl` are migrated into
+ * the segmented format transparently on first open (the JSONL file is
+ * kept, renamed to `<name>.jsonl.migrated`). `eh_cachectl` converts in
+ * both directions explicitly.
  */
 
 #ifndef EH_EXPLORE_CACHE_HH
@@ -15,11 +22,13 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "explore/job.hh"
+#include "explore/store.hh"
 
 namespace eh::explore {
 
@@ -30,28 +39,35 @@ namespace eh::explore {
 std::string defaultCacheDir();
 
 /**
- * The JSONL record layout version this build reads and writes. A store
- * whose records carry a different version is rejected at load with a
- * clear message (delete the file or pass fresh=true) instead of being
- * silently decoded through a stale layout.
+ * The JSONL record layout version this build reads (during migration
+ * and `eh_cachectl import-jsonl`) and writes (`export-jsonl`). A legacy
+ * store whose records carry a different version is rejected at load
+ * with a clear message (delete the file or pass fresh=true) instead of
+ * being silently decoded through a stale layout.
  */
 constexpr int cacheSchemaVersion = 2;
 
 /**
- * In-memory + append-only JSONL result store. Thread-safe: lookups and
- * inserts may come from any campaign worker.
+ * Campaign-facing facade over the segmented result store. Thread-safe:
+ * lookups and inserts may come from any campaign worker.
  */
 class ResultCache
 {
   public:
     /**
-     * Open (or create) the store at @p dir/@p name.jsonl and load every
-     * intact record. An empty @p dir disables persistence (memory-only
-     * cache). @p fresh ignores existing records (they are preserved on
-     * disk; new results are still appended).
+     * Open (or create) the store at @p dir/@p name.ehc/ and register
+     * every intact record. A legacy @p dir/@p name.jsonl store is
+     * migrated in (then renamed `.jsonl.migrated`) unless @p fresh. An
+     * empty @p dir disables persistence (memory-only cache). @p fresh
+     * ignores existing records (they are preserved on disk; new results
+     * are still appended).
+     * @param fsync_every fsync the active segment every N appends; 0
+     *        defers fsync to seal/close; -1 reads $EH_CACHE_FSYNC
+     *        (default 0). Acknowledged records survive a process kill
+     *        either way; this bounds the *power-loss* window.
      */
     ResultCache(const std::string &dir, const std::string &name,
-                bool fresh = false);
+                bool fresh = false, int fsync_every = -1);
 
     /** Memory-only cache (no directory, nothing persisted). */
     ResultCache();
@@ -70,25 +86,38 @@ class ResultCache
     void store(const JobSpec &spec, std::uint64_t seed,
                const JobResult &result);
 
-    /** Records loaded from disk at construction. */
+    /** Records loaded from disk at construction (incl. migrated). */
     std::size_t loadedRecords() const { return loaded; }
 
-    /** Records currently held in memory. */
+    /** Legacy JSONL records migrated into the store at construction. */
+    std::size_t migratedRecords() const { return migrated; }
+
+    /** Record slots currently held in memory. */
     std::size_t size() const;
 
-    /** Full path of the backing file; empty for memory-only caches. */
+    /** Store directory (`<dir>/<name>.ehc`); empty for memory-only. */
     const std::string &path() const { return filePath; }
 
+    /** The backing segmented store (tools, tests). */
+    SegmentStore &segments() { return *segStore; }
+    const SegmentStore &segments() const { return *segStore; }
+
     /**
-     * Serialize one record as the on-disk JSON line (exposed for tests
-     * and for tools that want to inspect the store).
+     * Serialize one record as a v2 JSON line (the legacy/interchange
+     * format read by migration and written by `export-jsonl`).
      */
     static std::string encodeRecord(const JobSpec &spec,
                                     std::uint64_t seed,
                                     const JobResult &result);
 
+    /** Same, from raw record parts (no JobSpec reconstruction). */
+    static std::string encodeRecordRaw(const std::string &canonical,
+                                       std::uint64_t hash,
+                                       std::uint64_t seed,
+                                       const JobResult &result);
+
     /**
-     * Parse one on-disk line. Returns false on malformed/torn input.
+     * Parse one JSONL line. Returns false on malformed/torn input.
      * @param canonical_out canonical spec string of the record
      * @param hash_out      content hash of the record
      * @param seed_out      campaign seed the record was computed under
@@ -101,38 +130,35 @@ class ResultCache
                              JobResult &result_out);
 
     /**
-     * Schema version claimed by one on-disk line, or -1 when the line
-     * is not even the prefix of a record (torn tail, foreign garbage).
+     * Schema version claimed by one JSONL line, or -1 when the line is
+     * not even the prefix of a record (torn tail, foreign garbage).
      * Used to distinguish "corrupt, skip" from "stale layout, reject".
      */
     static int recordSchemaVersion(const std::string &line);
 
   private:
-    struct Entry
-    {
-        std::string canonical;
-        std::uint64_t seed = 0;
-        JobResult result;
-    };
+    void migrateLegacy(const std::string &legacy_path);
 
-    void loadExisting(const std::string &file, bool fresh);
-
-    mutable std::mutex mutex;
-    std::unordered_multimap<std::uint64_t, Entry> entries;
-    std::ofstream appender;
+    std::unique_ptr<SegmentStore> segStore;
     std::string filePath;
     std::size_t loaded = 0;
+    std::size_t migrated = 0;
 };
 
 /**
  * Persisted strike list for repeatedly failing cells. Every final
  * (post-retry) job failure or timeout appends one line — the cell's
- * canonical spec — to `<dir>/<name>.quarantine`; a cell whose
- * accumulated strike count reaches the limit is *poisoned* and skipped
- * by subsequent campaigns (status Quarantined) unless they opt into
- * retrying failures. Keyed by spec alone, not seed: a cell that crashes
- * the evaluator is overwhelmingly a deterministic property of its
- * parameters. Thread-safe.
+ * canonical spec, CRC-framed (`q2 <crc32> <canonical>`) — to
+ * `<dir>/<name>.quarantine`; a cell whose accumulated strike count
+ * reaches the limit is *poisoned* and skipped by subsequent campaigns
+ * (status Quarantined) unless they opt into retrying failures. Keyed by
+ * spec alone, not seed: a cell that crashes the evaluator is
+ * overwhelmingly a deterministic property of its parameters.
+ *
+ * Loading verifies each framed line's CRC, so a torn tail or corrupt
+ * bytes are skipped with a counted warning instead of miscounting
+ * strikes against a phantom cell. Unframed lines from older builds
+ * still count (backward compatible). Thread-safe.
  */
 class QuarantineLog
 {
@@ -163,6 +189,9 @@ class QuarantineLog
     /** Cells currently at or past the limit. */
     std::size_t poisonedCount() const;
 
+    /** Corrupt/torn lines skipped (not counted as strikes) at load. */
+    std::size_t skippedLines() const { return skipped; }
+
     /** Full path of the backing file; empty when disabled. */
     const std::string &path() const { return filePath; }
 
@@ -172,6 +201,7 @@ class QuarantineLog
     std::ofstream appender;
     std::string filePath;
     unsigned limit = 0;
+    std::size_t skipped = 0;
 };
 
 } // namespace eh::explore

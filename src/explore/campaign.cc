@@ -105,8 +105,10 @@ Campaign::run(const Evaluator &eval)
         cfg.cache
             ? (cfg.cacheDir.empty() ? defaultCacheDir() : cfg.cacheDir)
             : std::string();
-    ResultCache cache =
-        cfg.cache ? ResultCache(dir, cfg.name, cfg.fresh) : ResultCache();
+    ResultCache cache = cfg.cache
+                            ? ResultCache(dir, cfg.name, cfg.fresh,
+                                          cfg.cacheFsync)
+                            : ResultCache();
     QuarantineLog quarantine =
         cfg.cache ? QuarantineLog(dir, cfg.name, cfg.quarantineAfter)
                   : QuarantineLog();

@@ -47,6 +47,14 @@ struct CampaignConfig
     /** Ignore existing on-disk records (still appends new ones). */
     bool fresh = false;
 
+    /**
+     * fsync the store's active segment every N appends; 0 defers fsync
+     * to segment seal and close; -1 reads $EH_CACHE_FSYNC. Appends go
+     * through write(2) either way, so acknowledged records survive a
+     * process kill; this bounds the *power-loss* window.
+     */
+    int cacheFsync = -1;
+
     /** Emit progress/ETA lines to stderr while running. */
     bool progress = true;
 

@@ -1,0 +1,992 @@
+#include "explore/store.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "util/crc.hh"
+#include "util/fsio.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+namespace eh::explore {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint8_t payloadVersion = 1;
+
+/** Append a length-prefixed string. */
+void
+putStr(std::string &out, const std::string &s)
+{
+    putLe32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Read a length-prefixed string; false when the bytes run out. */
+bool
+getStr(const std::string &in, std::size_t &at, std::string &out)
+{
+    std::uint32_t len = 0;
+    if (!getLe32(in, at, len))
+        return false;
+    if (len > in.size() - at)
+        return false;
+    out.assign(in, at, len);
+    at += len;
+    return true;
+}
+
+/** Streaming CRC-32 of a whole file. */
+bool
+fileCrcOf(const std::string &path, std::uint32_t &crc_out,
+          std::uint64_t &size_out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char buf[1 << 16];
+    std::uint32_t crc = crc32Init();
+    std::uint64_t size = 0;
+    while (in) {
+        in.read(buf, sizeof(buf));
+        const std::streamsize got = in.gcount();
+        if (got <= 0)
+            break;
+        crc = crc32Update(crc, buf, static_cast<std::size_t>(got));
+        size += static_cast<std::uint64_t>(got);
+    }
+    crc_out = crc32Final(crc);
+    size_out = size;
+    return true;
+}
+
+/** POSIX-or-fallback unbuffered append handle operations. */
+int
+fileOpenAppend(const std::string &path)
+{
+#ifndef _WIN32
+    return ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+#else
+    (void)path;
+    return -1;
+#endif
+}
+
+bool
+fileWriteAll(int fd, const char *data, std::size_t len)
+{
+#ifndef _WIN32
+    std::size_t done = 0;
+    while (done < len) {
+        const ::ssize_t n = ::write(fd, data + done, len - done);
+        if (n < 0)
+            return false;
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+#else
+    (void)fd;
+    (void)data;
+    (void)len;
+    return false;
+#endif
+}
+
+void
+fileClose(int fd)
+{
+#ifndef _WIN32
+    if (fd >= 0)
+        ::close(fd);
+#else
+    (void)fd;
+#endif
+}
+
+/** The store's only composite identity key (canonical, seed). */
+using LiveKey = std::pair<std::string, std::uint64_t>;
+
+} // namespace
+
+std::string
+SegmentStore::segmentName(std::uint32_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "seg-%06u.ehseg", id);
+    return buf;
+}
+
+std::string
+SegmentStore::indexName(std::uint32_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "seg-%06u.ehidx", id);
+    return buf;
+}
+
+std::string
+SegmentStore::segmentPath(std::uint32_t id) const
+{
+    return root + "/" + segmentName(id);
+}
+
+std::string
+SegmentStore::indexPath(std::uint32_t id) const
+{
+    return root + "/" + indexName(id);
+}
+
+std::string
+SegmentStore::encodePayload(const StoreRecord &record)
+{
+    std::string p;
+    p += static_cast<char>(payloadVersion);
+    p += static_cast<char>(static_cast<int>(record.result.status()));
+    putLe64(p, record.hash);
+    putLe64(p, record.seed);
+    putStr(p, record.canonical);
+    putStr(p, record.result.error());
+    const auto &fields = record.result.fields();
+    putLe32(p, static_cast<std::uint32_t>(fields.size()));
+    for (const auto &[key, value] : fields) {
+        putStr(p, key);
+        putStr(p, value);
+    }
+    return p;
+}
+
+bool
+SegmentStore::decodePayload(const std::string &payload, StoreRecord &out)
+{
+    std::size_t at = 0;
+    if (payload.size() < 2)
+        return false;
+    const auto version = static_cast<std::uint8_t>(payload[at++]);
+    const auto status = static_cast<std::uint8_t>(payload[at++]);
+    if (version != payloadVersion || status > 3)
+        return false;
+    StoreRecord rec;
+    if (!getLe64(payload, at, rec.hash) ||
+        !getLe64(payload, at, rec.seed))
+        return false;
+    std::string error;
+    if (!getStr(payload, at, rec.canonical) ||
+        !getStr(payload, at, error))
+        return false;
+    std::uint32_t nfields = 0;
+    if (!getLe32(payload, at, nfields))
+        return false;
+    JobResult result;
+    result.setStatus(static_cast<JobStatus>(status), error);
+    for (std::uint32_t k = 0; k < nfields; ++k) {
+        std::string key, value;
+        if (!getStr(payload, at, key) || !getStr(payload, at, value))
+            return false;
+        result.set(key, value);
+    }
+    if (at != payload.size())
+        return false; // trailing bytes — treat the frame as corrupt
+    rec.result = std::move(result);
+    out = std::move(rec);
+    return true;
+}
+
+std::string
+SegmentStore::encodeFrame(const StoreRecord &record)
+{
+    const std::string payload = encodePayload(record);
+    std::string frame;
+    frame.reserve(storeFrameHeaderBytes + payload.size());
+    putLe32(frame, storeFrameMagic);
+    putLe32(frame, static_cast<std::uint32_t>(payload.size()));
+    putLe32(frame, crc32(payload.data(), payload.size()));
+    frame += payload;
+    return frame;
+}
+
+void
+SegmentStore::scanFrames(
+    const std::string &bytes,
+    const std::function<void(std::uint64_t, std::uint32_t,
+                             const StoreRecord &)> &onRecord,
+    const std::function<void(std::uint64_t, std::uint64_t,
+                             const std::string &)> &onCorruption)
+{
+    static const char magicBytes[4] = {'E', 'H', 'F', '1'};
+    const std::size_t n = bytes.size();
+    const std::size_t npos = std::string::npos;
+
+    auto findMagic = [&](std::size_t from) -> std::size_t {
+        while (from + 4 <= n) {
+            const void *p = std::memchr(bytes.data() + from, 'E',
+                                        n - from - 3);
+            if (!p)
+                return npos;
+            const auto pos = static_cast<std::size_t>(
+                static_cast<const char *>(p) - bytes.data());
+            if (std::memcmp(bytes.data() + pos, magicBytes, 4) == 0)
+                return pos;
+            from = pos + 1;
+        }
+        return npos;
+    };
+
+    std::size_t corruptStart = npos;
+    auto flushCorrupt = [&](std::size_t end) {
+        if (corruptStart == npos)
+            return;
+        onCorruption(corruptStart, end - corruptStart,
+                     end == n ? "torn tail or trailing garbage"
+                              : "corrupt frame bytes");
+        corruptStart = npos;
+    };
+
+    std::size_t at = 0;
+    while (at < n) {
+        bool ok = false;
+        if (at + storeFrameHeaderBytes <= n) {
+            std::size_t p = at;
+            std::uint32_t magic = 0, len = 0, crc = 0;
+            getLe32(bytes, p, magic);
+            getLe32(bytes, p, len);
+            getLe32(bytes, p, crc);
+            if (magic == storeFrameMagic &&
+                len <= storeMaxPayloadBytes && len <= n - p) {
+                const std::uint32_t got = crc32(bytes.data() + p, len);
+                if (got == crc) {
+                    StoreRecord rec;
+                    if (decodePayload(bytes.substr(p, len), rec)) {
+                        flushCorrupt(at);
+                        onRecord(at,
+                                 static_cast<std::uint32_t>(
+                                     storeFrameHeaderBytes + len),
+                                 rec);
+                        at = p + len;
+                        ok = true;
+                    }
+                }
+            }
+        }
+        if (ok)
+            continue;
+        // Damage at `at`: remember where it began, then resynchronize
+        // on the next frame magic. Everything skipped is quarantined,
+        // never deleted — the bytes stay on disk until a compaction.
+        if (corruptStart == npos)
+            corruptStart = at;
+        const std::size_t next = findMagic(at + 1);
+        if (next == npos) {
+            flushCorrupt(n);
+            break;
+        }
+        at = next;
+    }
+    flushCorrupt(n);
+}
+
+SegmentStore::SegmentStore() = default;
+
+SegmentStore::SegmentStore(const std::string &dir, StoreConfig cfg)
+    : root(dir), config(cfg)
+{
+    if (root.empty())
+        return; // memory-only
+    openOnDisk(cfg);
+}
+
+SegmentStore::~SegmentStore()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (activeFd >= 0) {
+        fsyncFd(activeFd);
+        fileClose(activeFd);
+        activeFd = -1;
+    }
+#ifndef _WIN32
+    if (lockFd >= 0) {
+        ::flock(lockFd, LOCK_UN);
+        fileClose(lockFd);
+        lockFd = -1;
+    }
+#endif
+}
+
+void
+SegmentStore::lockStore(bool shared)
+{
+#ifndef _WIN32
+    const std::string path = root + "/LOCK";
+    lockFd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (lockFd < 0)
+        fatalf("cannot create store lock '", path, "'");
+    const int mode = (shared ? LOCK_SH : LOCK_EX) | LOCK_NB;
+    if (::flock(lockFd, mode) != 0) {
+        fileClose(lockFd);
+        lockFd = -1;
+        obs::metrics().counter("store.lock_contention").add(1);
+        fatalf("result store '", root,
+               "' is locked by another process; concurrent campaigns "
+               "must not share one store (use distinct --cache-dir or "
+               "wait for the other run to finish)");
+    }
+#else
+    (void)shared;
+#endif
+}
+
+std::vector<SegmentStore::SegmentInfo>
+SegmentStore::listSegments() const
+{
+    std::vector<SegmentInfo> segs;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() != std::strlen("seg-000000.ehseg") ||
+            name.compare(0, 4, "seg-") != 0 ||
+            name.compare(10, 6, ".ehseg") != 0) {
+            continue;
+        }
+        std::uint32_t id = 0;
+        bool digits = true;
+        for (int k = 4; k < 10; ++k) {
+            const char c = name[static_cast<std::size_t>(k)];
+            digits = digits && c >= '0' && c <= '9';
+            id = id * 10 + static_cast<std::uint32_t>(c - '0');
+        }
+        if (!digits || id == 0)
+            continue;
+        std::error_code sec;
+        const auto size = fs::file_size(entry.path(), sec);
+        segs.push_back({id, sec ? 0 : size});
+    }
+    std::sort(segs.begin(), segs.end(),
+              [](const SegmentInfo &a, const SegmentInfo &b) {
+                  return a.id < b.id;
+              });
+    return segs;
+}
+
+void
+SegmentStore::registerSlot(std::uint64_t hash, Slot slot)
+{
+    auto &vec = byHash[hash];
+    if (slot.loaded) {
+        // Newest wins: a re-executed cell (e.g. --retry-failed after a
+        // Timeout record) replaces its predecessor in place.
+        for (auto it = vec.rbegin(); it != vec.rend(); ++it) {
+            if (it->loaded && it->seed == slot.seed &&
+                it->canonical == slot.canonical) {
+                *it = std::move(slot);
+                return;
+            }
+        }
+    }
+    vec.push_back(std::move(slot));
+}
+
+bool
+SegmentStore::loadViaIndex(const SegmentInfo &seg)
+{
+    std::string idx;
+    if (!readFileBytes(indexPath(seg.id), idx))
+        return false;
+    if (idx.size() < 4)
+        return false;
+    // Self-check first: the trailing CRC covers everything before it.
+    std::size_t at = idx.size() - 4;
+    std::uint32_t selfCrc = 0;
+    getLe32(idx, at, selfCrc);
+    if (crc32(idx.data(), idx.size() - 4) != selfCrc)
+        return false;
+    at = 0;
+    std::uint32_t magic = 0, version = 0, segId = 0, segCrc = 0,
+                  count = 0;
+    std::uint64_t segBytes = 0;
+    if (!getLe32(idx, at, magic) || !getLe32(idx, at, version) ||
+        !getLe32(idx, at, segId) || !getLe64(idx, at, segBytes) ||
+        !getLe32(idx, at, segCrc) || !getLe32(idx, at, count)) {
+        return false;
+    }
+    if (magic != storeIndexMagic || version != 1 || segId != seg.id ||
+        segBytes != seg.bytes) {
+        return false;
+    }
+    // One raw byte pass over the segment — no frame parsing, no
+    // allocation per record — is what makes indexed warm loads fast.
+    std::uint32_t fileCrc = 0;
+    std::uint64_t fileSize = 0;
+    if (!fileCrcOf(segmentPath(seg.id), fileCrc, fileSize) ||
+        fileSize != segBytes || fileCrc != segCrc) {
+        return false;
+    }
+    struct Entry
+    {
+        std::uint64_t hash, seed, offset;
+        std::uint32_t len;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+        Entry e{};
+        if (!getLe64(idx, at, e.hash) || !getLe64(idx, at, e.seed) ||
+            !getLe64(idx, at, e.offset) || !getLe32(idx, at, e.len)) {
+            return false;
+        }
+        if (e.offset + e.len > segBytes)
+            return false;
+        entries.push_back(e);
+    }
+    if (at != idx.size() - 4)
+        return false;
+    if (config.serveExisting) {
+        for (const Entry &e : entries) {
+            Slot slot;
+            slot.seed = e.seed;
+            slot.segment = seg.id;
+            slot.offset = e.offset;
+            slot.frameLen = e.len;
+            registerSlot(e.hash, std::move(slot));
+        }
+        opened.records += entries.size();
+    }
+    ++opened.indexedSegments;
+    return true;
+}
+
+void
+SegmentStore::scanSegmentFile(const SegmentInfo &seg, bool registerSlots)
+{
+    std::string bytes;
+    if (!readFileBytes(segmentPath(seg.id), bytes))
+        return;
+    std::size_t events = 0;
+    std::uint64_t badBytes = 0;
+    scanFrames(
+        bytes,
+        [&](std::uint64_t, std::uint32_t, const StoreRecord &rec) {
+            if (!registerSlots)
+                return;
+            Slot slot;
+            slot.seed = rec.seed;
+            slot.loaded = true;
+            slot.canonical = rec.canonical;
+            slot.result = rec.result;
+            registerSlot(rec.hash, std::move(slot));
+            ++opened.records;
+        },
+        [&](std::uint64_t, std::uint64_t count, const std::string &) {
+            ++events;
+            badBytes += count;
+        });
+    if (events > 0) {
+        opened.corruptionEvents += events;
+        opened.corruptBytes += badBytes;
+        obs::metrics().counter("store.frames_quarantined").add(events);
+        warn("result store '", root, "': segment ",
+             segmentName(seg.id), " holds ", events,
+             " corrupt byte range", events == 1 ? "" : "s", " (",
+             badBytes, " bytes) — quarantined, intact records still "
+             "served; run `eh_cachectl fsck` to inspect or repair");
+    }
+}
+
+void
+SegmentStore::openActive(std::uint32_t id, std::uint64_t existingBytes)
+{
+    const std::string path = segmentPath(id);
+    activeFd = fileOpenAppend(path);
+    if (activeFd < 0)
+        fatalf("cannot open store segment '", path, "' for append");
+    activeId = id;
+    activeBytes = existingBytes;
+    appendsSinceSync = 0;
+}
+
+void
+SegmentStore::openOnDisk(StoreConfig cfg)
+{
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec)
+        fatalf("cannot create store directory '", root, "'");
+    lockStore(cfg.readOnly);
+
+    if (!cfg.readOnly) {
+        // A crash can leave write-to-temp leftovers; they were never
+        // published (no rename), so they hold no live data.
+        for (const auto &entry : fs::directory_iterator(root, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".tmp") == 0) {
+                fs::remove(entry.path(), ec);
+            }
+        }
+    }
+
+    const auto segs = listSegments();
+    opened.segments = segs.size();
+    const std::uint32_t maxId = segs.empty() ? 0 : segs.back().id;
+    nextId = maxId + 1;
+
+    for (const auto &seg : segs) {
+        opened.bytes += seg.bytes;
+        const bool last = seg.id == maxId;
+        if (loadViaIndex(seg))
+            continue; // sealed and indexed (even when last)
+        if (last) {
+            // The active segment: scan it and keep appending to it.
+            scanSegmentFile(seg, cfg.serveExisting);
+            if (!cfg.readOnly) {
+                // Appending would invalidate a stale sidecar; drop it
+                // (the seal or next compaction rewrites it).
+                fs::remove(indexPath(seg.id), ec);
+                openActive(seg.id, seg.bytes);
+            }
+        } else {
+            // Sealed but unindexed (crash between publish steps):
+            // scan now, heal the sidecar so the next open is fast.
+            scanSegmentFile(seg, cfg.serveExisting);
+            if (!cfg.readOnly)
+                writeIndexFor(seg.id);
+        }
+    }
+    obs::metrics().counter("store.records_loaded").add(opened.records);
+}
+
+bool
+SegmentStore::readFrame(const Slot &slot, StoreRecord &out) const
+{
+    std::ifstream in(segmentPath(slot.segment), std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(static_cast<std::streamoff>(slot.offset));
+    std::string frame(slot.frameLen, '\0');
+    in.read(frame.data(), static_cast<std::streamsize>(slot.frameLen));
+    if (in.gcount() != static_cast<std::streamsize>(slot.frameLen))
+        return false;
+    std::size_t at = 0;
+    std::uint32_t magic = 0, len = 0, crc = 0;
+    if (!getLe32(frame, at, magic) || !getLe32(frame, at, len) ||
+        !getLe32(frame, at, crc)) {
+        return false;
+    }
+    if (magic != storeFrameMagic ||
+        len != slot.frameLen - storeFrameHeaderBytes) {
+        return false;
+    }
+    if (crc32(frame.data() + at, len) != crc)
+        return false;
+    return decodePayload(frame.substr(at, len), out);
+}
+
+bool
+SegmentStore::lookup(const std::string &canonical, std::uint64_t hash,
+                     std::uint64_t seed, JobResult &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = byHash.find(hash);
+    if (it == byHash.end())
+        return false;
+    auto &vec = it->second;
+    for (auto r = vec.rbegin(); r != vec.rend(); ++r) {
+        Slot &slot = *r;
+        if (slot.seed != seed || slot.dead)
+            continue;
+        if (!slot.loaded) {
+            StoreRecord rec;
+            if (!readFrame(slot, rec)) {
+                slot.dead = true;
+                warn("result store '", root, "': indexed record at ",
+                     segmentName(slot.segment), "+", slot.offset,
+                     " failed its CRC on read; treating as a miss");
+                continue;
+            }
+            slot.loaded = true;
+            slot.canonical = std::move(rec.canonical);
+            slot.result = std::move(rec.result);
+        }
+        if (slot.canonical == canonical) {
+            out = slot.result;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SegmentStore::append(const StoreRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    appendLocked(record);
+}
+
+void
+SegmentStore::appendLocked(const StoreRecord &record)
+{
+    if (enabled()) {
+        if (config.readOnly)
+            fatalf("result store '", root, "' is open read-only");
+        if (activeFd < 0) {
+            activeId = nextId++;
+            openActive(activeId, 0);
+            fsyncDir(root); // make the new segment's name durable
+        }
+        const std::string frame = encodeFrame(record);
+        if (!fileWriteAll(activeFd, frame.data(), frame.size()))
+            fatalf("append to store segment '",
+                   segmentPath(activeId), "' failed");
+        activeBytes += frame.size();
+        ++appendsSinceSync;
+        if (config.fsyncEvery > 0 &&
+            appendsSinceSync >= config.fsyncEvery) {
+            fsyncFd(activeFd);
+            appendsSinceSync = 0;
+        }
+    }
+    Slot slot;
+    slot.seed = record.seed;
+    slot.loaded = true;
+    slot.canonical = record.canonical;
+    slot.result = record.result;
+    registerSlot(record.hash, std::move(slot));
+    if (enabled() && activeBytes >= config.maxSegmentBytes)
+        sealLocked();
+}
+
+void
+SegmentStore::flush(bool sync)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    flushLocked(sync);
+}
+
+void
+SegmentStore::flushLocked(bool sync)
+{
+    // Appends go through write(2) — there is no user-space buffer to
+    // flush; only the page-cache fsync is meaningful.
+    if (sync && activeFd >= 0) {
+        fsyncFd(activeFd);
+        appendsSinceSync = 0;
+    }
+}
+
+void
+SegmentStore::seal()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    sealLocked();
+}
+
+void
+SegmentStore::sealLocked()
+{
+    if (activeFd < 0)
+        return;
+    fsyncFd(activeFd);
+    fileClose(activeFd);
+    activeFd = -1;
+    writeIndexFor(activeId);
+    obs::metrics().counter("store.segments_sealed").add(1);
+    activeId = 0;
+    activeBytes = 0;
+    appendsSinceSync = 0;
+}
+
+void
+SegmentStore::writeIndexFor(std::uint32_t id)
+{
+    // Build the sidecar from what is actually on disk — the index must
+    // describe the file it sits next to, bit for bit.
+    std::string bytes;
+    if (!readFileBytes(segmentPath(id), bytes))
+        return;
+    std::string entries;
+    std::uint32_t count = 0;
+    scanFrames(
+        bytes,
+        [&](std::uint64_t offset, std::uint32_t frameLen,
+            const StoreRecord &rec) {
+            putLe64(entries, rec.hash);
+            putLe64(entries, rec.seed);
+            putLe64(entries, offset);
+            putLe32(entries, frameLen);
+            ++count;
+        },
+        [](std::uint64_t, std::uint64_t, const std::string &) {});
+    std::string idx;
+    putLe32(idx, storeIndexMagic);
+    putLe32(idx, 1); // index version
+    putLe32(idx, id);
+    putLe64(idx, bytes.size());
+    putLe32(idx, crc32(bytes.data(), bytes.size()));
+    putLe32(idx, count);
+    idx += entries;
+    putLe32(idx, crc32(idx.data(), idx.size()));
+    writeFileAtomic(indexPath(id), idx);
+}
+
+std::size_t
+SegmentStore::servedRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t n = 0;
+    for (const auto &[hash, vec] : byHash)
+        n += vec.size();
+    return n;
+}
+
+void
+SegmentStore::collectLive(std::vector<StoreRecord> &live,
+                          std::size_t *framesSeen,
+                          std::size_t *corruptionEvents) const
+{
+    std::map<LiveKey, std::size_t> where;
+    for (const auto &seg : listSegments()) {
+        std::string bytes;
+        if (!readFileBytes(segmentPath(seg.id), bytes))
+            continue;
+        scanFrames(
+            bytes,
+            [&](std::uint64_t, std::uint32_t, const StoreRecord &rec) {
+                if (framesSeen)
+                    ++*framesSeen;
+                const LiveKey key{rec.canonical, rec.seed};
+                const auto it = where.find(key);
+                if (it != where.end()) {
+                    live[it->second] = rec; // newest wins, stable slot
+                } else {
+                    where.emplace(key, live.size());
+                    live.push_back(rec);
+                }
+            },
+            [&](std::uint64_t, std::uint64_t, const std::string &) {
+                if (corruptionEvents)
+                    ++*corruptionEvents;
+            });
+    }
+}
+
+void
+SegmentStore::forEachLive(
+    const std::function<void(const StoreRecord &)> &fn) const
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<StoreRecord> live;
+    collectLive(live, nullptr, nullptr);
+    for (const auto &rec : live)
+        fn(rec);
+}
+
+CompactionReport
+SegmentStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return compactLocked();
+}
+
+CompactionReport
+SegmentStore::compactLocked()
+{
+    CompactionReport report;
+    if (!enabled())
+        return report;
+    if (config.readOnly)
+        fatalf("cannot compact read-only store '", root, "'");
+
+    // Quiesce the active segment so the scan sees complete bytes.
+    if (activeFd >= 0) {
+        fsyncFd(activeFd);
+        fileClose(activeFd);
+        activeFd = -1;
+        activeId = 0;
+        activeBytes = 0;
+    }
+
+    const auto before = listSegments();
+    report.segmentsBefore = before.size();
+    for (const auto &seg : before)
+        report.bytesBefore += seg.bytes;
+
+    std::vector<StoreRecord> live;
+    collectLive(live, &report.framesBefore, &report.corruptionEvents);
+    report.recordsAfter = live.size();
+
+    const std::uint32_t newId =
+        before.empty() ? nextId : before.back().id + 1;
+
+    // Publish protocol: write everything to a temp file, fsync it,
+    // atomically rename it into place, fsync the directory — and only
+    // then delete the inputs. A crash at any point leaves a store that
+    // reopens to the same live record set (duplicate frames between
+    // old and new segments are resolved newest-wins).
+    const std::string tmp = root + "/compact.tmp";
+    {
+#ifndef _WIN32
+        const int fd = ::open(tmp.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0)
+            fatalf("cannot create '", tmp, "'");
+        for (const auto &rec : live) {
+            const std::string frame = encodeFrame(rec);
+            if (!fileWriteAll(fd, frame.data(), frame.size())) {
+                fileClose(fd);
+                fatalf("short write to '", tmp, "'");
+            }
+        }
+        if (!fsyncFd(fd)) {
+            fileClose(fd);
+            fatalf("fsync of '", tmp, "' failed");
+        }
+        fileClose(fd);
+#else
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        for (const auto &rec : live)
+            out << encodeFrame(rec);
+        if (!out)
+            fatalf("short write to '", tmp, "'");
+#endif
+    }
+    std::error_code ec;
+    fs::rename(tmp, segmentPath(newId), ec);
+    if (ec)
+        fatalf("cannot publish compacted segment '",
+               segmentPath(newId), "'");
+    fsyncDir(root);
+    writeIndexFor(newId);
+
+    for (const auto &seg : before) {
+        fs::remove(segmentPath(seg.id), ec);
+        fs::remove(indexPath(seg.id), ec);
+    }
+    fsyncDir(root);
+
+    std::error_code sec;
+    report.segmentsAfter = 1;
+    report.bytesAfter = fs::file_size(segmentPath(newId), sec);
+
+    // The lazy slots pointed into deleted segments; re-register the
+    // live set (all decoded already) in place of the whole map.
+    byHash.clear();
+    for (const auto &rec : live) {
+        Slot slot;
+        slot.seed = rec.seed;
+        slot.loaded = true;
+        slot.canonical = rec.canonical;
+        slot.result = rec.result;
+        registerSlot(rec.hash, std::move(slot));
+    }
+    nextId = newId + 1;
+
+    auto &reg = obs::metrics();
+    reg.counter("store.compactions").add(1);
+    if (report.bytesBefore > report.bytesAfter) {
+        reg.counter("store.bytes_reclaimed")
+            .add(report.bytesBefore - report.bytesAfter);
+    }
+    return report;
+}
+
+FsckReport
+SegmentStore::fsck(bool repair)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    FsckReport report;
+    if (!enabled())
+        return report;
+    if (repair && config.readOnly)
+        fatalf("cannot repair read-only store '", root, "'");
+
+    if (activeFd >= 0)
+        flushLocked(true);
+
+    const auto segs = listSegments();
+    report.segments = segs.size();
+    const std::uint32_t maxId = segs.empty() ? 0 : segs.back().id;
+    std::map<LiveKey, bool> seen;
+    std::vector<std::pair<std::uint32_t, std::string>> segBytes;
+
+    for (const auto &seg : segs) {
+        std::string bytes;
+        if (!readFileBytes(segmentPath(seg.id), bytes)) {
+            report.findings.push_back(
+                {seg.id, 0, seg.bytes, "unreadable segment"});
+            continue;
+        }
+        scanFrames(
+            bytes,
+            [&](std::uint64_t, std::uint32_t, const StoreRecord &rec) {
+                ++report.intactFrames;
+                seen[{rec.canonical, rec.seed}] = true;
+            },
+            [&](std::uint64_t offset, std::uint64_t count,
+                const std::string &reason) {
+                report.findings.push_back(
+                    {seg.id, offset, count, reason});
+            });
+        // Sidecar audit: every sealed (non-final) segment must carry an
+        // index that matches its bytes; the final segment may be active
+        // (no index yet), but a *present* index must still match.
+        const bool hasIndex = fs::exists(indexPath(seg.id));
+        if (hasIndex || seg.id != maxId || activeFd < 0) {
+            // Validate by attempting an index load with registration
+            // disabled — reuse the strict reader.
+            StoreConfig saved = config;
+            config.serveExisting = false;
+            const std::size_t indexedBefore = opened.indexedSegments;
+            const bool valid = hasIndex && loadViaIndex(seg);
+            opened.indexedSegments = indexedBefore;
+            config = saved;
+            if (!valid && (hasIndex || seg.id != maxId))
+                ++report.staleIndexes;
+        }
+        if (repair)
+            segBytes.emplace_back(seg.id, std::move(bytes));
+    }
+    report.liveRecords = seen.size();
+
+    if (repair && (!report.findings.empty() || report.staleIndexes > 0)) {
+        // Preserve the corrupt bytes as evidence files before the
+        // compaction rewrites the segments without them.
+        for (const auto &finding : report.findings) {
+            const auto it = std::find_if(
+                segBytes.begin(), segBytes.end(),
+                [&](const auto &p) { return p.first == finding.segment; });
+            if (it == segBytes.end())
+                continue;
+            char name[64];
+            std::snprintf(name, sizeof(name),
+                          "quarantine-seg%06u-%012llu.bin",
+                          finding.segment,
+                          static_cast<unsigned long long>(
+                              finding.offset));
+            writeFileAtomic(
+                root + "/" + name,
+                it->second.substr(
+                    static_cast<std::size_t>(finding.offset),
+                    static_cast<std::size_t>(finding.bytes)));
+            ++report.quarantinedFiles;
+        }
+        compactLocked();
+        report.repaired = true;
+    }
+    return report;
+}
+
+} // namespace eh::explore

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Durable segmented result store for exploration campaigns — the
+ * storage layer the sharded exploration service will sit on
+ * (docs/STORAGE.md). Results are CRC-32-framed binary records appended
+ * to size-bounded segment files inside a `<name>.ehc/` directory; a
+ * sealed segment gets a sidecar hash index so warm loads register its
+ * records without re-parsing every frame. The design applies the same
+ * crash-consistency discipline as the NVM checkpoint slots in
+ * `src/fault/`:
+ *
+ *  - every frame carries a CRC over its payload, so corruption anywhere
+ *    (torn tail, flipped bits mid-file, foreign garbage) is *detected*
+ *    and the scanner resynchronizes on the next frame magic — bad bytes
+ *    are quarantined (counted, skippable, recoverable by `eh_cachectl`),
+ *    never silently decoded and never taken down with the good ones;
+ *  - appends go through write(2) with an explicit fsync policy
+ *    (EH_CACHE_FSYNC), so an acknowledged record survives kill -9 and
+ *    the power-loss window is bounded;
+ *  - segment seals and compaction output commit via write-to-temp +
+ *    fsync + atomic rename, so a crash leaves either the old state or
+ *    the complete new state;
+ *  - a LOCK file (flock) makes two processes sharing one store fail
+ *    loudly instead of interleaving appends.
+ *
+ * Compaction merges all segments into one, drops superseded duplicates
+ * (newest record wins) and corrupt bytes, and is idempotent: re-running
+ * it — or crashing anywhere inside it — never loses a live record.
+ */
+
+#ifndef EH_EXPLORE_STORE_HH
+#define EH_EXPLORE_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explore/job.hh"
+
+namespace eh::explore {
+
+/** Frame magic "EHF1" (little-endian u32) preceding every record. */
+constexpr std::uint32_t storeFrameMagic = 0x31464845u;
+
+/** Index sidecar magic "EHI1". */
+constexpr std::uint32_t storeIndexMagic = 0x31494845u;
+
+/** Bytes of frame header: magic, payload length, payload CRC-32. */
+constexpr std::size_t storeFrameHeaderBytes = 12;
+
+/** Upper bound on one frame's payload (corrupt-length guard). */
+constexpr std::size_t storeMaxPayloadBytes = 64u << 20;
+
+/** One stored result record. */
+struct StoreRecord
+{
+    std::string canonical;  ///< canonical JobSpec string (identity)
+    std::uint64_t hash = 0; ///< content hash of canonical
+    std::uint64_t seed = 0; ///< campaign seed the result ran under
+    JobResult result;
+};
+
+/** Store tuning knobs (see docs/STORAGE.md). */
+struct StoreConfig
+{
+    /** Seal the active segment once it exceeds this many bytes. */
+    std::size_t maxSegmentBytes = 8u << 20;
+
+    /**
+     * fsync the active segment every N appends; 0 defers fsync to seal
+     * and close. Acknowledged records survive a process kill either
+     * way (appends use write(2), not user-space buffering); this knob
+     * bounds the *power-loss* window.
+     */
+    unsigned fsyncEvery = 0;
+
+    /** Open without an appender and take a shared (not exclusive) lock. */
+    bool readOnly = false;
+
+    /** When false, existing records are not registered (fresh runs). */
+    bool serveExisting = true;
+};
+
+/** What open() found on disk. */
+struct StoreOpenStats
+{
+    std::size_t segments = 0;
+    std::size_t records = 0;         ///< record slots registered
+    std::uint64_t bytes = 0;         ///< total segment bytes
+    std::size_t corruptionEvents = 0;///< quarantined byte ranges
+    std::uint64_t corruptBytes = 0;
+    std::size_t indexedSegments = 0; ///< loaded via sidecar index
+};
+
+/** Outcome of one compaction pass. */
+struct CompactionReport
+{
+    std::size_t segmentsBefore = 0, segmentsAfter = 0;
+    std::uint64_t bytesBefore = 0, bytesAfter = 0;
+    std::size_t framesBefore = 0, recordsAfter = 0;
+    std::size_t corruptionEvents = 0;
+};
+
+/** One corrupt byte range found by fsck (or the open scan). */
+struct StoreFinding
+{
+    std::uint32_t segment = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::string reason;
+};
+
+/** Deep-scan verification report. */
+struct FsckReport
+{
+    std::size_t segments = 0;
+    std::size_t intactFrames = 0;
+    std::size_t liveRecords = 0;      ///< after newest-wins dedup
+    std::vector<StoreFinding> findings;
+    std::size_t staleIndexes = 0;     ///< sealed segments whose sidecar
+                                      ///< is missing or mismatching
+    std::size_t quarantinedFiles = 0; ///< written by repair
+    bool repaired = false;
+
+    /** No corruption and every sealed segment correctly indexed. */
+    bool clean() const { return findings.empty() && staleIndexes == 0; }
+};
+
+/**
+ * The segmented store. An empty directory path constructs a memory-only
+ * store (nothing persisted, no locking) with the same lookup/append
+ * semantics. Thread-safe; one mutex serializes map and file access.
+ */
+class SegmentStore
+{
+  public:
+    /** Memory-only store. */
+    SegmentStore();
+
+    /**
+     * Open (or create) the store directory at @p dir (conventionally
+     * `<cache-dir>/<name>.ehc`). Registers every intact record from
+     * every segment — via the sidecar index where one is valid, by
+     * frame scan otherwise — and quarantines (skips + counts) corrupt
+     * byte ranges.
+     * @throws FatalError when another process holds the store lock, or
+     *         on unrecoverable I/O errors.
+     */
+    explicit SegmentStore(const std::string &dir, StoreConfig cfg = {});
+
+    ~SegmentStore();
+    SegmentStore(const SegmentStore &) = delete;
+    SegmentStore &operator=(const SegmentStore &) = delete;
+
+    /** True when backed by disk. */
+    bool enabled() const { return !root.empty(); }
+
+    /** Store directory; empty for memory-only stores. */
+    const std::string &path() const { return root; }
+
+    /**
+     * Find the newest record matching (canonical, hash, seed). Lazy
+     * (index-registered) candidates are read from disk on first touch
+     * and kept decoded.
+     */
+    bool lookup(const std::string &canonical, std::uint64_t hash,
+                std::uint64_t seed, JobResult &out) const;
+
+    /** Append one record (durable per the fsync policy) and serve it. */
+    void append(const StoreRecord &record);
+
+    /** Force the active segment's bytes to disk (fsync when @p sync). */
+    void flush(bool sync);
+
+    /**
+     * Seal the active segment: fsync it, publish its sidecar index via
+     * atomic rename, and direct future appends to a new segment. No-op
+     * without an active segment.
+     */
+    void seal();
+
+    /**
+     * Merge every segment into one compacted, indexed segment, dropping
+     * superseded duplicates (newest wins) and corrupt bytes. Crash-safe
+     * and idempotent: the compacted segment is published by atomic
+     * rename *before* the inputs are deleted, and reopening mid-crash
+     * state converges to the same live set.
+     */
+    CompactionReport compact();
+
+    /**
+     * Deep-scan every segment frame-by-frame and verify sidecar
+     * indexes. With @p repair: save corrupt byte ranges as
+     * `quarantine-*.bin` evidence files, then compact (which drops the
+     * bad bytes and rebuilds indexes).
+     */
+    FsckReport fsck(bool repair);
+
+    /**
+     * Visit the live records (newest-wins deduped, in stable
+     * first-occurrence order) by scanning the segments on disk.
+     */
+    void forEachLive(
+        const std::function<void(const StoreRecord &)> &fn) const;
+
+    /** Slots registered at open (0 after a fresh open). */
+    const StoreOpenStats &openStats() const { return opened; }
+
+    /** Record slots currently served (open + appends; dupes possible). */
+    std::size_t servedRecords() const;
+
+    // --- Format helpers (tests, tools, the crash harness) ------------
+
+    /** Serialize one record payload (no frame header). */
+    static std::string encodePayload(const StoreRecord &record);
+
+    /** Parse one payload; false on malformed/unknown-version input. */
+    static bool decodePayload(const std::string &payload,
+                              StoreRecord &out);
+
+    /** Full frame bytes: header (magic, length, CRC) + payload. */
+    static std::string encodeFrame(const StoreRecord &record);
+
+    /**
+     * Walk @p bytes as a segment: @p onRecord for each intact frame,
+     * @p onCorruption for each quarantined byte range. Resynchronizes
+     * on the next frame magic after any damage.
+     */
+    static void scanFrames(
+        const std::string &bytes,
+        const std::function<void(std::uint64_t offset,
+                                 std::uint32_t frameLen,
+                                 const StoreRecord &)> &onRecord,
+        const std::function<void(std::uint64_t offset,
+                                 std::uint64_t count,
+                                 const std::string &reason)>
+            &onCorruption);
+
+    /** Segment / index sidecar file name for @p id ("seg-000001.…"). */
+    static std::string segmentName(std::uint32_t id);
+    static std::string indexName(std::uint32_t id);
+
+  private:
+    struct Slot
+    {
+        std::uint64_t seed = 0;
+        bool loaded = false;
+        bool dead = false;        ///< lazy slot that failed to read
+        std::string canonical;    ///< loaded only
+        JobResult result;         ///< loaded only
+        std::uint32_t segment = 0;///< lazy only
+        std::uint64_t offset = 0; ///< lazy only
+        std::uint32_t frameLen = 0;
+    };
+
+    struct SegmentInfo
+    {
+        std::uint32_t id = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    void openOnDisk(StoreConfig cfg);
+    void lockStore(bool shared);
+    std::vector<SegmentInfo> listSegments() const;
+    bool loadViaIndex(const SegmentInfo &seg);
+    void scanSegmentFile(const SegmentInfo &seg, bool registerSlots);
+    void registerSlot(std::uint64_t hash, Slot slot);
+    void openActive(std::uint32_t id, std::uint64_t existingBytes);
+    void appendLocked(const StoreRecord &record);
+    void flushLocked(bool sync);
+    void sealLocked();
+    bool readFrame(const Slot &slot, StoreRecord &out) const;
+    std::string segmentPath(std::uint32_t id) const;
+    std::string indexPath(std::uint32_t id) const;
+    void writeIndexFor(std::uint32_t id);
+    CompactionReport compactLocked();
+    void collectLive(std::vector<StoreRecord> &live,
+                     std::size_t *framesSeen,
+                     std::size_t *corruptionEvents) const;
+
+    mutable std::mutex mutex;
+    std::string root; ///< store directory; empty = memory-only
+    StoreConfig config;
+    StoreOpenStats opened;
+
+    mutable std::unordered_map<std::uint64_t, std::vector<Slot>> byHash;
+
+    int lockFd = -1;
+    int activeFd = -1;
+    std::uint32_t activeId = 0; ///< 0 = no active segment
+    std::uint64_t activeBytes = 0;
+    unsigned appendsSinceSync = 0;
+    std::uint32_t nextId = 1;
+};
+
+} // namespace eh::explore
+
+#endif // EH_EXPLORE_STORE_HH

@@ -1,0 +1,154 @@
+#include "util/fsio.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/panic.hh"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace eh {
+
+bool
+fsyncFd(int fd)
+{
+#ifndef _WIN32
+    return ::fsync(fd) == 0;
+#else
+    (void)fd;
+    return true;
+#endif
+}
+
+bool
+fsyncDir(const std::string &dir)
+{
+#ifndef _WIN32
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+#else
+    (void)dir;
+    return true;
+#endif
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        fatalf("cannot create '", tmp, "' for atomic write");
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        const ::ssize_t n =
+            ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatalf("short write to '", tmp, "'");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (!fsyncFd(fd)) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatalf("fsync of '", tmp, "' failed");
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fatalf("cannot rename '", tmp, "' over '", path, "'");
+    }
+#else
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatalf("cannot create '", tmp, "' for atomic write");
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            fatalf("short write to '", tmp, "'");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        fatalf("cannot rename '", tmp, "' over '", path, "'");
+#endif
+    const auto parent = std::filesystem::path(path).parent_path();
+    fsyncDir(parent.empty() ? "." : parent.string());
+}
+
+bool
+readFileBytes(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return false;
+    const std::streamoff size = in.tellg();
+    if (size < 0)
+        fatalf("read of '", path, "' failed");
+    std::string buf(static_cast<std::size_t>(size), '\0');
+    in.seekg(0);
+    in.read(buf.data(), size);
+    if (in.gcount() != size || in.bad())
+        fatalf("read of '", path, "' failed");
+    out = std::move(buf);
+    return true;
+}
+
+void
+putLe32(std::string &out, std::uint32_t v)
+{
+    for (int k = 0; k < 4; ++k)
+        out += static_cast<char>((v >> (8 * k)) & 0xff);
+}
+
+void
+putLe64(std::string &out, std::uint64_t v)
+{
+    for (int k = 0; k < 8; ++k)
+        out += static_cast<char>((v >> (8 * k)) & 0xff);
+}
+
+bool
+getLe32(const std::string &in, std::size_t &at, std::uint32_t &v)
+{
+    if (at + 4 > in.size())
+        return false;
+    v = 0;
+    for (int k = 0; k < 4; ++k) {
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[at + k]))
+             << (8 * k);
+    }
+    at += 4;
+    return true;
+}
+
+bool
+getLe64(const std::string &in, std::size_t &at, std::uint64_t &v)
+{
+    if (at + 8 > in.size())
+        return false;
+    v = 0;
+    for (int k = 0; k < 8; ++k) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[at + k]))
+             << (8 * k);
+    }
+    at += 8;
+    return true;
+}
+
+} // namespace eh

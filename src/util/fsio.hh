@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Durable file I/O primitives for the on-disk stores (explore result
+ * segments, checkpoint sidecars): explicit fsync of files and their
+ * containing directories, and an atomic write-then-rename commit so a
+ * reader never observes a half-written file. POSIX rename() within one
+ * directory is atomic; pairing it with an fsync of the temporary file
+ * *before* the rename and of the directory *after* gives the classic
+ * crash-safe publication protocol (write tmp → fsync tmp → rename →
+ * fsync dir). On platforms without fsync these helpers degrade to
+ * best-effort buffered I/O rather than failing.
+ */
+
+#ifndef EH_UTIL_FSIO_HH
+#define EH_UTIL_FSIO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace eh {
+
+/**
+ * fsync an open POSIX file descriptor. Returns false (and leaves errno
+ * set) on failure; a no-op returning true where fsync is unavailable.
+ */
+bool fsyncFd(int fd);
+
+/**
+ * fsync the directory at @p dir so a rename or file creation inside it
+ * is durable. Best-effort: returns false on failure, true elsewhere.
+ */
+bool fsyncDir(const std::string &dir);
+
+/**
+ * Atomically publish @p bytes at @p path: write to `<path>.tmp`, fsync
+ * it, rename over @p path, fsync the parent directory. A crash at any
+ * point leaves either the old file (or nothing) or the complete new
+ * file — never a torn one.
+ * @throws FatalError on I/O errors.
+ */
+void writeFileAtomic(const std::string &path, const std::string &bytes);
+
+/**
+ * Read a whole file into @p out (binary). Returns false when the file
+ * cannot be opened; partial reads throw FatalError.
+ */
+bool readFileBytes(const std::string &path, std::string &out);
+
+/** Little-endian scalar append/read helpers for binary file formats. */
+void putLe32(std::string &out, std::uint32_t v);
+void putLe64(std::string &out, std::uint64_t v);
+
+/**
+ * Read a little-endian scalar at @p at; returns false when fewer than
+ * the needed bytes remain. @p at advances past the value on success.
+ */
+bool getLe32(const std::string &in, std::size_t &at, std::uint32_t &v);
+bool getLe64(const std::string &in, std::size_t &at, std::uint64_t &v);
+
+} // namespace eh
+
+#endif // EH_UTIL_FSIO_HH

@@ -292,6 +292,64 @@ TEST(Campaign, CsvBytesAreIdenticalAtAnyWorkerCount)
     EXPECT_EQ(bytes1, bytes16);
 }
 
+TEST(Campaign, CsvBytesAreIdenticalAcrossStoreGenerations)
+{
+    // The rendered CSV must not care where the results came from: a
+    // legacy JSONL store written by an older build (migrated on open),
+    // the segmented store that migration produces, or that store after
+    // a compaction pass — at 1 and 16 workers alike.
+    ScratchDir dir("storegen");
+    const auto specs = sampleGrid(9);
+    std::atomic<int> calls{0};
+    const auto results = runGrid(specs, 1, calls);
+    const auto reference = renderCsv(dir.str() + "/ref.csv", results);
+    ASSERT_FALSE(reference.empty());
+
+    for (unsigned jobs : {1u, 16u}) {
+        const std::string cdir =
+            dir.str() + "/gen" + std::to_string(jobs);
+        std::filesystem::create_directories(cdir);
+        {
+            std::ofstream legacy(cdir + "/test.jsonl");
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                legacy << ResultCache::encodeRecord(specs[i], 7,
+                                                    results[i])
+                       << '\n';
+            }
+        }
+        std::atomic<int> cached{0};
+
+        // Generation 1: every cell served through the migrated legacy
+        // records, nothing executed.
+        const auto legacyCsv =
+            renderCsv(cdir + "/legacy.csv",
+                      runGrid(specs, jobs, cached, cdir));
+        EXPECT_EQ(cached.load(), 0) << jobs << " workers";
+        EXPECT_EQ(legacyCsv, reference) << jobs << " workers";
+
+        // Generation 2: the JSONL is gone; the segmented store serves.
+        EXPECT_FALSE(
+            std::filesystem::exists(cdir + "/test.jsonl"));
+        const auto segmentCsv =
+            renderCsv(cdir + "/segment.csv",
+                      runGrid(specs, jobs, cached, cdir));
+        EXPECT_EQ(cached.load(), 0) << jobs << " workers";
+        EXPECT_EQ(segmentCsv, reference) << jobs << " workers";
+
+        // Generation 3: compacted store.
+        {
+            ResultCache cache(cdir, "test");
+            EXPECT_EQ(cache.segments().compact().recordsAfter,
+                      specs.size());
+        }
+        const auto compactCsv =
+            renderCsv(cdir + "/compact.csv",
+                      runGrid(specs, jobs, cached, cdir));
+        EXPECT_EQ(cached.load(), 0) << jobs << " workers";
+        EXPECT_EQ(compactCsv, reference) << jobs << " workers";
+    }
+}
+
 TEST(Campaign, SeedChangesEveryStochasticResult)
 {
     const auto specs = sampleGrid(8);

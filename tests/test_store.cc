@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Crash-point injection suite for the durable segmented result store
+ * (explore/store.hh, docs/STORAGE.md). The centerpiece sweeps damage
+ * across *every byte position*: segments truncated at each byte
+ * boundary and bit-flipped at each byte must still serve every intact
+ * record, quarantine (never delete) the damaged ranges, and never take
+ * the process down. On top of that: kill -9 durability via fork(),
+ * compaction crash states and idempotence, sidecar-index corruption
+ * fallback, store locking, legacy JSONL migration, fsck/repair, and a
+ * truncation fuzz over the quarantine strike log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "explore/cache.hh"
+#include "explore/store.hh"
+#include "util/fsio.hh"
+#include "util/panic.hh"
+
+#ifndef _WIN32
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace eh;
+using namespace eh::explore;
+namespace fs = std::filesystem;
+
+/** A unique scratch directory, removed when the test ends. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+    {
+        root = fs::temp_directory_path() / ("eh_store_test_" + tag);
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+    ~ScratchDir() { fs::remove_all(root); }
+    std::string str() const { return root.string(); }
+
+  private:
+    fs::path root;
+};
+
+JobSpec
+sampleSpec(std::uint64_t i)
+{
+    JobSpec spec("store");
+    spec.set("cell", i).set("x", 0.5 * static_cast<double>(i));
+    return spec;
+}
+
+StoreRecord
+sampleRecord(std::uint64_t i, const char *tag = "v1")
+{
+    const JobSpec spec = sampleSpec(i);
+    StoreRecord rec;
+    rec.canonical = spec.canonical();
+    rec.hash = spec.hash();
+    rec.seed = 7;
+    rec.result.set("y", 2.0 * static_cast<double>(i))
+        .set("tag", std::string(tag));
+    return rec;
+}
+
+/** Read one file fully (asserts it exists). */
+std::string
+slurp(const std::string &path)
+{
+    std::string bytes;
+    EXPECT_TRUE(readFileBytes(path, bytes)) << path;
+    return bytes;
+}
+
+std::string
+overwrite(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+/** The single segment file of a one-segment store. */
+std::string
+onlySegment(const std::string &store_dir)
+{
+    std::string found;
+    for (const auto &entry : fs::directory_iterator(store_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".ehseg") == 0) {
+            EXPECT_TRUE(found.empty()) << "more than one segment";
+            found = entry.path().string();
+        }
+    }
+    EXPECT_FALSE(found.empty());
+    return found;
+}
+
+TEST(StoreCodec, PayloadRoundTripsEveryField)
+{
+    StoreRecord rec = sampleRecord(3);
+    rec.result.setStatus(JobStatus::Timeout, "deadline \"exceeded\"\n");
+    const std::string payload = SegmentStore::encodePayload(rec);
+    StoreRecord back;
+    ASSERT_TRUE(SegmentStore::decodePayload(payload, back));
+    EXPECT_EQ(back.canonical, rec.canonical);
+    EXPECT_EQ(back.hash, rec.hash);
+    EXPECT_EQ(back.seed, rec.seed);
+    EXPECT_EQ(back.result.fields(), rec.result.fields());
+    EXPECT_EQ(back.result.status(), JobStatus::Timeout);
+    EXPECT_EQ(back.result.error(), rec.result.error());
+}
+
+TEST(StoreCodec, TruncatedPayloadNeverDecodes)
+{
+    const std::string payload =
+        SegmentStore::encodePayload(sampleRecord(11));
+    StoreRecord out;
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        EXPECT_FALSE(
+            SegmentStore::decodePayload(payload.substr(0, cut), out))
+            << "cut at " << cut;
+    }
+    EXPECT_FALSE(SegmentStore::decodePayload(payload + "x", out))
+        << "trailing bytes must be rejected";
+    ASSERT_TRUE(SegmentStore::decodePayload(payload, out));
+}
+
+TEST(StoreCodec, ScanRecoversAllFramesFromCleanBytes)
+{
+    std::string bytes;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        bytes += SegmentStore::encodeFrame(sampleRecord(i));
+    std::size_t records = 0, corrupt = 0;
+    SegmentStore::scanFrames(
+        bytes,
+        [&](std::uint64_t, std::uint32_t, const StoreRecord &) {
+            ++records;
+        },
+        [&](std::uint64_t, std::uint64_t, const std::string &) {
+            ++corrupt;
+        });
+    EXPECT_EQ(records, 5u);
+    EXPECT_EQ(corrupt, 0u);
+}
+
+TEST(StoreCrashPoints, TruncationAtEveryByteServesIntactPrefix)
+{
+    std::vector<std::size_t> bounds{0};
+    std::string bytes;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        bytes += SegmentStore::encodeFrame(sampleRecord(i));
+        bounds.push_back(bytes.size());
+    }
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+        // Frames wholly inside [0, cut) must all be served.
+        std::size_t whole = 0;
+        while (whole + 1 < bounds.size() && bounds[whole + 1] <= cut)
+            ++whole;
+        std::size_t records = 0;
+        std::uint64_t lost = 0;
+        SegmentStore::scanFrames(
+            bytes.substr(0, cut),
+            [&](std::uint64_t, std::uint32_t, const StoreRecord &) {
+                ++records;
+            },
+            [&](std::uint64_t, std::uint64_t count, const std::string &) {
+                lost += count;
+            });
+        EXPECT_EQ(records, whole) << "cut at " << cut;
+        EXPECT_EQ(lost, cut - bounds[whole]) << "cut at " << cut;
+    }
+}
+
+TEST(StoreCrashPoints, BitFlipAtEveryByteNeverLosesOtherFrames)
+{
+    std::vector<std::size_t> bounds{0};
+    std::string bytes;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        bytes += SegmentStore::encodeFrame(sampleRecord(i));
+        bounds.push_back(bytes.size());
+    }
+    for (std::size_t at = 0; at < bytes.size(); ++at) {
+        std::string mutated = bytes;
+        mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+        std::set<std::string> served;
+        std::size_t corrupt = 0;
+        SegmentStore::scanFrames(
+            mutated,
+            [&](std::uint64_t, std::uint32_t, const StoreRecord &rec) {
+                served.insert(rec.canonical);
+            },
+            [&](std::uint64_t, std::uint64_t, const std::string &) {
+                ++corrupt;
+            });
+        // The flipped byte lives in exactly one frame; every *other*
+        // frame must still be served. (The damaged frame itself may
+        // coincidentally still parse only if the flip landed in a spot
+        // the CRC covers — it cannot, so expect it quarantined.)
+        std::size_t hit = 0;
+        while (bounds[hit + 1] <= at)
+            ++hit;
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            if (i == hit)
+                continue;
+            EXPECT_TRUE(served.count(sampleRecord(i).canonical))
+                << "flip at " << at << " lost frame " << i;
+        }
+        EXPECT_GE(corrupt, 1u) << "flip at " << at;
+        EXPECT_EQ(served.size(), 3u) << "flip at " << at;
+    }
+}
+
+TEST(SegmentStore, AppendLookupAndNewestWins)
+{
+    ScratchDir dir("newest");
+    const std::string root = dir.str() + "/s.ehc";
+    {
+        SegmentStore store(root);
+        store.append(sampleRecord(1, "old"));
+        store.append(sampleRecord(2, "only"));
+        store.append(sampleRecord(1, "new")); // supersedes cell 1
+        JobResult out;
+        ASSERT_TRUE(store.lookup(sampleRecord(1).canonical,
+                                 sampleRecord(1).hash, 7, out));
+        EXPECT_EQ(out.str("tag"), "new");
+        EXPECT_FALSE(store.lookup(sampleRecord(1).canonical,
+                                  sampleRecord(1).hash, 8, out))
+            << "a different campaign seed must miss";
+    }
+    // Reopen: the duplicate frames are both on disk; newest still wins.
+    SegmentStore store(root);
+    EXPECT_EQ(store.openStats().records, 3u);
+    JobResult out;
+    ASSERT_TRUE(store.lookup(sampleRecord(1).canonical,
+                             sampleRecord(1).hash, 7, out));
+    EXPECT_EQ(out.str("tag"), "new");
+}
+
+TEST(SegmentStore, SealedSegmentsWarmLoadThroughTheIndex)
+{
+    ScratchDir dir("index");
+    const std::string root = dir.str() + "/s.ehc";
+    StoreConfig cfg;
+    cfg.maxSegmentBytes = 256; // force frequent seals
+    {
+        SegmentStore store(root, cfg);
+        for (std::uint64_t i = 0; i < 20; ++i)
+            store.append(sampleRecord(i));
+    }
+    SegmentStore store(root);
+    const auto &stats = store.openStats();
+    EXPECT_EQ(stats.records, 20u);
+    EXPECT_GE(stats.segments, 2u);
+    EXPECT_GE(stats.indexedSegments, 1u);
+    // Lazy index slots decode on first touch.
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        JobResult out;
+        ASSERT_TRUE(store.lookup(sampleRecord(i).canonical,
+                                 sampleRecord(i).hash, 7, out))
+            << i;
+        EXPECT_EQ(out.num("y"), 2.0 * static_cast<double>(i));
+    }
+}
+
+TEST(SegmentStore, CorruptIndexFallsBackToFrameScan)
+{
+    ScratchDir dir("idxcorrupt");
+    const std::string root = dir.str() + "/s.ehc";
+    {
+        SegmentStore store(root);
+        for (std::uint64_t i = 0; i < 6; ++i)
+            store.append(sampleRecord(i));
+        store.seal();
+    }
+    // Trash the sidecar; the segment itself is intact.
+    std::string idx;
+    for (const auto &entry : fs::directory_iterator(root)) {
+        if (entry.path().extension() == ".ehidx")
+            idx = entry.path().string();
+    }
+    ASSERT_FALSE(idx.empty());
+    std::string bytes = slurp(idx);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    overwrite(idx, bytes);
+
+    SegmentStore store(root);
+    EXPECT_EQ(store.openStats().records, 6u);
+    EXPECT_EQ(store.openStats().corruptionEvents, 0u)
+        << "segment bytes are fine; only the sidecar was damaged";
+    JobResult out;
+    EXPECT_TRUE(store.lookup(sampleRecord(3).canonical,
+                             sampleRecord(3).hash, 7, out));
+}
+
+TEST(SegmentStore, CompactionMergesDedupsAndDropsCorruption)
+{
+    ScratchDir dir("compact");
+    const std::string root = dir.str() + "/s.ehc";
+    StoreConfig cfg;
+    cfg.maxSegmentBytes = 256;
+    {
+        SegmentStore store(root, cfg);
+        for (std::uint64_t i = 0; i < 10; ++i)
+            store.append(sampleRecord(i, "old"));
+        for (std::uint64_t i = 0; i < 10; ++i)
+            store.append(sampleRecord(i, "new"));
+    }
+    {
+        // Flip a byte in the middle of the first (sealed) segment.
+        const std::string seg =
+            root + "/" + SegmentStore::segmentName(1);
+        std::string bytes = slurp(seg);
+        bytes[20] = static_cast<char>(bytes[20] ^ 0x01);
+        overwrite(seg, bytes);
+    }
+    {
+        SegmentStore store(root);
+        const CompactionReport report = store.compact();
+        EXPECT_GE(report.segmentsBefore, 2u);
+        EXPECT_EQ(report.segmentsAfter, 1u);
+        EXPECT_EQ(report.recordsAfter, 10u);
+        EXPECT_GE(report.corruptionEvents, 1u);
+        EXPECT_LT(report.bytesAfter, report.bytesBefore);
+        for (std::uint64_t i = 0; i < 10; ++i) {
+            JobResult out;
+            ASSERT_TRUE(store.lookup(sampleRecord(i).canonical,
+                                     sampleRecord(i).hash, 7, out))
+                << i;
+            EXPECT_EQ(out.str("tag"), "new");
+        }
+        // Idempotent: compacting a compacted store changes nothing.
+        const CompactionReport again = store.compact();
+        EXPECT_EQ(again.recordsAfter, 10u);
+        EXPECT_EQ(again.corruptionEvents, 0u);
+    }
+    // Cold reopen: the compacted segment warm-loads via its index and
+    // still serves every live record, newest wins.
+    SegmentStore reopened(root);
+    EXPECT_EQ(reopened.openStats().indexedSegments, 1u);
+    EXPECT_EQ(reopened.openStats().records, 10u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        JobResult out;
+        ASSERT_TRUE(reopened.lookup(sampleRecord(i).canonical,
+                                    sampleRecord(i).hash, 7, out))
+            << i;
+        EXPECT_EQ(out.str("tag"), "new");
+    }
+}
+
+TEST(SegmentStore, CompactionCrashStatesConvergeOnReopen)
+{
+    ScratchDir dir("compactcrash");
+    const std::string root = dir.str() + "/s.ehc";
+    StoreConfig cfg;
+    cfg.maxSegmentBytes = 256;
+    {
+        SegmentStore store(root, cfg);
+        for (std::uint64_t i = 0; i < 8; ++i)
+            store.append(sampleRecord(i));
+    }
+
+    // Crash state A: compact.tmp written but never renamed. Reopen must
+    // clean it up and serve everything.
+    overwrite(root + "/compact.tmp", "half-written compaction output");
+    {
+        SegmentStore store(root);
+        EXPECT_EQ(store.openStats().records, 8u);
+        EXPECT_FALSE(fs::exists(root + "/compact.tmp"));
+    }
+
+    // Crash state B: the compacted segment was published (renamed into
+    // place) but the inputs were not yet deleted. Reopen sees every
+    // record twice; newest-wins dedup converges to the same live set.
+    std::vector<std::string> segs;
+    for (const auto &entry : fs::directory_iterator(root)) {
+        if (entry.path().extension() == ".ehseg")
+            segs.push_back(entry.path().string());
+    }
+    ASSERT_GE(segs.size(), 2u);
+    std::string merged;
+    for (const auto &seg : segs)
+        merged += slurp(seg);
+    overwrite(root + "/" + SegmentStore::segmentName(99), merged);
+    {
+        SegmentStore store(root);
+        std::size_t live = 0;
+        store.forEachLive([&](const StoreRecord &) { ++live; });
+        EXPECT_EQ(live, 8u) << "duplicates must dedup, not double";
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            JobResult out;
+            EXPECT_TRUE(store.lookup(sampleRecord(i).canonical,
+                                     sampleRecord(i).hash, 7, out));
+        }
+        // Finishing the interrupted job squeezes everything back down.
+        const CompactionReport report = store.compact();
+        EXPECT_EQ(report.segmentsAfter, 1u);
+        EXPECT_EQ(report.recordsAfter, 8u);
+    }
+}
+
+TEST(SegmentStore, SecondWriterFailsLoudly)
+{
+    ScratchDir dir("lock");
+    const std::string root = dir.str() + "/s.ehc";
+    SegmentStore first(root);
+    first.append(sampleRecord(1));
+    EXPECT_THROW(SegmentStore second(root), FatalError);
+    StoreConfig ro;
+    ro.readOnly = true;
+    EXPECT_THROW(SegmentStore reader(root, ro), FatalError)
+        << "a reader must not share a store with a live writer";
+}
+
+TEST(SegmentStore, ConcurrentReadersShareTheLock)
+{
+    ScratchDir dir("rolock");
+    const std::string root = dir.str() + "/s.ehc";
+    {
+        SegmentStore store(root);
+        store.append(sampleRecord(1));
+    }
+    StoreConfig ro;
+    ro.readOnly = true;
+    SegmentStore a(root, ro);
+    SegmentStore b(root, ro);
+    JobResult out;
+    EXPECT_TRUE(a.lookup(sampleRecord(1).canonical,
+                         sampleRecord(1).hash, 7, out));
+    EXPECT_TRUE(b.lookup(sampleRecord(1).canonical,
+                         sampleRecord(1).hash, 7, out));
+}
+
+#ifndef _WIN32
+TEST(SegmentStore, AcknowledgedAppendsSurviveKillNine)
+{
+    ScratchDir dir("kill9");
+    const std::string root = dir.str() + "/s.ehc";
+    const int pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: append records, then die without any teardown —
+        // no fsync, no destructor, no flush. raise(SIGKILL) cannot be
+        // caught, so this is exactly what `kill -9` leaves behind.
+        {
+            SegmentStore store(root);
+            for (std::uint64_t i = 0; i < 50; ++i)
+                store.append(sampleRecord(i));
+            raise(SIGKILL);
+        }
+        _exit(99); // not reached
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Every acknowledged append must be readable: appends go through
+    // write(2), so the bytes sit in the page cache regardless of how
+    // the process died. (fsync bounds power loss, not process death.)
+    SegmentStore store(root);
+    EXPECT_EQ(store.openStats().records, 50u);
+    EXPECT_EQ(store.openStats().corruptionEvents, 0u);
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        JobResult out;
+        EXPECT_TRUE(store.lookup(sampleRecord(i).canonical,
+                                 sampleRecord(i).hash, 7, out))
+            << i;
+    }
+}
+#endif
+
+TEST(SegmentStore, FsckDetectsAndRepairsDamage)
+{
+    ScratchDir dir("fsck");
+    const std::string root = dir.str() + "/s.ehc";
+    {
+        SegmentStore store(root);
+        for (std::uint64_t i = 0; i < 6; ++i)
+            store.append(sampleRecord(i));
+    }
+    {
+        SegmentStore store(root);
+        EXPECT_TRUE(store.fsck(false).clean());
+    }
+    const std::string seg = onlySegment(root);
+    std::string bytes = slurp(seg);
+    bytes[30] = static_cast<char>(bytes[30] ^ 0x10);
+    overwrite(seg, bytes);
+
+    SegmentStore store(root);
+    FsckReport report = store.fsck(false);
+    EXPECT_FALSE(report.clean());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.intactFrames, 5u);
+
+    report = store.fsck(true);
+    EXPECT_TRUE(report.repaired);
+    EXPECT_EQ(report.quarantinedFiles, 1u);
+    EXPECT_TRUE(store.fsck(false).clean());
+    // The damaged bytes were preserved as evidence, not deleted.
+    std::size_t quarantineFiles = 0;
+    for (const auto &entry : fs::directory_iterator(root)) {
+        if (entry.path().filename().string().rfind("quarantine-", 0) ==
+            0) {
+            ++quarantineFiles;
+        }
+    }
+    EXPECT_EQ(quarantineFiles, 1u);
+    std::size_t live = 0;
+    store.forEachLive([&](const StoreRecord &) { ++live; });
+    EXPECT_EQ(live, 5u);
+}
+
+TEST(SegmentStore, ExportedRecordsRoundTripThroughJsonl)
+{
+    ScratchDir dir("roundtrip");
+    const std::string root = dir.str() + "/s.ehc";
+    SegmentStore store(root);
+    StoreRecord failed = sampleRecord(5);
+    failed.result.setStatus(JobStatus::Failed, "boom \"quoted\"");
+    store.append(sampleRecord(1));
+    store.append(failed);
+
+    std::vector<StoreRecord> back;
+    store.forEachLive([&](const StoreRecord &rec) {
+        const std::string line = ResultCache::encodeRecordRaw(
+            rec.canonical, rec.hash, rec.seed, rec.result);
+        StoreRecord decoded;
+        ASSERT_TRUE(ResultCache::decodeRecord(line, decoded.canonical,
+                                              decoded.hash,
+                                              decoded.seed,
+                                              decoded.result));
+        back.push_back(decoded);
+    });
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].canonical, sampleRecord(1).canonical);
+    EXPECT_EQ(back[0].result.fields(),
+              sampleRecord(1).result.fields());
+    EXPECT_EQ(back[1].result.status(), JobStatus::Failed);
+    EXPECT_EQ(back[1].result.error(), "boom \"quoted\"");
+}
+
+TEST(ResultCache, LegacyJsonlMigratesOnceAndIdempotently)
+{
+    ScratchDir dir("migrate");
+    const std::string legacy = dir.str() + "/test.jsonl";
+    {
+        std::ofstream out(legacy);
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            const StoreRecord rec = sampleRecord(i);
+            out << ResultCache::encodeRecordRaw(rec.canonical, rec.hash,
+                                                rec.seed, rec.result)
+                << '\n';
+        }
+        out << "garbage that is not a record\n";
+        const StoreRecord torn = sampleRecord(9);
+        out << ResultCache::encodeRecordRaw(torn.canonical, torn.hash,
+                                            torn.seed, torn.result)
+                   .substr(0, 25); // torn tail, no newline
+    }
+    {
+        ResultCache cache(dir.str(), "test");
+        EXPECT_EQ(cache.migratedRecords(), 4u);
+        EXPECT_EQ(cache.loadedRecords(), 4u);
+        JobResult out;
+        EXPECT_TRUE(cache.lookup(sampleSpec(2), 7, out));
+        EXPECT_EQ(out.num("y"), 4.0);
+    }
+    EXPECT_FALSE(fs::exists(legacy)) << "migration renames the jsonl";
+    EXPECT_TRUE(fs::exists(legacy + ".migrated"));
+
+    // A second open serves from segments; nothing migrates again.
+    ResultCache cache(dir.str(), "test");
+    EXPECT_EQ(cache.migratedRecords(), 0u);
+    EXPECT_EQ(cache.loadedRecords(), 4u);
+}
+
+TEST(ResultCache, ResurrectedJsonlDoesNotDuplicateRecords)
+{
+    ScratchDir dir("remigrate");
+    const std::string legacy = dir.str() + "/test.jsonl";
+    auto writeLegacy = [&] {
+        std::ofstream out(legacy);
+        for (std::uint64_t i = 0; i < 3; ++i) {
+            const StoreRecord rec = sampleRecord(i);
+            out << ResultCache::encodeRecordRaw(rec.canonical, rec.hash,
+                                                rec.seed, rec.result)
+                << '\n';
+        }
+    };
+    writeLegacy();
+    {
+        ResultCache cache(dir.str(), "test");
+        EXPECT_EQ(cache.migratedRecords(), 3u);
+    }
+    // Simulate a crash between the appends and the rename: the jsonl
+    // reappears while the segments already hold its records.
+    writeLegacy();
+    {
+        ResultCache cache(dir.str(), "test");
+        EXPECT_EQ(cache.migratedRecords(), 0u)
+            << "already-present records must be skipped";
+        EXPECT_EQ(cache.loadedRecords(), 3u);
+    }
+}
+
+TEST(QuarantineLog, TruncationFuzzNeverMiscountsStrikes)
+{
+    ScratchDir dir("qfuzz");
+    std::vector<JobSpec> specs;
+    for (int i = 0; i < 3; ++i) {
+        JobSpec s("poison");
+        s.set("cell", i);
+        specs.push_back(s);
+    }
+    {
+        QuarantineLog log(dir.str(), "fuzz", 2);
+        for (const auto &spec : specs) {
+            log.recordFailure(spec);
+            log.recordFailure(spec);
+        }
+        for (const auto &spec : specs)
+            EXPECT_TRUE(log.poisoned(spec));
+    }
+    const std::string path = dir.str() + "/fuzz.quarantine";
+    const std::string bytes = slurp(path);
+
+    // Every line is CRC-framed, so a copy truncated at *any* byte
+    // counts exactly the complete lines as strikes against real cells:
+    // a torn tail can skew things by at most the one unflushed line
+    // (skipped, or in a degenerate prefix parsed as a legacy line for a
+    // cell that does not exist), and never a phantom strike against a
+    // real cell.
+    std::size_t newlines = 0;
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+        const std::string prefixDir = dir.str() + "/cut";
+        fs::create_directories(prefixDir);
+        overwrite(prefixDir + "/fuzz.quarantine",
+                  bytes.substr(0, cut));
+        QuarantineLog log(prefixDir, "fuzz", 2);
+        std::size_t strikes = 0;
+        for (const auto &spec : specs)
+            strikes += log.strikes(spec);
+        // A cut exactly at a newline leaves a complete (unterminated)
+        // final line, which passes its CRC and rightly counts.
+        const bool wholeLine =
+            cut < bytes.size() && bytes[cut] == '\n';
+        EXPECT_EQ(strikes, newlines + (wholeLine ? 1u : 0u))
+            << "cut at " << cut;
+        EXPECT_LE(log.skippedLines(), 1u) << "cut at " << cut;
+        if (wholeLine)
+            ++newlines;
+    }
+
+    // A bit flip inside a framed line's canonical fails the CRC: the
+    // line is skipped (with a counted warning), not miscounted.
+    std::string flipped = bytes;
+    flipped[flipped.size() - 2] =
+        static_cast<char>(flipped[flipped.size() - 2] ^ 0x20);
+    overwrite(path, flipped);
+    QuarantineLog log(dir.str(), "fuzz", 2);
+    std::size_t strikes = 0;
+    for (const auto &spec : specs)
+        strikes += log.strikes(spec);
+    EXPECT_EQ(strikes, 5u);
+    EXPECT_EQ(log.skippedLines(), 1u);
+}
+
+TEST(QuarantineLog, LegacyUnframedLinesStillCount)
+{
+    ScratchDir dir("qlegacy");
+    JobSpec spec("poison");
+    spec.set("cell", 1);
+    {
+        std::ofstream out(dir.str() + "/old.quarantine");
+        out << spec.canonical() << '\n' << spec.canonical() << '\n';
+    }
+    QuarantineLog log(dir.str(), "old", 2);
+    EXPECT_EQ(log.strikes(spec), 2u);
+    EXPECT_TRUE(log.poisoned(spec));
+    EXPECT_EQ(log.skippedLines(), 0u);
+    // New strikes append framed lines alongside the legacy ones.
+    log.recordFailure(spec);
+    QuarantineLog reloaded(dir.str(), "old", 2);
+    EXPECT_EQ(reloaded.strikes(spec), 3u);
+}
+
+} // namespace

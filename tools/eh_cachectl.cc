@@ -1,0 +1,389 @@
+/**
+ * @file
+ * eh_cachectl — inspect, verify, repair and convert the durable
+ * segmented result stores that exploration campaigns write
+ * (docs/STORAGE.md).
+ *
+ *   eh_cachectl stat         [--dir D] [--name N]
+ *   eh_cachectl fsck         [--dir D] [--name N] [--repair 1]
+ *   eh_cachectl compact      [--dir D] [--name N]
+ *   eh_cachectl export-jsonl [--dir D] [--name N] --out file.jsonl
+ *   eh_cachectl import-jsonl [--dir D] [--name N] --in file.jsonl
+ *   eh_cachectl bench-load   [--dir D] [--records N] [--trials T]
+ *
+ * --dir defaults to $EH_RESULTS_DIR/cache (or results/cache); --name to
+ * "campaign" (campaigns name their store after the grid). `fsck`
+ * returns exit code 1 when corruption or stale indexes were found and
+ * not repaired, so it can gate CI jobs. A legacy `<name>.jsonl` store
+ * is migrated into the segmented format by `compact`/`import-jsonl`
+ * (and transparently by any campaign open); `stat`/`fsck` only report
+ * its presence.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cli/options.hh"
+#include "explore/cache.hh"
+#include "explore/store.hh"
+#include "util/hash.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::explore;
+namespace fs = std::filesystem;
+
+std::string
+cacheDirOf(const cli::Options &opts)
+{
+    const std::string dir = opts.get("dir", "");
+    return dir.empty() ? defaultCacheDir() : dir;
+}
+
+std::string
+storeDirOf(const cli::Options &opts)
+{
+    return cacheDirOf(opts) + "/" + opts.get("name", "campaign") +
+           ".ehc";
+}
+
+std::string
+legacyPathOf(const cli::Options &opts)
+{
+    return cacheDirOf(opts) + "/" + opts.get("name", "campaign") +
+           ".jsonl";
+}
+
+void
+noteLegacy(const cli::Options &opts)
+{
+    const std::string legacy = legacyPathOf(opts);
+    if (fs::exists(legacy)) {
+        inform("legacy JSONL store present at '", legacy,
+               "'; it migrates into the segmented store on the next "
+               "campaign open, `compact`, or `import-jsonl`");
+    }
+}
+
+int
+cmdStat(const cli::Options &opts)
+{
+    StoreConfig cfg;
+    cfg.readOnly = true;
+    SegmentStore store(storeDirOf(opts), cfg);
+    const StoreOpenStats &stats = store.openStats();
+    std::size_t live = 0;
+    store.forEachLive([&](const StoreRecord &) { ++live; });
+    std::cout << "store:              " << store.path() << "\n"
+              << "segments:           " << stats.segments << "\n"
+              << "record slots:       " << stats.records << "\n"
+              << "live records:       " << live
+              << "  (after newest-wins dedup)\n"
+              << "bytes:              " << stats.bytes << "\n"
+              << "indexed segments:   " << stats.indexedSegments << "\n"
+              << "corrupt ranges:     " << stats.corruptionEvents
+              << "  (" << stats.corruptBytes << " bytes quarantined)\n";
+    noteLegacy(opts);
+    return 0;
+}
+
+int
+cmdFsck(const cli::Options &opts)
+{
+    const bool repair = opts.getDouble("repair", 0.0) != 0.0;
+    StoreConfig cfg;
+    cfg.readOnly = !repair;
+    SegmentStore store(storeDirOf(opts), cfg);
+    const FsckReport report = store.fsck(repair);
+    std::cout << "segments:       " << report.segments << "\n"
+              << "intact frames:  " << report.intactFrames << "\n"
+              << "live records:   " << report.liveRecords << "\n"
+              << "stale indexes:  " << report.staleIndexes << "\n"
+              << "corrupt ranges: " << report.findings.size() << "\n";
+    for (const auto &finding : report.findings) {
+        std::cout << "  " << SegmentStore::segmentName(finding.segment)
+                  << " +" << finding.offset << " (" << finding.bytes
+                  << " bytes): " << finding.reason << "\n";
+    }
+    if (report.repaired) {
+        std::cout << "repaired: corrupt bytes saved as "
+                  << report.quarantinedFiles
+                  << " quarantine-*.bin file(s), store compacted\n";
+    }
+    noteLegacy(opts);
+    if (report.clean() || report.repaired) {
+        std::cout << "status: clean\n";
+        return 0;
+    }
+    std::cout << "status: corrupt (rerun with --repair 1 to quarantine "
+                 "and compact)\n";
+    return 1;
+}
+
+int
+cmdCompact(const cli::Options &opts)
+{
+    // Opening through ResultCache migrates a legacy JSONL store first.
+    ResultCache cache(cacheDirOf(opts), opts.get("name", "campaign"));
+    const CompactionReport report = cache.segments().compact();
+    std::cout << "segments: " << report.segmentsBefore << " -> "
+              << report.segmentsAfter << "\n"
+              << "bytes:    " << report.bytesBefore << " -> "
+              << report.bytesAfter << "\n"
+              << "frames:   " << report.framesBefore << " -> "
+              << report.recordsAfter << " live records\n"
+              << "corrupt ranges dropped: " << report.corruptionEvents
+              << "\n";
+    return 0;
+}
+
+int
+cmdExport(const cli::Options &opts)
+{
+    const std::string out = opts.get("out", "");
+    StoreConfig cfg;
+    cfg.readOnly = true;
+    SegmentStore store(storeDirOf(opts), cfg);
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (!out.empty() && out != "-") {
+        file.open(out, std::ios::trunc);
+        if (!file)
+            fatalf("cannot open '", out, "' for writing");
+        os = &file;
+    }
+    std::size_t n = 0;
+    store.forEachLive([&](const StoreRecord &rec) {
+        *os << ResultCache::encodeRecordRaw(rec.canonical, rec.hash,
+                                            rec.seed, rec.result)
+            << '\n';
+        ++n;
+    });
+    os->flush();
+    if (os == &file && !file)
+        fatalf("short write to '", out, "'");
+    inform("exported ", n, " live record", n == 1 ? "" : "s",
+           out.empty() || out == "-" ? "" : " to '" + out + "'");
+    return 0;
+}
+
+int
+cmdImport(const cli::Options &opts)
+{
+    const std::string in_path = opts.get("in", "");
+    if (in_path.empty())
+        fatalf("import-jsonl requires --in file.jsonl");
+    std::ifstream in(in_path);
+    if (!in)
+        fatalf("cannot open '", in_path, "'");
+
+    // ResultCache open migrates any legacy store of the same name, so
+    // the import lands on top of everything already present.
+    ResultCache cache(cacheDirOf(opts), opts.get("name", "campaign"));
+    SegmentStore &store = cache.segments();
+
+    std::string line;
+    std::size_t lineno = 0, imported = 0, duplicates = 0, torn = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        StoreRecord rec;
+        if (!ResultCache::decodeRecord(line, rec.canonical, rec.hash,
+                                       rec.seed, rec.result)) {
+            const int v = ResultCache::recordSchemaVersion(line);
+            if (v >= 0 && v != cacheSchemaVersion) {
+                fatalf("'", in_path, "' line ", lineno,
+                       " uses record schema v", v,
+                       " but this build reads v", cacheSchemaVersion);
+            }
+            ++torn;
+            continue;
+        }
+        JobResult existing;
+        if (store.lookup(rec.canonical, rec.hash, rec.seed, existing)) {
+            ++duplicates;
+            continue;
+        }
+        store.append(rec);
+        ++imported;
+    }
+    store.flush(true);
+    if (torn > 0) {
+        warn("skipped ", torn, " torn/corrupt line",
+             torn == 1 ? "" : "s", " in '", in_path, "'");
+    }
+    inform("imported ", imported, " record", imported == 1 ? "" : "s",
+           " (", duplicates, " already present) into '", store.path(),
+           "'");
+    return 0;
+}
+
+/**
+ * Generate a synthetic store twice — legacy JSONL and compacted
+ * segments — and time a warm load of each, so the sidecar-index win is
+ * a number instead of a claim (recorded in docs/STORAGE.md).
+ */
+int
+cmdBenchLoad(const cli::Options &opts)
+{
+    using clock = std::chrono::steady_clock;
+    const auto records =
+        static_cast<std::size_t>(opts.getDouble("records", 100000.0));
+    const auto trials =
+        static_cast<std::size_t>(opts.getDouble("trials", 3.0));
+    const std::string dir = cacheDirOf(opts);
+    fs::create_directories(dir);
+    const std::string jsonl = dir + "/benchload.jsonl";
+    const std::string storeDir = dir + "/benchload.ehc";
+    fs::remove(jsonl);
+    fs::remove_all(storeDir);
+
+    auto makeRecord = [](std::size_t i) {
+        JobSpec spec("bench");
+        spec.set("i", static_cast<std::uint64_t>(i));
+        spec.set("x", 0.25 * static_cast<double>(i));
+        StoreRecord rec;
+        rec.canonical = spec.canonical();
+        rec.hash = spec.hash();
+        rec.seed = 1;
+        rec.result.set("t_complete", 1.5 + static_cast<double>(i))
+            .set("p", 0.42)
+            .set("backups", static_cast<std::uint64_t>(i % 97))
+            .set("dead_cycles", static_cast<std::uint64_t>(3 * i));
+        return rec;
+    };
+
+    {
+        std::ofstream out(jsonl, std::ios::trunc);
+        for (std::size_t i = 0; i < records; ++i) {
+            const StoreRecord rec = makeRecord(i);
+            out << ResultCache::encodeRecordRaw(rec.canonical, rec.hash,
+                                                rec.seed, rec.result)
+                << '\n';
+        }
+    }
+    {
+        SegmentStore store(storeDir);
+        for (std::size_t i = 0; i < records; ++i)
+            store.append(makeRecord(i));
+        store.compact(); // one sealed, indexed segment
+    }
+
+    // Legacy path: parse every JSONL line and register it, exactly what
+    // the pre-segmented cache did on every open.
+    auto loadJsonl = [&]() {
+        std::ifstream in(jsonl);
+        std::unordered_multimap<std::uint64_t, StoreRecord> map;
+        map.reserve(records);
+        std::string line;
+        while (std::getline(in, line)) {
+            StoreRecord rec;
+            if (ResultCache::decodeRecord(line, rec.canonical, rec.hash,
+                                          rec.seed, rec.result)) {
+                map.emplace(rec.hash, std::move(rec));
+            }
+        }
+        return map.size();
+    };
+    auto loadStore = [&]() {
+        StoreConfig cfg;
+        cfg.readOnly = true;
+        SegmentStore store(storeDir, cfg);
+        return store.openStats().records;
+    };
+
+    double jsonlMs = 1e300, storeMs = 1e300;
+    std::size_t jsonlLoaded = 0, storeLoaded = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        auto t0 = clock::now();
+        jsonlLoaded = loadJsonl();
+        auto t1 = clock::now();
+        storeLoaded = loadStore();
+        auto t2 = clock::now();
+        jsonlMs = std::min(
+            jsonlMs,
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        storeMs = std::min(
+            storeMs,
+            std::chrono::duration<double, std::milli>(t2 - t1).count());
+    }
+    if (jsonlLoaded != records || storeLoaded != records)
+        fatalf("bench-load mismatch: jsonl=", jsonlLoaded, " store=",
+               storeLoaded, " expected=", records);
+
+    std::cout << "records:        " << records << "\n"
+              << "jsonl load:     " << jsonlMs << " ms\n"
+              << "segmented load: " << storeMs << " ms (indexed)\n"
+              << "speedup:        " << (jsonlMs / storeMs) << "x\n";
+
+    fs::remove(jsonl);
+    fs::remove_all(storeDir);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "eh_cachectl — durable result store maintenance "
+           "(docs/STORAGE.md)\n\n"
+           "  eh_cachectl stat         [--dir D] [--name N]\n"
+           "  eh_cachectl fsck         [--dir D] [--name N] "
+           "[--repair 1]\n"
+           "  eh_cachectl compact      [--dir D] [--name N]\n"
+           "  eh_cachectl export-jsonl [--dir D] [--name N] "
+           "[--out file.jsonl]\n"
+           "  eh_cachectl import-jsonl [--dir D] [--name N] "
+           "--in file.jsonl\n"
+           "  eh_cachectl bench-load   [--dir D] [--records N] "
+           "[--trials T]\n\n"
+           "--dir defaults to $EH_RESULTS_DIR/cache (results/cache); "
+           "--name to\n\"campaign\" (campaigns name stores after their "
+           "grid). fsck exits 1 when\ncorruption was found and not "
+           "repaired.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return eh::runMain([&]() -> int {
+        const auto opts = cli::Options::parse(args);
+        const auto &cmd = opts.subcommand();
+        if (opts.getDouble("quiet", 0.0) != 0.0)
+            setLogLevel(LogLevel::Warn);
+        else if (opts.getDouble("verbose", 0.0) != 0.0)
+            setLogLevel(LogLevel::Debug);
+
+        int rc;
+        if (cmd == "stat")
+            rc = cmdStat(opts);
+        else if (cmd == "fsck")
+            rc = cmdFsck(opts);
+        else if (cmd == "compact")
+            rc = cmdCompact(opts);
+        else if (cmd == "export-jsonl")
+            rc = cmdExport(opts);
+        else if (cmd == "import-jsonl")
+            rc = cmdImport(opts);
+        else if (cmd == "bench-load")
+            rc = cmdBenchLoad(opts);
+        else {
+            usage();
+            return cmd.empty() ? 0 : exitUserError;
+        }
+        for (const auto &flag : opts.unusedFlags())
+            warn("unused flag --", flag);
+        return rc;
+    });
+}

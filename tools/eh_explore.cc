@@ -406,6 +406,8 @@ cmdCampaign(const cli::Options &opts)
     cc.cacheDir = opts.get("cache-dir", "");
     cc.cache = opts.getDouble("cache", 1.0) != 0.0;
     cc.fresh = opts.getDouble("fresh", 0.0) != 0.0;
+    cc.cacheFsync =
+        static_cast<int>(opts.getDouble("cache-fsync", -1.0));
     cc.maxAttempts =
         static_cast<unsigned>(opts.getDouble("retries", 1.0)) + 1;
     cc.jobTimeoutSeconds = opts.getDouble("timeout", 0.0);
@@ -538,7 +540,8 @@ usage()
         "hibernus|hibernus++|watchdog [--budget pJ]\n"
         "campaign: --grid model|validation|clank|fault|wear --jobs N "
         "--seed S [--csv file]\n"
-        "          [--cache-dir DIR] [--fresh 1] [--cache 0]; model grid "
+        "          [--cache-dir DIR] [--fresh 1] [--cache 0] "
+        "[--cache-fsync N]; model grid "
         "takes the sweep\n          flags; fault takes --cells N "
         "(seeded runs per point); EH_JOBS sets the\n          default "
         "worker count\n"
