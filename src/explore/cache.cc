@@ -497,25 +497,42 @@ QuarantineLog::QuarantineLog(const std::string &dir,
 unsigned
 QuarantineLog::strikes(const JobSpec &spec) const
 {
-    if (limit == 0)
-        return 0;
-    std::lock_guard<std::mutex> lock(mutex);
-    const auto it = counts.find(spec.canonical());
-    return it == counts.end() ? 0 : it->second;
+    return strikesCanonical(spec.canonical());
 }
 
 bool
 QuarantineLog::poisoned(const JobSpec &spec) const
 {
-    return limit != 0 && strikes(spec) >= limit;
+    return poisonedCanonical(spec.canonical());
 }
 
 void
 QuarantineLog::recordFailure(const JobSpec &spec)
 {
+    recordFailureCanonical(spec.canonical());
+}
+
+unsigned
+QuarantineLog::strikesCanonical(const std::string &canonical) const
+{
+    if (limit == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = counts.find(canonical);
+    return it == counts.end() ? 0 : it->second;
+}
+
+bool
+QuarantineLog::poisonedCanonical(const std::string &canonical) const
+{
+    return limit != 0 && strikesCanonical(canonical) >= limit;
+}
+
+void
+QuarantineLog::recordFailureCanonical(const std::string &canonical)
+{
     if (limit == 0)
         return;
-    const std::string canonical = spec.canonical();
     std::lock_guard<std::mutex> lock(mutex);
     ++counts[canonical];
     if (appender.is_open()) {

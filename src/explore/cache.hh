@@ -183,6 +183,15 @@ class QuarantineLog
     /** Record one final failure of @p spec (appends + counts). */
     void recordFailure(const JobSpec &spec);
 
+    /**
+     * Canonical-string variants of strikes/poisoned/recordFailure for
+     * callers that hold specs in wire form (the exploration broker,
+     * docs/SERVICE.md) — identical semantics, no JobSpec rebuild.
+     */
+    unsigned strikesCanonical(const std::string &canonical) const;
+    bool poisonedCanonical(const std::string &canonical) const;
+    void recordFailureCanonical(const std::string &canonical);
+
     /** Strike limit (0 = disabled). */
     unsigned strikeLimit() const { return limit; }
 

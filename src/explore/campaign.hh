@@ -96,6 +96,17 @@ struct CampaignConfig
      * known poison. 0 disables quarantine entirely.
      */
     unsigned quarantineAfter = 3;
+
+    // --- Service mode (docs/SERVICE.md) -----------------------------
+
+    /**
+     * When non-empty, the campaign runs through the exploration broker
+     * listening on this Unix-socket path (svc::runCampaign) instead of
+     * in-process; the broker owns the store and the worker processes.
+     * Results are byte-identical either way. jobs, cacheDir, cache and
+     * jobTimeoutSeconds are broker-side concerns ignored in this mode.
+     */
+    std::string remoteSocket;
 };
 
 /** What one run() did, for reporting and assertions. */

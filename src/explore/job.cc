@@ -30,6 +30,36 @@ escapeCanonical(const std::string &raw)
     return out;
 }
 
+/** Undo escapeCanonical(); false on a malformed %xx escape. */
+bool
+unescapeCanonical(const std::string &raw, std::string &out)
+{
+    out.clear();
+    out.reserve(raw.size());
+    auto hexVal = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1; // escapeCanonical emits lowercase only
+    };
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] != '%') {
+            out += raw[i];
+            continue;
+        }
+        if (i + 2 >= raw.size())
+            return false;
+        const int hi = hexVal(raw[i + 1]);
+        const int lo = hexVal(raw[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+    }
+    return true;
+}
+
 double
 parseDoubleField(const std::string &context, const std::string &key,
                  const std::string &value)
@@ -122,6 +152,46 @@ JobSpec::canonical() const
         out += escapeCanonical(v);
     }
     return out;
+}
+
+bool
+JobSpec::fromCanonical(const std::string &text, JobSpec &out)
+{
+    JobSpec spec;
+    std::size_t start = 0;
+    bool first = true;
+    while (start <= text.size()) {
+        const std::size_t bar = text.find('|', start);
+        const std::string segment =
+            text.substr(start, bar == std::string::npos
+                                   ? std::string::npos
+                                   : bar - start);
+        if (first) {
+            if (!unescapeCanonical(segment, spec.taskKind))
+                return false;
+            first = false;
+        } else {
+            const std::size_t eq = segment.find('=');
+            if (eq == std::string::npos)
+                return false;
+            std::string key, value;
+            if (!unescapeCanonical(segment.substr(0, eq), key) ||
+                !unescapeCanonical(segment.substr(eq + 1), value)) {
+                return false;
+            }
+            spec.set(key, value);
+        }
+        if (bar == std::string::npos)
+            break;
+        start = bar + 1;
+    }
+    // Round-trip check: only accept strings that *are* the canonical
+    // form of the decoded spec (sorted keys, minimal escapes). Anything
+    // else would alias a different cache identity than its bytes claim.
+    if (spec.canonical() != text)
+        return false;
+    out = std::move(spec);
+    return true;
 }
 
 std::uint64_t

@@ -70,6 +70,16 @@ class JobSpec
      */
     std::string canonical() const;
 
+    /**
+     * Parse a canonical() string back into a spec (the exploration
+     * service ships specs over the wire in canonical form,
+     * docs/SERVICE.md). Returns false on malformed input: a bad
+     * percent-escape, a segment without '=', or a string that does not
+     * round-trip byte-identically through canonical() — the round-trip
+     * check makes acceptance imply identical hash and cache identity.
+     */
+    static bool fromCanonical(const std::string &text, JobSpec &out);
+
     /** Stable 64-bit content hash of canonical(). */
     std::uint64_t hash() const;
 

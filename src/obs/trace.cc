@@ -29,6 +29,8 @@ categoryName(Category category)
         return "fault";
       case Category::Energy:
         return "energy";
+      case Category::Service:
+        return "service";
     }
     return "unknown";
 }
@@ -58,7 +60,7 @@ parseCategories(const std::string &list)
         if (!found)
             fatalf("unknown trace category '", item,
                    "' (sim, policy, campaign, pool, cache, fault, "
-                   "energy, all, none)");
+                   "energy, service, all, none)");
     }
     return mask;
 }

@@ -39,10 +39,11 @@ enum class Category : std::uint32_t
     Cache = 1u << 4,    ///< result-cache hits and misses
     Fault = 1u << 5,    ///< injected faults and recovery actions
     Energy = 1u << 6,   ///< supply/meter events
+    Service = 1u << 7,  ///< exploration-service RPCs (docs/SERVICE.md)
 };
 
 /** Mask selecting every category. */
-constexpr std::uint32_t allCategories = 0x7f;
+constexpr std::uint32_t allCategories = 0xff;
 
 /** Stable lowercase category name ("sim", "campaign", ...). */
 const char *categoryName(Category category);

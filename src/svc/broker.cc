@@ -1,0 +1,1034 @@
+#include "svc/broker.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "explore/cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "svc/net.hh"
+#include "svc/proto.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace eh::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One connected peer. */
+struct Conn
+{
+    int fd = -1;
+    enum State { Pending, Client, Worker, Admin } state = Pending;
+    FrameReader reader;
+    std::string outBuf;
+    Clock::time_point lastSeen;
+    std::uint64_t peerPid = 0;
+    unsigned leaseWants = 0;       ///< outstanding lease capacity
+    std::set<std::uint64_t> held;  ///< leaseIds this worker holds
+    bool awaitingDrain = false;    ///< owed a DrainAck
+    bool closeAfterFlush = false;  ///< close once outBuf drains
+    /**
+     * Stream is dead (send failed); the serve loop closes it at the end
+     * of the round. Deferred so sendMsg() can never mutate the
+     * connection tables out from under a caller iterating them
+     * (pump(), handleSubmit(), closeConn() itself).
+     */
+    bool broken = false;
+};
+
+/** One campaign awaiting a cell's outcome. */
+struct Waiter
+{
+    int fd = -1;
+    std::uint64_t batchId = 0;
+    std::uint32_t index = 0;
+    bool joined = false; ///< piggy-backed on an in-flight twin
+};
+
+/** One cell that needs (or is undergoing) execution. */
+struct JobEntry
+{
+    std::string store;     ///< store name (openStore key)
+    std::string canonical; ///< wire-form spec
+    std::uint64_t hash = 0;
+    std::uint64_t seed = 0;
+    unsigned maxAttempts = 1;  ///< evaluator-attempt budget
+    unsigned evalAttempts = 0; ///< failures reported so far
+    unsigned crashes = 0;      ///< workers that died holding it
+    bool leased = false;
+    int workerFd = -1;
+    std::vector<Waiter> waiters;
+};
+
+/** Lazily opened store + quarantine pair, one per store name. */
+struct StoreCtx
+{
+    std::unique_ptr<explore::ResultCache> cache;
+    std::unique_ptr<explore::QuarantineLog> quarantine;
+    unsigned quarantineLimit = 0;
+};
+
+/** Store-name hygiene: it becomes a path component under cacheDir. */
+bool
+validStoreName(const std::string &name)
+{
+    if (name.empty() || name.size() > 128 || name[0] == '.')
+        return false;
+    for (const char ch : name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '.' ||
+                        ch == '_' || ch == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+const char *
+rpcName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello:
+        return "rpc:hello";
+      case MsgType::SubmitBatch:
+        return "rpc:submit-batch";
+      case MsgType::LeaseRequest:
+        return "rpc:lease-request";
+      case MsgType::Result:
+        return "rpc:result";
+      case MsgType::Heartbeat:
+        return "rpc:heartbeat";
+      case MsgType::Drain:
+        return "rpc:drain";
+      case MsgType::Ping:
+        return "rpc:ping";
+      default:
+        return "rpc:other";
+    }
+}
+
+void
+bump(const char *name, std::uint64_t &local)
+{
+    ++local;
+    obs::metrics().counter(name).add(1);
+}
+
+} // namespace
+
+/** All mutable broker state, confined to the run() thread. */
+struct Broker::Impl
+{
+    std::string cacheDir;
+    std::uint64_t nextBatchId = 1;
+    std::uint64_t nextLeaseId = 1;
+    std::map<int, Conn> conns;
+    std::vector<int> workerFds; ///< join order; shard index space
+    std::map<std::string, JobEntry> jobs; ///< key: store|canonical|seed
+    std::map<std::uint64_t, std::string> leases; ///< leaseId → job key
+    std::map<int, std::deque<std::string>> queues; ///< workerFd → keys
+    std::deque<std::string> unassigned; ///< pending keys, no worker yet
+    std::map<std::string, StoreCtx> stores;
+    bool draining = false;
+    bool drainNotified = false;
+    Clock::time_point drainDeadline;
+
+    static std::string jobKey(const std::string &store,
+                              const std::string &canonical,
+                              std::uint64_t seed)
+    {
+        return detail::concat(store, '\x1f', canonical, '\x1f', seed);
+    }
+};
+
+Broker::Broker(BrokerConfig config) : cfg(std::move(config))
+{
+    EH_ASSERT(!cfg.socketPath.empty(), "broker needs a socket path");
+    im = new Impl;
+    im->cacheDir = cfg.cacheDir.empty() ? explore::defaultCacheDir()
+                                        : cfg.cacheDir;
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0) {
+        delete im;
+        im = nullptr;
+        throw ConnectionError(detail::concat(
+            "fatal: cannot create broker wake pipe: ",
+            std::strerror(errno)));
+    }
+    wakeRead = pipeFds[0];
+    wakeWrite = pipeFds[1];
+    ::fcntl(wakeRead, F_SETFL, O_NONBLOCK);
+    ::fcntl(wakeWrite, F_SETFL, O_NONBLOCK);
+    ::fcntl(wakeRead, F_SETFD, FD_CLOEXEC);
+    ::fcntl(wakeWrite, F_SETFD, FD_CLOEXEC);
+    try {
+        listenFd = listenUnix(cfg.socketPath);
+    } catch (...) {
+        ::close(wakeRead);
+        ::close(wakeWrite);
+        delete im;
+        im = nullptr;
+        throw;
+    }
+}
+
+Broker::~Broker()
+{
+    if (!im)
+        return;
+    for (auto &[fd, conn] : im->conns)
+        ::close(fd);
+    if (listenFd >= 0)
+        ::close(listenFd);
+    ::close(wakeRead);
+    ::close(wakeWrite);
+    ::unlink(cfg.socketPath.c_str());
+    delete im;
+}
+
+void
+Broker::requestStop()
+{
+    stopFlag.store(true, std::memory_order_release);
+    const char byte = 1;
+    // Async-signal-safe: one write, result deliberately ignored (a full
+    // pipe already guarantees a pending wake-up).
+    [[maybe_unused]] const ssize_t n = ::write(wakeWrite, &byte, 1);
+}
+
+std::string
+Broker::statsJson() const
+{
+    std::size_t pendingJobs = im->unassigned.size();
+    for (const auto &[fd, queue] : im->queues)
+        pendingJobs += queue.size();
+    std::size_t clients = 0;
+    for (const auto &[fd, conn] : im->conns)
+        clients += conn.state == Conn::Client ? 1 : 0;
+    std::ostringstream oss;
+    oss << "{"
+        << "\"workers\":" << im->workerFds.size() << ","
+        << "\"clients\":" << clients << ","
+        << "\"pending_jobs\":" << pendingJobs << ","
+        << "\"leased_jobs\":" << im->leases.size() << ","
+        << "\"open_stores\":" << im->stores.size() << ","
+        << "\"draining\":" << (im->draining ? "true" : "false") << ","
+        << "\"connects\":" << stats.connects << ","
+        << "\"disconnects\":" << stats.disconnects << ","
+        << "\"batches\":" << stats.batches << ","
+        << "\"jobs_submitted\":" << stats.jobsSubmitted << ","
+        << "\"store_hits\":" << stats.storeHits << ","
+        << "\"inflight_hits\":" << stats.inflightHits << ","
+        << "\"quarantine_skips\":" << stats.quarantineSkips << ","
+        << "\"leases\":" << stats.leases << ","
+        << "\"results\":" << stats.results << ","
+        << "\"eval_failures\":" << stats.evalFailures << ","
+        << "\"retries\":" << stats.retries << ","
+        << "\"redispatches\":" << stats.redispatches << ","
+        << "\"worker_crashes\":" << stats.workerCrashes << ","
+        << "\"frame_errors\":" << stats.frameErrors << "}";
+    return oss.str();
+}
+
+namespace {
+
+/** run()-scoped engine: Impl plus the transient polling machinery. */
+class BrokerLoop
+{
+  public:
+    BrokerLoop(Broker::Impl &im_, BrokerCounters &stats_,
+               const BrokerConfig &cfg_, int listenFd_, int wakeRead_,
+               std::atomic<bool> &stopFlag_)
+        : im(im_), stats(stats_), cfg(cfg_), listenFd(listenFd_),
+          wakeRead(wakeRead_), stopFlag(stopFlag_)
+    {
+    }
+
+    /** Renders the Stats reply (bound to Broker::statsJson). */
+    std::function<std::string()> renderStats;
+
+    void serve();
+
+  private:
+    Broker::Impl &im;
+    BrokerCounters &stats;
+    const BrokerConfig &cfg;
+    int listenFd;
+    int wakeRead;
+    std::atomic<bool> &stopFlag;
+
+    void acceptPeers();
+    void handleReadable(int fd);
+    void dispatch(int fd, const Message &msg);
+    void handleHello(int fd, const Message &msg);
+    void handleSubmit(int fd, const Message &msg);
+    void handleResult(int fd, const Message &msg);
+    void reject(int fd, RejectCode code, const std::string &text);
+    void sendMsg(int fd, const Message &msg);
+    void flushOut(int fd);
+    void closeConn(int fd, const std::string &why);
+    void enqueue(const std::string &key, std::uint64_t hash,
+                 bool front = false);
+    void reshard();
+    void pump();
+    void finishJob(const std::string &key, JobEntry &entry,
+                   const explore::JobResult &verdict, bool recordStrike);
+    void notifyWaiters(const JobEntry &entry,
+                       const explore::JobResult &verdict);
+    StoreCtx &openStore(const std::string &name, unsigned quarantineAfter);
+    void checkHeartbeats(Clock::time_point now);
+    void maybeFinishDrain(Clock::time_point now);
+};
+
+void
+BrokerLoop::serve()
+{
+    std::vector<pollfd> pfds;
+    std::vector<int> roundFds;
+    while (true) {
+        if (stopFlag.load(std::memory_order_acquire))
+            break;
+        pfds.clear();
+        roundFds.clear();
+        pfds.push_back({wakeRead, POLLIN, 0});
+        pfds.push_back({listenFd, POLLIN, 0});
+        for (auto &[fd, conn] : im.conns) {
+            short events = POLLIN;
+            if (!conn.outBuf.empty())
+                events |= POLLOUT;
+            pfds.push_back({fd, events, 0});
+            roundFds.push_back(fd);
+        }
+        const int pr =
+            ::poll(pfds.data(), pfds.size(), 200 /* ms */);
+        if (pr < 0 && errno != EINTR) {
+            throw ConnectionError(detail::concat(
+                "fatal: broker poll failed: ", std::strerror(errno)));
+        }
+        const auto now = Clock::now();
+        if (pfds[0].revents & POLLIN) {
+            char sink[64];
+            while (::read(wakeRead, sink, sizeof(sink)) > 0) {
+            }
+        }
+        if (stopFlag.load(std::memory_order_acquire))
+            break;
+        if (pfds[1].revents & POLLIN)
+            acceptPeers();
+        for (std::size_t k = 0; k < roundFds.size(); ++k) {
+            const int fd = roundFds[k];
+            const short revents = pfds[k + 2].revents;
+            if (revents == 0 || im.conns.find(fd) == im.conns.end())
+                continue;
+            if (revents & POLLIN)
+                handleReadable(fd);
+            auto it = im.conns.find(fd);
+            if (it == im.conns.end())
+                continue;
+            if (revents & POLLOUT)
+                flushOut(fd);
+            it = im.conns.find(fd);
+            if (it == im.conns.end())
+                continue;
+            if ((revents & (POLLERR | POLLHUP | POLLNVAL)) &&
+                !(revents & POLLIN))
+                closeConn(fd, "peer hung up");
+        }
+        // Reap connections whose sends failed mid-round (flushOut only
+        // marks them; see Conn::broken).
+        for (;;) {
+            int brokenFd = -1;
+            for (const auto &[fd, conn] : im.conns) {
+                if (conn.broken) {
+                    brokenFd = fd;
+                    break;
+                }
+            }
+            if (brokenFd < 0)
+                break;
+            closeConn(brokenFd, "send failed");
+        }
+        checkHeartbeats(now);
+        maybeFinishDrain(now);
+        if (im.drainNotified) {
+            bool flushed = true;
+            for (const auto &[fd, conn] : im.conns)
+                flushed = flushed && conn.outBuf.empty();
+            if (flushed || now >= im.drainDeadline)
+                break;
+        }
+    }
+}
+
+void
+BrokerLoop::acceptPeers()
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN or transient accept error: next round
+        }
+        Conn conn;
+        conn.fd = fd;
+        conn.lastSeen = Clock::now();
+        im.conns.emplace(fd, std::move(conn));
+    }
+}
+
+void
+BrokerLoop::handleReadable(int fd)
+{
+    auto it = im.conns.find(fd);
+    if (it == im.conns.end())
+        return;
+    Conn &conn = it->second;
+    bool sawEof = false;
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            conn.reader.feed(chunk, static_cast<std::size_t>(n));
+            conn.lastSeen = Clock::now();
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        sawEof = true; // EOF or hard error: peer is gone
+        break;
+    }
+    // Drain complete frames before acting on EOF, so a worker's final
+    // Result sent just before a clean exit still lands.
+    std::string payload, why;
+    for (;;) {
+        auto cit = im.conns.find(fd);
+        if (cit == im.conns.end())
+            return; // dispatch closed the connection
+        if (cit->second.broken)
+            break; // stream died mid-dispatch; serve loop reaps it
+        const auto st = cit->second.reader.next(payload, &why);
+        if (st == FrameReader::Status::NeedMore)
+            break;
+        if (st == FrameReader::Status::Corrupt) {
+            bump("svc.broker.frame_errors", stats.frameErrors);
+            closeConn(fd, detail::concat("corrupt frame (", why, ")"));
+            return;
+        }
+        Message msg;
+        if (!decodePayload(payload, msg)) {
+            bump("svc.broker.frame_errors", stats.frameErrors);
+            closeConn(fd, "undecodable message payload");
+            return;
+        }
+        dispatch(fd, msg);
+    }
+    if (sawEof && im.conns.find(fd) != im.conns.end())
+        closeConn(fd, "connection closed by peer");
+}
+
+void
+BrokerLoop::dispatch(int fd, const Message &msg)
+{
+    const bool traced = obs::traceEnabled(obs::Category::Service);
+    const std::uint64_t t0 = traced ? obs::trace().nowNanos() : 0;
+    Conn &conn = im.conns[fd];
+    switch (conn.state) {
+      case Conn::Pending:
+        if (msg.type == MsgType::Hello)
+            handleHello(fd, msg);
+        else
+            reject(fd, RejectCode::BadRole,
+                   "expected Hello before any other message");
+        break;
+      case Conn::Client:
+        if (msg.type == MsgType::SubmitBatch)
+            handleSubmit(fd, msg);
+        else if (msg.type == MsgType::Ping)
+            sendMsg(fd, [&] {
+                Message reply;
+                reply.type = MsgType::Stats;
+                reply.text = renderStats();
+                return reply;
+            }());
+        else if (msg.type == MsgType::Drain) {
+            im.draining = true;
+            conn.awaitingDrain = true;
+        } else
+            reject(fd, RejectCode::BadRole,
+                   "message not valid for a client connection");
+        break;
+      case Conn::Worker:
+        if (msg.type == MsgType::LeaseRequest) {
+            conn.leaseWants =
+                std::min(conn.leaseWants + msg.count, 64u);
+            pump();
+        } else if (msg.type == MsgType::Result)
+            handleResult(fd, msg);
+        else if (msg.type == MsgType::Heartbeat) {
+            // liveness only; lastSeen was updated by the read itself
+        } else
+            reject(fd, RejectCode::BadRole,
+                   "message not valid for a worker connection");
+        break;
+      case Conn::Admin:
+        if (msg.type == MsgType::Ping)
+            sendMsg(fd, [&] {
+                Message reply;
+                reply.type = MsgType::Stats;
+                reply.text = renderStats();
+                return reply;
+            }());
+        else if (msg.type == MsgType::Drain) {
+            im.draining = true;
+            conn.awaitingDrain = true;
+        } else
+            reject(fd, RejectCode::BadRole,
+                   "message not valid for an admin connection");
+        break;
+    }
+    if (traced) {
+        obs::trace().span(obs::Category::Service, rpcName(msg.type), t0,
+                          obs::trace().nowNanos() - t0,
+                          {{"fd", static_cast<double>(fd)}});
+    }
+}
+
+void
+BrokerLoop::handleHello(int fd, const Message &msg)
+{
+    Conn &conn = im.conns[fd];
+    if (msg.version != protocolVersion) {
+        reject(fd, RejectCode::VersionMismatch,
+               detail::concat("broker speaks protocol v", protocolVersion,
+                              ", peer sent v", msg.version));
+        return;
+    }
+    conn.peerPid = msg.pid;
+    switch (static_cast<PeerRole>(msg.role)) {
+      case PeerRole::Client:
+        conn.state = Conn::Client;
+        break;
+      case PeerRole::Worker:
+        conn.state = Conn::Worker;
+        im.workerFds.push_back(fd);
+        reshard();
+        break;
+      case PeerRole::Admin:
+        conn.state = Conn::Admin;
+        break;
+    }
+    bump("svc.broker.connects", stats.connects);
+    debug("svc: peer fd=", fd, " pid=", msg.pid, " joined as ",
+          conn.state == Conn::Worker
+              ? "worker"
+              : (conn.state == Conn::Client ? "client" : "admin"));
+    Message ack;
+    ack.type = MsgType::HelloAck;
+    ack.version = protocolVersion;
+    ack.pid = static_cast<std::uint64_t>(::getpid());
+    sendMsg(fd, ack);
+    if (conn.state == Conn::Worker)
+        pump();
+}
+
+StoreCtx &
+BrokerLoop::openStore(const std::string &name, unsigned quarantineAfter)
+{
+    auto it = im.stores.find(name);
+    if (it == im.stores.end()) {
+        StoreCtx ctx;
+        ctx.cache = std::make_unique<explore::ResultCache>(
+            im.cacheDir, name, false, cfg.cacheFsync);
+        ctx.quarantine = std::make_unique<explore::QuarantineLog>(
+            im.cacheDir, name, quarantineAfter);
+        ctx.quarantineLimit = quarantineAfter;
+        inform("svc: opened store '", name, "' (",
+               ctx.cache->loadedRecords(), " records) at ",
+               ctx.cache->path());
+        it = im.stores.emplace(name, std::move(ctx)).first;
+    } else if (it->second.quarantineLimit != quarantineAfter) {
+        // A later batch asked for a different strike limit; re-read the
+        // strike file under the new limit so poisoned() matches what an
+        // in-process campaign with that config would decide.
+        it->second.quarantine =
+            std::make_unique<explore::QuarantineLog>(im.cacheDir, name,
+                                                     quarantineAfter);
+        it->second.quarantineLimit = quarantineAfter;
+    }
+    return it->second;
+}
+
+void
+BrokerLoop::handleSubmit(int fd, const Message &msg)
+{
+    if (im.draining) {
+        reject(fd, RejectCode::Draining,
+               "broker is draining and accepts no new batches");
+        return;
+    }
+    if (!validStoreName(msg.text)) {
+        reject(fd, RejectCode::Malformed,
+               detail::concat("invalid store name '", msg.text, "'"));
+        return;
+    }
+    // Reject before touching any state: every canonical string must
+    // parse, round-trip, and match its claimed content hash.
+    for (const JobRef &job : msg.jobs) {
+        explore::JobSpec spec;
+        if (!explore::JobSpec::fromCanonical(job.canonical, spec) ||
+            spec.hash() != job.hash) {
+            reject(fd, RejectCode::Malformed,
+                   "job spec failed canonical round-trip or hash check");
+            return;
+        }
+    }
+    StoreCtx *store = nullptr;
+    try {
+        store = &openStore(msg.text, msg.quarantineAfter);
+    } catch (const std::exception &e) {
+        reject(fd, RejectCode::Malformed,
+               detail::concat("cannot open store: ", e.what()));
+        return;
+    }
+    const std::uint64_t batchId = im.nextBatchId++;
+    bump("svc.broker.batches", stats.batches);
+    Message ack;
+    ack.type = MsgType::SubmitAck;
+    ack.batchId = batchId;
+    ack.count = static_cast<std::uint32_t>(msg.jobs.size());
+    ack.text = store->cache->path();
+    sendMsg(fd, ack);
+
+    const bool retryFailed = msg.retryFailed != 0;
+    const unsigned maxAttempts = msg.maxAttempts > 0 ? msg.maxAttempts : 1;
+    for (std::uint32_t i = 0; i < msg.jobs.size(); ++i) {
+        const JobRef &job = msg.jobs[i];
+        explore::JobResult cached;
+        const bool hit =
+            msg.fresh == 0 &&
+            store->cache->segments().lookup(job.canonical, job.hash,
+                                            msg.seed, cached);
+        Message out;
+        out.type = MsgType::ClientResult;
+        out.batchId = batchId;
+        out.index = i;
+        if (hit && (cached.ok() || !retryFailed)) {
+            // Failure records are results too — mirror of the
+            // in-process resume semantics in explore/campaign.cc.
+            out.cached = 1;
+            out.result = toWire(cached);
+            // Count before delivering: a client that has seen this
+            // outcome must also see the counter (tests snapshot the
+            // counters as soon as their campaign returns).
+            bump("svc.broker.store_hits", stats.storeHits);
+            sendMsg(fd, out);
+            continue;
+        }
+        if (!retryFailed &&
+            store->quarantine->poisonedCanonical(job.canonical)) {
+            const explore::JobResult verdict =
+                explore::JobResult::failure(
+                    explore::JobStatus::Quarantined,
+                    detail::concat(
+                        "skipped after ",
+                        store->quarantine->strikesCanonical(
+                            job.canonical),
+                        " recorded failures; rerun with "
+                        "--retry-failed to attempt it again"));
+            if (!hit) {
+                store->cache->segments().append(
+                    {job.canonical, job.hash, msg.seed, verdict});
+            }
+            out.cached = 0;
+            out.result = toWire(verdict);
+            bump("svc.broker.quarantine_skips", stats.quarantineSkips);
+            sendMsg(fd, out);
+            continue;
+        }
+        const std::string key =
+            Broker::Impl::jobKey(msg.text, job.canonical, msg.seed);
+        auto jit = im.jobs.find(key);
+        if (jit != im.jobs.end()) {
+            // A twin cell is already queued or running (typically for a
+            // concurrent campaign): share its execution.
+            jit->second.waiters.push_back({fd, batchId, i, true});
+            bump("svc.broker.inflight_hits", stats.inflightHits);
+            continue;
+        }
+        JobEntry entry;
+        entry.store = msg.text;
+        entry.canonical = job.canonical;
+        entry.hash = job.hash;
+        entry.seed = msg.seed;
+        entry.maxAttempts = maxAttempts;
+        entry.waiters.push_back({fd, batchId, i, false});
+        im.jobs.emplace(key, std::move(entry));
+        enqueue(key, job.hash);
+        bump("svc.broker.jobs", stats.jobsSubmitted);
+    }
+    pump();
+}
+
+void
+BrokerLoop::handleResult(int fd, const Message &msg)
+{
+    Conn &conn = im.conns[fd];
+    auto lit = im.leases.find(msg.leaseId);
+    if (lit == im.leases.end() ||
+        conn.held.find(msg.leaseId) == conn.held.end()) {
+        return; // stale lease (e.g. re-dispatched after a false death)
+    }
+    const std::string key = lit->second;
+    im.leases.erase(lit);
+    conn.held.erase(msg.leaseId);
+    auto jit = im.jobs.find(key);
+    if (jit == im.jobs.end())
+        return;
+    JobEntry &entry = jit->second;
+    entry.leased = false;
+    entry.workerFd = -1;
+    bump("svc.broker.results", stats.results);
+    explore::JobResult verdict = fromWire(msg.result);
+    if (verdict.status() == explore::JobStatus::Failed) {
+        ++entry.evalAttempts;
+        bump("svc.broker.eval_failures", stats.evalFailures);
+        if (entry.evalAttempts < entry.maxAttempts) {
+            // Budget left: re-queue, front of the shard, no backoff —
+            // the next attempt lands in a (possibly different) fresh
+            // process, which is what the in-process backoff bought.
+            bump("svc.broker.retries", stats.retries);
+            enqueue(key, entry.hash, /*front=*/true);
+            pump();
+            return;
+        }
+        finishJob(key, entry, verdict, /*recordStrike=*/true);
+        return;
+    }
+    finishJob(key, entry, verdict, /*recordStrike=*/false);
+}
+
+void
+BrokerLoop::finishJob(const std::string &key, JobEntry &entry,
+                      const explore::JobResult &verdict,
+                      bool recordStrike)
+{
+    auto sit = im.stores.find(entry.store);
+    EH_ASSERT(sit != im.stores.end(), "job finished for unopened store");
+    if (recordStrike)
+        sit->second.quarantine->recordFailureCanonical(entry.canonical);
+    sit->second.cache->segments().append(
+        {entry.canonical, entry.hash, entry.seed, verdict});
+    notifyWaiters(entry, verdict);
+    im.jobs.erase(key);
+}
+
+void
+BrokerLoop::notifyWaiters(const JobEntry &entry,
+                          const explore::JobResult &verdict)
+{
+    const WireResult wire = toWire(verdict);
+    for (const Waiter &waiter : entry.waiters) {
+        if (im.conns.find(waiter.fd) == im.conns.end())
+            continue; // campaign went away; the record is on disk
+        Message out;
+        out.type = MsgType::ClientResult;
+        out.batchId = waiter.batchId;
+        out.index = waiter.index;
+        out.cached = waiter.joined ? 1 : 0;
+        out.result = wire;
+        sendMsg(waiter.fd, out);
+    }
+}
+
+void
+BrokerLoop::enqueue(const std::string &key, std::uint64_t hash,
+                    bool front)
+{
+    if (im.workerFds.empty()) {
+        if (front)
+            im.unassigned.push_front(key);
+        else
+            im.unassigned.push_back(key);
+        return;
+    }
+    const int fd = im.workerFds[hash % im.workerFds.size()];
+    if (front)
+        im.queues[fd].push_front(key);
+    else
+        im.queues[fd].push_back(key);
+}
+
+void
+BrokerLoop::reshard()
+{
+    std::deque<std::string> pending;
+    for (const int fd : im.workerFds) {
+        auto qit = im.queues.find(fd);
+        if (qit == im.queues.end())
+            continue;
+        for (std::string &key : qit->second)
+            pending.push_back(std::move(key));
+        qit->second.clear();
+    }
+    for (std::string &key : im.unassigned)
+        pending.push_back(std::move(key));
+    im.unassigned.clear();
+    // Drop queues of departed workers (their contents were either moved
+    // above or re-queued by closeConn before the membership change).
+    for (auto qit = im.queues.begin(); qit != im.queues.end();) {
+        if (std::find(im.workerFds.begin(), im.workerFds.end(),
+                      qit->first) == im.workerFds.end())
+            qit = im.queues.erase(qit);
+        else
+            ++qit;
+    }
+    for (const std::string &key : pending) {
+        auto jit = im.jobs.find(key);
+        if (jit != im.jobs.end())
+            enqueue(key, jit->second.hash);
+    }
+}
+
+void
+BrokerLoop::pump()
+{
+    for (const int fd : im.workerFds) {
+        auto cit = im.conns.find(fd);
+        if (cit == im.conns.end())
+            continue;
+        Conn &worker = cit->second;
+        auto &queue = im.queues[fd];
+        while (worker.leaseWants > 0 && !queue.empty()) {
+            const std::string key = queue.front();
+            queue.pop_front();
+            auto jit = im.jobs.find(key);
+            if (jit == im.jobs.end())
+                continue; // finished while queued (shouldn't happen)
+            JobEntry &entry = jit->second;
+            if (entry.leased)
+                continue;
+            const std::uint64_t leaseId = im.nextLeaseId++;
+            entry.leased = true;
+            entry.workerFd = fd;
+            im.leases.emplace(leaseId, key);
+            worker.held.insert(leaseId);
+            --worker.leaseWants;
+            Message grant;
+            grant.type = MsgType::LeaseGrant;
+            JobRef ref;
+            ref.leaseId = leaseId;
+            ref.seed = entry.seed;
+            ref.canonical = entry.canonical;
+            grant.jobs.push_back(std::move(ref));
+            sendMsg(fd, grant);
+            bump("svc.broker.leases", stats.leases);
+        }
+    }
+}
+
+void
+BrokerLoop::reject(int fd, RejectCode code, const std::string &text)
+{
+    warn("svc: rejecting fd=", fd, " (", rejectCodeName(code),
+         "): ", text);
+    Message msg;
+    msg.type = MsgType::Reject;
+    msg.code = static_cast<std::uint32_t>(code);
+    msg.text = text;
+    // Flag first: flushOut checks closeAfterFlush once the buffer
+    // drains, which may happen synchronously inside sendMsg.
+    auto it = im.conns.find(fd);
+    if (it != im.conns.end())
+        it->second.closeAfterFlush = true;
+    sendMsg(fd, msg);
+}
+
+void
+BrokerLoop::sendMsg(int fd, const Message &msg)
+{
+    auto it = im.conns.find(fd);
+    if (it == im.conns.end() || it->second.broken)
+        return;
+    it->second.outBuf += encodeFrame(msg);
+    flushOut(fd);
+}
+
+void
+BrokerLoop::flushOut(int fd)
+{
+    auto it = im.conns.find(fd);
+    if (it == im.conns.end() || it->second.broken)
+        return;
+    Conn &conn = it->second;
+    while (!conn.outBuf.empty()) {
+        const ssize_t n =
+            ::send(fd, conn.outBuf.data(), conn.outBuf.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            conn.outBuf.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // POLLOUT will drive the rest
+        // Never closeConn() here: flushOut runs inside loops over the
+        // connection tables. Mark and let the serve loop reap.
+        conn.outBuf.clear();
+        conn.broken = true;
+        return;
+    }
+    if (conn.closeAfterFlush)
+        conn.broken = true;
+}
+
+void
+BrokerLoop::closeConn(int fd, const std::string &why)
+{
+    auto it = im.conns.find(fd);
+    if (it == im.conns.end())
+        return;
+    Conn conn = std::move(it->second);
+    im.conns.erase(it);
+    ::close(fd);
+    bump("svc.broker.disconnects", stats.disconnects);
+    if (conn.state == Conn::Worker) {
+        if (!conn.held.empty())
+            bump("svc.broker.worker_crashes", stats.workerCrashes);
+        warn("svc: worker pid=", conn.peerPid, " gone (", why, "), ",
+             conn.held.size(), " lease(s) to re-dispatch");
+        for (const std::uint64_t leaseId : conn.held) {
+            auto lit = im.leases.find(leaseId);
+            if (lit == im.leases.end())
+                continue;
+            const std::string key = lit->second;
+            im.leases.erase(lit);
+            auto jit = im.jobs.find(key);
+            if (jit == im.jobs.end())
+                continue;
+            JobEntry &entry = jit->second;
+            entry.leased = false;
+            entry.workerFd = -1;
+            ++entry.crashes;
+            if (entry.crashes > cfg.redispatchLimit) {
+                // A cell that keeps killing workers is poison: record
+                // it as Failed and feed the quarantine ladder, exactly
+                // like an evaluator that threw out of retries.
+                const explore::JobResult verdict =
+                    explore::JobResult::failure(
+                        explore::JobStatus::Failed,
+                        detail::concat(
+                            "worker process died while evaluating "
+                            "this cell (",
+                            entry.crashes, " crashes)"));
+                finishJob(key, entry, verdict, /*recordStrike=*/true);
+                continue;
+            }
+            bump("svc.broker.redispatches", stats.redispatches);
+            im.unassigned.push_front(key);
+        }
+        im.workerFds.erase(std::remove(im.workerFds.begin(),
+                                       im.workerFds.end(), fd),
+                           im.workerFds.end());
+        auto qit = im.queues.find(fd);
+        if (qit != im.queues.end()) {
+            for (std::string &key : qit->second)
+                im.unassigned.push_back(std::move(key));
+            im.queues.erase(qit);
+        }
+        reshard();
+        pump();
+    } else if (conn.state == Conn::Client) {
+        // Forget its waiters; in-flight cells still finish and persist,
+        // so the campaign's re-run resumes from the store.
+        for (auto &[key, entry] : im.jobs) {
+            entry.waiters.erase(
+                std::remove_if(entry.waiters.begin(),
+                               entry.waiters.end(),
+                               [fd](const Waiter &w) {
+                                   return w.fd == fd;
+                               }),
+                entry.waiters.end());
+        }
+        debug("svc: client fd=", fd, " gone (", why, ")");
+    }
+}
+
+void
+BrokerLoop::checkHeartbeats(Clock::time_point now)
+{
+    const auto limit =
+        std::chrono::milliseconds(cfg.heartbeatTimeoutMs);
+    std::vector<int> dead;
+    for (const auto &[fd, conn] : im.conns) {
+        if (conn.state == Conn::Worker && now - conn.lastSeen > limit)
+            dead.push_back(fd);
+    }
+    for (const int fd : dead)
+        closeConn(fd, "heartbeat timeout");
+}
+
+void
+BrokerLoop::maybeFinishDrain(Clock::time_point now)
+{
+    if (!im.draining || im.drainNotified || !im.jobs.empty())
+        return;
+    im.drainNotified = true;
+    im.drainDeadline = now + std::chrono::seconds(2);
+    Message drain;
+    drain.type = MsgType::Drain;
+    Message ack;
+    ack.type = MsgType::DrainAck;
+    std::vector<int> fds;
+    for (const auto &[fd, conn] : im.conns)
+        fds.push_back(fd);
+    for (const int fd : fds) {
+        auto it = im.conns.find(fd);
+        if (it == im.conns.end())
+            continue;
+        if (it->second.state == Conn::Worker)
+            sendMsg(fd, drain);
+        else if (it->second.awaitingDrain)
+            sendMsg(fd, ack);
+    }
+    inform("svc: drained; shutting down");
+}
+
+} // namespace
+
+std::uint64_t
+Broker::run()
+{
+    inform("svc: broker pid=", ::getpid(), " listening on ",
+           cfg.socketPath, " (store dir ", im->cacheDir, ")");
+    BrokerLoop loop(*im, stats, cfg, listenFd, wakeRead, stopFlag);
+    loop.renderStats = [this] { return statsJson(); };
+    loop.serve();
+    // Seal and close every open store before the fds go away.
+    im->stores.clear();
+    return stats.results;
+}
+
+} // namespace eh::svc

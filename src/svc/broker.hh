@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The exploration broker (docs/SERVICE.md): a long-running process that
+ * owns the durable result store as its single writer and shards
+ * campaign cells across worker processes. Clients submit whole batches;
+ * the broker serves cached cells from the store, deduplicates cells
+ * already in flight (so two concurrent campaigns share one execution),
+ * leases the rest to workers by content hash, and streams every
+ * outcome back in the client's submission indices.
+ *
+ * Failure model: a worker that dies (socket EOF, or silence past the
+ * heartbeat timeout) has its leased cells re-dispatched to surviving
+ * workers; a cell whose workers keep dying is recorded as Failed and
+ * feeds the same quarantine strike ladder an in-process campaign uses.
+ * Evaluator failures reported by workers consume the batch's
+ * maxAttempts budget exactly like in-process retries (minus the
+ * backoff pause — a re-dispatch already lands in a fresh process).
+ *
+ * Concurrency model: one thread, one poll() loop. The broker never
+ * blocks on a peer — reads are non-blocking, writes buffer and drain
+ * on POLLOUT — so a stalled client cannot wedge the service.
+ * requestStop() is async-signal-safe (it writes one byte to a
+ * self-pipe), so SIGTERM handlers may call it directly.
+ */
+
+#ifndef EH_SVC_BROKER_HH
+#define EH_SVC_BROKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace eh::svc {
+
+/** Broker tuning knobs. */
+struct BrokerConfig
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+
+    /** Store directory; empty = explore::defaultCacheDir(). */
+    std::string cacheDir;
+
+    /** fsync policy forwarded to the result store (see ResultCache). */
+    int cacheFsync = -1;
+
+    /**
+     * A worker silent for longer than this is declared dead and its
+     * leases re-dispatched. Socket EOF (a kill -9) is detected
+     * immediately regardless; the timeout catches hangs.
+     */
+    unsigned heartbeatTimeoutMs = 5000;
+
+    /**
+     * Worker crashes one cell survives before the broker records it as
+     * Failed — a budget separate from the batch's evaluator-attempt
+     * budget, so a crashed worker does not eat a campaign's retries.
+     */
+    unsigned redispatchLimit = 3;
+};
+
+/** Event counters, exported by Ping→Stats and `eh_explored ping`. */
+struct BrokerCounters
+{
+    std::uint64_t connects = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t jobsSubmitted = 0;  ///< cells that needed execution
+    std::uint64_t storeHits = 0;      ///< cells served from the store
+    std::uint64_t inflightHits = 0;   ///< cells joined to a running twin
+    std::uint64_t quarantineSkips = 0;
+    std::uint64_t leases = 0;
+    std::uint64_t results = 0;
+    std::uint64_t evalFailures = 0;
+    std::uint64_t retries = 0;        ///< evaluator-failure re-queues
+    std::uint64_t redispatches = 0;   ///< crash-driven re-queues
+    std::uint64_t workerCrashes = 0;
+    std::uint64_t frameErrors = 0;
+};
+
+/** The exploration service broker. See the file comment. */
+class Broker
+{
+  public:
+    /**
+     * Bind the listen socket (unlinking any stale socket file) and
+     * resolve the store directory. Does not accept yet — run() does.
+     * @throws ConnectionError when the socket cannot be bound.
+     */
+    explicit Broker(BrokerConfig config);
+    ~Broker();
+    Broker(const Broker &) = delete;
+    Broker &operator=(const Broker &) = delete;
+
+    /**
+     * Serve until requestStop() or a completed drain. Returns the
+     * number of job results brokered. All store I/O happens on this
+     * thread — the single-writer invariant of docs/STORAGE.md holds
+     * process-wide because only the broker process opens the store.
+     */
+    std::uint64_t run();
+
+    /** Async-signal-safe stop request (self-pipe write). */
+    void requestStop();
+
+    /** Counters snapshot. Call from the run() thread or after run(). */
+    const BrokerCounters &counters() const { return stats; }
+
+    /** Counters + queue state as one JSON object (Ping reply). */
+    std::string statsJson() const;
+
+    /** Resolved listen-socket path. */
+    const std::string &socketPath() const { return cfg.socketPath; }
+
+    /** Opaque run()-thread state (defined in broker.cc). */
+    struct Impl;
+
+  private:
+    BrokerConfig cfg;
+    BrokerCounters stats;
+    Impl *im = nullptr;
+    int listenFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::atomic<bool> stopFlag{false};
+};
+
+} // namespace eh::svc
+
+#endif // EH_SVC_BROKER_HH

@@ -1,0 +1,248 @@
+#include "svc/client.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#ifdef _WIN32
+#define EH_STDERR_IS_TTY() false
+#else
+#include <unistd.h>
+#define EH_STDERR_IS_TTY() (isatty(2) != 0)
+#endif
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace eh::svc {
+
+Client::Client(const std::string &socketPath, int timeout_ms)
+{
+    conn.connect(socketPath, timeout_ms);
+    conn.handshake(PeerRole::Client);
+}
+
+std::size_t
+Client::submit(const BatchOptions &options,
+               const std::vector<explore::JobSpec> &specs)
+{
+    EH_ASSERT(expected == 0, "Client::submit may be called once");
+    Message msg;
+    msg.type = MsgType::SubmitBatch;
+    msg.text = options.name;
+    msg.seed = options.seed;
+    msg.maxAttempts = options.maxAttempts;
+    msg.retryFailed = options.retryFailed ? 1 : 0;
+    msg.fresh = options.fresh ? 1 : 0;
+    msg.quarantineAfter = options.quarantineAfter;
+    msg.jobs.reserve(specs.size());
+    for (const explore::JobSpec &spec : specs) {
+        JobRef ref;
+        ref.canonical = spec.canonical();
+        ref.hash = spec.hash();
+        msg.jobs.push_back(std::move(ref));
+    }
+    Message reply;
+    if (!conn.send(msg) || !conn.recv(reply)) {
+        throw ConnectionError(
+            "fatal: connection to the broker died during batch "
+            "submission");
+    }
+    if (reply.type == MsgType::Reject) {
+        throw ConnectionError(detail::concat(
+            "fatal: broker rejected the batch (",
+            rejectCodeName(static_cast<RejectCode>(reply.code)),
+            "): ", reply.text));
+    }
+    if (reply.type != MsgType::SubmitAck) {
+        throw ConnectionError(
+            "fatal: broker sent an unexpected reply to SubmitBatch");
+    }
+    batchId = reply.batchId;
+    expected = reply.count;
+    ackStorePath = reply.text;
+    obs::metrics().counter("svc.client.batches").add(1);
+    return expected;
+}
+
+bool
+Client::nextOutcome(Outcome &out)
+{
+    while (received < expected) {
+        Message msg;
+        if (!conn.recv(msg)) {
+            throw ConnectionError(detail::concat(
+                "fatal: lost the broker with ", expected - received,
+                " of ", expected, " outcomes still pending"));
+        }
+        if (msg.type != MsgType::ClientResult || msg.batchId != batchId)
+            continue; // stray frame for another subscription
+        ++received;
+        out.index = msg.index;
+        out.cached = msg.cached != 0;
+        out.result = fromWire(msg.result);
+        obs::metrics().counter("svc.client.results").add(1);
+        return true;
+    }
+    return false;
+}
+
+RemoteRun
+runCampaign(const explore::CampaignConfig &config,
+            const std::vector<explore::JobSpec> &specs)
+{
+    using Clock = std::chrono::steady_clock;
+    EH_ASSERT(!config.remoteSocket.empty(),
+              "runCampaign needs CampaignConfig::remoteSocket");
+    if (config.jobTimeoutSeconds > 0.0) {
+        warn("svc: --job-timeout is not enforced in service mode; the "
+             "broker's heartbeat/crash detection applies instead");
+    }
+    const bool traced = obs::traceEnabled(obs::Category::Service);
+    const std::uint64_t t0 = traced ? obs::trace().nowNanos() : 0;
+
+    Client client(config.remoteSocket);
+    BatchOptions options;
+    options.name = config.name;
+    options.seed = config.seed;
+    options.maxAttempts = config.maxAttempts;
+    options.retryFailed = config.retryFailed;
+    options.fresh = config.fresh;
+    options.quarantineAfter = config.quarantineAfter;
+
+    const auto start = Clock::now();
+    const std::size_t total = client.submit(options, specs);
+
+    RemoteRun run;
+    run.results.resize(total);
+    const bool liveProgress = config.progress && EH_STDERR_IS_TTY() &&
+                              logLevel() <= LogLevel::Info;
+    Clock::time_point lastPrint = Clock::now();
+    std::size_t finished = 0, hits = 0;
+    std::size_t freshQuarantined = 0;
+    Client::Outcome outcome;
+    while (client.nextOutcome(outcome)) {
+        EH_ASSERT(outcome.index < total, "outcome index out of range");
+        if (outcome.cached)
+            ++hits;
+        else if (outcome.result.status() ==
+                 explore::JobStatus::Quarantined)
+            ++freshQuarantined;
+        run.results[outcome.index] = std::move(outcome.result);
+        ++finished;
+        if (!liveProgress)
+            continue;
+        const auto now = Clock::now();
+        const bool last = finished == total;
+        if (!last && now - lastPrint < std::chrono::milliseconds(250))
+            continue;
+        lastPrint = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start).count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(finished) / elapsed
+                          : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(total - finished) / rate
+                       : 0.0;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "[%s] %zu/%zu jobs (%zu cached) eta %.1fs",
+                      config.name.c_str(), finished, total, hits, eta);
+        statusLine(line, last);
+    }
+
+    explore::CampaignReport &report = run.report;
+    report.total = total;
+    report.cacheHits = hits;
+    // Mirrors in-process accounting: "executed" counts cells that went
+    // through an evaluator, which excludes store/in-flight hits and
+    // fresh quarantine skips.
+    report.executed = total - hits - freshQuarantined;
+    report.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    report.cachePath = client.storePath();
+    for (const explore::JobResult &r : run.results) {
+        switch (r.status()) {
+          case explore::JobStatus::Ok:
+            break;
+          case explore::JobStatus::Failed:
+            ++report.failed;
+            break;
+          case explore::JobStatus::Timeout:
+            ++report.timedOut;
+            break;
+          case explore::JobStatus::Quarantined:
+            ++report.quarantined;
+            break;
+        }
+    }
+
+    // Same campaign.* metric names as the in-process engine, so
+    // dashboards don't care which mode produced a run.
+    auto &reg = obs::metrics();
+    reg.counter("campaign.jobs").add(report.total);
+    reg.counter("campaign.executed").add(report.executed);
+    reg.counter("campaign.cache_hits").add(report.cacheHits);
+    reg.counter("campaign.failed").add(report.failed);
+    reg.counter("campaign.timed_out").add(report.timedOut);
+    reg.counter("campaign.quarantined").add(report.quarantined);
+    auto &resultBytes = reg.histogram("campaign.result_bytes");
+    for (const explore::JobResult &r : run.results) {
+        std::uint64_t bytes = 0;
+        for (const auto &[key, value] : r.fields())
+            bytes += key.size() + value.size();
+        resultBytes.add(bytes);
+    }
+    reg.gauge("campaign.elapsed_seconds").add(report.elapsedSeconds);
+    if (traced) {
+        obs::trace().span(obs::Category::Service, "remote-campaign", t0,
+                          obs::trace().nowNanos() - t0,
+                          {{"jobs", static_cast<double>(total)},
+                           {"cached", static_cast<double>(hits)}});
+    }
+    return run;
+}
+
+std::string
+pingBroker(const std::string &socketPath, int timeout_ms)
+{
+    FrameConn conn;
+    conn.connect(socketPath, timeout_ms);
+    conn.handshake(PeerRole::Admin);
+    Message ping;
+    ping.type = MsgType::Ping;
+    Message reply;
+    if (!conn.send(ping) || !conn.recv(reply, timeout_ms) ||
+        reply.type != MsgType::Stats) {
+        throw ConnectionError(
+            "fatal: broker did not answer the ping");
+    }
+    return reply.text;
+}
+
+void
+drainBroker(const std::string &socketPath, int timeout_ms)
+{
+    FrameConn conn;
+    conn.connect(socketPath, timeout_ms);
+    conn.handshake(PeerRole::Admin);
+    Message drain;
+    drain.type = MsgType::Drain;
+    if (!conn.send(drain)) {
+        throw ConnectionError(
+            "fatal: connection died while requesting a drain");
+    }
+    Message reply;
+    for (;;) {
+        if (!conn.recv(reply, timeout_ms)) {
+            throw ConnectionError(
+                "fatal: broker did not acknowledge the drain");
+        }
+        if (reply.type == MsgType::DrainAck)
+            return;
+    }
+}
+
+} // namespace eh::svc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Client side of the exploration service (docs/SERVICE.md): submit a
+ * batch of cells to a broker and stream the outcomes back, plus the
+ * campaign-level wrapper used by `eh_explore campaign --remote` and
+ * the admin verbs (`eh_explored ping|drain`).
+ *
+ * runCampaign() is the service-mode twin of Campaign::run(): same
+ * submission-order results, same cache/quarantine semantics (enforced
+ * broker-side), same CampaignReport accounting — so a campaign's CSV
+ * is byte-identical whether it ran in-process or through a broker.
+ */
+
+#ifndef EH_SVC_CLIENT_HH
+#define EH_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/campaign.hh"
+#include "explore/job.hh"
+#include "svc/net.hh"
+
+namespace eh::svc {
+
+/** One batch submission's parameters (campaign-config subset). */
+struct BatchOptions
+{
+    std::string name = "campaign"; ///< store name on the broker
+    std::uint64_t seed = 1;
+    unsigned maxAttempts = 2;
+    bool retryFailed = false;
+    bool fresh = false;
+    unsigned quarantineAfter = 3;
+};
+
+/** A connected campaign client. */
+class Client
+{
+  public:
+    /**
+     * Connect to the broker at @p socketPath and shake hands.
+     * @throws ConnectionError / HandshakeError (docs/ROBUSTNESS.md).
+     */
+    explicit Client(const std::string &socketPath,
+                    int timeout_ms = 5000);
+
+    /**
+     * Submit @p specs as one batch. Returns the number of outcomes the
+     * broker will stream back (== specs.size()).
+     * @throws ConnectionError when the broker refuses or disappears.
+     */
+    std::size_t submit(const BatchOptions &options,
+                       const std::vector<explore::JobSpec> &specs);
+
+    /** Broker-side store path, known after submit(). */
+    const std::string &storePath() const { return ackStorePath; }
+
+    /** One streamed outcome. */
+    struct Outcome
+    {
+        std::uint32_t index = 0; ///< submission index within the batch
+        bool cached = false;     ///< served from the store (or a twin)
+        explore::JobResult result;
+    };
+
+    /**
+     * Receive the next outcome. Returns false once every submitted
+     * cell's outcome has been received.
+     * @throws ConnectionError when the stream dies mid-batch.
+     */
+    bool nextOutcome(Outcome &out);
+
+  private:
+    FrameConn conn;
+    std::uint64_t batchId = 0;
+    std::size_t expected = 0;
+    std::size_t received = 0;
+    std::string ackStorePath;
+};
+
+/** Everything a remote campaign run produced. */
+struct RemoteRun
+{
+    std::vector<explore::JobResult> results; ///< submission order
+    explore::CampaignReport report;
+};
+
+/**
+ * Run @p specs against the broker at @p config.remoteSocket (the
+ * service-mode twin of Campaign::run(); see the file comment).
+ * config.jobs/jobTimeoutSeconds/cacheDir are broker-side concerns and
+ * ignored here; a nonzero jobTimeoutSeconds warns once.
+ */
+RemoteRun runCampaign(const explore::CampaignConfig &config,
+                      const std::vector<explore::JobSpec> &specs);
+
+/** Admin: fetch the broker's stats JSON. */
+std::string pingBroker(const std::string &socketPath,
+                       int timeout_ms = 5000);
+
+/** Admin: ask the broker to finish pending work and exit. */
+void drainBroker(const std::string &socketPath,
+                 int timeout_ms = 60000);
+
+} // namespace eh::svc
+
+#endif // EH_SVC_CLIENT_HH

@@ -1,0 +1,254 @@
+#include "svc/net.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/panic.hh"
+
+namespace eh::svc {
+
+namespace {
+
+/** Fill a sockaddr_un; throws on an over-long path. */
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw ConnectionError(detail::concat(
+            "fatal: socket path '", path, "' exceeds the ",
+            sizeof(addr.sun_path) - 1, "-byte sun_path limit"));
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddr(path);
+    // Non-blocking: the broker's accept loop drains until EAGAIN and
+    // must never block the poll loop inside accept4().
+    const int fd = ::socket(
+        AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+        throw ConnectionError(detail::concat(
+            "fatal: cannot create socket: ", std::strerror(errno)));
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw ConnectionError(detail::concat(
+            "fatal: cannot listen on '", path,
+            "': ", std::strerror(err)));
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, int timeout_ms)
+{
+    const sockaddr_un addr = unixAddr(path);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+    int lastErr = 0;
+    do {
+        const int fd =
+            ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            throw ConnectionError(detail::concat(
+                "fatal: cannot create socket: ",
+                std::strerror(errno)));
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            return fd;
+        }
+        lastErr = errno;
+        ::close(fd);
+        // The broker may still be binding (ENOENT) or draining its
+        // accept backlog (ECONNREFUSED); anything else is permanent.
+        if (lastErr != ENOENT && lastErr != ECONNREFUSED)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    } while (std::chrono::steady_clock::now() < deadline);
+    throw ConnectionError(detail::concat(
+        "fatal: cannot connect to broker at '", path,
+        "': ", std::strerror(lastErr),
+        " (is eh_explored serve running?)"));
+}
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        // MSG_NOSIGNAL: a peer that died mid-send must surface as EPIPE,
+        // not kill the process with SIGPIPE.
+        const ssize_t n =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+FrameConn::~FrameConn()
+{
+    close();
+}
+
+FrameConn::FrameConn(FrameConn &&other) noexcept
+    : fd(other.fd), reader(std::move(other.reader))
+{
+    other.fd = -1;
+}
+
+FrameConn &
+FrameConn::operator=(FrameConn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd = other.fd;
+        reader = std::move(other.reader);
+        other.fd = -1;
+    }
+    return *this;
+}
+
+void
+FrameConn::connect(const std::string &path, int timeout_ms)
+{
+    close();
+    fd = connectUnix(path, timeout_ms);
+    reader = FrameReader();
+}
+
+void
+FrameConn::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+FrameConn::send(const Message &msg)
+{
+    if (fd < 0)
+        return false;
+    if (!sendAll(fd, encodeFrame(msg))) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+FrameConn::recv(Message &out, int timeout_ms, bool *timed_out)
+{
+    if (timed_out)
+        *timed_out = false;
+    if (fd < 0)
+        return false;
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        std::string payload;
+        switch (reader.next(payload)) {
+          case FrameReader::Status::Frame:
+            if (decodePayload(payload, out))
+                return true;
+            close(); // structurally framed garbage: drop the stream
+            return false;
+          case FrameReader::Status::Corrupt:
+            close();
+            return false;
+          case FrameReader::Status::NeedMore:
+            break;
+        }
+        int wait = -1;
+        if (timeout_ms >= 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            wait = timeout_ms - static_cast<int>(elapsed);
+            if (wait <= 0) {
+                if (timed_out)
+                    *timed_out = true;
+                return false;
+            }
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, wait);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            close();
+            return false;
+        }
+        if (pr == 0) {
+            if (timed_out)
+                *timed_out = true;
+            return false;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) { // EOF or error: the peer is gone
+            close();
+            return false;
+        }
+        reader.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+FrameConn::handshake(PeerRole role)
+{
+    Message hello;
+    hello.type = MsgType::Hello;
+    hello.version = protocolVersion;
+    hello.role = static_cast<std::uint32_t>(role);
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    Message reply;
+    if (!send(hello) || !recv(reply, 10000)) {
+        throw ConnectionError(
+            "fatal: connection lost during the service handshake");
+    }
+    if (reply.type == MsgType::Reject) {
+        throw HandshakeError(detail::concat(
+            "fatal: broker rejected the handshake (",
+            rejectCodeName(static_cast<RejectCode>(reply.code)),
+            "): ", reply.text));
+    }
+    if (reply.type != MsgType::HelloAck ||
+        reply.version != protocolVersion) {
+        throw HandshakeError(detail::concat(
+            "fatal: protocol version mismatch (peer v", reply.version,
+            ", this build v", protocolVersion, ")"));
+    }
+}
+
+} // namespace eh::svc

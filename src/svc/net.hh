@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unix-domain-socket plumbing for the exploration service
+ * (docs/SERVICE.md): listen/connect helpers plus FrameConn, a blocking
+ * framed connection that sends and receives whole protocol messages
+ * (svc/proto.hh). The broker keeps its own non-blocking event loop and
+ * uses only the raw helpers; worker, client and admin tools talk
+ * through FrameConn.
+ *
+ * Error discipline: connectivity problems throw eh::ConnectionError and
+ * refused handshakes throw eh::HandshakeError, which runMain() maps to
+ * their own exit codes (docs/ROBUSTNESS.md).
+ */
+
+#ifndef EH_SVC_NET_HH
+#define EH_SVC_NET_HH
+
+#include <string>
+
+#include "svc/proto.hh"
+
+namespace eh::svc {
+
+/**
+ * Create, bind and listen on a Unix-domain stream socket at @p path.
+ * An existing socket file at @p path is unlinked first (a stale socket
+ * from a killed broker would otherwise block every restart; an *alive*
+ * broker still holds its listen fd, so its clients finish, but new
+ * connects go to the new broker — don't run two brokers on one path).
+ * @throws ConnectionError on socket/bind/listen failure or an
+ *         over-long path (sun_path limit).
+ */
+int listenUnix(const std::string &path);
+
+/**
+ * Connect to the Unix-domain socket at @p path, retrying for up to
+ * @p timeout_ms (covers the broker's startup window). Returns the
+ * connected fd with SIGPIPE-safe send semantics.
+ * @throws ConnectionError when the deadline expires.
+ */
+int connectUnix(const std::string &path, int timeout_ms = 5000);
+
+/** Write all of @p bytes to @p fd (EINTR/partial-write safe). */
+bool sendAll(int fd, const std::string &bytes);
+
+/**
+ * One blocking framed connection. Not thread-safe per operation class:
+ * concurrent senders must hold their own lock (the worker's heartbeat
+ * thread does); recv() must stay on one thread.
+ */
+class FrameConn
+{
+  public:
+    FrameConn() = default;
+    /** Adopt a connected fd (takes ownership). */
+    explicit FrameConn(int fd_) : fd(fd_) {}
+    ~FrameConn();
+    FrameConn(const FrameConn &) = delete;
+    FrameConn &operator=(const FrameConn &) = delete;
+    FrameConn(FrameConn &&other) noexcept;
+    FrameConn &operator=(FrameConn &&other) noexcept;
+
+    /** Connect to @p path (see connectUnix). */
+    void connect(const std::string &path, int timeout_ms = 5000);
+
+    /** True while the socket is open and the stream is intact. */
+    bool open() const { return fd >= 0; }
+
+    /** Close the socket (idempotent). */
+    void close();
+
+    /** Send one message. Returns false on a broken connection. */
+    bool send(const Message &msg);
+
+    /**
+     * Receive the next message, blocking up to @p timeout_ms
+     * (-1 = forever). Returns false on timeout, EOF, a corrupt frame,
+     * or an undecodable payload — all of which also close the
+     * connection except the plain timeout. @p timed_out distinguishes
+     * "nothing arrived" from "the stream died".
+     */
+    bool recv(Message &out, int timeout_ms = -1,
+              bool *timed_out = nullptr);
+
+    /**
+     * Hello/HelloAck handshake as @p role.
+     * @throws HandshakeError on a Reject reply or version mismatch.
+     * @throws ConnectionError when the stream dies mid-handshake.
+     */
+    void handshake(PeerRole role);
+
+    /** Raw fd (tests). */
+    int rawFd() const { return fd; }
+
+  private:
+    int fd = -1;
+    FrameReader reader;
+};
+
+} // namespace eh::svc
+
+#endif // EH_SVC_NET_HH

@@ -1,0 +1,357 @@
+#include "svc/proto.hh"
+
+#include "util/crc.hh"
+#include "util/fsio.hh"
+#include "util/panic.hh"
+
+namespace eh::svc {
+
+namespace {
+
+/** Append a length-prefixed string. */
+void
+putString(std::string &out, const std::string &s)
+{
+    putLe32(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/**
+ * Read a length-prefixed string. The claimed length is checked against
+ * the bytes actually remaining, so a corrupt length cannot trigger a
+ * huge allocation or an out-of-bounds read.
+ */
+bool
+getString(const std::string &in, std::size_t &at, std::string &s)
+{
+    std::uint32_t len = 0;
+    if (!getLe32(in, at, len))
+        return false;
+    if (len > in.size() - at)
+        return false;
+    s.assign(in, at, len);
+    at += len;
+    return true;
+}
+
+void
+putResult(std::string &out, const WireResult &r)
+{
+    putLe32(out, r.status);
+    putString(out, r.error);
+    putLe32(out, static_cast<std::uint32_t>(r.fields.size()));
+    for (const auto &[key, value] : r.fields) {
+        putString(out, key);
+        putString(out, value);
+    }
+}
+
+bool
+getResult(const std::string &in, std::size_t &at, WireResult &r)
+{
+    std::uint32_t nFields = 0;
+    if (!getLe32(in, at, r.status) || !getString(in, at, r.error) ||
+        !getLe32(in, at, nFields)) {
+        return false;
+    }
+    // Every field consumes at least its two length prefixes, so a
+    // claimed count beyond the remaining bytes is rejected before the
+    // loop rather than after a few billion iterations.
+    if (nFields > in.size() - at)
+        return false;
+    r.fields.clear();
+    for (std::uint32_t i = 0; i < nFields; ++i) {
+        std::string key, value;
+        if (!getString(in, at, key) || !getString(in, at, value))
+            return false;
+        r.fields.emplace_back(std::move(key), std::move(value));
+    }
+    return true;
+}
+
+} // namespace
+
+WireResult
+toWire(const explore::JobResult &result)
+{
+    WireResult wire;
+    wire.status = static_cast<std::uint32_t>(result.status());
+    wire.error = result.error();
+    for (const auto &[key, value] : result.fields())
+        wire.fields.emplace_back(key, value);
+    return wire;
+}
+
+explore::JobResult
+fromWire(const WireResult &wire)
+{
+    explore::JobResult result;
+    for (const auto &[key, value] : wire.fields)
+        result.set(key, value);
+    const auto status =
+        wire.status <= static_cast<std::uint32_t>(
+                           explore::JobStatus::Quarantined)
+            ? static_cast<explore::JobStatus>(wire.status)
+            : explore::JobStatus::Failed;
+    result.setStatus(status, wire.error);
+    return result;
+}
+
+const char *
+rejectCodeName(RejectCode code)
+{
+    switch (code) {
+      case RejectCode::VersionMismatch:
+        return "version-mismatch";
+      case RejectCode::BadRole:
+        return "bad-role";
+      case RejectCode::Malformed:
+        return "malformed";
+      case RejectCode::Draining:
+        return "draining";
+    }
+    return "unknown";
+}
+
+std::string
+encodePayload(const Message &msg)
+{
+    std::string out;
+    putLe32(out, static_cast<std::uint32_t>(msg.type));
+    switch (msg.type) {
+      case MsgType::Hello:
+        putLe32(out, msg.version);
+        putLe32(out, msg.role);
+        putLe64(out, msg.pid);
+        break;
+      case MsgType::HelloAck:
+        putLe32(out, msg.version);
+        putLe64(out, msg.pid);
+        break;
+      case MsgType::Reject:
+        putLe32(out, msg.code);
+        putString(out, msg.text);
+        break;
+      case MsgType::SubmitBatch:
+        putString(out, msg.text); // store name
+        putLe64(out, msg.seed);
+        putLe32(out, msg.maxAttempts);
+        putLe32(out, msg.retryFailed);
+        putLe32(out, msg.fresh);
+        putLe32(out, msg.quarantineAfter);
+        putLe32(out, static_cast<std::uint32_t>(msg.jobs.size()));
+        for (const JobRef &job : msg.jobs) {
+            putString(out, job.canonical);
+            putLe64(out, job.hash);
+        }
+        break;
+      case MsgType::SubmitAck:
+        putLe64(out, msg.batchId);
+        putLe32(out, msg.count);
+        putString(out, msg.text); // store path
+        break;
+      case MsgType::LeaseRequest:
+        putLe32(out, msg.count);
+        break;
+      case MsgType::LeaseGrant:
+        putLe32(out, static_cast<std::uint32_t>(msg.jobs.size()));
+        for (const JobRef &job : msg.jobs) {
+            putLe64(out, job.leaseId);
+            putLe64(out, job.seed);
+            putString(out, job.canonical);
+        }
+        break;
+      case MsgType::Result:
+        putLe64(out, msg.leaseId);
+        putResult(out, msg.result);
+        break;
+      case MsgType::ClientResult:
+        putLe64(out, msg.batchId);
+        putLe32(out, msg.index);
+        putLe32(out, msg.cached);
+        putResult(out, msg.result);
+        break;
+      case MsgType::Heartbeat:
+        putLe64(out, msg.pid);
+        break;
+      case MsgType::Drain:
+      case MsgType::DrainAck:
+      case MsgType::Ping:
+        break; // no body
+      case MsgType::Stats:
+        putString(out, msg.text);
+        break;
+    }
+    return out;
+}
+
+bool
+decodePayload(const std::string &payload, Message &out)
+{
+    std::size_t at = 0;
+    std::uint32_t rawType = 0;
+    if (!getLe32(payload, at, rawType))
+        return false;
+    if (rawType < static_cast<std::uint32_t>(MsgType::Hello) ||
+        rawType > static_cast<std::uint32_t>(MsgType::Stats)) {
+        return false;
+    }
+    Message msg;
+    msg.type = static_cast<MsgType>(rawType);
+    bool ok = true;
+    switch (msg.type) {
+      case MsgType::Hello:
+        ok = getLe32(payload, at, msg.version) &&
+             getLe32(payload, at, msg.role) &&
+             getLe64(payload, at, msg.pid) &&
+             msg.role <= static_cast<std::uint32_t>(PeerRole::Admin);
+        break;
+      case MsgType::HelloAck:
+        ok = getLe32(payload, at, msg.version) &&
+             getLe64(payload, at, msg.pid);
+        break;
+      case MsgType::Reject:
+        ok = getLe32(payload, at, msg.code) &&
+             getString(payload, at, msg.text);
+        break;
+      case MsgType::SubmitBatch: {
+        std::uint32_t nJobs = 0;
+        ok = getString(payload, at, msg.text) &&
+             getLe64(payload, at, msg.seed) &&
+             getLe32(payload, at, msg.maxAttempts) &&
+             getLe32(payload, at, msg.retryFailed) &&
+             getLe32(payload, at, msg.fresh) &&
+             getLe32(payload, at, msg.quarantineAfter) &&
+             getLe32(payload, at, nJobs) &&
+             nJobs <= payload.size() - at;
+        for (std::uint32_t i = 0; ok && i < nJobs; ++i) {
+            JobRef job;
+            ok = getString(payload, at, job.canonical) &&
+                 getLe64(payload, at, job.hash);
+            if (ok)
+                msg.jobs.push_back(std::move(job));
+        }
+        break;
+      }
+      case MsgType::SubmitAck:
+        ok = getLe64(payload, at, msg.batchId) &&
+             getLe32(payload, at, msg.count) &&
+             getString(payload, at, msg.text);
+        break;
+      case MsgType::LeaseRequest:
+        ok = getLe32(payload, at, msg.count);
+        break;
+      case MsgType::LeaseGrant: {
+        std::uint32_t nJobs = 0;
+        ok = getLe32(payload, at, nJobs) &&
+             nJobs <= payload.size() - at;
+        for (std::uint32_t i = 0; ok && i < nJobs; ++i) {
+            JobRef job;
+            ok = getLe64(payload, at, job.leaseId) &&
+                 getLe64(payload, at, job.seed) &&
+                 getString(payload, at, job.canonical);
+            if (ok)
+                msg.jobs.push_back(std::move(job));
+        }
+        break;
+      }
+      case MsgType::Result:
+        ok = getLe64(payload, at, msg.leaseId) &&
+             getResult(payload, at, msg.result);
+        break;
+      case MsgType::ClientResult:
+        ok = getLe64(payload, at, msg.batchId) &&
+             getLe32(payload, at, msg.index) &&
+             getLe32(payload, at, msg.cached) &&
+             getResult(payload, at, msg.result);
+        break;
+      case MsgType::Heartbeat:
+        ok = getLe64(payload, at, msg.pid);
+        break;
+      case MsgType::Drain:
+      case MsgType::DrainAck:
+      case MsgType::Ping:
+        break;
+      case MsgType::Stats:
+        ok = getString(payload, at, msg.text);
+        break;
+    }
+    // Reject trailing bytes: a frame either is exactly one message or
+    // it is damage (and damage must never half-decode).
+    if (!ok || at != payload.size())
+        return false;
+    out = std::move(msg);
+    return true;
+}
+
+std::string
+encodeFrame(const Message &msg)
+{
+    const std::string payload = encodePayload(msg);
+    EH_ASSERT(payload.size() <= maxFramePayloadBytes,
+              "oversized service frame");
+    std::string frame;
+    frame.reserve(frameHeaderBytes + payload.size());
+    putLe32(frame, frameMagic);
+    putLe32(frame, static_cast<std::uint32_t>(payload.size()));
+    putLe32(frame, crc32(payload.data(), payload.size()));
+    frame += payload;
+    return frame;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t len)
+{
+    if (damaged)
+        return; // the connection is doomed; don't accumulate garbage
+    buf.append(data, len);
+    // Reclaim the consumed prefix once it dominates the buffer, so a
+    // long-lived connection doesn't grow its buffer without bound.
+    if (at > 4096 && at > buf.size() / 2) {
+        buf.erase(0, at);
+        at = 0;
+    }
+}
+
+FrameReader::Status
+FrameReader::next(std::string &payload, std::string *why)
+{
+    if (damaged) {
+        if (why)
+            *why = reason;
+        return Status::Corrupt;
+    }
+    if (buf.size() - at < frameHeaderBytes)
+        return Status::NeedMore;
+    std::size_t cursor = at;
+    std::uint32_t magic = 0, length = 0, crc = 0;
+    (void)getLe32(buf, cursor, magic);
+    (void)getLe32(buf, cursor, length);
+    (void)getLe32(buf, cursor, crc);
+    if (magic != frameMagic) {
+        damaged = true;
+        reason = "bad frame magic";
+    } else if (length > maxFramePayloadBytes) {
+        damaged = true;
+        reason = "frame length exceeds limit";
+    }
+    if (damaged) {
+        if (why)
+            *why = reason;
+        return Status::Corrupt;
+    }
+    if (buf.size() - cursor < length)
+        return Status::NeedMore;
+    if (crc32(buf.data() + cursor, length) != crc) {
+        damaged = true;
+        reason = "frame CRC mismatch";
+        if (why)
+            *why = reason;
+        return Status::Corrupt;
+    }
+    payload.assign(buf, cursor, length);
+    at = cursor + length;
+    return Status::Frame;
+}
+
+} // namespace eh::svc

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Wire protocol of the sharded exploration service (docs/SERVICE.md).
+ * Every message travels as one length-prefixed, CRC-32-framed binary
+ * frame over a Unix-domain stream socket:
+ *
+ *   [magic "EHS1" u32le][payload length u32le][payload CRC-32 u32le]
+ *   [payload bytes]
+ *
+ * and the payload is `[type u32le][type-specific body]` built from the
+ * same little-endian codecs the durable result store uses (util/fsio).
+ * The framing discipline mirrors explore/store.hh: a frame is either
+ * accepted whole — magic, bounded length, and CRC all verified — or the
+ * connection is declared corrupt and torn down. Unlike an append-only
+ * segment file there is no resynchronization on a stream socket: bytes
+ * after a damaged frame have no trustworthy alignment, so FrameReader
+ * goes sticky-corrupt instead of guessing. Decoders are pure and
+ * total: any byte string either decodes to a validated message or is
+ * rejected, never undefined behaviour — the protocol fuzz suite
+ * (tests/test_svc.cc) holds them to that at every truncation offset and
+ * single-bit flip.
+ */
+
+#ifndef EH_SVC_PROTO_HH
+#define EH_SVC_PROTO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explore/job.hh"
+
+namespace eh::svc {
+
+/** Protocol version; peers with different versions refuse the hello. */
+constexpr std::uint32_t protocolVersion = 1;
+
+/** Frame magic "EHS1" (little-endian u32) preceding every message. */
+constexpr std::uint32_t frameMagic = 0x31534845u;
+
+/** Bytes of frame header: magic, payload length, payload CRC-32. */
+constexpr std::size_t frameHeaderBytes = 12;
+
+/** Upper bound on one frame's payload (corrupt-length guard). */
+constexpr std::size_t maxFramePayloadBytes = 16u << 20;
+
+/** Message types (the u32 leading every payload). */
+enum class MsgType : std::uint32_t
+{
+    Hello = 1,    ///< peer → broker: version, role, pid
+    HelloAck,     ///< broker → peer: version accepted
+    Reject,       ///< broker → peer: refusal (code + text), then close
+    SubmitBatch,  ///< client → broker: store name, seed, flags, jobs
+    SubmitAck,    ///< broker → client: batch id + store path
+    LeaseRequest, ///< worker → broker: ready for up to `count` jobs
+    LeaseGrant,   ///< broker → worker: leased jobs (leaseId, spec, seed)
+    Result,       ///< worker → broker: one lease's outcome
+    ClientResult, ///< broker → client: one submitted cell's outcome
+    Heartbeat,    ///< worker → broker: liveness (no reply)
+    Drain,        ///< admin → broker: finish pending work, then exit;
+                  ///< broker → worker: exit now
+    DrainAck,     ///< broker → admin: drained and about to exit
+    Ping,         ///< admin → broker: health probe
+    Stats,        ///< broker → admin: counters as a JSON object
+};
+
+/** Reject codes. */
+enum class RejectCode : std::uint32_t
+{
+    VersionMismatch = 1, ///< peer speaks a different protocolVersion
+    BadRole = 2,         ///< message invalid for the peer's role/state
+    Malformed = 3,       ///< structurally valid frame, senseless content
+    Draining = 4,        ///< broker no longer accepts new batches
+};
+
+/** Stable lowercase name of a reject code (diagnostics). */
+const char *rejectCodeName(RejectCode code);
+
+/** Peer roles declared in Hello. */
+enum class PeerRole : std::uint32_t
+{
+    Client = 0,
+    Worker = 1,
+    Admin = 2,
+};
+
+/** One job reference, reused by SubmitBatch and LeaseGrant. */
+struct JobRef
+{
+    std::string canonical;     ///< canonical JobSpec string
+    std::uint64_t hash = 0;    ///< content hash (SubmitBatch; verified)
+    std::uint64_t seed = 0;    ///< campaign seed (LeaseGrant)
+    std::uint64_t leaseId = 0; ///< lease handle (LeaseGrant)
+};
+
+/** Result fields + containment status, as carried on the wire. */
+struct WireResult
+{
+    std::uint32_t status = 0; ///< JobStatus as its stable integer
+    std::string error;        ///< diagnostic for non-Ok statuses
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/**
+ * One protocol message: a type tag plus the union of per-type fields
+ * (only the fields the type's codec reads/writes are meaningful — see
+ * docs/SERVICE.md for each message's exact body layout). A flat struct
+ * keeps the codec table-driven and the fuzz surface in one place.
+ */
+struct Message
+{
+    MsgType type = MsgType::Hello;
+
+    // Hello / HelloAck
+    std::uint32_t version = 0;
+    std::uint32_t role = 0;
+    std::uint64_t pid = 0; ///< also: Heartbeat
+
+    // Reject
+    std::uint32_t code = 0;
+
+    // Reject text / Stats JSON / SubmitBatch store name /
+    // SubmitAck store path
+    std::string text;
+
+    // SubmitBatch / SubmitAck / ClientResult
+    std::uint64_t batchId = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t maxAttempts = 0;
+    std::uint32_t retryFailed = 0;
+    std::uint32_t fresh = 0; ///< ignore existing store records
+    std::uint32_t quarantineAfter = 0;
+
+    // SubmitBatch / LeaseGrant
+    std::vector<JobRef> jobs;
+
+    // LeaseRequest (jobs wanted) — also echoed in SubmitAck (total)
+    std::uint32_t count = 0;
+
+    // Result
+    std::uint64_t leaseId = 0;
+
+    // ClientResult
+    std::uint32_t index = 0;
+    std::uint32_t cached = 0;
+
+    // Result / ClientResult
+    WireResult result;
+};
+
+/** JobResult → wire form (status integer, error, ordered fields). */
+WireResult toWire(const explore::JobResult &result);
+
+/**
+ * Wire form → JobResult. Field order is preserved byte-for-byte — the
+ * campaign CSV's bit-identity across in-process and service execution
+ * rests on it. An out-of-range status decays to Failed.
+ */
+explore::JobResult fromWire(const WireResult &wire);
+
+/** Serialize @p msg's payload (no frame header). */
+std::string encodePayload(const Message &msg);
+
+/**
+ * Decode one payload. Returns false on any malformation: unknown type,
+ * truncated field, oversized claimed length, or trailing bytes. Never
+ * throws, never reads out of bounds.
+ */
+bool decodePayload(const std::string &payload, Message &out);
+
+/** Full frame bytes for @p msg: header (magic, length, CRC) + payload. */
+std::string encodeFrame(const Message &msg);
+
+/**
+ * Incremental frame extractor for one stream connection. Feed bytes as
+ * they arrive; next() yields complete, CRC-verified payloads. Any
+ * damage — wrong magic, oversized length, CRC mismatch — flips the
+ * reader into a sticky Corrupt state: on a stream there is no safe
+ * resynchronization point, so the owning connection must be closed.
+ */
+class FrameReader
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< one payload extracted into the out-parameter
+        Corrupt,  ///< stream damaged; discard the connection
+    };
+
+    /** Append @p len raw bytes from the peer. */
+    void feed(const char *data, std::size_t len);
+
+    /**
+     * Extract the next payload. @p why (optional) receives a diagnostic
+     * when the return value is Corrupt.
+     */
+    Status next(std::string &payload, std::string *why = nullptr);
+
+    /** True once the stream has been declared corrupt. */
+    bool corrupt() const { return damaged; }
+
+    /** Bytes buffered but not yet consumed. */
+    std::size_t buffered() const { return buf.size() - at; }
+
+  private:
+    std::string buf;
+    std::size_t at = 0; ///< consumed prefix of buf
+    bool damaged = false;
+    std::string reason;
+};
+
+} // namespace eh::svc
+
+#endif // EH_SVC_PROTO_HH

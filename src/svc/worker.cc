@@ -1,0 +1,177 @@
+#include "svc/worker.hh"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "explore/tasks.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "svc/net.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace eh::svc {
+
+Worker::Worker(WorkerConfig config, Evaluator eval)
+    : cfg(std::move(config)), evaluator(std::move(eval))
+{
+    if (!evaluator)
+        evaluator = [](const explore::JobSpec &spec, Rng &rng) {
+            return explore::evaluateJob(spec, rng);
+        };
+}
+
+namespace {
+
+/** Evaluate one leased cell, containing every evaluator exception. */
+explore::JobResult
+evaluateLease(const Worker::Evaluator &eval, const JobRef &lease)
+{
+    explore::JobSpec spec;
+    if (!explore::JobSpec::fromCanonical(lease.canonical, spec)) {
+        return explore::JobResult::failure(
+            explore::JobStatus::Failed,
+            "leased job spec failed the canonical round-trip check");
+    }
+    // The job's whole entropy budget: campaign seed + job hash, the
+    // exact stream an in-process campaign worker would derive
+    // (explore/campaign.cc) — results must not depend on which process
+    // evaluates the cell.
+    Rng rng = Rng(lease.seed).split(spec.hash());
+    try {
+        return eval(spec, rng);
+    } catch (const std::exception &e) {
+        return explore::JobResult::failure(explore::JobStatus::Failed,
+                                           e.what());
+    } catch (...) {
+        return explore::JobResult::failure(
+            explore::JobStatus::Failed,
+            "evaluator threw a non-standard exception");
+    }
+}
+
+} // namespace
+
+std::uint64_t
+Worker::run()
+{
+    std::uint64_t evaluated = 0;
+    unsigned reconnectsLeft = cfg.reconnectAttempts;
+    while (!stopFlag.load(std::memory_order_acquire)) {
+        FrameConn conn;
+        conn.connect(cfg.socketPath);
+        conn.handshake(PeerRole::Worker); // throws on version mismatch
+        obs::metrics().counter("svc.worker.connects").add(1);
+        inform("svc: worker pid=", ::getpid(), " connected to ",
+               cfg.socketPath);
+
+        // The heartbeat thread shares the connection with the main
+        // loop's sends; recv stays on this thread only (net.hh).
+        std::mutex sendMutex;
+        std::atomic<bool> heartbeatStop{false};
+        std::thread heartbeat([&] {
+            Message beat;
+            beat.type = MsgType::Heartbeat;
+            beat.pid = static_cast<std::uint64_t>(::getpid());
+            while (!heartbeatStop.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(cfg.heartbeatMs));
+                std::lock_guard<std::mutex> lock(sendMutex);
+                if (!conn.open())
+                    return;
+                (void)conn.send(beat); // a dead stream surfaces in recv
+            }
+        });
+        const auto stopHeartbeat = [&] {
+            heartbeatStop.store(true, std::memory_order_release);
+            heartbeat.join();
+        };
+
+        bool wantLease = true;
+        bool drained = false;
+        while (!stopFlag.load(std::memory_order_acquire)) {
+            if (wantLease) {
+                Message request;
+                request.type = MsgType::LeaseRequest;
+                request.count = 1;
+                std::lock_guard<std::mutex> lock(sendMutex);
+                if (!conn.send(request))
+                    break;
+                wantLease = false;
+            }
+            Message msg;
+            bool timedOut = false;
+            if (!conn.recv(msg, 250, &timedOut)) {
+                if (timedOut)
+                    continue; // keep waiting; the lease request stands
+                break;        // stream died: reconnect below
+            }
+            if (msg.type == MsgType::Drain) {
+                drained = true;
+                break;
+            }
+            if (msg.type != MsgType::LeaseGrant)
+                continue; // e.g. a stray Stats; harmless
+            for (const JobRef &lease : msg.jobs) {
+                const bool traced =
+                    obs::traceEnabled(obs::Category::Service);
+                const std::uint64_t t0 =
+                    traced ? obs::trace().nowNanos() : 0;
+                const explore::JobResult outcome =
+                    evaluateLease(evaluator, lease);
+                if (traced) {
+                    obs::trace().span(
+                        obs::Category::Service, "worker:evaluate", t0,
+                        obs::trace().nowNanos() - t0,
+                        {{"ok", outcome.ok() ? 1.0 : 0.0}});
+                }
+                ++evaluated;
+                obs::metrics().counter("svc.worker.evaluated").add(1);
+                if (!outcome.ok()) {
+                    obs::metrics()
+                        .counter("svc.worker.failures")
+                        .add(1);
+                }
+                Message report;
+                report.type = MsgType::Result;
+                report.leaseId = lease.leaseId;
+                report.result = toWire(outcome);
+                std::lock_guard<std::mutex> lock(sendMutex);
+                if (!conn.send(report))
+                    break;
+            }
+            if (!conn.open())
+                break;
+            wantLease = true;
+            reconnectsLeft = cfg.reconnectAttempts; // healthy again
+        }
+        stopHeartbeat();
+        {
+            std::lock_guard<std::mutex> lock(sendMutex);
+            conn.close();
+        }
+        if (drained || stopFlag.load(std::memory_order_acquire)) {
+            inform("svc: worker pid=", ::getpid(), " drained after ",
+                   evaluated, " evaluation(s)");
+            return evaluated;
+        }
+        if (reconnectsLeft == 0) {
+            throw ConnectionError(detail::concat(
+                "fatal: lost the broker at '", cfg.socketPath,
+                "' and exhausted ", cfg.reconnectAttempts,
+                " reconnect attempts"));
+        }
+        --reconnectsLeft;
+        obs::metrics().counter("svc.worker.reconnects").add(1);
+        warn("svc: broker connection lost; reconnecting (",
+             reconnectsLeft, " attempt(s) left)");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cfg.reconnectBackoffMs));
+    }
+    return evaluated;
+}
+
+} // namespace eh::svc

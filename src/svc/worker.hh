@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The exploration worker (docs/SERVICE.md): connects to the broker,
+ * leases one cell at a time, evaluates it with the job's deterministic
+ * RNG sub-stream — `Rng(seed).split(spec.hash())`, byte-identical to
+ * an in-process campaign worker — and reports the outcome. A heartbeat
+ * thread keeps the broker's liveness clock ticking while a long cell
+ * evaluates. Evaluator exceptions are contained into Failed results
+ * exactly like explore/campaign.cc does; retry budgeting lives in the
+ * broker, so a worker runs each lease exactly once.
+ */
+
+#ifndef EH_SVC_WORKER_HH
+#define EH_SVC_WORKER_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "explore/job.hh"
+#include "util/random.hh"
+
+namespace eh::svc {
+
+/** Worker tuning knobs. */
+struct WorkerConfig
+{
+    /** Broker socket to connect to. */
+    std::string socketPath;
+
+    /** Heartbeat period; keep well under the broker's timeout. */
+    unsigned heartbeatMs = 500;
+
+    /**
+     * Reconnect attempts after a lost broker connection before run()
+     * gives up with ConnectionError (each waits reconnectBackoffMs).
+     */
+    unsigned reconnectAttempts = 5;
+    unsigned reconnectBackoffMs = 200;
+};
+
+/** One worker process's engine. */
+class Worker
+{
+  public:
+    using Evaluator =
+        std::function<explore::JobResult(const explore::JobSpec &,
+                                         Rng &rng)>;
+
+    /**
+     * @param eval evaluator for leased cells; defaults to the standard
+     *        task registry (explore::evaluateJob) when empty.
+     */
+    explicit Worker(WorkerConfig config, Evaluator eval = {});
+
+    /**
+     * Serve leases until the broker drains (returns the number of
+     * cells evaluated) or requestStop() is called.
+     * @throws ConnectionError when the broker stays unreachable past
+     *         the reconnect budget.
+     * @throws HandshakeError on a protocol version mismatch.
+     */
+    std::uint64_t run();
+
+    /** Ask run() to return at the next loop turn (tests, signals). */
+    void requestStop() { stopFlag.store(true); }
+
+  private:
+    WorkerConfig cfg;
+    Evaluator evaluator;
+    std::atomic<bool> stopFlag{false};
+};
+
+} // namespace eh::svc
+
+#endif // EH_SVC_WORKER_HH

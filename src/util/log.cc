@@ -3,6 +3,13 @@
 #include <atomic>
 #include <mutex>
 
+#ifdef _WIN32
+#define EH_LOG_STDERR_IS_TTY() true
+#else
+#include <unistd.h>
+#define EH_LOG_STDERR_IS_TTY() (isatty(2) != 0)
+#endif
+
 namespace eh {
 
 namespace {
@@ -25,6 +32,29 @@ emitMutex()
 /** True while the last emission was an unterminated status line. */
 bool statusLineOpen = false; // guarded by emitMutex()
 
+/**
+ * PID suffix for log tags when stderr is redirected. The exploration
+ * service runs a broker and N worker processes whose output commonly
+ * funnels into one pipe or CI log; tagging each line with its source
+ * PID keeps the interleaving attributable. On a TTY (one interactive
+ * process) the prefix is pure noise, so it is omitted. Evaluated once:
+ * a process's stderr destination does not change mid-run, and fork+exec
+ * re-initializes it in the child.
+ */
+const std::string &
+pidSuffix()
+{
+    static const std::string suffix = EH_LOG_STDERR_IS_TTY()
+#ifdef _WIN32
+        ? std::string()
+        : std::string();
+#else
+        ? std::string()
+        : ":" + std::to_string(static_cast<long>(getpid()));
+#endif
+    return suffix;
+}
+
 } // namespace
 
 LogLevel
@@ -45,7 +75,8 @@ void
 emit(LogLevel level, const std::string &tag, const std::string &msg)
 {
     std::ostream &out = (level == LogLevel::Warn) ? std::cerr : std::cout;
-    const std::string line = "[" + tag + "] " + msg + "\n";
+    const std::string line =
+        "[" + tag + pidSuffix() + "] " + msg + "\n";
     std::lock_guard<std::mutex> lock(emitMutex());
     if (statusLineOpen) {
         // Finish the in-place status line so the message gets its own
@@ -66,8 +97,12 @@ statusLine(const std::string &text, bool done)
         return; // --quiet silences progress like any Info message
     }
     std::lock_guard<std::mutex> lock(emitMutex());
-    std::cerr << "\r" << text;
-    if (done) {
+    const std::string &pid = pidSuffix();
+    if (pid.empty())
+        std::cerr << "\r" << text;
+    else // redirected: a full line per update, tagged like emit()
+        std::cerr << "[status" << pid << "] " << text;
+    if (done || !pid.empty()) {
         std::cerr << "\n";
         statusLineOpen = false;
     } else {

@@ -39,6 +39,30 @@ class FatalError : public std::runtime_error
 };
 
 /**
+ * A remote peer could not be reached or the connection broke mid-stream
+ * (exploration service, docs/SERVICE.md). Derives from FatalError so
+ * generic fatal handling still applies, but runMain() maps it to its
+ * own exit code so scripts can distinguish "the broker is down" from
+ * "the parameters are wrong".
+ */
+class ConnectionError : public FatalError
+{
+  public:
+    explicit ConnectionError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
+ * A remote peer was reached but refused the session: protocol version
+ * mismatch, wrong role, or a rejected hello (docs/SERVICE.md). Usually
+ * means mixed binary versions — not a network problem and not retryable.
+ */
+class HandshakeError : public FatalError
+{
+  public:
+    explicit HandshakeError(const std::string &msg) : FatalError(msg) {}
+};
+
+/**
  * Report an internal library bug. Never returns.
  *
  * @param msg Human-readable description of the violated invariant.
@@ -88,6 +112,12 @@ constexpr int exitUserError = 1;
 /** Exit code for internal bugs (PanicError, unexpected exceptions). */
 constexpr int exitInternalError = 2;
 
+/** Exit code for unreachable/broken service connections (--remote). */
+constexpr int exitConnectionError = 3;
+
+/** Exit code for rejected service handshakes (version/role mismatch). */
+constexpr int exitHandshakeError = 4;
+
 namespace detail {
 
 /**
@@ -102,8 +132,11 @@ int reportMainError(int code, bool internal,
 /**
  * Run a program body under the unified error policy: FatalError (user
  * error) exits with exitUserError, PanicError and any other exception
- * (internal bug) with exitInternalError, each as a clean one-line
- * stderr diagnostic instead of std::terminate. Usage:
+ * (internal bug) with exitInternalError; the service-connectivity
+ * refinements of FatalError get their own codes (exitConnectionError,
+ * exitHandshakeError — docs/ROBUSTNESS.md) so campaign drivers can
+ * retry a down broker but not a version mismatch. Each exits as a clean
+ * one-line stderr diagnostic instead of std::terminate. Usage:
  *
  *   int main() { return eh::runMain([] { ...; return 0; }); }
  */
@@ -113,6 +146,12 @@ runMain(Fn &&body) noexcept
 {
     try {
         return body();
+    } catch (const HandshakeError &e) {
+        return detail::reportMainError(exitHandshakeError, false,
+                                       e.what());
+    } catch (const ConnectionError &e) {
+        return detail::reportMainError(exitConnectionError, false,
+                                       e.what());
     } catch (const FatalError &e) {
         return detail::reportMainError(exitUserError, false, e.what());
     } catch (const PanicError &e) {

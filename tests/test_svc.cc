@@ -1,0 +1,657 @@
+/**
+ * @file
+ * Exploration-service suite (src/svc/, docs/SERVICE.md). Two halves:
+ *
+ * Protocol fuzzing — the wire codec must be total: every message type
+ * round-trips; a frame truncated at *every byte offset* never yields a
+ * message; a frame with *any single bit flipped* is detected (CRC-32
+ * catches all single-bit errors) and never forges a message; random
+ * garbage and chunked delivery never crash the decoder; a damaged
+ * stream is sticky-corrupt (no resynchronization on a byte stream).
+ *
+ * Service semantics — broker + workers + clients wired through real
+ * Unix-domain sockets inside one process: remote results identical to
+ * an in-process campaign, warm re-runs fully cached, concurrent
+ * campaigns joined to in-flight twins, a crashed worker's leases
+ * re-dispatched, evaluator failures retried then contained, version
+ * mismatches refused.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/campaign.hh"
+#include "explore/job.hh"
+#include "svc/broker.hh"
+#include "svc/client.hh"
+#include "svc/net.hh"
+#include "svc/proto.hh"
+#include "svc/worker.hh"
+#include "util/panic.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace eh;
+using namespace eh::svc;
+namespace fs = std::filesystem;
+
+/** A unique scratch directory, removed when the test ends. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+    {
+        root = fs::temp_directory_path() / ("eh_svc_test_" + tag);
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+    ~ScratchDir() { fs::remove_all(root); }
+    std::string str() const { return root.string(); }
+    std::string sock() const { return (root / "svc.sock").string(); }
+    std::string cache() const { return (root / "cache").string(); }
+
+  private:
+    fs::path root;
+};
+
+/** One sample message per type, with every meaningful field set. */
+std::vector<Message>
+sampleMessages()
+{
+    std::vector<Message> all;
+    Message m;
+
+    m = Message{};
+    m.type = MsgType::Hello;
+    m.version = protocolVersion;
+    m.role = static_cast<std::uint32_t>(PeerRole::Worker);
+    m.pid = 4242;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::HelloAck;
+    m.version = protocolVersion;
+    m.pid = 99;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::Reject;
+    m.code = static_cast<std::uint32_t>(RejectCode::Draining);
+    m.text = "broker is draining";
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::SubmitBatch;
+    m.text = "teststore";
+    m.seed = 0xDEADBEEFCAFEull;
+    m.maxAttempts = 3;
+    m.retryFailed = 1;
+    m.fresh = 1;
+    m.quarantineAfter = 5;
+    for (int i = 0; i < 3; ++i) {
+        JobRef ref;
+        ref.canonical = "kind|cell=" + std::to_string(i);
+        ref.hash = 0x1111u * static_cast<unsigned>(i + 1);
+        m.jobs.push_back(ref);
+    }
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::SubmitAck;
+    m.batchId = 7;
+    m.count = 3;
+    m.text = "/tmp/cache/teststore.ehc";
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::LeaseRequest;
+    m.count = 2;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::LeaseGrant;
+    {
+        JobRef ref;
+        ref.canonical = "kind|cell=0|x=0.5";
+        ref.seed = 1234567;
+        ref.leaseId = 42;
+        m.jobs.push_back(ref);
+    }
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::Result;
+    m.leaseId = 42;
+    m.result.status = 1;
+    m.result.error = "evaluator threw";
+    m.result.fields = {{"y", "0.25"}, {"z", "abc"}};
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::ClientResult;
+    m.batchId = 7;
+    m.index = 2;
+    m.cached = 1;
+    m.result.status = 0;
+    m.result.fields = {{"y", "1"}};
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::Heartbeat;
+    m.pid = 4242;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::Drain;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::DrainAck;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::Ping;
+    all.push_back(m);
+
+    m = Message{};
+    m.type = MsgType::Stats;
+    m.text = "{\"workers\":2}";
+    all.push_back(m);
+
+    return all;
+}
+
+void
+expectEqualMessages(const Message &a, const Message &b)
+{
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.version, b.version);
+    EXPECT_EQ(a.role, b.role);
+    EXPECT_EQ(a.pid, b.pid);
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.batchId, b.batchId);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.maxAttempts, b.maxAttempts);
+    EXPECT_EQ(a.retryFailed, b.retryFailed);
+    EXPECT_EQ(a.fresh, b.fresh);
+    EXPECT_EQ(a.quarantineAfter, b.quarantineAfter);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.leaseId, b.leaseId);
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.cached, b.cached);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+        EXPECT_EQ(a.jobs[i].canonical, b.jobs[i].canonical);
+        EXPECT_EQ(a.jobs[i].hash, b.jobs[i].hash);
+        EXPECT_EQ(a.jobs[i].seed, b.jobs[i].seed);
+        EXPECT_EQ(a.jobs[i].leaseId, b.jobs[i].leaseId);
+    }
+    EXPECT_EQ(a.result.status, b.result.status);
+    EXPECT_EQ(a.result.error, b.result.error);
+    EXPECT_EQ(a.result.fields, b.result.fields);
+}
+
+TEST(SvcProto, EveryMessageTypeRoundTrips)
+{
+    for (const Message &msg : sampleMessages()) {
+        const std::string payload = encodePayload(msg);
+        Message out;
+        ASSERT_TRUE(decodePayload(payload, out))
+            << "type " << static_cast<unsigned>(msg.type);
+        expectEqualMessages(msg, out);
+    }
+}
+
+TEST(SvcProto, WireResultPreservesFieldOrderAndStatus)
+{
+    explore::JobResult result;
+    result.set("b", 2.0).set("a", std::string("x")).set("c", true);
+    result.setStatus(explore::JobStatus::Timeout, "too slow");
+    const explore::JobResult back = fromWire(toWire(result));
+    EXPECT_EQ(back.fields(), result.fields());
+    EXPECT_EQ(back.status(), result.status());
+    EXPECT_EQ(back.error(), result.error());
+
+    WireResult bogus;
+    bogus.status = 250; // not a JobStatus
+    EXPECT_EQ(fromWire(bogus).status(), explore::JobStatus::Failed);
+}
+
+TEST(SvcProto, TrailingBytesAreRejected)
+{
+    for (const Message &msg : sampleMessages()) {
+        std::string payload = encodePayload(msg);
+        payload.push_back('\0');
+        Message out;
+        EXPECT_FALSE(decodePayload(payload, out))
+            << "type " << static_cast<unsigned>(msg.type);
+    }
+}
+
+TEST(SvcProto, PayloadTruncationAtEveryOffsetIsRejected)
+{
+    for (const Message &msg : sampleMessages()) {
+        const std::string payload = encodePayload(msg);
+        for (std::size_t len = 0; len < payload.size(); ++len) {
+            Message out;
+            EXPECT_FALSE(
+                decodePayload(payload.substr(0, len), out))
+                << "type " << static_cast<unsigned>(msg.type)
+                << " truncated to " << len;
+        }
+    }
+}
+
+TEST(SvcFrame, FramesSurviveChunkedDelivery)
+{
+    const auto all = sampleMessages();
+    std::string stream;
+    for (const Message &msg : all)
+        stream += encodeFrame(msg);
+    FrameReader reader;
+    std::vector<Message> got;
+    std::string payload;
+    for (const char byte : stream) {
+        reader.feed(&byte, 1); // worst-case one-byte reads
+        for (;;) {
+            const auto st = reader.next(payload);
+            ASSERT_NE(st, FrameReader::Status::Corrupt);
+            if (st != FrameReader::Status::Frame)
+                break;
+            Message out;
+            ASSERT_TRUE(decodePayload(payload, out));
+            got.push_back(out);
+        }
+    }
+    ASSERT_EQ(got.size(), all.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        expectEqualMessages(all[i], got[i]);
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(SvcFrame, TruncationAtEveryByteOffsetNeverYieldsAFrame)
+{
+    Message msg;
+    msg.type = MsgType::SubmitBatch;
+    msg.text = "store";
+    msg.seed = 9;
+    JobRef ref;
+    ref.canonical = "kind|cell=1";
+    ref.hash = 77;
+    msg.jobs.push_back(ref);
+    const std::string frame = encodeFrame(msg);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+        FrameReader reader;
+        reader.feed(frame.data(), len);
+        std::string payload;
+        const auto st = reader.next(payload);
+        EXPECT_NE(st, FrameReader::Status::Frame)
+            << "truncated to " << len;
+    }
+}
+
+TEST(SvcFrame, EverySingleBitFlipIsDetected)
+{
+    Message msg;
+    msg.type = MsgType::Result;
+    msg.leaseId = 123;
+    msg.result.status = 0;
+    msg.result.fields = {{"y", "0.125"}, {"note", "fine"}};
+    const std::string frame = encodeFrame(msg);
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bent = frame;
+            bent[byte] = static_cast<char>(
+                static_cast<unsigned char>(bent[byte]) ^ (1u << bit));
+            FrameReader reader;
+            reader.feed(bent.data(), bent.size());
+            std::string payload;
+            // CRC-32 detects every single-bit error, so a flipped
+            // frame can only come out NeedMore (length grew) or
+            // Corrupt (magic/length/CRC check) — never Frame.
+            const auto st = reader.next(payload);
+            EXPECT_NE(st, FrameReader::Status::Frame)
+                << "bit " << bit << " of byte " << byte;
+        }
+    }
+}
+
+TEST(SvcFrame, RandomGarbageNeverCrashesTheDecoder)
+{
+    Rng rng(0xF00D);
+    for (int round = 0; round < 200; ++round) {
+        std::string junk(1 + rng.nextBelow(512), '\0');
+        for (char &c : junk)
+            c = static_cast<char>(rng.nextBelow(256));
+        FrameReader reader;
+        reader.feed(junk.data(), junk.size());
+        std::string payload;
+        while (reader.next(payload) == FrameReader::Status::Frame) {
+            Message out;
+            (void)decodePayload(payload, out); // either verdict is fine
+        }
+        Message out;
+        (void)decodePayload(junk, out);
+    }
+}
+
+TEST(SvcFrame, CorruptionIsSticky)
+{
+    Message msg;
+    msg.type = MsgType::Ping;
+    std::string bad = encodeFrame(msg);
+    bad[0] = '?'; // break the magic
+    FrameReader reader;
+    reader.feed(bad.data(), bad.size());
+    std::string payload, why;
+    EXPECT_EQ(reader.next(payload, &why), FrameReader::Status::Corrupt);
+    EXPECT_FALSE(why.empty());
+    const std::string good = encodeFrame(msg);
+    reader.feed(good.data(), good.size());
+    EXPECT_EQ(reader.next(payload), FrameReader::Status::Corrupt);
+    EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(SvcFrame, OversizedClaimedLengthIsCorrupt)
+{
+    std::string frame(frameHeaderBytes, '\0');
+    frame[0] = 'E';
+    frame[1] = 'H';
+    frame[2] = 'S';
+    frame[3] = '1';
+    const std::uint32_t huge = maxFramePayloadBytes + 1;
+    frame[4] = static_cast<char>(huge & 0xff);
+    frame[5] = static_cast<char>((huge >> 8) & 0xff);
+    frame[6] = static_cast<char>((huge >> 16) & 0xff);
+    frame[7] = static_cast<char>((huge >> 24) & 0xff);
+    FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::string payload;
+    EXPECT_EQ(reader.next(payload), FrameReader::Status::Corrupt);
+}
+
+// --- Service semantics ---------------------------------------------
+
+/** Deterministic evaluator: fields derived from the spec + RNG draw. */
+explore::JobResult
+gridEval(const explore::JobSpec &spec, Rng &rng)
+{
+    explore::JobResult result;
+    result.set("cell", spec.get("cell"));
+    result.set("draw", static_cast<std::uint64_t>(rng.next()));
+    return result;
+}
+
+std::vector<explore::JobSpec>
+gridSpecs(std::size_t n)
+{
+    std::vector<explore::JobSpec> specs;
+    for (std::size_t i = 0; i < n; ++i) {
+        explore::JobSpec spec("svcgrid");
+        spec.set("cell", static_cast<std::uint64_t>(i));
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Broker + N evaluator threads, torn down in the right order. */
+class ServiceFixture
+{
+  public:
+    ServiceFixture(const ScratchDir &dir, unsigned nWorkers,
+                   Worker::Evaluator eval = gridEval)
+    {
+        BrokerConfig bc;
+        bc.socketPath = dir.sock();
+        bc.cacheDir = dir.cache();
+        broker = std::make_unique<Broker>(bc);
+        brokerThread = std::thread([this] { broker->run(); });
+        for (unsigned i = 0; i < nWorkers; ++i) {
+            WorkerConfig wc;
+            wc.socketPath = broker->socketPath();
+            workers.push_back(std::make_unique<Worker>(wc, eval));
+        }
+        for (auto &w : workers) {
+            workerThreads.emplace_back([&w] {
+                try {
+                    w->run();
+                } catch (const FatalError &) {
+                    // Torn down out from under us at test end.
+                }
+            });
+        }
+    }
+
+    ~ServiceFixture()
+    {
+        for (auto &w : workers)
+            w->requestStop();
+        for (auto &t : workerThreads)
+            t.join();
+        broker->requestStop();
+        brokerThread.join();
+    }
+
+    std::unique_ptr<Broker> broker;
+
+  private:
+    std::thread brokerThread;
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> workerThreads;
+};
+
+void
+expectSameResults(const std::vector<explore::JobResult> &a,
+                  const std::vector<explore::JobResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].fields(), b[i].fields()) << "job " << i;
+        EXPECT_EQ(a[i].status(), b[i].status()) << "job " << i;
+        EXPECT_EQ(a[i].error(), b[i].error()) << "job " << i;
+    }
+}
+
+TEST(SvcService, RemoteResultsMatchInProcessBitForBit)
+{
+    const auto specs = gridSpecs(12);
+
+    ScratchDir localDir("inproc");
+    explore::CampaignConfig localCfg;
+    localCfg.name = "svcgrid";
+    localCfg.cacheDir = localDir.str();
+    localCfg.progress = false;
+    localCfg.seed = 77;
+    explore::Campaign campaign(localCfg);
+    for (const auto &spec : specs)
+        campaign.add(spec);
+    const auto localResults = campaign.run(gridEval);
+
+    ScratchDir dir("remote_identity");
+    ServiceFixture service(dir, 2);
+    explore::CampaignConfig remoteCfg;
+    remoteCfg.name = "svcgrid";
+    remoteCfg.progress = false;
+    remoteCfg.seed = 77;
+    remoteCfg.remoteSocket = service.broker->socketPath();
+    const RemoteRun run = runCampaign(remoteCfg, specs);
+
+    expectSameResults(localResults, run.results);
+    EXPECT_EQ(run.report.total, specs.size());
+    EXPECT_EQ(run.report.executed, specs.size());
+    EXPECT_EQ(run.report.cacheHits, 0u);
+
+    // Same campaign again: every cell served from the broker's store.
+    const RemoteRun warm = runCampaign(remoteCfg, specs);
+    expectSameResults(localResults, warm.results);
+    EXPECT_EQ(warm.report.cacheHits, specs.size());
+    EXPECT_EQ(warm.report.executed, 0u);
+    EXPECT_EQ(service.broker->counters().storeHits, specs.size());
+}
+
+TEST(SvcService, ConcurrentCampaignsJoinInFlightTwins)
+{
+    ScratchDir dir("inflight");
+    // Slow evaluator widens the window in which the second campaign's
+    // submissions find the first campaign's cells still in flight.
+    ServiceFixture service(
+        dir, 2, [](const explore::JobSpec &spec, Rng &rng) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            return gridEval(spec, rng);
+        });
+    const auto specs = gridSpecs(10);
+    explore::CampaignConfig cfg;
+    cfg.name = "svcgrid";
+    cfg.progress = false;
+    cfg.remoteSocket = service.broker->socketPath();
+
+    RemoteRun runA, runB;
+    std::thread a([&] { runA = runCampaign(cfg, specs); });
+    std::thread b([&] { runB = runCampaign(cfg, specs); });
+    a.join();
+    b.join();
+
+    expectSameResults(runA.results, runB.results);
+    const BrokerCounters &c = service.broker->counters();
+    // Every cell ran at most once; the twin campaign was served from
+    // the in-flight table or the store, never by re-execution.
+    EXPECT_EQ(c.results, specs.size());
+    EXPECT_EQ(c.jobsSubmitted, specs.size());
+    EXPECT_GT(c.inflightHits + c.storeHits, 0u);
+    EXPECT_EQ(c.inflightHits + c.storeHits, specs.size());
+}
+
+TEST(SvcService, CrashedWorkerLeasesAreRedispatched)
+{
+    ScratchDir dir("redispatch");
+    BrokerConfig bc;
+    bc.socketPath = dir.sock();
+    bc.cacheDir = dir.cache();
+    Broker broker(bc);
+    std::thread brokerThread([&] { broker.run(); });
+
+    // A fake worker leases one cell and dies without reporting.
+    {
+        FrameConn fake;
+        fake.connect(bc.socketPath, 2000);
+        fake.handshake(PeerRole::Worker);
+
+        Client client(bc.socketPath);
+        BatchOptions batch;
+        batch.name = "svcgrid";
+        const auto specs = gridSpecs(3);
+        ASSERT_EQ(client.submit(batch, specs), specs.size());
+
+        Message want;
+        want.type = MsgType::LeaseRequest;
+        want.count = 1;
+        ASSERT_TRUE(fake.send(want));
+        Message grant;
+        ASSERT_TRUE(fake.recv(grant, 2000));
+        ASSERT_EQ(grant.type, MsgType::LeaseGrant);
+        ASSERT_EQ(grant.jobs.size(), 1u);
+        fake.close(); // abrupt death, lease still held
+
+        // A real worker picks up the pieces, crashed cell included.
+        WorkerConfig wc;
+        wc.socketPath = bc.socketPath;
+        Worker rescue(wc, gridEval);
+        std::thread rescueThread([&] {
+            try {
+                rescue.run();
+            } catch (const FatalError &) {
+            }
+        });
+        std::size_t okCount = 0;
+        Client::Outcome out;
+        while (client.nextOutcome(out))
+            okCount += out.result.ok() ? 1 : 0;
+        EXPECT_EQ(okCount, specs.size());
+        rescue.requestStop();
+        rescueThread.join();
+    }
+
+    EXPECT_GE(broker.counters().workerCrashes, 1u);
+    EXPECT_GE(broker.counters().redispatches, 1u);
+    broker.requestStop();
+    brokerThread.join();
+}
+
+TEST(SvcService, EvaluatorFailuresAreRetriedThenContained)
+{
+    ScratchDir dir("failures");
+    ServiceFixture service(
+        dir, 1, [](const explore::JobSpec &spec, Rng &) ->
+            explore::JobResult {
+            if (spec.get("cell") == "1")
+                throw std::runtime_error("poison cell");
+            explore::JobResult result;
+            result.set("cell", spec.get("cell"));
+            return result;
+        });
+    const auto specs = gridSpecs(3);
+    explore::CampaignConfig cfg;
+    cfg.name = "svcgrid";
+    cfg.progress = false;
+    cfg.maxAttempts = 2;
+    cfg.remoteSocket = service.broker->socketPath();
+    const RemoteRun run = runCampaign(cfg, specs);
+
+    ASSERT_EQ(run.results.size(), specs.size());
+    EXPECT_TRUE(run.results[0].ok());
+    EXPECT_EQ(run.results[1].status(), explore::JobStatus::Failed);
+    EXPECT_NE(run.results[1].error().find("poison cell"),
+              std::string::npos);
+    EXPECT_TRUE(run.results[2].ok());
+    EXPECT_EQ(run.report.failed, 1u);
+    // maxAttempts=2: the poison cell failed twice (one retry).
+    EXPECT_EQ(service.broker->counters().evalFailures, 2u);
+    EXPECT_EQ(service.broker->counters().retries, 1u);
+}
+
+TEST(SvcService, VersionMismatchIsRejected)
+{
+    ScratchDir dir("version");
+    BrokerConfig bc;
+    bc.socketPath = dir.sock();
+    bc.cacheDir = dir.cache();
+    Broker broker(bc);
+    std::thread brokerThread([&] { broker.run(); });
+
+    FrameConn conn;
+    conn.connect(bc.socketPath, 2000);
+    Message hello;
+    hello.type = MsgType::Hello;
+    hello.version = protocolVersion + 1;
+    hello.role = static_cast<std::uint32_t>(PeerRole::Client);
+    ASSERT_TRUE(conn.send(hello));
+    Message reply;
+    ASSERT_TRUE(conn.recv(reply, 2000));
+    EXPECT_EQ(reply.type, MsgType::Reject);
+    EXPECT_EQ(reply.code,
+              static_cast<std::uint32_t>(RejectCode::VersionMismatch));
+    conn.close();
+
+    broker.requestStop();
+    brokerThread.join();
+}
+
+TEST(SvcService, PingReportsStatsJson)
+{
+    ScratchDir dir("ping");
+    ServiceFixture service(dir, 1);
+    const std::string stats = pingBroker(service.broker->socketPath());
+    EXPECT_NE(stats.find("\"workers\":"), std::string::npos);
+    EXPECT_NE(stats.find("\"results\":"), std::string::npos);
+}
+
+} // namespace

@@ -22,6 +22,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -74,6 +75,27 @@ noteLegacy(const cli::Options &opts)
     }
 }
 
+/** Minimal JSON string escaping (paths can contain anything). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        if (ch == '"' || ch == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(ch));
+            out += buf;
+            continue;
+        }
+        out += ch;
+    }
+    return out;
+}
+
 int
 cmdStat(const cli::Options &opts)
 {
@@ -83,6 +105,25 @@ cmdStat(const cli::Options &opts)
     const StoreOpenStats &stats = store.openStats();
     std::size_t live = 0;
     store.forEachLive([&](const StoreRecord &) { ++live; });
+    if (opts.getDouble("json", 0.0) != 0.0) {
+        // Machine-readable variant for scripts and the service-smoke
+        // CI job; keys mirror the human-readable lines below.
+        std::cout << "{"
+                  << "\"store\":\"" << jsonEscape(store.path()) << "\","
+                  << "\"segments\":" << stats.segments << ","
+                  << "\"record_slots\":" << stats.records << ","
+                  << "\"live_records\":" << live << ","
+                  << "\"bytes\":" << stats.bytes << ","
+                  << "\"indexed_segments\":" << stats.indexedSegments
+                  << ","
+                  << "\"corrupt_ranges\":" << stats.corruptionEvents
+                  << ","
+                  << "\"corrupt_bytes\":" << stats.corruptBytes << ","
+                  << "\"legacy_jsonl\":"
+                  << (fs::exists(legacyPathOf(opts)) ? "true" : "false")
+                  << "}\n";
+        return 0;
+    }
     std::cout << "store:              " << store.path() << "\n"
               << "segments:           " << stats.segments << "\n"
               << "record slots:       " << stats.records << "\n"
@@ -335,7 +376,8 @@ usage()
     std::cout
         << "eh_cachectl — durable result store maintenance "
            "(docs/STORAGE.md)\n\n"
-           "  eh_cachectl stat         [--dir D] [--name N]\n"
+           "  eh_cachectl stat         [--dir D] [--name N] "
+           "[--json 1]\n"
            "  eh_cachectl fsck         [--dir D] [--name N] "
            "[--repair 1]\n"
            "  eh_cachectl compact      [--dir D] [--name N]\n"

@@ -49,6 +49,7 @@
 #include "runtime/ratchet.hh"
 #include "runtime/watchdog.hh"
 #include "sim/simulator.hh"
+#include "svc/client.hh"
 #include "util/csv.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
@@ -355,9 +356,9 @@ buildCampaignGrid(explore::Campaign &campaign, const std::string &grid,
  */
 void
 printHealthReport(const explore::Campaign &campaign,
-                  const std::vector<explore::JobResult> &results)
+                  const std::vector<explore::JobResult> &results,
+                  const explore::CampaignReport &rep)
 {
-    const auto &rep = campaign.report();
     std::cout << "health: " << rep.total - rep.failures() << " ok, "
               << rep.failed << " failed, " << rep.timedOut
               << " timed out, " << rep.quarantined << " quarantined\n";
@@ -415,10 +416,27 @@ cmdCampaign(const cli::Options &opts)
     cc.quarantineAfter = static_cast<unsigned>(
         opts.getDouble("quarantine-after", 3.0));
     const bool strict = opts.getDouble("strict", 0.0) != 0.0;
+    cc.remoteSocket = opts.get("remote", "");
+    if (!cc.remoteSocket.empty() && !cc.cache) {
+        fatalf("--cache 0 cannot be combined with --remote; the broker "
+               "owns the store (docs/SERVICE.md)");
+    }
     explore::Campaign campaign(cc);
     buildCampaignGrid(campaign, grid, opts);
 
-    const auto results = campaign.run(explore::evaluateJob);
+    // Service mode is the same campaign through a broker socket; the
+    // in-process engine is the degenerate case (docs/SERVICE.md). The
+    // CSV bytes are identical either way.
+    std::vector<explore::JobResult> results;
+    explore::CampaignReport report;
+    if (!cc.remoteSocket.empty()) {
+        svc::RemoteRun remote = svc::runCampaign(cc, campaign.jobs());
+        results = std::move(remote.results);
+        report = std::move(remote.report);
+    } else {
+        results = campaign.run(explore::evaluateJob);
+        report = campaign.report();
+    }
 
     // Physics columns come from the first Ok result (a Failed cell has
     // no fields); status/error columns make every row self-describing.
@@ -447,11 +465,11 @@ cmdCampaign(const cli::Options &opts)
             csv->row(row);
     }
     t.print(std::cout);
-    std::cout << campaign.report().summary() << "\n";
-    printHealthReport(campaign, results);
+    std::cout << report.summary() << "\n";
+    printHealthReport(campaign, results, report);
     if (csv)
         std::cout << "CSV: " << csv->path() << "\n";
-    if (strict && campaign.report().failures() > 0)
+    if (strict && report.failures() > 0)
         return exitUserError;
     return 0;
 }
@@ -550,6 +568,9 @@ usage()
         "          --retry-failed 1 (re-run cached failures) --strict 1 "
         "(exit 1 on any\n          failed/timed-out/quarantined cell); "
         "see docs/ROBUSTNESS.md\n"
+        "          --remote SOCK runs the campaign through an "
+        "eh_explored broker\n          (docs/SERVICE.md); CSV bytes are "
+        "identical to an in-process run\n"
         "          fault injection: --fault-seed N --fault-at-cycle C,.. "
         "--fault-at-instr K,..\n"
         "          --fault-backup-prob P --fault-selector-prob P "

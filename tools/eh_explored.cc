@@ -1,0 +1,248 @@
+/**
+ * @file
+ * eh_explored — the sharded exploration service (docs/SERVICE.md).
+ *
+ *   eh_explored serve  --socket S [--cache-dir D] [--workers N]
+ *                      [--cache-fsync N] [--heartbeat-timeout-ms MS]
+ *                      [--redispatch-limit N]
+ *   eh_explored worker --socket S [--heartbeat-ms MS]
+ *                      [--reconnect-attempts N]
+ *                      [--reconnect-backoff-ms MS]
+ *   eh_explored ping   --socket S
+ *   eh_explored drain  --socket S [--timeout-ms MS]
+ *
+ * `serve` runs the broker: the single writer of the result store,
+ * sharding campaign cells across worker processes. `--workers N` forks
+ * N workers as children (they re-exec this binary as
+ * `eh_explored worker`); workers may equally be started by hand on the
+ * same socket, including after the broker. SIGTERM/SIGINT stop the
+ * broker immediately; `drain` stops it cleanly once pending cells
+ * finish. Campaigns connect with `eh_explore campaign --remote S`.
+ */
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli/options.hh"
+#include "obs/export.hh"
+#include "obs/trace.hh"
+#include "svc/broker.hh"
+#include "svc/client.hh"
+#include "svc/worker.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+
+svc::Broker *liveBroker = nullptr;
+svc::Worker *liveWorker = nullptr;
+
+void
+onSignal(int)
+{
+    // Both stop paths are async-signal-safe: a self-pipe write for the
+    // broker, an atomic store for the worker.
+    if (liveBroker)
+        liveBroker->requestStop();
+    if (liveWorker)
+        liveWorker->requestStop();
+}
+
+void
+installStopHandlers()
+{
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+}
+
+std::string
+requiredSocket(const cli::Options &opts)
+{
+    const std::string socket = opts.get("socket", "");
+    if (socket.empty())
+        fatalf("this subcommand requires --socket PATH");
+    return socket;
+}
+
+/** Fork @p count workers that re-exec this binary as `worker`. */
+void
+spawnWorkers(unsigned count, const std::string &socket,
+             const cli::Options &opts)
+{
+    if (count == 0)
+        return;
+    char self[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (n <= 0) {
+        fatalf("cannot resolve /proc/self/exe to spawn workers; start "
+               "them manually: eh_explored worker --socket ", socket);
+    }
+    self[n] = '\0';
+    // Children are fire-and-forget: the broker's drain tells them to
+    // exit, and SIG_IGN on SIGCHLD lets the kernel reap them.
+    std::signal(SIGCHLD, SIG_IGN);
+    const bool quiet = opts.getDouble("quiet", 0.0) != 0.0;
+    const bool verbose = opts.getDouble("verbose", 0.0) != 0.0;
+    for (unsigned i = 0; i < count; ++i) {
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatalf("fork failed while spawning worker ", i + 1);
+        if (pid != 0)
+            continue;
+        std::vector<const char *> argv{self, "worker", "--socket",
+                                       socket.c_str()};
+        if (quiet) {
+            argv.push_back("--quiet");
+            argv.push_back("1");
+        } else if (verbose) {
+            argv.push_back("--verbose");
+            argv.push_back("1");
+        }
+        argv.push_back(nullptr);
+        ::execv(self, const_cast<char *const *>(argv.data()));
+        // Only reached when exec failed; don't run the parent's
+        // atexit machinery from the doomed child.
+        ::_exit(127);
+    }
+    inform("svc: spawned ", count, " worker process(es)");
+}
+
+int
+cmdServe(const cli::Options &opts)
+{
+    svc::BrokerConfig config;
+    config.socketPath = requiredSocket(opts);
+    config.cacheDir = opts.get("cache-dir", "");
+    config.cacheFsync =
+        static_cast<int>(opts.getDouble("cache-fsync", -1.0));
+    config.heartbeatTimeoutMs = static_cast<unsigned>(
+        opts.getDouble("heartbeat-timeout-ms", 5000.0));
+    config.redispatchLimit = static_cast<unsigned>(
+        opts.getDouble("redispatch-limit", 3.0));
+    svc::Broker broker(config);
+    liveBroker = &broker;
+    installStopHandlers();
+    spawnWorkers(
+        static_cast<unsigned>(opts.getDouble("workers", 0.0)),
+        config.socketPath, opts);
+    const std::uint64_t results = broker.run();
+    liveBroker = nullptr;
+    inform("svc: broker served ", results, " result(s)");
+    std::cout << broker.statsJson() << "\n";
+    return 0;
+}
+
+int
+cmdWorker(const cli::Options &opts)
+{
+    svc::WorkerConfig config;
+    config.socketPath = requiredSocket(opts);
+    config.heartbeatMs = static_cast<unsigned>(
+        opts.getDouble("heartbeat-ms", 500.0));
+    config.reconnectAttempts = static_cast<unsigned>(
+        opts.getDouble("reconnect-attempts", 5.0));
+    config.reconnectBackoffMs = static_cast<unsigned>(
+        opts.getDouble("reconnect-backoff-ms", 200.0));
+    svc::Worker worker(config, {});
+    liveWorker = &worker;
+    installStopHandlers();
+    worker.run();
+    liveWorker = nullptr;
+    return 0;
+}
+
+int
+cmdPing(const cli::Options &opts)
+{
+    std::cout << svc::pingBroker(requiredSocket(opts)) << "\n";
+    return 0;
+}
+
+int
+cmdDrain(const cli::Options &opts)
+{
+    svc::drainBroker(
+        requiredSocket(opts),
+        static_cast<int>(opts.getDouble("timeout-ms", 60000.0)));
+    inform("svc: broker drained and shut down");
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "eh_explored — sharded exploration service "
+           "(docs/SERVICE.md)\n\n"
+           "  eh_explored serve  --socket S [--cache-dir D] "
+           "[--workers N]\n"
+           "                     [--cache-fsync N] "
+           "[--heartbeat-timeout-ms MS]\n"
+           "                     [--redispatch-limit N]\n"
+           "  eh_explored worker --socket S [--heartbeat-ms MS]\n"
+           "                     [--reconnect-attempts N] "
+           "[--reconnect-backoff-ms MS]\n"
+           "  eh_explored ping   --socket S\n"
+           "  eh_explored drain  --socket S [--timeout-ms MS]\n\n"
+           "Campaigns connect with: eh_explore campaign --remote S\n"
+           "Exit codes: 3 connection failure, 4 handshake/version "
+           "mismatch\n(docs/ROBUSTNESS.md).\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return eh::runMain([&]() -> int {
+        const auto opts = cli::Options::parse(args);
+        std::string cmd = opts.subcommand();
+        // `eh_explored --worker 1` is accepted as an alias so process
+        // managers that can't pass subcommands still work.
+        if (cmd.empty() && opts.getDouble("worker", 0.0) != 0.0)
+            cmd = "worker";
+        if (opts.getDouble("quiet", 0.0) != 0.0)
+            setLogLevel(LogLevel::Warn);
+        else if (opts.getDouble("verbose", 0.0) != 0.0)
+            setLogLevel(LogLevel::Debug);
+        const std::string tracePath = opts.get("trace", "");
+        if (!tracePath.empty()) {
+            obs::trace().enable(obs::parseCategories(
+                opts.get("trace-categories", "all")));
+        }
+        const std::string metricsPath = opts.get("metrics-out", "");
+
+        int rc;
+        if (cmd == "serve")
+            rc = cmdServe(opts);
+        else if (cmd == "worker")
+            rc = cmdWorker(opts);
+        else if (cmd == "ping")
+            rc = cmdPing(opts);
+        else if (cmd == "drain")
+            rc = cmdDrain(opts);
+        else {
+            usage();
+            return cmd.empty() ? 0 : exitUserError;
+        }
+        if (!tracePath.empty()) {
+            obs::writeChromeTraceFile(tracePath);
+            inform("trace written to ", tracePath);
+        }
+        if (!metricsPath.empty()) {
+            obs::writeMetricsFile(metricsPath);
+            inform("metrics written to ", metricsPath);
+        }
+        for (const auto &flag : opts.unusedFlags())
+            warn("unused flag --", flag);
+        return rc;
+    });
+}
