@@ -1,0 +1,267 @@
+#!/usr/bin/env bash
+# Deterministic chaos sweep of the exploration service
+# (docs/ROBUSTNESS.md): drives the real binaries through seeded fault
+# injection (EH_CHAOS, src/util/chaos.hh) and proves the one invariant
+# that matters — whatever dies, the campaign CSV stays byte-identical
+# to an in-process oracle run:
+#
+#   1. crash sweep: for every broker/worker/shared site named by
+#      `eh_explored chaos-sites`, a `serve --supervise` tree is armed
+#      with a one-shot crash at that site (EH_CHAOS_FUSE); the armed
+#      process dies with exit 86 mid-protocol, the supervisor respawns
+#      it disarmed, the client rides the outage out via session
+#      resume, and the CSV matches the oracle;
+#   2. client crash sweep: the same for client-side sites — the
+#      campaign process itself dies at the site, and a rerun (fuse
+#      burnt) completes from the durable store, byte-identical;
+#   3. broker kill -9 + restart mid-campaign: no injection, a real
+#      SIGKILL of the serve process; a fresh serve on the same socket
+#      and cache picks the campaign up where the store left off;
+#   4. ENOSPC at the store append path surfaces as a clean StoreError
+#      naming the segment and the bytes it wanted — never a crash or
+#      a silent truncation;
+#   5. a live broker's socket can never be stolen: a second serve on
+#      the same path exits 5 without touching the socket;
+#   6. a randomized short-read/short-write + spurious-EINTR noise run
+#      (seed echoed for replay) still converges byte-identically.
+#
+# On failure the scratch tree is preserved under
+# ${CHAOS_EVIDENCE_DIR:-./chaos-evidence} for CI artifact upload.
+#
+# Usage: scripts/chaos_harness.sh [build-dir]
+set -euo pipefail
+
+build="${1:-build}"
+explore="$build/tools/eh_explore"
+explored="$build/tools/eh_explored"
+
+for bin in "$explore" "$explored"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (cmake --build $build --target eh_explore eh_explored)" >&2
+        exit 2
+    fi
+done
+
+work=$(mktemp -d -t eh_chaos_harness.XXXXXX)
+serve_pid=""
+keep_evidence=0
+cleanup() {
+    if [ -n "$serve_pid" ]; then
+        kill -9 "$serve_pid" $(pgrep -P "$serve_pid" 2>/dev/null) \
+            2>/dev/null || true
+    fi
+    # Any eh_explored orphaned by a kill -9 of its parent.
+    pkill -9 -f "eh_explored (serve|worker) --socket $work" \
+        2>/dev/null || true
+    if [ "$keep_evidence" -ne 0 ]; then
+        evidence="${CHAOS_EVIDENCE_DIR:-$PWD/chaos-evidence}"
+        mkdir -p "$evidence"
+        cp -r "$work" "$evidence/" 2>/dev/null || true
+        echo "evidence preserved under $evidence" >&2
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { keep_evidence=1; echo "FAIL: $*" >&2; exit 1; }
+note() { echo "--- $*"; }
+
+grid=(--grid fault --cells 8)
+sock="$work/svc.sock"
+chaos_exit=86 # chaos::chaosExitCode
+
+# Start a supervised serve tree; $1 = cache dir, $2 = EH_CHAOS spec
+# ('' = unarmed), $3 = log name. The fuse lives next to the log so a
+# crashed child's respawn comes up disarmed.
+start_serve() {
+    local cache="$1" spec="$2" log="$3"
+    if [ -n "$spec" ]; then
+        env EH_CHAOS="$spec" EH_CHAOS_FUSE="$work/$log.fuse" \
+            "$explored" serve --socket "$sock" --cache-dir "$cache" \
+            --workers 2 --supervise 1 --respawn-backoff-ms 20 \
+            > "$work/$log.log" 2>&1 &
+    else
+        "$explored" serve --socket "$sock" --cache-dir "$cache" \
+            --workers 2 > "$work/$log.log" 2>&1 &
+    fi
+    serve_pid=$!
+    for _ in $(seq 100); do
+        "$explored" ping --socket "$sock" >/dev/null 2>&1 && return 0
+        kill -0 "$serve_pid" 2>/dev/null \
+            || fail "serve ($log) died before listening: $(tail -5 "$work/$log.log")"
+        sleep 0.1
+    done
+    fail "serve ($log) never started listening"
+}
+
+stop_serve() {
+    [ -n "$serve_pid" ] || return 0
+    "$explored" drain --socket "$sock" >/dev/null 2>&1 || true
+    for _ in $(seq 50); do
+        kill -0 "$serve_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -9 "$serve_pid" $(pgrep -P "$serve_pid" 2>/dev/null) \
+        2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    serve_pid=""
+}
+
+note "in-process oracle run"
+"$explore" campaign "${grid[@]}" --cache-dir "$work/ref_cache" \
+    --csv "$work/ref.csv" > /dev/null 2>&1
+
+sites=$("$explored" chaos-sites)
+[ -n "$sites" ] || fail "chaos-sites printed nothing"
+
+note "1: crash sweep over the serve-side sites"
+for site in $sites; do
+    case "$site" in
+    client.*) continue ;; # swept separately below
+    esac
+    # Most sites fire per cell or per frame: hit 3 lands mid-batch.
+    # broker.submit.ack fires once per submission, so only hit 1 can.
+    hit=3
+    [ "$site" = "broker.submit.ack" ] && hit=1
+    start_serve "$work/crash_${site}_cache" "1:crash=${site}@${hit}" \
+        "crash_$site"
+    "$explore" campaign "${grid[@]}" --remote "$sock" \
+        --remote-retries 20 --csv "$work/crash_$site.csv" \
+        > "$work/crash_${site}_client.log" 2>&1 \
+        || fail "campaign died with crash=$site armed serve-side: $(tail -5 "$work/crash_${site}_client.log")"
+    cmp "$work/ref.csv" "$work/crash_$site.csv" \
+        || fail "CSV diverged with crash=$site armed serve-side"
+    if [ -e "$work/crash_$site.fuse" ]; then
+        echo "    $site: crash fired, respawned, byte-identical"
+    else
+        echo "    $site: never reached hit $hit (vacuous), byte-identical"
+    fi
+    stop_serve
+done
+
+note "2: crash sweep over the client-side sites"
+for site in $sites; do
+    case "$site" in
+    client.*) ;;
+    *) continue ;;
+    esac
+    start_serve "$work/ccrash_${site}_cache" "" "ccrash_$site"
+    rc=0
+    if [ "$site" = "client.resume" ]; then
+        # The resume path only runs during an outage: kill -9 the
+        # serve mid-batch and restart it so the armed client actually
+        # reaches the site while reconnecting.
+        env EH_CHAOS="1:crash=${site}@1" \
+            EH_CHAOS_FUSE="$work/ccrash_$site.fuse" \
+            "$explore" campaign "${grid[@]}" --remote "$sock" \
+            --remote-retries 30 --csv "$work/ccrash_$site.csv" \
+            > "$work/ccrash_${site}_client.log" 2>&1 &
+        ccrash_pid=$!
+        sleep 0.4
+        kill -9 "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+        serve_pid=""
+        start_serve "$work/ccrash_${site}_cache" "" "ccrash_${site}_b"
+        wait "$ccrash_pid" || rc=$?
+    else
+        env EH_CHAOS="1:crash=${site}@1" \
+            EH_CHAOS_FUSE="$work/ccrash_$site.fuse" \
+            "$explore" campaign "${grid[@]}" --remote "$sock" \
+            --csv "$work/ccrash_$site.csv" \
+            > "$work/ccrash_${site}_client.log" 2>&1 || rc=$?
+    fi
+    if [ "$rc" -eq "$chaos_exit" ]; then
+        # The client died at the site; the rerun starts with the fuse
+        # burnt (disarmed) and completes from the durable store.
+        env EH_CHAOS="1:crash=${site}@1" \
+            EH_CHAOS_FUSE="$work/ccrash_$site.fuse" \
+            "$explore" campaign "${grid[@]}" --remote "$sock" \
+            --csv "$work/ccrash_$site.csv" \
+            > "$work/ccrash_${site}_rerun.log" 2>&1 \
+            || fail "rerun after client crash=$site failed: $(tail -5 "$work/ccrash_${site}_rerun.log")"
+        echo "    $site: client died (exit $chaos_exit), rerun completed"
+    elif [ "$rc" -eq 0 ]; then
+        echo "    $site: never fired (vacuous), campaign completed"
+    else
+        fail "client exited $rc (not 0 or $chaos_exit) with crash=$site"
+    fi
+    cmp "$work/ref.csv" "$work/ccrash_$site.csv" \
+        || fail "CSV diverged after client crash=$site"
+    stop_serve
+done
+
+note "3: broker kill -9 + restart mid-campaign"
+start_serve "$work/kill9_cache" "" "kill9_a"
+"$explore" campaign "${grid[@]}" --remote "$sock" \
+    --remote-retries 30 --csv "$work/kill9.csv" \
+    > "$work/kill9_client.log" 2>&1 &
+client_pid=$!
+sleep 0.4
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+# The old serve's workers are orphaned mid-reconnect; the fresh serve
+# reclaims the now-stale socket and its own workers drain the batch.
+start_serve "$work/kill9_cache" "" "kill9_b"
+wait "$client_pid" \
+    || fail "campaign did not survive the broker kill -9: $(tail -5 "$work/kill9_client.log")"
+cmp "$work/ref.csv" "$work/kill9.csv" \
+    || fail "CSV diverged after broker kill -9 + restart"
+if grep -q "rode out" "$work/kill9_client.log"; then
+    echo "    client resumed mid-batch: $(grep 'rode out' "$work/kill9_client.log" | tail -1)"
+else
+    echo "    (kill landed outside the batch window; identity still verified)"
+fi
+stop_serve
+
+note "4: ENOSPC at store.append is a clean error, not a crash"
+rc=0
+env EH_CHAOS="1:enospc=store.append@3" \
+    "$explore" campaign "${grid[@]}" \
+    --cache-dir "$work/enospc_cache" --csv "$work/enospc.csv" \
+    > "$work/enospc.log" 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || fail "campaign ignored an injected ENOSPC"
+[ "$rc" -ne "$chaos_exit" ] && [ "$rc" -lt 128 ] \
+    || fail "ENOSPC crashed the campaign (exit $rc) instead of a clean error"
+grep -qi "bytes" "$work/enospc.log" \
+    || fail "ENOSPC error does not name the bytes it needed: $(tail -5 "$work/enospc.log")"
+echo "    exit $rc: $(grep -i 'no space\|enospc\|store' "$work/enospc.log" | head -1)"
+
+note "5: a live broker's socket cannot be stolen"
+start_serve "$work/steal_cache" "" "steal_victim"
+rc=0
+"$explored" serve --socket "$sock" --cache-dir "$work/steal2_cache" \
+    > "$work/steal_thief.log" 2>&1 || rc=$?
+[ "$rc" -eq 5 ] \
+    || fail "second serve on a live socket exited $rc, want 5: $(tail -5 "$work/steal_thief.log")"
+"$explored" ping --socket "$sock" > /dev/null 2>&1 \
+    || fail "victim broker lost its socket to the refused thief"
+rc=0
+"$explored" serve --socket "$sock" --supervise 1 \
+    --cache-dir "$work/steal3_cache" \
+    > "$work/steal_thief_sup.log" 2>&1 || rc=$?
+[ "$rc" -eq 5 ] \
+    || fail "supervised serve on a live socket exited $rc, want 5"
+stop_serve
+
+note "6: randomized short-I/O + EINTR noise run"
+noise_seed="${CHAOS_NOISE_SEED:-$RANDOM$RANDOM}"
+echo "    noise seed: $noise_seed (replay: CHAOS_NOISE_SEED=$noise_seed)"
+env EH_CHAOS="$noise_seed:shortio=200,eintr=150" \
+    "$explored" serve --socket "$sock" \
+    --cache-dir "$work/noise_cache" --workers 2 \
+    > "$work/noise_serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do
+    "$explored" ping --socket "$sock" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+env EH_CHAOS="$noise_seed:shortio=200,eintr=150" \
+    "$explore" campaign "${grid[@]}" --remote "$sock" \
+    --csv "$work/noise.csv" > "$work/noise_client.log" 2>&1 \
+    || fail "campaign failed under I/O noise (seed $noise_seed): $(tail -5 "$work/noise_client.log")"
+cmp "$work/ref.csv" "$work/noise.csv" \
+    || fail "CSV diverged under I/O noise (seed $noise_seed)"
+stop_serve
+
+echo "chaos harness: all checks passed"

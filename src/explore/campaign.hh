@@ -107,6 +107,13 @@ struct CampaignConfig
      * jobTimeoutSeconds are broker-side concerns ignored in this mode.
      */
     std::string remoteSocket;
+
+    /**
+     * Remote mode only: reconnect attempts per broker outage before the
+     * client gives up mid-batch (svc::ClientConfig::resumeAttempts).
+     * 0 dies on the first disconnect. `--remote-retries` on the CLI.
+     */
+    unsigned remoteResumeAttempts = 8;
 };
 
 /** What one run() did, for reporting and assertions. */

@@ -1,6 +1,7 @@
 #include "explore/store.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "util/chaos.hh"
 #include "util/crc.hh"
 #include "util/fsio.hh"
 #include "util/log.hh"
@@ -86,15 +88,28 @@ fileOpenAppend(const std::string &path)
 #endif
 }
 
+/**
+ * Write all of @p len bytes; on failure @p errnoOut holds the errno
+ * (0 when the platform has no append path at all).
+ */
 bool
-fileWriteAll(int fd, const char *data, std::size_t len)
+fileWriteAll(int fd, const char *data, std::size_t len, int &errnoOut)
 {
+    errnoOut = 0;
 #ifndef _WIN32
+    // Chaos (docs/SERVICE.md): an armed `enospc=store.append@n` makes
+    // the n-th append fail exactly like a full disk would.
+    if (chaos::failPoint("store.append", errnoOut))
+        return false;
     std::size_t done = 0;
     while (done < len) {
         const ::ssize_t n = ::write(fd, data + done, len - done);
-        if (n < 0)
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            errnoOut = errno;
             return false;
+        }
         done += static_cast<std::size_t>(n);
     }
     return true;
@@ -646,9 +661,27 @@ SegmentStore::appendLocked(const StoreRecord &record)
             fsyncDir(root); // make the new segment's name durable
         }
         const std::string frame = encodeFrame(record);
-        if (!fileWriteAll(activeFd, frame.data(), frame.size()))
-            fatalf("append to store segment '",
-                   segmentPath(activeId), "' failed");
+        int err = 0;
+        if (!fileWriteAll(activeFd, frame.data(), frame.size(),
+                          err)) {
+            obs::metrics().counter("store.append_errors").add(1);
+            if (err == ENOSPC || err == EDQUOT) {
+                // Name the problem now, while the failing path and the
+                // shortfall are known — not later, when scan-resync
+                // quarantines the torn tail this write left behind.
+                throw StoreError(detail::concat(
+                    "fatal: cannot append to store segment '",
+                    segmentPath(activeId), "': ",
+                    std::strerror(err), " (", frame.size(),
+                    " more bytes needed; free space or move the "
+                    "store, then rerun — acknowledged records are "
+                    "intact and a torn tail is quarantined on the "
+                    "next open)"));
+            }
+            fatalf("append to store segment '", segmentPath(activeId),
+                   "' failed: ",
+                   err != 0 ? std::strerror(err) : "unknown error");
+        }
         activeBytes += frame.size();
         ++appendsSinceSync;
         if (config.fsyncEvery > 0 &&
@@ -845,9 +878,12 @@ SegmentStore::compactLocked()
             fatalf("cannot create '", tmp, "'");
         for (const auto &rec : live) {
             const std::string frame = encodeFrame(rec);
-            if (!fileWriteAll(fd, frame.data(), frame.size())) {
+            int err = 0;
+            if (!fileWriteAll(fd, frame.data(), frame.size(), err)) {
                 fileClose(fd);
-                fatalf("short write to '", tmp, "'");
+                fatalf("short write to '", tmp, "': ",
+                       err != 0 ? std::strerror(err)
+                                : "unknown error");
             }
         }
         if (!fsyncFd(fd)) {

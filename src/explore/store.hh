@@ -41,8 +41,23 @@
 #include <vector>
 
 #include "explore/job.hh"
+#include "util/panic.hh"
 
 namespace eh::explore {
+
+/**
+ * The store's append path hit an I/O error it can name precisely —
+ * today ENOSPC/EDQUOT on the active segment. Thrown instead of the
+ * generic fatal so callers (the broker, campaign drivers) and users
+ * see *which* file needs *how many* bytes at the moment of failure,
+ * not a scan-resync surprise on the next open. Derives FatalError, so
+ * the uniform exit-code policy (docs/ROBUSTNESS.md) still applies.
+ */
+class StoreError : public FatalError
+{
+  public:
+    explicit StoreError(const std::string &msg) : FatalError(msg) {}
+};
 
 /** Frame magic "EHF1" (little-endian u32) preceding every record. */
 constexpr std::uint32_t storeFrameMagic = 0x31464845u;

@@ -20,6 +20,7 @@
 #include "explore/cache.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "svc/chaos.hh"
 #include "svc/net.hh"
 #include "svc/proto.hh"
 #include "util/log.hh"
@@ -214,6 +215,14 @@ Broker::requestStop()
     [[maybe_unused]] const ssize_t n = ::write(wakeWrite, &byte, 1);
 }
 
+void
+Broker::requestDrain()
+{
+    drainFlag.store(true, std::memory_order_release);
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wakeWrite, &byte, 1);
+}
+
 std::string
 Broker::statsJson() const
 {
@@ -256,9 +265,11 @@ class BrokerLoop
   public:
     BrokerLoop(Broker::Impl &im_, BrokerCounters &stats_,
                const BrokerConfig &cfg_, int listenFd_, int wakeRead_,
-               std::atomic<bool> &stopFlag_)
+               std::atomic<bool> &stopFlag_,
+               std::atomic<bool> &drainFlag_)
         : im(im_), stats(stats_), cfg(cfg_), listenFd(listenFd_),
-          wakeRead(wakeRead_), stopFlag(stopFlag_)
+          wakeRead(wakeRead_), stopFlag(stopFlag_),
+          drainFlag(drainFlag_)
     {
     }
 
@@ -274,6 +285,7 @@ class BrokerLoop
     int listenFd;
     int wakeRead;
     std::atomic<bool> &stopFlag;
+    std::atomic<bool> &drainFlag;
 
     void acceptPeers();
     void handleReadable(int fd);
@@ -331,6 +343,14 @@ BrokerLoop::serve()
         }
         if (stopFlag.load(std::memory_order_acquire))
             break;
+        if (drainFlag.load(std::memory_order_acquire) &&
+            !im.draining) {
+            // Signal-driven twin of the admin Drain message: finish
+            // pending leases, reject new batches, then exit run().
+            im.draining = true;
+            inform("svc: graceful drain requested; finishing ",
+                   im.jobs.size(), " pending cell(s)");
+        }
         if (pfds[1].revents & POLLIN)
             acceptPeers();
         for (std::size_t k = 0; k < roundFds.size(); ++k) {
@@ -620,6 +640,7 @@ BrokerLoop::handleSubmit(int fd, const Message &msg)
     ack.count = static_cast<std::uint32_t>(msg.jobs.size());
     ack.text = store->cache->path();
     sendMsg(fd, ack);
+    chaos::point(sites::brokerSubmitAck);
 
     const bool retryFailed = msg.retryFailed != 0;
     const unsigned maxAttempts = msg.maxAttempts > 0 ? msg.maxAttempts : 1;
@@ -700,6 +721,7 @@ BrokerLoop::handleResult(int fd, const Message &msg)
         conn.held.find(msg.leaseId) == conn.held.end()) {
         return; // stale lease (e.g. re-dispatched after a false death)
     }
+    chaos::point(sites::brokerResultRecv);
     const std::string key = lit->second;
     im.leases.erase(lit);
     conn.held.erase(msg.leaseId);
@@ -740,6 +762,10 @@ BrokerLoop::finishJob(const std::string &key, JobEntry &entry,
         sit->second.quarantine->recordFailureCanonical(entry.canonical);
     sit->second.cache->segments().append(
         {entry.canonical, entry.hash, entry.seed, verdict});
+    // The gap this site arms is the interesting one: the record is
+    // durable but no waiter has heard — recovery must serve it as a
+    // store hit after resume, never re-execute it.
+    chaos::point(sites::brokerResultPersisted);
     notifyWaiters(entry, verdict);
     im.jobs.erase(key);
 }
@@ -843,6 +869,7 @@ BrokerLoop::pump()
             ref.canonical = entry.canonical;
             grant.jobs.push_back(std::move(ref));
             sendMsg(fd, grant);
+            chaos::point(sites::brokerLeaseGrant);
             bump("svc.broker.leases", stats.leases);
         }
     }
@@ -1023,7 +1050,8 @@ Broker::run()
 {
     inform("svc: broker pid=", ::getpid(), " listening on ",
            cfg.socketPath, " (store dir ", im->cacheDir, ")");
-    BrokerLoop loop(*im, stats, cfg, listenFd, wakeRead, stopFlag);
+    BrokerLoop loop(*im, stats, cfg, listenFd, wakeRead, stopFlag,
+                    drainFlag);
     loop.renderStats = [this] { return statsJson(); };
     loop.serve();
     // Seal and close every open store before the fds go away.

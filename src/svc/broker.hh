@@ -103,6 +103,15 @@ class Broker
     /** Async-signal-safe stop request (self-pipe write). */
     void requestStop();
 
+    /**
+     * Async-signal-safe graceful-drain request (atomic flag + self-pipe
+     * write): the broker finishes every pending lease, rejects new
+     * batches, notifies workers, then run() returns — the same path an
+     * admin `Drain` message takes. SIGTERM handlers call this first and
+     * escalate to requestStop() on a second signal.
+     */
+    void requestDrain();
+
     /** Counters snapshot. Call from the run() thread or after run(). */
     const BrokerCounters &counters() const { return stats; }
 
@@ -123,6 +132,7 @@ class Broker
     int wakeRead = -1;
     int wakeWrite = -1;
     std::atomic<bool> stopFlag{false};
+    std::atomic<bool> drainFlag{false};
 };
 
 } // namespace eh::svc

@@ -1,0 +1,32 @@
+#include "svc/chaos.hh"
+
+namespace eh::svc {
+
+namespace {
+
+constexpr const char *allSites[] = {
+    sites::netSend,
+    sites::netRecv,
+    sites::protoFrame,
+    sites::clientSubmitSent,
+    sites::clientOutcomeRecv,
+    sites::clientResume,
+    sites::brokerSubmitAck,
+    sites::brokerLeaseGrant,
+    sites::brokerResultRecv,
+    sites::brokerResultPersisted,
+    sites::workerLeaseRecv,
+    sites::workerResultSend,
+    sites::storeAppend,
+};
+
+} // namespace
+
+const char *const *
+chaosSites(std::size_t &count)
+{
+    count = sizeof(allSites) / sizeof(allSites[0]);
+    return allSites;
+}
+
+} // namespace eh::svc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The exploration service's chaos-site registry (docs/SERVICE.md).
+ * The generic fault-injection engine lives in util/chaos.hh — this
+ * header names every site the service stack instruments, so the chaos
+ * harness (scripts/chaos_harness.sh), `eh_explored chaos-sites`, and
+ * the docs all agree on one list.
+ *
+ * Site naming: `<who>.<operation>[.<moment>]`, where `who` is the role
+ * whose process hits the site. Arming `crash=broker.result.recv@3` in
+ * a broker's environment kills that broker the third time it receives
+ * a worker result; the same spec in a client's environment does
+ * nothing, because client code never hits broker sites. The shared
+ * `net.*` / `proto.*` sites fire in whichever process performs the
+ * I/O, so they crash "whoever you armed" mid-frame.
+ */
+
+#ifndef EH_SVC_CHAOS_HH
+#define EH_SVC_CHAOS_HH
+
+#include <cstddef>
+
+#include "util/chaos.hh"
+
+namespace eh::svc::sites {
+
+// Shared wire plumbing (fires in the process doing the I/O).
+constexpr const char *netSend = "net.send";
+constexpr const char *netRecv = "net.recv";
+constexpr const char *protoFrame = "proto.frame.decoded";
+
+// Client (eh_explore campaign --remote).
+constexpr const char *clientSubmitSent = "client.submit.sent";
+constexpr const char *clientOutcomeRecv = "client.outcome.recv";
+constexpr const char *clientResume = "client.resume";
+
+// Broker (eh_explored serve).
+constexpr const char *brokerSubmitAck = "broker.submit.ack";
+constexpr const char *brokerLeaseGrant = "broker.lease.grant";
+constexpr const char *brokerResultRecv = "broker.result.recv";
+constexpr const char *brokerResultPersisted =
+    "broker.result.persisted";
+
+// Worker (eh_explored worker).
+constexpr const char *workerLeaseRecv = "worker.lease.recv";
+constexpr const char *workerResultSend = "worker.result.send";
+
+// Durable store append path (fires in whichever process appends —
+// the broker in service mode, the campaign process in-process).
+constexpr const char *storeAppend = "store.append";
+
+} // namespace eh::svc::sites
+
+namespace eh::svc {
+
+/** Every registered site name, for `eh_explored chaos-sites`. */
+const char *const *chaosSites(std::size_t &count);
+
+} // namespace eh::svc
+
+#endif // EH_SVC_CHAOS_HH

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #ifdef _WIN32
 #define EH_STDERR_IS_TTY() false
@@ -12,14 +13,47 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "svc/chaos.hh"
+#include "util/hash.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
 
 namespace eh::svc {
 
+unsigned
+clientResumeDelayMs(const ClientConfig &cfg, std::uint64_t sessionSeed,
+                    unsigned outage, unsigned attempt)
+{
+    const unsigned base = cfg.backoffBaseMs > 0 ? cfg.backoffBaseMs : 1;
+    std::uint64_t expo = base;
+    for (unsigned k = 0; k < attempt && expo < cfg.backoffCapMs; ++k)
+        expo <<= 1;
+    if (expo > cfg.backoffCapMs)
+        expo = cfg.backoffCapMs;
+    const std::uint64_t jitter =
+        hashMix(sessionSeed ^
+                ((static_cast<std::uint64_t>(outage) << 32) |
+                 (attempt + 1u))) %
+        base;
+    return static_cast<unsigned>(expo + jitter);
+}
+
 Client::Client(const std::string &socketPath, int timeout_ms)
 {
-    conn.connect(socketPath, timeout_ms);
+    cfg.socketPath = socketPath;
+    cfg.connectTimeoutMs = timeout_ms;
+    connectAndShake();
+}
+
+Client::Client(ClientConfig config) : cfg(std::move(config))
+{
+    connectAndShake();
+}
+
+void
+Client::connectAndShake()
+{
+    conn.connect(cfg.socketPath, cfg.connectTimeoutMs);
     conn.handshake(PeerRole::Client);
 }
 
@@ -28,27 +62,50 @@ Client::submit(const BatchOptions &options,
                const std::vector<explore::JobSpec> &specs)
 {
     EH_ASSERT(expected == 0, "Client::submit may be called once");
-    Message msg;
-    msg.type = MsgType::SubmitBatch;
-    msg.text = options.name;
-    msg.seed = options.seed;
-    msg.maxAttempts = options.maxAttempts;
-    msg.retryFailed = options.retryFailed ? 1 : 0;
-    msg.fresh = options.fresh ? 1 : 0;
-    msg.quarantineAfter = options.quarantineAfter;
-    msg.jobs.reserve(specs.size());
+    opts = options;
+    refs.reserve(specs.size());
     for (const explore::JobSpec &spec : specs) {
         JobRef ref;
         ref.canonical = spec.canonical();
         ref.hash = spec.hash();
-        msg.jobs.push_back(std::move(ref));
+        refs.push_back(std::move(ref));
+    }
+    expected = refs.size();
+    resolved.assign(expected, false);
+    // Jitter stream identity: stable for a given (seed, name) batch, so
+    // a test rerun reproduces the exact resume schedule, but distinct
+    // campaigns spread out.
+    sessionSeed = hashMix(opts.seed ^ contentHash(opts.name));
+    if (!submitUnresolved())
+        resume(); // resubmits (the whole batch — nothing resolved yet)
+    obs::metrics().counter("svc.client.batches").add(1);
+    return expected;
+}
+
+bool
+Client::submitUnresolved()
+{
+    Message msg;
+    msg.type = MsgType::SubmitBatch;
+    msg.text = opts.name;
+    msg.seed = opts.seed;
+    msg.maxAttempts = opts.maxAttempts;
+    msg.retryFailed = opts.retryFailed ? 1 : 0;
+    msg.fresh = opts.fresh ? 1 : 0;
+    msg.quarantineAfter = opts.quarantineAfter;
+    map.clear();
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (resolved[i])
+            continue;
+        msg.jobs.push_back(refs[i]);
+        map.push_back(static_cast<std::uint32_t>(i));
     }
     Message reply;
-    if (!conn.send(msg) || !conn.recv(reply)) {
-        throw ConnectionError(
-            "fatal: connection to the broker died during batch "
-            "submission");
-    }
+    if (!conn.send(msg))
+        return false;
+    chaos::point(sites::clientSubmitSent);
+    if (!conn.recv(reply))
+        return false;
     if (reply.type == MsgType::Reject) {
         throw ConnectionError(detail::concat(
             "fatal: broker rejected the batch (",
@@ -59,11 +116,54 @@ Client::submit(const BatchOptions &options,
         throw ConnectionError(
             "fatal: broker sent an unexpected reply to SubmitBatch");
     }
+    EH_ASSERT(reply.count == map.size(),
+              "broker acknowledged a different cell count than "
+              "submitted");
     batchId = reply.batchId;
-    expected = reply.count;
-    ackStorePath = reply.text;
-    obs::metrics().counter("svc.client.batches").add(1);
-    return expected;
+    if (ackStorePath.empty())
+        ackStorePath = reply.text;
+    return true;
+}
+
+void
+Client::resume()
+{
+    conn.close();
+    if (cfg.resumeAttempts == 0) {
+        throw ConnectionError(detail::concat(
+            "fatal: lost the broker with ", expected - received, " of ",
+            expected, " outcomes still pending (resume disabled)"));
+    }
+    const unsigned outage = resumeCount;
+    for (unsigned attempt = 0; attempt < cfg.resumeAttempts; ++attempt) {
+        const unsigned delay =
+            clientResumeDelayMs(cfg, sessionSeed, outage, attempt);
+        warn("svc: broker connection lost with ", expected - received,
+             " outcome(s) pending; resuming in ", delay, " ms (attempt ",
+             attempt + 1, "/", cfg.resumeAttempts, ")");
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        try {
+            connectAndShake();
+        } catch (const HandshakeError &) {
+            throw; // permanent: a different protocol answered
+        } catch (const ConnectionError &) {
+            continue; // broker still down / mid-restart
+        }
+        chaos::point(sites::clientResume);
+        if (!submitUnresolved()) {
+            conn.close(); // died again mid-resubmit; burn an attempt
+            continue;
+        }
+        ++resumeCount;
+        obs::metrics().counter("svc.client.resumes").add(1);
+        inform("svc: session resumed; resubmitted ", map.size(),
+               " unresolved cell(s)");
+        return;
+    }
+    throw ConnectionError(detail::concat(
+        "fatal: lost the broker with ", expected - received, " of ",
+        expected, " outcomes still pending; gave up after ",
+        cfg.resumeAttempts, " resume attempt(s)"));
 }
 
 bool
@@ -72,14 +172,20 @@ Client::nextOutcome(Outcome &out)
     while (received < expected) {
         Message msg;
         if (!conn.recv(msg)) {
-            throw ConnectionError(detail::concat(
-                "fatal: lost the broker with ", expected - received,
-                " of ", expected, " outcomes still pending"));
+            resume(); // throws once the budget is exhausted
+            continue;
         }
         if (msg.type != MsgType::ClientResult || msg.batchId != batchId)
             continue; // stray frame for another subscription
+        if (msg.index >= map.size())
+            continue; // out-of-range index from a confused peer
+        const std::uint32_t original = map[msg.index];
+        if (resolved[original])
+            continue; // duplicate across a resume; first answer stands
+        resolved[original] = true;
         ++received;
-        out.index = msg.index;
+        chaos::point(sites::clientOutcomeRecv);
+        out.index = original;
         out.cached = msg.cached != 0;
         out.result = fromWire(msg.result);
         obs::metrics().counter("svc.client.results").add(1);
@@ -102,7 +208,10 @@ runCampaign(const explore::CampaignConfig &config,
     const bool traced = obs::traceEnabled(obs::Category::Service);
     const std::uint64_t t0 = traced ? obs::trace().nowNanos() : 0;
 
-    Client client(config.remoteSocket);
+    ClientConfig clientCfg;
+    clientCfg.socketPath = config.remoteSocket;
+    clientCfg.resumeAttempts = config.remoteResumeAttempts;
+    Client client(clientCfg);
     BatchOptions options;
     options.name = config.name;
     options.seed = config.seed;
@@ -152,6 +261,7 @@ runCampaign(const explore::CampaignConfig &config,
                       config.name.c_str(), finished, total, hits, eta);
         statusLine(line, last);
     }
+    run.resumes = client.resumes();
 
     explore::CampaignReport &report = run.report;
     report.total = total;

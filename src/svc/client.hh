@@ -9,6 +9,17 @@
  * submission-order results, same cache/quarantine semantics (enforced
  * broker-side), same CampaignReport accounting — so a campaign's CSV
  * is byte-identical whether it ran in-process or through a broker.
+ *
+ * Session resume: the client rides out broker death. When the
+ * connection dies mid-batch, nextOutcome() reconnects with capped
+ * exponential backoff plus deterministic jitter and resubmits *only
+ * the still-unresolved cells*. The retry is idempotent by
+ * construction — completed cells are durable in the broker's segment
+ * store (served back as hits), and cells still executing dedup against
+ * the restarted broker's in-flight table by content hash — so a
+ * `kill -9` of the broker plus a restart yields the same results, in
+ * the same submission order, byte for byte (proved by
+ * tests/test_svc.cc and scripts/chaos_harness.sh).
  */
 
 #ifndef EH_SVC_CLIENT_HH
@@ -35,21 +46,58 @@ struct BatchOptions
     unsigned quarantineAfter = 3;
 };
 
-/** A connected campaign client. */
+/** Connection + session-resume knobs. */
+struct ClientConfig
+{
+    /** Broker socket to connect to. */
+    std::string socketPath;
+
+    /** Per-connect timeout (covers a broker's startup window). */
+    int connectTimeoutMs = 5000;
+
+    /**
+     * Reconnect attempts per outage before giving up with
+     * ConnectionError; 0 restores the legacy die-on-disconnect
+     * behaviour. Attempt k waits backoffBaseMs·2^k (capped at
+     * backoffCapMs) plus a deterministic jitter seeded from the batch
+     * (seed, name, outage, attempt) — reproducible in tests, yet two
+     * campaigns never hammer a restarting broker in lockstep.
+     */
+    unsigned resumeAttempts = 8;
+    unsigned backoffBaseMs = 50;
+    unsigned backoffCapMs = 2000;
+};
+
+/**
+ * Pure backoff schedule for client resume attempt @p attempt (0-based)
+ * of outage number @p outage: capped exponential plus deterministic
+ * jitter in [0, backoffBaseMs). Exposed so tests pin the schedule.
+ */
+unsigned clientResumeDelayMs(const ClientConfig &cfg,
+                             std::uint64_t sessionSeed,
+                             unsigned outage, unsigned attempt);
+
+/** A connected campaign client (one batch session; see file comment). */
 class Client
 {
   public:
     /**
-     * Connect to the broker at @p socketPath and shake hands.
+     * Connect to the broker at @p socketPath and shake hands, with
+     * default resume behaviour.
      * @throws ConnectionError / HandshakeError (docs/ROBUSTNESS.md).
      */
     explicit Client(const std::string &socketPath,
                     int timeout_ms = 5000);
 
+    /** Same, with explicit connection/resume configuration. */
+    explicit Client(ClientConfig config);
+
     /**
      * Submit @p specs as one batch. Returns the number of outcomes the
-     * broker will stream back (== specs.size()).
-     * @throws ConnectionError when the broker refuses or disappears.
+     * broker will stream back (== specs.size()). The specs' canonical
+     * forms are retained for session resume.
+     * @throws ConnectionError when the broker refuses or disappears
+     *         and the resume budget is exhausted.
      */
     std::size_t submit(const BatchOptions &options,
                        const std::vector<explore::JobSpec> &specs);
@@ -66,17 +114,35 @@ class Client
     };
 
     /**
-     * Receive the next outcome. Returns false once every submitted
-     * cell's outcome has been received.
-     * @throws ConnectionError when the stream dies mid-batch.
+     * Receive the next outcome (indices refer to the original
+     * submission order, across any resumes). Returns false once every
+     * submitted cell's outcome has been received.
+     * @throws ConnectionError when the stream dies mid-batch and
+     *         cannot be resumed within the configured budget.
      */
     bool nextOutcome(Outcome &out);
 
+    /** Completed reconnect-and-resubmit cycles so far. */
+    unsigned resumes() const { return resumeCount; }
+
   private:
+    void connectAndShake();
+    /** (Re)submit the unresolved cells. False = stream died again. */
+    bool submitUnresolved();
+    /** Reconnect + resubmit with backoff; throws when exhausted. */
+    void resume();
+
+    ClientConfig cfg;
     FrameConn conn;
+    BatchOptions opts;
+    std::vector<JobRef> refs;        ///< original submission order
+    std::vector<bool> resolved;      ///< per original index
+    std::vector<std::uint32_t> map;  ///< batch index → original index
     std::uint64_t batchId = 0;
+    std::uint64_t sessionSeed = 0;   ///< jitter stream identity
     std::size_t expected = 0;
     std::size_t received = 0;
+    unsigned resumeCount = 0;
     std::string ackStorePath;
 };
 
@@ -85,6 +151,7 @@ struct RemoteRun
 {
     std::vector<explore::JobResult> results; ///< submission order
     explore::CampaignReport report;
+    unsigned resumes = 0; ///< broker outages ridden out mid-batch
 };
 
 /**
@@ -92,6 +159,7 @@ struct RemoteRun
  * service-mode twin of Campaign::run(); see the file comment).
  * config.jobs/jobTimeoutSeconds/cacheDir are broker-side concerns and
  * ignored here; a nonzero jobTimeoutSeconds warns once.
+ * config.remoteResumeAttempts bounds the per-outage reconnect budget.
  */
 RemoteRun runCampaign(const explore::CampaignConfig &config,
                       const std::vector<explore::JobSpec> &specs);

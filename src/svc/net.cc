@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "svc/chaos.hh"
 #include "util/panic.hh"
 
 namespace eh::svc {
@@ -33,10 +34,38 @@ unixAddr(const std::string &path)
 
 } // namespace
 
+bool
+socketHasListener(const std::string &path)
+{
+    const sockaddr_un addr = unixAddr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        throw ConnectionError(detail::concat(
+            "fatal: cannot create probe socket: ",
+            std::strerror(errno)));
+    }
+    const bool alive =
+        ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) == 0;
+    ::close(fd);
+    return alive;
+}
+
 int
 listenUnix(const std::string &path)
 {
     const sockaddr_un addr = unixAddr(path);
+    // Takeover guard: a socket file with a live listener behind it
+    // belongs to a running broker — binding here would silently steal
+    // every future connect from it. Probe first; only a dead socket
+    // (connect refused: the old owner is gone but its file remains)
+    // may be unlinked and reused.
+    if (socketHasListener(path)) {
+        throw SocketBusyError(detail::concat(
+            "fatal: a live broker already listens on '", path,
+            "'; refusing to take over its socket (stop it first, or "
+            "use a different --socket path)"));
+    }
     // Non-blocking: the broker's accept loop drains until EAGAIN and
     // must never block the poll loop inside accept4().
     const int fd = ::socket(
@@ -97,11 +126,18 @@ sendAll(int fd, const std::string &bytes)
 {
     std::size_t sent = 0;
     while (sent < bytes.size()) {
+        // Chaos: counted site (crash= here dies mid-frame, leaving a
+        // truncated frame on the wire), short-write clamping, and
+        // simulated EINTR storms exercise the partial-send loop.
+        chaos::point(sites::netSend);
+        if (chaos::spuriousEintr(sites::netSend))
+            continue;
+        const std::size_t want =
+            chaos::clampIo(sites::netSend, bytes.size() - sent);
         // MSG_NOSIGNAL: a peer that died mid-send must surface as EPIPE,
         // not kill the process with SIGPIPE.
         const ssize_t n =
-            ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                   MSG_NOSIGNAL);
+            ::send(fd, bytes.data() + sent, want, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -212,8 +248,15 @@ FrameConn::recv(Message &out, int timeout_ms, bool *timed_out)
                 *timed_out = true;
             return false;
         }
+        // Chaos: counted site (crash= here dies with bytes readable
+        // but unconsumed), plus short-read clamping and simulated
+        // EINTR storms exercising the reassembly loop.
+        chaos::point(sites::netRecv);
+        if (chaos::spuriousEintr(sites::netRecv))
+            continue;
         char chunk[4096];
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        const ssize_t n = ::read(
+            fd, chunk, chaos::clampIo(sites::netRecv, sizeof(chunk)));
         if (n < 0 && errno == EINTR)
             continue;
         if (n <= 0) { // EOF or error: the peer is gone

@@ -22,11 +22,21 @@
 namespace eh::svc {
 
 /**
+ * True when a live listener answers a connect() probe at @p path.
+ * Distinguishes a running broker (probe succeeds) from a stale socket
+ * file left by a killed one (ECONNREFUSED) or no socket at all.
+ * @throws ConnectionError when the probe socket cannot be created.
+ */
+bool socketHasListener(const std::string &path);
+
+/**
  * Create, bind and listen on a Unix-domain stream socket at @p path.
- * An existing socket file at @p path is unlinked first (a stale socket
- * from a killed broker would otherwise block every restart; an *alive*
- * broker still holds its listen fd, so its clients finish, but new
- * connects go to the new broker — don't run two brokers on one path).
+ * The path is probed first: a *live* broker there is never hijacked —
+ * only a stale socket file (its owner is dead, so connects are
+ * refused) is unlinked before binding, making broker restarts safe
+ * and double-starts loud.
+ * @throws SocketBusyError when a live broker already owns @p path
+ *         (exit code 5, docs/ROBUSTNESS.md).
  * @throws ConnectionError on socket/bind/listen failure or an
  *         over-long path (sun_path limit).
  */

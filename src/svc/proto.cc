@@ -1,5 +1,6 @@
 #include "svc/proto.hh"
 
+#include "svc/chaos.hh"
 #include "util/crc.hh"
 #include "util/fsio.hh"
 #include "util/panic.hh"
@@ -351,6 +352,10 @@ FrameReader::next(std::string &payload, std::string *why)
     }
     payload.assign(buf, cursor, length);
     at = cursor + length;
+    // Chaos: counted per decoded frame, so `crash=proto.frame.decoded@k`
+    // kills the armed process right after its k-th complete frame —
+    // between a message landing and the code above it reacting.
+    chaos::point(sites::protoFrame);
     return Status::Frame;
 }
 

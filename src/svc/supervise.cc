@@ -1,0 +1,182 @@
+#include "svc/supervise.hh"
+
+#include <csignal>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "util/log.hh"
+#include "util/panic.hh"
+
+namespace eh::svc {
+
+unsigned
+supervisorRespawnDelayMs(const SupervisorConfig &cfg, unsigned respawns)
+{
+    const unsigned base = cfg.backoffBaseMs > 0 ? cfg.backoffBaseMs : 1;
+    std::uint64_t delay = base;
+    for (unsigned k = 0; k < respawns && delay < cfg.backoffCapMs; ++k)
+        delay <<= 1;
+    if (delay > cfg.backoffCapMs)
+        delay = cfg.backoffCapMs;
+    return static_cast<unsigned>(delay);
+}
+
+Supervisor::Supervisor(SupervisorConfig config) : cfg(config) {}
+
+void
+Supervisor::forkChild(Child &child)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (child.respawns == 0) {
+            fatalf("fork failed while spawning '", child.name, "'");
+        }
+        // A respawn fork can fail transiently (EAGAIN under pressure);
+        // leave it pending and let the next poll() retry after backoff.
+        child.pendingRespawn = true;
+        child.dueAt = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(
+                          supervisorRespawnDelayMs(cfg, child.respawns));
+        warn("svc: fork failed respawning '", child.name,
+             "'; will retry");
+        return;
+    }
+    if (pid == 0) {
+        // The parent's handlers (drain-on-SIGTERM etc.) must not leak
+        // into the child — it gets the defaults back and decides for
+        // itself. SIGPIPE stays ignored: every child talks sockets.
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGCHLD, SIG_DFL);
+        std::signal(SIGPIPE, SIG_IGN);
+        int rc = exitInternalError;
+        try {
+            rc = child.main();
+        } catch (const std::exception &e) {
+            // Minimal reporting; the supervisor sees the exit status.
+            warn("svc: child '", child.name, "' died on exception: ",
+                 e.what());
+        } catch (...) {
+        }
+        ::_exit(rc);
+    }
+    child.pid = pid;
+    child.alive = true;
+    child.pendingRespawn = false;
+}
+
+std::size_t
+Supervisor::spawn(std::string name, ChildMain main, bool respawn)
+{
+    Child child;
+    child.name = std::move(name);
+    child.main = std::move(main);
+    child.respawnable = respawn;
+    kids.push_back(std::move(child));
+    forkChild(kids.back());
+    return kids.size() - 1;
+}
+
+std::size_t
+Supervisor::poll()
+{
+    // Reap everything that died since the last poll.
+    for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            break;
+        for (Child &child : kids) {
+            if (!child.alive || child.pid != pid)
+                continue;
+            child.alive = false;
+            child.lastStatus = status;
+            const bool clean =
+                WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            if (clean) {
+                inform("svc: child '", child.name, "' (pid ", pid,
+                       ") exited cleanly");
+                break; // done, never respawned
+            }
+            obs::metrics().counter("svc.supervisor.deaths").add(1);
+            if (!child.respawnable || drainMode) {
+                warn("svc: child '", child.name, "' (pid ", pid,
+                     ") died (status ", status, "); not respawning");
+                break;
+            }
+            if (child.respawns >= cfg.respawnLimit) {
+                child.gaveUp = true;
+                warn("svc: child '", child.name, "' (pid ", pid,
+                     ") died (status ", status, ") and exhausted its ",
+                     cfg.respawnLimit, " respawn(s); giving up on it");
+                break;
+            }
+            const unsigned delay =
+                supervisorRespawnDelayMs(cfg, child.respawns);
+            child.pendingRespawn = true;
+            child.dueAt = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(delay);
+            warn("svc: child '", child.name, "' (pid ", pid,
+                 ") died (status ", status, "); respawn ",
+                 child.respawns + 1, "/", cfg.respawnLimit, " in ",
+                 delay, " ms");
+            break;
+        }
+    }
+
+    // Execute respawns whose backoff has elapsed.
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t busy = 0;
+    for (Child &child : kids) {
+        if (child.pendingRespawn && !drainMode && now >= child.dueAt) {
+            ++child.respawns;
+            obs::metrics().counter("svc.supervisor.respawns").add(1);
+            forkChild(child);
+        }
+        if (drainMode)
+            child.pendingRespawn = false;
+        if (child.alive || child.pendingRespawn)
+            ++busy;
+    }
+    return busy;
+}
+
+void
+Supervisor::signalAll(int signo)
+{
+    for (const Child &child : kids) {
+        if (child.alive && child.pid > 0)
+            ::kill(child.pid, signo);
+    }
+}
+
+std::vector<Supervisor::ChildView>
+Supervisor::children() const
+{
+    std::vector<ChildView> out;
+    out.reserve(kids.size());
+    for (const Child &child : kids) {
+        ChildView view;
+        view.name = child.name;
+        view.pid = child.pid;
+        view.alive = child.alive;
+        view.respawns = child.respawns;
+        view.gaveUp = child.gaveUp;
+        view.lastStatus = child.lastStatus;
+        out.push_back(std::move(view));
+    }
+    return out;
+}
+
+std::size_t
+Supervisor::alive() const
+{
+    std::size_t n = 0;
+    for (const Child &child : kids)
+        n += child.alive ? 1 : 0;
+    return n;
+}
+
+} // namespace eh::svc

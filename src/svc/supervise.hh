@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Child-process supervision for `eh_explored serve` (docs/SERVICE.md,
+ * docs/ROBUSTNESS.md): fork named children, reap them with waitpid
+ * instead of SIG_IGN'ing SIGCHLD, and respawn crashed ones under an
+ * explicit budget with exponential backoff. A child that exits cleanly
+ * (status 0) is *done* — only abnormal deaths (non-zero exit, signals,
+ * kill -9) are respawned, and never once the supervisor is draining.
+ *
+ * The supervisor is single-threaded and poll-driven: the owner calls
+ * poll() periodically; nothing happens from signal context. It reaps
+ * with waitpid(-1, …), so it expects to own every child of the calling
+ * process — the eh_explored serve process is exactly that shape.
+ */
+
+#ifndef EH_SVC_SUPERVISE_HH
+#define EH_SVC_SUPERVISE_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace eh::svc {
+
+/** Supervision knobs. */
+struct SupervisorConfig
+{
+    /**
+     * Abnormal deaths one child survives before the supervisor gives
+     * up on it (the child stays down, siblings keep running). The
+     * budget is per child and never replenishes — a worker crashing on
+     * every lease must not flap forever.
+     */
+    unsigned respawnLimit = 5;
+
+    /** Respawn k waits backoffBaseMs·2^k, capped at backoffCapMs. */
+    unsigned backoffBaseMs = 100;
+    unsigned backoffCapMs = 5000;
+};
+
+/**
+ * Pure backoff schedule before respawn number @p respawns (0-based).
+ * Exposed so tests pin the schedule.
+ */
+unsigned supervisorRespawnDelayMs(const SupervisorConfig &cfg,
+                                  unsigned respawns);
+
+/** Forks, reaps, and respawns a set of named children. */
+class Supervisor
+{
+  public:
+    /**
+     * Runs in the forked child; its return value becomes the child's
+     * exit status. The child never returns to the caller's stack —
+     * it _exit()s, skipping the parent's atexit machinery.
+     */
+    using ChildMain = std::function<int()>;
+
+    explicit Supervisor(SupervisorConfig config = {});
+
+    /**
+     * Fork a child named @p name running @p main. With @p respawn, an
+     * abnormal death is respawned per the budget; without, any death
+     * is final. Returns the child's stable slot index.
+     * @throws FatalError when fork(2) fails at first spawn.
+     */
+    std::size_t spawn(std::string name, ChildMain main, bool respawn);
+
+    /**
+     * Reap every dead child (waitpid WNOHANG), schedule/execute due
+     * respawns, and return the number of children still live or
+     * pending a respawn — 0 means the flock is finished. Call from
+     * the owning loop, not from a signal handler.
+     */
+    std::size_t poll();
+
+    /** Stop respawning; running children are left alone. */
+    void drain() { drainMode = true; }
+    bool draining() const { return drainMode; }
+
+    /** Signal every live child (e.g. SIGTERM on shutdown). */
+    void signalAll(int signo);
+
+    /** One child's state, for status displays and tests. */
+    struct ChildView
+    {
+        std::string name;
+        pid_t pid = -1;      ///< last known pid (-1 before first fork)
+        bool alive = false;
+        unsigned respawns = 0; ///< budget consumed so far
+        bool gaveUp = false;   ///< budget exhausted; stays down
+        int lastStatus = 0;    ///< raw waitpid status of the last death
+    };
+    std::vector<ChildView> children() const;
+
+    /** Live children right now (no respawn accounting). */
+    std::size_t alive() const;
+
+  private:
+    struct Child
+    {
+        std::string name;
+        ChildMain main;
+        pid_t pid = -1;
+        bool respawnable = false;
+        bool alive = false;
+        bool pendingRespawn = false;
+        bool gaveUp = false;
+        unsigned respawns = 0;
+        int lastStatus = 0;
+        std::chrono::steady_clock::time_point dueAt{};
+    };
+
+    void forkChild(Child &child);
+
+    SupervisorConfig cfg;
+    std::vector<Child> kids;
+    bool drainMode = false;
+};
+
+} // namespace eh::svc
+
+#endif // EH_SVC_SUPERVISE_HH

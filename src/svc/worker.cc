@@ -9,11 +9,36 @@
 #include "explore/tasks.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "svc/chaos.hh"
 #include "svc/net.hh"
+#include "util/hash.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
 
 namespace eh::svc {
+
+unsigned
+workerReconnectDelayMs(const WorkerConfig &cfg, unsigned attempt)
+{
+    const unsigned base = cfg.reconnectBackoffMs > 0
+                              ? cfg.reconnectBackoffMs
+                              : 1;
+    // Cap the shift before shifting: 2^31 ms would overflow long
+    // before the cap could clamp it.
+    std::uint64_t expo = base;
+    for (unsigned k = 0; k < attempt && expo < cfg.reconnectBackoffMaxMs;
+         ++k) {
+        expo <<= 1;
+    }
+    if (expo > cfg.reconnectBackoffMaxMs)
+        expo = cfg.reconnectBackoffMaxMs;
+    // Deterministic jitter: same (id, attempt) → same wait, but two
+    // workers with different ids never share a schedule, which is the
+    // whole point — no thundering herd on the respawned broker.
+    const std::uint64_t jitter =
+        hashMix(cfg.id * 0x9e3779b97f4a7c15ull ^ (attempt + 1)) % base;
+    return static_cast<unsigned>(expo + jitter);
+}
 
 Worker::Worker(WorkerConfig config, Evaluator eval)
     : cfg(std::move(config)), evaluator(std::move(eval))
@@ -59,11 +84,36 @@ std::uint64_t
 Worker::run()
 {
     std::uint64_t evaluated = 0;
-    unsigned reconnectsLeft = cfg.reconnectAttempts;
+    unsigned failedAttempts = 0;
     while (!stopFlag.load(std::memory_order_acquire)) {
         FrameConn conn;
-        conn.connect(cfg.socketPath);
-        conn.handshake(PeerRole::Worker); // throws on version mismatch
+        try {
+            conn.connect(cfg.socketPath);
+            conn.handshake(PeerRole::Worker); // HandshakeError is
+                                              // permanent: propagate
+        } catch (const HandshakeError &) {
+            throw;
+        } catch (const ConnectionError &) {
+            // The broker is down or mid-restart: one failed attempt,
+            // backed off below exactly like a connection lost
+            // mid-stream, instead of dying on the spot.
+            if (failedAttempts >= cfg.reconnectAttempts) {
+                throw ConnectionError(detail::concat(
+                    "fatal: lost the broker at '", cfg.socketPath,
+                    "' and exhausted ", cfg.reconnectAttempts,
+                    " reconnect attempts"));
+            }
+            obs::metrics().counter("svc.worker.reconnects").add(1);
+            const unsigned delay =
+                workerReconnectDelayMs(cfg, failedAttempts);
+            warn("svc: broker unreachable; retrying in ", delay,
+                 " ms (attempt ", failedAttempts + 1, "/",
+                 cfg.reconnectAttempts, ")");
+            ++failedAttempts;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            continue;
+        }
         obs::metrics().counter("svc.worker.connects").add(1);
         inform("svc: worker pid=", ::getpid(), " connected to ",
                cfg.socketPath);
@@ -115,6 +165,7 @@ Worker::run()
             }
             if (msg.type != MsgType::LeaseGrant)
                 continue; // e.g. a stray Stats; harmless
+            chaos::point(sites::workerLeaseRecv);
             for (const JobRef &lease : msg.jobs) {
                 const bool traced =
                     obs::traceEnabled(obs::Category::Service);
@@ -139,6 +190,7 @@ Worker::run()
                 report.type = MsgType::Result;
                 report.leaseId = lease.leaseId;
                 report.result = toWire(outcome);
+                chaos::point(sites::workerResultSend);
                 std::lock_guard<std::mutex> lock(sendMutex);
                 if (!conn.send(report))
                     break;
@@ -146,7 +198,7 @@ Worker::run()
             if (!conn.open())
                 break;
             wantLease = true;
-            reconnectsLeft = cfg.reconnectAttempts; // healthy again
+            failedAttempts = 0; // healthy again: full budget restored
         }
         stopHeartbeat();
         {
@@ -158,18 +210,21 @@ Worker::run()
                    evaluated, " evaluation(s)");
             return evaluated;
         }
-        if (reconnectsLeft == 0) {
+        if (failedAttempts >= cfg.reconnectAttempts) {
             throw ConnectionError(detail::concat(
                 "fatal: lost the broker at '", cfg.socketPath,
                 "' and exhausted ", cfg.reconnectAttempts,
                 " reconnect attempts"));
         }
-        --reconnectsLeft;
+        const unsigned delay =
+            workerReconnectDelayMs(cfg, failedAttempts);
         obs::metrics().counter("svc.worker.reconnects").add(1);
-        warn("svc: broker connection lost; reconnecting (",
-             reconnectsLeft, " attempt(s) left)");
+        warn("svc: broker connection lost; reconnecting in ", delay,
+             " ms (attempt ", failedAttempts + 1, "/",
+             cfg.reconnectAttempts, ")");
+        ++failedAttempts;
         std::this_thread::sleep_for(
-            std::chrono::milliseconds(cfg.reconnectBackoffMs));
+            std::chrono::milliseconds(delay));
     }
     return evaluated;
 }

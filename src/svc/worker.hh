@@ -14,6 +14,7 @@
 #define EH_SVC_WORKER_HH
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -33,11 +34,35 @@ struct WorkerConfig
 
     /**
      * Reconnect attempts after a lost broker connection before run()
-     * gives up with ConnectionError (each waits reconnectBackoffMs).
+     * gives up with ConnectionError. The wait before attempt k is
+     * exponential — reconnectBackoffMs << k, capped at
+     * reconnectBackoffMaxMs — plus a deterministic jitter derived from
+     * (id, k), so a fleet of workers orphaned by one broker crash
+     * fans its reconnects out instead of stampeding the fresh broker
+     * in lockstep (see workerReconnectDelayMs).
      */
     unsigned reconnectAttempts = 5;
     unsigned reconnectBackoffMs = 200;
+    unsigned reconnectBackoffMaxMs = 5000;
+
+    /**
+     * Stable worker identity, used only to seed the reconnect jitter.
+     * Supervised workers get their spawn index; hand-started workers
+     * may leave 0 (they still back off exponentially, just with the
+     * same jitter stream). Deterministic by design — tests reproduce
+     * the exact schedule.
+     */
+    std::uint64_t id = 0;
 };
+
+/**
+ * Backoff before reconnect attempt @p attempt (0-based): capped
+ * exponential on cfg.reconnectBackoffMs plus a deterministic jitter in
+ * [0, reconnectBackoffMs) seeded from (cfg.id, attempt). Pure —
+ * exposed so tests can pin the schedule.
+ */
+unsigned workerReconnectDelayMs(const WorkerConfig &cfg,
+                                unsigned attempt);
 
 /** One worker process's engine. */
 class Worker

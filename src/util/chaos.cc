@@ -1,0 +1,346 @@
+#include "util/chaos.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <cerrno>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+#endif
+
+#include "util/hash.hh"
+#include "util/panic.hh"
+
+namespace eh::chaos {
+
+namespace {
+
+enum class Kind
+{
+    Crash,  ///< crash=<site>[@n]
+    Enospc, ///< enospc=<site>[@n]
+    Delay,  ///< delay=<site>@<ms>
+};
+
+struct Directive
+{
+    Kind kind = Kind::Crash;
+    std::string site;
+    std::uint64_t arg = 1; ///< hit count (crash/enospc) or ms (delay)
+};
+
+struct Config
+{
+    bool active = false;
+    bool armed = true; ///< false once the fuse says "already fired"
+    std::uint64_t seed = 0;
+    unsigned shortIoPermille = 0;
+    unsigned eintrPermille = 0;
+    std::vector<Directive> directives;
+    std::string fusePath;
+    std::string raw;
+};
+
+std::atomic<bool> configured{false};
+std::mutex mutex; // guards config + hit counters
+Config config;
+std::map<std::string, std::uint64_t> hits; ///< per-site hit counts
+
+std::uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    if (text.empty())
+        fatalf("EH_CHAOS: empty ", what);
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        fatalf("EH_CHAOS: '", text, "' is not a valid ", what);
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Parse `EH_CHAOS=<seed>:<directive>,…` into @p out. */
+void
+parseSpec(const std::string &raw, Config &out)
+{
+    const std::size_t colon = raw.find(':');
+    if (colon == std::string::npos) {
+        fatalf("EH_CHAOS: expected '<seed>:<directives>', got '", raw,
+               "'");
+    }
+    out.seed = parseU64(raw.substr(0, colon), "seed");
+    std::stringstream ss(raw.substr(colon + 1));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatalf("EH_CHAOS: directive '", item, "' lacks '='");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "shortio") {
+            out.shortIoPermille = static_cast<unsigned>(
+                parseU64(value, "shortio permille"));
+        } else if (key == "eintr") {
+            out.eintrPermille = static_cast<unsigned>(
+                parseU64(value, "eintr permille"));
+        } else if (key == "crash" || key == "enospc" ||
+                   key == "delay") {
+            Directive d;
+            d.kind = key == "crash"
+                         ? Kind::Crash
+                         : (key == "enospc" ? Kind::Enospc
+                                            : Kind::Delay);
+            const std::size_t at = value.find('@');
+            d.site = value.substr(0, at);
+            if (d.site.empty())
+                fatalf("EH_CHAOS: directive '", item,
+                       "' names no site");
+            if (at != std::string::npos) {
+                d.arg = parseU64(value.substr(at + 1),
+                                 key == "delay" ? "delay ms"
+                                                : "hit count");
+            } else if (key == "delay") {
+                fatalf("EH_CHAOS: delay needs '@<ms>': '", item, "'");
+            }
+            if (d.kind != Kind::Delay && d.arg == 0)
+                fatalf("EH_CHAOS: hit count must be >= 1: '", item,
+                       "'");
+            out.directives.push_back(std::move(d));
+        } else {
+            fatalf("EH_CHAOS: unknown directive '", key,
+                   "' (want crash/enospc/delay/shortio/eintr)");
+        }
+    }
+}
+
+/** Parse the environment once (or again under resetForTest). */
+void
+loadLocked()
+{
+    config = Config{};
+    hits.clear();
+    const char *env = std::getenv("EH_CHAOS");
+    if (env != nullptr && *env != '\0') {
+        config.raw = env;
+        parseSpec(config.raw, config);
+        config.active = true;
+    }
+    if (const char *fuse = std::getenv("EH_CHAOS_FUSE")) {
+        config.fusePath = fuse;
+#ifndef _WIN32
+        if (!config.fusePath.empty() &&
+            ::access(config.fusePath.c_str(), F_OK) == 0) {
+            config.armed = false; // a previous process already fired
+        }
+#endif
+    }
+    configured.store(true, std::memory_order_release);
+}
+
+void
+ensureLoaded()
+{
+    if (configured.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!configured.load(std::memory_order_relaxed))
+        loadLocked();
+}
+
+#ifndef _WIN32
+/**
+ * Forked children must not inherit the parent's parsed chaos state: a
+ * supervisor parses EH_CHAOS before the fuse exists, and a broker
+ * child forked after the fuse burnt would otherwise stay armed and
+ * crash on every respawn until the respawn budget is gone. The child
+ * handler discards the snapshot so the child re-reads the environment
+ * (and the fuse) at its first site hit, with its own hit counters —
+ * the same per-process semantics an exec'd child gets for free. The
+ * prepare/parent pair holds the mutex across fork so the child's
+ * copy is in a known state before it is reset.
+ */
+struct AtforkRegistrar
+{
+    AtforkRegistrar()
+    {
+        ::pthread_atfork(
+            [] { mutex.lock(); },
+            [] { mutex.unlock(); },
+            [] {
+                // loadLocked() clears the hit counters on the next
+                // ensureLoaded(); keep this handler allocation-free.
+                configured.store(false, std::memory_order_release);
+                mutex.unlock();
+            });
+    }
+};
+AtforkRegistrar atforkRegistrar;
+#endif
+
+/** Deterministic per-(seed, site, hit) draw in [0, 2^64). */
+std::uint64_t
+draw(const char *site, std::uint64_t hit, std::uint64_t salt)
+{
+    return hashMix(config.seed ^ fnv1a(site) ^ (hit * 0x9e3779b97f4a7c15ull) ^
+                   salt);
+}
+
+/** Burn the one-shot fuse (best effort) before firing. */
+void
+burnFuse()
+{
+#ifndef _WIN32
+    if (config.fusePath.empty())
+        return;
+    const int fd = ::open(config.fusePath.c_str(),
+                          O_CREAT | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd >= 0)
+        ::close(fd);
+#endif
+}
+
+[[noreturn]] void
+crashNow(const char *site, std::uint64_t hit)
+{
+    burnFuse();
+    // Raw write: stderr buffers must not matter in a process that is
+    // about to die without flushing anything.
+    std::string line = detail::concat("eh-chaos: crash at '", site,
+                                      "' hit ", hit, " (seed ",
+                                      config.seed, ")\n");
+#ifndef _WIN32
+    [[maybe_unused]] const ssize_t n =
+        ::write(2, line.data(), line.size());
+    ::_exit(chaosExitCode);
+#else
+    std::_Exit(chaosExitCode);
+#endif
+}
+
+/**
+ * Record a hit of @p site and run its crash/delay directives.
+ * Returns the 1-based hit index.
+ */
+std::uint64_t
+hitLocked(const char *site)
+{
+    const std::uint64_t hit = ++hits[site];
+    unsigned delayMs = 0;
+    bool crash = false;
+    for (const Directive &d : config.directives) {
+        if (d.site != site)
+            continue;
+        if (d.kind == Kind::Delay)
+            delayMs = static_cast<unsigned>(d.arg);
+        else if (d.kind == Kind::Crash && config.armed && hit == d.arg)
+            crash = true;
+    }
+    if (delayMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs));
+    }
+    if (crash)
+        crashNow(site, hit);
+    return hit;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    ensureLoaded();
+    return config.active;
+}
+
+std::uint64_t
+seed()
+{
+    ensureLoaded();
+    return config.seed;
+}
+
+void
+point(const char *site)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    hitLocked(site);
+}
+
+bool
+failPoint(const char *site, int &err)
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(mutex);
+    const std::uint64_t hit = hitLocked(site);
+    for (const Directive &d : config.directives) {
+        if (d.kind == Kind::Enospc && d.site == site &&
+            config.armed && hit == d.arg) {
+            burnFuse();
+            err = ENOSPC;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+clampIo(const char *site, std::size_t want)
+{
+    if (!enabled() || want <= 1)
+        return want;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (config.shortIoPermille == 0)
+        return want;
+    const std::uint64_t hit = ++hits[detail::concat(site, "#io")];
+    if (draw(site, hit, 0x10) % 1000 >= config.shortIoPermille)
+        return want;
+    return 1 + static_cast<std::size_t>(draw(site, hit, 0x11) %
+                                        (want - 1));
+}
+
+bool
+spuriousEintr(const char *site)
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (config.eintrPermille == 0)
+        return false;
+    const std::uint64_t hit = ++hits[detail::concat(site, "#eintr")];
+    return draw(site, hit, 0x20) % 1000 < config.eintrPermille;
+}
+
+std::string
+describe()
+{
+    ensureLoaded();
+    if (!config.active)
+        return "chaos: disabled";
+    std::lock_guard<std::mutex> lock(mutex);
+    return detail::concat("chaos: EH_CHAOS=", config.raw,
+                          config.armed ? "" : " (fuse burnt: crash/"
+                                              "enospc disarmed)");
+}
+
+void
+resetForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    loadLocked();
+}
+
+} // namespace eh::chaos

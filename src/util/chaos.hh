@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic fault-injection registry for the whole pipeline
+ * (docs/ROBUSTNESS.md, docs/SERVICE.md): the `scripts/crash_harness.sh`
+ * idea — kill a process at a chosen instruction and prove the system
+ * recovers — generalized from the result store to the wire protocol,
+ * broker, worker and client. Instrumented code calls named *sites*:
+ *
+ *   chaos::point("broker.result.recv");            // crash/delay site
+ *   if (chaos::failPoint("store.append", err)) …   // errno injection
+ *   n = chaos::clampIo("net.send", n);             // short read/write
+ *   if (chaos::spuriousEintr("net.recv")) …        // EINTR storm
+ *
+ * All sites are inert (one relaxed atomic load) unless `EH_CHAOS` is
+ * set:
+ *
+ *   EH_CHAOS=<seed>:<directive>[,<directive>…]
+ *
+ *   crash=<site>[@<n>]     _exit(chaosExitCode) at the n-th hit
+ *                          (default 1) of <site> — simulates kill -9:
+ *                          no destructors, no atexit, no flush
+ *   enospc=<site>[@<n>]    inject ENOSPC at the n-th hit of <site>
+ *   delay=<site>@<ms>      sleep <ms> at every hit of <site>
+ *   shortio=<permille>     clamp I/O at clampIo() sites to a short
+ *                          length with probability permille/1000
+ *   eintr=<permille>       report a spurious EINTR at spuriousEintr()
+ *                          sites with probability permille/1000
+ *
+ * Determinism: probability draws hash (seed, site, per-site hit index)
+ * — never time, pid, or thread identity — so a run with a fixed seed
+ * makes exactly the same injections every time, in every process.
+ *
+ * One-shot fuse: when `EH_CHAOS_FUSE=<path>` is also set, a crash or
+ * errno injection first creates <path>; a process that starts with
+ * <path> already present disarms crash= and enospc= directives (the
+ * sustained shortio/eintr/delay noise stays). A supervised process
+ * therefore dies exactly once and its respawn runs clean — the exact
+ * "any process may die at any instruction, once" contract the chaos
+ * harness sweeps. Forked children do not inherit the parent's parsed
+ * snapshot: a pthread_atfork handler makes the child re-read the
+ * environment and the fuse at its first site hit, with fresh hit
+ * counters — so a broker forked by its supervisor before the fuse
+ * burnt still disarms on respawn, exactly like an exec'd worker.
+ *
+ * A malformed EH_CHAOS value is a fatal error, never a silent no-op: a
+ * typo must not quietly disable the fault a test believes it injected.
+ */
+
+#ifndef EH_UTIL_CHAOS_HH
+#define EH_UTIL_CHAOS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace eh::chaos {
+
+/** Exit code of a chaos-scheduled crash (distinct from real faults). */
+constexpr int chaosExitCode = 86;
+
+/** True when EH_CHAOS is set and parsed (cheap: one atomic load). */
+bool enabled();
+
+/** The seed parsed from EH_CHAOS (0 when disabled). */
+std::uint64_t seed();
+
+/**
+ * Hit a crash/delay site: sleeps under a matching delay= directive and
+ * does-not-return under a matching crash= directive whose hit count is
+ * reached (the process _exit()s with chaosExitCode after an stderr
+ * one-liner and the fuse write).
+ */
+void point(const char *site);
+
+/**
+ * Hit an errno-injection site. Returns true when a matching enospc=
+ * directive fires; @p err receives the errno to fail with. Also
+ * honours crash=/delay= directives on the same site first.
+ */
+bool failPoint(const char *site, int &err);
+
+/**
+ * Clamp an I/O length at @p site: under shortio=, returns a value in
+ * [1, want] chosen deterministically; otherwise returns @p want
+ * unchanged. A zero @p want is returned as-is.
+ */
+std::size_t clampIo(const char *site, std::size_t want);
+
+/** True when an eintr= directive fires at @p site this hit. */
+bool spuriousEintr(const char *site);
+
+/** One-line human description of the active configuration. */
+std::string describe();
+
+/**
+ * Re-read EH_CHAOS / EH_CHAOS_FUSE and reset all hit counters.
+ * Tests only — production processes parse once at first use.
+ */
+void resetForTest();
+
+} // namespace eh::chaos
+
+#endif // EH_UTIL_CHAOS_HH

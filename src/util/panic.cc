@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/chaos.hh"
+
 namespace eh {
 
 void
@@ -34,6 +36,14 @@ reportMainError(int code, bool internal, const std::string &what) noexcept
                      "(this is a bug in the EH model library — please "
                      "report it)\n");
     return code;
+}
+
+void
+validateStartupEnv()
+{
+    // Forces the EH_CHAOS parse (throws FatalError on a malformed
+    // spec) before the program body runs; see the header comment.
+    (void)chaos::enabled();
 }
 
 } // namespace detail

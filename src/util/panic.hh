@@ -63,6 +63,22 @@ class HandshakeError : public FatalError
 };
 
 /**
+ * A service listen socket is already owned by a live broker: a second
+ * `eh_explored serve` on the same path must refuse to start instead of
+ * silently stealing the path's future connections (docs/SERVICE.md,
+ * docs/ROBUSTNESS.md). Distinct from ConnectionError so supervisors
+ * can tell "another instance is healthy here" (do not retry) from
+ * "the network broke" (retry).
+ */
+class SocketBusyError : public FatalError
+{
+  public:
+    explicit SocketBusyError(const std::string &msg) : FatalError(msg)
+    {
+    }
+};
+
+/**
  * Report an internal library bug. Never returns.
  *
  * @param msg Human-readable description of the violated invariant.
@@ -118,6 +134,9 @@ constexpr int exitConnectionError = 3;
 /** Exit code for rejected service handshakes (version/role mismatch). */
 constexpr int exitHandshakeError = 4;
 
+/** Exit code when a live broker already owns the listen socket. */
+constexpr int exitSocketBusy = 5;
+
 namespace detail {
 
 /**
@@ -126,6 +145,15 @@ namespace detail {
  */
 int reportMainError(int code, bool internal,
                     const std::string &what) noexcept;
+
+/**
+ * Validate environment-driven configuration (EH_CHAOS) eagerly, so a
+ * malformed spec fails a binary at startup with one clean diagnostic
+ * instead of surfacing from whichever thread first hits an
+ * instrumented site — or worse, never surfacing in a binary that hits
+ * none. Throws FatalError; runMain() maps it to exitUserError.
+ */
+void validateStartupEnv();
 
 } // namespace detail
 
@@ -145,7 +173,11 @@ int
 runMain(Fn &&body) noexcept
 {
     try {
+        detail::validateStartupEnv();
         return body();
+    } catch (const SocketBusyError &e) {
+        return detail::reportMainError(exitSocketBusy, false,
+                                       e.what());
     } catch (const HandshakeError &e) {
         return detail::reportMainError(exitHandshakeError, false,
                                        e.what());

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Deterministic chaos engine suite (src/util/chaos.hh,
+ * docs/ROBUSTNESS.md): EH_CHAOS parsing is total-or-fatal (a typo never
+ * silently disables an injection), draws are a pure function of
+ * (seed, site, hit index), crash= directives kill the process with the
+ * dedicated exit code and kill -9 fidelity (checked in a forked
+ * child), the EH_CHAOS_FUSE one-shot disarms crash/enospc for the
+ * respawned process, and an armed store.append site surfaces as a
+ * clean StoreError naming the segment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "explore/job.hh"
+#include "explore/store.hh"
+#include "obs/metrics.hh"
+#include "svc/chaos.hh"
+#include "util/chaos.hh"
+#include "util/panic.hh"
+
+namespace {
+
+using namespace eh;
+namespace fs = std::filesystem;
+
+/** Scoped EH_CHAOS/EH_CHAOS_FUSE: set on entry, clean on exit. */
+class ChaosEnv
+{
+  public:
+    explicit ChaosEnv(const std::string &spec,
+                      const std::string &fuse = "")
+    {
+        ::setenv("EH_CHAOS", spec.c_str(), 1);
+        if (fuse.empty())
+            ::unsetenv("EH_CHAOS_FUSE");
+        else
+            ::setenv("EH_CHAOS_FUSE", fuse.c_str(), 1);
+        chaos::resetForTest();
+    }
+
+    ~ChaosEnv()
+    {
+        ::unsetenv("EH_CHAOS");
+        ::unsetenv("EH_CHAOS_FUSE");
+        chaos::resetForTest();
+    }
+};
+
+class ChaosScratch
+{
+  public:
+    explicit ChaosScratch(const std::string &tag)
+    {
+        root = fs::temp_directory_path() / ("eh_chaos_test_" + tag);
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+    ~ChaosScratch() { fs::remove_all(root); }
+    std::string str() const { return root.string(); }
+    std::string file(const char *name) const
+    {
+        return (root / name).string();
+    }
+
+  private:
+    fs::path root;
+};
+
+TEST(Chaos, DisabledByDefaultAndInert)
+{
+    ::unsetenv("EH_CHAOS");
+    ::unsetenv("EH_CHAOS_FUSE");
+    chaos::resetForTest();
+    EXPECT_FALSE(chaos::enabled());
+    EXPECT_EQ(chaos::seed(), 0u);
+    chaos::point("anything.at.all");
+    int err = 0;
+    EXPECT_FALSE(chaos::failPoint("store.append", err));
+    EXPECT_EQ(chaos::clampIo("net.send", 4096u), 4096u);
+    EXPECT_FALSE(chaos::spuriousEintr("net.recv"));
+    EXPECT_EQ(chaos::describe(), "chaos: disabled");
+}
+
+TEST(Chaos, SpecParsesAndDescribes)
+{
+    ChaosEnv env("42:crash=broker.result.recv@3,enospc=store.append@1,"
+                 "delay=net.send@5,shortio=250,eintr=125");
+    EXPECT_TRUE(chaos::enabled());
+    EXPECT_EQ(chaos::seed(), 42u);
+    EXPECT_NE(chaos::describe().find("crash=broker.result.recv@3"),
+              std::string::npos);
+}
+
+TEST(Chaos, MalformedSpecIsFatalNeverSilent)
+{
+    const std::vector<std::string> bad = {
+        "noseed",                 // no <seed>:
+        "1:crash",                // directive lacks '='
+        "1:crash=",               // no site
+        "1:frobnicate=x",         // unknown directive
+        "1:crash=a.site@0",       // hit count 0
+        "1:delay=a.site",         // delay without @ms
+        "abc:crash=a.site",       // non-numeric seed
+        "1:shortio=abc",          // non-numeric permille
+    };
+    for (const std::string &spec : bad) {
+        ::setenv("EH_CHAOS", spec.c_str(), 1);
+        ::unsetenv("EH_CHAOS_FUSE");
+        EXPECT_THROW(chaos::resetForTest(), FatalError)
+            << "spec '" << spec << "' was accepted";
+    }
+    ::unsetenv("EH_CHAOS");
+    chaos::resetForTest();
+}
+
+TEST(Chaos, DrawsAreDeterministicAcrossReloads)
+{
+    std::vector<std::size_t> first, second;
+    std::vector<bool> firstEintr, secondEintr;
+    {
+        ChaosEnv env("1234:shortio=500,eintr=500");
+        for (int i = 0; i < 32; ++i) {
+            first.push_back(chaos::clampIo("net.send", 1000u));
+            firstEintr.push_back(chaos::spuriousEintr("net.recv"));
+        }
+    }
+    {
+        ChaosEnv env("1234:shortio=500,eintr=500");
+        for (int i = 0; i < 32; ++i) {
+            second.push_back(chaos::clampIo("net.send", 1000u));
+            secondEintr.push_back(chaos::spuriousEintr("net.recv"));
+        }
+    }
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(firstEintr, secondEintr);
+    // ~500 permille over 32 draws: both outcomes must occur, and every
+    // clamp stays in [1, want].
+    bool clamped = false, passed = false;
+    for (const std::size_t n : first) {
+        ASSERT_GE(n, 1u);
+        ASSERT_LE(n, 1000u);
+        (n < 1000u ? clamped : passed) = true;
+    }
+    EXPECT_TRUE(clamped);
+    EXPECT_TRUE(passed);
+    EXPECT_EQ(chaos::clampIo("net.send", 1u), 1u); // never clamps to 0
+}
+
+TEST(Chaos, FailPointFiresAtExactHit)
+{
+    ChaosEnv env("7:enospc=store.append@3");
+    int err = 0;
+    EXPECT_FALSE(chaos::failPoint("store.append", err));
+    EXPECT_FALSE(chaos::failPoint("store.append", err));
+    ASSERT_TRUE(chaos::failPoint("store.append", err));
+    EXPECT_EQ(err, ENOSPC);
+    EXPECT_FALSE(chaos::failPoint("store.append", err)); // hit 4
+    EXPECT_FALSE(chaos::failPoint("store.other", err));  // other site
+}
+
+TEST(Chaos, CrashDirectiveExitsWithChaosCodeInForkedChild)
+{
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("EH_CHAOS", "9:crash=test.crash.site@2", 1);
+        ::unsetenv("EH_CHAOS_FUSE");
+        chaos::resetForTest();
+        chaos::point("test.crash.site");     // hit 1: survives
+        chaos::point("test.other.site");     // different site counter
+        chaos::point("test.crash.site");     // hit 2: _exit(86)
+        ::_exit(0);                          // must be unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), chaos::chaosExitCode);
+}
+
+TEST(Chaos, FuseDisarmsCrashForTheNextProcess)
+{
+    ChaosScratch dir("fuse");
+    const std::string fuse = dir.file("fuse");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("EH_CHAOS", "5:crash=test.fuse.site@1", 1);
+        ::setenv("EH_CHAOS_FUSE", fuse.c_str(), 1);
+        chaos::resetForTest();
+        chaos::point("test.fuse.site"); // burns the fuse, _exit(86)
+        ::_exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), chaos::chaosExitCode);
+    ASSERT_TRUE(fs::exists(fuse)) << "crash did not burn the fuse";
+
+    // The "respawned" process: same env, fuse present → crash and
+    // enospc are disarmed; the site is hit without dying.
+    ChaosEnv env("5:crash=test.fuse.site@1", fuse);
+    chaos::point("test.fuse.site");
+    chaos::point("test.fuse.site");
+    int err = 0;
+    EXPECT_FALSE(chaos::failPoint("test.fuse.site", err));
+    EXPECT_NE(chaos::describe().find("disarmed"), std::string::npos);
+}
+
+TEST(Chaos, ForkedChildRereadsTheFuseInsteadOfInheritingArmedState)
+{
+    // Regression: a supervisor parses EH_CHAOS at startup (fuse absent
+    // → armed) and later forks a broker child. If the child inherited
+    // the parent's parsed snapshot it would stay armed after the fuse
+    // burnt and crash on every respawn until the respawn budget was
+    // gone. The pthread_atfork handler must make the child re-read the
+    // environment — and the now-present fuse — at its first site hit.
+    ChaosScratch dir("atfork");
+    const std::string fuse = dir.file("fuse");
+    ChaosEnv env("13:crash=test.atfork.site@1", fuse);
+    ASSERT_TRUE(chaos::enabled()); // parent parses while fuse absent
+
+    { std::ofstream burn(fuse); } // another process "already died"
+    ASSERT_TRUE(fs::exists(fuse));
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        chaos::point("test.atfork.site"); // must be disarmed: survives
+        ::_exit(chaos::describe().find("disarmed") != std::string::npos
+                    ? 0
+                    : 7);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "forked child kept the parent's armed chaos snapshot";
+
+    // The parent's own snapshot is untouched: still armed, and the
+    // next hit of the site in *this* process does fire. Probe that
+    // via a second fork so the test binary itself survives.
+    const pid_t armed = ::fork();
+    ASSERT_GE(armed, 0);
+    if (armed == 0) {
+        ::unlink(fuse.c_str()); // fuse gone again → child re-arms
+        chaos::point("test.atfork.site");
+        ::_exit(0); // unreachable when armed
+    }
+    ASSERT_EQ(::waitpid(armed, &status, 0), armed);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), chaos::chaosExitCode);
+}
+
+TEST(Chaos, StoreAppendEnospcSurfacesAsStoreError)
+{
+    ChaosScratch dir("enospc");
+    ChaosEnv env("3:enospc=store.append@2");
+    const std::uint64_t before =
+        obs::metrics().counter("store.append_errors").count();
+
+    explore::SegmentStore store(dir.file("grid.ehc"));
+    explore::JobSpec spec("chaosgrid");
+    spec.set("cell", static_cast<std::uint64_t>(1));
+    explore::JobResult result;
+    result.set("y", 1.0);
+    explore::StoreRecord record{spec.canonical(), spec.hash(), 11,
+                                result};
+    store.append(record); // hit 1: clean
+    spec.set("cell", static_cast<std::uint64_t>(2));
+    record.canonical = spec.canonical();
+    record.hash = spec.hash();
+    try {
+        store.append(record); // hit 2: injected ENOSPC
+        FAIL() << "append did not throw";
+    } catch (const explore::StoreError &e) {
+        // The error must name the failing segment and the bytes it
+        // wanted — that is the whole point of the dedicated type.
+        EXPECT_NE(std::string(e.what()).find("seg-"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bytes"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(
+        obs::metrics().counter("store.append_errors").count(),
+        before + 1);
+
+    // The store survives the failed append: hit 3 is clean and the
+    // record becomes durable + servable.
+    store.append(record);
+    explore::JobResult back;
+    EXPECT_TRUE(
+        store.lookup(record.canonical, record.hash, 11, back));
+}
+
+TEST(Chaos, SiteRegistryCoversTheInstrumentedSites)
+{
+    std::size_t count = 0;
+    const char *const *sites = svc::chaosSites(count);
+    ASSERT_GE(count, 10u);
+    std::vector<std::string> all(sites, sites + count);
+    for (const char *site :
+         {"store.append", "net.send", "net.recv",
+          "proto.frame.decoded", "broker.result.persisted",
+          "client.resume", "worker.result.send"}) {
+        EXPECT_NE(std::find(all.begin(), all.end(), site), all.end())
+            << "site registry lost '" << site << "'";
+    }
+}
+
+} // namespace

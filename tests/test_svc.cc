@@ -19,12 +19,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "explore/campaign.hh"
 #include "explore/job.hh"
@@ -32,6 +42,7 @@
 #include "svc/client.hh"
 #include "svc/net.hh"
 #include "svc/proto.hh"
+#include "svc/supervise.hh"
 #include "svc/worker.hh"
 #include "util/panic.hh"
 #include "util/random.hh"
@@ -652,6 +663,399 @@ TEST(SvcService, PingReportsStatsJson)
     const std::string stats = pingBroker(service.broker->socketPath());
     EXPECT_NE(stats.find("\"workers\":"), std::string::npos);
     EXPECT_NE(stats.find("\"results\":"), std::string::npos);
+}
+
+// --- Crash recovery and session resume -----------------------------
+
+/** Broker in a forked child: SIGKILL-able with full kill -9 fidelity. */
+pid_t
+spawnBrokerProcess(const std::string &sock, const std::string &cache)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    int rc = 0;
+    try {
+        BrokerConfig bc;
+        bc.socketPath = sock;
+        bc.cacheDir = cache;
+        Broker broker(bc);
+        broker.run();
+    } catch (...) {
+        rc = 2;
+    }
+    ::_exit(rc);
+}
+
+/**
+ * Worker in a forked child with a patient reconnect budget, so it
+ * rides across broker restarts. The evaluator spins while @p gate
+ * exists — a cross-process pause switch the test flips to control
+ * exactly when cells complete relative to a broker kill.
+ */
+pid_t
+spawnWorkerProcess(const std::string &sock, const std::string &gate,
+                   std::uint64_t id, bool poison = false)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    int rc = 0;
+    try {
+        WorkerConfig wc;
+        wc.socketPath = sock;
+        wc.reconnectAttempts = 500;
+        wc.reconnectBackoffMs = 5;
+        wc.reconnectBackoffMaxMs = 40;
+        wc.id = id;
+        Worker worker(
+            wc, [&gate, poison](const explore::JobSpec &spec,
+                                Rng &rng) -> explore::JobResult {
+                while (!gate.empty() && fs::exists(gate)) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                }
+                if (poison)
+                    throw std::runtime_error("poison cell");
+                return gridEval(spec, rng);
+            });
+        worker.run();
+    } catch (...) {
+        rc = 3;
+    }
+    ::_exit(rc);
+}
+
+void
+awaitListener(const std::string &sock)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (!socketHasListener(sock)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "broker child never started listening on " << sock;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+void
+killNine(pid_t pid)
+{
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+}
+
+void
+reapProcess(pid_t pid)
+{
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+}
+
+TEST(SvcResume, BrokerKillNineMidBatchYieldsByteIdenticalResults)
+{
+    const auto specs = gridSpecs(12);
+
+    // In-process oracle: what the campaign must produce regardless of
+    // how many brokers die along the way.
+    ScratchDir oracleDir("resume_oracle");
+    explore::CampaignConfig oracleCfg;
+    oracleCfg.name = "svcgrid";
+    oracleCfg.cacheDir = oracleDir.str();
+    oracleCfg.progress = false;
+    oracleCfg.seed = 77;
+    explore::Campaign oracle(oracleCfg);
+    for (const auto &spec : specs)
+        oracle.add(spec);
+    const auto oracleResults = oracle.run(gridEval);
+
+    ScratchDir dir("resume_kill9");
+    const std::string gate = dir.str() + "/gate";
+    { std::ofstream(gate) << "hold\n"; }
+
+    // Everything lives in child processes: the test process itself
+    // stays single-threaded, so the mid-test forks below are safe.
+    const pid_t brokerA = spawnBrokerProcess(dir.sock(), dir.cache());
+    awaitListener(dir.sock());
+    std::vector<pid_t> workerPids;
+    for (std::uint64_t id = 1; id <= 2; ++id)
+        workerPids.push_back(spawnWorkerProcess(dir.sock(), gate, id));
+
+    ClientConfig cc;
+    cc.socketPath = dir.sock();
+    cc.resumeAttempts = 40;
+    cc.backoffBaseMs = 20;
+    cc.backoffCapMs = 200;
+    Client client(cc);
+    BatchOptions batch;
+    batch.name = "svcgrid";
+    batch.seed = 77;
+    ASSERT_EQ(client.submit(batch, specs), specs.size());
+
+    // The batch is acknowledged and leased, every cell still gated:
+    // kill -9 the broker with the whole batch unresolved, restart it,
+    // then release the gate. The restarted broker has an empty
+    // in-flight table; the client must resubmit and the reconnecting
+    // workers must re-execute — deterministically.
+    killNine(brokerA);
+    const pid_t brokerB = spawnBrokerProcess(dir.sock(), dir.cache());
+    awaitListener(dir.sock());
+    fs::remove(gate);
+
+    std::vector<explore::JobResult> results(specs.size());
+    std::size_t got = 0;
+    Client::Outcome out;
+    while (client.nextOutcome(out)) {
+        ASSERT_LT(out.index, results.size());
+        results[out.index] = std::move(out.result);
+        ++got;
+    }
+    EXPECT_EQ(got, specs.size());
+    EXPECT_GE(client.resumes(), 1u);
+    expectSameResults(oracleResults, results);
+
+    // A warm client against the restarted broker sees pure store hits:
+    // nothing the crash interrupted was lost or double-recorded.
+    Client warm(cc);
+    ASSERT_EQ(warm.submit(batch, specs), specs.size());
+    std::size_t cachedHits = 0;
+    while (warm.nextOutcome(out))
+        cachedHits += out.cached ? 1 : 0;
+    EXPECT_EQ(cachedHits, specs.size());
+
+    for (const pid_t pid : workerPids)
+        reapProcess(pid);
+    reapProcess(brokerB);
+}
+
+TEST(SvcResume, BrokerRestartResumesQuarantineStrikeLadder)
+{
+    ScratchDir dir("resume_quarantine");
+    const pid_t brokerA = spawnBrokerProcess(dir.sock(), dir.cache());
+    awaitListener(dir.sock());
+    const pid_t worker = spawnWorkerProcess(dir.sock(), "", 1,
+                                            /*poison=*/true);
+
+    std::vector<explore::JobSpec> specs = gridSpecs(1);
+    BatchOptions batch;
+    batch.name = "svcgrid";
+    batch.seed = 5;
+    batch.maxAttempts = 1;
+    batch.fresh = true; // never served the cached failure: re-executes
+    batch.quarantineAfter = 2;
+
+    const auto runOnce = [&]() -> explore::JobResult {
+        Client client(dir.sock());
+        EXPECT_EQ(client.submit(batch, specs), 1u);
+        Client::Outcome out;
+        EXPECT_TRUE(client.nextOutcome(out));
+        return out.result;
+    };
+
+    // Strike 1 under broker A, then kill -9 it. The strike is already
+    // durable (the quarantine log flushes per record).
+    const explore::JobResult first = runOnce();
+    EXPECT_EQ(first.status(), explore::JobStatus::Failed);
+    EXPECT_NE(first.error().find("poison"), std::string::npos);
+    killNine(brokerA);
+
+    // Strike 2 under the restarted broker B — the ladder continued,
+    // not restarted from zero.
+    const pid_t brokerB = spawnBrokerProcess(dir.sock(), dir.cache());
+    awaitListener(dir.sock());
+    const explore::JobResult second = runOnce();
+    EXPECT_EQ(second.status(), explore::JobStatus::Failed);
+
+    // Third run: at the limit. The broker must skip the cell without
+    // executing it — a Quarantined verdict naming the recorded
+    // strikes, not another evaluator failure.
+    const explore::JobResult third = runOnce();
+    EXPECT_EQ(third.status(), explore::JobStatus::Quarantined);
+    EXPECT_NE(third.error().find("skipped after 2"), std::string::npos);
+
+    reapProcess(worker);
+    reapProcess(brokerB);
+}
+
+// --- Supervision ---------------------------------------------------
+
+void
+awaitChild(Supervisor &sup,
+           const std::function<bool(const Supervisor::ChildView &)> &ok)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    for (;;) {
+        sup.poll();
+        if (ok(sup.children().at(0)))
+            return;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "supervised child never reached the expected state";
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+TEST(SvcSupervise, RespawnsKilledChildWithinBudgetThenGivesUp)
+{
+    SupervisorConfig sc;
+    sc.respawnLimit = 2;
+    sc.backoffBaseMs = 5;
+    sc.backoffCapMs = 20;
+    Supervisor sup(sc);
+    sup.spawn("sleeper", []() -> int {
+        for (;;)
+            ::pause();
+        return 0;
+    }, /*respawn=*/true);
+
+    Supervisor::ChildView view = sup.children().at(0);
+    ASSERT_TRUE(view.alive);
+    const pid_t firstPid = view.pid;
+
+    // Two SIGKILLs: both inside the budget, both respawned with a new
+    // pid.
+    ASSERT_EQ(::kill(firstPid, SIGKILL), 0);
+    awaitChild(sup, [](const Supervisor::ChildView &c) {
+        return c.alive && c.respawns == 1;
+    });
+    const pid_t secondPid = sup.children().at(0).pid;
+    EXPECT_NE(secondPid, firstPid);
+
+    ASSERT_EQ(::kill(secondPid, SIGKILL), 0);
+    awaitChild(sup, [](const Supervisor::ChildView &c) {
+        return c.alive && c.respawns == 2;
+    });
+
+    // Third death exhausts the budget: the child stays down.
+    ASSERT_EQ(::kill(sup.children().at(0).pid, SIGKILL), 0);
+    awaitChild(sup, [](const Supervisor::ChildView &c) {
+        return !c.alive && c.gaveUp;
+    });
+    EXPECT_EQ(sup.poll(), 0u);
+    EXPECT_EQ(sup.alive(), 0u);
+}
+
+TEST(SvcSupervise, CleanExitAndDrainAreNeverRespawned)
+{
+    SupervisorConfig sc;
+    sc.backoffBaseMs = 5;
+    Supervisor sup(sc);
+    sup.spawn("oneshot", []() -> int { return 0; },
+              /*respawn=*/true);
+    awaitChild(sup, [](const Supervisor::ChildView &c) {
+        return !c.alive;
+    });
+    // Clean exit: done, not a crash — zero respawns consumed.
+    EXPECT_EQ(sup.children().at(0).respawns, 0u);
+    EXPECT_FALSE(sup.children().at(0).gaveUp);
+    EXPECT_EQ(sup.poll(), 0u);
+
+    // A crashing child under drain stays down regardless of budget.
+    Supervisor draining(sc);
+    draining.spawn("sleeper", []() -> int {
+        for (;;)
+            ::pause();
+        return 0;
+    }, /*respawn=*/true);
+    draining.drain();
+    draining.signalAll(SIGKILL);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (draining.poll() > 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(draining.children().at(0).respawns, 0u);
+}
+
+// --- Backoff schedules ---------------------------------------------
+
+TEST(SvcBackoff, WorkerReconnectIsExponentialCappedAndJittered)
+{
+    WorkerConfig a;
+    a.reconnectBackoffMs = 100;
+    a.reconnectBackoffMaxMs = 1000;
+    a.id = 1;
+    WorkerConfig b = a;
+    b.id = 2;
+    std::vector<unsigned> scheduleA, scheduleB;
+    for (unsigned k = 0; k < 8; ++k) {
+        const unsigned da = workerReconnectDelayMs(a, k);
+        const unsigned db = workerReconnectDelayMs(b, k);
+        // Deterministic: the same (config, attempt) always yields the
+        // same wait.
+        EXPECT_EQ(da, workerReconnectDelayMs(a, k));
+        // Exponential base capped at the max, jitter within one base.
+        const unsigned expo =
+            std::min(100u << std::min(k, 10u), 1000u);
+        EXPECT_GE(da, expo) << "attempt " << k;
+        EXPECT_LT(da, expo + 100u) << "attempt " << k;
+        scheduleA.push_back(da);
+        scheduleB.push_back(db);
+    }
+    // Different worker ids never share a schedule — that is the whole
+    // anti-thundering-herd point.
+    EXPECT_NE(scheduleA, scheduleB);
+}
+
+TEST(SvcBackoff, ClientResumeScheduleIsDeterministicPerSession)
+{
+    ClientConfig cfg;
+    cfg.backoffBaseMs = 50;
+    cfg.backoffCapMs = 400;
+    std::vector<unsigned> one, two, other;
+    for (unsigned k = 0; k < 6; ++k) {
+        one.push_back(clientResumeDelayMs(cfg, 111, 0, k));
+        two.push_back(clientResumeDelayMs(cfg, 111, 0, k));
+        other.push_back(clientResumeDelayMs(cfg, 222, 0, k));
+        const unsigned expo = std::min(50u << std::min(k, 10u), 400u);
+        EXPECT_GE(one.back(), expo);
+        EXPECT_LT(one.back(), expo + 50u);
+    }
+    EXPECT_EQ(one, two);    // reproducible for a given session seed
+    EXPECT_NE(one, other);  // distinct campaigns spread out
+}
+
+// --- Socket takeover guard -----------------------------------------
+
+TEST(SvcService, LiveBrokerSocketCannotBeStolen)
+{
+    ScratchDir dir("sock_steal");
+    BrokerConfig bc;
+    bc.socketPath = dir.sock();
+    bc.cacheDir = dir.cache();
+    Broker broker(bc); // listening from construction
+    ASSERT_TRUE(socketHasListener(bc.socketPath));
+    // A second broker on the same path must refuse loudly (exit code 5
+    // through runMain) instead of silently unlinking the live socket.
+    EXPECT_THROW({ Broker second(bc); }, SocketBusyError);
+    // The victim's socket file is untouched and still serviceable.
+    EXPECT_TRUE(socketHasListener(bc.socketPath));
+}
+
+TEST(SvcService, StaleSocketFileIsReclaimed)
+{
+    ScratchDir dir("sock_stale");
+    // A dead broker's leftover: a bound socket file with no listener.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, dir.sock().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd); // bound but never listened: connect() refuses
+    ASSERT_TRUE(fs::exists(dir.sock()));
+    ASSERT_FALSE(socketHasListener(dir.sock()));
+
+    BrokerConfig bc;
+    bc.socketPath = dir.sock();
+    bc.cacheDir = dir.cache();
+    Broker broker(bc); // reclaims the stale file and binds
+    EXPECT_TRUE(socketHasListener(bc.socketPath));
 }
 
 } // namespace

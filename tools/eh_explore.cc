@@ -417,6 +417,8 @@ cmdCampaign(const cli::Options &opts)
         opts.getDouble("quarantine-after", 3.0));
     const bool strict = opts.getDouble("strict", 0.0) != 0.0;
     cc.remoteSocket = opts.get("remote", "");
+    cc.remoteResumeAttempts = static_cast<unsigned>(
+        opts.getDouble("remote-retries", 8.0));
     if (!cc.remoteSocket.empty() && !cc.cache) {
         fatalf("--cache 0 cannot be combined with --remote; the broker "
                "owns the store (docs/SERVICE.md)");
@@ -433,6 +435,10 @@ cmdCampaign(const cli::Options &opts)
         svc::RemoteRun remote = svc::runCampaign(cc, campaign.jobs());
         results = std::move(remote.results);
         report = std::move(remote.report);
+        if (remote.resumes > 0) {
+            inform("campaign rode out ", remote.resumes,
+                   " broker outage(s) via session resume");
+        }
     } else {
         results = campaign.run(explore::evaluateJob);
         report = campaign.report();
@@ -570,7 +576,8 @@ usage()
         "see docs/ROBUSTNESS.md\n"
         "          --remote SOCK runs the campaign through an "
         "eh_explored broker\n          (docs/SERVICE.md); CSV bytes are "
-        "identical to an in-process run\n"
+        "identical to an in-process run;\n          --remote-retries N "
+        "bounds reconnect attempts per broker outage\n"
         "          fault injection: --fault-seed N --fault-at-cycle C,.. "
         "--fault-at-instr K,..\n"
         "          --fault-backup-prob P --fault-selector-prob P "

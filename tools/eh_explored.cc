@@ -4,25 +4,40 @@
  *
  *   eh_explored serve  --socket S [--cache-dir D] [--workers N]
  *                      [--cache-fsync N] [--heartbeat-timeout-ms MS]
- *                      [--redispatch-limit N]
- *   eh_explored worker --socket S [--heartbeat-ms MS]
+ *                      [--redispatch-limit N] [--supervise]
+ *                      [--respawn-limit N] [--respawn-backoff-ms MS]
+ *   eh_explored worker --socket S [--heartbeat-ms MS] [--id N]
  *                      [--reconnect-attempts N]
  *                      [--reconnect-backoff-ms MS]
+ *                      [--reconnect-backoff-max-ms MS]
  *   eh_explored ping   --socket S
  *   eh_explored drain  --socket S [--timeout-ms MS]
+ *   eh_explored chaos-sites
  *
  * `serve` runs the broker: the single writer of the result store,
  * sharding campaign cells across worker processes. `--workers N` forks
- * N workers as children (they re-exec this binary as
- * `eh_explored worker`); workers may equally be started by hand on the
- * same socket, including after the broker. SIGTERM/SIGINT stop the
- * broker immediately; `drain` stops it cleanly once pending cells
- * finish. Campaigns connect with `eh_explore campaign --remote S`.
+ * N supervised workers (they re-exec this binary as `eh_explored
+ * worker`); a worker that dies abnormally is reaped with waitpid and
+ * respawned under a per-child budget with exponential backoff —
+ * never respawned after a clean exit or during a drain. With
+ * `--supervise` the broker itself runs as a supervised child and a
+ * kill -9 of it is ridden out the same way (clients resume their
+ * sessions; the store and quarantine ladder are durable).
+ *
+ * Signals: the first SIGTERM/SIGINT drains gracefully (pending leases
+ * finish, workers are told to exit); a second one stops hard. A serve
+ * never steals a live broker's socket — it probes first and exits 5
+ * (docs/ROBUSTNESS.md). `chaos-sites` lists the named fault-injection
+ * sites accepted by EH_CHAOS (src/util/chaos.hh).
  */
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
+#include <exception>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -31,7 +46,10 @@
 #include "obs/export.hh"
 #include "obs/trace.hh"
 #include "svc/broker.hh"
+#include "svc/chaos.hh"
 #include "svc/client.hh"
+#include "svc/net.hh"
+#include "svc/supervise.hh"
 #include "svc/worker.hh"
 #include "util/log.hh"
 #include "util/panic.hh"
@@ -42,14 +60,21 @@ using namespace eh;
 
 svc::Broker *liveBroker = nullptr;
 svc::Worker *liveWorker = nullptr;
+volatile std::sig_atomic_t signalHits = 0;
 
 void
 onSignal(int)
 {
-    // Both stop paths are async-signal-safe: a self-pipe write for the
-    // broker, an atomic store for the worker.
-    if (liveBroker)
-        liveBroker->requestStop();
+    // Every path here is async-signal-safe: atomic stores plus a
+    // self-pipe write for the broker, an atomic store for the worker.
+    // First signal: graceful drain. Second: hard stop.
+    const int hit = ++signalHits;
+    if (liveBroker) {
+        if (hit <= 1)
+            liveBroker->requestDrain();
+        else
+            liveBroker->requestStop();
+    }
     if (liveWorker)
         liveWorker->requestStop();
 }
@@ -70,13 +95,9 @@ requiredSocket(const cli::Options &opts)
     return socket;
 }
 
-/** Fork @p count workers that re-exec this binary as `worker`. */
-void
-spawnWorkers(unsigned count, const std::string &socket,
-             const cli::Options &opts)
+std::string
+selfExePath(const std::string &socket)
 {
-    if (count == 0)
-        return;
     char self[4096];
     const ssize_t n =
         ::readlink("/proc/self/exe", self, sizeof(self) - 1);
@@ -85,37 +106,51 @@ spawnWorkers(unsigned count, const std::string &socket,
                "them manually: eh_explored worker --socket ", socket);
     }
     self[n] = '\0';
-    // Children are fire-and-forget: the broker's drain tells them to
-    // exit, and SIG_IGN on SIGCHLD lets the kernel reap them.
-    std::signal(SIGCHLD, SIG_IGN);
+    return std::string(self);
+}
+
+/**
+ * Spawn @p count supervised worker children. Each child execs this
+ * binary as `worker --id N`, so a respawn is a truly fresh process —
+ * and the only thing the forked child does before exec is build argv,
+ * which keeps forking safe even when the broker thread is live.
+ */
+void
+spawnWorkers(svc::Supervisor &sup, unsigned count,
+             const std::string &socket, const cli::Options &opts)
+{
+    if (count == 0)
+        return;
+    const std::string self = selfExePath(socket);
     const bool quiet = opts.getDouble("quiet", 0.0) != 0.0;
     const bool verbose = opts.getDouble("verbose", 0.0) != 0.0;
     for (unsigned i = 0; i < count; ++i) {
-        const pid_t pid = ::fork();
-        if (pid < 0)
-            fatalf("fork failed while spawning worker ", i + 1);
-        if (pid != 0)
-            continue;
-        std::vector<const char *> argv{self, "worker", "--socket",
-                                       socket.c_str()};
-        if (quiet) {
-            argv.push_back("--quiet");
-            argv.push_back("1");
-        } else if (verbose) {
-            argv.push_back("--verbose");
-            argv.push_back("1");
-        }
-        argv.push_back(nullptr);
-        ::execv(self, const_cast<char *const *>(argv.data()));
-        // Only reached when exec failed; don't run the parent's
-        // atexit machinery from the doomed child.
-        ::_exit(127);
+        const std::string id = std::to_string(i + 1);
+        sup.spawn(
+            detail::concat("worker-", i + 1),
+            [self, socket, id, quiet, verbose]() -> int {
+                std::vector<const char *> argv{
+                    self.c_str(), "worker",  "--socket",
+                    socket.c_str(), "--id", id.c_str()};
+                if (quiet) {
+                    argv.push_back("--quiet");
+                    argv.push_back("1");
+                } else if (verbose) {
+                    argv.push_back("--verbose");
+                    argv.push_back("1");
+                }
+                argv.push_back(nullptr);
+                ::execv(self.c_str(),
+                        const_cast<char *const *>(argv.data()));
+                return 127; // exec failed; supervisor sees the status
+            },
+            /*respawn=*/true);
     }
-    inform("svc: spawned ", count, " worker process(es)");
+    inform("svc: spawned ", count, " supervised worker process(es)");
 }
 
-int
-cmdServe(const cli::Options &opts)
+svc::BrokerConfig
+brokerConfigFrom(const cli::Options &opts)
 {
     svc::BrokerConfig config;
     config.socketPath = requiredSocket(opts);
@@ -126,17 +161,147 @@ cmdServe(const cli::Options &opts)
         opts.getDouble("heartbeat-timeout-ms", 5000.0));
     config.redispatchLimit = static_cast<unsigned>(
         opts.getDouble("redispatch-limit", 3.0));
+    return config;
+}
+
+svc::SupervisorConfig
+supervisorConfigFrom(const cli::Options &opts)
+{
+    svc::SupervisorConfig config;
+    config.respawnLimit = static_cast<unsigned>(
+        opts.getDouble("respawn-limit", 5.0));
+    config.backoffBaseMs = static_cast<unsigned>(
+        opts.getDouble("respawn-backoff-ms", 100.0));
+    return config;
+}
+
+/** Drain the supervisor's flock at shutdown: TERM, wait, then KILL. */
+void
+shutdownChildren(svc::Supervisor &sup)
+{
+    sup.drain();
+    sup.signalAll(SIGTERM);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(2);
+    while (sup.poll() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (sup.alive() > 0) {
+        warn("svc: ", sup.alive(),
+             " child(ren) ignored SIGTERM; killing");
+        sup.signalAll(SIGKILL);
+        while (sup.poll() > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+/** The broker itself, run as a supervised child (`--supervise`). */
+int
+brokerChildMain(const svc::BrokerConfig &config)
+{
     svc::Broker broker(config);
     liveBroker = &broker;
     installStopHandlers();
-    spawnWorkers(
-        static_cast<unsigned>(opts.getDouble("workers", 0.0)),
-        config.socketPath, opts);
     const std::uint64_t results = broker.run();
     liveBroker = nullptr;
     inform("svc: broker served ", results, " result(s)");
     std::cout << broker.statsJson() << "\n";
     return 0;
+}
+
+/** Default serve: broker in-process, workers supervised. */
+int
+serveInProcess(const cli::Options &opts)
+{
+    svc::Broker broker(brokerConfigFrom(opts));
+    liveBroker = &broker;
+    installStopHandlers();
+    svc::Supervisor sup(supervisorConfigFrom(opts));
+    spawnWorkers(sup,
+                 static_cast<unsigned>(opts.getDouble("workers", 0.0)),
+                 broker.socketPath(), opts);
+
+    std::atomic<bool> brokerDone{false};
+    std::exception_ptr brokerError;
+    std::uint64_t results = 0;
+    std::thread brokerThread([&] {
+        try {
+            results = broker.run();
+        } catch (...) {
+            brokerError = std::current_exception();
+        }
+        brokerDone.store(true, std::memory_order_release);
+    });
+    while (!brokerDone.load(std::memory_order_acquire)) {
+        if (signalHits > 0)
+            sup.drain(); // shutting down: crashed workers stay down
+        sup.poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    brokerThread.join();
+    liveBroker = nullptr;
+    shutdownChildren(sup);
+    if (brokerError)
+        std::rethrow_exception(brokerError);
+    inform("svc: broker served ", results, " result(s)");
+    std::cout << broker.statsJson() << "\n";
+    return 0;
+}
+
+/** `--supervise`: the broker is a supervised child too. */
+int
+serveSupervised(const cli::Options &opts)
+{
+    const svc::BrokerConfig config = brokerConfigFrom(opts);
+    // Fail the socket-busy case in the parent with the documented exit
+    // code 5; inside a child it would read as a crash and be respawned.
+    if (svc::socketHasListener(config.socketPath)) {
+        throw SocketBusyError(detail::concat(
+            "fatal: a live broker already listens on '",
+            config.socketPath,
+            "'; refusing to take over its socket (stop it first, or "
+            "pick another --socket path)"));
+    }
+    installStopHandlers();
+    svc::Supervisor sup(supervisorConfigFrom(opts));
+    sup.spawn("broker", [config]() { return brokerChildMain(config); },
+              /*respawn=*/true);
+    spawnWorkers(sup,
+                 static_cast<unsigned>(opts.getDouble("workers", 0.0)),
+                 config.socketPath, opts);
+
+    bool drainSignalled = false;
+    while (sup.poll() > 0) {
+        if (signalHits > 0 && !drainSignalled) {
+            // Forward the graceful stop: the broker child drains
+            // (telling workers to exit cleanly); nobody is respawned.
+            drainSignalled = true;
+            sup.drain();
+            sup.signalAll(SIGTERM);
+        }
+        if (signalHits > 1) {
+            sup.signalAll(SIGKILL);
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    shutdownChildren(sup);
+    for (const auto &child : sup.children()) {
+        if (child.name == "broker" && child.gaveUp) {
+            fatalf("broker kept crashing and exhausted its respawn "
+                   "budget; see the log above");
+        }
+    }
+    return 0;
+}
+
+int
+cmdServe(const cli::Options &opts)
+{
+    if (opts.getDouble("supervise", 0.0) != 0.0)
+        return serveSupervised(opts);
+    return serveInProcess(opts);
 }
 
 int
@@ -150,6 +315,10 @@ cmdWorker(const cli::Options &opts)
         opts.getDouble("reconnect-attempts", 5.0));
     config.reconnectBackoffMs = static_cast<unsigned>(
         opts.getDouble("reconnect-backoff-ms", 200.0));
+    config.reconnectBackoffMaxMs = static_cast<unsigned>(
+        opts.getDouble("reconnect-backoff-max-ms", 5000.0));
+    config.id =
+        static_cast<std::uint64_t>(opts.getDouble("id", 0.0));
     svc::Worker worker(config, {});
     liveWorker = &worker;
     installStopHandlers();
@@ -175,6 +344,16 @@ cmdDrain(const cli::Options &opts)
     return 0;
 }
 
+int
+cmdChaosSites()
+{
+    std::size_t count = 0;
+    const char *const *sites = svc::chaosSites(count);
+    for (std::size_t i = 0; i < count; ++i)
+        std::cout << sites[i] << "\n";
+    return 0;
+}
+
 void
 usage()
 {
@@ -185,15 +364,22 @@ usage()
            "[--workers N]\n"
            "                     [--cache-fsync N] "
            "[--heartbeat-timeout-ms MS]\n"
-           "                     [--redispatch-limit N]\n"
-           "  eh_explored worker --socket S [--heartbeat-ms MS]\n"
+           "                     [--redispatch-limit N] [--supervise]\n"
+           "                     [--respawn-limit N] "
+           "[--respawn-backoff-ms MS]\n"
+           "  eh_explored worker --socket S [--heartbeat-ms MS] "
+           "[--id N]\n"
            "                     [--reconnect-attempts N] "
            "[--reconnect-backoff-ms MS]\n"
+           "                     [--reconnect-backoff-max-ms MS]\n"
            "  eh_explored ping   --socket S\n"
-           "  eh_explored drain  --socket S [--timeout-ms MS]\n\n"
+           "  eh_explored drain  --socket S [--timeout-ms MS]\n"
+           "  eh_explored chaos-sites\n\n"
            "Campaigns connect with: eh_explore campaign --remote S\n"
-           "Exit codes: 3 connection failure, 4 handshake/version "
-           "mismatch\n(docs/ROBUSTNESS.md).\n";
+           "First SIGTERM/SIGINT drains gracefully; a second stops "
+           "hard.\nExit codes: 3 connection failure, 4 "
+           "handshake/version mismatch,\n5 socket already served by a "
+           "live broker (docs/ROBUSTNESS.md).\n";
 }
 
 } // namespace
@@ -229,6 +415,8 @@ main(int argc, char **argv)
             rc = cmdPing(opts);
         else if (cmd == "drain")
             rc = cmdDrain(opts);
+        else if (cmd == "chaos-sites")
+            rc = cmdChaosSites();
         else {
             usage();
             return cmd.empty() ? 0 : exitUserError;
